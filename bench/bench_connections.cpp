@@ -1,0 +1,171 @@
+// Ablation C: connection policy and daemon-pool scaling.
+//
+// Two of the paper's observations:
+//  1. "In the current environment, reconnecting each time was
+//     significantly faster than making use of persistent connections,
+//     an anomaly still under investigation." — we run the Table 1
+//     metadata workload under both policies. (In this in-memory stack
+//     persistent connections win, as one would expect; the paper's
+//     anomaly was environmental. The modeled column shows why:
+//     reconnects cost extra round trips on a real link.)
+//  2. Server scalability is inherited from Apache's daemon model — we
+//     sweep the daemon count under concurrent clients.
+#include <algorithm>
+#include <thread>
+
+#include "bench/common.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace davpse::bench {
+namespace {
+
+using davclient::DavClient;
+using davclient::Depth;
+using davclient::PropWrite;
+
+constexpr int kDocuments = 50;
+constexpr int kRequests = 200;
+
+xml::QName prop_name(int index) {
+  return xml::QName("http://purl.pnl.gov/ecce",
+                    "meta" + std::to_string(index));
+}
+
+void build_corpus(DavClient& client) {
+  Rng rng(99);
+  if (!client.mkcol("/corpus").is_ok()) std::abort();
+  for (int d = 0; d < kDocuments; ++d) {
+    std::string path = "/corpus/doc" + std::to_string(d);
+    if (!client.put(path, "body").is_ok()) std::abort();
+    std::vector<PropWrite> writes;
+    for (int p = 0; p < 5; ++p) {
+      writes.push_back(PropWrite::of_text(prop_name(p),
+                                          rng.ascii_blob(1024)));
+    }
+    if (!client.proppatch(path, writes).is_ok()) std::abort();
+  }
+}
+
+}  // namespace
+}  // namespace davpse::bench
+
+int main() {
+  using namespace davpse;
+  using namespace davpse::bench;
+
+  heading("Ablation C: connection policy and daemon scaling");
+
+  // --- policy comparison ---------------------------------------------------
+  {
+    DavStack stack;
+    auto seeder = stack.client();
+    build_corpus(seeder);
+
+    TablePrinter table({26, 12, 12, 14, 12});
+    table.row({"policy", "wall", "cpu", "modeled(150M)", "connects"});
+    table.rule();
+    for (auto policy : {http::ConnectionPolicy::kPersistent,
+                        http::ConnectionPolicy::kPerRequest}) {
+      auto client = stack.client(davclient::ParserKind::kDom, policy);
+      net::NetworkModel model(net::LinkProfile::paper_lan());
+      client.set_network_model(&model);
+      std::vector<xml::QName> names;
+      for (int p = 0; p < 5; ++p) names.push_back(prop_name(p));
+      auto m = measure(&model, [&] {
+        for (int i = 0; i < kRequests; ++i) {
+          auto r = client.propfind(
+              "/corpus/doc" + std::to_string(i % kDocuments), Depth::kZero,
+              names);
+          if (!r.ok()) std::abort();
+        }
+      });
+      table.row({policy == http::ConnectionPolicy::kPersistent
+                     ? "persistent (keep-alive)"
+                     : "reconnect per request",
+                 seconds_cell(m.wall_seconds), seconds_cell(m.cpu_seconds),
+                 seconds_cell(m.wall_seconds + m.modeled_seconds),
+                 std::to_string(client.http().connections_opened())});
+    }
+    // Pipelined: the optimization the paper lists but did not pursue —
+    // all requests written before any response is read.
+    {
+      auto client = stack.client();
+      net::NetworkModel model(net::LinkProfile::paper_lan());
+      client.set_network_model(&model);
+      std::vector<xml::QName> names;
+      for (int p = 0; p < 5; ++p) names.push_back(prop_name(p));
+      std::vector<std::string> paths;
+      for (int i = 0; i < kRequests; ++i) {
+        paths.push_back("/corpus/doc" + std::to_string(i % kDocuments));
+      }
+      auto m = measure(&model, [&] {
+        auto results = client.propfind_many(paths, names);
+        if (!results.ok() || results.value().size() != paths.size()) {
+          std::abort();
+        }
+      });
+      table.row({"pipelined (one batch)", seconds_cell(m.wall_seconds),
+                 seconds_cell(m.cpu_seconds),
+                 seconds_cell(m.wall_seconds + m.modeled_seconds),
+                 std::to_string(client.http().connections_opened())});
+    }
+    table.rule();
+    std::printf(
+        "\n%d PROPFIND depth=0 requests over the Table 1 corpus. The "
+        "paper observed reconnect-per-request running FASTER in its\n"
+        "environment and flagged it as an unexplained anomaly. Here the "
+        "two policies land within scheduling noise of each other in\n"
+        "wall time (reconnects occasionally win a run — the anomaly's "
+        "character), while the modeled column shows the real-link\n"
+        "verdict: 200 extra connection round trips make reconnecting "
+        "strictly slower at LAN latency.\n",
+        kRequests);
+  }
+
+  // --- daemon scaling --------------------------------------------------------
+  {
+    std::printf("\nDaemon-pool scaling (16 concurrent clients, %d requests "
+                "each, 4 KB GETs):\n\n",
+                50);
+    TablePrinter table({10, 12, 16});
+    table.row({"daemons", "wall", "requests/s"});
+    table.rule();
+    for (size_t daemons : {1, 2, 5, 8, 16}) {
+      DavStack stack(dbm::Flavor::kGdbm, daemons);
+      auto seeder = stack.client();
+      Rng rng(5);
+      if (!seeder.put("/doc", rng.ascii_blob(4096)).is_ok()) std::abort();
+      // Release the seeder's keep-alive connection: an idle connection
+      // pins a daemon until the 15 s keep-alive timeout (thread-per-
+      // connection head-of-line blocking, exactly as in Apache 1.3).
+      seeder.http().reset_connection();
+
+      constexpr int kClients = 16;
+      constexpr int kPerClient = 50;
+      auto m = measure(nullptr, [&] {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kClients; ++t) {
+          threads.emplace_back([&stack] {
+            auto client = stack.client();
+            for (int i = 0; i < kPerClient; ++i) {
+              auto body = client.get("/doc");
+              if (!body.ok()) std::abort();
+            }
+          });
+        }
+        for (auto& thread : threads) thread.join();
+      });
+      char rate[32];
+      std::snprintf(rate, sizeof rate, "%.0f",
+                    kClients * kPerClient / std::max(m.wall_seconds, 1e-9));
+      table.row({std::to_string(daemons), seconds_cell(m.wall_seconds),
+                 rate});
+    }
+    table.rule();
+    std::printf("\nThroughput should rise with the daemon count until "
+                "core saturation (the paper ran \"a minimum of 5 "
+                "daemons\").\n");
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Ablation B: SDBM vs GDBM engine behavior (§3.2.1).
+//
+// The paper: "SDBM imposes a 1-kilobyte size limit on individual
+// metadata values, has a default initial size of 8 KB and requires
+// fewer steps during the server build process. GDBM imposes no size
+// restrictions, has higher performance, requires a few more steps...
+// and has a default initial database size of 25 KB. With both
+// implementations, manual garbage collection utilities must be used to
+// reclaim space."
+#include <benchmark/benchmark.h>
+
+#include "dbm/dbm.h"
+#include "util/fs.h"
+#include "util/random.h"
+
+namespace davpse::dbm {
+namespace {
+
+void run_store(benchmark::State& state, Flavor flavor) {
+  const size_t value_bytes = static_cast<size_t>(state.range(0));
+  TempDir temp("dbmbench");
+  Rng rng(77);
+  std::string value = rng.ascii_blob(value_bytes);
+  int file_index = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = create_dbm(
+        temp.path() / ("db" + std::to_string(file_index++)), flavor);
+    if (!db.ok()) state.SkipWithError("create failed");
+    state.ResumeTiming();
+    for (int key = 0; key < 50; ++key) {
+      if (!db.value()->store("key" + std::to_string(key), value).is_ok()) {
+        state.SkipWithError("store failed");
+      }
+    }
+    if (!db.value()->sync().is_ok()) state.SkipWithError("sync failed");
+  }
+  state.counters["ops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 50,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SdbmStore50(benchmark::State& state) {
+  run_store(state, Flavor::kSdbm);
+}
+void BM_GdbmStore50(benchmark::State& state) {
+  run_store(state, Flavor::kGdbm);
+}
+// 1 KB: the Table 1 metadata size (SDBM's maximum).
+BENCHMARK(BM_SdbmStore50)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GdbmStore50)->Arg(128)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void run_fetch(benchmark::State& state, Flavor flavor) {
+  TempDir temp("dbmbench");
+  auto db = create_dbm(temp.path() / "db", flavor);
+  if (!db.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  Rng rng(78);
+  for (int key = 0; key < 50; ++key) {
+    if (!db.value()->store("key" + std::to_string(key),
+                           rng.ascii_blob(1024)).is_ok()) {
+      state.SkipWithError("store failed");
+      return;
+    }
+  }
+  int key = 0;
+  for (auto _ : state) {
+    auto value = db.value()->fetch("key" + std::to_string(key % 50));
+    if (!value.ok()) state.SkipWithError("fetch failed");
+    benchmark::DoNotOptimize(value);
+    ++key;
+  }
+}
+
+void BM_SdbmFetch(benchmark::State& state) { run_fetch(state, Flavor::kSdbm); }
+void BM_GdbmFetch(benchmark::State& state) { run_fetch(state, Flavor::kGdbm); }
+BENCHMARK(BM_SdbmFetch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GdbmFetch)->Unit(benchmark::kMicrosecond);
+
+/// The mod_dav access pattern Table 1 is built from: open the
+/// per-resource database, read a handful of values, close.
+void run_open_query_close(benchmark::State& state, Flavor flavor) {
+  TempDir temp("dbmbench");
+  {
+    auto db = create_dbm(temp.path() / "db", flavor);
+    if (!db.ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    Rng rng(79);
+    for (int key = 0; key < 50; ++key) {
+      if (!db.value()->store("key" + std::to_string(key),
+                             rng.ascii_blob(1024)).is_ok()) {
+        state.SkipWithError("store failed");
+        return;
+      }
+    }
+    if (!db.value()->sync().is_ok()) return;
+  }
+  for (auto _ : state) {
+    auto db = open_dbm(temp.path() / "db");
+    if (!db.ok()) state.SkipWithError("open failed");
+    for (int key = 0; key < 5; ++key) {
+      auto value = db.value()->fetch("key" + std::to_string(key));
+      benchmark::DoNotOptimize(value);
+    }
+  }
+}
+
+void BM_SdbmOpenQueryClose(benchmark::State& state) {
+  run_open_query_close(state, Flavor::kSdbm);
+}
+void BM_GdbmOpenQueryClose(benchmark::State& state) {
+  run_open_query_close(state, Flavor::kGdbm);
+}
+BENCHMARK(BM_SdbmOpenQueryClose)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GdbmOpenQueryClose)->Unit(benchmark::kMicrosecond);
+
+/// Manual garbage collection cost and benefit.
+void BM_GdbmCompact(benchmark::State& state) {
+  const int churn = static_cast<int>(state.range(0));
+  TempDir temp("dbmbench");
+  Rng rng(80);
+  int file_index = 0;
+  uint64_t reclaimed_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = create_dbm(
+        temp.path() / ("db" + std::to_string(file_index++)),
+        Flavor::kGdbm);
+    if (!db.ok()) state.SkipWithError("create failed");
+    for (int i = 0; i < churn; ++i) {
+      (void)db.value()->store("hot", rng.ascii_blob(1024));
+    }
+    uint64_t before = db.value()->file_size();
+    state.ResumeTiming();
+    if (!db.value()->compact().is_ok()) state.SkipWithError("compact failed");
+    state.PauseTiming();
+    reclaimed_total += before - db.value()->file_size();
+    state.ResumeTiming();
+  }
+  state.counters["reclaimed_kb_per_iter"] =
+      static_cast<double>(reclaimed_total) / 1024.0 /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_GdbmCompact)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace davpse::dbm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// §3.2.1 robustness reproduction: "metadata values as large as 100 MB
+// and documents as large as 200 MB were created repeatedly without
+// problems... as an initial (post-testing) value, we set a limit of
+// 10 MB per property."
+//
+// Defaults keep the run under a minute; DAVPSE_FULL=1 uses the paper's
+// full 100 MB / 200 MB sizes.
+#include <algorithm>
+
+#include "bench/common.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace davpse;
+  using namespace davpse::bench;
+  using davclient::PropWrite;
+
+  heading("Section 3.2.1: large-object robustness and the property cap");
+  const bool full = env_u64("DAVPSE_FULL", 0) != 0;
+  const size_t doc_mb = full ? 200 : 64;
+  const size_t prop_mb = full ? 100 : 24;
+  const int rounds = 3;
+  std::printf("Sizes: %zu MB documents, %zu MB property values, %d rounds "
+              "each (DAVPSE_FULL=1 for the paper's 200/100 MB).\n\n",
+              doc_mb, prop_mb, rounds);
+
+  // A stack whose property cap admits the large values; the default
+  // 10 MB cap is tested separately below.
+  TempDir temp("limitbench");
+  dav::DavConfig dav_config;
+  dav_config.root = temp.path();
+  dav_config.max_property_bytes = (prop_mb + 1) * 1024 * 1024;
+  dav::DavServer dav_server(dav_config);
+  http::ServerConfig http_config;
+  http_config.endpoint = unique_endpoint("bench-limits");
+  http_config.max_body_bytes = 0;
+  http::HttpServer server(http_config, &dav_server);
+  if (!server.start().is_ok()) std::abort();
+  http::ClientConfig client_config;
+  client_config.endpoint = http_config.endpoint;
+  davclient::DavClient client(client_config);
+
+  Rng rng(2718);
+  TablePrinter table({36, 12, 12, 10});
+  table.row({"operation", "wall", "cpu", "verify"});
+  table.rule();
+
+  // Repeated large documents.
+  std::string doc = rng.ascii_blob(doc_mb * 1024 * 1024);
+  for (int round = 1; round <= rounds; ++round) {
+    auto put = measure(nullptr, [&] {
+      if (!client.put("/big-doc", doc).is_ok()) std::abort();
+    });
+    auto body = client.get("/big-doc");
+    bool ok = body.ok() && body.value() == doc;
+    table.row({"PUT " + std::to_string(doc_mb) + " MB document, round " +
+                   std::to_string(round),
+               seconds_cell(put.wall_seconds), seconds_cell(put.cpu_seconds),
+               ok ? "ok" : "CORRUPT"});
+    if (!ok) std::abort();
+  }
+
+  // Repeated large property values (note the server-side double-copy
+  // the paper warns about: request body + extracted key/value pair).
+  const xml::QName big_prop("urn:bench", "huge");
+  std::string value = rng.ascii_blob(prop_mb * 1024 * 1024);
+  for (int round = 1; round <= rounds; ++round) {
+    auto patch = measure(nullptr, [&] {
+      if (!client.proppatch("/big-doc", {PropWrite::of_text(big_prop, value)})
+               .is_ok()) {
+        std::abort();
+      }
+    });
+    auto read_back = client.get_property("/big-doc", big_prop);
+    bool ok = read_back.ok() && read_back.value() == value;
+    table.row({"PROPPATCH " + std::to_string(prop_mb) +
+                   " MB property, round " + std::to_string(round),
+               seconds_cell(patch.wall_seconds),
+               seconds_cell(patch.cpu_seconds), ok ? "ok" : "CORRUPT"});
+    if (!ok) std::abort();
+  }
+  table.rule();
+
+  // The configured 10 MB default cap.
+  {
+    DavStack capped;  // default config: the paper's 10 MB limit
+    auto capped_client = capped.client();
+    if (!capped_client.put("/doc", "x").is_ok()) std::abort();
+    Status over = capped_client.proppatch(
+        "/doc",
+        {PropWrite::of_text(big_prop, std::string(11 * 1024 * 1024, 'v'))});
+    Status under = capped_client.proppatch(
+        "/doc",
+        {PropWrite::of_text(big_prop, std::string(9 * 1024 * 1024, 'v'))});
+    std::printf(
+        "\nDefault 10 MB property cap: 11 MB rejected (%s), 9 MB accepted "
+        "(%s)\n",
+        over.code() == ErrorCode::kTooLarge ? "yes" : "NO",
+        under.is_ok() ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nPaper: repeated 100 MB properties / 200 MB documents succeeded; "
+      "document size bounded only by the filesystem; cap configurable.\n");
+  return 0;
+}

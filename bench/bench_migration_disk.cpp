@@ -1,0 +1,197 @@
+// §3.2.4 reproduction: disk-space cost of migrating an OODB store into
+// per-resource DBM-backed DAV storage.
+//
+// The paper converted "two large databases, which contain a total of
+// 259 calculations represented by about 420,000 OODB objects with a
+// combined size (excluding raw data files) of 35 MB" and found disk
+// requirements grew "by about 10% when using mod_dav with SDBM and 25%
+// when using GDBM", attributing the bulk to the per-resource DBM files
+// with their 8 KB / 25 KB default initial sizes.
+//
+// Default corpus here is smaller (DAVPSE_CALCS=259 reproduces the full
+// count); the quantity that transfers across scales is the *ratio* of
+// GDBM overhead to SDBM overhead, which the initial-size ratio pins
+// near 25/8.
+#include "bench/common.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/migrate.h"
+#include "core/oodb_factory.h"
+#include "core/workload.h"
+#include "util/strings.h"
+
+namespace davpse::bench {
+namespace {
+
+using namespace davpse::ecce;
+
+struct FlavorResult {
+  const char* label;
+  uint64_t disk_bytes = 0;
+  double seconds = 0;
+};
+
+}  // namespace
+}  // namespace davpse::bench
+
+int main() {
+  using namespace davpse;
+  using namespace davpse::bench;
+  using namespace davpse::ecce;
+
+  heading("Section 3.2.4: OODB -> DAV migration disk usage");
+  const size_t calc_count = env_u64("DAVPSE_CALCS", 64);
+  const size_t projects = 2;  // "two large databases"
+  std::printf("Corpus: %zu small calculations across %zu projects "
+              "(DAVPSE_CALCS overrides; paper used 259).\n\n",
+              calc_count, projects);
+
+  // Build the legacy store.
+  oodb::Schema schema = ecce_oodb_schema();
+  OodbStack oodb_stack(ecce_oodb_schema());
+  auto oodb_client = oodb_stack.client(schema);
+  OodbCalculationFactory source(oodb_client.get());
+  if (!source.initialize().is_ok()) std::abort();
+  {
+    StopWatch watch;
+    for (size_t p = 0; p < projects; ++p) {
+      std::string project = "db" + std::to_string(p + 1);
+      if (!source.create_project(project).is_ok()) std::abort();
+      for (size_t c = p; c < calc_count; c += projects) {
+        if (!source
+                 .save_calculation(project,
+                                   make_small_calculation(
+                                       "calc" + std::to_string(c), c + 1))
+                 .is_ok()) {
+          std::abort();
+        }
+      }
+    }
+    for (const BasisSet& basis : make_basis_library(4)) {
+      if (!source.save_library_basis(basis).is_ok()) std::abort();
+    }
+    std::printf("Built legacy store in %.2f s\n", watch.elapsed_wall());
+  }
+  auto stats = oodb_client->stats();
+  if (!stats.ok()) std::abort();
+  uint64_t oodb_objects = stats.value().first;
+  uint64_t oodb_bytes = stats.value().second;
+  std::printf("OODB store: %llu objects, %s on disk "
+              "(paper: ~420,000 objects, 35 MB for 259 calcs)\n\n",
+              static_cast<unsigned long long>(oodb_objects),
+              format_bytes(oodb_bytes).c_str());
+
+  // Migrate into a DAV store per DBM flavor.
+  FlavorResult results[2] = {{"SDBM (8 KB initial, 1 KB cap)"},
+                             {"GDBM (25 KB initial, uncapped)"}};
+  dbm::Flavor flavors[2] = {dbm::Flavor::kSdbm, dbm::Flavor::kGdbm};
+  for (int i = 0; i < 2; ++i) {
+    DavStack stack(flavors[i]);
+    auto client = stack.client();
+    DavStorage storage(&client);
+    DavCalculationFactory dest(&storage);
+    Migrator migrator(&source, &dest, &storage);
+    StopWatch watch;
+    auto report = migrator.migrate_all();
+    if (!report.ok()) {
+      std::fprintf(stderr, "migration failed: %s\n",
+                   report.status().to_string().c_str());
+      std::abort();
+    }
+    results[i].seconds = watch.elapsed_wall();
+    results[i].disk_bytes = stack.dav->repository().disk_usage("/");
+  }
+
+  TablePrinter table({32, 14, 14, 12});
+  table.row({"store", "disk", "vs OODB", "migrate"});
+  table.rule();
+  table.row({"OODB (binary, hidden segments)", format_bytes(oodb_bytes),
+             "100%", "-"});
+  for (const FlavorResult& result : results) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%+.0f%%",
+                  100.0 * (static_cast<double>(result.disk_bytes) /
+                               static_cast<double>(oodb_bytes) -
+                           1.0));
+    table.row({result.label, format_bytes(result.disk_bytes), ratio,
+               seconds_cell(result.seconds)});
+  }
+  table.rule();
+
+  double sdbm_overhead =
+      static_cast<double>(results[0].disk_bytes) - oodb_bytes;
+  double gdbm_overhead =
+      static_cast<double>(results[1].disk_bytes) - oodb_bytes;
+  std::printf(
+      "\nPaper: +10%% (SDBM) and +25%% (GDBM) over the 35 MB OODB store.\n"
+      "Shape checks:\n"
+      "  - GDBM costs more disk than SDBM (initial sizes 25 KB vs 8 KB): "
+      "%s\n"
+      "  - overhead ratio GDBM/SDBM = %.2f (initial-size ratio predicts "
+      "~%.2f; paper's 25%%/10%% = 2.50)\n"
+      "  - absolute %% is corpus-dependent (the paper itself: \"For "
+      "studies on larger systems, the metadata databases will be a much "
+      "smaller percentage of the total space used\") — demonstrated "
+      "below.\n",
+      results[1].disk_bytes > results[0].disk_bytes ? "yes" : "NO",
+      gdbm_overhead / std::max(sdbm_overhead, 1.0), 25.0 / 8.0);
+
+  // --- system-size sweep: DBM overhead % vs output payload ---------------
+  std::printf("\nDBM overhead %% as system size grows (8 calculations, "
+              "one property of N KB per task):\n\n");
+  TablePrinter sweep({18, 14, 14, 14});
+  sweep.row({"property size", "data bytes", "SDBM overhead",
+             "GDBM overhead"});
+  sweep.rule();
+  for (size_t property_kb : {4, 64, 512, 2048}) {
+    // Fresh corpus with the requested payload per task.
+    std::vector<Calculation> corpus;
+    for (int c = 0; c < 8; ++c) {
+      Calculation calc = make_small_calculation(
+          "sweep" + std::to_string(c), 1000 + c);
+      for (CalcTask& task : calc.tasks) {
+        task.outputs.clear();
+        task.outputs.push_back(make_property(
+            "payload", "a.u.", property_kb * 1024, 2000 + c));
+      }
+      corpus.push_back(std::move(calc));
+    }
+    uint64_t disk[2] = {0, 0};
+    uint64_t data_bytes = 0;
+    for (int i = 0; i < 2; ++i) {
+      DavStack stack(flavors[i]);
+      auto client = stack.client();
+      DavStorage storage(&client);
+      DavCalculationFactory dest(&storage);
+      if (!dest.initialize().is_ok()) std::abort();
+      if (!dest.create_project("sweep").is_ok()) std::abort();
+      for (const Calculation& calc : corpus) {
+        if (!dest.save_calculation("sweep", calc).is_ok()) std::abort();
+      }
+      disk[i] = stack.dav->repository().disk_usage("/");
+      if (i == 0) {
+        // Data payload = documents only; measure via a flavor whose
+        // initial size is subtracted out by counting property DBMs.
+        data_bytes = 0;
+        for (const Calculation& calc : corpus) {
+          data_bytes += calc.output_bytes() + calc.molecule.atoms.size() * 48;
+          for (const CalcTask& task : calc.tasks) {
+            data_bytes += task.input_deck.size();
+          }
+        }
+      }
+    }
+    char sdbm_cell[32], gdbm_cell[32];
+    std::snprintf(sdbm_cell, sizeof sdbm_cell, "+%.0f%%",
+                  100.0 * (static_cast<double>(disk[0]) / data_bytes - 1.0));
+    std::snprintf(gdbm_cell, sizeof gdbm_cell, "+%.0f%%",
+                  100.0 * (static_cast<double>(disk[1]) / data_bytes - 1.0));
+    sweep.row({std::to_string(property_kb) + " KB",
+               format_bytes(data_bytes), sdbm_cell, gdbm_cell});
+  }
+  sweep.rule();
+  std::printf("\nAs payloads grow the fixed per-resource DBM allocation "
+              "amortizes away and the percentages fall toward (and past) "
+              "the paper's +10%%/+25%% operating point.\n");
+  return 0;
+}

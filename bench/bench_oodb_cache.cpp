@@ -1,0 +1,154 @@
+// Ablation D: does the cache-forward architecture help?
+//
+// The paper: "The typical workflow processes that a user performs
+// within Ecce did not derive significant benefit from the cache-forward
+// architecture of our OODB." Two access patterns make the point:
+//   - workflow-style: load each calculation once, move on (cold data,
+//     no reuse) — cache-forwarding just ships extra objects;
+//   - repeated-access: re-read the same working set — cache-forwarding
+//     pays off because neighbors arrive for free.
+#include "bench/common.h"
+#include "core/caching_storage.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/oodb_factory.h"
+#include "core/workload.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace davpse;
+  using namespace davpse::bench;
+  using namespace davpse::ecce;
+
+  heading("Ablation D: OODB cache-forward on vs off");
+  const size_t calc_count = env_u64("DAVPSE_D_CALCS", 24);
+
+  oodb::Schema schema = ecce_oodb_schema();
+  OodbStack stack(ecce_oodb_schema());
+  {
+    auto seeder_client = stack.client(schema);
+    OodbCalculationFactory seeder(seeder_client.get());
+    if (!seeder.initialize().is_ok()) std::abort();
+    if (!seeder.create_project("p").is_ok()) std::abort();
+    for (size_t c = 0; c < calc_count; ++c) {
+      if (!seeder
+               .save_calculation("p", make_small_calculation(
+                                          "calc" + std::to_string(c), c + 1))
+               .is_ok()) {
+        std::abort();
+      }
+    }
+  }
+  std::printf("Corpus: %zu small calculations in one OODB store.\n\n",
+              calc_count);
+
+  TablePrinter table({34, 14, 12, 14, 12, 12, 12});
+  table.row({"pattern", "cache-forward", "wall", "modeled(150M)", "wire",
+             "seg-fetch", "obj-fetch"});
+  table.rule();
+
+  for (bool cache_forward : {true, false}) {
+    // Workflow-style: each calculation visited once.
+    {
+      auto client = stack.client(schema, cache_forward);
+      net::NetworkModel model(net::LinkProfile::paper_lan());
+      client->set_network_model(&model);
+      OodbCalculationFactory factory(client.get());
+      if (!factory.initialize().is_ok()) std::abort();
+      auto m = measure(&model, [&] {
+        for (size_t c = 0; c < calc_count; ++c) {
+          auto loaded = factory.load_calculation(
+              "p", "calc" + std::to_string(c), LoadParts::all());
+          if (!loaded.ok()) std::abort();
+        }
+      });
+      table.row({"workflow (each calc once)",
+                 cache_forward ? "on" : "off", seconds_cell(m.wall_seconds),
+                 seconds_cell(m.wall_seconds + m.modeled_seconds),
+                 format_bytes(model.bytes()),
+                 std::to_string(client->segment_fetches()),
+                 std::to_string(client->object_fetches())});
+    }
+    // Repeated-access: one calculation re-read many times with cache
+    // invalidation only at the start.
+    {
+      auto client = stack.client(schema, cache_forward);
+      net::NetworkModel model(net::LinkProfile::paper_lan());
+      client->set_network_model(&model);
+      OodbCalculationFactory factory(client.get());
+      if (!factory.initialize().is_ok()) std::abort();
+      auto m = measure(&model, [&] {
+        for (int round = 0; round < 20; ++round) {
+          auto loaded =
+              factory.load_calculation("p", "calc0", LoadParts::all());
+          if (!loaded.ok()) std::abort();
+        }
+      });
+      table.row({"repeated (one calc x20, warm)",
+                 cache_forward ? "on" : "off", seconds_cell(m.wall_seconds),
+                 seconds_cell(m.wall_seconds + m.modeled_seconds),
+                 format_bytes(model.bytes()),
+                 std::to_string(client->segment_fetches()),
+                 std::to_string(client->object_fetches())});
+    }
+  }
+  table.rule();
+  std::printf(
+      "\nReading: in the workflow pattern the cache sees no reuse — the "
+      "paper's observation that Ecce's typical usage gained little from "
+      "cache-forwarding.\nSegment fetches move whole cohorts "
+      "(%llu objects each), object fetches move one object per round "
+      "trip; with everything cached after the first read, both modes "
+      "flatten in the repeated pattern.\n",
+      static_cast<unsigned long long>(oodb::kSegmentCapacity));
+
+  // --- the DAV-side counterpart: the Figure 2 client cache ----------------
+  // "it would be relatively straight forward to add a cache to the
+  // layered client architecture" — measured: repeated Calc Viewer
+  // loads with and without the ETag-validated document cache.
+  std::printf("\nDAV layered-client cache (CachingDavStorage), repeated "
+              "Calc Viewer loads of the UO2-15H2O calculation:\n\n");
+  DavStack dav_stack;
+  {
+    auto seed_client = dav_stack.client();
+    DavStorage storage(&seed_client);
+    DavCalculationFactory factory(&storage);
+    if (!factory.initialize().is_ok()) std::abort();
+    if (!factory.create_project("p").is_ok()) std::abort();
+    if (!factory.save_calculation("p", make_uo2_calculation()).is_ok()) {
+      std::abort();
+    }
+  }
+  TablePrinter dav_table({26, 12, 14, 12});
+  dav_table.row({"storage", "wall(x10)", "modeled(150M)", "wire"});
+  dav_table.rule();
+  for (bool cached : {false, true}) {
+    auto client = dav_stack.client();
+    net::NetworkModel model(net::LinkProfile::paper_lan());
+    client.set_network_model(&model);
+    std::unique_ptr<DataStorageInterface> storage;
+    if (cached) {
+      storage = std::make_unique<CachingDavStorage>(&client);
+    } else {
+      storage = std::make_unique<DavStorage>(&client);
+    }
+    DavCalculationFactory factory(storage.get());
+    if (!factory.initialize().is_ok()) std::abort();
+    auto m = measure(&model, [&] {
+      for (int round = 0; round < 10; ++round) {
+        auto loaded = factory.load_calculation("p", "uo2-15h2o-dft",
+                                               LoadParts::all());
+        if (!loaded.ok()) std::abort();
+      }
+    });
+    dav_table.row({cached ? "ETag-validated cache" : "plain (no cache)",
+                   seconds_cell(m.wall_seconds),
+                   seconds_cell(m.wall_seconds + m.modeled_seconds),
+                   format_bytes(model.bytes())});
+  }
+  dav_table.rule();
+  std::printf("\nThe cache turns 9 of 10 document transfers into 304 "
+              "revalidations — bytes collapse while correctness is kept "
+              "by the validator.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Table 1 reproduction: "Performance results of typical PSE operations
+// — elapsed and CPU time".
+//
+// Workload (verbatim from §3.2.1): "we created 50 documents, each with
+// 50 metadata of 1 KB in size and performed operations to query for
+// selected data, traverse the data, copy it, and remove it."
+//
+// Six columns, as in the paper:
+//   (a) Get all metadata on a single document, depth=0
+//   (b) Get 5 selected metadata on a single document, depth=0
+//   (c) Get 5 of 50 metadata on 50 objects with one depth=1 PROPFIND
+//   (d) Get 5 of 50 metadata on 50 objects — one PROPFIND at a time
+//   (e) COPY the 50-document hierarchy (~4.5 MB with metadata)
+//   (f) DELETE the copied hierarchy
+//
+// The client parses responses with the DOM strategy, matching the
+// paper's Xerces-DOM client whose cost dominated columns (c) and (d).
+#include <algorithm>
+
+#include "bench/common.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace davpse::bench {
+namespace {
+
+using davclient::DavClient;
+using davclient::Depth;
+using davclient::PropWrite;
+
+constexpr int kDocuments = 50;
+constexpr int kPropsPerDoc = 50;
+constexpr int kPropBytes = 1024;
+constexpr int kSelected = 5;
+
+xml::QName prop_name(int index) {
+  return xml::QName("http://purl.pnl.gov/ecce",
+                    "meta" + std::to_string(index));
+}
+
+std::vector<xml::QName> selected_names() {
+  std::vector<xml::QName> names;
+  for (int i = 0; i < kSelected; ++i) names.push_back(prop_name(i));
+  return names;
+}
+
+void build_corpus(DavClient& client) {
+  Rng rng(2001);
+  Status status = client.mkcol("/corpus");
+  if (!status.is_ok()) std::abort();
+  for (int d = 0; d < kDocuments; ++d) {
+    std::string path = "/corpus/doc" + std::to_string(d);
+    if (!client.put(path, "document body " + std::to_string(d)).is_ok()) {
+      std::abort();
+    }
+    std::vector<PropWrite> writes;
+    writes.reserve(kPropsPerDoc);
+    for (int p = 0; p < kPropsPerDoc; ++p) {
+      writes.push_back(
+          PropWrite::of_text(prop_name(p), rng.ascii_blob(kPropBytes)));
+    }
+    if (!client.proppatch(path, writes).is_ok()) std::abort();
+  }
+}
+
+struct PaperRow {
+  const char* label;
+  double paper_elapsed;
+  double paper_cpu;
+};
+
+}  // namespace
+}  // namespace davpse::bench
+
+int main() {
+  using namespace davpse;
+  using namespace davpse::bench;
+
+  heading(
+      "Table 1: typical PSE metadata operations (50 docs x 50 x 1 KB "
+      "metadata)");
+  std::printf(
+      "Paper testbed: Sun Enterprise 450, 150 Mbit/s LAN, Apache 1.3.11 + "
+      "mod_dav 1.1 + GDBM, Xerces DOM client.\n"
+      "This run: in-memory transport; 'modeled' adds the 150 Mbit/s link "
+      "cost computed from measured bytes and round trips.\n\n");
+
+  DavStack stack(dbm::Flavor::kGdbm);
+  auto client = stack.client(davclient::ParserKind::kDom);
+  net::NetworkModel model(net::LinkProfile::paper_lan());
+
+  build_corpus(client);
+  client.set_network_model(&model);
+
+  const auto names = selected_names();
+  Measurement results[6];
+
+  // (a) all metadata on one document, depth 0.
+  results[0] = measure(&model, [&] {
+    auto r = client.propfind_all("/corpus/doc0", Depth::kZero);
+    if (!r.ok() || r.value().responses.size() != 1) std::abort();
+  });
+
+  // (b) 5 selected metadata on one document, depth 0.
+  results[1] = measure(&model, [&] {
+    auto r = client.propfind("/corpus/doc0", Depth::kZero, names);
+    if (!r.ok() || r.value().responses.front().found.size() != 5) std::abort();
+  });
+
+  // (c) 5 of 50 metadata on 50 objects via one depth=1 PROPFIND.
+  results[2] = measure(&model, [&] {
+    auto r = client.propfind("/corpus", Depth::kOne, names);
+    if (!r.ok() || r.value().responses.size() != kDocuments + 1) std::abort();
+  });
+
+  // (d) 5 of 50 metadata on 50 objects, one document at a time.
+  results[3] = measure(&model, [&] {
+    for (int d = 0; d < kDocuments; ++d) {
+      auto r = client.propfind("/corpus/doc" + std::to_string(d),
+                               Depth::kZero, names);
+      if (!r.ok()) std::abort();
+    }
+  });
+
+  // (e) COPY the hierarchy (server-side).
+  results[4] = measure(&model, [&] {
+    if (!client.copy("/corpus", "/corpus-copy").is_ok()) std::abort();
+  });
+
+  // (f) DELETE the copy.
+  results[5] = measure(&model, [&] {
+    if (!client.remove("/corpus-copy").is_ok()) std::abort();
+  });
+
+  static const PaperRow kPaper[6] = {
+      {"(a) get all metadata, 1 doc, depth=0", 0.068, 0.04},
+      {"(b) get 5 metadata, 1 doc, depth=0", 0.055, 0.03},
+      {"(c) get 5 metadata, 50 docs, depth=1", 2.732, 2.04},
+      {"(d) get 5 metadata, 50 docs, one-by-one", 3.032, 1.93},
+      {"(e) copy hierarchy (50 docs, ~4.5 MB)", 3.482, 0.14},
+      {"(f) remove hierarchy", 1.782, 0.01},
+  };
+
+  TablePrinter table({42, 12, 12, 12, 12, 12});
+  table.row({"operation", "elapsed", "cpu", "modeled", "paper-elap",
+             "paper-cpu"});
+  table.rule();
+  for (int i = 0; i < 6; ++i) {
+    table.row({kPaper[i].label, seconds_cell(results[i].wall_seconds),
+               seconds_cell(results[i].cpu_seconds),
+               seconds_cell(results[i].wall_seconds +
+                            results[i].modeled_seconds),
+               seconds_cell(kPaper[i].paper_elapsed),
+               seconds_cell(kPaper[i].paper_cpu)});
+  }
+  table.rule();
+  std::printf(
+      "\nShape checks (paper claims):\n"
+      "  - single-object metadata ops (a,b) are far cheaper than bulk ops "
+      "(c,d): %s\n"
+      "  - one depth=1 PROPFIND (c) beats 50 individual requests (d): %s\n"
+      "  - bulk metadata cost is dominated by client-side DOM processing "
+      "(cpu/elapsed for c): %.0f%% (paper: ~75%%)\n"
+      "  - server-side copy (e) spends almost no client CPU: %.0f%% "
+      "(paper: ~4%%)\n",
+      (results[0].wall_seconds < results[2].wall_seconds &&
+       results[1].wall_seconds < results[3].wall_seconds)
+          ? "yes"
+          : "NO",
+      results[2].wall_seconds + results[2].modeled_seconds <
+              results[3].wall_seconds + results[3].modeled_seconds
+          ? "yes"
+          : "NO",
+      100.0 * results[2].cpu_seconds /
+          std::max(results[2].wall_seconds, 1e-9),
+      100.0 * results[4].cpu_seconds /
+          std::max(results[4].wall_seconds, 1e-9));
+  return 0;
+}

@@ -1,0 +1,262 @@
+// Table 3 reproduction: "Ecce 1.5 vs Ecce 2.0 beta Performance Summary
+// for Ecce Tools".
+//
+// Six tool kernels (Builder, Basis Tool, Calc Editor, Calc Viewer,
+// Calc Manager, Job Launcher) run the same workload against both data
+// architectures:
+//   Ecce 1.5 — the OODB baseline (cache-forward client, schema
+//              handshake, object faulting),
+//   Ecce 2.0 — the DAV architecture of this paper.
+// The workload is the paper's: a UO2·15H2O calculation (50 atoms,
+// output properties up to 1.8 MB) plus a shared basis-set library.
+//
+// "Size (res)" proxy: bytes of model data the tool holds after
+// start+load, plus (for the OODB) the cache-forward client cache —
+// the architectural component of resident size. Binary/library size
+// is identical across both architectures here and excluded.
+#include "bench/common.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/oodb_factory.h"
+#include "core/tools.h"
+#include "core/workload.h"
+#include "util/strings.h"
+
+namespace davpse::bench {
+namespace {
+
+using namespace davpse::ecce;
+
+constexpr const char* kProject = "benchmarks";
+
+struct ToolResult {
+  std::string name;
+  double cold_start = 0;   // wall + modeled link time
+  double warm_start = 0;
+  double load = 0;
+  uint64_t start_bytes = 0;  // wire bytes moved during cold start
+  uint64_t load_bytes = 0;   // wire bytes moved during load
+  size_t resident = 0;
+};
+
+struct PaperNumbers {
+  const char* tool;
+  double v15_cold, v15_warm, v15_load;  // Ecce 1.5
+  double v20_start, v20_load;           // Ecce 2.0
+};
+
+// Values transcribed from Table 3 (NA -> 0).
+constexpr PaperNumbers kPaper[6] = {
+    {"Builder", 1.6, 1.2, 0.5, 1.1, 0.1},
+    {"BasisTool", 5.0, 4.6, 2.14, 1.0, 0.2},
+    {"Calc Editor", 2.4, 2.2, 7.6, 1.0, 0.9},
+    {"Calc Viewer", 1.5, 1.1, 4.4, 0.9, 2.2},
+    {"Calc Manager", 2.8, 2.7, 0.0, 2.0, 0.0},
+    {"Job Launcher", 0.9, 0.8, 0.95, 0.42, 0.48},
+};
+
+void populate(CalculationFactory& factory, const Calculation& calc,
+              size_t library_size) {
+  if (!factory.initialize().is_ok()) std::abort();
+  if (!factory.create_project(kProject).is_ok()) std::abort();
+  if (!factory.save_calculation(kProject, calc).is_ok()) std::abort();
+  for (const BasisSet& basis : make_basis_library(library_size)) {
+    if (!factory.save_library_basis(basis).is_ok()) std::abort();
+  }
+}
+
+/// Runs the six kernels against `make_factory()`; each tool gets a
+/// fresh factory+session for its cold start, then a second start on
+/// the same session for the warm number.
+/// Times include the modeled 150 Mbit/s link cost computed from the
+/// bytes and round trips each architecture actually moved — on a real
+/// LAN that traffic is where the architectures differ (cache-forward
+/// over-fetch and per-object chattiness vs DAV's selective fetches).
+template <typename MakeFactory, typename ResidentExtra>
+std::vector<ToolResult> run_tools(MakeFactory&& make_factory,
+                                  ResidentExtra&& resident_extra,
+                                  const std::string& calc_name) {
+  std::vector<ToolResult> results;
+  for (int tool_index = 0; tool_index < 6; ++tool_index) {
+    auto session = make_factory();  // owns factory + connections
+    net::NetworkModel model(net::LinkProfile::paper_lan());
+    session->attach_model(&model);
+    auto tools = make_all_tools(session->factory());
+    ToolKernel& tool = *tools[tool_index];
+
+    ToolResult result;
+    result.name = tool.name();
+    {
+      Measurement m = measure(&model, [&] {
+        if (!tool.start().is_ok()) std::abort();
+      });
+      result.cold_start = m.wall_seconds + m.modeled_seconds;
+      result.start_bytes = model.bytes();
+    }
+
+    // Warm start: a second kernel instance over the already-warm
+    // session (caches populated, connections up).
+    auto warm_tools = make_all_tools(session->factory());
+    {
+      Measurement m = measure(&model, [&] {
+        if (!warm_tools[tool_index]->start().is_ok()) std::abort();
+      });
+      result.warm_start = m.wall_seconds + m.modeled_seconds;
+    }
+
+    {
+      Measurement m = measure(&model, [&] {
+        if (!tool.load(kProject, calc_name).is_ok()) std::abort();
+      });
+      result.load = m.wall_seconds + m.modeled_seconds;
+      result.load_bytes = model.bytes();
+    }
+    result.resident = tool.resident_bytes() + resident_extra(*session);
+    results.push_back(result);
+  }
+  return results;
+}
+
+struct DavSession {
+  explicit DavSession(const std::string& endpoint) {
+    http::ClientConfig config;
+    config.endpoint = endpoint;
+    client = std::make_unique<davclient::DavClient>(config);
+    storage = std::make_unique<DavStorage>(client.get());
+    factory_impl = std::make_unique<DavCalculationFactory>(storage.get());
+  }
+  CalculationFactory* factory() { return factory_impl.get(); }
+  void attach_model(net::NetworkModel* model) {
+    client->set_network_model(model);
+  }
+  std::unique_ptr<davclient::DavClient> client;
+  std::unique_ptr<DavStorage> storage;
+  std::unique_ptr<DavCalculationFactory> factory_impl;
+};
+
+struct OodbSession {
+  OodbSession(const std::string& endpoint, const oodb::Schema& schema) {
+    oodb::OodbClientConfig config;
+    config.endpoint = endpoint;
+    config.cache_forward = true;
+    client = std::make_unique<oodb::OodbClient>(config, schema);
+    factory_impl = std::make_unique<OodbCalculationFactory>(client.get());
+  }
+  CalculationFactory* factory() { return factory_impl.get(); }
+  void attach_model(net::NetworkModel* model) {
+    client->set_network_model(model);
+  }
+  std::unique_ptr<oodb::OodbClient> client;
+  std::unique_ptr<OodbCalculationFactory> factory_impl;
+};
+
+void print_results(const char* title,
+                   const std::vector<ToolResult>& results,
+                   bool is_v15) {
+  std::printf("\n%s\n(times = wall + modeled 150 Mbit/s link cost)\n",
+              title);
+  TablePrinter table({14, 12, 12, 12, 11, 11, 10, 12, 12});
+  table.row({"tool", "cold-start", "warm-start", "load(UO2)", "start-wire",
+             "load-wire", "resident",
+             is_v15 ? "paper-cold" : "paper-start", "paper-load"});
+  table.rule();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ToolResult& r = results[i];
+    double paper_start = is_v15 ? kPaper[i].v15_cold : kPaper[i].v20_start;
+    double paper_load = is_v15 ? kPaper[i].v15_load : kPaper[i].v20_load;
+    table.row({r.name, seconds_cell(r.cold_start),
+               seconds_cell(r.warm_start), seconds_cell(r.load),
+               format_bytes(r.start_bytes), format_bytes(r.load_bytes),
+               format_bytes(r.resident), seconds_cell(paper_start),
+               paper_load > 0 ? seconds_cell(paper_load)
+                              : std::string("NA")});
+  }
+  table.rule();
+}
+
+}  // namespace
+}  // namespace davpse::bench
+
+int main() {
+  using namespace davpse;
+  using namespace davpse::bench;
+  using namespace davpse::ecce;
+
+  heading("Table 3: Ecce 1.5 (OODB) vs Ecce 2.0 (DAV) tool performance");
+  const size_t library_size = env_u64("DAVPSE_T3_LIBRARY", 12);
+  Calculation calc = make_uo2_calculation();
+  std::printf(
+      "Workload: UO2-15H2O (%zu atoms), %zu tasks, largest property "
+      "%.1f KB; basis library of %zu sets.\n",
+      calc.molecule.atoms.size(), calc.tasks.size(), 1800.0, library_size);
+
+  // --- Ecce 1.5: OODB ------------------------------------------------------
+  oodb::Schema schema = ecce_oodb_schema();
+  OodbStack oodb_stack(ecce_oodb_schema());
+  {
+    OodbSession seeder(oodb_stack.endpoint, schema);
+    populate(*seeder.factory(), calc, library_size);
+  }
+  auto v15 = run_tools(
+      [&] { return std::make_unique<OodbSession>(oodb_stack.endpoint, schema); },
+      [](OodbSession& session) { return session.client->cached_bytes(); },
+      calc.name);
+  print_results("Ecce 1.5 (OODB baseline, cache-forward client):", v15,
+                /*is_v15=*/true);
+
+  // --- Ecce 2.0: DAV -------------------------------------------------------
+  DavStack dav_stack;
+  {
+    DavSession seeder(dav_stack.server->endpoint());
+    populate(*seeder.factory(), calc, library_size);
+  }
+  auto v20 = run_tools(
+      [&] {
+        return std::make_unique<DavSession>(dav_stack.server->endpoint());
+      },
+      [](DavSession&) { return size_t{0}; }, calc.name);
+  print_results("Ecce 2.0 (DAV architecture):", v20, /*is_v15=*/false);
+
+  // --- shape checks ---------------------------------------------------------
+  // Session cost = cold start + load. The cache-forward client front-
+  // loads data movement into its start, so comparing loads alone would
+  // credit the OODB for bytes it already shipped.
+  int dav_session_wins = 0;
+  int dav_start_wins = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    if (v20[i].cold_start + v20[i].load <=
+        (v15[i].cold_start + v15[i].load) * 1.10) {
+      ++dav_session_wins;
+    }
+    if (v20[i].cold_start <= v15[i].cold_start * 1.10) ++dav_start_wins;
+  }
+  double v15_resident = 0, v20_resident = 0;
+  uint64_t v15_wire = 0, v20_wire = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    v15_resident += static_cast<double>(v15[i].resident);
+    v20_resident += static_cast<double>(v20[i].resident);
+    v15_wire += v15[i].start_bytes + v15[i].load_bytes;
+    v20_wire += v20[i].start_bytes + v20[i].load_bytes;
+  }
+  std::printf(
+      "\nShape checks (paper claims):\n"
+      "  - \"overall performance actually improved\": DAV start+load <= "
+      "OODB start+load (within 10%%) for %d/6 tools; starts alone %d/6\n"
+      "  - BasisTool session much faster under DAV (paper 5.0 s -> "
+      "1.0 s): OODB %.3f s vs DAV %.3f s -> %s\n"
+      "  - resident data footprint is smaller under DAV (paper: every "
+      "tool shrank): %.1f KB (OODB, incl. cache-forward cache) vs %.1f KB "
+      "(DAV) -> %s\n"
+      "  - selective access moves fewer wire bytes overall: OODB %s vs "
+      "DAV %s -> %s (cache-forward over-fetch)\n",
+      dav_session_wins, dav_start_wins,
+      v15[1].cold_start + v15[1].load, v20[1].cold_start + v20[1].load,
+      v15[1].cold_start + v15[1].load > v20[1].cold_start + v20[1].load
+          ? "yes"
+          : "NO",
+      v15_resident / 1024.0, v20_resident / 1024.0,
+      v15_resident > v20_resident ? "yes" : "NO",
+      format_bytes(v15_wire).c_str(), format_bytes(v20_wire).c_str(),
+      v15_wire > v20_wire ? "yes" : "NO");
+  return 0;
+}

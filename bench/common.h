@@ -1,0 +1,158 @@
+// Shared infrastructure for the table-reproduction benches: in-process
+// DAV/OODB stacks, elapsed+CPU timing (Table 1 reports both), modeled
+// network time (DESIGN.md), and aligned table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dav/server.h"
+#include "davclient/client.h"
+#include "http/server.h"
+#include "net/network_model.h"
+#include "oodb/client.h"
+#include "oodb/server.h"
+#include "util/clock.h"
+#include "util/fs.h"
+
+namespace davpse::bench {
+
+inline std::string unique_endpoint(const std::string& prefix) {
+  static int counter = 0;
+  return prefix + "-" + std::to_string(counter++);
+}
+
+/// Environment-variable knob with a default (e.g. DAVPSE_CALCS=259).
+inline uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
+struct DavStack {
+  explicit DavStack(dbm::Flavor flavor = dbm::Flavor::kGdbm,
+                    size_t daemons = 5)
+      : temp("davbench") {
+    dav::DavConfig dav_config;
+    dav_config.root = temp.path();
+    dav_config.flavor = flavor;
+    dav = std::make_unique<dav::DavServer>(dav_config);
+    http::ServerConfig http_config;
+    http_config.endpoint = unique_endpoint("bench-dav");
+    http_config.daemons = daemons;
+    server = std::make_unique<http::HttpServer>(http_config, dav.get());
+    Status status = server->start();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "DavStack start failed: %s\n",
+                   status.to_string().c_str());
+      std::abort();
+    }
+  }
+
+  davclient::DavClient client(
+      davclient::ParserKind parser = davclient::ParserKind::kDom,
+      http::ConnectionPolicy policy = http::ConnectionPolicy::kPersistent) {
+    http::ClientConfig config;
+    config.endpoint = server->endpoint();
+    config.policy = policy;
+    return davclient::DavClient(config, parser);
+  }
+
+  TempDir temp;
+  std::unique_ptr<dav::DavServer> dav;
+  std::unique_ptr<http::HttpServer> server;
+};
+
+struct OodbStack {
+  explicit OodbStack(oodb::Schema schema)
+      : temp("oodbbench"), endpoint(unique_endpoint("bench-oodb")) {
+    oodb::OodbServerConfig config;
+    config.endpoint = endpoint;
+    config.store_file = temp.path() / "store.oodb";
+    server = std::make_unique<oodb::OodbServer>(
+        config, std::make_unique<oodb::SegmentStore>(std::move(schema)));
+    Status status = server->start();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "OodbStack start failed: %s\n",
+                   status.to_string().c_str());
+      std::abort();
+    }
+  }
+
+  std::unique_ptr<oodb::OodbClient> client(const oodb::Schema& schema,
+                                           bool cache_forward = true) {
+    oodb::OodbClientConfig config;
+    config.endpoint = endpoint;
+    config.cache_forward = cache_forward;
+    return std::make_unique<oodb::OodbClient>(config, schema);
+  }
+
+  TempDir temp;
+  std::string endpoint;
+  std::unique_ptr<oodb::OodbServer> server;
+};
+
+/// One measured operation: wall time, calling-thread CPU time, and
+/// (when a NetworkModel was attached) modeled link time.
+struct Measurement {
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  double modeled_seconds = 0;
+};
+
+/// Times `operation` once, splitting elapsed vs CPU the way Table 1
+/// does. If `model` is non-null it is reset first and its modeled time
+/// captured after.
+template <typename Fn>
+Measurement measure(net::NetworkModel* model, Fn&& operation) {
+  if (model != nullptr) model->reset();
+  StopWatch watch;
+  operation();
+  Measurement m;
+  m.wall_seconds = watch.elapsed_wall();
+  m.cpu_seconds = watch.elapsed_cpu();
+  if (model != nullptr) m.modeled_seconds = model->modeled_seconds();
+  return m;
+}
+
+/// Fixed-width table printer for paper-style output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void row(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      int width = i < widths_.size() ? widths_[i] : 12;
+      char buf[256];
+      std::snprintf(buf, sizeof buf, "%-*s", width, cells[i].c_str());
+      line += buf;
+      line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  void rule() const {
+    size_t total = 0;
+    for (int width : widths_) total += static_cast<size_t>(width) + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string seconds_cell(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  return buf;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace davpse::bench

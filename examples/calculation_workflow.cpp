@@ -1,0 +1,163 @@
+// A full Ecce-style research session over the DAV data architecture:
+// create a project, build the UO2·15H2O molecule, pick basis sets, set
+// up a calculation, "run" its compute job with live status monitoring,
+// attach the outputs, and do post-run analysis — the workflow the six
+// Ecce tools divide between themselves.
+//
+//   $ ./examples/calculation_workflow
+#include <cstdio>
+
+#include "dav/server.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/tools.h"
+#include "core/workload.h"
+#include "http/server.h"
+#include "util/fs.h"
+
+using namespace davpse;
+using namespace davpse::ecce;
+
+namespace {
+
+bool check(const Status& status, const char* step) {
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", step,
+                 status.to_string().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  // Data server (Figure 2: tools -> factory -> storage iface -> DAV).
+  TempDir repo_dir("workflow");
+  dav::DavConfig dav_config;
+  dav_config.root = repo_dir.path();
+  dav::DavServer dav_server(dav_config);
+  http::ServerConfig http_config;
+  http_config.endpoint = "workflow-server";
+  http::HttpServer http_server(http_config, &dav_server);
+  if (!check(http_server.start(), "server start")) return 1;
+
+  http::ClientConfig client_config;
+  client_config.endpoint = http_config.endpoint;
+  davclient::DavClient client(client_config);
+  DavStorage storage(&client);
+  DavCalculationFactory factory(&storage);
+  if (!check(factory.initialize(), "factory init")) return 1;
+
+  // --- project setup (Calc Manager's job) -------------------------------
+  if (!check(factory.create_project("actinide-hydration"), "project")) {
+    return 1;
+  }
+  std::printf("project 'actinide-hydration' created\n");
+
+  // --- build the study subject (Builder's job) --------------------------
+  Calculation calc;
+  calc.name = "uo2-solvation";
+  calc.description = "uranyl dication in a 15-water shell";
+  calc.theory = TheoryLevel::kDFT;
+  calc.molecule = make_uo2_15h2o();
+  std::printf("built molecule %s: %zu atoms, formula %s, charge %+d\n",
+              calc.molecule.name.c_str(), calc.molecule.atoms.size(),
+              calc.molecule.empirical_formula().c_str(),
+              calc.molecule.charge);
+
+  // --- choose basis sets (Basis Tool's job) -------------------------------
+  for (const BasisSet& basis : make_basis_library(6)) {
+    if (!check(factory.save_library_basis(basis), "library save")) return 1;
+  }
+  auto available = factory.list_library_bases();
+  if (!available.ok()) return 1;
+  std::printf("basis library: %zu sets available\n",
+              available.value().size());
+  auto chosen = factory.load_library_basis(available.value().front());
+  if (!chosen.ok()) return 1;
+  calc.basis = chosen.value();
+  std::printf("selected basis set '%s' (%zu shells)\n",
+              calc.basis.name.c_str(), calc.basis.shells.size());
+
+  // --- set up tasks and input decks (Calc Editor's job) ------------------
+  CalcTask optimize;
+  optimize.name = "task-1";
+  optimize.kind = TaskKind::kGeometryOptimization;
+  CalcTask frequency;
+  frequency.name = "task-2";
+  frequency.kind = TaskKind::kFrequency;
+  calc.tasks = {optimize, frequency};
+  for (CalcTask& task : calc.tasks) {
+    task.input_deck = generate_input_deck(calc, task);
+  }
+  if (!check(factory.save_calculation("actinide-hydration", calc),
+             "save calculation")) {
+    return 1;
+  }
+  std::printf("calculation saved with %zu tasks (input decks generated)\n",
+              calc.tasks.size());
+
+  // --- launch and monitor jobs (Job Launcher's job) -----------------------
+  for (const CalcTask& task : calc.tasks) {
+    for (RunState state : {RunState::kSubmitted, RunState::kRunning,
+                           RunState::kComplete}) {
+      if (!check(factory.update_task_state("actinide-hydration", calc.name,
+                                           task.name, state),
+                 "state update")) {
+        return 1;
+      }
+      std::printf("  %s -> %s\n", task.name.c_str(),
+                  std::string(to_string(state)).c_str());
+    }
+    // The "job" produces output properties as it completes.
+    if (task.kind == TaskKind::kGeometryOptimization) {
+      if (!check(factory.attach_output(
+                     "actinide-hydration", calc.name, task.name,
+                     make_property("gradient", "Hartree/Bohr", 36 * 1024, 1)),
+                 "attach gradient")) {
+        return 1;
+      }
+    } else {
+      if (!check(factory.attach_output(
+                     "actinide-hydration", calc.name, task.name,
+                     make_property("normal-modes", "Angstrom",
+                                   1800 * 1024, 2)),
+                 "attach modes")) {
+        return 1;
+      }
+    }
+  }
+  std::printf("jobs complete, outputs attached\n");
+
+  // --- post-run analysis (Calc Viewer's job) ------------------------------
+  CalcViewerTool viewer(&factory);
+  if (!check(viewer.start(), "viewer start")) return 1;
+  if (!check(viewer.load("actinide-hydration", calc.name), "viewer load")) {
+    return 1;
+  }
+  const Calculation& loaded = viewer.calculation();
+  std::printf("\nviewer loaded '%s': %zu tasks, %zu output properties, "
+              "%.1f KB of result data\n",
+              loaded.name.c_str(), loaded.tasks.size(),
+              loaded.tasks.size() < 2
+                  ? size_t{0}
+                  : loaded.tasks[0].outputs.size() +
+                        loaded.tasks[1].outputs.size(),
+              loaded.output_bytes() / 1024.0);
+
+  // --- project overview (Calc Manager again) ------------------------------
+  CalcManagerTool manager(&factory);
+  if (!check(manager.start(), "manager start")) return 1;
+  if (!check(manager.load_project("actinide-hydration"), "summary")) return 1;
+  std::printf("\nproject summary:\n");
+  for (const CalcSummary& row : manager.summaries()) {
+    std::printf("  %-16s %-5s %-9s %s\n", row.name.c_str(),
+                std::string(to_string(row.theory)).c_str(),
+                std::string(to_string(row.state)).c_str(),
+                row.formula.c_str());
+  }
+
+  std::printf("\nworkflow complete\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// "Web and DAV browsers become debugging tools": walk an Ecce store
+// like a DAV explorer, printing the hierarchy with every resource's
+// metadata — the paper's point that the open architecture makes all
+// data inspectable with generic clients, subject to the same access
+// controls ("surf the Ecce database").
+//
+// Also demonstrates the HTTP face of the store: a plain GET on a
+// collection returns a browsable HTML index.
+//
+//   $ ./examples/dav_browser
+#include <cstdio>
+
+#include "dav/server.h"
+#include "davclient/client.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/workload.h"
+#include "http/server.h"
+#include "util/fs.h"
+
+using namespace davpse;
+using namespace davpse::ecce;
+
+namespace {
+
+void browse(davclient::DavClient& client, const std::string& path,
+            int depth) {
+  auto listing = client.propfind_all(path, davclient::Depth::kZero);
+  if (!listing.ok() || listing.value().responses.empty()) return;
+  const auto& self = listing.value().responses.front();
+
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  std::printf("%s%s%s\n", indent.c_str(),
+              path == "/" ? "/" : self.href.c_str(),
+              self.is_collection() ? "/" : "");
+  for (const auto& entry : self.found) {
+    // Skip the noisy live properties; show sizes and all dead props.
+    if (entry.name.ns == "DAV:" && entry.name.local != "getcontentlength") {
+      continue;
+    }
+    std::string value = entry.inner_xml.substr(0, 48);
+    if (entry.inner_xml.size() > 48) value += "...";
+    std::printf("%s  @%s = %s\n", indent.c_str(),
+                entry.name.to_string().c_str(), value.c_str());
+  }
+  if (!self.is_collection()) return;
+
+  auto children = client.propfind(
+      path, davclient::Depth::kOne, {xml::dav_name("resourcetype")});
+  if (!children.ok()) return;
+  for (const auto& response : children.value().responses) {
+    if (response.href == path) continue;
+    browse(client, response.href, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  TempDir repo_dir("browser");
+  dav::DavConfig dav_config;
+  dav_config.root = repo_dir.path();
+  dav::DavServer dav_server(dav_config);
+  http::ServerConfig http_config;
+  http_config.endpoint = "browser-server";
+  http::HttpServer http_server(http_config, &dav_server);
+  if (!http_server.start().is_ok()) return 1;
+
+  http::ClientConfig client_config;
+  client_config.endpoint = http_config.endpoint;
+  davclient::DavClient client(client_config);
+
+  // Populate with an Ecce project.
+  {
+    DavStorage storage(&client);
+    DavCalculationFactory factory(&storage);
+    if (!factory.initialize().is_ok()) return 1;
+    if (!factory.create_project("demo").is_ok()) return 1;
+    if (!factory.save_calculation("demo", make_small_calculation("c1", 7))
+             .is_ok()) {
+      return 1;
+    }
+  }
+
+  std::printf("=== walking the store (PROPFIND-based DAV explorer) ===\n\n");
+  browse(client, "/", 0);
+
+  std::printf("\n=== the same store through a plain web browser (GET) "
+              "===\n\n");
+  auto html = client.get("/Ecce/demo/c1");
+  if (!html.ok()) return 1;
+  std::printf("%s\n", html.value().c_str());
+
+  std::printf("browser example complete\n");
+  return 0;
+}

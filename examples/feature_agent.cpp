@@ -1,0 +1,108 @@
+// The Section 4 integration scenario: a third-party agent that knows
+// NOTHING about the Ecce schema discovers molecule documents through
+// the one metadata property it understands (ecce:formula), computes
+// derived thermodynamic features, and attaches them as new metadata —
+// which Ecce-side queries then see immediately. "These lightweight
+// integration scenarios can provide real benefits to users without
+// system-wide agreement on a common schema."
+//
+//   $ ./examples/feature_agent
+#include <cstdio>
+
+#include "dav/server.h"
+#include "core/agents.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/schema_names.h"
+#include "core/workload.h"
+#include "http/server.h"
+#include "util/fs.h"
+
+using namespace davpse;
+using namespace davpse::ecce;
+
+int main() {
+  // An Ecce store with a few calculations in it.
+  TempDir repo_dir("agentdemo");
+  dav::DavConfig dav_config;
+  dav_config.root = repo_dir.path();
+  dav::DavServer dav_server(dav_config);
+  http::ServerConfig http_config;
+  http_config.endpoint = "agent-server";
+  http::HttpServer http_server(http_config, &dav_server);
+  if (!http_server.start().is_ok()) return 1;
+
+  http::ClientConfig client_config;
+  client_config.endpoint = http_config.endpoint;
+  {
+    davclient::DavClient ecce_client(client_config);
+    DavStorage storage(&ecce_client);
+    DavCalculationFactory factory(&storage);
+    if (!factory.initialize().is_ok()) return 1;
+    if (!factory.create_project("published").is_ok()) return 1;
+    if (!factory.save_calculation("published", make_uo2_calculation())
+             .is_ok()) {
+      return 1;
+    }
+    for (int i = 0; i < 3; ++i) {
+      if (!factory
+               .save_calculation("published",
+                                 make_small_calculation(
+                                     "water" + std::to_string(i), i + 40))
+               .is_ok()) {
+        return 1;
+      }
+    }
+    std::printf("Ecce populated the store: 4 calculations under /Ecce\n\n");
+  }
+
+  // --- the agent: an independent program with its own DAV client ---------
+  davclient::DavClient agent_client(client_config);
+
+  // Phase 1: discovery by the single property it understands.
+  FormulaSearchAgent search(&agent_client);
+  auto hits = search.search("/Ecce");
+  if (!hits.ok()) return 1;
+  std::printf("agent discovered %zu molecule documents by ecce:formula:\n",
+              hits.value().size());
+  for (const auto& hit : hits.value()) {
+    std::printf("  %-44s formula=%-10s format=%s\n", hit.path.c_str(),
+                hit.formula.c_str(), hit.format.c_str());
+  }
+
+  // Phase 2: feature analysis + annotation via plain PROPPATCH.
+  ThermoAgent thermo(&agent_client);
+  auto annotated = thermo.annotate("/Ecce");
+  if (!annotated.ok()) {
+    std::fprintf(stderr, "annotation failed: %s\n",
+                 annotated.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("\nagent annotated %zu molecules with ecce:thermo-* "
+              "metadata\n\n",
+              annotated.value());
+
+  // Phase 3: any other client (here: an "Ecce query interface") sees
+  // the new metadata next to Ecce's own, with no schema change.
+  davclient::DavClient reader(client_config);
+  auto result = reader.propfind(
+      "/Ecce", davclient::Depth::kInfinity,
+      {kFormulaProp, kThermoEnthalpyProp, kThermoEntropyProp,
+       kThermoSourceProp});
+  if (!result.ok()) return 1;
+  std::printf("query over /Ecce (formula + agent-contributed thermo):\n");
+  for (const auto& response : result.value().responses) {
+    auto formula = response.prop(kFormulaProp);
+    auto enthalpy = response.prop(kThermoEnthalpyProp);
+    if (!formula || !enthalpy) continue;
+    auto entropy = response.prop(kThermoEntropyProp);
+    std::printf("  %-10s dH=%8s kJ/mol  S=%8s J/mol/K   (%s)\n",
+                std::string(*formula).c_str(),
+                std::string(*enthalpy).substr(0, 8).c_str(),
+                entropy ? std::string(*entropy).substr(0, 8).c_str() : "?",
+                response.href.c_str());
+  }
+
+  std::printf("\nfeature-agent scenario complete\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// The Electronic Laboratory Notebook integration scenario — the
+// paper's named near-term target: "the notebooks will have the
+// capability to add additional metadata, such as digital signatures
+// and annotation relationships, to the data without affecting the
+// operation of Ecce."
+//
+// The notebook here is an independent application sharing Ecce's DAV
+// store: it keeps versioned pages, signs them with content digests,
+// links them to Ecce calculations through relationship metadata, and
+// finds its own records with server-side search — all without Ecce
+// knowing it exists.
+//
+//   $ ./examples/notebook_integration
+#include <cstdio>
+
+#include "dav/dynamic_props.h"
+#include "dav/server.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/relationships.h"
+#include "core/schema_names.h"
+#include "core/workload.h"
+#include "http/server.h"
+#include "util/fs.h"
+
+using namespace davpse;
+using namespace davpse::ecce;
+
+namespace {
+const xml::QName kSignature("urn:eln", "signature");
+const xml::QName kAuthor("urn:eln", "author");
+const xml::QName kPageTitle("urn:eln", "title");
+const xml::QName kDigest("urn:eln", "content-digest");
+}  // namespace
+
+int main() {
+  TempDir repo_dir("notebook");
+  dav::DavConfig dav_config;
+  dav_config.root = repo_dir.path();
+  dav::DavServer dav_server(dav_config);
+  // The digest "signature" is computed server-side on demand.
+  dav_server.dynamic_properties().register_provider(
+      kDigest, dav::content_digest_provider());
+  http::ServerConfig http_config;
+  http_config.endpoint = "notebook-server";
+  http::HttpServer http_server(http_config, &dav_server);
+  if (!http_server.start().is_ok()) return 1;
+  http::ClientConfig client_config;
+  client_config.endpoint = http_config.endpoint;
+
+  // --- Ecce populates its side of the store -------------------------------
+  {
+    davclient::DavClient ecce_client(client_config);
+    DavStorage storage(&ecce_client);
+    DavCalculationFactory factory(&storage);
+    if (!factory.initialize().is_ok()) return 1;
+    if (!factory.create_project("hydration").is_ok()) return 1;
+    if (!factory.save_calculation("hydration", make_uo2_calculation())
+             .is_ok()) {
+      return 1;
+    }
+  }
+  std::printf("Ecce stored a calculation under /Ecce/hydration\n");
+
+  // --- the notebook application --------------------------------------------
+  davclient::DavClient notebook(client_config);
+  if (!notebook.mkcol("/Notebook").is_ok()) return 1;
+
+  // Page 1: a versioned record. Every save checks in a new version —
+  // the append-only audit trail a lab notebook needs.
+  std::string page = "/Notebook/page-001";
+  if (!notebook.put(page,
+                    "2001-07-12: set up uranyl + 15 waters, DFT.\n")
+           .is_ok()) {
+    return 1;
+  }
+  if (!notebook.version_control(page).is_ok()) return 1;
+  if (!notebook
+           .put(page,
+                "2001-07-12: set up uranyl + 15 waters, DFT.\n"
+                "2001-07-14: frequencies done; modes look clean.\n")
+           .is_ok()) {
+    return 1;
+  }
+  auto versions = notebook.list_versions(page);
+  if (!versions.ok()) return 1;
+  std::printf("notebook page has %zu checked-in versions "
+              "(v1 retrievable forever)\n",
+              versions.value().size());
+
+  // Sign the page: author + the server-computed content digest.
+  auto digest = notebook.get_property(page, kDigest);
+  if (!digest.ok()) return 1;
+  if (!notebook
+           .proppatch(page,
+                      {davclient::PropWrite::of_text(kAuthor, "k.schuchardt"),
+                       davclient::PropWrite::of_text(kPageTitle,
+                                                     "uranyl hydration"),
+                       davclient::PropWrite::of_text(
+                           kSignature, "sig:" + digest.value())})
+           .is_ok()) {
+    return 1;
+  }
+  std::printf("page signed: author + content digest %s\n",
+              digest.value().c_str());
+
+  // Link the page to the Ecce data it documents — annotation
+  // relationships, invisible to Ecce.
+  std::string calc = "/Ecce/hydration/uo2-15h2o-dft";
+  if (!add_relationship(notebook, page, kRelAnnotates, calc).is_ok()) {
+    return 1;
+  }
+  if (!add_relationship(notebook, page, kRelDerivedFrom,
+                        calc + "/task-2/prop-normal-modes")
+           .is_ok()) {
+    return 1;
+  }
+  std::printf("page linked to the calculation and its normal modes\n");
+
+  // Reverse question months later: "which notebook pages reference
+  // this calculation?" — one server-side search.
+  auto pages = find_related(notebook, "/Notebook", kRelAnnotates, calc);
+  if (!pages.ok()) return 1;
+  std::printf("\npages annotating %s:\n", calc.c_str());
+  for (const auto& href : pages.value()) {
+    auto title = notebook.get_property(href, kPageTitle);
+    auto author = notebook.get_property(href, kAuthor);
+    std::printf("  %s  (\"%s\" by %s)\n", href.c_str(),
+                title.ok() ? title.value().c_str() : "?",
+                author.ok() ? author.value().c_str() : "?");
+  }
+
+  // And Ecce's own data is untouched: its metadata still reads back.
+  davclient::DavClient ecce_reader(client_config);
+  auto formula = ecce_reader.get_property(calc + "/molecule", kFormulaProp);
+  if (!formula.ok()) return 1;
+  std::printf("\nEcce still sees its molecule (formula %s) — the notebook "
+              "never touched it\n",
+              formula.value().c_str());
+
+  // Audit: the original page text is still in version 1.
+  auto original = notebook.get_version(page, 1);
+  if (!original.ok()) return 1;
+  std::printf("audit trail intact: v1 = %zu bytes, current = %zu bytes\n",
+              original.value().size(),
+              notebook.get(page).value().size());
+
+  std::printf("\nnotebook integration complete\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/agents.h"
+
+#include <cmath>
+
+#include "core/schema_names.h"
+#include "xml/escape.h"
+
+namespace davpse::ecce {
+
+Result<std::vector<MoleculeHit>> FormulaSearchAgent::search(
+    const std::string& root, const std::string& formula) {
+  return strategy_ == Strategy::kServerSearch
+             ? server_search(root, formula)
+             : sweep(root, formula);
+}
+
+Result<std::vector<MoleculeHit>> FormulaSearchAgent::sweep(
+    const std::string& root, const std::string& formula) {
+  // One PROPFIND depth=infinity sweep; resources without ecce:formula
+  // simply report it 404 and are skipped. This is the "partial,
+  // post-development mapping": the agent consumes one property and
+  // ignores every other relationship in the store.
+  auto result = client_->propfind(
+      root, davclient::Depth::kInfinity,
+      {kFormulaProp, kFormatProp, xml::dav_name("resourcetype")});
+  if (!result.ok()) return result.status();
+  std::vector<MoleculeHit> hits;
+  for (const auto& response : result.value().responses) {
+    if (response.is_collection()) continue;
+    auto found = response.prop(kFormulaProp);
+    if (!found) continue;
+    std::string value = xml::unescape_text(*found);
+    if (!formula.empty() && value != formula) continue;
+    MoleculeHit hit;
+    hit.path = response.href;
+    hit.formula = std::move(value);
+    if (auto format = response.prop(kFormatProp)) {
+      hit.format = xml::unescape_text(*format);
+    }
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+Result<std::vector<MoleculeHit>> FormulaSearchAgent::server_search(
+    const std::string& root, const std::string& formula) {
+  // DASL: the filter runs on the server; only matches cross the wire.
+  using davclient::Where;
+  Where where = formula.empty()
+                    ? Where::is_defined(kFormulaProp) &&
+                          !Where::is_collection()
+                    : Where::eq(kFormulaProp, formula) &&
+                          !Where::is_collection();
+  auto result = client_->search(root, davclient::Depth::kInfinity,
+                                {kFormulaProp, kFormatProp}, where);
+  if (!result.ok()) return result.status();
+  std::vector<MoleculeHit> hits;
+  for (const auto& response : result.value().responses) {
+    auto found = response.prop(kFormulaProp);
+    if (!found) continue;
+    MoleculeHit hit;
+    hit.path = response.href;
+    hit.formula = xml::unescape_text(*found);
+    if (auto format = response.prop(kFormatProp)) {
+      hit.format = xml::unescape_text(*format);
+    }
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+ThermoEstimate estimate_thermo(const Molecule& molecule) {
+  // Pairwise Lennard-Jones-flavored cohesion term for the enthalpy and
+  // a Sackur-Tetrode-shaped size term for the entropy. Deterministic
+  // and monotone in system size — exactly enough for a feature agent.
+  ThermoEstimate estimate;
+  const auto& atoms = molecule.atoms;
+  double cohesion = 0;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      double dx = atoms[i].x - atoms[j].x;
+      double dy = atoms[i].y - atoms[j].y;
+      double dz = atoms[i].z - atoms[j].z;
+      double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < 1e-6) continue;
+      double inv6 = 1.0 / (r2 * r2 * r2);
+      cohesion += 4.0 * (inv6 * inv6 - inv6);
+    }
+  }
+  estimate.enthalpy_kj_mol = 2.5 * cohesion - 40.0 * atoms.size();
+  estimate.entropy_j_mol_k =
+      130.0 + 28.0 * std::log(static_cast<double>(atoms.size() + 1));
+  return estimate;
+}
+
+Result<size_t> ThermoAgent::annotate(const std::string& root) {
+  FormulaSearchAgent search(client_);
+  auto hits = search.search(root);
+  if (!hits.ok()) return hits.status();
+  size_t annotated = 0;
+  for (const auto& hit : hits.value()) {
+    if (hit.format != "xyz") continue;  // the only format this agent reads
+    auto body = client_->get(hit.path);
+    if (!body.ok()) return body.status();
+    auto molecule = Molecule::from_xyz(body.value());
+    if (!molecule.ok()) continue;  // not actually parseable; skip
+    ThermoEstimate estimate = estimate_thermo(molecule.value());
+    DAVPSE_RETURN_IF_ERROR(client_->proppatch(
+        hit.path,
+        {davclient::PropWrite::of_text(
+             kThermoEnthalpyProp, std::to_string(estimate.enthalpy_kj_mol)),
+         davclient::PropWrite::of_text(
+             kThermoEntropyProp, std::to_string(estimate.entropy_j_mol_k)),
+         davclient::PropWrite::of_text(kThermoSourceProp,
+                                       "thermo-agent/1.0")}));
+    ++annotated;
+  }
+  return annotated;
+}
+
+}  // namespace davpse::ecce

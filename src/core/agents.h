@@ -1,0 +1,82 @@
+// Third-party integration agents — the Section 4 scenarios. Neither
+// agent knows the Ecce schema: FormulaSearchAgent discovers molecule
+// documents purely through the ecce:formula metadata it understands,
+// and ThermoAgent "can independently discover objects in the data
+// store ... apply feature analysis algorithms, and attach their
+// discoveries to the objects as new metadata" which Ecce (or any PSE)
+// can then surface in queries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "davclient/client.h"
+#include "core/chem.h"
+#include "util/status.h"
+
+namespace davpse::ecce {
+
+struct MoleculeHit {
+  std::string path;     // DAV path of the molecule document
+  std::string formula;  // ecce:formula value
+  std::string format;   // ecce:format value (xyz/pdb)
+};
+
+/// Finds every document carrying an ecce:formula property (optionally
+/// filtered to an exact formula), using only generic DAV operations +
+/// the one property it knows.
+///
+/// Two strategies, identical results:
+///   kPropfindSweep — depth-infinity PROPFIND, filtering client-side
+///                    (what the 2001 system could do);
+///   kServerSearch  — one DASL SEARCH, filtering server-side (what the
+///                    paper anticipated from DASL).
+class FormulaSearchAgent {
+ public:
+  enum class Strategy { kPropfindSweep, kServerSearch };
+
+  explicit FormulaSearchAgent(davclient::DavClient* client,
+                              Strategy strategy = Strategy::kPropfindSweep)
+      : client_(client), strategy_(strategy) {}
+
+  Result<std::vector<MoleculeHit>> search(const std::string& root,
+                                          const std::string& formula = "");
+
+  Strategy strategy() const { return strategy_; }
+
+ private:
+  Result<std::vector<MoleculeHit>> sweep(const std::string& root,
+                                         const std::string& formula);
+  Result<std::vector<MoleculeHit>> server_search(const std::string& root,
+                                                 const std::string& formula);
+
+  davclient::DavClient* client_;
+  Strategy strategy_;
+};
+
+/// Derived thermodynamic estimates computed from a molecule geometry.
+struct ThermoEstimate {
+  double enthalpy_kj_mol = 0;
+  double entropy_j_mol_k = 0;
+};
+
+/// Crude but deterministic estimator (pair-potential enthalpy, atom-
+/// count entropy) standing in for the paper's example of an agent that
+/// derives "thermodynamic properties of the molecule which could then
+/// be appended as new DAV metadata of the molecule object".
+ThermoEstimate estimate_thermo(const Molecule& molecule);
+
+/// For every molecule FormulaSearchAgent finds under `root`, computes
+/// a ThermoEstimate and PROPPATCHes ecce:thermo-* metadata back onto
+/// the molecule document. Returns the number of molecules annotated.
+class ThermoAgent {
+ public:
+  explicit ThermoAgent(davclient::DavClient* client) : client_(client) {}
+
+  Result<size_t> annotate(const std::string& root);
+
+ private:
+  davclient::DavClient* client_;
+};
+
+}  // namespace davpse::ecce

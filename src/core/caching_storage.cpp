@@ -1,0 +1,93 @@
+#include "core/caching_storage.h"
+
+#include "util/uri.h"
+
+namespace davpse::ecce {
+
+Result<std::string> CachingDavStorage::read_object(const std::string& path) {
+  std::string previous_etag;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(path);
+    if (it != cache_.end()) previous_etag = it->second.etag;
+  }
+  auto fetched = client_->get_if_changed(path, previous_etag);
+  if (!fetched.ok()) {
+    if (fetched.status().code() == ErrorCode::kNotFound) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cache_.erase(path);
+    }
+    return fetched.status();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fetched.value().not_modified) {
+    ++hits_;
+    return cache_[path].body;  // entry must exist: we sent its etag
+  }
+  ++misses_;
+  Entry entry{std::move(fetched.value().etag),
+              std::move(fetched.value().body)};
+  std::string body = entry.body;
+  cache_[path] = std::move(entry);
+  return body;
+}
+
+Status CachingDavStorage::write_object(const std::string& path,
+                                       std::string data,
+                                       const std::string& content_type) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.erase(path);
+  }
+  return inner_.write_object(path, std::move(data), content_type);
+}
+
+Status CachingDavStorage::remove(const std::string& path) {
+  invalidate_subtree(path);
+  return inner_.remove(path);
+}
+
+Status CachingDavStorage::copy(const std::string& from,
+                               const std::string& to) {
+  invalidate_subtree(to);
+  return inner_.copy(from, to);
+}
+
+Status CachingDavStorage::move(const std::string& from,
+                               const std::string& to) {
+  invalidate_subtree(from);
+  invalidate_subtree(to);
+  return inner_.move(from, to);
+}
+
+void CachingDavStorage::invalidate_subtree(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (path_is_within(it->first, path)) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t CachingDavStorage::cached_documents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+size_t CachingDavStorage::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [path, entry] : cache_) total += entry.body.size();
+  return total;
+}
+
+void CachingDavStorage::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace davpse::ecce

@@ -1,0 +1,93 @@
+// Client-side document cache in the Figure 2 layered architecture —
+// the paper's anticipated extension: "If we do encounter areas of
+// performance concern where a cache makes sense, it would be
+// relatively straight forward to add a cache to the layered client
+// architecture of Figure 2."
+//
+// CachingDavStorage decorates a DavStorage: read_object keeps an
+// ETag-validated copy of each document, so repeated reads cost one
+// conditional GET (a header exchange) instead of re-shipping the body.
+// Local writes/removes/moves invalidate; remote writers are caught by
+// the ETag validation. Everything else forwards unchanged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "core/dav_storage.h"
+
+namespace davpse::ecce {
+
+class CachingDavStorage final : public DataStorageInterface {
+ public:
+  /// Borrows the client, like DavStorage.
+  explicit CachingDavStorage(davclient::DavClient* client)
+      : inner_(client), client_(client) {}
+
+  // -- cached path ----------------------------------------------------------
+  Result<std::string> read_object(const std::string& path) override;
+
+  // -- invalidating forwards -----------------------------------------------
+  Status write_object(const std::string& path, std::string data,
+                      const std::string& content_type) override;
+  Status remove(const std::string& path) override;
+  Status copy(const std::string& from, const std::string& to) override;
+  Status move(const std::string& from, const std::string& to) override;
+
+  // -- plain forwards ---------------------------------------------------------
+  Status create_container(const std::string& path) override {
+    return inner_.create_container(path);
+  }
+  Status create_container_path(const std::string& path) override {
+    return inner_.create_container_path(path);
+  }
+  Result<std::vector<std::string>> list(const std::string& path) override {
+    return inner_.list(path);
+  }
+  Status set_metadata(const std::string& path,
+                      const std::vector<Metadatum>& metadata) override {
+    return inner_.set_metadata(path, metadata);
+  }
+  Result<std::string> get_metadatum(const std::string& path,
+                                    const xml::QName& name) override {
+    return inner_.get_metadatum(path, name);
+  }
+  Result<std::vector<Metadatum>> get_metadata(
+      const std::string& path,
+      const std::vector<xml::QName>& names) override {
+    return inner_.get_metadata(path, names);
+  }
+  Result<std::vector<std::pair<std::string, std::vector<Metadatum>>>>
+  get_children_metadata(const std::string& path,
+                        const std::vector<xml::QName>& names) override {
+    return inner_.get_children_metadata(path, names);
+  }
+  Result<bool> exists(const std::string& path) override {
+    return inner_.exists(path);
+  }
+
+  // -- cache introspection -----------------------------------------------
+  uint64_t hits() const { return hits_; }          // served after a 304
+  uint64_t misses() const { return misses_; }      // full body fetched
+  size_t cached_documents() const;
+  size_t cached_bytes() const;
+  void clear();
+
+ private:
+  void invalidate_subtree(const std::string& path);
+
+  struct Entry {
+    std::string etag;
+    std::string body;
+  };
+
+  DavStorage inner_;
+  davclient::DavClient* client_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace davpse::ecce

@@ -1,0 +1,391 @@
+#include "core/chem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "util/strings.h"
+
+namespace davpse::ecce {
+
+std::string Molecule::empirical_formula() const {
+  std::map<std::string, int> counts;
+  for (const Atom& atom : atoms) ++counts[atom.symbol];
+  // Hill order: C then H then alphabetical; without C, alphabetical.
+  std::vector<std::string> order;
+  bool has_carbon = counts.contains("C");
+  if (has_carbon) {
+    order.push_back("C");
+    if (counts.contains("H")) order.push_back("H");
+  }
+  for (const auto& [symbol, count] : counts) {
+    if (has_carbon && (symbol == "C" || symbol == "H")) continue;
+    order.push_back(symbol);
+  }
+  std::string formula;
+  for (const auto& symbol : order) {
+    formula += symbol;
+    if (counts[symbol] > 1) formula += std::to_string(counts[symbol]);
+  }
+  return formula;
+}
+
+std::string Molecule::symmetry_group() const {
+  if (atoms.size() <= 1) return "Kh";
+  if (atoms.size() == 2) return "C*v";
+  // Linear test: all atoms collinear within tolerance.
+  const Atom& a = atoms[0];
+  const Atom& b = atoms[1];
+  double ux = b.x - a.x, uy = b.y - a.y, uz = b.z - a.z;
+  double norm = std::sqrt(ux * ux + uy * uy + uz * uz);
+  if (norm < 1e-9) return "C1";
+  ux /= norm, uy /= norm, uz /= norm;
+  for (size_t i = 2; i < atoms.size(); ++i) {
+    double vx = atoms[i].x - a.x, vy = atoms[i].y - a.y,
+           vz = atoms[i].z - a.z;
+    double cx = uy * vz - uz * vy;
+    double cy = uz * vx - ux * vz;
+    double cz = ux * vy - uy * vx;
+    if (std::sqrt(cx * cx + cy * cy + cz * cz) > 1e-6) return "C1";
+  }
+  return "D*h";
+}
+
+std::string Molecule::to_xyz() const {
+  std::string out = std::to_string(atoms.size()) + "\n" + name + "\n";
+  char line[96];
+  for (const Atom& atom : atoms) {
+    std::snprintf(line, sizeof line, "%-3s %14.8f %14.8f %14.8f\n",
+                  atom.symbol.c_str(), atom.x, atom.y, atom.z);
+    out += line;
+  }
+  return out;
+}
+
+Result<Molecule> Molecule::from_xyz(std::string_view text) {
+  auto lines = split(text, '\n');
+  if (lines.size() < 2) {
+    return Status(ErrorCode::kMalformed, "XYZ: missing header");
+  }
+  size_t count = 0;
+  {
+    auto header = trim(lines[0]);
+    if (header.empty()) {
+      return Status(ErrorCode::kMalformed, "XYZ: empty atom count");
+    }
+    for (char c : header) {
+      if (c < '0' || c > '9') {
+        return Status(ErrorCode::kMalformed, "XYZ: bad atom count");
+      }
+      count = count * 10 + static_cast<size_t>(c - '0');
+    }
+  }
+  Molecule molecule;
+  molecule.name = std::string(trim(lines[1]));
+  for (size_t i = 2; i < lines.size() && molecule.atoms.size() < count; ++i) {
+    auto fields = split_skip_empty(lines[i], ' ');
+    if (fields.empty()) continue;
+    if (fields.size() < 4) {
+      return Status(ErrorCode::kMalformed,
+                    "XYZ: bad atom line: " + lines[i]);
+    }
+    Atom atom;
+    atom.symbol = fields[0];
+    try {
+      atom.x = std::stod(fields[1]);
+      atom.y = std::stod(fields[2]);
+      atom.z = std::stod(fields[3]);
+    } catch (const std::exception&) {
+      return Status(ErrorCode::kMalformed,
+                    "XYZ: bad coordinate: " + lines[i]);
+    }
+    molecule.atoms.push_back(std::move(atom));
+  }
+  if (molecule.atoms.size() != count) {
+    return Status(ErrorCode::kMalformed,
+                  "XYZ: expected " + std::to_string(count) + " atoms, got " +
+                      std::to_string(molecule.atoms.size()));
+  }
+  return molecule;
+}
+
+std::string Molecule::to_pdb() const {
+  std::string out = "COMPND    " + name + "\n";
+  char line[96];
+  int serial = 1;
+  for (const Atom& atom : atoms) {
+    std::snprintf(line, sizeof line,
+                  "HETATM%5d %-4s MOL     1    %8.3f%8.3f%8.3f  1.00  0.00"
+                  "          %2s\n",
+                  serial++, atom.symbol.c_str(), atom.x, atom.y, atom.z,
+                  atom.symbol.c_str());
+    out += line;
+  }
+  out += "END\n";
+  return out;
+}
+
+Result<Molecule> Molecule::from_pdb(std::string_view text) {
+  Molecule molecule;
+  for (const auto& line : split(text, '\n')) {
+    if (starts_with(line, "COMPND")) {
+      molecule.name = std::string(trim(std::string_view(line).substr(6)));
+      continue;
+    }
+    if (!starts_with(line, "ATOM") && !starts_with(line, "HETATM")) continue;
+    if (line.size() < 54) {
+      return Status(ErrorCode::kMalformed, "PDB: short ATOM record");
+    }
+    Atom atom;
+    try {
+      atom.x = std::stod(line.substr(30, 8));
+      atom.y = std::stod(line.substr(38, 8));
+      atom.z = std::stod(line.substr(46, 8));
+    } catch (const std::exception&) {
+      return Status(ErrorCode::kMalformed, "PDB: bad coordinates");
+    }
+    if (line.size() >= 78) {
+      atom.symbol = std::string(trim(line.substr(76, 2)));
+    }
+    if (atom.symbol.empty()) {
+      atom.symbol = std::string(trim(line.substr(12, 4)));
+    }
+    if (atom.symbol.empty()) {
+      return Status(ErrorCode::kMalformed, "PDB: atom without element");
+    }
+    molecule.atoms.push_back(std::move(atom));
+  }
+  if (molecule.atoms.empty()) {
+    return Status(ErrorCode::kMalformed, "PDB: no ATOM/HETATM records");
+  }
+  return molecule;
+}
+
+Molecule make_uo2_15h2o() {
+  Molecule molecule;
+  molecule.name = "UO2-15H2O";
+  molecule.charge = 2;
+  // Uranyl core: U with two axial oxygens, plus two equatorial oxo
+  // groups to reach the paper's 50-atom total (3 + 2 + 15*3 = 50).
+  molecule.atoms.push_back({"U", 0, 0, 0});
+  molecule.atoms.push_back({"O", 0, 0, 1.76});
+  molecule.atoms.push_back({"O", 0, 0, -1.76});
+  molecule.atoms.push_back({"O", 2.30, 0, 0});
+  molecule.atoms.push_back({"O", -2.30, 0, 0});
+  // 15 waters on a deterministic solvation shell.
+  constexpr double kPi = 3.14159265358979323846;
+  for (int i = 0; i < 15; ++i) {
+    double theta = std::acos(1.0 - 2.0 * (i + 0.5) / 15.0);
+    double phi = kPi * (1.0 + std::sqrt(5.0)) * i;
+    double r = 4.2;
+    double ox = r * std::sin(theta) * std::cos(phi);
+    double oy = r * std::sin(theta) * std::sin(phi);
+    double oz = r * std::cos(theta);
+    molecule.atoms.push_back({"O", ox, oy, oz});
+    molecule.atoms.push_back({"H", ox + 0.76, oy + 0.59, oz});
+    molecule.atoms.push_back({"H", ox - 0.76, oy + 0.59, oz});
+  }
+  return molecule;
+}
+
+Molecule make_water_cluster(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Molecule molecule;
+  molecule.name = "(H2O)" + std::to_string(n);
+  for (size_t i = 0; i < n; ++i) {
+    double ox = rng.uniform_real(-8, 8);
+    double oy = rng.uniform_real(-8, 8);
+    double oz = rng.uniform_real(-8, 8);
+    molecule.atoms.push_back({"O", ox, oy, oz});
+    molecule.atoms.push_back({"H", ox + 0.76, oy + 0.59, oz});
+    molecule.atoms.push_back({"H", ox - 0.76, oy + 0.59, oz});
+  }
+  return molecule;
+}
+
+std::string BasisSet::to_text() const {
+  std::string out = "BASIS \"" + name + "\"\n";
+  char line[64];
+  for (const BasisShell& shell : shells) {
+    out += shell.element;
+    out += "  ";
+    out += shell.shell_type;
+    out += "\n";
+    for (size_t i = 0; i < shell.exponents.size(); ++i) {
+      std::snprintf(line, sizeof line, "  %18.8E  %14.8f\n",
+                    shell.exponents[i],
+                    i < shell.coefficients.size() ? shell.coefficients[i]
+                                                  : 0.0);
+      out += line;
+    }
+  }
+  out += "END\n";
+  return out;
+}
+
+Result<BasisSet> BasisSet::from_text(std::string_view text) {
+  BasisSet basis;
+  bool seen_header = false;
+  for (const auto& raw_line : split(text, '\n')) {
+    auto line = trim(raw_line);
+    if (line.empty()) continue;
+    if (starts_with(line, "BASIS")) {
+      auto open = line.find('"');
+      auto close = line.rfind('"');
+      if (open == std::string_view::npos || close <= open) {
+        return Status(ErrorCode::kMalformed, "basis: bad header");
+      }
+      basis.name = std::string(line.substr(open + 1, close - open - 1));
+      seen_header = true;
+      continue;
+    }
+    if (line == "END") break;
+    if (!seen_header) {
+      return Status(ErrorCode::kMalformed, "basis: data before header");
+    }
+    auto fields = split_skip_empty(line, ' ');
+    if (fields.size() == 2 && fields[1].size() == 1 &&
+        fields[1][0] >= 'A' && fields[1][0] <= 'Z') {
+      BasisShell shell;
+      shell.element = fields[0];
+      shell.shell_type = fields[1][0];
+      basis.shells.push_back(std::move(shell));
+      continue;
+    }
+    if (fields.size() == 2) {
+      if (basis.shells.empty()) {
+        return Status(ErrorCode::kMalformed, "basis: primitive before shell");
+      }
+      try {
+        basis.shells.back().exponents.push_back(std::stod(fields[0]));
+        basis.shells.back().coefficients.push_back(std::stod(fields[1]));
+      } catch (const std::exception&) {
+        return Status(ErrorCode::kMalformed, "basis: bad primitive line");
+      }
+      continue;
+    }
+    return Status(ErrorCode::kMalformed,
+                  "basis: unparseable line: " + std::string(line));
+  }
+  if (!seen_header) {
+    return Status(ErrorCode::kMalformed, "basis: missing BASIS header");
+  }
+  return basis;
+}
+
+BasisSet make_basis_set(const std::string& name,
+                        const std::vector<std::string>& elements,
+                        uint64_t seed) {
+  Rng rng(seed);
+  BasisSet basis;
+  basis.name = name;
+  static constexpr char kShellTypes[] = {'S', 'P', 'D', 'F'};
+  for (const auto& element : elements) {
+    size_t shell_count = rng.uniform(3, 6);
+    for (size_t s = 0; s < shell_count; ++s) {
+      BasisShell shell;
+      shell.element = element;
+      shell.shell_type = kShellTypes[s % 4];
+      size_t primitives = rng.uniform(2, 6);
+      for (size_t p = 0; p < primitives; ++p) {
+        shell.exponents.push_back(rng.uniform_real(0.1, 5000.0));
+        shell.coefficients.push_back(rng.uniform_real(-1.0, 1.0));
+      }
+      basis.shells.push_back(std::move(shell));
+    }
+  }
+  return basis;
+}
+
+size_t OutputProperty::value_count() const {
+  size_t count = 1;
+  for (uint32_t dim : dimensions) count *= dim;
+  return dimensions.empty() ? 0 : count;
+}
+
+std::string OutputProperty::to_bytes() const {
+  std::string out = "DPPROP1";
+  out += '\0';
+  auto put_u32 = [&out](uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  put_u32(static_cast<uint32_t>(name.size()));
+  out += name;
+  put_u32(static_cast<uint32_t>(units.size()));
+  out += units;
+  put_u32(static_cast<uint32_t>(dimensions.size()));
+  for (uint32_t dim : dimensions) put_u32(dim);
+  put_u32(static_cast<uint32_t>(values.size()));
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(double));
+  return out;
+}
+
+Result<OutputProperty> OutputProperty::from_bytes(std::string_view data) {
+  if (data.size() < 8 || data.substr(0, 7) != "DPPROP1") {
+    return Status(ErrorCode::kMalformed, "property: bad magic");
+  }
+  size_t pos = 8;
+  auto get_u32 = [&](uint32_t* v) {
+    if (pos + 4 > data.size()) return false;
+    std::memcpy(v, data.data() + pos, 4);
+    pos += 4;
+    return true;
+  };
+  OutputProperty property;
+  uint32_t len;
+  if (!get_u32(&len) || pos + len > data.size()) {
+    return Status(ErrorCode::kMalformed, "property: truncated name");
+  }
+  property.name.assign(data.data() + pos, len);
+  pos += len;
+  if (!get_u32(&len) || pos + len > data.size()) {
+    return Status(ErrorCode::kMalformed, "property: truncated units");
+  }
+  property.units.assign(data.data() + pos, len);
+  pos += len;
+  uint32_t dim_count;
+  if (!get_u32(&dim_count)) {
+    return Status(ErrorCode::kMalformed, "property: truncated dims");
+  }
+  for (uint32_t i = 0; i < dim_count; ++i) {
+    uint32_t dim;
+    if (!get_u32(&dim)) {
+      return Status(ErrorCode::kMalformed, "property: truncated dims");
+    }
+    property.dimensions.push_back(dim);
+  }
+  uint32_t value_count;
+  if (!get_u32(&value_count) ||
+      pos + value_count * sizeof(double) > data.size()) {
+    return Status(ErrorCode::kMalformed, "property: truncated values");
+  }
+  property.values.resize(value_count);
+  std::memcpy(property.values.data(), data.data() + pos,
+              value_count * sizeof(double));
+  return property;
+}
+
+OutputProperty make_property(const std::string& name,
+                             const std::string& units, size_t approx_bytes,
+                             uint64_t seed) {
+  Rng rng(seed);
+  OutputProperty property;
+  property.name = name;
+  property.units = units;
+  size_t count = std::max<size_t>(1, approx_bytes / sizeof(double));
+  // Factor into a plausible 2-D shape.
+  uint32_t columns = 3;
+  uint32_t rows = static_cast<uint32_t>((count + columns - 1) / columns);
+  property.dimensions = {rows, columns};
+  size_t total = static_cast<size_t>(rows) * columns;
+  property.values.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    property.values.push_back(rng.uniform_real(-100.0, 100.0));
+  }
+  return property;
+}
+
+}  // namespace davpse::ecce

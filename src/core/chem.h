@@ -1,0 +1,108 @@
+// Chemistry value types for the Ecce data model: molecules with 3-D
+// geometry, basis sets, and n-dimensional output properties.
+//
+// Substitution note (DESIGN.md): the paper's benchmark system is a
+// real uranium-oxide/water cluster computed with NWChem. We generate a
+// structurally faithful synthetic equivalent — same atom count (50),
+// same document/property sizes (output properties up to 1.8 MB) — since
+// the experiments measure data movement, not chemistry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace davpse::ecce {
+
+struct Atom {
+  std::string symbol;  // "U", "O", "H", ...
+  double x = 0, y = 0, z = 0;  // Angstroms
+};
+
+class Molecule {
+ public:
+  std::string name;
+  std::vector<Atom> atoms;
+  int charge = 0;
+  int multiplicity = 1;
+
+  /// Hill-order empirical formula ("H30O17U" style: C first, H second
+  /// when carbon present; otherwise alphabetical).
+  std::string empirical_formula() const;
+
+  /// Simple point-group guess: "C1" unless the structure is linear.
+  std::string symmetry_group() const;
+
+  // -- XYZ format (the paper's "simple XYZ" molecule encoding) ---------
+  std::string to_xyz() const;
+  static Result<Molecule> from_xyz(std::string_view text);
+
+  // -- PDB subset (ATOM/HETATM records; the paper's preferred
+  //    community-standard format for molecule documents) --------------
+  std::string to_pdb() const;
+  static Result<Molecule> from_pdb(std::string_view text);
+};
+
+/// The paper's benchmark molecule: a uranium-oxide core solvated by 15
+/// waters, 50 atoms total ("a molecule of Uranium Oxide surrounded by
+/// 15 water molecules (UO2-15H2O) for a total of 50 atoms").
+Molecule make_uo2_15h2o();
+
+/// Deterministic water cluster of n molecules (3n atoms).
+Molecule make_water_cluster(size_t n, uint64_t seed = 7);
+
+// ---------------------------------------------------------------------
+// Basis sets
+
+struct BasisShell {
+  std::string element;
+  char shell_type = 'S';  // S, P, D, F
+  std::vector<double> exponents;
+  std::vector<double> coefficients;
+};
+
+struct BasisSet {
+  std::string name;  // "6-31G*", "Stuttgart RLC ECP", ...
+  std::vector<BasisShell> shells;
+
+  std::string to_text() const;  // Gaussian-94-style text block
+  static Result<BasisSet> from_text(std::string_view text);
+};
+
+/// Synthetic standard basis set covering the given elements, sized
+/// like real ones (a handful of shells per element).
+BasisSet make_basis_set(const std::string& name,
+                        const std::vector<std::string>& elements,
+                        uint64_t seed = 11);
+
+// ---------------------------------------------------------------------
+// Output properties
+
+/// An n-dimensional array of doubles produced by a calculation task —
+/// the "series of n-dimensional output Properties" of Figure 3.
+struct OutputProperty {
+  std::string name;   // "vibrational-frequencies", "gradient", ...
+  std::string units;  // "cm^-1", "Hartree/Bohr", ...
+  std::vector<uint32_t> dimensions;
+  std::vector<double> values;  // row-major, product(dimensions) entries
+
+  size_t value_count() const;
+  bool shape_consistent() const { return values.size() == value_count(); }
+
+  /// Proprietary-style binary payload (magic + dims + raw doubles);
+  /// what the raw output files on disk look like.
+  std::string to_bytes() const;
+  static Result<OutputProperty> from_bytes(std::string_view data);
+};
+
+/// Deterministic property of the requested payload size (rounded down
+/// to whole doubles); e.g. 1.8 MB for the UO2·15H2O benchmark.
+OutputProperty make_property(const std::string& name,
+                             const std::string& units, size_t approx_bytes,
+                             uint64_t seed);
+
+}  // namespace davpse::ecce

@@ -1,0 +1,481 @@
+#include "core/dav_factory.h"
+
+#include <algorithm>
+
+#include "core/schema_names.h"
+#include "util/strings.h"
+#include "util/uri.h"
+
+namespace davpse::ecce {
+namespace {
+
+constexpr std::string_view kRoot = "/Ecce";
+constexpr std::string_view kLibraryRoot = "/EcceBasisLibrary";
+
+std::string dims_to_text(const std::vector<uint32_t>& dimensions) {
+  std::string out;
+  for (size_t i = 0; i < dimensions.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(dimensions[i]);
+  }
+  return out;
+}
+
+// ecce:members value: one "name\thref" line per output document. The
+// indirection — not the encoding — is the point: loads resolve output
+// locations through this metadata, so documents can live anywhere.
+struct Member {
+  std::string name;
+  std::string href;
+};
+
+std::string encode_members(const std::vector<Member>& members) {
+  std::string out;
+  for (const Member& member : members) {
+    out += member.name;
+    out += '\t';
+    out += member.href;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Member> decode_members(std::string_view text) {
+  std::vector<Member> out;
+  for (const auto& line : split(text, '\n')) {
+    auto tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) continue;
+    out.push_back({line.substr(0, tab), line.substr(tab + 1)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DavCalculationFactory::project_path(const std::string& project) {
+  return join_path(kRoot, project);
+}
+
+std::string DavCalculationFactory::calculation_path(
+    const std::string& project, const std::string& name) {
+  return join_path(project_path(project), name);
+}
+
+std::string DavCalculationFactory::task_path(
+    const std::string& project, const std::string& calculation,
+    const std::string& task) const {
+  return join_path(calculation_path(project, calculation), task);
+}
+
+Status DavCalculationFactory::initialize() {
+  DAVPSE_RETURN_IF_ERROR(
+      storage_->create_container_path(std::string(kRoot)));
+  return storage_->create_container_path(std::string(kLibraryRoot));
+}
+
+Status DavCalculationFactory::create_project(const std::string& project) {
+  std::string path = project_path(project);
+  DAVPSE_RETURN_IF_ERROR(storage_->create_container(path));
+  return storage_->set_metadata(
+      path, {{kTypeProp, std::string(kTypeProject)}});
+}
+
+Result<std::vector<std::string>> DavCalculationFactory::list_projects() {
+  auto children = storage_->list(std::string(kRoot));
+  if (!children.ok()) return children.status();
+  std::vector<std::string> out;
+  for (const auto& child : children.value()) {
+    out.push_back(basename_of(child));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DavCalculationFactory::list_calculations(
+    const std::string& project) {
+  auto children = storage_->list(project_path(project));
+  if (!children.ok()) return children.status();
+  std::vector<std::string> out;
+  for (const auto& child : children.value()) {
+    out.push_back(basename_of(child));
+  }
+  return out;
+}
+
+Result<std::vector<CalcSummary>> DavCalculationFactory::project_summary(
+    const std::string& project) {
+  // One depth-1 PROPFIND covers every calculation in the project.
+  auto rows = storage_->get_children_metadata(
+      project_path(project),
+      {kTypeProp, kTheoryProp, kStateProp, kFormulaProp});
+  if (!rows.ok()) return rows.status();
+  std::vector<CalcSummary> out;
+  for (const auto& [href, metadata] : rows.value()) {
+    CalcSummary summary;
+    summary.name = basename_of(href);
+    bool is_calculation = false;
+    for (const auto& [name, value] : metadata) {
+      if (name == kTypeProp) is_calculation = value == kTypeCalculation;
+      if (name == kTheoryProp) {
+        auto theory = theory_from_string(value);
+        if (theory.ok()) summary.theory = theory.value();
+      }
+      if (name == kStateProp) {
+        auto state = run_state_from_string(value);
+        if (state.ok()) summary.state = state.value();
+      }
+      if (name == kFormulaProp) summary.formula = value;
+    }
+    if (is_calculation) out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+Status DavCalculationFactory::save_calculation(
+    const std::string& project, const Calculation& calculation) {
+  std::string calc_path = calculation_path(project, calculation.name);
+  DAVPSE_RETURN_IF_ERROR(storage_->create_container_path(calc_path));
+  DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+      calc_path,
+      {{kTypeProp, std::string(kTypeCalculation)},
+       {kTheoryProp, std::string(to_string(calculation.theory))},
+       {kDescriptionProp, calculation.description},
+       {kBasisNameProp, calculation.basis.name},
+       {kFormulaProp, calculation.molecule.empirical_formula()},
+       {kStateProp, std::string(to_string(
+                        calculation.tasks.empty()
+                            ? RunState::kCreated
+                            : calculation.tasks.back().state))}}));
+
+  // Molecule document: community-standard format + discovery metadata
+  // ("applications could search the data store for DAV documents
+  // matching the formula metadata and render a 3D display ... without
+  // understanding the rest of the Ecce schema").
+  std::string molecule_path = join_path(calc_path, "molecule");
+  DAVPSE_RETURN_IF_ERROR(storage_->write_object(
+      molecule_path, calculation.molecule.to_xyz(), "chemical/x-xyz"));
+  DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+      molecule_path,
+      {{kTypeProp, std::string(kTypeMolecule)},
+       {kFormatProp, "xyz"},
+       {kFormulaProp, calculation.molecule.empirical_formula()},
+       {kSymmetryProp, calculation.molecule.symmetry_group()},
+       {kChargeProp, std::to_string(calculation.molecule.charge)},
+       {kMultiplicityProp,
+        std::to_string(calculation.molecule.multiplicity)},
+       {kAtomCountProp,
+        std::to_string(calculation.molecule.atoms.size())}}));
+
+  // Basis set document (plain text markup where no standard exists).
+  std::string basis_path = join_path(calc_path, "basisset");
+  DAVPSE_RETURN_IF_ERROR(storage_->write_object(
+      basis_path, calculation.basis.to_text(), "text/plain"));
+  DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+      basis_path, {{kTypeProp, std::string(kTypeBasisSet)},
+                   {kBasisNameProp, calculation.basis.name}}));
+
+  for (const CalcTask& task : calculation.tasks) {
+    std::string tpath = task_path(project, calculation.name, task.name);
+    DAVPSE_RETURN_IF_ERROR(storage_->create_container_path(tpath));
+    DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+        tpath, {{kTypeProp, std::string(kTypeTask)},
+                {kTaskKindProp, std::string(to_string(task.kind))},
+                {kStateProp, std::string(to_string(task.state))}}));
+
+    std::string input_path = join_path(tpath, "input");
+    DAVPSE_RETURN_IF_ERROR(storage_->write_object(
+        input_path, task.input_deck, "text/plain"));
+    DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+        input_path, {{kTypeProp, std::string(kTypeInputDeck)}}));
+
+    std::string job_path = join_path(tpath, "job");
+    DAVPSE_RETURN_IF_ERROR(storage_->write_object(job_path, "", "text/plain"));
+    DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+        job_path,
+        {{kTypeProp, std::string(kTypeJob)},
+         {kJobHostProp, task.job.host},
+         {kJobQueueProp, task.job.queue},
+         {kJobNodesProp, std::to_string(task.job.node_count)},
+         {kJobIdProp, task.job.scheduler_id},
+         {kStateProp, std::string(to_string(task.job.state))}}));
+
+    for (const OutputProperty& output : task.outputs) {
+      DAVPSE_RETURN_IF_ERROR(
+          attach_output(project, calculation.name, task.name, output));
+    }
+  }
+  return Status::ok();
+}
+
+Result<Calculation> DavCalculationFactory::load_calculation(
+    const std::string& project, const std::string& name,
+    const LoadParts& parts) {
+  std::string calc_path = calculation_path(project, name);
+  Calculation calculation;
+  calculation.name = name;
+
+  auto calc_meta = storage_->get_metadata(
+      calc_path, {kTypeProp, kTheoryProp, kDescriptionProp, kBasisNameProp});
+  if (!calc_meta.ok()) return calc_meta.status();
+  for (const auto& [meta_name, value] : calc_meta.value()) {
+    if (meta_name == kTheoryProp) {
+      auto theory = theory_from_string(value);
+      if (theory.ok()) calculation.theory = theory.value();
+    }
+    if (meta_name == kDescriptionProp) calculation.description = value;
+    if (meta_name == kBasisNameProp) calculation.basis.name = value;
+  }
+
+  if (parts.molecule) {
+    auto body = storage_->read_object(join_path(calc_path, "molecule"));
+    if (!body.ok()) return body.status();
+    auto molecule = Molecule::from_xyz(body.value());
+    if (!molecule.ok()) return molecule.status();
+    calculation.molecule = std::move(molecule).value();
+    auto meta = storage_->get_metadata(
+        join_path(calc_path, "molecule"),
+        {kChargeProp, kMultiplicityProp});
+    if (meta.ok()) {
+      for (const auto& [meta_name, value] : meta.value()) {
+        try {
+          if (meta_name == kChargeProp) {
+            calculation.molecule.charge = std::stoi(value);
+          }
+          if (meta_name == kMultiplicityProp) {
+            calculation.molecule.multiplicity = std::stoi(value);
+          }
+        } catch (const std::exception&) {
+          // tolerate malformed numeric metadata; defaults stand
+        }
+      }
+    }
+  }
+
+  if (parts.basis) {
+    auto body = storage_->read_object(join_path(calc_path, "basisset"));
+    if (!body.ok()) return body.status();
+    auto basis = BasisSet::from_text(body.value());
+    if (!basis.ok()) return basis.status();
+    calculation.basis = std::move(basis).value();
+  }
+
+  // Task discovery: children of the calculation collection that carry
+  // ecce:type=task, in one depth-1 request.
+  auto children = storage_->get_children_metadata(
+      calc_path, {kTypeProp, kTaskKindProp, kStateProp});
+  if (!children.ok()) return children.status();
+  for (const auto& [href, metadata] : children.value()) {
+    bool is_task = false;
+    CalcTask task;
+    task.name = basename_of(href);
+    for (const auto& [meta_name, value] : metadata) {
+      if (meta_name == kTypeProp && value == kTypeTask) is_task = true;
+      if (meta_name == kTaskKindProp) {
+        auto kind = task_kind_from_string(value);
+        if (kind.ok()) task.kind = kind.value();
+      }
+      if (meta_name == kStateProp) {
+        auto state = run_state_from_string(value);
+        if (state.ok()) task.state = state.value();
+      }
+    }
+    if (!is_task) continue;
+
+    std::string tpath = join_path(calc_path, task.name);
+    if (parts.input_decks) {
+      auto input = storage_->read_object(join_path(tpath, "input"));
+      if (input.ok()) task.input_deck = std::move(input).value();
+    }
+    if (parts.jobs) {
+      auto job_meta = storage_->get_metadata(
+          join_path(tpath, "job"),
+          {kJobHostProp, kJobQueueProp, kJobNodesProp, kJobIdProp,
+           kStateProp});
+      if (job_meta.ok()) {
+        for (const auto& [meta_name, value] : job_meta.value()) {
+          if (meta_name == kJobHostProp) task.job.host = value;
+          if (meta_name == kJobQueueProp) task.job.queue = value;
+          if (meta_name == kJobNodesProp) {
+            try {
+              task.job.node_count = std::stoi(value);
+            } catch (const std::exception&) {
+            }
+          }
+          if (meta_name == kJobIdProp) task.job.scheduler_id = value;
+          if (meta_name == kStateProp) {
+            auto state = run_state_from_string(value);
+            if (state.ok()) task.job.state = state.value();
+          }
+        }
+      }
+    }
+    if (parts.outputs) {
+      // Virtual-document resolution: prefer the ecce:members metadata
+      // (documents may have been relocated); fall back to scanning the
+      // physical collection for pre-members stores.
+      std::vector<std::string> output_paths;
+      auto member_list = storage_->get_metadatum(tpath, kMembersProp);
+      if (member_list.ok()) {
+        for (const Member& member : decode_members(member_list.value())) {
+          output_paths.push_back(member.href);
+        }
+      } else {
+        auto listed = storage_->list(tpath);
+        if (!listed.ok()) return listed.status();
+        for (const auto& member : listed.value()) {
+          if (starts_with(basename_of(member), "prop-")) {
+            output_paths.push_back(member);
+          }
+        }
+      }
+      for (const auto& output_path : output_paths) {
+        auto body = storage_->read_object(output_path);
+        if (!body.ok()) return body.status();
+        auto property = OutputProperty::from_bytes(body.value());
+        if (!property.ok()) return property.status();
+        task.outputs.push_back(std::move(property).value());
+      }
+    }
+    // Canonical output order is by property name: the wire order is a
+    // storage artifact (directory listing vs object-graph order) and
+    // the two architectures must return identical models.
+    std::sort(task.outputs.begin(), task.outputs.end(),
+              [](const OutputProperty& a, const OutputProperty& b) {
+                return a.name < b.name;
+              });
+    calculation.tasks.push_back(std::move(task));
+  }
+  return calculation;
+}
+
+Status DavCalculationFactory::remove_calculation(const std::string& project,
+                                                 const std::string& name) {
+  return storage_->remove(calculation_path(project, name));
+}
+
+Status DavCalculationFactory::copy_calculation(const std::string& project,
+                                               const std::string& from,
+                                               const std::string& to) {
+  // A single server-side COPY moves the whole virtual document — no
+  // object faulting on the client at all.
+  std::string from_path = calculation_path(project, from);
+  std::string to_path = calculation_path(project, to);
+  DAVPSE_RETURN_IF_ERROR(storage_->copy(from_path, to_path));
+  // Rebase the copied tasks' member hrefs: entries that pointed inside
+  // the source subtree now point inside the copy (externally-archived
+  // members stay shared, which is the virtual-document semantics).
+  auto children = storage_->get_children_metadata(
+      to_path, {kTypeProp, kMembersProp});
+  if (!children.ok()) return children.status();
+  for (const auto& [href, metadata] : children.value()) {
+    bool is_task = false;
+    std::string raw_members;
+    for (const auto& [name, value] : metadata) {
+      if (name == kTypeProp && value == kTypeTask) is_task = true;
+      if (name == kMembersProp) raw_members = value;
+    }
+    if (!is_task || raw_members.empty()) continue;
+    std::vector<Member> members = decode_members(raw_members);
+    bool changed = false;
+    for (Member& member : members) {
+      if (path_is_within(member.href, from_path)) {
+        member.href = to_path + member.href.substr(from_path.size());
+        changed = true;
+      }
+    }
+    if (changed) {
+      DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+          href, {{kMembersProp, encode_members(members)}}));
+    }
+  }
+  return Status::ok();
+}
+
+Status DavCalculationFactory::update_task_state(
+    const std::string& project, const std::string& calculation,
+    const std::string& task, RunState state) {
+  DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+      task_path(project, calculation, task),
+      {{kStateProp, std::string(to_string(state))}}));
+  // Keep the calculation-level rollup (what Calc Manager summarizes)
+  // in step with the latest task transition.
+  return storage_->set_metadata(
+      calculation_path(project, calculation),
+      {{kStateProp, std::string(to_string(state))}});
+}
+
+Status DavCalculationFactory::attach_output(const std::string& project,
+                                            const std::string& calculation,
+                                            const std::string& task,
+                                            const OutputProperty& output) {
+  std::string tpath = task_path(project, calculation, task);
+  std::string path = join_path(tpath, "prop-" + output.name);
+  DAVPSE_RETURN_IF_ERROR(storage_->write_object(
+      path, output.to_bytes(), "application/octet-stream"));
+  DAVPSE_RETURN_IF_ERROR(storage_->set_metadata(
+      path, {{kTypeProp, std::string(kTypeProperty)},
+             {kPropertyNameProp, output.name},
+             {kUnitsProp, output.units},
+             {kDimensionsProp, dims_to_text(output.dimensions)}}));
+  // Record the member in the task's virtual-document index.
+  std::vector<Member> members;
+  auto existing = storage_->get_metadatum(tpath, kMembersProp);
+  if (existing.ok()) members = decode_members(existing.value());
+  std::erase_if(members,
+                [&](const Member& member) { return member.name == output.name; });
+  members.push_back({output.name, path});
+  return storage_->set_metadata(tpath,
+                                {{kMembersProp, encode_members(members)}});
+}
+
+Status DavCalculationFactory::relocate_output(const std::string& project,
+                                              const std::string& calculation,
+                                              const std::string& task,
+                                              const std::string& output_name,
+                                              const std::string& new_path) {
+  std::string tpath = task_path(project, calculation, task);
+  auto existing = storage_->get_metadatum(tpath, kMembersProp);
+  if (!existing.ok()) return existing.status();
+  std::vector<Member> members = decode_members(existing.value());
+  Member* entry = nullptr;
+  for (Member& member : members) {
+    if (member.name == output_name) entry = &member;
+  }
+  if (entry == nullptr) {
+    return error(ErrorCode::kNotFound,
+                 "no output '" + output_name + "' in " + tpath);
+  }
+  DAVPSE_RETURN_IF_ERROR(
+      storage_->create_container_path(parent_path(new_path)));
+  DAVPSE_RETURN_IF_ERROR(storage_->move(entry->href, new_path));
+  entry->href = new_path;
+  return storage_->set_metadata(tpath,
+                                {{kMembersProp, encode_members(members)}});
+}
+
+Status DavCalculationFactory::save_library_basis(const BasisSet& basis) {
+  std::string path = join_path(kLibraryRoot, basis.name);
+  DAVPSE_RETURN_IF_ERROR(
+      storage_->write_object(path, basis.to_text(), "text/plain"));
+  return storage_->set_metadata(path,
+                                {{kTypeProp, std::string(kTypeBasisSet)},
+                                 {kBasisNameProp, basis.name}});
+}
+
+Result<std::vector<std::string>> DavCalculationFactory::list_library_bases() {
+  auto children = storage_->list(std::string(kLibraryRoot));
+  if (!children.ok()) return children.status();
+  std::vector<std::string> out;
+  for (const auto& child : children.value()) {
+    out.push_back(basename_of(child));
+  }
+  return out;
+}
+
+Result<BasisSet> DavCalculationFactory::load_library_basis(
+    const std::string& name) {
+  auto body = storage_->read_object(join_path(kLibraryRoot, name));
+  if (!body.ok()) return body.status();
+  return BasisSet::from_text(body.value());
+}
+
+}  // namespace davpse::ecce

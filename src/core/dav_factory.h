@@ -1,0 +1,93 @@
+// Figure 4: the calculation model mapped onto DAV constructs.
+//
+//   /Ecce/<project>/                      collection  ecce:type=project
+//   /Ecce/<project>/<calc>/               collection  ecce:type=calculation,
+//                                         ecce:theory, ecce:description,
+//                                         ecce:basis-name, ecce:state
+//   /Ecce/<project>/<calc>/molecule       XYZ document + ecce:format,
+//                                         ecce:formula, ecce:symmetry,
+//                                         ecce:charge, ecce:multiplicity,
+//                                         ecce:atom-count
+//   /Ecce/<project>/<calc>/basisset       text document + ecce:basis-name
+//   /Ecce/<project>/<calc>/<task>/        collection  ecce:task-kind,
+//                                         ecce:state
+//   /Ecce/<project>/<calc>/<task>/input   input deck document
+//   /Ecce/<project>/<calc>/<task>/job     job record (metadata only)
+//   /Ecce/<project>/<calc>/<task>/prop-*  binary property documents +
+//                                         ecce:property-name, ecce:units,
+//                                         ecce:dimensions
+//   /EcceBasisLibrary/<name>              shared basis-set documents
+//
+// "Objects recognizable by domain scientists were mapped to separate
+// DAV documents... the lowest granularity of access to raw data."
+#pragma once
+
+#include <memory>
+
+#include "core/factory.h"
+#include "core/storage.h"
+
+namespace davpse::ecce {
+
+class DavCalculationFactory final : public CalculationFactory {
+ public:
+  /// Borrows the storage binding (usually a DavStorage).
+  explicit DavCalculationFactory(DataStorageInterface* storage)
+      : storage_(storage) {}
+
+  Status initialize() override;
+
+  Status create_project(const std::string& project) override;
+  Result<std::vector<std::string>> list_projects() override;
+  Result<std::vector<std::string>> list_calculations(
+      const std::string& project) override;
+  Result<std::vector<CalcSummary>> project_summary(
+      const std::string& project) override;
+
+  Status save_calculation(const std::string& project,
+                          const Calculation& calculation) override;
+  Result<Calculation> load_calculation(const std::string& project,
+                                       const std::string& name,
+                                       const LoadParts& parts) override;
+  Status remove_calculation(const std::string& project,
+                            const std::string& name) override;
+  Status copy_calculation(const std::string& project, const std::string& from,
+                          const std::string& to) override;
+
+  Status update_task_state(const std::string& project,
+                           const std::string& calculation,
+                           const std::string& task, RunState state) override;
+  Status attach_output(const std::string& project,
+                       const std::string& calculation,
+                       const std::string& task,
+                       const OutputProperty& output) override;
+
+  /// Moves one output document to an arbitrary location (e.g. an
+  /// archive hierarchy) and updates the task's ecce:members entry —
+  /// the §3.2.3 virtual-document scenario: "an application or a DAV
+  /// implementation might elect to store large documents on an archive
+  /// system... the DAV structure can be reorganized without breaking
+  /// existing applications". Loads keep working unchanged.
+  Status relocate_output(const std::string& project,
+                         const std::string& calculation,
+                         const std::string& task,
+                         const std::string& output_name,
+                         const std::string& new_path);
+
+  Status save_library_basis(const BasisSet& basis) override;
+  Result<std::vector<std::string>> list_library_bases() override;
+  Result<BasisSet> load_library_basis(const std::string& name) override;
+
+  static std::string project_path(const std::string& project);
+  static std::string calculation_path(const std::string& project,
+                                      const std::string& name);
+
+ private:
+  std::string task_path(const std::string& project,
+                        const std::string& calculation,
+                        const std::string& task) const;
+
+  DataStorageInterface* storage_;
+};
+
+}  // namespace davpse::ecce

@@ -1,0 +1,103 @@
+#include "core/dav_storage.h"
+
+#include "xml/escape.h"
+
+namespace davpse::ecce {
+namespace {
+
+std::vector<Metadatum> metadata_from(
+    const davclient::ResourceResponse& response) {
+  std::vector<Metadatum> out;
+  out.reserve(response.found.size());
+  for (const auto& entry : response.found) {
+    out.emplace_back(entry.name, xml::unescape_text(entry.inner_xml));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status DavStorage::create_container(const std::string& path) {
+  return client_->mkcol(path);
+}
+
+Status DavStorage::create_container_path(const std::string& path) {
+  return client_->mkcol_recursive(path);
+}
+
+Result<std::vector<std::string>> DavStorage::list(const std::string& path) {
+  auto result = client_->propfind(
+      path, davclient::Depth::kOne, {xml::dav_name("resourcetype")});
+  if (!result.ok()) return result.status();
+  std::vector<std::string> out;
+  for (const auto& response : result.value().responses) {
+    if (response.href == path) continue;  // the container itself
+    out.push_back(response.href);
+  }
+  return out;
+}
+
+Status DavStorage::write_object(const std::string& path, std::string data,
+                                const std::string& content_type) {
+  return client_->put(path, std::move(data), content_type);
+}
+
+Result<std::string> DavStorage::read_object(const std::string& path) {
+  return client_->get(path);
+}
+
+Status DavStorage::set_metadata(const std::string& path,
+                                const std::vector<Metadatum>& metadata) {
+  std::vector<davclient::PropWrite> writes;
+  writes.reserve(metadata.size());
+  for (const auto& [name, value] : metadata) {
+    writes.push_back(davclient::PropWrite::of_text(name, value));
+  }
+  return client_->proppatch(path, writes);
+}
+
+Result<std::string> DavStorage::get_metadatum(const std::string& path,
+                                              const xml::QName& name) {
+  return client_->get_property(path, name);
+}
+
+Result<std::vector<Metadatum>> DavStorage::get_metadata(
+    const std::string& path, const std::vector<xml::QName>& names) {
+  auto result = client_->propfind(path, davclient::Depth::kZero, names);
+  if (!result.ok()) return result.status();
+  if (result.value().responses.empty()) {
+    return Status(ErrorCode::kNotFound, "no PROPFIND response for " + path);
+  }
+  return metadata_from(result.value().responses.front());
+}
+
+Result<std::vector<std::pair<std::string, std::vector<Metadatum>>>>
+DavStorage::get_children_metadata(const std::string& path,
+                                  const std::vector<xml::QName>& names) {
+  auto result = client_->propfind(path, davclient::Depth::kOne, names);
+  if (!result.ok()) return result.status();
+  std::vector<std::pair<std::string, std::vector<Metadatum>>> out;
+  for (const auto& response : result.value().responses) {
+    if (response.href == path) continue;
+    out.emplace_back(response.href, metadata_from(response));
+  }
+  return out;
+}
+
+Result<bool> DavStorage::exists(const std::string& path) {
+  return client_->exists(path);
+}
+
+Status DavStorage::remove(const std::string& path) {
+  return client_->remove(path);
+}
+
+Status DavStorage::copy(const std::string& from, const std::string& to) {
+  return client_->copy(from, to);
+}
+
+Status DavStorage::move(const std::string& from, const std::string& to) {
+  return client_->move(from, to);
+}
+
+}  // namespace davpse::ecce

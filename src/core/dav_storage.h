@@ -1,0 +1,49 @@
+// DAV binding of the Data Storage Interface — the protocol module of
+// Figure 2's layered client ("While DAV is the only protocol currently
+// implemented, a separate data storage interface will reduce the
+// changes required to provide native-protocol access to data grids").
+#pragma once
+
+#include <memory>
+
+#include "davclient/client.h"
+#include "core/storage.h"
+
+namespace davpse::ecce {
+
+class DavStorage final : public DataStorageInterface {
+ public:
+  /// Borrows the client; the caller keeps it alive.
+  explicit DavStorage(davclient::DavClient* client) : client_(client) {}
+
+  Status create_container(const std::string& path) override;
+  Status create_container_path(const std::string& path) override;
+  Result<std::vector<std::string>> list(const std::string& path) override;
+
+  Status write_object(const std::string& path, std::string data,
+                      const std::string& content_type) override;
+  Result<std::string> read_object(const std::string& path) override;
+
+  Status set_metadata(const std::string& path,
+                      const std::vector<Metadatum>& metadata) override;
+  Result<std::string> get_metadatum(const std::string& path,
+                                    const xml::QName& name) override;
+  Result<std::vector<Metadatum>> get_metadata(
+      const std::string& path,
+      const std::vector<xml::QName>& names) override;
+  Result<std::vector<std::pair<std::string, std::vector<Metadatum>>>>
+  get_children_metadata(const std::string& path,
+                        const std::vector<xml::QName>& names) override;
+
+  Result<bool> exists(const std::string& path) override;
+  Status remove(const std::string& path) override;
+  Status copy(const std::string& from, const std::string& to) override;
+  Status move(const std::string& from, const std::string& to) override;
+
+  davclient::DavClient* client() { return client_; }
+
+ private:
+  davclient::DavClient* client_;
+};
+
+}  // namespace davpse::ecce

@@ -1,0 +1,100 @@
+// The object/factory layer of Figure 2: applications keep working in
+// terms of rich C++ objects (Calculation, Molecule, BasisSet, ...)
+// while factories "encapsulate access to persistent data using
+// implementations of the Data Storage Interface".
+//
+// Two bindings exist:
+//   DavCalculationFactory  — the paper's new architecture (Figure 4
+//                            mapping onto DAV collections/documents/
+//                            metadata),
+//   OodbCalculationFactory — the Ecce 1.5 baseline (persistent object
+//                            classes in the OODB).
+// Table 3 drives identical tool workloads through both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "util/status.h"
+
+namespace davpse::ecce {
+
+/// Which parts of a calculation a tool needs. Per-tool selectivity is
+/// the point of the DAV mapping: "the lowest granularity of access to
+/// raw data, minimizing overhead for tools or agents that only care
+/// about certain subsets of data".
+struct LoadParts {
+  bool molecule = true;
+  bool basis = true;
+  bool input_decks = true;
+  bool outputs = true;
+  bool jobs = true;
+
+  static LoadParts all() { return LoadParts{}; }
+  static LoadParts none() { return {false, false, false, false, false}; }
+  static LoadParts molecule_only() {
+    LoadParts parts = none();
+    parts.molecule = true;
+    return parts;
+  }
+};
+
+/// Row of a project listing (Calc Manager view).
+struct CalcSummary {
+  std::string name;
+  TheoryLevel theory = TheoryLevel::kSCF;
+  RunState state = RunState::kCreated;
+  std::string formula;
+};
+
+class CalculationFactory {
+ public:
+  virtual ~CalculationFactory() = default;
+
+  /// Session startup: connect, handshake, load whatever the binding
+  /// requires before the first object can be served. Tool start times
+  /// in Table 3 are dominated by this call.
+  virtual Status initialize() = 0;
+
+  // -- projects -----------------------------------------------------------
+  virtual Status create_project(const std::string& project) = 0;
+  virtual Result<std::vector<std::string>> list_projects() = 0;
+  virtual Result<std::vector<std::string>> list_calculations(
+      const std::string& project) = 0;
+  /// Metadata-level listing of a project (one round trip under DAV).
+  virtual Result<std::vector<CalcSummary>> project_summary(
+      const std::string& project) = 0;
+
+  // -- calculations ---------------------------------------------------------
+  virtual Status save_calculation(const std::string& project,
+                                  const Calculation& calculation) = 0;
+  virtual Result<Calculation> load_calculation(const std::string& project,
+                                               const std::string& name,
+                                               const LoadParts& parts) = 0;
+  virtual Status remove_calculation(const std::string& project,
+                                    const std::string& name) = 0;
+  /// Deep copy (task sequences included) — the paper's Table 1 "copy
+  /// entire task sequences" operation at the object level.
+  virtual Status copy_calculation(const std::string& project,
+                                  const std::string& from,
+                                  const std::string& to) = 0;
+
+  // -- incremental task updates (monitoring workflow) -----------------------
+  virtual Status update_task_state(const std::string& project,
+                                   const std::string& calculation,
+                                   const std::string& task,
+                                   RunState state) = 0;
+  virtual Status attach_output(const std::string& project,
+                               const std::string& calculation,
+                               const std::string& task,
+                               const OutputProperty& output) = 0;
+
+  // -- basis set library (BasisTool's startup payload) ----------------------
+  virtual Status save_library_basis(const BasisSet& basis) = 0;
+  virtual Result<std::vector<std::string>> list_library_bases() = 0;
+  virtual Result<BasisSet> load_library_basis(const std::string& name) = 0;
+};
+
+}  // namespace davpse::ecce

@@ -1,0 +1,94 @@
+#include "core/migrate.h"
+
+#include "util/fs.h"
+#include "util/strings.h"
+#include "util/uri.h"
+
+namespace davpse::ecce {
+
+namespace fs = std::filesystem;
+
+std::string MigrationReport::to_string() const {
+  return std::to_string(projects) + " projects, " +
+         std::to_string(calculations) + " calculations, " +
+         std::to_string(raw_files_moved) + " raw files (" +
+         format_bytes(raw_bytes_moved) + ") moved";
+}
+
+Result<MigrationReport> Migrator::migrate_all() {
+  MigrationReport report;
+  DAVPSE_RETURN_IF_ERROR(source_->initialize());
+  DAVPSE_RETURN_IF_ERROR(dest_->initialize());
+
+  auto projects = source_->list_projects();
+  if (!projects.ok()) return projects.status();
+  for (const auto& project : projects.value()) {
+    Status created = dest_->create_project(project);
+    if (!created.is_ok() && created.code() != ErrorCode::kAlreadyExists) {
+      return created;
+    }
+    ++report.projects;
+    auto calculations = source_->list_calculations(project);
+    if (!calculations.ok()) return calculations.status();
+    for (const auto& name : calculations.value()) {
+      auto loaded =
+          source_->load_calculation(project, name, LoadParts::all());
+      if (!loaded.ok()) return loaded.status();
+      DAVPSE_RETURN_IF_ERROR(
+          dest_->save_calculation(project, loaded.value()));
+      ++report.calculations;
+    }
+  }
+
+  // The shared basis library moves too.
+  auto bases = source_->list_library_bases();
+  if (bases.ok()) {
+    for (const auto& name : bases.value()) {
+      auto basis = source_->load_library_basis(name);
+      if (!basis.ok()) return basis.status();
+      DAVPSE_RETURN_IF_ERROR(dest_->save_library_basis(basis.value()));
+    }
+  }
+  return report;
+}
+
+Status Migrator::move_raw_files(const fs::path& raw_dir,
+                                MigrationReport* report) {
+  std::error_code ec;
+  if (!fs::is_directory(raw_dir, ec)) return Status::ok();
+  for (auto project_it = fs::directory_iterator(raw_dir, ec);
+       !ec && project_it != fs::directory_iterator();
+       project_it.increment(ec)) {
+    if (!project_it->is_directory(ec)) continue;
+    std::string project = project_it->path().filename().string();
+    for (auto calc_it = fs::directory_iterator(project_it->path(), ec);
+         !ec && calc_it != fs::directory_iterator(); calc_it.increment(ec)) {
+      if (!calc_it->is_directory(ec)) continue;
+      std::string calculation = calc_it->path().filename().string();
+      std::string calc_path =
+          DavCalculationFactory::calculation_path(project, calculation);
+      auto exists = dest_storage_->exists(calc_path);
+      if (!exists.ok()) return exists.status();
+      if (!exists.value()) continue;  // no migrated calc to attach to
+      for (auto file_it = fs::recursive_directory_iterator(calc_it->path(), ec);
+           !ec && file_it != fs::recursive_directory_iterator();
+           file_it.increment(ec)) {
+        if (!file_it->is_regular_file(ec)) continue;
+        std::string contents;
+        DAVPSE_RETURN_IF_ERROR(read_file(file_it->path(), &contents));
+        std::string target = join_path(
+            calc_path, "raw-" + file_it->path().filename().string());
+        size_t size = contents.size();
+        DAVPSE_RETURN_IF_ERROR(dest_storage_->write_object(
+            target, std::move(contents), "application/octet-stream"));
+        if (report != nullptr) {
+          ++report->raw_files_moved;
+          report->raw_bytes_moved += size;
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace davpse::ecce

@@ -1,0 +1,55 @@
+// §3.2.4 data migration: the two-stage OODB→DAV conversion.
+//   Stage 1: "converted OODB data into the DAV data structures" —
+//            every project/calculation is faulted out of the object
+//            store and re-saved through the DAV factory.
+//   Stage 2: "raw calculation data in the form of input and output
+//            files was moved from users local disk storage directly
+//            into the calculation virtual document on the data server"
+//            — the OODB only held *path references* to those files.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "core/dav_factory.h"
+#include "core/factory.h"
+#include "core/storage.h"
+
+namespace davpse::ecce {
+
+struct MigrationReport {
+  size_t projects = 0;
+  size_t calculations = 0;
+  size_t raw_files_moved = 0;
+  uint64_t raw_bytes_moved = 0;
+
+  std::string to_string() const;
+};
+
+class Migrator {
+ public:
+  /// `source` is the legacy (OODB-backed) factory, `dest` the new
+  /// DAV-backed one, `dest_storage` the raw storage binding used for
+  /// stage-2 file uploads.
+  Migrator(CalculationFactory* source, DavCalculationFactory* dest,
+           DataStorageInterface* dest_storage)
+      : source_(source), dest_(dest), dest_storage_(dest_storage) {}
+
+  /// Runs stage 1 over every project in the source store.
+  Result<MigrationReport> migrate_all();
+
+  /// Stage 2: uploads every file under `raw_dir/<project>/<calc>/`
+  /// into the matching calculation virtual document as a `raw-<name>`
+  /// member. Missing directories are fine (not every calculation has
+  /// raw files).
+  Status move_raw_files(const std::filesystem::path& raw_dir,
+                        MigrationReport* report);
+
+ private:
+  CalculationFactory* source_;
+  DavCalculationFactory* dest_;
+  DataStorageInterface* dest_storage_;
+};
+
+}  // namespace davpse::ecce

@@ -1,0 +1,111 @@
+#include "core/model.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace davpse::ecce {
+
+std::string_view to_string(TheoryLevel theory) {
+  switch (theory) {
+    case TheoryLevel::kSCF: return "SCF";
+    case TheoryLevel::kDFT: return "DFT";
+    case TheoryLevel::kMP2: return "MP2";
+    case TheoryLevel::kCCSD: return "CCSD";
+  }
+  return "SCF";
+}
+
+std::string_view to_string(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kGeometryOptimization: return "geometry-optimization";
+    case TaskKind::kEnergy: return "energy";
+    case TaskKind::kFrequency: return "frequency";
+    case TaskKind::kESP: return "esp";
+  }
+  return "energy";
+}
+
+std::string_view to_string(RunState state) {
+  switch (state) {
+    case RunState::kCreated: return "created";
+    case RunState::kSubmitted: return "submitted";
+    case RunState::kRunning: return "running";
+    case RunState::kComplete: return "complete";
+    case RunState::kFailed: return "failed";
+  }
+  return "created";
+}
+
+Result<TheoryLevel> theory_from_string(std::string_view text) {
+  if (text == "SCF") return TheoryLevel::kSCF;
+  if (text == "DFT") return TheoryLevel::kDFT;
+  if (text == "MP2") return TheoryLevel::kMP2;
+  if (text == "CCSD") return TheoryLevel::kCCSD;
+  return Status(ErrorCode::kInvalidArgument,
+                "unknown theory level: " + std::string(text));
+}
+
+Result<TaskKind> task_kind_from_string(std::string_view text) {
+  if (text == "geometry-optimization") return TaskKind::kGeometryOptimization;
+  if (text == "energy") return TaskKind::kEnergy;
+  if (text == "frequency") return TaskKind::kFrequency;
+  if (text == "esp") return TaskKind::kESP;
+  return Status(ErrorCode::kInvalidArgument,
+                "unknown task kind: " + std::string(text));
+}
+
+Result<RunState> run_state_from_string(std::string_view text) {
+  if (text == "created") return RunState::kCreated;
+  if (text == "submitted") return RunState::kSubmitted;
+  if (text == "running") return RunState::kRunning;
+  if (text == "complete") return RunState::kComplete;
+  if (text == "failed") return RunState::kFailed;
+  return Status(ErrorCode::kInvalidArgument,
+                "unknown run state: " + std::string(text));
+}
+
+size_t Calculation::output_bytes() const {
+  size_t total = 0;
+  for (const CalcTask& task : tasks) {
+    for (const OutputProperty& property : task.outputs) {
+      total += property.values.size() * sizeof(double);
+    }
+  }
+  return total;
+}
+
+std::string generate_input_deck(const Calculation& calculation,
+                                const CalcTask& task) {
+  std::string deck;
+  deck += "start " + calculation.name + "_" + task.name + "\n";
+  deck += "title \"" + calculation.description + "\"\n";
+  deck += "charge " + std::to_string(calculation.molecule.charge) + "\n\n";
+  deck += "geometry units angstroms\n";
+  char line[96];
+  for (const Atom& atom : calculation.molecule.atoms) {
+    std::snprintf(line, sizeof line, "  %-3s %12.6f %12.6f %12.6f\n",
+                  atom.symbol.c_str(), atom.x, atom.y, atom.z);
+    deck += line;
+  }
+  deck += "end\n\nbasis\n  * library \"" + calculation.basis.name +
+          "\"\nend\n\n";
+  std::string theory(to_string(calculation.theory));
+  for (char& c : theory) c = static_cast<char>(std::tolower(c));
+  switch (task.kind) {
+    case TaskKind::kGeometryOptimization:
+      deck += "task " + theory + " optimize\n";
+      break;
+    case TaskKind::kEnergy:
+      deck += "task " + theory + " energy\n";
+      break;
+    case TaskKind::kFrequency:
+      deck += "task " + theory + " freq\n";
+      break;
+    case TaskKind::kESP:
+      deck += "task esp\n";
+      break;
+  }
+  return deck;
+}
+
+}  // namespace davpse::ecce

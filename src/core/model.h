@@ -1,0 +1,70 @@
+// The calculation object model of Figure 3: a study subject (Molecule)
+// on which the tasks of an Experiment (Calculation) are performed,
+// producing n-dimensional output Properties; Jobs capture the
+// execution context so results stay reproducible.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/chem.h"
+#include "util/status.h"
+
+namespace davpse::ecce {
+
+enum class TheoryLevel { kSCF, kDFT, kMP2, kCCSD };
+enum class TaskKind { kGeometryOptimization, kEnergy, kFrequency, kESP };
+enum class RunState { kCreated, kSubmitted, kRunning, kComplete, kFailed };
+
+std::string_view to_string(TheoryLevel theory);
+std::string_view to_string(TaskKind kind);
+std::string_view to_string(RunState state);
+Result<TheoryLevel> theory_from_string(std::string_view text);
+Result<TaskKind> task_kind_from_string(std::string_view text);
+Result<RunState> run_state_from_string(std::string_view text);
+
+/// Compute-job record (distributed execution + monitoring context).
+struct Job {
+  std::string host;
+  std::string queue;
+  int node_count = 1;
+  std::string scheduler_id;
+  RunState state = RunState::kCreated;
+};
+
+/// One step of a calculation (Figure 3's Experiment task).
+struct CalcTask {
+  std::string name;  // "task-1", assigned by the factory
+  TaskKind kind = TaskKind::kEnergy;
+  RunState state = RunState::kCreated;
+  std::string input_deck;
+  Job job;
+  std::vector<OutputProperty> outputs;
+};
+
+/// A simulated experiment: "All the information needed to reproduce
+/// the calculation and provide historical context or post-analysis
+/// capabilities is captured."
+struct Calculation {
+  std::string name;
+  std::string description;
+  TheoryLevel theory = TheoryLevel::kSCF;
+  Molecule molecule;
+  BasisSet basis;
+  std::vector<CalcTask> tasks;
+
+  /// Total bytes across all output property payloads.
+  size_t output_bytes() const;
+};
+
+struct Project {
+  std::string name;
+  std::vector<std::string> calculation_names;
+};
+
+/// Renders an NWChem-flavored input deck for a task of a calculation.
+std::string generate_input_deck(const Calculation& calculation,
+                                const CalcTask& task);
+
+}  // namespace davpse::ecce

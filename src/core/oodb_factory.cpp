@@ -1,0 +1,716 @@
+#include "core/oodb_factory.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace davpse::ecce {
+namespace {
+
+using oodb::FieldDef;
+using oodb::FieldType;
+using oodb::ObjectId;
+using oodb::PersistentObject;
+
+// Field indices per class (declaration order below).
+namespace dir {
+constexpr size_t kNames = 0;  // "\n"-joined member names
+constexpr size_t kRefs = 1;   // parallel member refs
+}  // namespace dir
+namespace calc {
+constexpr size_t kName = 0;
+constexpr size_t kDescription = 1;
+constexpr size_t kTheory = 2;
+constexpr size_t kState = 3;
+constexpr size_t kMolecule = 4;
+constexpr size_t kBasis = 5;
+constexpr size_t kTasks = 6;
+}  // namespace calc
+namespace mol {
+constexpr size_t kName = 0;
+constexpr size_t kCharge = 1;
+constexpr size_t kMultiplicity = 2;
+constexpr size_t kAtoms = 3;
+}  // namespace mol
+namespace atom {
+constexpr size_t kSymbol = 0;
+constexpr size_t kX = 1;
+constexpr size_t kY = 2;
+constexpr size_t kZ = 3;
+}  // namespace atom
+namespace basis {
+constexpr size_t kName = 0;
+constexpr size_t kShells = 1;
+}  // namespace basis
+namespace shell {
+constexpr size_t kElement = 0;
+constexpr size_t kType = 1;
+constexpr size_t kExponents = 2;
+constexpr size_t kCoefficients = 3;
+}  // namespace shell
+namespace task {
+constexpr size_t kName = 0;
+constexpr size_t kKind = 1;
+constexpr size_t kState = 2;
+constexpr size_t kInput = 3;
+constexpr size_t kJob = 4;
+constexpr size_t kOutputs = 5;
+}  // namespace task
+namespace job {
+constexpr size_t kHost = 0;
+constexpr size_t kQueue = 1;
+constexpr size_t kNodes = 2;
+constexpr size_t kSchedulerId = 3;
+constexpr size_t kState = 4;
+}  // namespace job
+namespace prop {
+constexpr size_t kName = 0;
+constexpr size_t kUnits = 1;
+constexpr size_t kDims = 2;
+constexpr size_t kChunks = 3;
+}  // namespace prop
+namespace chunk {
+constexpr size_t kValues = 0;
+}  // namespace chunk
+
+std::string dims_to_text(const std::vector<uint32_t>& dimensions) {
+  std::string out;
+  for (size_t i = 0; i < dimensions.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(dimensions[i]);
+  }
+  return out;
+}
+
+std::vector<uint32_t> dims_from_text(const std::string& text) {
+  std::vector<uint32_t> out;
+  for (const auto& piece : split_skip_empty(text, 'x')) {
+    try {
+      out.push_back(static_cast<uint32_t>(std::stoul(piece)));
+    } catch (const std::exception&) {
+      return {};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+oodb::Schema ecce_oodb_schema() {
+  oodb::Schema schema;
+  auto add = [&schema](std::string name, std::vector<FieldDef> fields) {
+    Status status = schema.add_class(std::move(name), std::move(fields));
+    (void)status;  // construction-time schema: names are unique
+  };
+  add("Directory", {{"names", FieldType::kString},
+                    {"refs", FieldType::kRefArray}});
+  add("Calculation", {{"name", FieldType::kString},
+                      {"description", FieldType::kString},
+                      {"theory", FieldType::kString},
+                      {"state", FieldType::kString},
+                      {"molecule", FieldType::kObjectRef},
+                      {"basis", FieldType::kObjectRef},
+                      {"tasks", FieldType::kRefArray}});
+  add("Molecule", {{"name", FieldType::kString},
+                   {"charge", FieldType::kInt64},
+                   {"multiplicity", FieldType::kInt64},
+                   {"atoms", FieldType::kRefArray}});
+  add("Atom", {{"symbol", FieldType::kString},
+               {"x", FieldType::kDouble},
+               {"y", FieldType::kDouble},
+               {"z", FieldType::kDouble}});
+  add("BasisSet", {{"name", FieldType::kString},
+                   {"shells", FieldType::kRefArray}});
+  add("BasisShell", {{"element", FieldType::kString},
+                     {"type", FieldType::kString},
+                     {"exponents", FieldType::kDoubleArray},
+                     {"coefficients", FieldType::kDoubleArray}});
+  add("Task", {{"name", FieldType::kString},
+               {"kind", FieldType::kString},
+               {"state", FieldType::kString},
+               {"input", FieldType::kString},
+               {"job", FieldType::kObjectRef},
+               {"outputs", FieldType::kRefArray}});
+  add("Job", {{"host", FieldType::kString},
+              {"queue", FieldType::kString},
+              {"nodes", FieldType::kInt64},
+              {"scheduler_id", FieldType::kString},
+              {"state", FieldType::kString}});
+  add("Property", {{"name", FieldType::kString},
+                   {"units", FieldType::kString},
+                   {"dims", FieldType::kString},
+                   {"chunks", FieldType::kRefArray}});
+  add("PropChunk", {{"values", FieldType::kDoubleArray}});
+  Status status = schema.compile();
+  (void)status;
+  return schema;
+}
+
+// ---------------------------------------------------------------------
+// Directory helpers
+
+Result<ObjectId> OodbCalculationFactory::ensure_root_directory(
+    const std::string& root) {
+  auto existing = client_->get_root(root);
+  if (!existing.ok()) return existing.status();
+  if (existing.value() != oodb::kNullObject) return existing.value();
+  auto directory = client_->create("Directory");
+  if (!directory.ok()) return directory.status();
+  DAVPSE_RETURN_IF_ERROR(client_->commit());
+  DAVPSE_RETURN_IF_ERROR(client_->set_root(root, directory.value()->id()));
+  return directory.value()->id();
+}
+
+Result<ObjectId> OodbCalculationFactory::directory_lookup(
+    ObjectId directory, const std::string& name) {
+  auto object = client_->read(directory);
+  if (!object.ok()) return object.status();
+  auto names = split(object.value()->get_string(dir::kNames), '\n');
+  const auto& refs = object.value()->get_ref_array(dir::kRefs);
+  for (size_t i = 0; i < names.size() && i < refs.size(); ++i) {
+    if (names[i] == name) return refs[i];
+  }
+  return Status(ErrorCode::kNotFound, "no directory entry: " + name);
+}
+
+Status OodbCalculationFactory::directory_insert(ObjectId directory,
+                                                const std::string& name,
+                                                ObjectId target) {
+  auto object = client_->read(directory);
+  if (!object.ok()) return object.status();
+  std::string names = object.value()->get_string(dir::kNames);
+  auto refs = object.value()->get_ref_array(dir::kRefs);
+  if (!names.empty()) names += "\n";
+  names += name;
+  refs.push_back(target);
+  object.value()->set(dir::kNames, std::move(names));
+  object.value()->set(dir::kRefs, std::move(refs));
+  client_->mark_dirty(directory);
+  return client_->commit();
+}
+
+Status OodbCalculationFactory::directory_remove(ObjectId directory,
+                                                const std::string& name) {
+  auto object = client_->read(directory);
+  if (!object.ok()) return object.status();
+  auto names = split(object.value()->get_string(dir::kNames), '\n');
+  auto refs = object.value()->get_ref_array(dir::kRefs);
+  std::string new_names;
+  std::vector<ObjectId> new_refs;
+  bool removed = false;
+  for (size_t i = 0; i < names.size() && i < refs.size(); ++i) {
+    if (names[i] == name) {
+      removed = true;
+      continue;
+    }
+    if (!new_names.empty()) new_names += "\n";
+    new_names += names[i];
+    new_refs.push_back(refs[i]);
+  }
+  if (!removed) {
+    return error(ErrorCode::kNotFound, "no directory entry: " + name);
+  }
+  object.value()->set(dir::kNames, std::move(new_names));
+  object.value()->set(dir::kRefs, std::move(new_refs));
+  client_->mark_dirty(directory);
+  return client_->commit();
+}
+
+Result<std::vector<std::string>> OodbCalculationFactory::directory_names(
+    ObjectId directory) {
+  auto object = client_->read(directory);
+  if (!object.ok()) return object.status();
+  std::string joined = object.value()->get_string(dir::kNames);
+  if (joined.empty()) return std::vector<std::string>{};
+  return split(joined, '\n');
+}
+
+Result<ObjectId> OodbCalculationFactory::project_directory(
+    const std::string& project, bool create) {
+  auto root = ensure_root_directory("projects");
+  if (!root.ok()) return root.status();
+  auto found = directory_lookup(root.value(), project);
+  if (found.ok() || !create) return found;
+  auto directory = client_->create("Directory");
+  if (!directory.ok()) return directory.status();
+  ObjectId id = directory.value()->id();
+  DAVPSE_RETURN_IF_ERROR(client_->commit());
+  DAVPSE_RETURN_IF_ERROR(directory_insert(root.value(), project, id));
+  return id;
+}
+
+// ---------------------------------------------------------------------
+// Factory interface
+
+Status OodbCalculationFactory::initialize() {
+  DAVPSE_RETURN_IF_ERROR(client_->open());
+  // Cache-forward warm-up: resolving the root directories faults their
+  // segments into the client cache (part of every tool's cold start in
+  // the 1.5 architecture).
+  auto projects = ensure_root_directory("projects");
+  if (!projects.ok()) return projects.status();
+  auto library = ensure_root_directory("basis-library");
+  if (!library.ok()) return library.status();
+  auto names = directory_names(projects.value());
+  if (!names.ok()) return names.status();
+  return Status::ok();
+}
+
+Status OodbCalculationFactory::create_project(const std::string& project) {
+  auto directory = project_directory(project, /*create=*/true);
+  return directory.ok() ? Status::ok() : directory.status();
+}
+
+Result<std::vector<std::string>> OodbCalculationFactory::list_projects() {
+  auto root = ensure_root_directory("projects");
+  if (!root.ok()) return root.status();
+  return directory_names(root.value());
+}
+
+Result<std::vector<std::string>> OodbCalculationFactory::list_calculations(
+    const std::string& project) {
+  auto directory = project_directory(project, /*create=*/false);
+  if (!directory.ok()) return directory.status();
+  return directory_names(directory.value());
+}
+
+Result<std::vector<CalcSummary>> OodbCalculationFactory::project_summary(
+    const std::string& project) {
+  auto directory = project_directory(project, /*create=*/false);
+  if (!directory.ok()) return directory.status();
+  auto object = client_->read(directory.value());
+  if (!object.ok()) return object.status();
+  auto names = split(object.value()->get_string(dir::kNames), '\n');
+  auto refs = object.value()->get_ref_array(dir::kRefs);
+  std::vector<CalcSummary> out;
+  for (size_t i = 0; i < names.size() && i < refs.size(); ++i) {
+    if (names[i].empty()) continue;
+    auto calc_object = client_->read(refs[i]);
+    if (!calc_object.ok()) return calc_object.status();
+    CalcSummary summary;
+    summary.name = names[i];
+    auto theory =
+        theory_from_string(calc_object.value()->get_string(calc::kTheory));
+    if (theory.ok()) summary.theory = theory.value();
+    auto state =
+        run_state_from_string(calc_object.value()->get_string(calc::kState));
+    if (state.ok()) summary.state = state.value();
+    // Formula requires faulting the molecule and all its atom objects.
+    auto molecule = fetch_molecule(calc_object.value()->get_ref(calc::kMolecule));
+    if (molecule.ok()) {
+      summary.formula = molecule.value().empirical_formula();
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+Result<ObjectId> OodbCalculationFactory::store_molecule(
+    const Molecule& molecule) {
+  std::vector<ObjectId> atom_refs;
+  atom_refs.reserve(molecule.atoms.size());
+  for (const Atom& a : molecule.atoms) {
+    auto atom_object = client_->create("Atom");
+    if (!atom_object.ok()) return atom_object.status();
+    atom_object.value()->set(atom::kSymbol, a.symbol);
+    atom_object.value()->set(atom::kX, a.x);
+    atom_object.value()->set(atom::kY, a.y);
+    atom_object.value()->set(atom::kZ, a.z);
+    atom_refs.push_back(atom_object.value()->id());
+  }
+  auto object = client_->create("Molecule");
+  if (!object.ok()) return object.status();
+  object.value()->set(mol::kName, molecule.name);
+  object.value()->set(mol::kCharge, static_cast<int64_t>(molecule.charge));
+  object.value()->set(mol::kMultiplicity,
+                      static_cast<int64_t>(molecule.multiplicity));
+  object.value()->set(mol::kAtoms, std::move(atom_refs));
+  return object.value()->id();
+}
+
+Result<Molecule> OodbCalculationFactory::fetch_molecule(ObjectId id) {
+  auto object = client_->read(id);
+  if (!object.ok()) return object.status();
+  Molecule molecule;
+  molecule.name = object.value()->get_string(mol::kName);
+  molecule.charge = static_cast<int>(object.value()->get_int(mol::kCharge));
+  molecule.multiplicity =
+      static_cast<int>(object.value()->get_int(mol::kMultiplicity));
+  for (ObjectId atom_id : object.value()->get_ref_array(mol::kAtoms)) {
+    auto atom_object = client_->read(atom_id);
+    if (!atom_object.ok()) return atom_object.status();
+    Atom a;
+    a.symbol = atom_object.value()->get_string(atom::kSymbol);
+    a.x = atom_object.value()->get_double(atom::kX);
+    a.y = atom_object.value()->get_double(atom::kY);
+    a.z = atom_object.value()->get_double(atom::kZ);
+    molecule.atoms.push_back(std::move(a));
+  }
+  return molecule;
+}
+
+Result<ObjectId> OodbCalculationFactory::store_basis(const BasisSet& basis) {
+  std::vector<ObjectId> shell_refs;
+  shell_refs.reserve(basis.shells.size());
+  for (const BasisShell& s : basis.shells) {
+    auto shell_object = client_->create("BasisShell");
+    if (!shell_object.ok()) return shell_object.status();
+    shell_object.value()->set(shell::kElement, s.element);
+    shell_object.value()->set(shell::kType, std::string(1, s.shell_type));
+    shell_object.value()->set(shell::kExponents, s.exponents);
+    shell_object.value()->set(shell::kCoefficients, s.coefficients);
+    shell_refs.push_back(shell_object.value()->id());
+  }
+  auto object = client_->create("BasisSet");
+  if (!object.ok()) return object.status();
+  object.value()->set(basis::kName, basis.name);
+  object.value()->set(basis::kShells, std::move(shell_refs));
+  return object.value()->id();
+}
+
+Result<BasisSet> OodbCalculationFactory::fetch_basis(ObjectId id) {
+  auto object = client_->read(id);
+  if (!object.ok()) return object.status();
+  BasisSet basis;
+  basis.name = object.value()->get_string(basis::kName);
+  for (ObjectId shell_id : object.value()->get_ref_array(basis::kShells)) {
+    auto shell_object = client_->read(shell_id);
+    if (!shell_object.ok()) return shell_object.status();
+    BasisShell s;
+    s.element = shell_object.value()->get_string(shell::kElement);
+    std::string type = shell_object.value()->get_string(shell::kType);
+    s.shell_type = type.empty() ? 'S' : type[0];
+    s.exponents = shell_object.value()->get_double_array(shell::kExponents);
+    s.coefficients =
+        shell_object.value()->get_double_array(shell::kCoefficients);
+    basis.shells.push_back(std::move(s));
+  }
+  return basis;
+}
+
+Result<ObjectId> OodbCalculationFactory::store_property(
+    const OutputProperty& output) {
+  std::vector<ObjectId> chunk_refs;
+  for (size_t offset = 0; offset < output.values.size();
+       offset += kPropChunkDoubles) {
+    auto chunk_object = client_->create("PropChunk");
+    if (!chunk_object.ok()) return chunk_object.status();
+    size_t end = std::min(offset + kPropChunkDoubles, output.values.size());
+    chunk_object.value()->set(
+        chunk::kValues,
+        std::vector<double>(output.values.begin() + offset,
+                            output.values.begin() + end));
+    chunk_refs.push_back(chunk_object.value()->id());
+  }
+  auto object = client_->create("Property");
+  if (!object.ok()) return object.status();
+  object.value()->set(prop::kName, output.name);
+  object.value()->set(prop::kUnits, output.units);
+  object.value()->set(prop::kDims, dims_to_text(output.dimensions));
+  object.value()->set(prop::kChunks, std::move(chunk_refs));
+  return object.value()->id();
+}
+
+Result<OutputProperty> OodbCalculationFactory::fetch_property(ObjectId id) {
+  auto object = client_->read(id);
+  if (!object.ok()) return object.status();
+  OutputProperty output;
+  output.name = object.value()->get_string(prop::kName);
+  output.units = object.value()->get_string(prop::kUnits);
+  output.dimensions =
+      dims_from_text(object.value()->get_string(prop::kDims));
+  for (ObjectId chunk_id : object.value()->get_ref_array(prop::kChunks)) {
+    auto chunk_object = client_->read(chunk_id);
+    if (!chunk_object.ok()) return chunk_object.status();
+    const auto& values = chunk_object.value()->get_double_array(chunk::kValues);
+    output.values.insert(output.values.end(), values.begin(), values.end());
+  }
+  return output;
+}
+
+Result<ObjectId> OodbCalculationFactory::store_task(
+    const Calculation& calculation, const CalcTask& calc_task) {
+  (void)calculation;
+  auto job_object = client_->create("Job");
+  if (!job_object.ok()) return job_object.status();
+  job_object.value()->set(job::kHost, calc_task.job.host);
+  job_object.value()->set(job::kQueue, calc_task.job.queue);
+  job_object.value()->set(job::kNodes,
+                          static_cast<int64_t>(calc_task.job.node_count));
+  job_object.value()->set(job::kSchedulerId, calc_task.job.scheduler_id);
+  job_object.value()->set(job::kState,
+                          std::string(to_string(calc_task.job.state)));
+
+  std::vector<ObjectId> output_refs;
+  for (const OutputProperty& output : calc_task.outputs) {
+    auto property = store_property(output);
+    if (!property.ok()) return property.status();
+    output_refs.push_back(property.value());
+  }
+
+  auto object = client_->create("Task");
+  if (!object.ok()) return object.status();
+  object.value()->set(task::kName, calc_task.name);
+  object.value()->set(task::kKind, std::string(to_string(calc_task.kind)));
+  object.value()->set(task::kState, std::string(to_string(calc_task.state)));
+  object.value()->set(task::kInput, calc_task.input_deck);
+  object.value()->set(task::kJob, job_object.value()->id());
+  object.value()->set(task::kOutputs, std::move(output_refs));
+  return object.value()->id();
+}
+
+Status OodbCalculationFactory::save_calculation(
+    const std::string& project, const Calculation& calculation) {
+  auto directory = project_directory(project, /*create=*/true);
+  if (!directory.ok()) return directory.status();
+
+  auto molecule = store_molecule(calculation.molecule);
+  if (!molecule.ok()) return molecule.status();
+  auto basis = store_basis(calculation.basis);
+  if (!basis.ok()) return basis.status();
+
+  std::vector<ObjectId> task_refs;
+  for (const CalcTask& task : calculation.tasks) {
+    auto stored = store_task(calculation, task);
+    if (!stored.ok()) return stored.status();
+    task_refs.push_back(stored.value());
+  }
+
+  auto object = client_->create("Calculation");
+  if (!object.ok()) return object.status();
+  object.value()->set(calc::kName, calculation.name);
+  object.value()->set(calc::kDescription, calculation.description);
+  object.value()->set(calc::kTheory,
+                      std::string(to_string(calculation.theory)));
+  object.value()->set(
+      calc::kState,
+      std::string(to_string(calculation.tasks.empty()
+                                ? RunState::kCreated
+                                : calculation.tasks.back().state)));
+  object.value()->set(calc::kMolecule, molecule.value());
+  object.value()->set(calc::kBasis, basis.value());
+  object.value()->set(calc::kTasks, std::move(task_refs));
+  ObjectId calc_id = object.value()->id();
+  DAVPSE_RETURN_IF_ERROR(client_->commit());
+  return directory_insert(directory.value(), calculation.name, calc_id);
+}
+
+Result<Calculation> OodbCalculationFactory::load_calculation(
+    const std::string& project, const std::string& name,
+    const LoadParts& parts) {
+  auto directory = project_directory(project, /*create=*/false);
+  if (!directory.ok()) return directory.status();
+  auto calc_id = directory_lookup(directory.value(), name);
+  if (!calc_id.ok()) return calc_id.status();
+  auto object = client_->read(calc_id.value());
+  if (!object.ok()) return object.status();
+
+  Calculation calculation;
+  calculation.name = object.value()->get_string(calc::kName);
+  calculation.description = object.value()->get_string(calc::kDescription);
+  auto theory =
+      theory_from_string(object.value()->get_string(calc::kTheory));
+  if (theory.ok()) calculation.theory = theory.value();
+
+  if (parts.molecule) {
+    auto molecule =
+        fetch_molecule(object.value()->get_ref(calc::kMolecule));
+    if (!molecule.ok()) return molecule.status();
+    calculation.molecule = std::move(molecule).value();
+  }
+  if (parts.basis) {
+    auto basis = fetch_basis(object.value()->get_ref(calc::kBasis));
+    if (!basis.ok()) return basis.status();
+    calculation.basis = std::move(basis).value();
+  }
+
+  for (ObjectId task_id : object.value()->get_ref_array(calc::kTasks)) {
+    auto task_object = client_->read(task_id);
+    if (!task_object.ok()) return task_object.status();
+    CalcTask task;
+    task.name = task_object.value()->get_string(task::kName);
+    auto kind =
+        task_kind_from_string(task_object.value()->get_string(task::kKind));
+    if (kind.ok()) task.kind = kind.value();
+    auto state =
+        run_state_from_string(task_object.value()->get_string(task::kState));
+    if (state.ok()) task.state = state.value();
+    if (parts.input_decks) {
+      task.input_deck = task_object.value()->get_string(task::kInput);
+    }
+    if (parts.jobs) {
+      auto job_object = client_->read(task_object.value()->get_ref(task::kJob));
+      if (!job_object.ok()) return job_object.status();
+      task.job.host = job_object.value()->get_string(job::kHost);
+      task.job.queue = job_object.value()->get_string(job::kQueue);
+      task.job.node_count =
+          static_cast<int>(job_object.value()->get_int(job::kNodes));
+      task.job.scheduler_id =
+          job_object.value()->get_string(job::kSchedulerId);
+      auto job_state = run_state_from_string(
+          job_object.value()->get_string(job::kState));
+      if (job_state.ok()) task.job.state = job_state.value();
+    }
+    if (parts.outputs) {
+      for (ObjectId output_id :
+           task_object.value()->get_ref_array(task::kOutputs)) {
+        auto property = fetch_property(output_id);
+        if (!property.ok()) return property.status();
+        task.outputs.push_back(std::move(property).value());
+      }
+    }
+    // Same canonical output order as the DAV factory (see there).
+    std::sort(task.outputs.begin(), task.outputs.end(),
+              [](const OutputProperty& a, const OutputProperty& b) {
+                return a.name < b.name;
+              });
+    calculation.tasks.push_back(std::move(task));
+  }
+  return calculation;
+}
+
+Status OodbCalculationFactory::remove_calculation(const std::string& project,
+                                                  const std::string& name) {
+  auto directory = project_directory(project, /*create=*/false);
+  if (!directory.ok()) return directory.status();
+  auto calc_id = directory_lookup(directory.value(), name);
+  if (!calc_id.ok()) return calc_id.status();
+  // Deep removal: every reachable object must be deleted individually
+  // (no server-side subtree delete in the object model).
+  auto object = client_->read(calc_id.value());
+  if (!object.ok()) return object.status();
+  auto molecule_id = object.value()->get_ref(calc::kMolecule);
+  if (molecule_id != oodb::kNullObject) {
+    auto molecule = client_->read(molecule_id);
+    if (molecule.ok()) {
+      for (ObjectId atom_id : molecule.value()->get_ref_array(mol::kAtoms)) {
+        DAVPSE_RETURN_IF_ERROR(client_->remove(atom_id));
+      }
+    }
+    DAVPSE_RETURN_IF_ERROR(client_->remove(molecule_id));
+  }
+  auto basis_id = object.value()->get_ref(calc::kBasis);
+  if (basis_id != oodb::kNullObject) {
+    auto basis = client_->read(basis_id);
+    if (basis.ok()) {
+      for (ObjectId shell_id :
+           basis.value()->get_ref_array(basis::kShells)) {
+        DAVPSE_RETURN_IF_ERROR(client_->remove(shell_id));
+      }
+    }
+    DAVPSE_RETURN_IF_ERROR(client_->remove(basis_id));
+  }
+  for (ObjectId task_id : object.value()->get_ref_array(calc::kTasks)) {
+    auto task_object = client_->read(task_id);
+    if (task_object.ok()) {
+      ObjectId job_id = task_object.value()->get_ref(task::kJob);
+      if (job_id != oodb::kNullObject) {
+        DAVPSE_RETURN_IF_ERROR(client_->remove(job_id));
+      }
+      for (ObjectId output_id :
+           task_object.value()->get_ref_array(task::kOutputs)) {
+        auto property = client_->read(output_id);
+        if (property.ok()) {
+          for (ObjectId chunk_id :
+               property.value()->get_ref_array(prop::kChunks)) {
+            DAVPSE_RETURN_IF_ERROR(client_->remove(chunk_id));
+          }
+        }
+        DAVPSE_RETURN_IF_ERROR(client_->remove(output_id));
+      }
+    }
+    DAVPSE_RETURN_IF_ERROR(client_->remove(task_id));
+  }
+  DAVPSE_RETURN_IF_ERROR(client_->remove(calc_id.value()));
+  return directory_remove(directory.value(), name);
+}
+
+Status OodbCalculationFactory::copy_calculation(const std::string& project,
+                                                const std::string& from,
+                                                const std::string& to) {
+  // Client-side deep copy: fault everything in, rebuild the graph,
+  // ship it back. Contrast with DAV's single server-side COPY.
+  auto loaded = load_calculation(project, from, LoadParts::all());
+  if (!loaded.ok()) return loaded.status();
+  Calculation copy = std::move(loaded).value();
+  copy.name = to;
+  return save_calculation(project, copy);
+}
+
+Status OodbCalculationFactory::update_task_state(
+    const std::string& project, const std::string& calculation,
+    const std::string& task_name, RunState state) {
+  auto directory = project_directory(project, /*create=*/false);
+  if (!directory.ok()) return directory.status();
+  auto calc_id = directory_lookup(directory.value(), calculation);
+  if (!calc_id.ok()) return calc_id.status();
+  auto object = client_->read(calc_id.value());
+  if (!object.ok()) return object.status();
+  for (ObjectId task_id : object.value()->get_ref_array(calc::kTasks)) {
+    auto task_object = client_->read(task_id);
+    if (!task_object.ok()) return task_object.status();
+    if (task_object.value()->get_string(task::kName) != task_name) continue;
+    task_object.value()->set(task::kState,
+                             std::string(to_string(state)));
+    client_->mark_dirty(task_id);
+    // Calculation-level rollup, matching the DAV factory.
+    object.value()->set(calc::kState, std::string(to_string(state)));
+    client_->mark_dirty(calc_id.value());
+    return client_->commit();
+  }
+  return error(ErrorCode::kNotFound,
+               "no task " + task_name + " in " + calculation);
+}
+
+Status OodbCalculationFactory::attach_output(const std::string& project,
+                                             const std::string& calculation,
+                                             const std::string& task_name,
+                                             const OutputProperty& output) {
+  auto directory = project_directory(project, /*create=*/false);
+  if (!directory.ok()) return directory.status();
+  auto calc_id = directory_lookup(directory.value(), calculation);
+  if (!calc_id.ok()) return calc_id.status();
+  auto object = client_->read(calc_id.value());
+  if (!object.ok()) return object.status();
+  for (ObjectId task_id : object.value()->get_ref_array(calc::kTasks)) {
+    auto task_object = client_->read(task_id);
+    if (!task_object.ok()) return task_object.status();
+    if (task_object.value()->get_string(task::kName) != task_name) continue;
+    auto property = store_property(output);
+    if (!property.ok()) return property.status();
+    auto outputs = task_object.value()->get_ref_array(task::kOutputs);
+    outputs.push_back(property.value());
+    task_object.value()->set(task::kOutputs, std::move(outputs));
+    client_->mark_dirty(task_id);
+    return client_->commit();
+  }
+  return error(ErrorCode::kNotFound,
+               "no task " + task_name + " in " + calculation);
+}
+
+Status OodbCalculationFactory::save_library_basis(const BasisSet& basis) {
+  auto library = ensure_root_directory("basis-library");
+  if (!library.ok()) return library.status();
+  auto stored = store_basis(basis);
+  if (!stored.ok()) return stored.status();
+  DAVPSE_RETURN_IF_ERROR(client_->commit());
+  return directory_insert(library.value(), basis.name, stored.value());
+}
+
+Result<std::vector<std::string>>
+OodbCalculationFactory::list_library_bases() {
+  auto library = ensure_root_directory("basis-library");
+  if (!library.ok()) return library.status();
+  return directory_names(library.value());
+}
+
+Result<BasisSet> OodbCalculationFactory::load_library_basis(
+    const std::string& name) {
+  auto library = ensure_root_directory("basis-library");
+  if (!library.ok()) return library.status();
+  auto id = directory_lookup(library.value(), name);
+  if (!id.ok()) return id.status();
+  return fetch_basis(id.value());
+}
+
+}  // namespace davpse::ecce

@@ -1,0 +1,88 @@
+// The Ecce 1.5 baseline: the calculation model as persistent object
+// classes in the OODB. Everything is an object — molecules, individual
+// atoms, basis shells, tasks, jobs, and output properties broken into
+// value-chunk objects — which is how 259 calculations came to occupy
+// "about 420,000 OODB objects" (§3.2.4). Reads go through the
+// cache-forward client: touching one atom faults its whole segment.
+#pragma once
+
+#include <string>
+
+#include "core/factory.h"
+#include "oodb/client.h"
+
+namespace davpse::ecce {
+
+/// The compiled persistent-class schema (the "70 classes" analogue,
+/// reduced to the calculation subset the paper details in Figure 3).
+oodb::Schema ecce_oodb_schema();
+
+/// Doubles per PropChunk object. Output properties are shredded into
+/// chunk objects of this size, mirroring how OODB blobs were stored.
+inline constexpr size_t kPropChunkDoubles = 2048;
+
+class OodbCalculationFactory final : public CalculationFactory {
+ public:
+  /// Borrows the client; the schema the client was built with must be
+  /// ecce_oodb_schema().
+  explicit OodbCalculationFactory(oodb::OodbClient* client)
+      : client_(client) {}
+
+  Status initialize() override;
+
+  Status create_project(const std::string& project) override;
+  Result<std::vector<std::string>> list_projects() override;
+  Result<std::vector<std::string>> list_calculations(
+      const std::string& project) override;
+  Result<std::vector<CalcSummary>> project_summary(
+      const std::string& project) override;
+
+  Status save_calculation(const std::string& project,
+                          const Calculation& calculation) override;
+  Result<Calculation> load_calculation(const std::string& project,
+                                       const std::string& name,
+                                       const LoadParts& parts) override;
+  Status remove_calculation(const std::string& project,
+                            const std::string& name) override;
+  Status copy_calculation(const std::string& project, const std::string& from,
+                          const std::string& to) override;
+
+  Status update_task_state(const std::string& project,
+                           const std::string& calculation,
+                           const std::string& task, RunState state) override;
+  Status attach_output(const std::string& project,
+                       const std::string& calculation,
+                       const std::string& task,
+                       const OutputProperty& output) override;
+
+  Status save_library_basis(const BasisSet& basis) override;
+  Result<std::vector<std::string>> list_library_bases() override;
+  Result<BasisSet> load_library_basis(const std::string& name) override;
+
+  oodb::OodbClient* client() { return client_; }
+
+ private:
+  // Directory objects map names to refs (two parallel fields).
+  Result<oodb::ObjectId> directory_lookup(oodb::ObjectId directory,
+                                          const std::string& name);
+  Status directory_insert(oodb::ObjectId directory, const std::string& name,
+                          oodb::ObjectId target);
+  Status directory_remove(oodb::ObjectId directory, const std::string& name);
+  Result<std::vector<std::string>> directory_names(oodb::ObjectId directory);
+  Result<oodb::ObjectId> ensure_root_directory(const std::string& root);
+  Result<oodb::ObjectId> project_directory(const std::string& project,
+                                           bool create);
+
+  Result<oodb::ObjectId> store_molecule(const Molecule& molecule);
+  Result<Molecule> fetch_molecule(oodb::ObjectId id);
+  Result<oodb::ObjectId> store_basis(const BasisSet& basis);
+  Result<BasisSet> fetch_basis(oodb::ObjectId id);
+  Result<oodb::ObjectId> store_property(const OutputProperty& output);
+  Result<OutputProperty> fetch_property(oodb::ObjectId id);
+  Result<oodb::ObjectId> store_task(const Calculation& calculation,
+                                    const CalcTask& task);
+
+  oodb::OodbClient* client_;
+};
+
+}  // namespace davpse::ecce

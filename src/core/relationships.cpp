@@ -1,0 +1,138 @@
+#include "core/relationships.h"
+
+#include <algorithm>
+
+#include "davclient/search.h"
+#include "core/schema_names.h"
+#include "xml/dom.h"
+#include "xml/writer.h"
+
+namespace davpse::ecce {
+namespace {
+
+const xml::QName kRelationshipsProp = ecce_name("relationships");
+const xml::QName kRelElement = ecce_name("rel");
+
+}  // namespace
+
+const xml::QName& relationships_prop() { return kRelationshipsProp; }
+
+std::string encode_relationships(const std::vector<Relationship>& rels) {
+  std::string out;
+  for (const Relationship& rel : rels) {
+    xml::XmlWriter writer;
+    writer.prefer_prefix(kEcceNamespace, "e");
+    writer.start_element(kRelElement);
+    writer.attribute("type", rel.type);
+    writer.attribute("href", rel.href);
+    writer.end_element();
+    out += writer.take();
+  }
+  return out;
+}
+
+Result<std::vector<Relationship>> decode_relationships(
+    std::string_view inner_xml) {
+  std::vector<Relationship> out;
+  if (inner_xml.empty()) return out;
+  // The value is a sequence of elements; wrap for parsing.
+  std::string wrapped = "<wrap>" + std::string(inner_xml) + "</wrap>";
+  auto doc = xml::parse_document(wrapped);
+  if (!doc.ok()) {
+    return Status(ErrorCode::kMalformed,
+                  "unparseable relationships value: " +
+                      doc.status().message());
+  }
+  for (const auto& child : doc.value()->children()) {
+    if (!(child->name() == kRelElement)) continue;  // foreign entries: skip
+    Relationship rel;
+    rel.type = std::string(child->attribute("type"));
+    rel.href = std::string(child->attribute("href"));
+    if (rel.type.empty() || rel.href.empty()) {
+      return Status(ErrorCode::kMalformed,
+                    "relationship entry missing type/href");
+    }
+    out.push_back(std::move(rel));
+  }
+  return out;
+}
+
+Result<std::vector<Relationship>> relationships_of(
+    davclient::DavClient& client, const std::string& path) {
+  auto found = client.propfind(path, davclient::Depth::kZero,
+                               {kRelationshipsProp});
+  if (!found.ok()) return found.status();
+  if (found.value().responses.empty()) {
+    return Status(ErrorCode::kNotFound, "no response for " + path);
+  }
+  auto value = found.value().responses.front().prop(kRelationshipsProp);
+  if (!value) return std::vector<Relationship>{};
+  return decode_relationships(*value);
+}
+
+Status add_relationship(davclient::DavClient& client, const std::string& path,
+                        std::string_view type, const std::string& target) {
+  auto existing = relationships_of(client, path);
+  if (!existing.ok()) return existing.status();
+  std::vector<Relationship> rels = std::move(existing).value();
+  for (const Relationship& rel : rels) {
+    if (rel.type == type && rel.href == target) return Status::ok();
+  }
+  rels.push_back({std::string(type), target});
+  return client.proppatch(
+      path, {davclient::PropWrite::of_xml(kRelationshipsProp,
+                                          encode_relationships(rels))});
+}
+
+Status remove_relationship(davclient::DavClient& client,
+                           const std::string& path, std::string_view type,
+                           const std::string& target) {
+  auto existing = relationships_of(client, path);
+  if (!existing.ok()) return existing.status();
+  std::vector<Relationship> rels = std::move(existing).value();
+  auto it = std::find_if(rels.begin(), rels.end(),
+                         [&](const Relationship& rel) {
+                           return rel.type == type && rel.href == target;
+                         });
+  if (it == rels.end()) {
+    return error(ErrorCode::kNotFound,
+                 "no such relationship on " + path);
+  }
+  rels.erase(it);
+  if (rels.empty()) {
+    return client.proppatch(path, {}, {kRelationshipsProp});
+  }
+  return client.proppatch(
+      path, {davclient::PropWrite::of_xml(kRelationshipsProp,
+                                          encode_relationships(rels))});
+}
+
+Result<std::vector<std::string>> find_related(davclient::DavClient& client,
+                                              const std::string& root,
+                                              std::string_view type,
+                                              const std::string& target) {
+  // Server-side candidate filter: the serialized value must contain
+  // both the type and the target; exact matching happens client-side
+  // on the decoded entries (contains() is substring-based).
+  auto candidates = client.search(
+      root, davclient::Depth::kInfinity, {kRelationshipsProp},
+      davclient::Where::contains(kRelationshipsProp, std::string(type)) &&
+          davclient::Where::contains(kRelationshipsProp, target));
+  if (!candidates.ok()) return candidates.status();
+  std::vector<std::string> out;
+  for (const auto& response : candidates.value().responses) {
+    auto value = response.prop(kRelationshipsProp);
+    if (!value) continue;
+    auto rels = decode_relationships(*value);
+    if (!rels.ok()) continue;  // foreign/corrupt entries: skip resource
+    for (const Relationship& rel : rels.value()) {
+      if (rel.type == type && rel.href == target) {
+        out.push_back(response.href);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace davpse::ecce

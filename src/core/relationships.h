@@ -1,0 +1,70 @@
+// Typed data relationships encoded as metadata — the Figure 4 italics:
+// "In future implementations... we expect to implement relationships
+// through metadata, making the meaning of the relationship available
+// to other programs and allowing the physical layout of objects in DAV
+// to be adjusted dynamically and independent of the metadata."
+//
+// A resource's relationships live in one XML-valued property,
+// ecce:relationships, whose value is a sequence of
+//   <r:rel xmlns:r="..." type="derived-from" href="/path/to/target"/>
+// elements. Because the property is ordinary DAV metadata, any client
+// can traverse, add, or interpret relationships it understands and
+// ignore the rest — including "the dynamic creation of relationships
+// discovered and defined by third-party agents" (§3.2.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "davclient/client.h"
+#include "util/status.h"
+
+namespace davpse::ecce {
+
+/// The relationship kinds the paper enumerates ("temporal, derivative,
+/// historical, and sequence, as well as the 'is-a' and 'has-a' object
+/// modeling dependencies") — plus free-form strings for everything
+/// else; the vocabulary is open by design.
+inline constexpr std::string_view kRelDerivedFrom = "derived-from";
+inline constexpr std::string_view kRelPrecedes = "precedes";
+inline constexpr std::string_view kRelAnnotates = "annotates";
+inline constexpr std::string_view kRelHasPart = "has-part";
+inline constexpr std::string_view kRelSupersedes = "supersedes";
+
+struct Relationship {
+  std::string type;  // e.g. "derived-from"
+  std::string href;  // target resource path
+};
+
+/// The property holding a resource's relationship list.
+const xml::QName& relationships_prop();
+
+/// Appends a relationship to `path`'s list (read-modify-write of the
+/// ecce:relationships property). Duplicate (type, href) pairs are
+/// ignored.
+Status add_relationship(davclient::DavClient& client, const std::string& path,
+                        std::string_view type, const std::string& target);
+
+/// Removes a relationship; kNotFound when it is not present.
+Status remove_relationship(davclient::DavClient& client,
+                           const std::string& path, std::string_view type,
+                           const std::string& target);
+
+/// All relationships recorded on `path` (empty when none).
+Result<std::vector<Relationship>> relationships_of(
+    davclient::DavClient& client, const std::string& path);
+
+/// Resources under `root` that have a relationship of `type` pointing
+/// at `target` — reverse traversal via server-side SEARCH over the
+/// relationship metadata.
+Result<std::vector<std::string>> find_related(davclient::DavClient& client,
+                                              const std::string& root,
+                                              std::string_view type,
+                                              const std::string& target);
+
+/// Serialization used inside the property value (exposed for tests).
+std::string encode_relationships(const std::vector<Relationship>& rels);
+Result<std::vector<Relationship>> decode_relationships(
+    std::string_view inner_xml);
+
+}  // namespace davpse::ecce

@@ -1,0 +1,71 @@
+// The "ecce" metadata namespace (§3.2.3: "For metadata, a single
+// 'ecce' namespace was defined"). Every piece of Ecce metadata stored
+// as DAV dead properties uses these QNames, so third-party tools can
+// discover and reuse exactly the subset they understand — e.g. an
+// agent that only knows ecce:formula can still find every molecule.
+#pragma once
+
+#include "xml/qname.h"
+
+namespace davpse::ecce {
+
+inline constexpr std::string_view kEcceNamespace = "http://purl.pnl.gov/ecce";
+
+inline xml::QName ecce_name(std::string_view local) {
+  return xml::QName(std::string(kEcceNamespace), std::string(local));
+}
+
+// Object typing: every Ecce-managed resource carries ecce:type so the
+// physical DAV layout can be reorganized without breaking discovery.
+inline const xml::QName kTypeProp = ecce_name("type");
+// ecce:type values.
+inline constexpr std::string_view kTypeProject = "project";
+inline constexpr std::string_view kTypeCalculation = "calculation";
+inline constexpr std::string_view kTypeMolecule = "molecule";
+inline constexpr std::string_view kTypeBasisSet = "basisset";
+inline constexpr std::string_view kTypeTask = "task";
+inline constexpr std::string_view kTypeInputDeck = "input-deck";
+inline constexpr std::string_view kTypeProperty = "output-property";
+inline constexpr std::string_view kTypeJob = "job";
+
+// Molecule metadata (Figure 4: "metadata encoding the format of the
+// raw data, empirical formula, symmetry group, and charge state").
+inline const xml::QName kFormatProp = ecce_name("format");   // xyz | pdb
+inline const xml::QName kFormulaProp = ecce_name("formula");
+inline const xml::QName kSymmetryProp = ecce_name("symmetry");
+inline const xml::QName kChargeProp = ecce_name("charge");
+inline const xml::QName kMultiplicityProp = ecce_name("multiplicity");
+inline const xml::QName kAtomCountProp = ecce_name("atom-count");
+
+// Calculation / task metadata.
+inline const xml::QName kTheoryProp = ecce_name("theory");
+inline const xml::QName kDescriptionProp = ecce_name("description");
+inline const xml::QName kTaskKindProp = ecce_name("task-kind");
+inline const xml::QName kStateProp = ecce_name("state");
+inline const xml::QName kBasisNameProp = ecce_name("basis-name");
+
+// Output property metadata.
+inline const xml::QName kPropertyNameProp = ecce_name("property-name");
+inline const xml::QName kUnitsProp = ecce_name("units");
+inline const xml::QName kDimensionsProp = ecce_name("dimensions");
+
+// Virtual-document membership (§3.2.3): a task collection's output
+// documents are located through this XML-valued property — a sequence
+// of <e:member name="..." href="..."/> entries — rather than through
+// the physical directory, so "the physical layout of objects in DAV
+// [can] be adjusted dynamically and independent of the metadata".
+inline const xml::QName kMembersProp = ecce_name("members");
+
+// Job metadata.
+inline const xml::QName kJobHostProp = ecce_name("job-host");
+inline const xml::QName kJobQueueProp = ecce_name("job-queue");
+inline const xml::QName kJobNodesProp = ecce_name("job-nodes");
+inline const xml::QName kJobIdProp = ecce_name("job-id");
+
+// Third-party annotations (Section 4 agent scenarios).
+inline const xml::QName kAnnotationProp = ecce_name("annotation");
+inline const xml::QName kThermoEnthalpyProp = ecce_name("thermo-enthalpy");
+inline const xml::QName kThermoEntropyProp = ecce_name("thermo-entropy");
+inline const xml::QName kThermoSourceProp = ecce_name("thermo-source");
+
+}  // namespace davpse::ecce

@@ -1,0 +1,59 @@
+// The Data Storage Interface of Figure 2: the protocol-neutral layer
+// that "maps requests for manipulating data and metadata into
+// protocol-specific operations". Ecce's object/factory layer talks
+// only to this interface, so the store can be swapped (DAV today; the
+// paper anticipates e.g. a "GridDAV" later) without touching
+// application code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/qname.h"
+
+namespace davpse::ecce {
+
+/// (name, character-data value) metadata pair. Values are plain text
+/// at this layer; the protocol binding handles encoding.
+using Metadatum = std::pair<xml::QName, std::string>;
+
+class DataStorageInterface {
+ public:
+  virtual ~DataStorageInterface() = default;
+
+  // -- containers ---------------------------------------------------------
+  virtual Status create_container(const std::string& path) = 0;
+  /// Creates intermediate containers as needed.
+  virtual Status create_container_path(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> list(const std::string& path) = 0;
+
+  // -- objects (opaque typed data) ----------------------------------------
+  virtual Status write_object(const std::string& path, std::string data,
+                              const std::string& content_type) = 0;
+  virtual Result<std::string> read_object(const std::string& path) = 0;
+
+  // -- metadata -------------------------------------------------------------
+  virtual Status set_metadata(const std::string& path,
+                              const std::vector<Metadatum>& metadata) = 0;
+  virtual Result<std::string> get_metadatum(const std::string& path,
+                                            const xml::QName& name) = 0;
+  /// Selected metadata for one resource; missing names are skipped.
+  virtual Result<std::vector<Metadatum>> get_metadata(
+      const std::string& path, const std::vector<xml::QName>& names) = 0;
+  /// Selected metadata for every child of a container, in one request
+  /// where the protocol supports it (DAV: PROPFIND depth=1).
+  virtual Result<std::vector<std::pair<std::string, std::vector<Metadatum>>>>
+  get_children_metadata(const std::string& path,
+                        const std::vector<xml::QName>& names) = 0;
+
+  // -- namespace management ---------------------------------------------
+  virtual Result<bool> exists(const std::string& path) = 0;
+  virtual Status remove(const std::string& path) = 0;
+  virtual Status copy(const std::string& from, const std::string& to) = 0;
+  virtual Status move(const std::string& from, const std::string& to) = 0;
+};
+
+}  // namespace davpse::ecce

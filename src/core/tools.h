@@ -1,0 +1,154 @@
+// Headless kernels of the six Ecce tools benchmarked in Table 3:
+// Builder, Basis Tool, Calculation Editor, Calculation Viewer,
+// Calculation Manager, and Job Launcher. Each kernel performs exactly
+// the *data-layer* work of its tool — startup initialization and the
+// per-calculation load — against whichever CalculationFactory binding
+// it is given (DAV = Ecce 2.0, OODB = Ecce 1.5). Widget drawing is out
+// of scope: Table 3 compares data architectures, and the paper's
+// claims (cache-forward gave no benefit; DAV as fast or faster) are
+// claims about this layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "util/status.h"
+
+namespace davpse::ecce {
+
+/// Rough in-memory footprint of loaded model data (the Table 3
+/// "Size (res)" proxy; see EXPERIMENTS.md for the accounting).
+size_t approx_bytes(const Molecule& molecule);
+size_t approx_bytes(const BasisSet& basis);
+size_t approx_bytes(const Calculation& calculation);
+
+class ToolKernel {
+ public:
+  ToolKernel(std::string name, CalculationFactory* factory)
+      : name_(std::move(name)), factory_(factory) {}
+  virtual ~ToolKernel() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Tool startup: factory/session init plus tool-specific preloading
+  /// (e.g. BasisTool reads the whole basis library).
+  Status start() {
+    DAVPSE_RETURN_IF_ERROR(factory_->initialize());
+    return do_start();
+  }
+
+  /// Loads the tool's working set for one calculation.
+  Status load(const std::string& project, const std::string& calculation) {
+    return do_load(project, calculation);
+  }
+
+  /// Bytes of model data this kernel holds after start()+load().
+  size_t resident_bytes() const { return resident_bytes_; }
+
+ protected:
+  virtual Status do_start() { return Status::ok(); }
+  virtual Status do_load(const std::string& project,
+                         const std::string& calculation) = 0;
+
+  CalculationFactory* factory() { return factory_; }
+  void retain(size_t bytes) { resident_bytes_ += bytes; }
+  void reset_resident() { resident_bytes_ = 0; }
+
+ private:
+  std::string name_;
+  CalculationFactory* factory_;
+  size_t resident_bytes_ = 0;
+};
+
+/// Molecule construction: needs only the 3-D structure.
+class BuilderTool final : public ToolKernel {
+ public:
+  explicit BuilderTool(CalculationFactory* factory)
+      : ToolKernel("Builder", factory) {}
+  const Molecule& molecule() const { return molecule_; }
+
+ private:
+  Status do_load(const std::string& project,
+                 const std::string& calculation) override;
+  Molecule molecule_;
+};
+
+/// Basis-set management: startup loads the shared library; load pulls
+/// the calculation's basis.
+class BasisToolKernel final : public ToolKernel {
+ public:
+  explicit BasisToolKernel(CalculationFactory* factory)
+      : ToolKernel("BasisTool", factory) {}
+  const std::vector<BasisSet>& library() const { return library_; }
+
+ private:
+  Status do_start() override;
+  Status do_load(const std::string& project,
+                 const std::string& calculation) override;
+  std::vector<BasisSet> library_;
+  BasisSet current_;
+};
+
+/// Calculation setup: molecule + basis + input decks, no outputs.
+class CalcEditorTool final : public ToolKernel {
+ public:
+  explicit CalcEditorTool(CalculationFactory* factory)
+      : ToolKernel("Calc Editor", factory) {}
+  const Calculation& calculation() const { return calculation_; }
+
+ private:
+  Status do_load(const std::string& project,
+                 const std::string& calculation) override;
+  Calculation calculation_;
+};
+
+/// Post-run analysis: everything, including the 1.8 MB properties.
+class CalcViewerTool final : public ToolKernel {
+ public:
+  explicit CalcViewerTool(CalculationFactory* factory)
+      : ToolKernel("Calc Viewer", factory) {}
+  const Calculation& calculation() const { return calculation_; }
+
+ private:
+  Status do_load(const std::string& project,
+                 const std::string& calculation) override;
+  Calculation calculation_;
+};
+
+/// Project/calculation management: metadata summaries only. Its
+/// "load" is the project listing (the paper reports no per-molecule
+/// load for Calc Manager — "NA").
+class CalcManagerTool final : public ToolKernel {
+ public:
+  explicit CalcManagerTool(CalculationFactory* factory)
+      : ToolKernel("Calc Manager", factory) {}
+  const std::vector<CalcSummary>& summaries() const { return summaries_; }
+  Status load_project(const std::string& project);
+
+ private:
+  Status do_load(const std::string& project,
+                 const std::string& calculation) override;
+  std::vector<CalcSummary> summaries_;
+};
+
+/// Job submission: input decks + job records, no molecule rendering,
+/// no outputs.
+class JobLauncherTool final : public ToolKernel {
+ public:
+  explicit JobLauncherTool(CalculationFactory* factory)
+      : ToolKernel("Job Launcher", factory) {}
+  const Calculation& calculation() const { return calculation_; }
+
+ private:
+  Status do_load(const std::string& project,
+                 const std::string& calculation) override;
+  Calculation calculation_;
+};
+
+/// All six kernels in Table 3 row order.
+std::vector<std::unique_ptr<ToolKernel>> make_all_tools(
+    CalculationFactory* factory);
+
+}  // namespace davpse::ecce

@@ -1,0 +1,110 @@
+#include "core/workload.h"
+
+#include "util/random.h"
+
+namespace davpse::ecce {
+
+Calculation make_uo2_calculation() {
+  Calculation calculation;
+  calculation.name = "uo2-15h2o-dft";
+  calculation.description =
+      "DFT study of uranyl hydration: UO2(2+) with 15 waters";
+  calculation.theory = TheoryLevel::kDFT;
+  calculation.molecule = make_uo2_15h2o();
+  calculation.basis = make_basis_set(
+      "Stuttgart-RLC+6-31G*", {"U", "O", "H"}, /*seed=*/17);
+
+  CalcTask optimize;
+  optimize.name = "task-1";
+  optimize.kind = TaskKind::kGeometryOptimization;
+  optimize.state = RunState::kComplete;
+  optimize.job = {"mpp2.emsl.pnl.gov", "large", 64, "job-83321",
+                  RunState::kComplete};
+  optimize.outputs.push_back(
+      make_property("gradient", "Hartree/Bohr", 36 * 1024, 101));
+  optimize.outputs.push_back(
+      make_property("energy-trace", "Hartree", 4 * 1024, 102));
+
+  CalcTask frequency;
+  frequency.name = "task-2";
+  frequency.kind = TaskKind::kFrequency;
+  frequency.state = RunState::kComplete;
+  frequency.job = {"mpp2.emsl.pnl.gov", "large", 128, "job-83355",
+                   RunState::kComplete};
+  frequency.outputs.push_back(
+      make_property("vibrational-frequencies", "cm^-1", 2 * 1024, 103));
+  // The paper's headline payload: "individual output properties up to
+  // 1.8 MB in size" — the normal-mode displacement matrix.
+  frequency.outputs.push_back(make_property(
+      "normal-modes", "Angstrom", 1800 * 1024, 104));
+
+  CalcTask energy;
+  energy.name = "task-3";
+  energy.kind = TaskKind::kEnergy;
+  energy.state = RunState::kComplete;
+  energy.job = {"colony.emsl.pnl.gov", "normal", 16, "job-83391",
+                RunState::kComplete};
+  energy.outputs.push_back(
+      make_property("final-energy", "Hartree", 64, 105));
+  energy.outputs.push_back(
+      make_property("mulliken-charges", "e", 50 * 8, 106));
+
+  calculation.tasks = {std::move(optimize), std::move(frequency),
+                       std::move(energy)};
+  for (CalcTask& task : calculation.tasks) {
+    task.input_deck = generate_input_deck(calculation, task);
+  }
+  return calculation;
+}
+
+Calculation make_small_calculation(const std::string& name, uint64_t seed) {
+  Rng rng(seed);
+  Calculation calculation;
+  calculation.name = name;
+  calculation.description = "small test system " + name;
+  calculation.theory =
+      rng.coin() ? TheoryLevel::kSCF : TheoryLevel::kDFT;
+  calculation.molecule = make_water_cluster(rng.uniform(1, 4), seed * 31 + 1);
+  calculation.basis =
+      make_basis_set("6-31G*", {"O", "H"}, seed * 31 + 2);
+
+  size_t task_count = rng.uniform(1, 2);
+  for (size_t i = 0; i < task_count; ++i) {
+    CalcTask task;
+    task.name = "task-" + std::to_string(i + 1);
+    task.kind = i == 0 ? TaskKind::kGeometryOptimization : TaskKind::kEnergy;
+    task.state = RunState::kComplete;
+    task.job = {"colony.emsl.pnl.gov", "small",
+                static_cast<int>(rng.uniform(1, 8)),
+                "job-" + std::to_string(rng.uniform(10000, 99999)),
+                RunState::kComplete};
+    size_t property_count = rng.uniform(1, 3);
+    for (size_t p = 0; p < property_count; ++p) {
+      task.outputs.push_back(make_property(
+          "prop-" + std::to_string(p + 1), "a.u.",
+          rng.uniform(256, 4096), seed * 131 + i * 17 + p));
+    }
+    task.input_deck = generate_input_deck(calculation, task);
+    calculation.tasks.push_back(std::move(task));
+  }
+  return calculation;
+}
+
+std::vector<BasisSet> make_basis_library(size_t count, uint64_t seed) {
+  static const std::vector<std::string> kElements = {
+      "H", "C", "N", "O", "F", "P", "S", "Cl", "Fe", "U"};
+  static const std::vector<std::string> kNames = {
+      "STO-3G",  "3-21G",    "6-31G",   "6-31G*",  "6-311G**",
+      "cc-pVDZ", "cc-pVTZ",  "cc-pVQZ", "aug-cc-pVDZ", "LANL2DZ",
+      "SDD",     "def2-SVP", "def2-TZVP", "Stuttgart-RLC", "DZVP"};
+  std::vector<BasisSet> out;
+  for (size_t i = 0; i < count; ++i) {
+    std::string name = i < kNames.size()
+                           ? kNames[i]
+                           : "basis-" + std::to_string(i + 1);
+    out.push_back(make_basis_set(name, kElements, seed + i * 7));
+  }
+  return out;
+}
+
+}  // namespace davpse::ecce

@@ -1,0 +1,27 @@
+// Workload builders shared by benches, tests, and examples: the
+// UO2·15H2O benchmark calculation of Table 3, the small-system corpus
+// of §3.2.4, and the basis-set library BasisTool loads at startup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+
+namespace davpse::ecce {
+
+/// The Table 3 benchmark: UO2·15H2O (50 atoms), three tasks
+/// (geometry optimization, frequency, energy) with "individual output
+/// properties up to 1.8 MB in size".
+Calculation make_uo2_calculation();
+
+/// §3.2.4 migration corpus member: "very small chemical systems with
+/// correspondingly small output dataset sizes". A few waters, one or
+/// two tasks, properties of a few KB.
+Calculation make_small_calculation(const std::string& name, uint64_t seed);
+
+/// Basis-set library (shared across calculations; BasisTool's startup
+/// payload). `count` sets spanning common elements plus uranium.
+std::vector<BasisSet> make_basis_library(size_t count, uint64_t seed = 3);
+
+}  // namespace davpse::ecce

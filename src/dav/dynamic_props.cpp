@@ -1,0 +1,81 @@
+#include "dav/dynamic_props.h"
+
+#include <cstdio>
+
+namespace davpse::dav {
+
+void DynamicPropertyRegistry::register_provider(
+    const xml::QName& name, DynamicPropertyProvider provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_[name] = std::move(provider);
+}
+
+void DynamicPropertyRegistry::unregister(const xml::QName& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.erase(name);
+}
+
+bool DynamicPropertyRegistry::has(const xml::QName& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return providers_.contains(name);
+}
+
+std::vector<xml::QName> DynamicPropertyRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<xml::QName> out;
+  out.reserve(providers_.size());
+  for (const auto& [name, provider] : providers_) out.push_back(name);
+  return out;
+}
+
+std::optional<std::string> DynamicPropertyRegistry::compute(
+    const xml::QName& name, const DynamicContext& context) const {
+  DynamicPropertyProvider provider;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = providers_.find(name);
+    if (it == providers_.end()) return std::nullopt;
+    provider = it->second;  // copy out: providers may be slow
+  }
+  return provider(context);
+}
+
+size_t DynamicPropertyRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return providers_.size();
+}
+
+DynamicPropertyProvider alias_property(xml::QName source) {
+  return [source = std::move(source)](
+             const DynamicContext& context) -> std::optional<std::string> {
+    return context.dead_property(source);
+  };
+}
+
+DynamicPropertyProvider size_category_provider() {
+  return [](const DynamicContext& context) -> std::optional<std::string> {
+    if (context.info.kind != ResourceKind::kDocument) return std::nullopt;
+    if (context.info.content_length < 64 * 1024) return "small";
+    if (context.info.content_length < 1024 * 1024) return "medium";
+    return "large";
+  };
+}
+
+DynamicPropertyProvider content_digest_provider() {
+  return [](const DynamicContext& context) -> std::optional<std::string> {
+    if (context.info.kind != ResourceKind::kDocument) return std::nullopt;
+    auto body = context.read_body();
+    if (!body.ok()) return std::nullopt;
+    uint64_t hash = 14695981039346656037ULL;
+    for (char c : body.value()) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ULL;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return std::string(buf);
+  };
+}
+
+}  // namespace davpse::dav

@@ -1,0 +1,83 @@
+// Dynamically computed metadata (§4: "Since DAV supports metadata that
+// are calculated dynamically, it is possible to imagine generating
+// metadata on-the-fly to support new applications... a DAV server
+// could be extended to translate metadata for applications built using
+// different schema").
+//
+// A DynamicPropertyProvider computes a property value on demand from
+// the resource's state — including *other* properties, which is how
+// the paper's schema-translation scenario works: install a mapping
+// that renders `ecce:formula` as `otherapp:chemical-formula`, and
+// applications written against the other schema see their vocabulary
+// with no change to Ecce or to the stored data.
+//
+// Dynamic properties participate in named PROPFIND and SEARCH exactly
+// like live properties; they never shadow a stored (dead) property of
+// the same name.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dav/props.h"
+#include "dav/repository.h"
+#include "xml/qname.h"
+
+namespace davpse::dav {
+
+/// Context handed to a provider for one resource.
+struct DynamicContext {
+  const std::string& path;
+  const ResourceInfo& info;
+  /// Raw-text accessor for the resource's stored (dead) properties.
+  std::function<std::optional<std::string>(const xml::QName&)> dead_property;
+  /// Reads the resource body (documents only).
+  std::function<Result<std::string>()> read_body;
+};
+
+/// Returns the computed raw-text value, or nullopt when the property
+/// is undefined for this resource.
+using DynamicPropertyProvider =
+    std::function<std::optional<std::string>(const DynamicContext&)>;
+
+/// Thread-safe provider registry.
+class DynamicPropertyRegistry {
+ public:
+  /// Registers (or replaces) the provider for `name`.
+  void register_provider(const xml::QName& name,
+                         DynamicPropertyProvider provider);
+  void unregister(const xml::QName& name);
+
+  bool has(const xml::QName& name) const;
+  std::vector<xml::QName> names() const;
+
+  /// Computes `name` for the given context; nullopt if no provider is
+  /// registered or the provider declines.
+  std::optional<std::string> compute(const xml::QName& name,
+                                     const DynamicContext& context) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<xml::QName, DynamicPropertyProvider> providers_;
+};
+
+/// Provider factory: renders another property's value under a new
+/// name — the paper's cross-schema translation in its simplest form.
+DynamicPropertyProvider alias_property(xml::QName source);
+
+/// Provider factory: document size bucket ("small" < 64 KB <= "medium"
+/// < 1 MB <= "large"), an example of derived discovery metadata.
+DynamicPropertyProvider size_category_provider();
+
+/// Provider factory: FNV-1a content digest of the document body,
+/// rendered as 16 hex digits (an electronic-notebook-style integrity
+/// annotation computed on demand).
+DynamicPropertyProvider content_digest_provider();
+
+}  // namespace davpse::dav

@@ -1,0 +1,127 @@
+#include "dav/locks.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+#include "util/uri.h"
+
+namespace davpse::dav {
+
+void LockManager::expire_locked() const {
+  double now = wall_time_seconds();
+  std::erase_if(locks_, [now](const Lock& lock) {
+    return lock.expires_at != 0 && lock.expires_at < now;
+  });
+}
+
+bool LockManager::covers(const Lock& lock, const std::string& path) const {
+  if (lock.path == path) return true;
+  return lock.depth_infinity && path_is_within(path, lock.path);
+}
+
+Result<Lock> LockManager::acquire(const std::string& path, LockScope scope,
+                                  bool depth_infinity,
+                                  const std::string& owner,
+                                  double timeout_seconds) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  expire_locked();
+  for (const Lock& existing : locks_) {
+    bool conflict_above = covers(existing, path);
+    bool conflict_below =
+        depth_infinity && path_is_within(existing.path, path);
+    if (!conflict_above && !conflict_below) continue;
+    if (existing.scope == LockScope::kExclusive ||
+        scope == LockScope::kExclusive) {
+      return Status(ErrorCode::kLocked,
+                    "conflicting lock " + existing.token + " on " +
+                        existing.path);
+    }
+  }
+  Lock lock;
+  lock.token = "opaquelocktoken:davpse-" + std::to_string(next_token_++);
+  lock.path = path;
+  lock.scope = scope;
+  lock.depth_infinity = depth_infinity;
+  lock.owner = owner;
+  lock.expires_at =
+      timeout_seconds > 0 ? wall_time_seconds() + timeout_seconds : 0;
+  locks_.push_back(lock);
+  return lock;
+}
+
+Result<Lock> LockManager::refresh(const std::string& path,
+                                  const std::string& token,
+                                  double timeout_seconds) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  expire_locked();
+  for (Lock& lock : locks_) {
+    if (lock.token == token && covers(lock, path)) {
+      lock.expires_at =
+          timeout_seconds > 0 ? wall_time_seconds() + timeout_seconds : 0;
+      return lock;
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no lock " + token + " on " + path);
+}
+
+Status LockManager::release(const std::string& path,
+                            const std::string& token) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  expire_locked();
+  auto it = std::find_if(locks_.begin(), locks_.end(), [&](const Lock& lock) {
+    return lock.token == token && covers(lock, path);
+  });
+  if (it == locks_.end()) {
+    return error(ErrorCode::kNotFound, "no lock " + token + " on " + path);
+  }
+  locks_.erase(it);
+  return Status::ok();
+}
+
+std::vector<Lock> LockManager::locks_covering(const std::string& path) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  expire_locked();
+  std::vector<Lock> out;
+  for (const Lock& lock : locks_) {
+    if (covers(lock, path)) out.push_back(lock);
+  }
+  return out;
+}
+
+Status LockManager::check_write(
+    const std::string& path,
+    const std::optional<std::string>& presented_token) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  expire_locked();
+  for (const Lock& lock : locks_) {
+    if (!covers(lock, path)) continue;
+    if (presented_token && *presented_token == lock.token) {
+      return Status::ok();  // holder presented the right token
+    }
+    if (lock.scope == LockScope::kExclusive) {
+      return error(ErrorCode::kLocked,
+                   "resource locked by " + lock.token);
+    }
+    // Shared lock without a token: writes still require *a* token.
+    if (!presented_token) {
+      return error(ErrorCode::kLocked,
+                   "resource share-locked; lock token required");
+    }
+  }
+  return Status::ok();
+}
+
+void LockManager::forget_subtree(const std::string& path) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::erase_if(locks_, [&](const Lock& lock) {
+    return path_is_within(lock.path, path);
+  });
+}
+
+size_t LockManager::active_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  expire_locked();
+  return locks_.size();
+}
+
+}  // namespace davpse::dav

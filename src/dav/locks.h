@@ -1,0 +1,70 @@
+// DAV locking (RFC 2518 class 2): exclusive and shared write locks
+// with depth-0 / depth-infinity scope and timeouts. Locks are held in
+// memory — mod_dav kept its lock database beside the property DBMs,
+// but lock state is advisory/session-scoped, so an in-memory table
+// preserves the observable protocol behavior.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace davpse::dav {
+
+enum class LockScope { kExclusive, kShared };
+
+struct Lock {
+  std::string token;       // "opaquelocktoken:<n>"
+  std::string path;        // normalized resource path
+  LockScope scope = LockScope::kExclusive;
+  bool depth_infinity = true;
+  std::string owner;       // verbatim owner XML/text from the request
+  double expires_at = 0;   // wall_time_seconds(); 0 = never
+};
+
+class LockManager {
+ public:
+  /// Acquires a lock. kLocked if a conflicting lock exists (exclusive
+  /// vs anything, or anything vs exclusive) on the resource, an
+  /// ancestor with depth-infinity, or — for depth-infinity requests —
+  /// any descendant.
+  Result<Lock> acquire(const std::string& path, LockScope scope,
+                       bool depth_infinity, const std::string& owner,
+                       double timeout_seconds);
+
+  /// Refreshes an existing lock's timeout. kNotFound for unknown
+  /// tokens or token/path mismatch.
+  Result<Lock> refresh(const std::string& path, const std::string& token,
+                       double timeout_seconds);
+
+  /// kNotFound if the token does not lock this path.
+  Status release(const std::string& path, const std::string& token);
+
+  /// All locks covering `path` (direct or via depth-infinity ancestor).
+  std::vector<Lock> locks_covering(const std::string& path) const;
+
+  /// Write-permission check used by mutating methods: OK if unlocked,
+  /// or if `presented_token` matches a covering lock. kLocked
+  /// otherwise.
+  Status check_write(const std::string& path,
+                     const std::optional<std::string>& presented_token) const;
+
+  /// Drops every lock under `path` (DELETE/MOVE of a subtree).
+  void forget_subtree(const std::string& path);
+
+  size_t active_count() const;
+
+ private:
+  bool covers(const Lock& lock, const std::string& path) const;
+  void expire_locked() const;  // drops stale locks; caller holds mutex_
+
+  mutable std::mutex mutex_;
+  mutable std::vector<Lock> locks_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace davpse::dav

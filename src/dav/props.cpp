@@ -1,0 +1,103 @@
+#include "dav/props.h"
+
+#include <filesystem>
+
+namespace davpse::dav {
+
+namespace fs = std::filesystem;
+
+std::string PropertyDb::encode_key(const xml::QName& name) {
+  return name.ns + "\n" + name.local;
+}
+
+xml::QName PropertyDb::decode_key(const std::string& key) {
+  auto newline = key.find('\n');
+  if (newline == std::string::npos) return xml::QName("", key);
+  return xml::QName(key.substr(0, newline), key.substr(newline + 1));
+}
+
+bool PropertyDb::database_exists() const {
+  std::error_code ec;
+  return fs::exists(db_path_, ec);
+}
+
+Result<std::unique_ptr<dbm::Dbm>> PropertyDb::open_existing() const {
+  return dbm::open_dbm(db_path_);
+}
+
+Result<std::unique_ptr<dbm::Dbm>> PropertyDb::open_or_create() const {
+  std::error_code ec;
+  fs::create_directories(db_path_.parent_path(), ec);
+  return dbm::open_or_create_dbm(db_path_, flavor_);
+}
+
+Result<PropertyValue> PropertyDb::get(const xml::QName& name) const {
+  if (!database_exists()) {
+    return Status(ErrorCode::kNotFound,
+                  "no properties on resource: " + name.to_string());
+  }
+  auto db = open_existing();
+  if (!db.ok()) return db.status();
+  auto raw = db.value()->fetch(encode_key(name));
+  if (!raw.ok()) return raw.status();
+  return PropertyValue{std::move(raw).value()};
+}
+
+Result<std::vector<std::pair<xml::QName, PropertyValue>>>
+PropertyDb::get_all() const {
+  std::vector<std::pair<xml::QName, PropertyValue>> out;
+  if (!database_exists()) return out;
+  auto db = open_existing();
+  if (!db.ok()) return db.status();
+  for (const auto& key : db.value()->keys()) {
+    auto raw = db.value()->fetch(key);
+    if (!raw.ok()) return raw.status();
+    out.emplace_back(decode_key(key), PropertyValue{std::move(raw).value()});
+  }
+  return out;
+}
+
+Result<std::vector<xml::QName>> PropertyDb::names() const {
+  std::vector<xml::QName> out;
+  if (!database_exists()) return out;
+  auto db = open_existing();
+  if (!db.ok()) return db.status();
+  for (const auto& key : db.value()->keys()) {
+    out.push_back(decode_key(key));
+  }
+  return out;
+}
+
+Status PropertyDb::set(
+    const std::vector<std::pair<xml::QName, PropertyValue>>& batch) {
+  if (batch.empty()) return Status::ok();
+  auto db = open_or_create();
+  if (!db.ok()) return db.status();
+  for (const auto& [name, value] : batch) {
+    DAVPSE_RETURN_IF_ERROR(db.value()->store(encode_key(name),
+                                             value.inner_xml));
+  }
+  return db.value()->sync();
+}
+
+Status PropertyDb::remove(const std::vector<xml::QName>& names) {
+  if (names.empty() || !database_exists()) return Status::ok();
+  auto db = open_existing();
+  if (!db.ok()) return db.status();
+  for (const auto& name : names) {
+    Status status = db.value()->remove(encode_key(name));
+    if (!status.is_ok() && status.code() != ErrorCode::kNotFound) {
+      return status;
+    }
+  }
+  return db.value()->sync();
+}
+
+Status PropertyDb::compact() {
+  if (!database_exists()) return Status::ok();
+  auto db = open_existing();
+  if (!db.ok()) return db.status();
+  return db.value()->compact();
+}
+
+}  // namespace davpse::dav

@@ -1,0 +1,352 @@
+#include "dav/repository.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/fs.h"
+#include "util/uri.h"
+
+namespace davpse::dav {
+
+namespace fs = std::filesystem;
+
+FsRepository::FsRepository(fs::path root, dbm::Flavor flavor)
+    : root_(std::move(root)), flavor_(flavor) {}
+
+fs::path FsRepository::fs_path(const std::string& path) const {
+  if (path == "/") return root_;
+  // `path` is normalized by the server layer: absolute, no "..".
+  return root_ / path.substr(1);
+}
+
+fs::path FsRepository::prop_db_path(const std::string& path) const {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    return target / kDavDirName / ".dir.props";
+  }
+  return target.parent_path() / kDavDirName /
+         (target.filename().string() + ".props");
+}
+
+ResourceInfo FsRepository::stat(const std::string& path) const {
+  ResourceInfo info;
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  auto status = fs::status(target, ec);
+  if (ec || status.type() == fs::file_type::not_found) return info;
+  if (status.type() == fs::file_type::directory) {
+    info.kind = ResourceKind::kCollection;
+  } else {
+    info.kind = ResourceKind::kDocument;
+    info.content_length = static_cast<uint64_t>(fs::file_size(target, ec));
+  }
+  auto mtime = fs::last_write_time(target, ec);
+  if (!ec) {
+    // Portable file_clock -> system_clock conversion (clock_cast is
+    // spotty across standard libraries).
+    auto sys_now = std::chrono::system_clock::now();
+    auto file_now = fs::file_time_type::clock::now();
+    auto as_sys = sys_now + std::chrono::duration_cast<
+                                std::chrono::system_clock::duration>(
+                                mtime - file_now);
+    info.mtime_seconds = std::chrono::duration_cast<std::chrono::seconds>(
+                             as_sys.time_since_epoch())
+                             .count();
+  }
+  return info;
+}
+
+Result<std::vector<std::string>> FsRepository::list_children(
+    const std::string& path) const {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (!fs::is_directory(target, ec)) {
+    return Status(ErrorCode::kNotFound, "not a collection: " + path);
+  }
+  std::vector<std::string> out;
+  for (auto it = fs::directory_iterator(target, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    std::string name = it->path().filename().string();
+    if (name == kDavDirName) continue;
+    out.push_back(std::move(name));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::string> FsRepository::read_document(
+    const std::string& path) const {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "resource is a collection: " + path);
+  }
+  std::string body;
+  DAVPSE_RETURN_IF_ERROR(read_file(target, &body));
+  return body;
+}
+
+Status FsRepository::write_document(const std::string& path,
+                                    std::string_view body) {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    return error(ErrorCode::kConflict,
+                 "cannot PUT over a collection: " + path);
+  }
+  if (!fs::is_directory(target.parent_path(), ec)) {
+    return error(ErrorCode::kConflict,
+                 "parent collection does not exist: " + parent_path(path));
+  }
+  return write_file_atomic(target, body);
+}
+
+Status FsRepository::make_collection(const std::string& path) {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::exists(target, ec)) {
+    return error(ErrorCode::kAlreadyExists, "resource exists: " + path);
+  }
+  if (!fs::is_directory(target.parent_path(), ec)) {
+    return error(ErrorCode::kConflict,
+                 "parent collection does not exist: " + parent_path(path));
+  }
+  if (!fs::create_directory(target, ec) || ec) {
+    return error(ErrorCode::kInternal,
+                 "mkdir failed for " + path + ": " + ec.message());
+  }
+  return Status::ok();
+}
+
+Status FsRepository::remove(const std::string& path) {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (!fs::exists(target, ec)) {
+    return error(ErrorCode::kNotFound, "no such resource: " + path);
+  }
+  bool is_dir = fs::is_directory(target, ec);
+  // Documents carry a property DBM (and any version history) in the
+  // parent's .DAV directory; collection bookkeeping lives inside the
+  // tree being removed.
+  fs::path props = prop_db_path(path);
+  fs::path versions = versions_dir(path);
+  fs::remove_all(target, ec);
+  if (ec) {
+    return error(ErrorCode::kInternal,
+                 "remove failed for " + path + ": " + ec.message());
+  }
+  if (!is_dir) {
+    fs::remove(props, ec);
+    fs::remove_all(versions, ec);
+  }
+  return Status::ok();
+}
+
+Status FsRepository::copy(const std::string& from, const std::string& to) {
+  fs::path source = fs_path(from);
+  fs::path dest = fs_path(to);
+  std::error_code ec;
+  if (!fs::exists(source, ec)) {
+    return error(ErrorCode::kNotFound, "no such resource: " + from);
+  }
+  if (fs::exists(dest, ec)) {
+    return error(ErrorCode::kAlreadyExists, "destination exists: " + to);
+  }
+  if (!fs::is_directory(dest.parent_path(), ec)) {
+    return error(ErrorCode::kConflict,
+                 "destination parent does not exist: " + parent_path(to));
+  }
+  if (fs::is_directory(source, ec)) {
+    // Recursive copy carries nested .DAV directories (and thus all
+    // collection + member properties) along with the data.
+    return copy_tree(source, dest);
+  }
+  fs::copy_file(source, dest, ec);
+  if (ec) {
+    return error(ErrorCode::kInternal, "copy failed: " + ec.message());
+  }
+  fs::path source_props = prop_db_path(from);
+  if (fs::exists(source_props, ec)) {
+    fs::path dest_props = prop_db_path(to);
+    fs::create_directories(dest_props.parent_path(), ec);
+    fs::copy_file(source_props, dest_props,
+                  fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      return error(ErrorCode::kInternal,
+                   "property copy failed: " + ec.message());
+    }
+  }
+  return Status::ok();
+}
+
+Status FsRepository::move(const std::string& from, const std::string& to) {
+  fs::path source = fs_path(from);
+  fs::path dest = fs_path(to);
+  std::error_code ec;
+  if (!fs::exists(source, ec)) {
+    return error(ErrorCode::kNotFound, "no such resource: " + from);
+  }
+  if (fs::exists(dest, ec)) {
+    return error(ErrorCode::kAlreadyExists, "destination exists: " + to);
+  }
+  if (!fs::is_directory(dest.parent_path(), ec)) {
+    return error(ErrorCode::kConflict,
+                 "destination parent does not exist: " + parent_path(to));
+  }
+  bool is_dir = fs::is_directory(source, ec);
+  fs::path source_props = is_dir ? fs::path() : prop_db_path(from);
+  fs::rename(source, dest, ec);
+  if (ec) {
+    DAVPSE_RETURN_IF_ERROR(copy(from, to));
+    return remove(from);
+  }
+  if (!is_dir && fs::exists(source_props, ec)) {
+    fs::path dest_props = prop_db_path(to);
+    fs::create_directories(dest_props.parent_path(), ec);
+    fs::rename(source_props, dest_props, ec);
+    if (ec) {
+      return error(ErrorCode::kInternal,
+                   "property move failed: " + ec.message());
+    }
+  }
+  if (!is_dir) {
+    // Version history follows the document (MOVE preserves identity;
+    // COPY deliberately does not duplicate history).
+    fs::path source_versions = versions_dir(from);
+    if (fs::exists(source_versions, ec)) {
+      fs::path dest_versions = versions_dir(to);
+      fs::create_directories(dest_versions.parent_path(), ec);
+      fs::rename(source_versions, dest_versions, ec);
+      if (ec) {
+        return error(ErrorCode::kInternal,
+                     "version-history move failed: " + ec.message());
+      }
+    }
+  }
+  return Status::ok();
+}
+
+PropertyDb FsRepository::properties(const std::string& path) const {
+  return PropertyDb(prop_db_path(path), flavor_);
+}
+
+fs::path FsRepository::versions_dir(const std::string& path) const {
+  fs::path target = fs_path(path);
+  return target.parent_path() / kDavDirName / "versions" /
+         target.filename();
+}
+
+Status FsRepository::snapshot_version(const std::string& path, uint32_t n,
+                                      std::string_view body) {
+  fs::path dir = versions_dir(path);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return error(ErrorCode::kInternal,
+                 "cannot create version store for " + path);
+  }
+  return write_file_atomic(dir / ("v" + std::to_string(n)), body);
+}
+
+Result<std::string> FsRepository::read_version(const std::string& path,
+                                               uint32_t n) const {
+  std::string body;
+  Status status =
+      read_file(versions_dir(path) / ("v" + std::to_string(n)), &body);
+  if (!status.is_ok()) {
+    return Status(ErrorCode::kNotFound,
+                  "no version " + std::to_string(n) + " of " + path);
+  }
+  return body;
+}
+
+Status FsRepository::strip_version_history(const std::string& path) {
+  std::error_code ec;
+  fs::path target = fs_path(path);
+  if (fs::is_directory(target, ec)) {
+    // Drop every versions store the recursive copy brought along...
+    for (auto it = fs::recursive_directory_iterator(target, ec);
+         !ec && it != fs::recursive_directory_iterator();
+         it.increment(ec)) {
+      if (it->is_directory(ec) &&
+          it->path().filename() == "versions" &&
+          it->path().parent_path().filename() == kDavDirName) {
+        fs::remove_all(it->path(), ec);
+        it.disable_recursion_pending();
+      }
+    }
+    // ...and the version counters in every member's property DB.
+    for (auto it = fs::recursive_directory_iterator(target, ec);
+         !ec && it != fs::recursive_directory_iterator();
+         it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const fs::path& file = it->path();
+      if (file.parent_path().filename() != kDavDirName) continue;
+      if (file.extension() != ".props") continue;
+      PropertyDb db(file, flavor_);
+      DAVPSE_RETURN_IF_ERROR(db.remove({internal_props::kVersionCount}));
+    }
+    return Status::ok();
+  }
+  fs::remove_all(versions_dir(path), ec);
+  PropertyDb db = properties(path);
+  return db.remove({internal_props::kVersionCount});
+}
+
+std::vector<uint32_t> FsRepository::list_versions(
+    const std::string& path) const {
+  std::vector<uint32_t> out;
+  std::error_code ec;
+  for (auto it = fs::directory_iterator(versions_dir(path), ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    std::string name = it->path().filename().string();
+    if (name.size() < 2 || name[0] != 'v') continue;
+    uint32_t n = 0;
+    bool numeric = true;
+    for (size_t i = 1; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      n = n * 10 + static_cast<uint32_t>(name[i] - '0');
+    }
+    if (numeric) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t FsRepository::disk_usage(const std::string& path) const {
+  fs::path target = fs_path(path);
+  uint64_t total = davpse::disk_usage(target);
+  std::error_code ec;
+  if (!fs::is_directory(target, ec)) {
+    fs::path props = prop_db_path(path);
+    if (fs::exists(props, ec)) total += davpse::disk_usage(props);
+  }
+  return total;
+}
+
+Status FsRepository::compact_all(const std::string& path) {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (!fs::is_directory(target, ec)) {
+    PropertyDb db = properties(path);
+    return db.compact();
+  }
+  for (auto it = fs::recursive_directory_iterator(target, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& file = it->path();
+    if (file.parent_path().filename() != kDavDirName) continue;
+    if (file.extension() != ".props") continue;
+    auto db = dbm::open_dbm(file);
+    if (!db.ok()) return db.status();
+    DAVPSE_RETURN_IF_ERROR(db.value()->compact());
+  }
+  return Status::ok();
+}
+
+}  // namespace davpse::dav

@@ -1,0 +1,117 @@
+// Filesystem-backed resource store, mirroring mod_dav's persistence:
+// documents are plain files, collections are directories, and each
+// resource's dead properties live in a per-resource DBM file under a
+// hidden ".DAV" subdirectory. Users can therefore see and manipulate
+// raw data files directly — the deployment property the paper calls
+// out ("users still have direct access to the raw data files when
+// needed").
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dav/props.h"
+#include "dbm/dbm.h"
+#include "util/status.h"
+
+namespace davpse::dav {
+
+enum class ResourceKind { kMissing, kDocument, kCollection };
+
+struct ResourceInfo {
+  ResourceKind kind = ResourceKind::kMissing;
+  uint64_t content_length = 0;   // documents only
+  int64_t mtime_seconds = 0;     // unix time
+};
+
+class FsRepository {
+ public:
+  /// `root` must exist and be a directory; it becomes the DAV "/".
+  FsRepository(std::filesystem::path root, dbm::Flavor flavor);
+
+  // -- inspection -------------------------------------------------------
+
+  ResourceInfo stat(const std::string& path) const;
+  bool exists(const std::string& path) const {
+    return stat(path).kind != ResourceKind::kMissing;
+  }
+
+  /// Child *names* of a collection (".DAV" bookkeeping is hidden).
+  Result<std::vector<std::string>> list_children(
+      const std::string& path) const;
+
+  // -- documents --------------------------------------------------------
+
+  Result<std::string> read_document(const std::string& path) const;
+
+  /// Creates or replaces. kConflict if the parent collection is
+  /// missing (RFC 2518 PUT semantics); kMethodNotAllowed surfaces as
+  /// kConflict too if the target is a collection.
+  Status write_document(const std::string& path, std::string_view body);
+
+  // -- collections ------------------------------------------------------
+
+  /// kAlreadyExists if anything is there; kConflict without a parent.
+  Status make_collection(const std::string& path);
+
+  // -- shared operations -------------------------------------------------
+
+  /// Removes a document or a whole collection subtree (with all
+  /// property databases).
+  Status remove(const std::string& path);
+
+  /// Deep copy `from` → `to`, including dead properties. `to` must not
+  /// exist (the server layer handles Overwrite by deleting first).
+  Status copy(const std::string& from, const std::string& to);
+
+  /// Rename; falls back to copy+delete across filesystems.
+  Status move(const std::string& from, const std::string& to);
+
+  /// Dead-property database handle for a resource.
+  PropertyDb properties(const std::string& path) const;
+
+  // -- linear version history (DeltaV-lite; see dav/server.h) ------------
+  // Version snapshots live beside the property DBs in the hidden .DAV
+  // directory: <parent>/.DAV/versions/<name>/v<N>.
+
+  /// Stores the document's snapshot as version `n`.
+  Status snapshot_version(const std::string& path, uint32_t n,
+                          std::string_view body);
+  /// kNotFound when the version does not exist.
+  Result<std::string> read_version(const std::string& path, uint32_t n) const;
+  /// Ascending version numbers present for the resource.
+  std::vector<uint32_t> list_versions(const std::string& path) const;
+
+  /// Removes version history and version-control bookkeeping from a
+  /// resource and (recursively) all of its members. COPY destinations
+  /// must come out unversioned (DeltaV: a copy is a new resource).
+  Status strip_version_history(const std::string& path);
+
+  /// Total bytes on disk under a resource (documents + property DBMs),
+  /// for the §3.2.4 experiments.
+  uint64_t disk_usage(const std::string& path) const;
+
+  /// Runs DBM garbage collection over every property database under
+  /// `path` (the paper's "manual garbage collection utilities").
+  Status compact_all(const std::string& path);
+
+  const std::filesystem::path& root() const { return root_; }
+  dbm::Flavor flavor() const { return flavor_; }
+
+  /// Name of the hidden bookkeeping directory.
+  static constexpr std::string_view kDavDirName = ".DAV";
+
+ private:
+  std::filesystem::path fs_path(const std::string& path) const;
+  std::filesystem::path prop_db_path(const std::string& path) const;
+  std::filesystem::path versions_dir(const std::string& path) const;
+
+  std::filesystem::path root_;
+  dbm::Flavor flavor_;
+};
+
+}  // namespace davpse::dav

@@ -1,0 +1,207 @@
+#include "dav/search.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+#include "util/uri.h"
+
+namespace davpse::dav {
+namespace {
+
+const xml::QName kBasicSearch = xml::dav_name("basicsearch");
+const xml::QName kSelect = xml::dav_name("select");
+const xml::QName kProp = xml::dav_name("prop");
+const xml::QName kFrom = xml::dav_name("from");
+const xml::QName kScope = xml::dav_name("scope");
+const xml::QName kHref = xml::dav_name("href");
+const xml::QName kDepth = xml::dav_name("depth");
+const xml::QName kWhere = xml::dav_name("where");
+const xml::QName kLiteral = xml::dav_name("literal");
+
+Result<SearchOp> op_from_name(const xml::QName& name) {
+  if (name.ns != xml::kDavNamespace) {
+    return Status(ErrorCode::kUnsupported,
+                  "unknown search operator namespace: " + name.to_string());
+  }
+  if (name.local == "and") return SearchOp::kAnd;
+  if (name.local == "or") return SearchOp::kOr;
+  if (name.local == "not") return SearchOp::kNot;
+  if (name.local == "eq") return SearchOp::kEq;
+  if (name.local == "lt") return SearchOp::kLt;
+  if (name.local == "lte") return SearchOp::kLte;
+  if (name.local == "gt") return SearchOp::kGt;
+  if (name.local == "gte") return SearchOp::kGte;
+  if (name.local == "contains") return SearchOp::kContains;
+  if (name.local == "is-defined") return SearchOp::kIsDefined;
+  if (name.local == "is-collection") return SearchOp::kIsCollection;
+  return Status(ErrorCode::kUnsupported,
+                "unsupported search operator: " + name.to_string());
+}
+
+Result<SearchExpr> parse_expr(const xml::Element& element) {
+  auto op = op_from_name(element.name());
+  if (!op.ok()) return op.status();
+  SearchExpr expr;
+  expr.op = op.value();
+
+  switch (expr.op) {
+    case SearchOp::kAnd:
+    case SearchOp::kOr: {
+      if (element.children().empty()) {
+        return Status(ErrorCode::kMalformed,
+                      element.name().local + " requires operands");
+      }
+      for (const auto& child : element.children()) {
+        auto parsed = parse_expr(*child);
+        if (!parsed.ok()) return parsed.status();
+        expr.children.push_back(std::move(parsed).value());
+      }
+      return expr;
+    }
+    case SearchOp::kNot: {
+      if (element.children().size() != 1) {
+        return Status(ErrorCode::kMalformed,
+                      "not requires exactly one operand");
+      }
+      auto parsed = parse_expr(*element.children().front());
+      if (!parsed.ok()) return parsed.status();
+      expr.children.push_back(std::move(parsed).value());
+      return expr;
+    }
+    case SearchOp::kIsCollection:
+      return expr;
+    case SearchOp::kIsDefined: {
+      const xml::Element* prop = element.first_child(kProp);
+      if (prop == nullptr || prop->children().size() != 1) {
+        return Status(ErrorCode::kMalformed,
+                      "is-defined requires <prop> with one property");
+      }
+      expr.prop = prop->children().front()->name();
+      return expr;
+    }
+    default: {
+      // Binary comparison: <prop> + <literal>.
+      const xml::Element* prop = element.first_child(kProp);
+      const xml::Element* literal = element.first_child(kLiteral);
+      if (prop == nullptr || prop->children().size() != 1 ||
+          literal == nullptr) {
+        return Status(ErrorCode::kMalformed,
+                      element.name().local +
+                          " requires <prop> with one property and "
+                          "<literal>");
+      }
+      expr.prop = prop->children().front()->name();
+      expr.literal = literal->text();
+      return expr;
+    }
+  }
+}
+
+}  // namespace
+
+Result<SearchRequest> parse_search_request(const xml::Element& root) {
+  if (!(root.name() == xml::dav_name("searchrequest"))) {
+    return Status(ErrorCode::kMalformed,
+                  "expected DAV:searchrequest, got " +
+                      root.name().to_string());
+  }
+  const xml::Element* basic = root.first_child(kBasicSearch);
+  if (basic == nullptr) {
+    return Status(ErrorCode::kUnsupported,
+                  "only DAV:basicsearch is supported");
+  }
+  SearchRequest request;
+
+  if (const xml::Element* select = basic->first_child(kSelect)) {
+    if (const xml::Element* prop = select->first_child(kProp)) {
+      for (const auto& child : prop->children()) {
+        request.select.push_back(child->name());
+      }
+    }
+  }
+
+  if (const xml::Element* from = basic->first_child(kFrom)) {
+    if (const xml::Element* scope = from->first_child(kScope)) {
+      std::string_view href = scope->child_text(kHref);
+      if (!href.empty()) {
+        std::string decoded;
+        if (!percent_decode(trim(href), &decoded)) {
+          return Status(ErrorCode::kMalformed, "bad scope href");
+        }
+        auto normalized = normalize_path(decoded);
+        if (!normalized.ok()) return normalized.status();
+        request.scope = std::move(normalized).value();
+      }
+      auto depth = trim(scope->child_text(kDepth));
+      if (depth == "1" || depth == "0") request.depth_infinity = false;
+    }
+  }
+
+  if (const xml::Element* where = basic->first_child(kWhere)) {
+    if (where->children().size() != 1) {
+      return Status(ErrorCode::kMalformed,
+                    "where requires exactly one expression");
+    }
+    auto expr = parse_expr(*where->children().front());
+    if (!expr.ok()) return expr.status();
+    request.where = std::move(expr).value();
+  }
+  return request;
+}
+
+bool compare_values(SearchOp op, const std::string& a, const std::string& b) {
+  // Numeric comparison when both sides are fully numeric.
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  double num_a = std::strtod(a.c_str(), &end_a);
+  double num_b = std::strtod(b.c_str(), &end_b);
+  bool numeric = !a.empty() && !b.empty() && end_a == a.c_str() + a.size() &&
+                 end_b == b.c_str() + b.size();
+  int cmp;
+  if (numeric) {
+    cmp = num_a < num_b ? -1 : (num_a > num_b ? 1 : 0);
+  } else {
+    cmp = a.compare(b);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case SearchOp::kEq: return cmp == 0;
+    case SearchOp::kLt: return cmp < 0;
+    case SearchOp::kLte: return cmp <= 0;
+    case SearchOp::kGt: return cmp > 0;
+    case SearchOp::kGte: return cmp >= 0;
+    default: return false;
+  }
+}
+
+bool evaluate_search(const SearchExpr& expr, const PropertyLookup& lookup,
+                     bool is_collection) {
+  switch (expr.op) {
+    case SearchOp::kAnd:
+      for (const SearchExpr& child : expr.children) {
+        if (!evaluate_search(child, lookup, is_collection)) return false;
+      }
+      return true;
+    case SearchOp::kOr:
+      for (const SearchExpr& child : expr.children) {
+        if (evaluate_search(child, lookup, is_collection)) return true;
+      }
+      return false;
+    case SearchOp::kNot:
+      return !evaluate_search(expr.children.front(), lookup, is_collection);
+    case SearchOp::kIsCollection:
+      return is_collection;
+    case SearchOp::kIsDefined:
+      return lookup(expr.prop).has_value();
+    case SearchOp::kContains: {
+      auto value = lookup(expr.prop);
+      return value && value->find(expr.literal) != std::string::npos;
+    }
+    default: {
+      auto value = lookup(expr.prop);
+      return value && compare_values(expr.op, *value, expr.literal);
+    }
+  }
+}
+
+}  // namespace davpse::dav

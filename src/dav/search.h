@@ -1,0 +1,80 @@
+// DASL-style searching (the paper's §5: "many of the advanced features
+// of DAV, including DAV Searching and Locating (DASL)... are still
+// being standardized"). This implements the core of the
+// draft-dasl-protocol `DAV:basicsearch` grammar the paper anticipated:
+//
+//   <D:searchrequest>
+//     <D:basicsearch>
+//       <D:select><D:prop>...</D:prop></D:select>
+//       <D:from><D:scope><D:href>/x</D:href><D:depth>infinity</D:depth>
+//       </D:scope></D:from>
+//       <D:where> boolean expression </D:where>
+//     </D:basicsearch>
+//   </D:searchrequest>
+//
+// Operators: and, or, not, eq, lt, lte, gt, gte, contains,
+// is-defined, is-collection. Comparisons are numeric when both sides
+// parse as numbers, byte-wise otherwise. The response is an ordinary
+// 207 multistatus carrying the selected properties of each match — so
+// existing multistatus clients (and agents) consume results unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/dom.h"
+#include "xml/qname.h"
+
+namespace davpse::dav {
+
+enum class SearchOp {
+  kAnd,
+  kOr,
+  kNot,
+  kEq,
+  kLt,
+  kLte,
+  kGt,
+  kGte,
+  kContains,
+  kIsDefined,
+  kIsCollection,
+};
+
+/// One node of the parsed where-expression.
+struct SearchExpr {
+  SearchOp op;
+  xml::QName prop;                 // comparison/defined operators
+  std::string literal;             // comparison operators
+  std::vector<SearchExpr> children;  // and/or/not
+};
+
+struct SearchRequest {
+  std::string scope = "/";          // normalized href
+  bool depth_infinity = true;       // false = depth 1
+  std::vector<xml::QName> select;   // properties to return per match
+  std::optional<SearchExpr> where;  // absent = match everything
+};
+
+/// Parses a DAV:searchrequest body. kMalformed/kUnsupported on
+/// grammars outside the subset above.
+Result<SearchRequest> parse_search_request(const xml::Element& root);
+
+/// Property accessor used during evaluation: returns the *raw text*
+/// value of a property on the candidate resource, or nullopt when the
+/// property is undefined there.
+using PropertyLookup =
+    std::function<std::optional<std::string>(const xml::QName&)>;
+
+/// Evaluates a where-expression against one resource.
+bool evaluate_search(const SearchExpr& expr, const PropertyLookup& lookup,
+                     bool is_collection);
+
+/// True when `a` op `b` holds; numeric when both parse as doubles.
+bool compare_values(SearchOp op, const std::string& a, const std::string& b);
+
+}  // namespace davpse::dav

@@ -1,0 +1,973 @@
+#include "dav/server.h"
+
+#include <ctime>
+#include <mutex>
+
+#include "dav/search.h"
+#include "util/strings.h"
+#include "util/uri.h"
+#include "xml/escape.h"
+#include "xml/writer.h"
+
+namespace davpse::dav {
+namespace {
+
+using http::HttpRequest;
+using http::HttpResponse;
+
+const xml::QName kMultistatus = xml::dav_name("multistatus");
+const xml::QName kResponse = xml::dav_name("response");
+const xml::QName kHref = xml::dav_name("href");
+const xml::QName kPropstat = xml::dav_name("propstat");
+const xml::QName kProp = xml::dav_name("prop");
+const xml::QName kStatus = xml::dav_name("status");
+const xml::QName kPropfind = xml::dav_name("propfind");
+const xml::QName kAllprop = xml::dav_name("allprop");
+const xml::QName kPropname = xml::dav_name("propname");
+const xml::QName kPropertyUpdate = xml::dav_name("propertyupdate");
+const xml::QName kSet = xml::dav_name("set");
+const xml::QName kRemove = xml::dav_name("remove");
+const xml::QName kResourceType = xml::dav_name("resourcetype");
+const xml::QName kCollection = xml::dav_name("collection");
+const xml::QName kGetContentLength = xml::dav_name("getcontentlength");
+const xml::QName kGetLastModified = xml::dav_name("getlastmodified");
+const xml::QName kCreationDate = xml::dav_name("creationdate");
+const xml::QName kGetEtag = xml::dav_name("getetag");
+const xml::QName kGetContentType = xml::dav_name("getcontenttype");
+const xml::QName kDisplayName = xml::dav_name("displayname");
+const xml::QName kSupportedLock = xml::dav_name("supportedlock");
+const xml::QName kLockDiscovery = xml::dav_name("lockdiscovery");
+const xml::QName kLockInfo = xml::dav_name("lockinfo");
+const xml::QName kLockScopeEl = xml::dav_name("lockscope");
+const xml::QName kExclusive = xml::dav_name("exclusive");
+const xml::QName kShared = xml::dav_name("shared");
+const xml::QName kLockType = xml::dav_name("locktype");
+const xml::QName kWrite = xml::dav_name("write");
+const xml::QName kOwner = xml::dav_name("owner");
+const xml::QName kActiveLock = xml::dav_name("activelock");
+const xml::QName kDepthEl = xml::dav_name("depth");
+const xml::QName kTimeoutEl = xml::dav_name("timeout");
+const xml::QName kLockToken = xml::dav_name("locktoken");
+
+const xml::QName& kContentTypeProp = internal_props::kContentType;
+const xml::QName& kVersionCountProp = internal_props::kVersionCount;
+const xml::QName kVersionName = xml::dav_name("version-name");
+const xml::QName kVersionTree = xml::dav_name("version-tree");
+
+/// Parses the internal version counter; 0 when absent/invalid.
+uint32_t version_count_of(const PropertyDb& db) {
+  auto stored = db.get(kVersionCountProp);
+  if (!stored.ok()) return 0;
+  uint32_t n = 0;
+  for (char c : stored.value().inner_xml) {
+    if (c < '0' || c > '9') return 0;
+    n = n * 10 + static_cast<uint32_t>(c - '0');
+  }
+  return n;
+}
+
+enum class Depth { kZero, kOne, kInfinity };
+
+Depth parse_depth(const HttpRequest& request, Depth fallback) {
+  auto header = request.headers.get("Depth");
+  if (!header) return fallback;
+  auto value = trim(*header);
+  if (value == "0") return Depth::kZero;
+  if (value == "1") return Depth::kOne;
+  return Depth::kInfinity;
+}
+
+int status_from(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk: return http::kOk;
+    case ErrorCode::kNotFound: return http::kNotFound;
+    case ErrorCode::kAlreadyExists: return http::kPreconditionFailed;
+    case ErrorCode::kInvalidArgument: return http::kBadRequest;
+    case ErrorCode::kMalformed: return http::kBadRequest;
+    case ErrorCode::kConflict: return http::kConflict;
+    case ErrorCode::kLocked: return http::kLocked;
+    case ErrorCode::kTooLarge: return http::kInsufficientStorage;
+    case ErrorCode::kPermissionDenied: return http::kForbidden;
+    case ErrorCode::kUnsupported: return http::kNotImplemented;
+    default: return http::kInternalError;
+  }
+}
+
+HttpResponse error_response(const Status& status) {
+  return HttpResponse::make(status_from(status), status.to_string() + "\n");
+}
+
+std::string http_date(int64_t unix_seconds) {
+  char buf[64];
+  std::time_t t = static_cast<std::time_t>(unix_seconds);
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  std::strftime(buf, sizeof buf, "%a, %d %b %Y %H:%M:%S GMT", &tm_utc);
+  return buf;
+}
+
+std::string iso_date(int64_t unix_seconds) {
+  char buf[64];
+  std::time_t t = static_cast<std::time_t>(unix_seconds);
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+/// Serializes the content of a property element (text + child
+/// elements) for storage; children keep their namespace declarations.
+std::string inner_xml_of(const xml::Element& element) {
+  std::string out = xml::escape_text(element.text());
+  for (const auto& child : element.children()) {
+    out += child->to_xml();
+  }
+  return out;
+}
+
+/// Extracts a lock token from an If or Lock-Token header value:
+/// anything of the form <opaquelocktoken:...>.
+std::optional<std::string> extract_token(std::string_view header_value) {
+  auto begin = header_value.find("<opaquelocktoken:");
+  if (begin == std::string_view::npos) return std::nullopt;
+  auto end = header_value.find('>', begin);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(header_value.substr(begin + 1, end - begin - 1));
+}
+
+std::optional<std::string> presented_token(const HttpRequest& request) {
+  if (auto value = request.headers.get("If")) {
+    if (auto token = extract_token(*value)) return token;
+  }
+  if (auto value = request.headers.get("Lock-Token")) {
+    if (auto token = extract_token(*value)) return token;
+  }
+  return std::nullopt;
+}
+
+/// Writes one <D:response> with found/missing propstat groups.
+struct PropstatGroups {
+  // (name, inner xml) pairs found on the resource
+  std::vector<std::pair<xml::QName, std::string>> found;
+  std::vector<xml::QName> missing;
+  bool names_only = false;  // propname: emit found names w/o values
+};
+
+void write_response_element(xml::XmlWriter* writer, const std::string& href,
+                            const PropstatGroups& groups) {
+  writer->start_element(kResponse);
+  writer->text_element(kHref, percent_encode_path(href));
+  if (!groups.found.empty() || groups.missing.empty()) {
+    writer->start_element(kPropstat);
+    writer->start_element(kProp);
+    for (const auto& [name, inner] : groups.found) {
+      writer->start_element(name);
+      if (!groups.names_only && !inner.empty()) writer->raw(inner);
+      writer->end_element();
+    }
+    writer->end_element();
+    writer->text_element(kStatus, "HTTP/1.1 200 OK");
+    writer->end_element();
+  }
+  if (!groups.missing.empty()) {
+    writer->start_element(kPropstat);
+    writer->start_element(kProp);
+    for (const auto& name : groups.missing) {
+      writer->empty_element(name);
+    }
+    writer->end_element();
+    writer->text_element(kStatus, "HTTP/1.1 404 Not Found");
+    writer->end_element();
+  }
+  writer->end_element();
+}
+
+void write_lock_xml(xml::XmlWriter* writer, const Lock& lock) {
+  writer->start_element(kActiveLock);
+  writer->start_element(kLockType);
+  writer->empty_element(kWrite);
+  writer->end_element();
+  writer->start_element(kLockScopeEl);
+  writer->empty_element(lock.scope == LockScope::kExclusive ? kExclusive
+                                                            : kShared);
+  writer->end_element();
+  writer->text_element(kDepthEl,
+                       lock.depth_infinity ? "infinity" : "0");
+  if (!lock.owner.empty()) {
+    writer->start_element(kOwner);
+    writer->raw(lock.owner);
+    writer->end_element();
+  }
+  writer->text_element(kTimeoutEl, lock.expires_at == 0
+                                       ? std::string("Infinite")
+                                       : "Second-600");
+  writer->start_element(kLockToken);
+  writer->text_element(kHref, lock.token);
+  writer->end_element();
+  writer->end_element();
+}
+
+}  // namespace
+
+// Mutating methods must honor DAV locks: proceed only when the
+// resource is unlocked or the request presents the covering token.
+#define DAVPSE_DAV_CHECK_LOCK(path, request)                      \
+  do {                                                            \
+    Status lock_status =                                          \
+        locks_.check_write((path), presented_token(request));     \
+    if (!lock_status.is_ok()) return error_response(lock_status); \
+  } while (0)
+
+DavServer::DavServer(DavConfig config)
+    : config_(std::move(config)),
+      repository_(config_.root, config_.flavor) {}
+
+HttpResponse DavServer::handle(const HttpRequest& request) {
+  auto uri = parse_uri(request.target);
+  if (!uri.ok()) return error_response(uri.status());
+  auto normalized = normalize_path(uri.value().path);
+  if (!normalized.ok()) return error_response(normalized.status());
+  const std::string& path = normalized.value();
+
+  const std::string& method = request.method;
+  if (method == "OPTIONS") return do_options(request);
+  if (method == "GET") return do_get(request, path, /*head_only=*/false);
+  if (method == "HEAD") return do_get(request, path, /*head_only=*/true);
+  if (method == "PUT") return do_put(request, path);
+  if (method == "DELETE") return do_delete(request, path);
+  if (method == "MKCOL") return do_mkcol(request, path);
+  if (method == "COPY") return do_copy_move(request, path, /*move=*/false);
+  if (method == "MOVE") return do_copy_move(request, path, /*move=*/true);
+  if (method == "PROPFIND") return do_propfind(request, path);
+  if (method == "PROPPATCH") return do_proppatch(request, path);
+  if (method == "LOCK") return do_lock(request, path);
+  if (method == "UNLOCK") return do_unlock(request, path);
+  if (method == "SEARCH") return do_search(request);
+  if (method == "VERSION-CONTROL") return do_version_control(request, path);
+  if (method == "REPORT") return do_report(request, path);
+  HttpResponse response = HttpResponse::make(
+      http::kMethodNotAllowed, "method not supported: " + method + "\n");
+  response.headers.set(
+      "Allow",
+      "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, COPY, MOVE, PROPFIND, "
+      "PROPPATCH, LOCK, UNLOCK, SEARCH");
+  return response;
+}
+
+HttpResponse DavServer::do_options(const HttpRequest&) {
+  HttpResponse response = HttpResponse::make(http::kOk);
+  response.headers.set("DAV", "1,2,version-control");
+  response.headers.set("DASL", "<DAV:basicsearch>");
+  response.headers.set("MS-Author-Via", "DAV");
+  response.headers.set(
+      "Allow",
+      "OPTIONS, GET, HEAD, PUT, DELETE, MKCOL, COPY, MOVE, PROPFIND, "
+      "PROPPATCH, LOCK, UNLOCK, SEARCH, VERSION-CONTROL, REPORT");
+  return response;
+}
+
+HttpResponse DavServer::do_get(const HttpRequest& request,
+                               const std::string& path, bool head_only) {
+  std::shared_lock<std::shared_mutex> lock(store_mutex_);
+  ResourceInfo info = repository_.stat(path);
+  if (info.kind == ResourceKind::kMissing) {
+    return HttpResponse::make(http::kNotFound, "no such resource\n");
+  }
+  // Conditional GET: validators let the layered client cache
+  // revalidate documents for the cost of one header exchange.
+  std::string etag = "\"" + std::to_string(info.mtime_seconds) + "-" +
+                     std::to_string(info.content_length) + "\"";
+  if (info.kind == ResourceKind::kDocument) {
+    if (auto if_none_match = request.headers.get("If-None-Match")) {
+      auto presented = trim(*if_none_match);
+      if (presented == "*" || presented == etag) {
+        HttpResponse response = HttpResponse::make(304);
+        response.headers.set("ETag", etag);
+        return response;
+      }
+    }
+    // DeltaV-lite: retrieve a historical version of a version-
+    // controlled document (X-Version: N; see do_version_control).
+    if (auto requested = request.headers.get_uint("X-Version")) {
+      auto body = repository_.read_version(
+          path, static_cast<uint32_t>(*requested));
+      if (!body.ok()) return error_response(body.status());
+      HttpResponse response = HttpResponse::make(
+          http::kOk, std::move(body).value(), "application/octet-stream");
+      response.headers.set("X-Version", std::to_string(*requested));
+      if (head_only) response.body.clear();
+      return response;
+    }
+  }
+  if (info.kind == ResourceKind::kCollection) {
+    // Browsable listing — "users can run standard Web browsers to
+    // 'surf' the Ecce database".
+    auto children = repository_.list_children(path);
+    if (!children.ok()) return error_response(children.status());
+    std::string html = "<html><body><h1>Index of " +
+                       xml::escape_text(path) + "</h1><ul>\n";
+    for (const auto& name : children.value()) {
+      std::string child_href = percent_encode_path(join_path(path, name));
+      html += "<li><a href=\"" + child_href + "\">" +
+              xml::escape_text(name) + "</a></li>\n";
+    }
+    html += "</ul></body></html>\n";
+    HttpResponse response =
+        HttpResponse::make(http::kOk, std::move(html), "text/html");
+    if (head_only) response.body.clear();
+    return response;
+  }
+  HttpResponse response = HttpResponse::make(http::kOk);
+  auto content_type = repository_.properties(path).get(kContentTypeProp);
+  response.headers.set("Content-Type",
+                       content_type.ok() ? content_type.value().inner_xml
+                                         : "application/octet-stream");
+  response.headers.set("Last-Modified", http_date(info.mtime_seconds));
+  response.headers.set("ETag", etag);
+  if (!head_only) {
+    auto body = repository_.read_document(path);
+    if (!body.ok()) return error_response(body.status());
+    response.body = std::move(body).value();
+  } else {
+    response.headers.set("Content-Length",
+                         std::to_string(info.content_length));
+  }
+  return response;
+}
+
+HttpResponse DavServer::do_put(const HttpRequest& request,
+                               const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  DAVPSE_DAV_CHECK_LOCK(path, request);
+  bool existed = repository_.exists(path);
+  Status status = repository_.write_document(path, request.body);
+  if (!status.is_ok()) return error_response(status);
+  PropertyDb db = repository_.properties(path);
+  if (auto content_type = request.headers.get("Content-Type")) {
+    Status prop_status = db.set(
+        {{kContentTypeProp, PropertyValue{std::string(*content_type)}}});
+    if (!prop_status.is_ok()) return error_response(prop_status);
+  }
+  // Auto-versioning: every PUT to a version-controlled resource
+  // checks in a new version (DeltaV-lite; see do_version_control).
+  uint32_t versions = version_count_of(db);
+  if (versions > 0) {
+    uint32_t next = versions + 1;
+    Status snap = repository_.snapshot_version(path, next, request.body);
+    if (!snap.is_ok()) return error_response(snap);
+    Status count = db.set(
+        {{kVersionCountProp, PropertyValue{std::to_string(next)}}});
+    if (!count.is_ok()) return error_response(count);
+  }
+  return HttpResponse::make(existed ? http::kNoContent : http::kCreated);
+}
+
+HttpResponse DavServer::do_delete(const HttpRequest& request,
+                                  const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  DAVPSE_DAV_CHECK_LOCK(path, request);
+  if (path == "/") {
+    return HttpResponse::make(http::kForbidden, "cannot DELETE root\n");
+  }
+  Status status = repository_.remove(path);
+  if (!status.is_ok()) return error_response(status);
+  locks_.forget_subtree(path);
+  return HttpResponse::make(http::kNoContent);
+}
+
+HttpResponse DavServer::do_mkcol(const HttpRequest& request,
+                                 const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  DAVPSE_DAV_CHECK_LOCK(path, request);
+  if (!request.body.empty()) {
+    return HttpResponse::make(http::kUnsupportedMediaType,
+                              "MKCOL request bodies are not supported\n");
+  }
+  Status status = repository_.make_collection(path);
+  if (!status.is_ok()) {
+    if (status.code() == ErrorCode::kAlreadyExists) {
+      return HttpResponse::make(http::kMethodNotAllowed,
+                                "resource already exists\n");
+    }
+    return error_response(status);
+  }
+  return HttpResponse::make(http::kCreated);
+}
+
+HttpResponse DavServer::do_copy_move(const HttpRequest& request,
+                                     const std::string& path, bool move) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  auto destination_header = request.headers.get("Destination");
+  if (!destination_header) {
+    return HttpResponse::make(http::kBadRequest,
+                              "Destination header required\n");
+  }
+  auto dest_uri = parse_uri(*destination_header);
+  if (!dest_uri.ok()) return error_response(dest_uri.status());
+  auto dest_norm = normalize_path(dest_uri.value().path);
+  if (!dest_norm.ok()) return error_response(dest_norm.status());
+  const std::string& dest = dest_norm.value();
+  if (dest == path || path_is_within(dest, path)) {
+    return HttpResponse::make(
+        http::kForbidden, "destination is the source or lies within it\n");
+  }
+  DAVPSE_DAV_CHECK_LOCK(dest, request);
+  if (move) DAVPSE_DAV_CHECK_LOCK(path, request);
+
+  bool overwrite = true;
+  if (auto value = request.headers.get("Overwrite")) {
+    overwrite = !iequals(trim(*value), "F");
+  }
+  bool dest_existed = repository_.exists(dest);
+  if (dest_existed) {
+    if (!overwrite) {
+      return HttpResponse::make(http::kPreconditionFailed,
+                                "destination exists and Overwrite is F\n");
+    }
+    Status status = repository_.remove(dest);
+    if (!status.is_ok()) return error_response(status);
+    locks_.forget_subtree(dest);
+  }
+  Status status =
+      move ? repository_.move(path, dest) : repository_.copy(path, dest);
+  if (!status.is_ok()) return error_response(status);
+  if (move) {
+    locks_.forget_subtree(path);
+  } else {
+    // A copy is a new, unversioned resource (DeltaV semantics).
+    Status stripped = repository_.strip_version_history(dest);
+    if (!stripped.is_ok()) return error_response(stripped);
+  }
+  return HttpResponse::make(dest_existed ? http::kNoContent : http::kCreated);
+}
+
+HttpResponse DavServer::do_propfind(const HttpRequest& request,
+                                    const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(store_mutex_);
+  ResourceInfo info = repository_.stat(path);
+  if (info.kind == ResourceKind::kMissing) {
+    return HttpResponse::make(http::kNotFound, "no such resource\n");
+  }
+  Depth depth = parse_depth(request, Depth::kInfinity);
+
+  // Request body: empty = allprop.
+  enum class Mode { kAllProp, kPropName, kPropList };
+  Mode mode = Mode::kAllProp;
+  std::vector<xml::QName> wanted;
+  if (!trim(request.body).empty()) {
+    auto doc = xml::parse_document(request.body);
+    if (!doc.ok()) return error_response(doc.status());
+    const xml::Element& root = *doc.value();
+    if (!(root.name() == kPropfind)) {
+      return HttpResponse::make(http::kBadRequest,
+                                "expected DAV:propfind body\n");
+    }
+    if (root.first_child(kPropname) != nullptr) {
+      mode = Mode::kPropName;
+    } else if (const xml::Element* prop = root.first_child(kProp)) {
+      mode = Mode::kPropList;
+      for (const auto& child : prop->children()) {
+        wanted.push_back(child->name());
+      }
+    } else if (root.first_child(kAllprop) == nullptr) {
+      return HttpResponse::make(http::kBadRequest,
+                                "propfind body must contain prop, allprop, "
+                                "or propname\n");
+    }
+  }
+
+  // Collect the resources to report on.
+  std::vector<std::string> targets =
+      collect_targets(path, depth != Depth::kZero, depth == Depth::kInfinity);
+
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kMultistatus);
+  for (const auto& target : targets) {
+    ResourceInfo target_info = repository_.stat(target);
+    PropertyDb db = repository_.properties(target);
+    PropstatGroups groups;
+
+    if (mode == Mode::kPropList) {
+      for (const auto& name : wanted) {
+        std::string inner;
+        if (is_live_property(name)) {
+          if (live_property_value(target, target_info, db, name, &inner)) {
+            groups.found.emplace_back(name, std::move(inner));
+          } else {
+            groups.missing.push_back(name);
+          }
+          continue;
+        }
+        auto dead = db.get(name);
+        if (dead.ok()) {
+          groups.found.emplace_back(name, std::move(dead.value().inner_xml));
+        } else if (auto computed =
+                       dynamic_value(target, target_info, db, name)) {
+          groups.found.emplace_back(name, xml::escape_text(*computed));
+        } else {
+          groups.missing.push_back(name);
+        }
+      }
+    } else {
+      // allprop / propname: all live + all dead.
+      static const xml::QName kAllLive[] = {
+          kResourceType, kGetContentLength, kGetLastModified, kCreationDate,
+          kGetEtag,      kGetContentType,   kDisplayName,     kSupportedLock};
+      for (const auto& name : kAllLive) {
+        std::string inner;
+        if (live_property_value(target, target_info, db, name, &inner)) {
+          groups.found.emplace_back(name, std::move(inner));
+        }
+      }
+      auto all_dead = db.get_all();
+      if (all_dead.ok()) {
+        for (auto& [name, value] : all_dead.value()) {
+          if (name.ns == "urn:davpse:internal") continue;  // bookkeeping
+          groups.found.emplace_back(name, std::move(value.inner_xml));
+        }
+      }
+      groups.names_only = (mode == Mode::kPropName);
+    }
+    write_response_element(&writer, target, groups);
+  }
+  writer.end_element();
+  return HttpResponse::multistatus(writer.take());
+}
+
+HttpResponse DavServer::do_proppatch(const HttpRequest& request,
+                                     const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  if (!repository_.exists(path)) {
+    return HttpResponse::make(http::kNotFound, "no such resource\n");
+  }
+  DAVPSE_DAV_CHECK_LOCK(path, request);
+  auto doc = xml::parse_document(request.body);
+  if (!doc.ok()) return error_response(doc.status());
+  const xml::Element& root = *doc.value();
+  if (!(root.name() == kPropertyUpdate)) {
+    return HttpResponse::make(http::kBadRequest,
+                              "expected DAV:propertyupdate body\n");
+  }
+
+  struct Directive {
+    bool remove;
+    xml::QName name;
+    std::string inner;  // set only
+  };
+  std::vector<Directive> directives;
+  for (const auto& child : root.children()) {
+    bool is_set = child->name() == kSet;
+    bool is_remove = child->name() == kRemove;
+    if (!is_set && !is_remove) continue;
+    const xml::Element* prop = child->first_child(kProp);
+    if (prop == nullptr) continue;
+    for (const auto& p : prop->children()) {
+      Directive directive;
+      directive.remove = is_remove;
+      directive.name = p->name();
+      if (is_set) directive.inner = inner_xml_of(*p);
+      directives.push_back(std::move(directive));
+    }
+  }
+
+  // Validate first so the batch applies all-or-nothing (RFC 2518
+  // "instructions MUST either all be executed or none executed").
+  Status failure = Status::ok();
+  for (const auto& directive : directives) {
+    if (!directive.remove &&
+        directive.inner.size() > config_.max_property_bytes) {
+      failure = error(ErrorCode::kTooLarge,
+                      "property " + directive.name.to_string() +
+                          " exceeds the configured limit of " +
+                          std::to_string(config_.max_property_bytes) +
+                          " bytes");
+      break;
+    }
+  }
+
+  PropertyDb db = repository_.properties(path);
+  if (failure.is_ok()) {
+    std::vector<std::pair<xml::QName, PropertyValue>> sets;
+    std::vector<xml::QName> removes;
+    for (auto& directive : directives) {
+      if (directive.remove) {
+        removes.push_back(directive.name);
+      } else {
+        sets.emplace_back(directive.name,
+                          PropertyValue{std::move(directive.inner)});
+      }
+    }
+    // Engine-level failures (e.g. SDBM's 1 KB value cap) abort the
+    // batch; mod_dav reported these as per-property errors.
+    Status status = db.set(sets);
+    if (status.is_ok()) status = db.remove(removes);
+    failure = status;
+  }
+
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kMultistatus);
+  writer.start_element(kResponse);
+  writer.text_element(kHref, percent_encode_path(path));
+  for (const auto& directive : directives) {
+    writer.start_element(kPropstat);
+    writer.start_element(kProp);
+    writer.empty_element(directive.name);
+    writer.end_element();
+    std::string status_line =
+        failure.is_ok()
+            ? "HTTP/1.1 200 OK"
+            : "HTTP/1.1 " + std::to_string(status_from(failure)) + " " +
+                  std::string(http::reason_phrase(status_from(failure)));
+    writer.text_element(kStatus, status_line);
+    writer.end_element();
+  }
+  writer.end_element();
+  writer.end_element();
+  return HttpResponse::multistatus(writer.take());
+}
+
+HttpResponse DavServer::do_lock(const HttpRequest& request,
+                                const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  double timeout = config_.default_lock_timeout_seconds;
+  if (auto header = request.headers.get("Timeout")) {
+    auto value = trim(*header);
+    if (iequals(value, "Infinite")) {
+      timeout = 0;
+    } else if (starts_with(value, "Second-")) {
+      timeout = 0;
+      for (char c : value.substr(7)) {
+        if (c < '0' || c > '9') break;
+        timeout = timeout * 10 + (c - '0');
+      }
+    }
+  }
+
+  Result<Lock> acquired = Status(ErrorCode::kInternal, "unset");
+  if (trim(request.body).empty()) {
+    // Refresh via If header.
+    auto token = presented_token(request);
+    if (!token) {
+      return HttpResponse::make(http::kBadRequest,
+                                "lock refresh requires an If header\n");
+    }
+    acquired = locks_.refresh(path, *token, timeout);
+  } else {
+    auto doc = xml::parse_document(request.body);
+    if (!doc.ok()) return error_response(doc.status());
+    const xml::Element& root = *doc.value();
+    if (!(root.name() == kLockInfo)) {
+      return HttpResponse::make(http::kBadRequest,
+                                "expected DAV:lockinfo body\n");
+    }
+    LockScope scope = LockScope::kExclusive;
+    if (const xml::Element* scope_el = root.first_child(kLockScopeEl)) {
+      if (scope_el->first_child(kShared) != nullptr) {
+        scope = LockScope::kShared;
+      }
+    }
+    std::string owner;
+    if (const xml::Element* owner_el = root.first_child(kOwner)) {
+      owner = inner_xml_of(*owner_el);
+    }
+    Depth depth = parse_depth(request, Depth::kInfinity);
+    if (!repository_.exists(path)) {
+      // RFC 2518: LOCK on an unmapped URL creates an empty resource.
+      Status status = repository_.write_document(path, "");
+      if (!status.is_ok()) return error_response(status);
+    }
+    acquired = locks_.acquire(path, scope, depth == Depth::kInfinity, owner,
+                              timeout);
+  }
+  if (!acquired.ok()) return error_response(acquired.status());
+
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kProp);
+  writer.start_element(kLockDiscovery);
+  write_lock_xml(&writer, acquired.value());
+  writer.end_element();
+  writer.end_element();
+  HttpResponse response = HttpResponse::make(
+      http::kOk, writer.take(), "text/xml; charset=\"utf-8\"");
+  response.headers.set("Lock-Token", "<" + acquired.value().token + ">");
+  return response;
+}
+
+bool DavServer::is_live_property(const xml::QName& name) {
+  return name == kResourceType || name == kGetContentLength ||
+         name == kGetLastModified || name == kCreationDate ||
+         name == kGetEtag || name == kGetContentType ||
+         name == kDisplayName || name == kSupportedLock ||
+         name == kLockDiscovery || name == kVersionName;
+}
+
+bool DavServer::live_property_value(const std::string& path,
+                                    const ResourceInfo& info,
+                                    const PropertyDb& db,
+                                    const xml::QName& name,
+                                    std::string* inner) {
+  if (name == kResourceType) {
+    if (info.kind == ResourceKind::kCollection) {
+      xml::XmlWriter nested;
+      nested.prefer_prefix(xml::kDavNamespace, "D");
+      nested.empty_element(kCollection);
+      *inner = nested.take();
+    }
+    return true;
+  }
+  if (name == kGetContentLength) {
+    if (info.kind != ResourceKind::kDocument) return false;
+    *inner = std::to_string(info.content_length);
+    return true;
+  }
+  if (name == kGetLastModified) {
+    *inner = http_date(info.mtime_seconds);
+    return true;
+  }
+  if (name == kCreationDate) {
+    *inner = iso_date(info.mtime_seconds);
+    return true;
+  }
+  if (name == kGetEtag) {
+    *inner = "\"" + std::to_string(info.mtime_seconds) + "-" +
+             std::to_string(info.content_length) + "\"";
+    return true;
+  }
+  if (name == kGetContentType) {
+    if (info.kind != ResourceKind::kDocument) return false;
+    auto stored = db.get(kContentTypeProp);
+    *inner = xml::escape_text(stored.ok() ? stored.value().inner_xml
+                                          : "application/octet-stream");
+    return true;
+  }
+  if (name == kDisplayName) {
+    *inner = xml::escape_text(basename_of(path));
+    return true;
+  }
+  if (name == kSupportedLock) {
+    *inner =
+        "<D:lockentry xmlns:D=\"DAV:\"><D:lockscope><D:exclusive/>"
+        "</D:lockscope><D:locktype><D:write/></D:locktype>"
+        "</D:lockentry>";
+    return true;
+  }
+  if (name == kLockDiscovery) {
+    // lockdiscovery content is a sequence of activelock elements.
+    std::string acc;
+    for (const Lock& held : locks_.locks_covering(path)) {
+      xml::XmlWriter nested;
+      nested.prefer_prefix(xml::kDavNamespace, "D");
+      write_lock_xml(&nested, held);
+      acc += nested.take();
+    }
+    *inner = acc;
+    return true;
+  }
+  if (name == kVersionName) {
+    uint32_t versions = version_count_of(db);
+    if (versions == 0) return false;  // not under version control
+    *inner = std::to_string(versions);
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::string> DavServer::dynamic_value(const std::string& path,
+                                                    const ResourceInfo& info,
+                                                    const PropertyDb& db,
+                                                    const xml::QName& name) {
+  if (!dynamic_props_.has(name)) return std::nullopt;
+  DynamicContext context{
+      path, info,
+      [&db](const xml::QName& dead_name) -> std::optional<std::string> {
+        auto value = db.get(dead_name);
+        if (!value.ok()) return std::nullopt;
+        return xml::unescape_text(value.value().inner_xml);
+      },
+      [this, &path] { return repository_.read_document(path); }};
+  return dynamic_props_.compute(name, context);
+}
+
+std::vector<std::string> DavServer::collect_targets(const std::string& path,
+                                                    bool include_children,
+                                                    bool infinite_depth) {
+  std::vector<std::string> targets{path};
+  if (!include_children ||
+      repository_.stat(path).kind != ResourceKind::kCollection) {
+    return targets;
+  }
+  std::vector<std::string> frontier{path};
+  size_t level = 0;
+  while (!frontier.empty() && (infinite_depth || level < 1)) {
+    std::vector<std::string> next;
+    for (const auto& parent : frontier) {
+      auto children = repository_.list_children(parent);
+      if (!children.ok()) continue;
+      for (const auto& name : children.value()) {
+        std::string child = join_path(parent, name);
+        targets.push_back(child);
+        if (repository_.stat(child).kind == ResourceKind::kCollection) {
+          next.push_back(child);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+  return targets;
+}
+
+HttpResponse DavServer::do_search(const HttpRequest& request) {
+  std::shared_lock<std::shared_mutex> lock(store_mutex_);
+  auto doc = xml::parse_document(request.body);
+  if (!doc.ok()) return error_response(doc.status());
+  auto parsed = parse_search_request(*doc.value());
+  if (!parsed.ok()) return error_response(parsed.status());
+  const SearchRequest& search = parsed.value();
+
+  if (!repository_.exists(search.scope)) {
+    return HttpResponse::make(http::kNotFound,
+                              "search scope does not exist\n");
+  }
+
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kMultistatus);
+  for (const std::string& target :
+       collect_targets(search.scope, /*include_children=*/true,
+                       search.depth_infinity)) {
+    ResourceInfo info = repository_.stat(target);
+    PropertyDb db = repository_.properties(target);
+
+    // Raw-text property view for expression evaluation: live values
+    // as rendered, dead values unescaped.
+    PropertyLookup lookup =
+        [&](const xml::QName& name) -> std::optional<std::string> {
+      std::string inner;
+      if (is_live_property(name)) {
+        if (!live_property_value(target, info, db, name, &inner)) {
+          return std::nullopt;
+        }
+        return xml::unescape_text(inner);
+      }
+      auto dead = db.get(name);
+      if (dead.ok()) return xml::unescape_text(dead.value().inner_xml);
+      return dynamic_value(target, info, db, name);
+    };
+
+    if (search.where &&
+        !evaluate_search(*search.where, lookup,
+                         info.kind == ResourceKind::kCollection)) {
+      continue;
+    }
+
+    PropstatGroups groups;
+    for (const xml::QName& name : search.select) {
+      std::string inner;
+      if (is_live_property(name)) {
+        if (live_property_value(target, info, db, name, &inner)) {
+          groups.found.emplace_back(name, std::move(inner));
+        } else {
+          groups.missing.push_back(name);
+        }
+        continue;
+      }
+      auto dead = db.get(name);
+      if (dead.ok()) {
+        groups.found.emplace_back(name, std::move(dead.value().inner_xml));
+      } else if (auto computed = dynamic_value(target, info, db, name)) {
+        groups.found.emplace_back(name, xml::escape_text(*computed));
+      } else {
+        groups.missing.push_back(name);
+      }
+    }
+    write_response_element(&writer, target, groups);
+  }
+  writer.end_element();
+  return HttpResponse::multistatus(writer.take());
+}
+
+HttpResponse DavServer::do_version_control(const HttpRequest& request,
+                                           const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  DAVPSE_DAV_CHECK_LOCK(path, request);
+  ResourceInfo info = repository_.stat(path);
+  if (info.kind == ResourceKind::kMissing) {
+    return HttpResponse::make(http::kNotFound, "no such resource\n");
+  }
+  if (info.kind == ResourceKind::kCollection) {
+    return HttpResponse::make(http::kMethodNotAllowed,
+                              "collections cannot be version-controlled\n");
+  }
+  PropertyDb db = repository_.properties(path);
+  if (version_count_of(db) > 0) {
+    return HttpResponse::make(http::kOk);  // idempotent
+  }
+  auto body = repository_.read_document(path);
+  if (!body.ok()) return error_response(body.status());
+  Status snap = repository_.snapshot_version(path, 1, body.value());
+  if (!snap.is_ok()) return error_response(snap);
+  Status count =
+      db.set({{kVersionCountProp, PropertyValue{"1"}}});
+  if (!count.is_ok()) return error_response(count);
+  return HttpResponse::make(http::kOk);
+}
+
+HttpResponse DavServer::do_report(const HttpRequest& request,
+                                  const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(store_mutex_);
+  auto doc = xml::parse_document(request.body);
+  if (!doc.ok()) return error_response(doc.status());
+  if (!(doc.value()->name() == kVersionTree)) {
+    return HttpResponse::make(
+        http::kNotImplemented,
+        "only the DAV:version-tree report is supported\n");
+  }
+  ResourceInfo info = repository_.stat(path);
+  if (info.kind == ResourceKind::kMissing) {
+    return HttpResponse::make(http::kNotFound, "no such resource\n");
+  }
+  PropertyDb db = repository_.properties(path);
+  if (version_count_of(db) == 0) {
+    return HttpResponse::make(http::kConflict,
+                              "resource is not under version control\n");
+  }
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kMultistatus);
+  for (uint32_t n : repository_.list_versions(path)) {
+    PropstatGroups groups;
+    groups.found.emplace_back(kVersionName, std::to_string(n));
+    auto body = repository_.read_version(path, n);
+    if (body.ok()) {
+      groups.found.emplace_back(kGetContentLength,
+                                std::to_string(body.value().size()));
+    }
+    write_response_element(&writer, path, groups);
+  }
+  writer.end_element();
+  return HttpResponse::multistatus(writer.take());
+}
+
+HttpResponse DavServer::do_unlock(const HttpRequest& request,
+                                  const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  auto token = presented_token(request);
+  if (!token) {
+    return HttpResponse::make(http::kBadRequest,
+                              "UNLOCK requires a Lock-Token header\n");
+  }
+  Status status = locks_.release(path, *token);
+  if (!status.is_ok()) return error_response(status);
+  return HttpResponse::make(http::kNoContent);
+}
+
+}  // namespace davpse::dav

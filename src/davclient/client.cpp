@@ -1,0 +1,461 @@
+#include "davclient/client.h"
+
+#include "util/strings.h"
+#include "util/uri.h"
+#include "xml/dom.h"
+#include "xml/escape.h"
+#include "xml/writer.h"
+
+namespace davpse::davclient {
+namespace {
+
+const xml::QName kPropfindEl = xml::dav_name("propfind");
+const xml::QName kPropEl = xml::dav_name("prop");
+const xml::QName kAllpropEl = xml::dav_name("allprop");
+const xml::QName kPropnameEl = xml::dav_name("propname");
+const xml::QName kPropertyUpdateEl = xml::dav_name("propertyupdate");
+const xml::QName kSetEl = xml::dav_name("set");
+const xml::QName kRemoveEl = xml::dav_name("remove");
+const xml::QName kLockInfoEl = xml::dav_name("lockinfo");
+const xml::QName kLockScopeEl = xml::dav_name("lockscope");
+const xml::QName kExclusiveEl = xml::dav_name("exclusive");
+const xml::QName kLockTypeEl = xml::dav_name("locktype");
+const xml::QName kWriteEl = xml::dav_name("write");
+const xml::QName kOwnerEl = xml::dav_name("owner");
+
+std::string_view depth_header(Depth depth) {
+  switch (depth) {
+    case Depth::kZero: return "0";
+    case Depth::kOne: return "1";
+    case Depth::kInfinity: return "infinity";
+  }
+  return "infinity";
+}
+
+}  // namespace
+
+Status status_from_http(int http_status, std::string_view operation,
+                        const std::string& path) {
+  if (http_status >= 200 && http_status < 300) return Status::ok();
+  std::string message = std::string(operation) + " " + path +
+                        " failed with HTTP " + std::to_string(http_status);
+  switch (http_status) {
+    case http::kNotFound: return error(ErrorCode::kNotFound, message);
+    case http::kConflict: return error(ErrorCode::kConflict, message);
+    case http::kLocked: return error(ErrorCode::kLocked, message);
+    case http::kPreconditionFailed:
+      return error(ErrorCode::kAlreadyExists, message);
+    case http::kRequestTooLarge:
+    case http::kInsufficientStorage:
+      return error(ErrorCode::kTooLarge, message);
+    case http::kUnauthorized:
+    case http::kForbidden:
+      return error(ErrorCode::kPermissionDenied, message);
+    case http::kMethodNotAllowed:
+    case http::kNotImplemented:
+      return error(ErrorCode::kUnsupported, message);
+    case http::kBadRequest: return error(ErrorCode::kInvalidArgument, message);
+    default: return error(ErrorCode::kInternal, message);
+  }
+}
+
+DavClient::DavClient(http::ClientConfig config, ParserKind parser)
+    : http_(std::move(config)), parser_(parser) {}
+
+DavClient::DavClient(http::ClientConfig config, net::Network& network,
+                     ParserKind parser)
+    : http_(std::move(config), network), parser_(parser) {}
+
+Result<http::HttpResponse> DavClient::dav_request(std::string method,
+                                                  const std::string& path,
+                                                  std::string body,
+                                                  Depth* depth) {
+  http::HttpRequest request;
+  request.method = std::move(method);
+  request.target = percent_encode_path(path);
+  request.body = std::move(body);
+  if (!request.body.empty()) {
+    request.headers.set("Content-Type", "text/xml; charset=\"utf-8\"");
+  }
+  if (depth != nullptr) {
+    request.headers.set("Depth", depth_header(*depth));
+  }
+  return http_.execute(std::move(request));
+}
+
+Status DavClient::expect_success(const Result<http::HttpResponse>& response,
+                                 std::string_view operation,
+                                 const std::string& path) const {
+  if (!response.ok()) return response.status();
+  return status_from_http(response.value().status, operation, path);
+}
+
+Result<std::string> DavClient::get(const std::string& path) {
+  auto response = http_.get(percent_encode_path(path));
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "GET", path));
+  return std::move(response).value().body;
+}
+
+Result<DavClient::Fetched> DavClient::get_if_changed(
+    const std::string& path, const std::string& previous_etag) {
+  http::HttpRequest request;
+  request.method = "GET";
+  request.target = percent_encode_path(path);
+  if (!previous_etag.empty()) {
+    request.headers.set("If-None-Match", previous_etag);
+  }
+  auto response = http_.execute(std::move(request));
+  if (!response.ok()) return response.status();
+  Fetched fetched;
+  if (auto etag = response.value().headers.get("ETag")) {
+    fetched.etag = std::string(*etag);
+  }
+  if (response.value().status == 304) {
+    fetched.not_modified = true;
+    return fetched;
+  }
+  DAVPSE_RETURN_IF_ERROR(
+      status_from_http(response.value().status, "GET", path));
+  fetched.body = std::move(response.value().body);
+  return fetched;
+}
+
+Status DavClient::put(const std::string& path, std::string body,
+                      std::string_view content_type) {
+  auto response =
+      http_.put(percent_encode_path(path), std::move(body), content_type);
+  return expect_success(response, "PUT", path);
+}
+
+Status DavClient::remove(const std::string& path) {
+  auto response = http_.del(percent_encode_path(path));
+  return expect_success(response, "DELETE", path);
+}
+
+Status DavClient::mkcol(const std::string& path) {
+  auto response = dav_request("MKCOL", path, "");
+  if (!response.ok()) return response.status();
+  if (response.value().status == http::kMethodNotAllowed) {
+    return error(ErrorCode::kAlreadyExists, "MKCOL " + path + ": exists");
+  }
+  return status_from_http(response.value().status, "MKCOL", path);
+}
+
+Status DavClient::mkcol_recursive(const std::string& path) {
+  auto normalized = normalize_path(path);
+  if (!normalized.ok()) return normalized.status();
+  std::string current = "/";
+  for (const auto& segment : path_segments(normalized.value())) {
+    current = join_path(current, segment);
+    Status status = mkcol(current);
+    if (!status.is_ok() && status.code() != ErrorCode::kAlreadyExists) {
+      return status;
+    }
+  }
+  return Status::ok();
+}
+
+Status DavClient::copy(const std::string& from, const std::string& to,
+                       bool overwrite) {
+  http::HttpRequest request;
+  request.method = "COPY";
+  request.target = percent_encode_path(from);
+  request.headers.set("Destination", percent_encode_path(to));
+  request.headers.set("Overwrite", overwrite ? "T" : "F");
+  request.headers.set("Depth", "infinity");
+  auto response = http_.execute(std::move(request));
+  return expect_success(response, "COPY", from);
+}
+
+Status DavClient::move(const std::string& from, const std::string& to,
+                       bool overwrite) {
+  http::HttpRequest request;
+  request.method = "MOVE";
+  request.target = percent_encode_path(from);
+  request.headers.set("Destination", percent_encode_path(to));
+  request.headers.set("Overwrite", overwrite ? "T" : "F");
+  auto response = http_.execute(std::move(request));
+  return expect_success(response, "MOVE", from);
+}
+
+Result<Multistatus> DavClient::propfind(const std::string& path, Depth depth,
+                                        const std::vector<xml::QName>& names) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kPropfindEl);
+  writer.start_element(kPropEl);
+  for (const auto& name : names) {
+    writer.empty_element(name);
+  }
+  writer.end_element();
+  writer.end_element();
+  auto response = dav_request("PROPFIND", path, writer.take(), &depth);
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "PROPFIND", path));
+  return parse_multistatus(response.value().body, parser_);
+}
+
+Result<Multistatus> DavClient::propfind_all(const std::string& path,
+                                            Depth depth) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kPropfindEl);
+  writer.empty_element(kAllpropEl);
+  writer.end_element();
+  auto response = dav_request("PROPFIND", path, writer.take(), &depth);
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "PROPFIND", path));
+  return parse_multistatus(response.value().body, parser_);
+}
+
+Result<Multistatus> DavClient::propfind_names(const std::string& path,
+                                              Depth depth) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kPropfindEl);
+  writer.empty_element(kPropnameEl);
+  writer.end_element();
+  auto response = dav_request("PROPFIND", path, writer.take(), &depth);
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "PROPFIND", path));
+  return parse_multistatus(response.value().body, parser_);
+}
+
+Status DavClient::proppatch(const std::string& path,
+                            const std::vector<PropWrite>& sets,
+                            const std::vector<xml::QName>& removes) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kPropertyUpdateEl);
+  if (!sets.empty()) {
+    writer.start_element(kSetEl);
+    writer.start_element(kPropEl);
+    for (const auto& write : sets) {
+      writer.start_element(write.name);
+      if (!write.raw_xml.empty()) {
+        writer.raw(write.raw_xml);
+      } else if (!write.text.empty()) {
+        writer.text(write.text);
+      }
+      writer.end_element();
+    }
+    writer.end_element();
+    writer.end_element();
+  }
+  if (!removes.empty()) {
+    writer.start_element(kRemoveEl);
+    writer.start_element(kPropEl);
+    for (const auto& name : removes) {
+      writer.empty_element(name);
+    }
+    writer.end_element();
+    writer.end_element();
+  }
+  writer.end_element();
+  auto response = dav_request("PROPPATCH", path, writer.take());
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "PROPPATCH", path));
+  // Check per-property status inside the multistatus body.
+  auto parsed = parse_multistatus(response.value().body, parser_);
+  if (!parsed.ok()) return parsed.status();
+  for (const auto& resource : parsed.value().responses) {
+    for (const auto& failure : resource.failed) {
+      return status_from_http(failure.status,
+                              "PROPPATCH property " +
+                                  failure.name.to_string() + " on",
+                              path);
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::vector<Multistatus>> DavClient::propfind_many(
+    const std::vector<std::string>& paths,
+    const std::vector<xml::QName>& names) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kPropfindEl);
+  writer.start_element(kPropEl);
+  for (const auto& name : names) {
+    writer.empty_element(name);
+  }
+  writer.end_element();
+  writer.end_element();
+  std::string body = writer.take();
+
+  std::vector<http::HttpRequest> requests;
+  requests.reserve(paths.size());
+  for (const auto& path : paths) {
+    http::HttpRequest request;
+    request.method = "PROPFIND";
+    request.target = percent_encode_path(path);
+    request.headers.set("Depth", "0");
+    request.headers.set("Content-Type", "text/xml; charset=\"utf-8\"");
+    request.body = body;
+    requests.push_back(std::move(request));
+  }
+  auto responses = http_.execute_pipelined(std::move(requests));
+  if (!responses.ok()) return responses.status();
+  std::vector<Multistatus> out;
+  out.reserve(responses.value().size());
+  for (size_t i = 0; i < responses.value().size(); ++i) {
+    DAVPSE_RETURN_IF_ERROR(status_from_http(responses.value()[i].status,
+                                            "PROPFIND", paths[i]));
+    auto parsed = parse_multistatus(responses.value()[i].body, parser_);
+    if (!parsed.ok()) return parsed.status();
+    out.push_back(std::move(parsed).value());
+  }
+  return out;
+}
+
+Result<std::string> DavClient::get_property(const std::string& path,
+                                            const xml::QName& name) {
+  auto result = propfind(path, Depth::kZero, {name});
+  if (!result.ok()) return result.status();
+  if (result.value().responses.empty()) {
+    return Status(ErrorCode::kNotFound, "no response for " + path);
+  }
+  auto value = result.value().responses.front().prop(name);
+  if (!value) {
+    return Status(ErrorCode::kNotFound,
+                  "property " + name.to_string() + " not set on " + path);
+  }
+  // Values written with of_text round-trip as escaped character data;
+  // undo the escaping.
+  return xml::unescape_text(*value);
+}
+
+Status DavClient::set_property(const std::string& path,
+                               const xml::QName& name, std::string value) {
+  return proppatch(path, {PropWrite::of_text(name, std::move(value))});
+}
+
+Result<Multistatus> DavClient::search(const std::string& scope, Depth depth,
+                                      const std::vector<xml::QName>& select,
+                                      const Where& where) {
+  std::string body = build_search_request(
+      scope, depth == Depth::kInfinity, select, &where);
+  auto response = dav_request("SEARCH", scope, std::move(body));
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "SEARCH", scope));
+  return parse_multistatus(response.value().body, parser_);
+}
+
+Result<Multistatus> DavClient::search_all(
+    const std::string& scope, Depth depth,
+    const std::vector<xml::QName>& select) {
+  std::string body = build_search_request(
+      scope, depth == Depth::kInfinity, select, nullptr);
+  auto response = dav_request("SEARCH", scope, std::move(body));
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "SEARCH", scope));
+  return parse_multistatus(response.value().body, parser_);
+}
+
+Status DavClient::version_control(const std::string& path) {
+  auto response = dav_request("VERSION-CONTROL", path, "");
+  return expect_success(response, "VERSION-CONTROL", path);
+}
+
+Result<std::vector<uint32_t>> DavClient::list_versions(
+    const std::string& path) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.empty_element(xml::dav_name("version-tree"));
+  auto response = dav_request("REPORT", path, writer.take());
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "REPORT", path));
+  auto parsed = parse_multistatus(response.value().body, parser_);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<uint32_t> versions;
+  for (const auto& resource : parsed.value().responses) {
+    auto name = resource.prop(xml::dav_name("version-name"));
+    if (!name) continue;
+    uint32_t n = 0;
+    bool numeric = !name->empty();
+    for (char c : *name) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      n = n * 10 + static_cast<uint32_t>(c - '0');
+    }
+    if (numeric) versions.push_back(n);
+  }
+  return versions;
+}
+
+Result<std::string> DavClient::get_version(const std::string& path,
+                                           uint32_t n) {
+  http::HttpRequest request;
+  request.method = "GET";
+  request.target = percent_encode_path(path);
+  request.headers.set("X-Version", std::to_string(n));
+  auto response = http_.execute(std::move(request));
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "GET(version)", path));
+  return std::move(response).value().body;
+}
+
+Result<LockHandle> DavClient::lock_exclusive(const std::string& path,
+                                             const std::string& owner,
+                                             double timeout_seconds,
+                                             bool depth_infinity) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(kLockInfoEl);
+  writer.start_element(kLockScopeEl);
+  writer.empty_element(kExclusiveEl);
+  writer.end_element();
+  writer.start_element(kLockTypeEl);
+  writer.empty_element(kWriteEl);
+  writer.end_element();
+  writer.start_element(kOwnerEl);
+  writer.text(owner);
+  writer.end_element();
+  writer.end_element();
+
+  http::HttpRequest request;
+  request.method = "LOCK";
+  request.target = percent_encode_path(path);
+  request.body = writer.take();
+  request.headers.set("Content-Type", "text/xml; charset=\"utf-8\"");
+  request.headers.set("Depth", depth_infinity ? "infinity" : "0");
+  request.headers.set("Timeout",
+                      "Second-" + std::to_string(
+                                      static_cast<long>(timeout_seconds)));
+  auto response = http_.execute(std::move(request));
+  DAVPSE_RETURN_IF_ERROR(expect_success(response, "LOCK", path));
+  auto token_header = response.value().headers.get("Lock-Token");
+  if (!token_header) {
+    return Status(ErrorCode::kMalformed, "LOCK reply without Lock-Token");
+  }
+  std::string raw(trim(*token_header));
+  if (raw.size() >= 2 && raw.front() == '<' && raw.back() == '>') {
+    raw = raw.substr(1, raw.size() - 2);
+  }
+  return LockHandle{raw, path};
+}
+
+Status DavClient::unlock(const LockHandle& handle) {
+  http::HttpRequest request;
+  request.method = "UNLOCK";
+  request.target = percent_encode_path(handle.path);
+  request.headers.set("Lock-Token", "<" + handle.token + ">");
+  auto response = http_.execute(std::move(request));
+  return expect_success(response, "UNLOCK", handle.path);
+}
+
+Result<bool> DavClient::exists(const std::string& path) {
+  http::HttpRequest request;
+  request.method = "HEAD";
+  request.target = percent_encode_path(path);
+  auto response = http_.execute(std::move(request));
+  if (!response.ok()) return response.status();
+  if (response.value().status == http::kNotFound) return false;
+  if (response.value().status >= 200 && response.value().status < 300) {
+    return true;
+  }
+  return status_from_http(response.value().status, "HEAD", path);
+}
+
+}  // namespace davpse::davclient

@@ -1,0 +1,178 @@
+// C++ DAV client library — the analogue of the paper's "internally
+// developed C++ classes" used for all its measurements. Wraps an
+// HttpClient with typed DAV operations; multistatus responses are
+// parsed with either the DOM or the SAX strategy (see multistatus.h).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "davclient/multistatus.h"
+#include "davclient/search.h"
+#include "http/client.h"
+#include "util/status.h"
+#include "xml/qname.h"
+
+namespace davpse::davclient {
+
+enum class Depth { kZero, kOne, kInfinity };
+
+/// One property mutation for proppatch().
+struct PropWrite {
+  xml::QName name;
+  std::string text;     // character-data value (escaped on the wire)
+  std::string raw_xml;  // OR pre-serialized XML content (used verbatim)
+
+  static PropWrite of_text(xml::QName name, std::string value) {
+    PropWrite write;
+    write.name = std::move(name);
+    write.text = std::move(value);
+    return write;
+  }
+  static PropWrite of_xml(xml::QName name, std::string xml_value) {
+    PropWrite write;
+    write.name = std::move(name);
+    write.raw_xml = std::move(xml_value);
+    return write;
+  }
+};
+
+struct LockHandle {
+  std::string token;
+  std::string path;
+};
+
+class DavClient {
+ public:
+  explicit DavClient(http::ClientConfig config,
+                     ParserKind parser = ParserKind::kDom);
+  DavClient(http::ClientConfig config, net::Network& network,
+            ParserKind parser);
+
+  // -- documents --------------------------------------------------------
+
+  Result<std::string> get(const std::string& path);
+
+  /// Conditional GET for cache revalidation. Pass the ETag from a
+  /// previous fetch (empty = unconditional): `not_modified` means the
+  /// cached copy is still valid and `body` is empty.
+  struct Fetched {
+    bool not_modified = false;
+    std::string body;
+    std::string etag;
+  };
+  Result<Fetched> get_if_changed(const std::string& path,
+                                 const std::string& previous_etag);
+  Status put(const std::string& path, std::string body,
+             std::string_view content_type = "application/octet-stream");
+  Status remove(const std::string& path);
+
+  // -- collections ------------------------------------------------------
+
+  Status mkcol(const std::string& path);
+  /// Creates every missing collection on the way to `path`.
+  Status mkcol_recursive(const std::string& path);
+
+  // -- namespace operations ----------------------------------------------
+
+  Status copy(const std::string& from, const std::string& to,
+              bool overwrite = true);
+  Status move(const std::string& from, const std::string& to,
+              bool overwrite = true);
+
+  // -- properties --------------------------------------------------------
+
+  /// Named-property PROPFIND.
+  Result<Multistatus> propfind(const std::string& path, Depth depth,
+                               const std::vector<xml::QName>& names);
+  /// allprop PROPFIND.
+  Result<Multistatus> propfind_all(const std::string& path, Depth depth);
+  /// propname PROPFIND.
+  Result<Multistatus> propfind_names(const std::string& path, Depth depth);
+
+  Status proppatch(const std::string& path,
+                   const std::vector<PropWrite>& sets,
+                   const std::vector<xml::QName>& removes = {});
+
+  /// Pipelined depth-0 named PROPFINDs: one request per path, all
+  /// written before any response is read (HTTP/1.1 pipelining — the
+  /// paper's "not pursued" optimization). Returns one Multistatus per
+  /// path, in order.
+  Result<std::vector<Multistatus>> propfind_many(
+      const std::vector<std::string>& paths,
+      const std::vector<xml::QName>& names);
+
+  /// Convenience: single text property read; kNotFound if absent.
+  Result<std::string> get_property(const std::string& path,
+                                   const xml::QName& name);
+  /// Convenience: single text property write.
+  Status set_property(const std::string& path, const xml::QName& name,
+                      std::string value);
+
+  // -- searching (DASL basicsearch) -----------------------------------------
+
+  /// Server-side property search over `scope`. Returns a multistatus
+  /// of matching resources carrying the `select` properties. Pass
+  /// nullptr `where` to match every resource in scope.
+  Result<Multistatus> search(const std::string& scope, Depth depth,
+                             const std::vector<xml::QName>& select,
+                             const Where& where);
+  Result<Multistatus> search_all(const std::string& scope, Depth depth,
+                                 const std::vector<xml::QName>& select);
+
+  // -- versioning (DeltaV-lite) ---------------------------------------------
+
+  /// Puts a document under version control; the current content
+  /// becomes version 1 and every subsequent PUT checks in a new
+  /// version automatically. Idempotent.
+  Status version_control(const std::string& path);
+
+  /// Ascending version numbers of a version-controlled document
+  /// (DAV:version-tree REPORT). kConflict if not version-controlled.
+  Result<std::vector<uint32_t>> list_versions(const std::string& path);
+
+  /// Retrieves a historical version's content.
+  Result<std::string> get_version(const std::string& path, uint32_t n);
+
+  // -- locking -----------------------------------------------------------
+
+  Result<LockHandle> lock_exclusive(const std::string& path,
+                                    const std::string& owner,
+                                    double timeout_seconds = 600,
+                                    bool depth_infinity = true);
+  Status unlock(const LockHandle& handle);
+
+  // -- existence ----------------------------------------------------------
+
+  /// HEAD-based existence probe.
+  Result<bool> exists(const std::string& path);
+
+  // -- plumbing ------------------------------------------------------------
+
+  http::HttpClient& http() { return http_; }
+  void set_network_model(net::NetworkModel* model) {
+    http_.set_network_model(model);
+  }
+  ParserKind parser() const { return parser_; }
+  void set_parser(ParserKind parser) { parser_ = parser; }
+
+ private:
+  Result<http::HttpResponse> dav_request(std::string method,
+                                         const std::string& path,
+                                         std::string body,
+                                         Depth* depth = nullptr);
+  Status expect_success(const Result<http::HttpResponse>& response,
+                        std::string_view operation,
+                        const std::string& path) const;
+
+  http::HttpClient http_;
+  ParserKind parser_;
+};
+
+/// Maps an HTTP status to the library error taxonomy.
+Status status_from_http(int http_status, std::string_view operation,
+                        const std::string& path);
+
+}  // namespace davpse::davclient

@@ -1,0 +1,249 @@
+#include "davclient/multistatus.h"
+
+#include "util/strings.h"
+#include "xml/dom.h"
+#include "xml/escape.h"
+#include "xml/sax.h"
+#include "xml/writer.h"
+
+namespace davpse::davclient {
+namespace {
+
+const xml::QName kMultistatus = xml::dav_name("multistatus");
+const xml::QName kResponse = xml::dav_name("response");
+const xml::QName kHref = xml::dav_name("href");
+const xml::QName kPropstat = xml::dav_name("propstat");
+const xml::QName kProp = xml::dav_name("prop");
+const xml::QName kStatus = xml::dav_name("status");
+const xml::QName kResourceType = xml::dav_name("resourcetype");
+const xml::QName kCollection = xml::dav_name("collection");
+
+/// "HTTP/1.1 404 Not Found" -> 404 (0 on parse failure).
+int parse_status_line(std::string_view line) {
+  auto space = line.find(' ');
+  if (space == std::string_view::npos || space + 4 > line.size()) return 0;
+  int code = 0;
+  for (size_t i = space + 1; i < space + 4 && i < line.size(); ++i) {
+    if (line[i] < '0' || line[i] > '9') return 0;
+    code = code * 10 + (line[i] - '0');
+  }
+  return code;
+}
+
+std::string decode_href(std::string_view raw) {
+  std::string decoded;
+  if (!percent_decode(trim(raw), &decoded)) {
+    decoded = std::string(trim(raw));
+  }
+  // Strip scheme://host if an absolute URI was returned.
+  auto scheme = decoded.find("://");
+  if (scheme != std::string::npos) {
+    auto path = decoded.find('/', scheme + 3);
+    decoded = path == std::string::npos ? "/" : decoded.substr(path);
+  }
+  return decoded;
+}
+
+// --- DOM strategy -----------------------------------------------------
+
+std::string inner_xml_of(const xml::Element& element) {
+  std::string out = xml::escape_text(element.text());
+  for (const auto& child : element.children()) {
+    out += child->to_xml();
+  }
+  return out;
+}
+
+Result<Multistatus> parse_with_dom(std::string_view xml_body) {
+  auto doc = xml::parse_document(xml_body);
+  if (!doc.ok()) return doc.status();
+  const xml::Element& root = *doc.value();
+  if (!(root.name() == kMultistatus)) {
+    return Status(ErrorCode::kMalformed,
+                  "expected DAV:multistatus, got " + root.name().to_string());
+  }
+  Multistatus out;
+  for (const xml::Element* response : root.children_named(kResponse)) {
+    ResourceResponse resource;
+    resource.href = decode_href(response->child_text(kHref));
+    for (const xml::Element* propstat : response->children_named(kPropstat)) {
+      int status = parse_status_line(propstat->child_text(kStatus));
+      const xml::Element* prop = propstat->first_child(kProp);
+      if (prop == nullptr) continue;
+      for (const auto& entry : prop->children()) {
+        if (status == 200) {
+          resource.found.push_back({entry->name(), inner_xml_of(*entry)});
+        } else if (status == 404) {
+          resource.missing.push_back(entry->name());
+        } else {
+          resource.failed.push_back({entry->name(), status});
+        }
+      }
+    }
+    out.responses.push_back(std::move(resource));
+  }
+  return out;
+}
+
+// --- SAX strategy -----------------------------------------------------
+
+/// Streams multistatus events straight into the result structure.
+/// Property values below the prop-child level are re-serialized into a
+/// small per-property buffer; no generic tree is ever built.
+class MultistatusSax final : public xml::SaxHandler {
+ public:
+  void on_start_element(
+      const xml::QName& name,
+      const std::vector<xml::SaxAttribute>& attributes) override {
+    (void)attributes;
+    ++depth_;
+    if (depth_ == 1) {
+      root_ok_ = name == kMultistatus;
+      return;
+    }
+    if (depth_ == 2 && name == kResponse) {
+      current_ = ResourceResponse();
+      return;
+    }
+    if (depth_ == 3) {
+      in_href_ = name == kHref;
+      in_propstat_ = name == kPropstat;
+      href_text_.clear();
+      if (in_propstat_) {
+        pending_entries_.clear();
+        propstat_status_ = 0;
+      }
+      return;
+    }
+    if (in_propstat_ && depth_ == 4) {
+      in_prop_ = name == kProp;
+      in_status_ = name == kStatus;
+      status_text_.clear();
+      return;
+    }
+    if (in_prop_ && depth_ == 5) {
+      // A property element begins.
+      pending_entries_.push_back({name, std::string()});
+      value_writer_ = xml::XmlWriter();
+      value_depth_ = 0;
+      return;
+    }
+    if (in_prop_ && depth_ > 5) {
+      value_writer_.start_element(name);
+      ++value_depth_;
+    }
+  }
+
+  void on_end_element(const xml::QName& name) override {
+    if (in_prop_ && depth_ > 5) {
+      value_writer_.end_element();
+      --value_depth_;
+      if (depth_ == 6 && value_depth_ == 0) {
+        // Nested element closed at the top of the value: flush.
+        pending_entries_.back().inner_xml += value_writer_.take();
+        value_writer_ = xml::XmlWriter();
+      }
+    } else if (in_prop_ && depth_ == 5) {
+      // property element ends; inner_xml already accumulated
+    } else if (depth_ == 4) {
+      if (in_status_) propstat_status_ = parse_status_line(status_text_);
+      in_prop_ = false;
+      in_status_ = false;
+    } else if (depth_ == 3) {
+      if (in_href_) current_.href = decode_href(href_text_);
+      if (in_propstat_) {
+        for (auto& entry : pending_entries_) {
+          if (propstat_status_ == 200) {
+            current_.found.push_back(std::move(entry));
+          } else if (propstat_status_ == 404) {
+            current_.missing.push_back(entry.name);
+          } else {
+            current_.failed.push_back({entry.name, propstat_status_});
+          }
+        }
+        pending_entries_.clear();
+      }
+      in_href_ = false;
+      in_propstat_ = false;
+    } else if (depth_ == 2 && name == kResponse) {
+      result_.responses.push_back(std::move(current_));
+    }
+    --depth_;
+  }
+
+  void on_characters(std::string_view text) override {
+    if (in_href_ && depth_ == 3) {
+      href_text_ += text;
+    } else if (in_status_ && depth_ == 4) {
+      status_text_ += text;
+    } else if (in_prop_ && depth_ == 5 && !pending_entries_.empty()) {
+      pending_entries_.back().inner_xml += xml::escape_text(text);
+    } else if (in_prop_ && depth_ > 5) {
+      value_writer_.text(text);
+    }
+  }
+
+  bool root_ok() const { return root_ok_; }
+  Multistatus take() { return std::move(result_); }
+
+ private:
+  Multistatus result_;
+  ResourceResponse current_;
+  std::vector<PropEntry> pending_entries_;
+  std::string href_text_;
+  std::string status_text_;
+  xml::XmlWriter value_writer_;
+  int value_depth_ = 0;
+  int propstat_status_ = 0;
+  int depth_ = 0;
+  bool root_ok_ = false;
+  bool in_href_ = false;
+  bool in_propstat_ = false;
+  bool in_prop_ = false;
+  bool in_status_ = false;
+};
+
+Result<Multistatus> parse_with_sax(std::string_view xml_body) {
+  MultistatusSax handler;
+  xml::SaxParser parser;
+  DAVPSE_RETURN_IF_ERROR(parser.parse(xml_body, &handler));
+  if (!handler.root_ok()) {
+    return Status(ErrorCode::kMalformed, "expected DAV:multistatus root");
+  }
+  return handler.take();
+}
+
+}  // namespace
+
+std::optional<std::string_view> ResourceResponse::prop(
+    const xml::QName& name) const {
+  for (const auto& entry : found) {
+    if (entry.name == name) return std::string_view(entry.inner_xml);
+  }
+  return std::nullopt;
+}
+
+bool ResourceResponse::is_collection() const {
+  auto value = prop(kResourceType);
+  return value && value->find("collection") != std::string_view::npos;
+}
+
+const ResourceResponse* Multistatus::find(std::string_view path) const {
+  for (const auto& response : responses) {
+    if (response.href == path) return &response;
+    // Tolerate trailing-slash variants for collections.
+    if (!response.href.empty() && response.href.back() == '/' &&
+        response.href.substr(0, response.href.size() - 1) == path) {
+      return &response;
+    }
+  }
+  return nullptr;
+}
+
+Result<Multistatus> parse_multistatus(std::string_view xml_body,
+                                      ParserKind parser) {
+  return parser == ParserKind::kDom ? parse_with_dom(xml_body)
+                                    : parse_with_sax(xml_body);
+}
+
+}  // namespace davpse::davclient

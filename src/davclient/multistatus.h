@@ -1,0 +1,62 @@
+// Client-side model of a 207 Multi-Status body, with two parsing
+// strategies: DOM (materialize the whole tree, then walk — what Ecce's
+// first implementation did with Xerces DOM) and SAX (stream events
+// straight into the result structures, never building a tree — the
+// optimization the paper predicts "significant improvements" from).
+// bench_parser_dom_vs_sax measures the two against identical bodies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/qname.h"
+
+namespace davpse::davclient {
+
+/// One property returned for a resource.
+struct PropEntry {
+  xml::QName name;
+  std::string inner_xml;  // serialized value (empty for 404 entries)
+};
+
+/// A property that a PROPPATCH (or other batch) failed on.
+struct FailedProp {
+  xml::QName name;
+  int status = 0;  // e.g. 507 Insufficient Storage, 424 Failed Dependency
+};
+
+/// One <D:response> element: a resource and its property results.
+struct ResourceResponse {
+  std::string href;                 // percent-decoded path
+  std::vector<PropEntry> found;     // propstat status 200
+  std::vector<xml::QName> missing;  // propstat status 404
+  std::vector<FailedProp> failed;   // any other propstat status
+
+  /// Value of a found property; nullopt if absent.
+  std::optional<std::string_view> prop(const xml::QName& name) const;
+
+  /// True if DAV:resourcetype contains DAV:collection.
+  bool is_collection() const;
+};
+
+struct Multistatus {
+  std::vector<ResourceResponse> responses;
+
+  /// Response whose href matches `path` (after normalization).
+  const ResourceResponse* find(std::string_view path) const;
+};
+
+enum class ParserKind {
+  kDom,  // build a full element tree, then extract (Xerces-DOM style)
+  kSax,  // stream events directly into the Multistatus (no tree)
+};
+
+/// Parses a multistatus body with the chosen strategy. Both return
+/// identical structures (asserted by tests).
+Result<Multistatus> parse_multistatus(std::string_view xml_body,
+                                      ParserKind parser);
+
+}  // namespace davpse::davclient

@@ -1,0 +1,132 @@
+#include "davclient/search.h"
+
+#include "util/strings.h"
+
+namespace davpse::davclient {
+
+Where Where::eq(xml::QName prop, std::string literal) {
+  Where where;
+  where.op_ = "eq";
+  where.prop_ = std::move(prop);
+  where.literal_ = std::move(literal);
+  return where;
+}
+
+Where Where::lt(xml::QName prop, std::string literal) {
+  Where where = eq(std::move(prop), std::move(literal));
+  where.op_ = "lt";
+  return where;
+}
+
+Where Where::lte(xml::QName prop, std::string literal) {
+  Where where = eq(std::move(prop), std::move(literal));
+  where.op_ = "lte";
+  return where;
+}
+
+Where Where::gt(xml::QName prop, std::string literal) {
+  Where where = eq(std::move(prop), std::move(literal));
+  where.op_ = "gt";
+  return where;
+}
+
+Where Where::gte(xml::QName prop, std::string literal) {
+  Where where = eq(std::move(prop), std::move(literal));
+  where.op_ = "gte";
+  return where;
+}
+
+Where Where::contains(xml::QName prop, std::string literal) {
+  Where where = eq(std::move(prop), std::move(literal));
+  where.op_ = "contains";
+  return where;
+}
+
+Where Where::is_defined(xml::QName prop) {
+  Where where;
+  where.op_ = "is-defined";
+  where.prop_ = std::move(prop);
+  return where;
+}
+
+Where Where::is_collection() {
+  Where where;
+  where.op_ = "is-collection";
+  return where;
+}
+
+Where Where::all_of(std::vector<Where> operands) {
+  Where where;
+  where.op_ = "and";
+  where.children_ = std::move(operands);
+  return where;
+}
+
+Where Where::any_of(std::vector<Where> operands) {
+  Where where;
+  where.op_ = "or";
+  where.children_ = std::move(operands);
+  return where;
+}
+
+Where Where::negate(Where operand) {
+  Where where;
+  where.op_ = "not";
+  where.children_.push_back(std::move(operand));
+  return where;
+}
+
+void Where::write(xml::XmlWriter* writer) const {
+  writer->start_element(xml::dav_name(op_));
+  if (!children_.empty()) {
+    for (const Where& child : children_) child.write(writer);
+  } else {
+    if (!prop_.empty()) {
+      writer->start_element(xml::dav_name("prop"));
+      writer->empty_element(prop_);
+      writer->end_element();
+    }
+    if (op_ != "is-defined" && op_ != "is-collection") {
+      writer->text_element(xml::dav_name("literal"), literal_);
+    }
+  }
+  writer->end_element();
+}
+
+std::string build_search_request(const std::string& scope,
+                                 bool depth_infinity,
+                                 const std::vector<xml::QName>& select,
+                                 const Where* where) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix(xml::kDavNamespace, "D");
+  writer.declaration();
+  writer.start_element(xml::dav_name("searchrequest"));
+  writer.start_element(xml::dav_name("basicsearch"));
+
+  writer.start_element(xml::dav_name("select"));
+  writer.start_element(xml::dav_name("prop"));
+  for (const xml::QName& name : select) {
+    writer.empty_element(name);
+  }
+  writer.end_element();
+  writer.end_element();
+
+  writer.start_element(xml::dav_name("from"));
+  writer.start_element(xml::dav_name("scope"));
+  writer.text_element(xml::dav_name("href"), percent_encode_path(scope));
+  writer.text_element(xml::dav_name("depth"),
+                      depth_infinity ? "infinity" : "1");
+  writer.end_element();
+  writer.end_element();
+
+  if (where != nullptr) {
+    writer.start_element(xml::dav_name("where"));
+    where->write(&writer);
+    writer.end_element();
+  }
+  writer.end_element();
+  writer.end_element();
+  return writer.take();
+}
+
+}  // namespace davpse::davclient

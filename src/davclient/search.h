@@ -1,0 +1,64 @@
+// Client-side DASL basicsearch: a value-semantic expression builder
+// that serializes to the DAV:basicsearch grammar the server evaluates
+// (see src/dav/search.h). Keeps third-party query code free of raw
+// XML:
+//
+//   auto hits = client.search(
+//       "/Ecce", davclient::Depth::kInfinity,
+//       {kFormulaProp, kFormatProp},
+//       Where::eq(kFormulaProp, "H2O") && !Where::is_collection());
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/qname.h"
+#include "xml/writer.h"
+
+namespace davpse::davclient {
+
+class Where {
+ public:
+  // -- leaf constructors -------------------------------------------------
+  static Where eq(xml::QName prop, std::string literal);
+  static Where lt(xml::QName prop, std::string literal);
+  static Where lte(xml::QName prop, std::string literal);
+  static Where gt(xml::QName prop, std::string literal);
+  static Where gte(xml::QName prop, std::string literal);
+  static Where contains(xml::QName prop, std::string literal);
+  static Where is_defined(xml::QName prop);
+  static Where is_collection();
+
+  // -- combinators ----------------------------------------------------------
+  static Where all_of(std::vector<Where> operands);
+  static Where any_of(std::vector<Where> operands);
+  static Where negate(Where operand);
+
+  friend Where operator&&(Where a, Where b) {
+    return all_of({std::move(a), std::move(b)});
+  }
+  friend Where operator||(Where a, Where b) {
+    return any_of({std::move(a), std::move(b)});
+  }
+  Where operator!() const& { return negate(*this); }
+
+  /// Serializes this expression as the content of <D:where>.
+  void write(xml::XmlWriter* writer) const;
+
+ private:
+  Where() = default;
+
+  std::string op_;  // DASL element local name: "eq", "and", ...
+  xml::QName prop_;
+  std::string literal_;
+  std::vector<Where> children_;
+};
+
+/// Builds the full DAV:searchrequest body.
+std::string build_search_request(const std::string& scope,
+                                 bool depth_infinity,
+                                 const std::vector<xml::QName>& select,
+                                 const Where* where);
+
+}  // namespace davpse::davclient

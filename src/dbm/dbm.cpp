@@ -1,0 +1,361 @@
+#include "dbm/dbm.h"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "util/fs.h"
+
+namespace davpse::dbm {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'D', 'P', 'D', 'B', 'M', '1', 0, 0};
+constexpr size_t kHeaderSize = 64;
+constexpr uint8_t kFlagTombstone = 0x01;
+
+// Record framing: u32 key_len | u32 val_len | u8 flags | bytes...
+constexpr size_t kRecordHeader = 4 + 4 + 1;
+
+void put_u32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t get_u32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t get_u64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+struct Header {
+  Flavor flavor;
+  DbmOptions options;
+  uint64_t data_start;  // first record offset (= max(header, initial))
+};
+
+std::string encode_header(const Header& header) {
+  std::string out(kHeaderSize, '\0');
+  std::memcpy(out.data(), kMagic, sizeof kMagic);
+  put_u32(out.data() + 8, static_cast<uint32_t>(header.flavor));
+  put_u32(out.data() + 12, static_cast<uint32_t>(kHeaderSize));
+  put_u64(out.data() + 16, header.options.initial_size);
+  put_u64(out.data() + 24, header.options.max_value_size);
+  put_u32(out.data() + 32, header.options.write_through ? 1u : 0u);
+  put_u64(out.data() + 40, header.data_start);
+  return out;
+}
+
+Result<Header> decode_header(const std::string& raw) {
+  if (raw.size() < kHeaderSize ||
+      std::memcmp(raw.data(), kMagic, sizeof kMagic) != 0) {
+    return Status(ErrorCode::kMalformed, "bad DBM magic");
+  }
+  Header header;
+  uint32_t flavor = get_u32(raw.data() + 8);
+  if (flavor != static_cast<uint32_t>(Flavor::kSdbm) &&
+      flavor != static_cast<uint32_t>(Flavor::kGdbm)) {
+    return Status(ErrorCode::kMalformed, "unknown DBM flavor");
+  }
+  header.flavor = static_cast<Flavor>(flavor);
+  header.options.initial_size = get_u64(raw.data() + 16);
+  header.options.max_value_size = get_u64(raw.data() + 24);
+  header.options.write_through = get_u32(raw.data() + 32) != 0;
+  header.data_start = get_u64(raw.data() + 40);
+  if (header.data_start < kHeaderSize) {
+    return Status(ErrorCode::kMalformed, "bad DBM data_start");
+  }
+  return header;
+}
+
+class LogHashFile final : public Dbm {
+ public:
+  LogHashFile(fs::path path, Header header)
+      : path_(std::move(path)), header_(header) {}
+
+  /// Creates the file: header + zero fill to the initial size.
+  Status initialize() {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return error(ErrorCode::kInternal, "cannot create " + path_.string());
+    }
+    std::string image = encode_header(header_);
+    image.resize(header_.data_start, '\0');
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    if (!out) {
+      return error(ErrorCode::kInternal, "short write creating " +
+                                             path_.string());
+    }
+    out.close();
+    append_offset_ = header_.data_start;
+    return open_streams();
+  }
+
+  /// Loads an existing file: replays the record log into the index.
+  Status load() {
+    std::string raw;
+    DAVPSE_RETURN_IF_ERROR(read_file(path_, &raw));
+    if (raw.size() < header_.data_start) {
+      return error(ErrorCode::kMalformed,
+                   "DBM file shorter than its preallocated region");
+    }
+    size_t pos = header_.data_start;
+    while (pos < raw.size()) {
+      if (pos + kRecordHeader > raw.size()) {
+        return error(ErrorCode::kMalformed,
+                     "truncated record header in " + path_.string());
+      }
+      uint32_t key_len = get_u32(raw.data() + pos);
+      uint32_t val_len = get_u32(raw.data() + pos + 4);
+      uint8_t flags = static_cast<uint8_t>(raw[pos + 8]);
+      size_t body = pos + kRecordHeader;
+      if (body + key_len + val_len > raw.size()) {
+        return error(ErrorCode::kMalformed,
+                     "truncated record body in " + path_.string());
+      }
+      std::string key = raw.substr(body, key_len);
+      if (flags & kFlagTombstone) {
+        index_.erase(key);
+      } else {
+        index_[std::move(key)] =
+            Entry{body + key_len, val_len};
+      }
+      pos = body + key_len + val_len;
+    }
+    append_offset_ = raw.size();
+    return open_streams();
+  }
+
+  Status store(std::string_view key, std::string_view value) override {
+    if (header_.options.max_value_size != 0 &&
+        value.size() > header_.options.max_value_size) {
+      return error(ErrorCode::kTooLarge,
+                   "value of " + std::to_string(value.size()) +
+                       " bytes exceeds engine cap of " +
+                       std::to_string(header_.options.max_value_size));
+    }
+    uint64_t value_offset =
+        append_offset_ + kRecordHeader + key.size();
+    DAVPSE_RETURN_IF_ERROR(append_record(key, value, /*flags=*/0));
+    index_[std::string(key)] =
+        Entry{value_offset, static_cast<uint32_t>(value.size())};
+    return Status::ok();
+  }
+
+  Result<std::string> fetch(std::string_view key) const override {
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) {
+      return Status(ErrorCode::kNotFound,
+                    "no such key: " + std::string(key));
+    }
+    // Reads go through the write stream's view of the file, so flush
+    // buffered appends first when the entry lies past the synced size.
+    const_cast<LogHashFile*>(this)->flush_writes();
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) {
+      return Status(ErrorCode::kInternal, "cannot reopen " + path_.string());
+    }
+    std::string value(it->second.length, '\0');
+    in.seekg(static_cast<std::streamoff>(it->second.offset));
+    in.read(value.data(), static_cast<std::streamsize>(value.size()));
+    if (!in) {
+      return Status(ErrorCode::kInternal, "short value read in " +
+                                              path_.string());
+    }
+    return value;
+  }
+
+  bool contains(std::string_view key) const override {
+    return index_.contains(std::string(key));
+  }
+
+  Status remove(std::string_view key) override {
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) {
+      return error(ErrorCode::kNotFound, "no such key: " + std::string(key));
+    }
+    DAVPSE_RETURN_IF_ERROR(append_record(key, "", kFlagTombstone));
+    index_.erase(it);
+    return Status::ok();
+  }
+
+  std::vector<std::string> keys() const override {
+    std::vector<std::string> out;
+    out.reserve(index_.size());
+    for (const auto& [key, entry] : index_) out.push_back(key);
+    return out;
+  }
+
+  size_t size() const override { return index_.size(); }
+
+  Status compact() override {
+    flush_writes();
+    // Snapshot live pairs, rewrite into a fresh file, swap.
+    std::vector<std::pair<std::string, std::string>> live;
+    live.reserve(index_.size());
+    for (const auto& [key, entry] : index_) {
+      auto value = fetch(key);
+      if (!value.ok()) return value.status();
+      live.emplace_back(key, std::move(value).value());
+    }
+    out_.close();
+    fs::path tmp = path_;
+    tmp += ".compact";
+    {
+      LogHashFile fresh(tmp, header_);
+      DAVPSE_RETURN_IF_ERROR(fresh.initialize());
+      for (auto& [key, value] : live) {
+        DAVPSE_RETURN_IF_ERROR(fresh.store(key, value));
+      }
+      DAVPSE_RETURN_IF_ERROR(fresh.sync());
+      index_ = std::move(fresh.index_);
+      append_offset_ = fresh.append_offset_;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path_, ec);
+    if (ec) {
+      return error(ErrorCode::kInternal,
+                   "compact rename failed: " + ec.message());
+    }
+    return open_streams();
+  }
+
+  Status sync() override {
+    flush_writes();
+    return out_.good() ? Status::ok()
+                       : error(ErrorCode::kInternal,
+                               "flush failed on " + path_.string());
+  }
+
+  uint64_t file_size() const override {
+    const_cast<LogHashFile*>(this)->flush_writes();
+    std::error_code ec;
+    auto size = fs::file_size(path_, ec);
+    return ec ? 0 : static_cast<uint64_t>(size);
+  }
+
+  uint64_t live_bytes() const override {
+    uint64_t total = 0;
+    for (const auto& [key, entry] : index_) {
+      total += kRecordHeader + key.size() + entry.length;
+    }
+    return total;
+  }
+
+  Flavor flavor() const override { return header_.flavor; }
+
+ private:
+  struct Entry {
+    uint64_t offset;  // value offset in file
+    uint32_t length;
+  };
+
+  Status open_streams() {
+    out_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+    if (!out_) {
+      return error(ErrorCode::kInternal, "cannot open " + path_.string());
+    }
+    out_.seekp(0, std::ios::end);
+    return Status::ok();
+  }
+
+  Status append_record(std::string_view key, std::string_view value,
+                       uint8_t flags) {
+    char header[kRecordHeader];
+    put_u32(header, static_cast<uint32_t>(key.size()));
+    put_u32(header + 4, static_cast<uint32_t>(value.size()));
+    header[8] = static_cast<char>(flags);
+    out_.seekp(static_cast<std::streamoff>(append_offset_));
+    out_.write(header, sizeof header);
+    out_.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out_.write(value.data(), static_cast<std::streamsize>(value.size()));
+    if (!out_) {
+      return error(ErrorCode::kInternal,
+                   "append failed on " + path_.string());
+    }
+    append_offset_ += kRecordHeader + key.size() + value.size();
+    if (header_.options.write_through) out_.flush();
+    return Status::ok();
+  }
+
+  void flush_writes() {
+    if (out_.is_open()) out_.flush();
+  }
+
+  fs::path path_;
+  Header header_;
+  std::fstream out_;
+  uint64_t append_offset_ = 0;
+  std::unordered_map<std::string, Entry> index_;
+};
+
+}  // namespace
+
+DbmOptions default_options(Flavor flavor) {
+  DbmOptions options;
+  switch (flavor) {
+    case Flavor::kSdbm:
+      options.initial_size = 8 * 1024;
+      options.max_value_size = 1024;
+      options.write_through = true;
+      break;
+    case Flavor::kGdbm:
+      options.initial_size = 25 * 1024;
+      options.max_value_size = 0;
+      options.write_through = false;
+      break;
+  }
+  return options;
+}
+
+Result<std::unique_ptr<Dbm>> create_dbm(const fs::path& path, Flavor flavor) {
+  return create_dbm(path, flavor, default_options(flavor));
+}
+
+Result<std::unique_ptr<Dbm>> create_dbm(const fs::path& path, Flavor flavor,
+                                        const DbmOptions& options) {
+  std::error_code ec;
+  if (fs::exists(path, ec)) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "DBM file exists: " + path.string());
+  }
+  Header header;
+  header.flavor = flavor;
+  header.options = options;
+  header.data_start = std::max<uint64_t>(kHeaderSize, options.initial_size);
+  auto db = std::make_unique<LogHashFile>(path, header);
+  DAVPSE_RETURN_IF_ERROR(db->initialize());
+  return std::unique_ptr<Dbm>(std::move(db));
+}
+
+Result<std::unique_ptr<Dbm>> open_dbm(const fs::path& path) {
+  std::string raw_header(kHeaderSize, '\0');
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status(ErrorCode::kNotFound, "no DBM file: " + path.string());
+    }
+    in.read(raw_header.data(), kHeaderSize);
+    if (!in) {
+      return Status(ErrorCode::kMalformed,
+                    "DBM file too small: " + path.string());
+    }
+  }
+  auto header = decode_header(raw_header);
+  if (!header.ok()) return header.status();
+  auto db = std::make_unique<LogHashFile>(path, header.value());
+  DAVPSE_RETURN_IF_ERROR(db->load());
+  return std::unique_ptr<Dbm>(std::move(db));
+}
+
+Result<std::unique_ptr<Dbm>> open_or_create_dbm(const fs::path& path,
+                                                Flavor flavor) {
+  std::error_code ec;
+  if (fs::exists(path, ec)) return open_dbm(path);
+  return create_dbm(path, flavor);
+}
+
+}  // namespace davpse::dbm

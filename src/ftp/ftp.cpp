@@ -1,0 +1,343 @@
+#include "ftp/ftp.h"
+
+#include <fstream>
+
+#include "util/fs.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace davpse::ftp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Reads one CRLF- (or LF-) terminated line from a stream.
+Result<std::string> read_line(net::Stream* stream, std::string* buffer) {
+  for (;;) {
+    auto eol = buffer->find('\n');
+    if (eol != std::string::npos) {
+      std::string line = buffer->substr(0, eol);
+      buffer->erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    auto got = stream->read(chunk, sizeof chunk);
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) {
+      return Status(ErrorCode::kUnavailable, "control connection closed");
+    }
+    buffer->append(chunk, got.value());
+  }
+}
+
+Status write_line(net::Stream* stream, const std::string& line) {
+  return stream->write(line + "\r\n");
+}
+
+/// Validates a client-supplied file name: single path segment only.
+bool safe_name(const std::string& name) {
+  return !name.empty() && name.find('/') == std::string::npos &&
+         name != "." && name != "..";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server
+
+FtpServer::FtpServer(FtpServerConfig config) : config_(std::move(config)) {}
+
+FtpServer::~FtpServer() { stop(); }
+
+Status FtpServer::start() { return start(net::Network::instance()); }
+
+Status FtpServer::start(net::Network& network) {
+  network_ = &network;
+  auto listener = network.listen(config_.endpoint);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  running_.store(true);
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  threads_.emplace_back([this] { accept_loop(); });
+  return Status::ok();
+}
+
+void FtpServer::stop() {
+  running_.store(false);
+  if (listener_) listener_->shutdown();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(threads_);
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  listener_.reset();
+}
+
+void FtpServer::accept_loop() {
+  while (running_.load()) {
+    auto stream = listener_->accept();
+    if (!stream.ok()) return;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back(
+        [this, s = std::move(stream).value()]() mutable {
+          serve_session(std::move(s));
+        });
+  }
+}
+
+void FtpServer::serve_session(std::unique_ptr<net::Stream> control) {
+  std::string buffer;
+  bool authenticated = false;
+  std::string pending_user;
+  if (!write_line(control.get(), "220 davpse FTP ready").is_ok()) return;
+
+  while (running_.load()) {
+    auto line = read_line(control.get(), &buffer);
+    if (!line.ok()) return;
+    auto space = line.value().find(' ');
+    std::string command = ascii_lower(line.value().substr(0, space));
+    std::string argument =
+        space == std::string::npos
+            ? std::string()
+            : std::string(trim(line.value().substr(space + 1)));
+
+    if (command == "quit") {
+      (void)write_line(control.get(), "221 Goodbye");
+      return;
+    }
+    if (command == "user") {
+      pending_user = argument;
+      (void)write_line(control.get(), "331 Password required");
+      continue;
+    }
+    if (command == "pass") {
+      if (pending_user == config_.user &&
+          (config_.password.empty() || argument == config_.password)) {
+        authenticated = true;
+        (void)write_line(control.get(), "230 Logged in");
+      } else {
+        (void)write_line(control.get(), "530 Login incorrect");
+      }
+      continue;
+    }
+    if (!authenticated) {
+      (void)write_line(control.get(), "530 Please login with USER and PASS");
+      continue;
+    }
+    if (command == "type") {
+      if (iequals(argument, "I")) {
+        (void)write_line(control.get(), "200 Type set to I");
+      } else {
+        (void)write_line(control.get(), "504 Only binary (TYPE I) supported");
+      }
+      continue;
+    }
+    if (command == "pasv") {
+      std::string data_endpoint =
+          config_.endpoint + ".data." +
+          std::to_string(next_data_port_.fetch_add(1));
+      auto data_listener_result = network_->listen(data_endpoint);
+      if (!data_listener_result.ok()) {
+        (void)write_line(control.get(), "425 Cannot open data connection");
+        continue;
+      }
+      auto data_listener = std::move(data_listener_result).value();
+      // In-memory network: the "address" in the 227 reply is the
+      // endpoint name rather than an h1,h2,... tuple.
+      (void)write_line(control.get(),
+                       "227 Entering Passive Mode (" + data_endpoint + ")");
+
+      auto next = read_line(control.get(), &buffer);
+      if (!next.ok()) return;
+      auto cmd_space = next.value().find(' ');
+      std::string data_command =
+          ascii_lower(next.value().substr(0, cmd_space));
+      std::string name =
+          cmd_space == std::string::npos
+              ? std::string()
+              : std::string(trim(next.value().substr(cmd_space + 1)));
+      if (!safe_name(name)) {
+        (void)write_line(control.get(), "553 Bad file name");
+        continue;
+      }
+      fs::path path = config_.root / name;
+
+      if (data_command == "stor") {
+        (void)write_line(control.get(), "150 Opening BINARY connection");
+        auto data = data_listener->accept();
+        if (!data.ok()) {
+          (void)write_line(control.get(), "426 Data connection failed");
+          continue;
+        }
+        auto body = data.value()->read_all();
+        if (!body.ok()) {
+          (void)write_line(control.get(), "426 Transfer aborted");
+          continue;
+        }
+        if (write_file_atomic(path, body.value()).is_ok()) {
+          (void)write_line(control.get(), "226 Transfer complete");
+        } else {
+          (void)write_line(control.get(), "451 Local error");
+        }
+      } else if (data_command == "retr") {
+        std::string contents;
+        if (!read_file(path, &contents).is_ok()) {
+          (void)write_line(control.get(), "550 File not found");
+          continue;
+        }
+        (void)write_line(control.get(), "150 Opening BINARY connection");
+        auto data = data_listener->accept();
+        if (!data.ok()) {
+          (void)write_line(control.get(), "426 Data connection failed");
+          continue;
+        }
+        if (data.value()->write(contents).is_ok()) {
+          data.value()->shutdown_write();
+          (void)write_line(control.get(), "226 Transfer complete");
+        } else {
+          (void)write_line(control.get(), "426 Transfer aborted");
+        }
+      } else {
+        (void)write_line(control.get(), "500 Expected STOR or RETR");
+      }
+      continue;
+    }
+    (void)write_line(control.get(),
+                     "502 Command not implemented: " + command);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+FtpClient::FtpClient(std::string endpoint, net::Network& network)
+    : endpoint_(std::move(endpoint)), network_(network) {}
+
+FtpClient::FtpClient(std::string endpoint)
+    : FtpClient(std::move(endpoint), net::Network::instance()) {}
+
+FtpClient::~FtpClient() {
+  if (control_ != nullptr) (void)quit();
+}
+
+Result<std::string> FtpClient::read_reply() {
+  auto line = read_line(control_.get(), &control_buffer_);
+  if (model_ != nullptr && line.ok()) model_->add_round_trips(1);
+  return line;
+}
+
+Status FtpClient::send_command(const std::string& line) {
+  return write_line(control_.get(), line);
+}
+
+Status FtpClient::login(const std::string& user,
+                        const std::string& password) {
+  auto stream = network_.connect(endpoint_);
+  if (!stream.ok()) return stream.status();
+  control_ = std::move(stream).value();
+  if (model_ != nullptr) model_->add_round_trips(1);  // connection setup
+
+  auto greeting = read_reply();
+  if (!greeting.ok()) return greeting.status();
+  DAVPSE_RETURN_IF_ERROR(send_command("USER " + user));
+  auto user_reply = read_reply();
+  if (!user_reply.ok()) return user_reply.status();
+  DAVPSE_RETURN_IF_ERROR(send_command("PASS " + password));
+  auto pass_reply = read_reply();
+  if (!pass_reply.ok()) return pass_reply.status();
+  if (!starts_with(pass_reply.value(), "230")) {
+    return error(ErrorCode::kPermissionDenied, pass_reply.value());
+  }
+  DAVPSE_RETURN_IF_ERROR(send_command("TYPE I"));
+  auto type_reply = read_reply();
+  if (!type_reply.ok()) return type_reply.status();
+  if (!starts_with(type_reply.value(), "200")) {
+    return error(ErrorCode::kUnsupported, type_reply.value());
+  }
+  return Status::ok();
+}
+
+Result<std::string> FtpClient::open_data_connection_target() {
+  DAVPSE_RETURN_IF_ERROR(send_command("PASV"));
+  auto reply = read_reply();
+  if (!reply.ok()) return reply.status();
+  if (!starts_with(reply.value(), "227")) {
+    return Status(ErrorCode::kUnavailable, reply.value());
+  }
+  auto open = reply.value().find('(');
+  auto close = reply.value().find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open + 1) {
+    return Status(ErrorCode::kMalformed, "bad PASV reply: " + reply.value());
+  }
+  return reply.value().substr(open + 1, close - open - 1);
+}
+
+Status FtpClient::store(const std::string& remote_name,
+                        std::string_view data) {
+  if (control_ == nullptr) {
+    return error(ErrorCode::kUnavailable, "not logged in");
+  }
+  auto target = open_data_connection_target();
+  if (!target.ok()) return target.status();
+  DAVPSE_RETURN_IF_ERROR(send_command("STOR " + remote_name));
+  auto opening = read_reply();
+  if (!opening.ok()) return opening.status();
+  if (!starts_with(opening.value(), "150")) {
+    return error(ErrorCode::kUnavailable, opening.value());
+  }
+  auto data_stream = network_.connect(target.value());
+  if (!data_stream.ok()) return data_stream.status();
+  DAVPSE_RETURN_IF_ERROR(data_stream.value()->write(data));
+  if (model_ != nullptr) model_->add_bytes(data.size());
+  data_stream.value()->shutdown_write();
+  data_stream.value().reset();
+  auto done = read_reply();
+  if (!done.ok()) return done.status();
+  if (!starts_with(done.value(), "226")) {
+    return error(ErrorCode::kInternal, done.value());
+  }
+  return Status::ok();
+}
+
+Result<std::string> FtpClient::retrieve(const std::string& remote_name) {
+  if (control_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, "not logged in");
+  }
+  auto target = open_data_connection_target();
+  if (!target.ok()) return target.status();
+  DAVPSE_RETURN_IF_ERROR(send_command("RETR " + remote_name));
+  auto opening = read_reply();
+  if (!opening.ok()) return opening.status();
+  if (starts_with(opening.value(), "550")) {
+    return Status(ErrorCode::kNotFound, opening.value());
+  }
+  if (!starts_with(opening.value(), "150")) {
+    return Status(ErrorCode::kUnavailable, opening.value());
+  }
+  auto data_stream = network_.connect(target.value());
+  if (!data_stream.ok()) return data_stream.status();
+  auto body = data_stream.value()->read_all();
+  if (!body.ok()) return body.status();
+  if (model_ != nullptr) model_->add_bytes(body.value().size());
+  auto done = read_reply();
+  if (!done.ok()) return done.status();
+  if (!starts_with(done.value(), "226")) {
+    return Status(ErrorCode::kInternal, done.value());
+  }
+  return std::move(body).value();
+}
+
+Status FtpClient::quit() {
+  if (control_ == nullptr) return Status::ok();
+  (void)send_command("QUIT");
+  control_.reset();
+  control_buffer_.clear();
+  return Status::ok();
+}
+
+}  // namespace davpse::ftp

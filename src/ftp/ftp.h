@@ -1,0 +1,88 @@
+// Minimal FTP (RFC 959 subset) — the baseline of Table 2, which
+// compares binary-mode FTP transfers against DAV HTTP/PUT for 20 MB
+// and 200 MB files. Implements exactly what that experiment needs:
+// USER/PASS login, TYPE I, PASV data connections, STOR, RETR, QUIT.
+// Control and data connections both ride the in-memory network, so the
+// byte accounting matches the HTTP side of the comparison.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/network.h"
+#include "net/network_model.h"
+#include "util/status.h"
+
+namespace davpse::ftp {
+
+struct FtpServerConfig {
+  std::string endpoint;             // control endpoint name
+  std::filesystem::path root;      // served directory
+  std::string user = "anonymous";
+  std::string password;            // empty = any password accepted
+};
+
+class FtpServer {
+ public:
+  explicit FtpServer(FtpServerConfig config);
+  ~FtpServer();
+
+  FtpServer(const FtpServer&) = delete;
+  FtpServer& operator=(const FtpServer&) = delete;
+
+  Status start();
+  Status start(net::Network& network);
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_session(std::unique_ptr<net::Stream> control);
+
+  FtpServerConfig config_;
+  net::Network* network_ = nullptr;
+  std::unique_ptr<net::Listener> listener_;
+  std::vector<std::thread> threads_;
+  std::mutex threads_mutex_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_data_port_{20000};
+};
+
+class FtpClient {
+ public:
+  FtpClient(std::string endpoint, net::Network& network);
+  explicit FtpClient(std::string endpoint);
+  ~FtpClient();
+
+  FtpClient(const FtpClient&) = delete;
+  FtpClient& operator=(const FtpClient&) = delete;
+
+  /// Connects, logs in, and switches to binary mode.
+  Status login(const std::string& user, const std::string& password);
+
+  /// Uploads `data` as `remote_name` (binary STOR).
+  Status store(const std::string& remote_name, std::string_view data);
+
+  /// Downloads `remote_name` (binary RETR).
+  Result<std::string> retrieve(const std::string& remote_name);
+
+  Status quit();
+
+  void set_network_model(net::NetworkModel* model) { model_ = model; }
+
+ private:
+  Result<std::string> read_reply();   // one "NNN text" control line
+  Status send_command(const std::string& line);
+  Result<std::string> open_data_connection_target();  // via PASV
+
+  std::string endpoint_;
+  net::Network& network_;
+  std::unique_ptr<net::Stream> control_;
+  std::string control_buffer_;
+  net::NetworkModel* model_ = nullptr;
+};
+
+}  // namespace davpse::ftp

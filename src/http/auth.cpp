@@ -1,0 +1,46 @@
+#include "http/auth.h"
+
+#include "util/base64.h"
+#include "util/strings.h"
+
+namespace davpse::http {
+
+std::string basic_auth_header(const Credentials& credentials) {
+  return "Basic " +
+         base64_encode(credentials.user + ":" + credentials.password);
+}
+
+std::optional<Credentials> parse_basic_auth(const HeaderMap& headers) {
+  auto value = headers.get("Authorization");
+  if (!value) return std::nullopt;
+  auto trimmed = trim(*value);
+  constexpr std::string_view kPrefix = "Basic ";
+  if (trimmed.size() <= kPrefix.size() ||
+      !iequals(trimmed.substr(0, kPrefix.size()), kPrefix)) {
+    return std::nullopt;
+  }
+  std::string decoded;
+  if (!base64_decode(trim(trimmed.substr(kPrefix.size())), &decoded)) {
+    return std::nullopt;
+  }
+  auto colon = decoded.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  return Credentials{decoded.substr(0, colon), decoded.substr(colon + 1)};
+}
+
+bool BasicAuthenticator::authorize(const HttpRequest& request) const {
+  if (!enabled()) return true;
+  auto credentials = parse_basic_auth(request.headers);
+  if (!credentials) return false;
+  auto it = accounts_.find(credentials->user);
+  return it != accounts_.end() && it->second == credentials->password;
+}
+
+HttpResponse BasicAuthenticator::challenge() {
+  HttpResponse response = HttpResponse::make(
+      kUnauthorized, "authentication required\n");
+  response.headers.set("WWW-Authenticate", "Basic realm=\"davpse\"");
+  return response;
+}
+
+}  // namespace davpse::http

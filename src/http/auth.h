@@ -1,0 +1,45 @@
+// HTTP Basic authentication (the scheme the paper's servers were
+// configured with). Credentials are a user→password table on the
+// server; the client attaches "Authorization: Basic <base64>".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace davpse::http {
+
+struct Credentials {
+  std::string user;
+  std::string password;
+};
+
+/// Builds the Authorization header value.
+std::string basic_auth_header(const Credentials& credentials);
+
+/// Parses "Basic <base64(user:pass)>"; nullopt if absent/malformed.
+std::optional<Credentials> parse_basic_auth(const HeaderMap& headers);
+
+/// Server-side account table. Empty table = authentication disabled.
+class BasicAuthenticator {
+ public:
+  void add_user(std::string user, std::string password) {
+    accounts_[std::move(user)] = std::move(password);
+  }
+
+  bool enabled() const { return !accounts_.empty(); }
+
+  /// True if the request carries valid credentials (or auth is off).
+  bool authorize(const HttpRequest& request) const;
+
+  /// 401 with the WWW-Authenticate challenge.
+  static HttpResponse challenge();
+
+ private:
+  std::map<std::string, std::string> accounts_;
+};
+
+}  // namespace davpse::http

@@ -1,0 +1,157 @@
+#include "http/client.h"
+
+namespace davpse::http {
+
+HttpClient::HttpClient(ClientConfig config)
+    : HttpClient(std::move(config), net::Network::instance()) {}
+
+HttpClient::HttpClient(ClientConfig config, net::Network& network)
+    : config_(std::move(config)), network_(network) {}
+
+HttpClient::~HttpClient() = default;
+
+Status HttpClient::ensure_connected() {
+  if (connection_ != nullptr) return Status::ok();
+  auto stream = network_.connect(config_.endpoint);
+  if (!stream.ok()) return stream.status();
+  connection_ = std::move(stream).value();
+  reader_ = std::make_unique<WireReader>(connection_.get());
+  accounted_bytes_ = 0;
+  ++connections_opened_;
+  if (model_ != nullptr) model_->add_round_trips(1);  // connection setup
+  return Status::ok();
+}
+
+void HttpClient::reset_connection() {
+  account_traffic();
+  reader_.reset();
+  connection_.reset();
+}
+
+void HttpClient::account_traffic() {
+  if (connection_ == nullptr) return;
+  const net::TrafficCounter* counter = connection_->traffic();
+  if (counter == nullptr) return;
+  uint64_t total = counter->total();
+  if (model_ != nullptr && total > accounted_bytes_) {
+    model_->add_bytes(total - accounted_bytes_);
+  }
+  accounted_bytes_ = total;
+}
+
+Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
+                                              bool* reused_connection) {
+  *reused_connection = connection_ != nullptr;
+  DAVPSE_RETURN_IF_ERROR(ensure_connected());
+  DAVPSE_RETURN_IF_ERROR(write_request(connection_.get(), request));
+  auto response = reader_->read_response();
+  ++requests_sent_;
+  if (model_ != nullptr) model_->add_round_trips(1);
+  account_traffic();
+  return response;
+}
+
+Result<HttpResponse> HttpClient::execute(HttpRequest request) {
+  request.headers.set("Host", config_.endpoint);
+  if (config_.credentials) {
+    request.headers.set("Authorization",
+                        basic_auth_header(*config_.credentials));
+  }
+  if (config_.policy == ConnectionPolicy::kPerRequest) {
+    request.headers.set("Connection", "close");
+  }
+
+  bool reused = false;
+  auto response = execute_once(request, &reused);
+  if (!response.ok() && reused &&
+      response.status().code() == ErrorCode::kUnavailable) {
+    // The cached keep-alive connection died (server idle timeout or
+    // request cap); retry once on a fresh one.
+    reset_connection();
+    response = execute_once(request, &reused);
+  }
+  if (!response.ok()) {
+    reset_connection();
+    return response;
+  }
+  if (config_.policy == ConnectionPolicy::kPerRequest ||
+      !response.value().keep_alive()) {
+    reset_connection();
+  }
+  return response;
+}
+
+Result<std::vector<HttpResponse>> HttpClient::execute_pipelined(
+    std::vector<HttpRequest> requests) {
+  for (HttpRequest& request : requests) {
+    request.headers.set("Host", config_.endpoint);
+    if (config_.credentials) {
+      request.headers.set("Authorization",
+                          basic_auth_header(*config_.credentials));
+    }
+  }
+  std::vector<HttpResponse> responses;
+  responses.reserve(requests.size());
+  size_t next = 0;  // first request not yet answered
+  int reconnects = 0;
+  while (next < requests.size()) {
+    DAVPSE_RETURN_IF_ERROR(ensure_connected());
+    // Write the whole outstanding tail before reading anything.
+    for (size_t i = next; i < requests.size(); ++i) {
+      Status written = write_request(connection_.get(), requests[i]);
+      if (!written.is_ok()) break;  // server may have closed; read below
+    }
+    if (model_ != nullptr) model_->add_round_trips(1);  // one batch RTT
+    bool closed = false;
+    while (next < requests.size()) {
+      auto response = reader_->read_response();
+      if (!response.ok()) {
+        closed = true;
+        break;
+      }
+      ++requests_sent_;
+      bool keep = response.value().keep_alive();
+      responses.push_back(std::move(response).value());
+      ++next;
+      if (!keep) {
+        closed = true;
+        break;
+      }
+    }
+    account_traffic();
+    if (closed && next < requests.size()) {
+      reset_connection();
+      if (++reconnects > 8) {
+        return Status(ErrorCode::kUnavailable,
+                      "pipeline aborted: server keeps closing mid-batch");
+      }
+    }
+  }
+  return responses;
+}
+
+Result<HttpResponse> HttpClient::get(std::string_view path) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::string(path);
+  return execute(std::move(request));
+}
+
+Result<HttpResponse> HttpClient::put(std::string_view path, std::string body,
+                                     std::string_view content_type) {
+  HttpRequest request;
+  request.method = "PUT";
+  request.target = std::string(path);
+  request.body = std::move(body);
+  request.headers.set("Content-Type", content_type);
+  return execute(std::move(request));
+}
+
+Result<HttpResponse> HttpClient::del(std::string_view path) {
+  HttpRequest request;
+  request.method = "DELETE";
+  request.target = std::string(path);
+  return execute(std::move(request));
+}
+
+}  // namespace davpse::http

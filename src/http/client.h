@@ -1,0 +1,94 @@
+// HTTP/1.1 client with two connection policies — persistent (reuse one
+// keep-alive connection) and per-request (reconnect every time). The
+// paper reports the surprising result that reconnecting was *faster*
+// than persistent connections in their environment; the connection-
+// policy ablation bench drives both modes through this switch.
+//
+// Every exchange can be accounted into a NetworkModel: bytes moved on
+// the wire plus one round trip per request (plus one per connection
+// established), which converts in-memory measurements into modeled
+// time on the paper's 150 Mbit/s LAN.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/auth.h"
+#include "http/message.h"
+#include "http/wire.h"
+#include "net/network.h"
+#include "net/network_model.h"
+#include "util/status.h"
+
+namespace davpse::http {
+
+enum class ConnectionPolicy {
+  kPersistent,   // keep-alive, reconnect only when the server closes
+  kPerRequest,   // fresh connection per request ("reconnecting each time")
+};
+
+struct ClientConfig {
+  std::string endpoint;  // server name in the in-memory network
+  ConnectionPolicy policy = ConnectionPolicy::kPersistent;
+  std::optional<Credentials> credentials;
+};
+
+class HttpClient {
+ public:
+  explicit HttpClient(ClientConfig config);
+  HttpClient(ClientConfig config, net::Network& network);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends the request (filling Host/Authorization) and reads the
+  /// response. Retries once on a fresh connection if a reused
+  /// keep-alive connection turns out to be dead.
+  Result<HttpResponse> execute(HttpRequest request);
+
+  /// HTTP/1.1 pipelining — the optimization the paper lists as "not
+  /// pursued": all requests are written back-to-back on one keep-alive
+  /// connection before any response is read, collapsing N round trips
+  /// into one. If the server closes mid-batch (per-connection request
+  /// cap), the unprocessed tail is resent on a fresh connection —
+  /// callers should therefore only pipeline idempotent requests.
+  Result<std::vector<HttpResponse>> execute_pipelined(
+      std::vector<HttpRequest> requests);
+
+  /// Convenience wrappers.
+  Result<HttpResponse> get(std::string_view path);
+  Result<HttpResponse> put(std::string_view path, std::string body,
+                           std::string_view content_type =
+                               "application/octet-stream");
+  Result<HttpResponse> del(std::string_view path);
+
+  /// Attaches an accounting sink; every subsequent exchange adds its
+  /// bytes and round trips. Pass nullptr to detach.
+  void set_network_model(net::NetworkModel* model) { model_ = model; }
+
+  /// Drops the cached connection (next request reconnects).
+  void reset_connection();
+
+  uint64_t connections_opened() const { return connections_opened_; }
+  uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  Result<HttpResponse> execute_once(const HttpRequest& request,
+                                    bool* reused_connection);
+  Status ensure_connected();
+  void account_traffic();
+
+  ClientConfig config_;
+  net::Network& network_;
+  std::unique_ptr<net::Stream> connection_;
+  std::unique_ptr<WireReader> reader_;
+  uint64_t accounted_bytes_ = 0;
+  net::NetworkModel* model_ = nullptr;
+  uint64_t connections_opened_ = 0;
+  uint64_t requests_sent_ = 0;
+};
+
+}  // namespace davpse::http

@@ -1,0 +1,117 @@
+#include "http/message.h"
+
+#include "util/strings.h"
+
+namespace davpse::http {
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+void HeaderMap::remove(std::string_view name) {
+  std::erase_if(entries_, [&](const auto& entry) {
+    return iequals(entry.first, name);
+  });
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (iequals(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& [key, value] : entries_) {
+    if (iequals(key, name)) out.emplace_back(value);
+  }
+  return out;
+}
+
+bool HeaderMap::has(std::string_view name) const {
+  return get(name).has_value();
+}
+
+std::optional<uint64_t> HeaderMap::get_uint(std::string_view name) const {
+  auto value = get(name);
+  if (!value) return std::nullopt;
+  auto trimmed = trim(*value);
+  if (trimmed.empty()) return std::nullopt;
+  uint64_t out = 0;
+  for (char c : trimmed) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
+namespace {
+
+bool keep_alive_from(const HeaderMap& headers) {
+  auto connection = headers.get("Connection");
+  if (connection && iequals(trim(*connection), "close")) return false;
+  return true;  // HTTP/1.1 default
+}
+
+}  // namespace
+
+bool HttpRequest::keep_alive() const { return keep_alive_from(headers); }
+bool HttpResponse::keep_alive() const { return keep_alive_from(headers); }
+
+HttpResponse HttpResponse::make(int status) {
+  HttpResponse response;
+  response.status = status;
+  return response;
+}
+
+HttpResponse HttpResponse::make(int status, std::string body,
+                                std::string_view content_type) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  response.headers.set("Content-Type", content_type);
+  return response;
+}
+
+HttpResponse HttpResponse::multistatus(std::string xml_body) {
+  return make(kMultiStatus, std::move(xml_body),
+              "text/xml; charset=\"utf-8\"");
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 207: return "Multi-Status";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 413: return "Request Entity Too Large";
+    case 415: return "Unsupported Media Type";
+    case 423: return "Locked";
+    case 424: return "Failed Dependency";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 507: return "Insufficient Storage";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace davpse::http

@@ -1,0 +1,88 @@
+// HTTP/1.1 message model: case-insensitive header map, request and
+// response records, and the status-code vocabulary (including the
+// WebDAV additions from RFC 2518: 207 Multi-Status, 423 Locked, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace davpse::http {
+
+/// Ordered, case-insensitive multimap as HTTP requires. Lookup is
+/// linear — header counts are tiny.
+class HeaderMap {
+ public:
+  void set(std::string_view name, std::string_view value);  // replace all
+  void add(std::string_view name, std::string_view value);  // append
+  void remove(std::string_view name);
+
+  /// First value, or nullopt.
+  std::optional<std::string_view> get(std::string_view name) const;
+  std::vector<std::string_view> get_all(std::string_view name) const;
+  bool has(std::string_view name) const;
+
+  /// Parses the first value as a non-negative integer (Content-Length,
+  /// Depth, Timeout seconds). nullopt if absent or non-numeric.
+  std::optional<uint64_t> get_uint(std::string_view name) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct HttpRequest {
+  std::string method;   // uppercase token: GET, PUT, PROPFIND, ...
+  std::string target;   // origin-form, percent-encoded: /a/b%20c
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  /// True unless "Connection: close" (HTTP/1.1 default keep-alive).
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  HeaderMap headers;
+  std::string body;
+
+  bool keep_alive() const;
+
+  static HttpResponse make(int status);
+  static HttpResponse make(int status, std::string body,
+                           std::string_view content_type = "text/plain");
+  /// 207 Multi-Status with an XML body.
+  static HttpResponse multistatus(std::string xml_body);
+};
+
+/// Reason phrase for a status code ("Multi-Status" for 207, etc.).
+std::string_view reason_phrase(int status);
+
+// Status codes used across the stack.
+inline constexpr int kOk = 200;
+inline constexpr int kCreated = 201;
+inline constexpr int kNoContent = 204;
+inline constexpr int kMultiStatus = 207;
+inline constexpr int kBadRequest = 400;
+inline constexpr int kUnauthorized = 401;
+inline constexpr int kForbidden = 403;
+inline constexpr int kNotFound = 404;
+inline constexpr int kMethodNotAllowed = 405;
+inline constexpr int kConflict = 409;
+inline constexpr int kPreconditionFailed = 412;
+inline constexpr int kRequestTooLarge = 413;
+inline constexpr int kUnsupportedMediaType = 415;
+inline constexpr int kLocked = 423;
+inline constexpr int kFailedDependency = 424;
+inline constexpr int kInternalError = 500;
+inline constexpr int kNotImplemented = 501;
+inline constexpr int kInsufficientStorage = 507;
+
+}  // namespace davpse::http

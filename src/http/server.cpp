@@ -1,0 +1,112 @@
+#include "http/server.h"
+
+#include "http/wire.h"
+#include "util/log.h"
+
+namespace davpse::http {
+
+HttpServer::HttpServer(ServerConfig config, Handler* handler)
+    : config_(std::move(config)), handler_(handler) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+Status HttpServer::start() { return start(net::Network::instance()); }
+
+Status HttpServer::start(net::Network& network) {
+  auto listener = network.listen(config_.endpoint);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  running_.store(true);
+  threads_.emplace_back([this] { accept_loop(); });
+  for (size_t i = 0; i < config_.daemons; ++i) {
+    threads_.emplace_back([this] {
+      for (;;) {
+        std::unique_ptr<net::Stream> stream;
+        {
+          std::unique_lock<std::mutex> lock(queue_mutex_);
+          queue_cv_.wait(lock, [&] {
+            return !running_.load() || !queue_.empty();
+          });
+          if (!running_.load() && queue_.empty()) return;
+          stream = std::move(queue_.front());
+          queue_.pop_front();
+        }
+        serve_connection(std::move(stream));
+      }
+    });
+  }
+  return Status::ok();
+}
+
+void HttpServer::stop() {
+  running_.store(false);
+  if (listener_) listener_->shutdown();
+  queue_cv_.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  listener_.reset();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    auto stream = listener_->accept();
+    if (!stream.ok()) return;  // listener shut down
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(std::move(stream).value());
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
+  WireReader reader(stream.get());
+  size_t served_here = 0;
+  while (running_.load()) {
+    if (served_here > 0) {
+      stream->set_read_timeout(config_.keep_alive_timeout_seconds);
+    }
+    auto request = reader.read_request(config_.max_body_bytes);
+    stream->set_read_timeout(0);
+    if (!request.ok()) {
+      const Status& status = request.status();
+      if (status.code() == ErrorCode::kUnavailable ||
+          status.code() == ErrorCode::kTimeout) {
+        return;  // peer closed / idle limit — normal end of connection
+      }
+      int code = status.code() == ErrorCode::kTooLarge ? kRequestTooLarge
+                                                       : kBadRequest;
+      HttpResponse reply =
+          HttpResponse::make(code, status.message() + "\n");
+      reply.headers.set("Connection", "close");
+      (void)write_response(stream.get(), reply);
+      return;
+    }
+
+    HttpResponse response;
+    if (!config_.authenticator.authorize(request.value())) {
+      response = BasicAuthenticator::challenge();
+    } else {
+      try {
+        response = handler_->handle(request.value());
+      } catch (const std::exception& e) {
+        DAVPSE_LOG_ERROR << "handler threw: " << e.what();
+        response = HttpResponse::make(kInternalError,
+                                      std::string(e.what()) + "\n");
+      }
+    }
+
+    ++served_here;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    bool close_after =
+        !request.value().keep_alive() || !response.keep_alive() ||
+        served_here >= config_.max_requests_per_connection;
+    if (close_after) response.headers.set("Connection", "close");
+    if (!write_response(stream.get(), response).is_ok()) return;
+    if (close_after) return;
+  }
+}
+
+}  // namespace davpse::http

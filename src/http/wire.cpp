@@ -1,0 +1,302 @@
+#include "http/wire.h"
+
+#include <cstring>
+#include <ctime>
+#include <functional>
+
+#include "util/strings.h"
+
+namespace davpse::http {
+namespace {
+
+constexpr size_t kMaxLineLength = 64 * 1024;
+constexpr size_t kMaxHeaderCount = 256;
+
+bool is_token_char(char c) {
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  return c == '!' || c == '#' || c == '$' || c == '%' || c == '&' ||
+         c == '\'' || c == '*' || c == '+' || c == '-' || c == '.' ||
+         c == '^' || c == '_' || c == '`' || c == '|' || c == '~';
+}
+
+std::string http_date_now() {
+  char buf[64];
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof buf, "%a, %d %b %Y %H:%M:%S GMT", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+Status WireReader::fill() {
+  // Compact the consumed prefix occasionally to bound memory.
+  if (buffer_pos_ > 0 && buffer_pos_ == buffer_.size()) {
+    buffer_.clear();
+    buffer_pos_ = 0;
+  } else if (buffer_pos_ > 1 << 20) {
+    buffer_.erase(0, buffer_pos_);
+    buffer_pos_ = 0;
+  }
+  char chunk[16384];
+  auto got = stream_->read(chunk, sizeof chunk);
+  if (!got.ok()) return got.status();
+  if (got.value() == 0) {
+    return error(ErrorCode::kUnavailable, "connection closed");
+  }
+  buffer_.append(chunk, got.value());
+  return Status::ok();
+}
+
+Result<std::string> WireReader::read_line() {
+  for (;;) {
+    auto eol = buffer_.find('\n', buffer_pos_);
+    if (eol != std::string::npos) {
+      size_t len = eol - buffer_pos_;
+      std::string line = buffer_.substr(buffer_pos_, len);
+      buffer_pos_ = eol + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buffer_.size() - buffer_pos_ > kMaxLineLength) {
+      return Status(ErrorCode::kMalformed, "header line too long");
+    }
+    DAVPSE_RETURN_IF_ERROR(fill());
+  }
+}
+
+Status WireReader::read_exact_buffered(char* out, size_t n) {
+  size_t copied = 0;
+  while (copied < n) {
+    if (buffer_pos_ < buffer_.size()) {
+      size_t available = buffer_.size() - buffer_pos_;
+      size_t chunk = std::min(available, n - copied);
+      std::memcpy(out + copied, buffer_.data() + buffer_pos_, chunk);
+      buffer_pos_ += chunk;
+      copied += chunk;
+      continue;
+    }
+    // Large bodies: read straight into the caller's buffer.
+    auto got = stream_->read(out + copied, n - copied);
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) {
+      return error(ErrorCode::kUnavailable, "EOF inside message body");
+    }
+    copied += got.value();
+  }
+  return Status::ok();
+}
+
+namespace {
+
+Status parse_header_block(const std::function<Result<std::string>()>& next_line,
+                          HeaderMap* headers) {
+  for (;;) {
+    auto line = next_line();
+    if (!line.ok()) return line.status();
+    if (line.value().empty()) return Status::ok();
+    if (headers->size() >= kMaxHeaderCount) {
+      return error(ErrorCode::kMalformed, "too many headers");
+    }
+    const std::string& raw = line.value();
+    auto colon = raw.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return error(ErrorCode::kMalformed, "malformed header line: " + raw);
+    }
+    std::string_view name(raw.data(), colon);
+    for (char c : name) {
+      if (!is_token_char(c)) {
+        return error(ErrorCode::kMalformed,
+                     "bad header field name: " + std::string(name));
+      }
+    }
+    std::string_view value = trim(std::string_view(raw).substr(colon + 1));
+    headers->add(name, value);
+  }
+}
+
+}  // namespace
+
+Result<std::string> WireReader::read_body(const HeaderMap& headers,
+                                          uint64_t max_body) {
+  auto transfer = headers.get("Transfer-Encoding");
+  if (transfer && !iequals(trim(*transfer), "identity")) {
+    if (!iequals(trim(*transfer), "chunked")) {
+      return Status(ErrorCode::kUnsupported,
+                    "unsupported transfer coding: " + std::string(*transfer));
+    }
+    std::string body;
+    for (;;) {
+      auto size_line = read_line();
+      if (!size_line.ok()) return size_line.status();
+      // Chunk size is hex, possibly with extensions after ';'.
+      std::string_view digits(size_line.value());
+      auto semi = digits.find(';');
+      if (semi != std::string_view::npos) digits = digits.substr(0, semi);
+      digits = trim(digits);
+      uint64_t chunk_size = 0;
+      if (digits.empty()) {
+        return Status(ErrorCode::kMalformed, "empty chunk size");
+      }
+      for (char c : digits) {
+        int v;
+        if (c >= '0' && c <= '9') {
+          v = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          v = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+          v = c - 'A' + 10;
+        } else {
+          return Status(ErrorCode::kMalformed, "bad chunk size");
+        }
+        chunk_size = chunk_size * 16 + static_cast<uint64_t>(v);
+      }
+      if (chunk_size == 0) {
+        // Trailer section: read until blank line.
+        for (;;) {
+          auto trailer = read_line();
+          if (!trailer.ok()) return trailer.status();
+          if (trailer.value().empty()) break;
+        }
+        return body;
+      }
+      if (max_body != 0 && body.size() + chunk_size > max_body) {
+        return Status(ErrorCode::kTooLarge, "chunked body exceeds limit");
+      }
+      size_t old_size = body.size();
+      body.resize(old_size + chunk_size);
+      DAVPSE_RETURN_IF_ERROR(
+          read_exact_buffered(body.data() + old_size, chunk_size));
+      char crlf[2];
+      DAVPSE_RETURN_IF_ERROR(read_exact_buffered(crlf, 2));
+      if (crlf[0] != '\r' || crlf[1] != '\n') {
+        return Status(ErrorCode::kMalformed, "missing CRLF after chunk");
+      }
+    }
+  }
+  auto length = headers.get_uint("Content-Length");
+  if (!length || *length == 0) return std::string();
+  if (max_body != 0 && *length > max_body) {
+    return Status(ErrorCode::kTooLarge,
+                  "declared body of " + std::to_string(*length) +
+                      " bytes exceeds limit of " + std::to_string(max_body));
+  }
+  std::string body(*length, '\0');
+  DAVPSE_RETURN_IF_ERROR(read_exact_buffered(body.data(), body.size()));
+  return body;
+}
+
+Result<HttpRequest> WireReader::read_request(uint64_t max_body) {
+  auto start = read_line();
+  if (!start.ok()) return start.status();
+  // Tolerate a stray blank line between pipelined requests.
+  while (start.ok() && start.value().empty()) {
+    start = read_line();
+    if (!start.ok()) return start.status();
+  }
+  auto parts = split(start.value(), ' ');
+  if (parts.size() != 3) {
+    return Status(ErrorCode::kMalformed,
+                  "malformed request line: " + start.value());
+  }
+  HttpRequest request;
+  request.method = parts[0];
+  request.target = parts[1];
+  request.version = parts[2];
+  for (char c : request.method) {
+    if (!is_token_char(c)) {
+      return Status(ErrorCode::kMalformed, "bad method token");
+    }
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Status(ErrorCode::kUnsupported,
+                  "unsupported version: " + request.version);
+  }
+  DAVPSE_RETURN_IF_ERROR(parse_header_block(
+      [this] { return read_line(); }, &request.headers));
+  auto body = read_body(request.headers, max_body);
+  if (!body.ok()) return body.status();
+  request.body = std::move(body).value();
+  return request;
+}
+
+Result<HttpResponse> WireReader::read_response() {
+  auto start = read_line();
+  if (!start.ok()) return start.status();
+  const std::string& line = start.value();
+  // "HTTP/1.1 207 Multi-Status"
+  if (!starts_with(line, "HTTP/1.")) {
+    return Status(ErrorCode::kMalformed, "malformed status line: " + line);
+  }
+  auto first_space = line.find(' ');
+  if (first_space == std::string::npos || first_space + 4 > line.size()) {
+    return Status(ErrorCode::kMalformed, "malformed status line: " + line);
+  }
+  int status = 0;
+  for (size_t i = first_space + 1; i < first_space + 4; ++i) {
+    if (line[i] < '0' || line[i] > '9') {
+      return Status(ErrorCode::kMalformed, "malformed status code");
+    }
+    status = status * 10 + (line[i] - '0');
+  }
+  HttpResponse response;
+  response.status = status;
+  DAVPSE_RETURN_IF_ERROR(parse_header_block(
+      [this] { return read_line(); }, &response.headers));
+  // 204/304 and 1xx have no body by definition.
+  if (status == 204 || status == 304 || (status >= 100 && status < 200)) {
+    return response;
+  }
+  auto body = read_body(response.headers, /*max_body=*/0);
+  if (!body.ok()) return body.status();
+  response.body = std::move(body).value();
+  return response;
+}
+
+namespace {
+
+void append_headers(const HeaderMap& headers, std::string* out) {
+  for (const auto& [name, value] : headers.entries()) {
+    *out += name;
+    *out += ": ";
+    *out += value;
+    *out += "\r\n";
+  }
+}
+
+}  // namespace
+
+Status write_request(net::Stream* stream, const HttpRequest& request) {
+  std::string head = request.method + " " + request.target + " " +
+                     request.version + "\r\n";
+  HeaderMap headers = request.headers;
+  headers.set("Content-Length", std::to_string(request.body.size()));
+  append_headers(headers, &head);
+  head += "\r\n";
+  DAVPSE_RETURN_IF_ERROR(stream->write(head));
+  if (!request.body.empty()) {
+    DAVPSE_RETURN_IF_ERROR(stream->write(request.body));
+  }
+  return Status::ok();
+}
+
+Status write_response(net::Stream* stream, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(reason_phrase(response.status)) + "\r\n";
+  HeaderMap headers = response.headers;
+  headers.set("Content-Length", std::to_string(response.body.size()));
+  if (!headers.has("Date")) headers.set("Date", http_date_now());
+  if (!headers.has("Server")) headers.set("Server", "davpse/1.0");
+  append_headers(headers, &head);
+  head += "\r\n";
+  DAVPSE_RETURN_IF_ERROR(stream->write(head));
+  if (!response.body.empty()) {
+    DAVPSE_RETURN_IF_ERROR(stream->write(response.body));
+  }
+  return Status::ok();
+}
+
+}  // namespace davpse::http

@@ -1,0 +1,43 @@
+// HTTP/1.1 wire framing over a Stream: request/status lines, header
+// blocks, and bodies via Content-Length or chunked transfer coding.
+#pragma once
+
+#include <memory>
+
+#include "http/message.h"
+#include "net/stream.h"
+#include "util/status.h"
+
+namespace davpse::http {
+
+/// Buffered reader that frames HTTP messages off a stream. One reader
+/// per connection; it owns the read buffer across keep-alive requests.
+class WireReader {
+ public:
+  explicit WireReader(net::Stream* stream) : stream_(stream) {}
+
+  /// `max_body` bounds acceptable bodies (0 = unlimited); oversized
+  /// bodies yield kTooLarge after draining is abandoned (connection
+  /// must be closed by the caller).
+  Result<HttpRequest> read_request(uint64_t max_body = 0);
+  Result<HttpResponse> read_response();
+
+ private:
+  /// Reads through the next CRLF; the line is returned without it.
+  Result<std::string> read_line();
+  Status fill();  // pulls more bytes into the buffer
+  Result<std::string> read_body(const HeaderMap& headers, uint64_t max_body);
+  Status read_exact_buffered(char* out, size_t n);
+
+  net::Stream* stream_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+};
+
+/// Serializes and sends a request. Sets Content-Length from the body.
+Status write_request(net::Stream* stream, const HttpRequest& request);
+
+/// Serializes and sends a response. Sets Content-Length and Date.
+Status write_response(net::Stream* stream, const HttpResponse& response);
+
+}  // namespace davpse::http

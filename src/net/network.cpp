@@ -1,0 +1,93 @@
+#include "net/network.h"
+
+namespace davpse::net {
+
+Listener::~Listener() {
+  shutdown();
+  if (network_ != nullptr) network_->unregister(endpoint_, this);
+}
+
+Result<std::unique_ptr<Stream>> Listener::accept() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  pending_cv_.wait(lock, [&] { return shut_down_ || !pending_.empty(); });
+  if (!pending_.empty()) {
+    auto stream = std::move(pending_.front());
+    pending_.pop_front();
+    return stream;
+  }
+  return Status(ErrorCode::kUnavailable,
+                "listener shut down: " + endpoint_);
+}
+
+void Listener::shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shut_down_ = true;
+  pending_.clear();
+  pending_cv_.notify_all();
+}
+
+bool Listener::enqueue(std::unique_ptr<Stream> server_end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shut_down_) return false;
+  pending_.push_back(std::move(server_end));
+  pending_cv_.notify_one();
+  return true;
+}
+
+Network& Network::instance() {
+  static Network* network = new Network();  // intentionally leaked
+  return *network;
+}
+
+Result<std::unique_ptr<Listener>> Network::listen(
+    const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (listeners_.contains(endpoint)) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "endpoint already bound: " + endpoint);
+  }
+  auto listener =
+      std::unique_ptr<Listener>(new Listener(this, endpoint));
+  listeners_[endpoint] = listener.get();
+  return listener;
+}
+
+Result<std::unique_ptr<Stream>> Network::connect(const std::string& endpoint) {
+  Listener* listener = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = listeners_.find(endpoint);
+    if (it == listeners_.end()) {
+      return Status(ErrorCode::kNotFound,
+                    "connection refused: no listener at " + endpoint);
+    }
+    listener = it->second;
+  }
+  auto pair = make_pipe();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    traffic_.push_back(pair.traffic);
+  }
+  if (!listener->enqueue(std::move(pair.b))) {
+    return Status(ErrorCode::kUnavailable,
+                  "connection refused: listener shutting down at " + endpoint);
+  }
+  return std::move(pair.a);
+}
+
+uint64_t Network::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& counter : traffic_) total += counter->total();
+  return total;
+}
+
+void Network::unregister(const std::string& endpoint, Listener* listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = listeners_.find(endpoint);
+  if (it != listeners_.end() && it->second == listener) {
+    listeners_.erase(it);
+  }
+}
+
+}  // namespace davpse::net

@@ -1,0 +1,82 @@
+// Named-endpoint rendezvous: an in-process "network" where servers
+// listen on "host:port" names and clients connect by the same name.
+// Connections are in-memory pipes; per-network traffic totals feed the
+// NetworkModel.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/pipe.h"
+#include "net/stream.h"
+
+namespace davpse::net {
+
+class Network;
+
+/// Server-side accept queue for one endpoint. Unregisters itself from
+/// the network on destruction.
+class Listener {
+ public:
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks for the next inbound connection. kUnavailable once the
+  /// listener is shut down.
+  Result<std::unique_ptr<Stream>> accept();
+
+  /// Wakes all accept() calls with kUnavailable and refuses new
+  /// connections.
+  void shutdown();
+
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  friend class Network;
+  Listener(Network* network, std::string endpoint)
+      : network_(network), endpoint_(std::move(endpoint)) {}
+
+  /// Called by Network::connect(); returns false after shutdown.
+  bool enqueue(std::unique_ptr<Stream> server_end);
+
+  Network* network_;
+  const std::string endpoint_;
+  std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<std::unique_ptr<Stream>> pending_;
+  bool shut_down_ = false;
+};
+
+class Network {
+ public:
+  /// Process-wide default network; individual tests may build private
+  /// instances for isolation.
+  static Network& instance();
+
+  /// Claims an endpoint name. kAlreadyExists if something listens there.
+  Result<std::unique_ptr<Listener>> listen(const std::string& endpoint);
+
+  /// Dials an endpoint. kNotFound if nothing is listening.
+  Result<std::unique_ptr<Stream>> connect(const std::string& endpoint);
+
+  /// Aggregate bytes moved over every connection made through this
+  /// network since construction.
+  uint64_t total_bytes() const;
+
+ private:
+  friend class Listener;
+  void unregister(const std::string& endpoint, Listener* listener);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Listener*> listeners_;
+  std::vector<std::shared_ptr<TrafficCounter>> traffic_;
+};
+
+}  // namespace davpse::net

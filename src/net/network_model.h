@@ -1,0 +1,61 @@
+// Link-time modeling. The paper's testbed was a 150-Mbit/s LAN between
+// Sun workstations; this sandbox moves bytes through memory. To recover
+// network-shaped results (Table 2 especially: 20 MB ≈ 3 s, 200 MB ≈
+// 30 s, i.e. bandwidth-bound), benches measure bytes + round trips and
+// convert them to modeled seconds on a configurable link. Reported as
+// "modeled" alongside the raw wall-clock measurement; EXPERIMENTS.md
+// compares both against the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace davpse::net {
+
+struct LinkProfile {
+  double bandwidth_bits_per_sec;
+  double round_trip_seconds;
+  std::string name;
+
+  /// The paper's environment: 150 Mbit/s, sub-millisecond LAN RTT.
+  static LinkProfile paper_lan() {
+    return {150e6, 0.0003, "150 Mbit/s LAN (paper testbed)"};
+  }
+  static LinkProfile fast_ethernet() {
+    return {100e6, 0.0005, "100 Mbit/s Ethernet"};
+  }
+  static LinkProfile wan() { return {10e6, 0.040, "10 Mbit/s WAN"}; }
+};
+
+/// Accumulates an exchange's cost and converts it to modeled seconds:
+///   bytes * 8 / bandwidth + round_trips * rtt
+/// Round trips are counted at the protocol layer (one per
+/// request/response, plus one per connection setup).
+class NetworkModel {
+ public:
+  explicit NetworkModel(LinkProfile profile) : profile_(std::move(profile)) {}
+
+  void add_bytes(uint64_t bytes) { bytes_ += bytes; }
+  void add_round_trips(uint64_t n) { round_trips_ += n; }
+  void reset() {
+    bytes_ = 0;
+    round_trips_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t round_trips() const { return round_trips_; }
+
+  double modeled_seconds() const {
+    return static_cast<double>(bytes_) * 8.0 / profile_.bandwidth_bits_per_sec +
+           static_cast<double>(round_trips_) * profile_.round_trip_seconds;
+  }
+
+  const LinkProfile& profile() const { return profile_; }
+
+ private:
+  LinkProfile profile_;
+  uint64_t bytes_ = 0;
+  uint64_t round_trips_ = 0;
+};
+
+}  // namespace davpse::net

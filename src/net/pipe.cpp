@@ -1,0 +1,133 @@
+#include "net/pipe.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace davpse::net {
+
+Status ByteQueue::write(std::string_view data,
+                        std::atomic<uint64_t>* counter) {
+  size_t written = 0;
+  while (written < data.size()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    writable_.wait(lock, [&] {
+      return aborted_ || write_closed_ || buffer_.size() < capacity_;
+    });
+    if (aborted_ || write_closed_) {
+      return error(ErrorCode::kUnavailable, "pipe closed during write");
+    }
+    size_t room = capacity_ - buffer_.size();
+    size_t chunk = std::min(room, data.size() - written);
+    buffer_.append(data.data() + written, chunk);
+    written += chunk;
+    if (counter != nullptr) {
+      counter->fetch_add(chunk, std::memory_order_relaxed);
+    }
+    readable_.notify_all();
+  }
+  return Status::ok();
+}
+
+Result<size_t> ByteQueue::read(char* buf, size_t max,
+                               double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto ready = [&] { return aborted_ || write_closed_ || !buffer_.empty(); };
+  if (timeout_seconds > 0) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::duration<double>(timeout_seconds));
+    if (!readable_.wait_until(lock, deadline, ready)) {
+      return Status(ErrorCode::kTimeout, "read timed out");
+    }
+  } else {
+    readable_.wait(lock, ready);
+  }
+  if (!buffer_.empty()) {
+    size_t chunk = std::min(max, buffer_.size());
+    std::memcpy(buf, buffer_.data(), chunk);
+    buffer_.erase(0, chunk);
+    writable_.notify_all();
+    return chunk;
+  }
+  if (aborted_) {
+    return Status(ErrorCode::kUnavailable, "pipe aborted");
+  }
+  return size_t{0};  // clean EOF
+}
+
+void ByteQueue::close_write() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_closed_ = true;
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void ByteQueue::abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  buffer_.clear();
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+namespace {
+
+/// One end of the duplex pipe: reads from `in`, writes to `out`.
+class PipeStream final : public Stream {
+ public:
+  PipeStream(std::shared_ptr<ByteQueue> in, std::shared_ptr<ByteQueue> out,
+             std::shared_ptr<TrafficCounter> traffic,
+             std::atomic<uint64_t>* out_counter)
+      : in_(std::move(in)),
+        out_(std::move(out)),
+        traffic_(std::move(traffic)),
+        out_counter_(out_counter) {}
+
+  ~PipeStream() override { close(); }
+
+  Result<size_t> read(char* buf, size_t max) override {
+    return in_->read(buf, max, read_timeout_seconds_);
+  }
+
+  void set_read_timeout(double seconds) override {
+    read_timeout_seconds_ = seconds;
+  }
+
+  Status write(std::string_view data) override {
+    return out_->write(data, out_counter_);
+  }
+
+  void shutdown_write() override { out_->close_write(); }
+
+  void close() override {
+    out_->close_write();
+    in_->abort();
+  }
+
+  const TrafficCounter* traffic() const override { return traffic_.get(); }
+
+ private:
+  std::shared_ptr<ByteQueue> in_;
+  std::shared_ptr<ByteQueue> out_;
+  std::shared_ptr<TrafficCounter> traffic_;
+  std::atomic<uint64_t>* out_counter_;
+  double read_timeout_seconds_ = 0;
+};
+
+}  // namespace
+
+PipePair make_pipe(size_t capacity) {
+  auto a_to_b = std::make_shared<ByteQueue>(capacity);
+  auto b_to_a = std::make_shared<ByteQueue>(capacity);
+  auto traffic = std::make_shared<TrafficCounter>();
+  PipePair pair;
+  pair.a = std::make_unique<PipeStream>(b_to_a, a_to_b, traffic,
+                                        &traffic->bytes_a_to_b);
+  pair.b = std::make_unique<PipeStream>(a_to_b, b_to_a, traffic,
+                                        &traffic->bytes_b_to_a);
+  pair.traffic = traffic;
+  return pair;
+}
+
+}  // namespace davpse::net

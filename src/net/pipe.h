@@ -1,0 +1,54 @@
+// In-memory duplex pipe: two bounded byte queues joined back-to-back.
+// Bounded capacity gives TCP-like backpressure (a fast writer blocks
+// until the reader drains), which matters for the bulk-transfer
+// experiments — without it a 200 MB PUT would just balloon memory.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "net/stream.h"
+
+namespace davpse::net {
+
+/// One direction of a pipe. Thread-safe single-producer/single-consumer
+/// is the intended use, but any number of threads may call safely.
+class ByteQueue {
+ public:
+  explicit ByteQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full. Returns kUnavailable if the read side closed.
+  Status write(std::string_view data, std::atomic<uint64_t>* counter);
+
+  /// Blocks while empty. 0 = clean EOF after writer shutdown.
+  /// `timeout_seconds` > 0 bounds the wait (kTimeout on expiry).
+  Result<size_t> read(char* buf, size_t max, double timeout_seconds = 0);
+
+  void close_write();  // EOF for readers after draining
+  void abort();        // hard close: readers get kUnavailable immediately
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::string buffer_;
+  bool write_closed_ = false;
+  bool aborted_ = false;
+};
+
+struct PipePair {
+  std::unique_ptr<Stream> a;
+  std::unique_ptr<Stream> b;
+  std::shared_ptr<TrafficCounter> traffic;
+};
+
+/// Creates a connected pair of streams. Writes to `a` are read from
+/// `b` and vice versa. `capacity` bounds in-flight bytes per direction.
+PipePair make_pipe(size_t capacity = 256 * 1024);
+
+}  // namespace davpse::net

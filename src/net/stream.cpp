@@ -1,0 +1,31 @@
+#include "net/stream.h"
+
+namespace davpse::net {
+
+Status Stream::read_exact(char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    auto chunk = read(buf + got, n - got);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk.value() == 0) {
+      return error(ErrorCode::kUnavailable, "EOF before " +
+                                                std::to_string(n) +
+                                                " bytes were read");
+    }
+    got += chunk.value();
+  }
+  return Status::ok();
+}
+
+Result<std::string> Stream::read_all() {
+  std::string out;
+  char buf[16384];
+  for (;;) {
+    auto chunk = read(buf, sizeof buf);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk.value() == 0) return out;
+    out.append(buf, chunk.value());
+  }
+}
+
+}  // namespace davpse::net

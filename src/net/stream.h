@@ -1,0 +1,68 @@
+// Byte-stream transport abstraction. The whole protocol stack (HTTP,
+// FTP, OODB page protocol) is written against `Stream`, so the wire
+// substrate can be swapped. The default implementation is an in-memory
+// duplex pipe (`src/net/pipe.h`): the sandbox has no real LAN, and the
+// paper's network-dependent numbers are recovered through the explicit
+// `NetworkModel` accounting instead (see DESIGN.md, substitutions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace davpse::net {
+
+/// Bytes moved across a connection, split by direction. Shared by both
+/// pipe ends; used by NetworkModel to convert a measured exchange into
+/// modeled time on a configurable link.
+struct TrafficCounter {
+  std::atomic<uint64_t> bytes_a_to_b{0};
+  std::atomic<uint64_t> bytes_b_to_a{0};
+
+  uint64_t total() const {
+    return bytes_a_to_b.load(std::memory_order_relaxed) +
+           bytes_b_to_a.load(std::memory_order_relaxed);
+  }
+};
+
+/// Blocking, reliable, ordered byte stream (TCP-like semantics).
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Blocks until at least one byte is available or EOF. Returns the
+  /// number of bytes read; 0 means the peer half-closed (clean EOF).
+  /// kUnavailable if the connection was aborted.
+  virtual Result<size_t> read(char* buf, size_t max) = 0;
+
+  /// Writes the whole buffer (blocking on backpressure). kUnavailable
+  /// if the peer closed its read side.
+  virtual Status write(std::string_view data) = 0;
+
+  /// Signals EOF to the peer's reads; our reads stay usable.
+  virtual void shutdown_write() = 0;
+
+  /// Aborts both directions.
+  virtual void close() = 0;
+
+  /// Deadline for subsequent read() calls, in seconds; 0 disables.
+  /// A timed-out read returns kTimeout. Used by the HTTP server to
+  /// enforce its keep-alive idle limit (15 s in the paper's config).
+  virtual void set_read_timeout(double seconds) { (void)seconds; }
+
+  /// Per-connection traffic counter (never null for pipe streams).
+  virtual const TrafficCounter* traffic() const { return nullptr; }
+
+  // --- Convenience helpers built on read/write -------------------------
+
+  /// Reads exactly `n` bytes; kUnavailable on premature EOF.
+  Status read_exact(char* buf, size_t n);
+
+  /// Reads until EOF.
+  Result<std::string> read_all();
+};
+
+}  // namespace davpse::net

@@ -1,0 +1,236 @@
+#include "oodb/client.h"
+
+#include <algorithm>
+
+namespace davpse::oodb {
+
+namespace {
+constexpr uint64_t kAllocBatch = 64;
+}
+
+OodbClient::OodbClient(OodbClientConfig config, const Schema& schema)
+    : OodbClient(std::move(config), schema, net::Network::instance()) {}
+
+OodbClient::OodbClient(OodbClientConfig config, const Schema& schema,
+                       net::Network& network)
+    : config_(std::move(config)), schema_(schema), network_(network) {}
+
+OodbClient::~OodbClient() = default;
+
+Status OodbClient::open() {
+  if (connection_ != nullptr) return Status::ok();
+  if (!schema_.compiled()) {
+    return error(ErrorCode::kInvalidArgument,
+                 "schema must be compiled before opening a connection");
+  }
+  auto stream = network_.connect(config_.endpoint);
+  if (!stream.ok()) return stream.status();
+  connection_ = std::move(stream).value();
+  if (model_ != nullptr) model_->add_round_trips(1);
+  std::string payload;
+  frame_put_u64(&payload, schema_.fingerprint());
+  auto reply = call(Op::kHello, payload);
+  if (!reply.ok()) {
+    connection_.reset();
+    return reply.status();
+  }
+  return Status::ok();
+}
+
+Result<std::string> OodbClient::call(Op op, std::string_view payload) {
+  if (connection_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, "client is not open");
+  }
+  DAVPSE_RETURN_IF_ERROR(write_frame(connection_.get(), op, payload));
+  auto frame = read_frame(connection_.get());
+  if (!frame.ok()) {
+    connection_.reset();
+    return frame.status();
+  }
+  if (model_ != nullptr) {
+    model_->add_round_trips(1);
+    const net::TrafficCounter* counter = connection_->traffic();
+    if (counter != nullptr) {
+      uint64_t total = counter->total();
+      if (total > accounted_bytes_) {
+        model_->add_bytes(total - accounted_bytes_);
+        accounted_bytes_ = total;
+      }
+    }
+  }
+  if (frame.value().op == Op::kError) {
+    // The server flattened a Status into "CODE: message"; surface the
+    // conflict/not-found distinction for the common cases.
+    const std::string& message = frame.value().payload;
+    ErrorCode code = ErrorCode::kInternal;
+    if (message.starts_with("NOT_FOUND")) code = ErrorCode::kNotFound;
+    if (message.starts_with("CONFLICT")) code = ErrorCode::kConflict;
+    if (message.starts_with("MALFORMED")) code = ErrorCode::kMalformed;
+    return Status(code, message);
+  }
+  return std::move(frame.value().payload);
+}
+
+PersistentObject* OodbClient::insert_cache(PersistentObject object) {
+  ObjectId id = object.id();
+  auto owned = std::make_unique<PersistentObject>(std::move(object));
+  PersistentObject* raw = owned.get();
+  auto [it, inserted] = cache_.insert_or_assign(id, std::move(owned));
+  cached_bytes_ += raw->memory_bytes();
+  return it->second.get();
+}
+
+Result<PersistentObject*> OodbClient::create(const std::string& class_name) {
+  const ClassDef* def = schema_.find(class_name);
+  if (def == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such class: " + class_name);
+  }
+  if (alloc_next_ >= alloc_end_) {
+    std::string payload;
+    frame_put_u64(&payload, kAllocBatch);
+    auto reply = call(Op::kAlloc, payload);
+    if (!reply.ok()) return reply.status();
+    FrameCursor cursor{reply.value()};
+    uint64_t first;
+    if (!cursor.u64(&first)) {
+      return Status(ErrorCode::kMalformed, "bad ALLOC reply");
+    }
+    alloc_next_ = first;
+    alloc_end_ = first + kAllocBatch;
+  }
+  ObjectId id = alloc_next_++;
+  PersistentObject* object = insert_cache(PersistentObject(*def, id));
+  dirty_.push_back(id);
+  return object;
+}
+
+Result<PersistentObject*> OodbClient::read(ObjectId id) {
+  auto cached = cache_.find(id);
+  if (cached != cache_.end()) return cached->second.get();
+
+  if (config_.cache_forward) {
+    // Fault the whole segment in (the cache-forward behavior).
+    std::string payload;
+    frame_put_u32(&payload, segment_of(id));
+    auto reply = call(Op::kReadSegment, payload);
+    if (!reply.ok()) return reply.status();
+    ++segment_fetches_;
+    FrameCursor cursor{reply.value()};
+    uint32_t count;
+    if (!cursor.u32(&count)) {
+      return Status(ErrorCode::kMalformed, "bad READ_SEGMENT reply");
+    }
+    PersistentObject* wanted = nullptr;
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string encoded;
+      if (!cursor.bytes(&encoded)) {
+        return Status(ErrorCode::kMalformed, "truncated segment object");
+      }
+      auto decoded = PersistentObject::decode(encoded);
+      if (!decoded.ok()) return decoded.status();
+      ObjectId decoded_id = decoded.value().id();
+      if (!cache_.contains(decoded_id)) {
+        PersistentObject* inserted =
+            insert_cache(std::move(decoded).value());
+        if (decoded_id == id) wanted = inserted;
+      } else if (decoded_id == id) {
+        wanted = cache_[decoded_id].get();
+      }
+    }
+    if (wanted == nullptr) {
+      return Status(ErrorCode::kNotFound,
+                    "no object with id " + std::to_string(id));
+    }
+    return wanted;
+  }
+
+  std::string payload;
+  frame_put_u64(&payload, id);
+  auto reply = call(Op::kRead, payload);
+  if (!reply.ok()) return reply.status();
+  ++object_fetches_;
+  auto decoded = PersistentObject::decode(reply.value());
+  if (!decoded.ok()) return decoded.status();
+  return insert_cache(std::move(decoded).value());
+}
+
+void OodbClient::mark_dirty(ObjectId id) { dirty_.push_back(id); }
+
+Status OodbClient::commit() {
+  if (dirty_.empty()) {
+    auto reply = call(Op::kCommit, "");
+    return reply.ok() ? Status::ok() : reply.status();
+  }
+  std::string payload;
+  // Deduplicate while preserving order.
+  std::vector<ObjectId> unique;
+  for (ObjectId id : dirty_) {
+    if (std::find(unique.begin(), unique.end(), id) == unique.end()) {
+      unique.push_back(id);
+    }
+  }
+  frame_put_u32(&payload, static_cast<uint32_t>(unique.size()));
+  for (ObjectId id : unique) {
+    auto it = cache_.find(id);
+    if (it == cache_.end()) continue;
+    frame_put_bytes(&payload, it->second->encode());
+  }
+  auto reply = call(Op::kWrite, payload);
+  if (!reply.ok()) return reply.status();
+  dirty_.clear();
+  auto commit_reply = call(Op::kCommit, "");
+  return commit_reply.ok() ? Status::ok() : commit_reply.status();
+}
+
+Status OodbClient::remove(ObjectId id) {
+  std::string payload;
+  frame_put_u64(&payload, id);
+  auto reply = call(Op::kRemove, payload);
+  if (!reply.ok()) return reply.status();
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    cached_bytes_ -= it->second->memory_bytes();
+    cache_.erase(it);
+  }
+  return Status::ok();
+}
+
+Result<ObjectId> OodbClient::get_root(const std::string& name) {
+  std::string payload;
+  frame_put_bytes(&payload, name);
+  auto reply = call(Op::kGetRoot, payload);
+  if (!reply.ok()) return reply.status();
+  FrameCursor cursor{reply.value()};
+  uint64_t id;
+  if (!cursor.u64(&id)) {
+    return Status(ErrorCode::kMalformed, "bad GET_ROOT reply");
+  }
+  return ObjectId{id};
+}
+
+Status OodbClient::set_root(const std::string& name, ObjectId id) {
+  std::string payload;
+  frame_put_bytes(&payload, name);
+  frame_put_u64(&payload, id);
+  auto reply = call(Op::kSetRoot, payload);
+  return reply.ok() ? Status::ok() : reply.status();
+}
+
+Result<std::pair<uint64_t, uint64_t>> OodbClient::stats() {
+  auto reply = call(Op::kStats, "");
+  if (!reply.ok()) return reply.status();
+  FrameCursor cursor{reply.value()};
+  uint64_t objects, bytes;
+  if (!cursor.u64(&objects) || !cursor.u64(&bytes)) {
+    return Status(ErrorCode::kMalformed, "bad STATS reply");
+  }
+  return std::make_pair(objects, bytes);
+}
+
+void OodbClient::invalidate_cache() {
+  cache_.clear();
+  cached_bytes_ = 0;
+  dirty_.clear();
+}
+
+}  // namespace davpse::oodb

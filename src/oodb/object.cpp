@@ -1,0 +1,268 @@
+#include "oodb/object.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace davpse::oodb {
+namespace {
+
+void put_u8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void put_u32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+void put_f64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+struct Cursor {
+  std::string_view data;
+  size_t pos = 0;
+
+  bool u8(uint8_t* v) {
+    if (pos + 1 > data.size()) return false;
+    *v = static_cast<uint8_t>(data[pos]);
+    pos += 1;
+    return true;
+  }
+  bool u32(uint32_t* v) {
+    if (pos + 4 > data.size()) return false;
+    std::memcpy(v, data.data() + pos, 4);
+    pos += 4;
+    return true;
+  }
+  bool u64(uint64_t* v) {
+    if (pos + 8 > data.size()) return false;
+    std::memcpy(v, data.data() + pos, 8);
+    pos += 8;
+    return true;
+  }
+  bool f64(double* v) {
+    if (pos + 8 > data.size()) return false;
+    std::memcpy(v, data.data() + pos, 8);
+    pos += 8;
+    return true;
+  }
+  bool str(std::string* v) {
+    uint32_t len;
+    if (!u32(&len) || pos + len > data.size()) return false;
+    v->assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+enum : uint8_t {
+  kTagInt = 1,
+  kTagDouble = 2,
+  kTagString = 3,
+  kTagRef = 4,
+  kTagDoubleArray = 5,
+  kTagRefArray = 6,
+};
+
+}  // namespace
+
+PersistentObject::PersistentObject(const ClassDef& def, ObjectId id)
+    : id_(id), class_id_(def.class_id) {
+  values_.reserve(def.fields.size());
+  for (const FieldDef& field : def.fields) {
+    switch (field.type) {
+      case FieldType::kInt64: values_.emplace_back(int64_t{0}); break;
+      case FieldType::kDouble: values_.emplace_back(0.0); break;
+      case FieldType::kString:
+      case FieldType::kBytes: values_.emplace_back(std::string()); break;
+      case FieldType::kObjectRef: values_.emplace_back(kNullObject); break;
+      case FieldType::kDoubleArray:
+        values_.emplace_back(std::vector<double>());
+        break;
+      case FieldType::kRefArray:
+        values_.emplace_back(std::vector<ObjectId>());
+        break;
+    }
+  }
+}
+
+int64_t PersistentObject::get_int(size_t index) const {
+  assert(index < values_.size());
+  const auto* v = std::get_if<int64_t>(&values_[index]);
+  return v != nullptr ? *v : 0;
+}
+
+double PersistentObject::get_double(size_t index) const {
+  assert(index < values_.size());
+  const auto* v = std::get_if<double>(&values_[index]);
+  return v != nullptr ? *v : 0.0;
+}
+
+const std::string& PersistentObject::get_string(size_t index) const {
+  assert(index < values_.size());
+  static const std::string kEmpty;
+  const auto* v = std::get_if<std::string>(&values_[index]);
+  return v != nullptr ? *v : kEmpty;
+}
+
+ObjectId PersistentObject::get_ref(size_t index) const {
+  assert(index < values_.size());
+  const auto* v = std::get_if<ObjectId>(&values_[index]);
+  return v != nullptr ? *v : kNullObject;
+}
+
+const std::vector<double>& PersistentObject::get_double_array(
+    size_t index) const {
+  assert(index < values_.size());
+  static const std::vector<double> kEmpty;
+  const auto* v = std::get_if<std::vector<double>>(&values_[index]);
+  return v != nullptr ? *v : kEmpty;
+}
+
+const std::vector<ObjectId>& PersistentObject::get_ref_array(
+    size_t index) const {
+  assert(index < values_.size());
+  static const std::vector<ObjectId> kEmpty;
+  const auto* v = std::get_if<std::vector<ObjectId>>(&values_[index]);
+  return v != nullptr ? *v : kEmpty;
+}
+
+void PersistentObject::set(size_t index, Value value) {
+  assert(index < values_.size());
+  values_[index] = std::move(value);
+}
+
+std::string PersistentObject::encode() const {
+  std::string out;
+  put_u64(&out, id_);
+  put_u32(&out, class_id_);
+  put_u32(&out, static_cast<uint32_t>(values_.size()));
+  for (const Value& value : values_) {
+    if (const auto* v = std::get_if<int64_t>(&value)) {
+      put_u8(&out, kTagInt);
+      put_u64(&out, static_cast<uint64_t>(*v));
+    } else if (const auto* v = std::get_if<double>(&value)) {
+      put_u8(&out, kTagDouble);
+      put_f64(&out, *v);
+    } else if (const auto* v = std::get_if<std::string>(&value)) {
+      put_u8(&out, kTagString);
+      put_u32(&out, static_cast<uint32_t>(v->size()));
+      out += *v;
+    } else if (const auto* v = std::get_if<ObjectId>(&value)) {
+      put_u8(&out, kTagRef);
+      put_u64(&out, *v);
+    } else if (const auto* v = std::get_if<std::vector<double>>(&value)) {
+      put_u8(&out, kTagDoubleArray);
+      put_u32(&out, static_cast<uint32_t>(v->size()));
+      for (double d : *v) put_f64(&out, d);
+    } else if (const auto* v = std::get_if<std::vector<ObjectId>>(&value)) {
+      put_u8(&out, kTagRefArray);
+      put_u32(&out, static_cast<uint32_t>(v->size()));
+      for (ObjectId ref : *v) put_u64(&out, ref);
+    }
+  }
+  return out;
+}
+
+Result<PersistentObject> PersistentObject::decode(std::string_view data) {
+  Cursor cursor{data};
+  PersistentObject object;
+  uint32_t field_count;
+  if (!cursor.u64(&object.id_) || !cursor.u32(&object.class_id_) ||
+      !cursor.u32(&field_count)) {
+    return Status(ErrorCode::kMalformed, "truncated object header");
+  }
+  object.values_.reserve(field_count);
+  for (uint32_t i = 0; i < field_count; ++i) {
+    uint8_t tag;
+    if (!cursor.u8(&tag)) {
+      return Status(ErrorCode::kMalformed, "truncated object field");
+    }
+    switch (tag) {
+      case kTagInt: {
+        uint64_t v;
+        if (!cursor.u64(&v)) {
+          return Status(ErrorCode::kMalformed, "truncated int field");
+        }
+        object.values_.emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case kTagDouble: {
+        double v;
+        if (!cursor.f64(&v)) {
+          return Status(ErrorCode::kMalformed, "truncated double field");
+        }
+        object.values_.emplace_back(v);
+        break;
+      }
+      case kTagString: {
+        std::string v;
+        if (!cursor.str(&v)) {
+          return Status(ErrorCode::kMalformed, "truncated string field");
+        }
+        object.values_.emplace_back(std::move(v));
+        break;
+      }
+      case kTagRef: {
+        uint64_t v;
+        if (!cursor.u64(&v)) {
+          return Status(ErrorCode::kMalformed, "truncated ref field");
+        }
+        object.values_.emplace_back(static_cast<ObjectId>(v));
+        break;
+      }
+      case kTagDoubleArray: {
+        uint32_t count;
+        if (!cursor.u32(&count)) {
+          return Status(ErrorCode::kMalformed, "truncated array field");
+        }
+        std::vector<double> values(count);
+        for (uint32_t j = 0; j < count; ++j) {
+          if (!cursor.f64(&values[j])) {
+            return Status(ErrorCode::kMalformed, "truncated array field");
+          }
+        }
+        object.values_.emplace_back(std::move(values));
+        break;
+      }
+      case kTagRefArray: {
+        uint32_t count;
+        if (!cursor.u32(&count)) {
+          return Status(ErrorCode::kMalformed, "truncated ref array");
+        }
+        std::vector<ObjectId> refs(count);
+        for (uint32_t j = 0; j < count; ++j) {
+          uint64_t v;
+          if (!cursor.u64(&v)) {
+            return Status(ErrorCode::kMalformed, "truncated ref array");
+          }
+          refs[j] = v;
+        }
+        object.values_.emplace_back(std::move(refs));
+        break;
+      }
+      default:
+        return Status(ErrorCode::kMalformed,
+                      "unknown field tag " + std::to_string(tag));
+    }
+  }
+  return object;
+}
+
+size_t PersistentObject::memory_bytes() const {
+  size_t total = sizeof(PersistentObject);
+  for (const Value& value : values_) {
+    total += sizeof(Value);
+    if (const auto* v = std::get_if<std::string>(&value)) {
+      total += v->capacity();
+    } else if (const auto* v = std::get_if<std::vector<double>>(&value)) {
+      total += v->capacity() * sizeof(double);
+    } else if (const auto* v = std::get_if<std::vector<ObjectId>>(&value)) {
+      total += v->capacity() * sizeof(ObjectId);
+    }
+  }
+  return total;
+}
+
+}  // namespace davpse::oodb

@@ -1,0 +1,58 @@
+// Persistent objects and the proprietary binary codec — the "binary
+// formatted objects such as doubles are typically more compact than
+// textual/XML representations" side of the paper's §3.2.4 comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "oodb/schema.h"
+#include "util/status.h"
+
+namespace davpse::oodb {
+
+/// Object identity. Sequential; segment locality falls out of
+/// allocation order (oid / segment_capacity).
+using ObjectId = uint64_t;
+inline constexpr ObjectId kNullObject = 0;
+
+using Value = std::variant<int64_t, double, std::string, ObjectId,
+                           std::vector<double>, std::vector<ObjectId>>;
+
+/// A persistent object: class id + one Value per schema field.
+class PersistentObject {
+ public:
+  PersistentObject() = default;
+  PersistentObject(const ClassDef& def, ObjectId id);
+
+  ObjectId id() const { return id_; }
+  uint32_t class_id() const { return class_id_; }
+  size_t field_count() const { return values_.size(); }
+
+  // Typed accessors; index must match the schema field's type
+  // (assert + default on mismatch, mirroring OODB codegen accessors).
+  int64_t get_int(size_t index) const;
+  double get_double(size_t index) const;
+  const std::string& get_string(size_t index) const;
+  ObjectId get_ref(size_t index) const;
+  const std::vector<double>& get_double_array(size_t index) const;
+  const std::vector<ObjectId>& get_ref_array(size_t index) const;
+
+  void set(size_t index, Value value);
+
+  /// Binary encoding (class id + tagged values).
+  std::string encode() const;
+  static Result<PersistentObject> decode(std::string_view data);
+
+  /// Rough in-memory footprint, used for cache accounting.
+  size_t memory_bytes() const;
+
+ private:
+  ObjectId id_ = kNullObject;
+  uint32_t class_id_ = 0;
+  std::vector<Value> values_;
+};
+
+}  // namespace davpse::oodb

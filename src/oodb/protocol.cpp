@@ -1,0 +1,68 @@
+#include "oodb/protocol.h"
+
+#include <cstring>
+
+namespace davpse::oodb {
+
+Status write_frame(net::Stream* stream, Op op, std::string_view payload) {
+  std::string header(5, '\0');
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(header.data(), &len, 4);
+  header[4] = static_cast<char>(op);
+  DAVPSE_RETURN_IF_ERROR(stream->write(header));
+  if (!payload.empty()) {
+    DAVPSE_RETURN_IF_ERROR(stream->write(payload));
+  }
+  return Status::ok();
+}
+
+Result<Frame> read_frame(net::Stream* stream) {
+  char header[5];
+  DAVPSE_RETURN_IF_ERROR(stream->read_exact(header, sizeof header));
+  uint32_t len;
+  std::memcpy(&len, header, 4);
+  Frame frame;
+  frame.op = static_cast<Op>(static_cast<uint8_t>(header[4]));
+  frame.payload.resize(len);
+  if (len > 0) {
+    DAVPSE_RETURN_IF_ERROR(stream->read_exact(frame.payload.data(), len));
+  }
+  return frame;
+}
+
+void frame_put_u32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+void frame_put_u64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+void frame_put_bytes(std::string* out, std::string_view bytes) {
+  frame_put_u32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+bool FrameCursor::u32(uint32_t* v) {
+  if (pos + 4 > data.size()) return false;
+  std::memcpy(v, data.data() + pos, 4);
+  pos += 4;
+  return true;
+}
+
+bool FrameCursor::u64(uint64_t* v) {
+  if (pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + pos, 8);
+  pos += 8;
+  return true;
+}
+
+bool FrameCursor::bytes(std::string* v) {
+  uint32_t len;
+  if (!u32(&len) || pos + len > data.size()) return false;
+  v->assign(data.data() + pos, len);
+  pos += len;
+  return true;
+}
+
+}  // namespace davpse::oodb

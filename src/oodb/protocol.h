@@ -1,0 +1,51 @@
+// Binary wire protocol between the OODB page server and its clients.
+// Frames: u32 payload_length | u8 opcode | payload. Responses reuse
+// the frame with opcode kOk or kError (payload = message).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/stream.h"
+#include "util/status.h"
+
+namespace davpse::oodb {
+
+enum class Op : uint8_t {
+  kHello = 1,        // u64 schema fingerprint -> kOk | kError
+  kAlloc = 2,        // u64 count -> u64 first id
+  kWrite = 3,        // u32 n, n x (u32 len, bytes) -> kOk
+  kRead = 4,         // u64 id -> bytes
+  kReadSegment = 5,  // u32 segment -> u32 n, n x (u32 len, bytes)
+  kRemove = 6,       // u64 id -> kOk
+  kGetRoot = 7,      // string -> u64 id (0 if unset)
+  kSetRoot = 8,      // u32 len, name, u64 id -> kOk
+  kCommit = 9,       // -> kOk (persists the store image)
+  kStats = 10,       // -> u64 object count, u64 image bytes
+  kOk = 200,
+  kError = 201,
+};
+
+struct Frame {
+  Op op;
+  std::string payload;
+};
+
+Status write_frame(net::Stream* stream, Op op, std::string_view payload);
+Result<Frame> read_frame(net::Stream* stream);
+
+// Payload encoding helpers (little-endian, matching the object codec).
+void frame_put_u32(std::string* out, uint32_t v);
+void frame_put_u64(std::string* out, uint64_t v);
+void frame_put_bytes(std::string* out, std::string_view bytes);
+
+struct FrameCursor {
+  std::string_view data;
+  size_t pos = 0;
+  bool u32(uint32_t* v);
+  bool u64(uint64_t* v);
+  bool bytes(std::string* v);
+};
+
+}  // namespace davpse::oodb

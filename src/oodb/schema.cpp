@@ -1,0 +1,143 @@
+#include "oodb/schema.h"
+
+#include <cstring>
+
+namespace davpse::oodb {
+namespace {
+
+/// FNV-1a, applied field by field for a stable schema fingerprint.
+uint64_t fnv1a(uint64_t hash, std::string_view data) {
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void put_u32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+void put_str(std::string* out, std::string_view s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool get_u32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool get_str(std::string_view in, size_t* pos, std::string* s) {
+  uint32_t len;
+  if (!get_u32(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+int ClassDef::field_index(std::string_view field_name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::add_class(std::string name, std::vector<FieldDef> fields) {
+  if (compiled_) {
+    return error(ErrorCode::kInvalidArgument,
+                 "schema is compiled; classes can no longer be added "
+                 "(schema evolution requires a recompilation cycle)");
+  }
+  if (by_name_.contains(name)) {
+    return error(ErrorCode::kAlreadyExists, "duplicate class: " + name);
+  }
+  by_name_[name] = classes_.size();
+  ClassDef def;
+  def.name = std::move(name);
+  def.fields = std::move(fields);
+  classes_.push_back(std::move(def));
+  return Status::ok();
+}
+
+Status Schema::compile() {
+  if (compiled_) {
+    return error(ErrorCode::kInvalidArgument, "schema already compiled");
+  }
+  uint64_t hash = 14695981039346656037ULL;
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    classes_[i].class_id = static_cast<uint32_t>(i + 1);
+    hash = fnv1a(hash, classes_[i].name);
+    for (const FieldDef& field : classes_[i].fields) {
+      hash = fnv1a(hash, field.name);
+      char type_byte = static_cast<char>(field.type);
+      hash = fnv1a(hash, std::string_view(&type_byte, 1));
+    }
+  }
+  fingerprint_ = hash;
+  compiled_ = true;
+  return Status::ok();
+}
+
+const ClassDef* Schema::find(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &classes_[it->second];
+}
+
+const ClassDef* Schema::find(uint32_t class_id) const {
+  if (class_id == 0 || class_id > classes_.size()) return nullptr;
+  return &classes_[class_id - 1];
+}
+
+uint64_t Schema::fingerprint() const { return fingerprint_; }
+
+std::string Schema::serialize() const {
+  std::string out;
+  put_u32(&out, static_cast<uint32_t>(classes_.size()));
+  for (const ClassDef& def : classes_) {
+    put_str(&out, def.name);
+    put_u32(&out, static_cast<uint32_t>(def.fields.size()));
+    for (const FieldDef& field : def.fields) {
+      put_str(&out, field.name);
+      out += static_cast<char>(field.type);
+    }
+  }
+  return out;
+}
+
+Result<Schema> Schema::deserialize(std::string_view data) {
+  Schema schema;
+  size_t pos = 0;
+  uint32_t class_count;
+  if (!get_u32(data, &pos, &class_count)) {
+    return Status(ErrorCode::kMalformed, "truncated schema");
+  }
+  for (uint32_t i = 0; i < class_count; ++i) {
+    std::string name;
+    uint32_t field_count;
+    if (!get_str(data, &pos, &name) || !get_u32(data, &pos, &field_count)) {
+      return Status(ErrorCode::kMalformed, "truncated schema class");
+    }
+    std::vector<FieldDef> fields;
+    fields.reserve(field_count);
+    for (uint32_t j = 0; j < field_count; ++j) {
+      FieldDef field;
+      if (!get_str(data, &pos, &field.name) || pos >= data.size()) {
+        return Status(ErrorCode::kMalformed, "truncated schema field");
+      }
+      field.type = static_cast<FieldType>(data[pos++]);
+      fields.push_back(std::move(field));
+    }
+    DAVPSE_RETURN_IF_ERROR(schema.add_class(std::move(name),
+                                            std::move(fields)));
+  }
+  DAVPSE_RETURN_IF_ERROR(schema.compile());
+  return schema;
+}
+
+}  // namespace davpse::oodb

@@ -1,0 +1,77 @@
+// OODBMS schema model. The paper's Ecce 1.5 kept "70 classes 'marked'
+// for persistent storage" in a commercial OODB whose pain points it
+// catalogs: proprietary binary formats, tight language coupling, and
+// "a schema evolution process made painful by outdated
+// schema/application compilation cycles". This module reproduces that
+// contract: classes are declared, then compile() freezes them into
+// numbered layouts; a client whose compiled fingerprint differs from
+// the store's refuses to open (the compilation-cycle pain, observable
+// in tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace davpse::oodb {
+
+enum class FieldType : uint8_t {
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kBytes = 4,
+  kObjectRef = 5,    // ObjectId of another persistent object
+  kDoubleArray = 6,  // n-dimensional property payloads
+  kRefArray = 7,     // one-to-many relationship
+};
+
+struct FieldDef {
+  std::string name;
+  FieldType type;
+};
+
+struct ClassDef {
+  uint32_t class_id = 0;  // assigned by compile()
+  std::string name;
+  std::vector<FieldDef> fields;
+
+  /// Index of a field by name; -1 if absent.
+  int field_index(std::string_view field_name) const;
+};
+
+class Schema {
+ public:
+  /// Declares a class; must precede compile(). kAlreadyExists on
+  /// duplicate names.
+  Status add_class(std::string name, std::vector<FieldDef> fields);
+
+  /// Freezes the schema: assigns class ids in declaration order and
+  /// computes the fingerprint. No further add_class() calls.
+  Status compile();
+  bool compiled() const { return compiled_; }
+
+  const ClassDef* find(std::string_view name) const;
+  const ClassDef* find(uint32_t class_id) const;
+  size_t class_count() const { return classes_.size(); }
+  const std::vector<ClassDef>& classes() const { return classes_; }
+
+  /// Stable hash over every class and field; two applications can
+  /// share a store only if their fingerprints match.
+  uint64_t fingerprint() const;
+
+  /// Binary round trip (the schema is persisted inside the store).
+  std::string serialize() const;
+  static Result<Schema> deserialize(std::string_view data);
+
+ private:
+  std::vector<ClassDef> classes_;
+  std::map<std::string, size_t, std::less<>> by_name_;
+  bool compiled_ = false;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace davpse::oodb

@@ -1,0 +1,177 @@
+#include "oodb/server.h"
+
+#include "util/log.h"
+
+namespace davpse::oodb {
+
+OodbServer::OodbServer(OodbServerConfig config,
+                       std::unique_ptr<SegmentStore> store)
+    : config_(std::move(config)), store_(std::move(store)) {}
+
+OodbServer::~OodbServer() { stop(); }
+
+Status OodbServer::start() { return start(net::Network::instance()); }
+
+Status OodbServer::start(net::Network& network) {
+  auto listener = network.listen(config_.endpoint);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  running_.store(true);
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  threads_.emplace_back([this] { accept_loop(); });
+  return Status::ok();
+}
+
+void OodbServer::stop() {
+  running_.store(false);
+  if (listener_) listener_->shutdown();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads.swap(threads_);
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  listener_.reset();
+}
+
+void OodbServer::accept_loop() {
+  while (running_.load()) {
+    auto stream = listener_->accept();
+    if (!stream.ok()) return;
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back(
+        [this, s = std::move(stream).value()]() mutable {
+          serve_session(std::move(s));
+        });
+  }
+}
+
+Result<std::string> OodbServer::dispatch(Op op, std::string_view payload,
+                                         bool* hello_ok) {
+  FrameCursor cursor{payload};
+  switch (op) {
+    case Op::kHello: {
+      uint64_t fingerprint;
+      if (!cursor.u64(&fingerprint)) {
+        return Status(ErrorCode::kMalformed, "bad HELLO payload");
+      }
+      if (fingerprint != store_->schema().fingerprint()) {
+        return Status(ErrorCode::kConflict,
+                      "schema fingerprint mismatch: client must be "
+                      "recompiled against the store schema");
+      }
+      *hello_ok = true;
+      return std::string();
+    }
+    case Op::kAlloc: {
+      uint64_t count;
+      if (!cursor.u64(&count) || count == 0) {
+        return Status(ErrorCode::kMalformed, "bad ALLOC payload");
+      }
+      std::string reply;
+      frame_put_u64(&reply, store_->allocate(count));
+      return reply;
+    }
+    case Op::kWrite: {
+      uint32_t count;
+      if (!cursor.u32(&count)) {
+        return Status(ErrorCode::kMalformed, "bad WRITE payload");
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string encoded;
+        if (!cursor.bytes(&encoded)) {
+          return Status(ErrorCode::kMalformed, "truncated WRITE object");
+        }
+        DAVPSE_RETURN_IF_ERROR(store_->write_encoded(std::move(encoded)));
+      }
+      return std::string();
+    }
+    case Op::kRead: {
+      uint64_t id;
+      if (!cursor.u64(&id)) {
+        return Status(ErrorCode::kMalformed, "bad READ payload");
+      }
+      return store_->read_encoded(id);
+    }
+    case Op::kReadSegment: {
+      uint32_t segment;
+      if (!cursor.u32(&segment)) {
+        return Status(ErrorCode::kMalformed, "bad READ_SEGMENT payload");
+      }
+      auto objects = store_->read_segment(segment);
+      std::string reply;
+      frame_put_u32(&reply, static_cast<uint32_t>(objects.size()));
+      for (const auto& encoded : objects) {
+        frame_put_bytes(&reply, encoded);
+      }
+      return reply;
+    }
+    case Op::kRemove: {
+      uint64_t id;
+      if (!cursor.u64(&id)) {
+        return Status(ErrorCode::kMalformed, "bad REMOVE payload");
+      }
+      DAVPSE_RETURN_IF_ERROR(store_->remove(id));
+      return std::string();
+    }
+    case Op::kGetRoot: {
+      std::string name;
+      if (!cursor.bytes(&name)) {
+        return Status(ErrorCode::kMalformed, "bad GET_ROOT payload");
+      }
+      std::string reply;
+      frame_put_u64(&reply, store_->get_root(name));
+      return reply;
+    }
+    case Op::kSetRoot: {
+      std::string name;
+      uint64_t id;
+      if (!cursor.bytes(&name) || !cursor.u64(&id)) {
+        return Status(ErrorCode::kMalformed, "bad SET_ROOT payload");
+      }
+      store_->set_root(name, id);
+      return std::string();
+    }
+    case Op::kCommit: {
+      if (!config_.store_file.empty()) {
+        DAVPSE_RETURN_IF_ERROR(store_->save(config_.store_file));
+      }
+      return std::string();
+    }
+    case Op::kStats: {
+      std::string reply;
+      frame_put_u64(&reply, store_->object_count());
+      frame_put_u64(&reply, store_->image_bytes());
+      return reply;
+    }
+    default:
+      return Status(ErrorCode::kUnsupported,
+                    "unknown opcode " +
+                        std::to_string(static_cast<int>(op)));
+  }
+}
+
+void OodbServer::serve_session(std::unique_ptr<net::Stream> stream) {
+  bool hello_ok = false;
+  while (running_.load()) {
+    auto frame = read_frame(stream.get());
+    if (!frame.ok()) return;  // client went away
+    if (!hello_ok && frame.value().op != Op::kHello) {
+      (void)write_frame(stream.get(), Op::kError,
+                        "HELLO required before other operations");
+      continue;
+    }
+    auto reply = dispatch(frame.value().op, frame.value().payload,
+                          &hello_ok);
+    Status write_status =
+        reply.ok()
+            ? write_frame(stream.get(), Op::kOk, reply.value())
+            : write_frame(stream.get(), Op::kError,
+                          reply.status().to_string());
+    if (!write_status.is_ok()) return;
+  }
+}
+
+}  // namespace davpse::oodb

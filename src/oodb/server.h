@@ -1,0 +1,53 @@
+// The OODB page server: owns a SegmentStore, serves the binary
+// protocol, persists the store image on commit. Stands in for the
+// commercial OODBMS server Ecce 1.5 ran against.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/network.h"
+#include "oodb/protocol.h"
+#include "oodb/store.h"
+#include "util/status.h"
+
+namespace davpse::oodb {
+
+struct OodbServerConfig {
+  std::string endpoint;
+  std::filesystem::path store_file;  // image persisted here on commit
+};
+
+class OodbServer {
+ public:
+  /// Serves an existing store (takes ownership).
+  OodbServer(OodbServerConfig config, std::unique_ptr<SegmentStore> store);
+  ~OodbServer();
+
+  OodbServer(const OodbServer&) = delete;
+  OodbServer& operator=(const OodbServer&) = delete;
+
+  Status start();
+  Status start(net::Network& network);
+  void stop();
+
+  SegmentStore& store() { return *store_; }
+
+ private:
+  void accept_loop();
+  void serve_session(std::unique_ptr<net::Stream> stream);
+  Result<std::string> dispatch(Op op, std::string_view payload, bool* hello_ok);
+
+  OodbServerConfig config_;
+  std::unique_ptr<SegmentStore> store_;
+  std::unique_ptr<net::Listener> listener_;
+  std::vector<std::thread> threads_;
+  std::mutex threads_mutex_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace davpse::oodb

@@ -1,0 +1,251 @@
+#include "oodb/store.h"
+
+#include <cstring>
+
+#include "util/fs.h"
+
+namespace davpse::oodb {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'P', 'O', 'O', 'D', 'B', '1', 0};
+
+void put_u32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+void put_str(std::string* out, std::string_view s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+struct Cursor {
+  std::string_view data;
+  size_t pos = 0;
+  bool u32(uint32_t* v) {
+    if (pos + 4 > data.size()) return false;
+    std::memcpy(v, data.data() + pos, 4);
+    pos += 4;
+    return true;
+  }
+  bool u64(uint64_t* v) {
+    if (pos + 8 > data.size()) return false;
+    std::memcpy(v, data.data() + pos, 8);
+    pos += 8;
+    return true;
+  }
+  bool str(std::string* v) {
+    uint32_t len;
+    if (!u32(&len) || pos + len > data.size()) return false;
+    v->assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+}  // namespace
+
+ObjectId SegmentStore::allocate(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId first = next_id_;
+  next_id_ += count;
+  return first;
+}
+
+Status SegmentStore::write(const PersistentObject& object) {
+  return write_encoded(object.encode());
+}
+
+Status SegmentStore::write_encoded(std::string encoded) {
+  auto decoded = PersistentObject::decode(encoded);
+  if (!decoded.ok()) return decoded.status();
+  ObjectId id = decoded.value().id();
+  if (id == kNullObject) {
+    return error(ErrorCode::kInvalidArgument, "object has no id");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= next_id_) next_id_ = id + 1;
+  objects_[id] = std::move(encoded);
+  return Status::ok();
+}
+
+Result<PersistentObject> SegmentStore::read(ObjectId id) const {
+  auto encoded = read_encoded(id);
+  if (!encoded.ok()) return encoded.status();
+  return PersistentObject::decode(encoded.value());
+}
+
+Result<std::string> SegmentStore::read_encoded(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status(ErrorCode::kNotFound,
+                  "no object with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<std::string> SegmentStore::read_segment(uint32_t segment) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId first = static_cast<ObjectId>(segment) * kSegmentCapacity + 1;
+  ObjectId last = first + kSegmentCapacity;  // exclusive
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(first);
+       it != objects_.end() && it->first < last; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Status SegmentStore::remove(ObjectId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.erase(id) == 0) {
+    return error(ErrorCode::kNotFound,
+                 "no object with id " + std::to_string(id));
+  }
+  return Status::ok();
+}
+
+bool SegmentStore::contains(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.contains(id);
+}
+
+uint64_t SegmentStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.size();
+}
+
+void SegmentStore::set_root(const std::string& name, ObjectId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  roots_[name] = id;
+}
+
+ObjectId SegmentStore::get_root(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = roots_.find(name);
+  return it == roots_.end() ? kNullObject : it->second;
+}
+
+std::vector<std::string> SegmentStore::root_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(roots_.size());
+  for (const auto& [name, id] : roots_) out.push_back(name);
+  return out;
+}
+
+std::vector<ObjectId> SegmentStore::all_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, encoded] : objects_) out.push_back(id);
+  return out;
+}
+
+std::string SegmentStore::build_image() const {
+  std::string image;
+  image.append(kMagic, sizeof kMagic);
+  put_u64(&image, next_id_);
+  std::string schema_blob = schema_.serialize();
+  put_str(&image, schema_blob);
+  put_u32(&image, static_cast<uint32_t>(roots_.size()));
+  for (const auto& [name, id] : roots_) {
+    put_str(&image, name);
+    put_u64(&image, id);
+  }
+  // Header block reservation ("hidden" store bookkeeping).
+  if (image.size() < kStoreHeaderBytes) {
+    image.resize(kStoreHeaderBytes, '\0');
+  }
+  // Segments in ascending order, each followed by its hidden index
+  // space.
+  auto it = objects_.begin();
+  while (it != objects_.end()) {
+    uint32_t segment = segment_of(it->first);
+    std::string segment_block;
+    uint32_t count = 0;
+    while (it != objects_.end() && segment_of(it->first) == segment) {
+      put_str(&segment_block, it->second);
+      ++count;
+      ++it;
+    }
+    put_u32(&image, segment);
+    put_u32(&image, count);
+    image += segment_block;
+    image.append(kHiddenSegmentBytes, '\0');
+  }
+  return image;
+}
+
+uint64_t SegmentStore::image_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return build_image().size();
+}
+
+Status SegmentStore::save(const std::filesystem::path& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_file_atomic(path, build_image());
+}
+
+Result<std::unique_ptr<SegmentStore>> SegmentStore::load(
+    const std::filesystem::path& path, const Schema& expected_schema) {
+  std::string image;
+  DAVPSE_RETURN_IF_ERROR(read_file(path, &image));
+  if (image.size() < kStoreHeaderBytes ||
+      std::memcmp(image.data(), kMagic, sizeof kMagic) != 0) {
+    return Status(ErrorCode::kMalformed, "bad OODB store image");
+  }
+  Cursor cursor{image, sizeof kMagic};
+  uint64_t next_id;
+  std::string schema_blob;
+  uint32_t root_count;
+  if (!cursor.u64(&next_id) || !cursor.str(&schema_blob) ||
+      !cursor.u32(&root_count)) {
+    return Status(ErrorCode::kMalformed, "truncated OODB store header");
+  }
+  auto stored_schema = Schema::deserialize(schema_blob);
+  if (!stored_schema.ok()) return stored_schema.status();
+  if (stored_schema.value().fingerprint() != expected_schema.fingerprint()) {
+    return Status(
+        ErrorCode::kConflict,
+        "schema mismatch: the store was written by an application "
+        "compiled against a different schema (fingerprint " +
+            std::to_string(stored_schema.value().fingerprint()) + " vs " +
+            std::to_string(expected_schema.fingerprint()) +
+            "); regenerate the store or recompile");
+  }
+  auto store_ptr =
+      std::make_unique<SegmentStore>(std::move(stored_schema).value());
+  SegmentStore& store = *store_ptr;
+  store.next_id_ = next_id;
+  for (uint32_t i = 0; i < root_count; ++i) {
+    std::string name;
+    uint64_t id;
+    if (!cursor.str(&name) || !cursor.u64(&id)) {
+      return Status(ErrorCode::kMalformed, "truncated OODB roots");
+    }
+    store.roots_[name] = id;
+  }
+  cursor.pos = kStoreHeaderBytes;
+  while (cursor.pos < image.size()) {
+    uint32_t segment, count;
+    if (!cursor.u32(&segment) || !cursor.u32(&count)) {
+      return Status(ErrorCode::kMalformed, "truncated OODB segment header");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string encoded;
+      if (!cursor.str(&encoded)) {
+        return Status(ErrorCode::kMalformed, "truncated OODB object");
+      }
+      auto decoded = PersistentObject::decode(encoded);
+      if (!decoded.ok()) return decoded.status();
+      store.objects_[decoded.value().id()] = std::move(encoded);
+    }
+    cursor.pos += kHiddenSegmentBytes;
+  }
+  return store_ptr;
+}
+
+}  // namespace davpse::oodb

@@ -1,0 +1,85 @@
+#include "util/base64.h"
+
+#include <array>
+#include <cstdint>
+
+namespace davpse {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<int8_t, 256> build_reverse() {
+  std::array<int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return table;
+}
+
+constexpr std::array<int8_t, 256> kReverse = build_reverse();
+
+}  // namespace
+
+std::string base64_encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8) |
+                 static_cast<unsigned char>(data[i + 2]);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += kAlphabet[n & 63];
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t n = static_cast<unsigned char>(data[i]) << 16;
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+bool base64_decode(std::string_view encoded, std::string* out) {
+  out->clear();
+  if (encoded.size() % 4 != 0) return false;
+  out->reserve(encoded.size() / 4 * 3);
+  for (size_t i = 0; i < encoded.size(); i += 4) {
+    int pad = 0;
+    uint32_t n = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      char c = encoded[i + j];
+      if (c == '=') {
+        // Padding may only appear in the final two positions of the
+        // final quantum.
+        if (i + 4 != encoded.size() || j < 2) return false;
+        ++pad;
+        n <<= 6;
+        continue;
+      }
+      if (pad > 0) return false;  // data after '='
+      int8_t v = kReverse[static_cast<unsigned char>(c)];
+      if (v < 0) return false;
+      n = (n << 6) | static_cast<uint32_t>(v);
+    }
+    *out += static_cast<char>((n >> 16) & 0xFF);
+    if (pad < 2) *out += static_cast<char>((n >> 8) & 0xFF);
+    if (pad < 1) *out += static_cast<char>(n & 0xFF);
+  }
+  return true;
+}
+
+}  // namespace davpse

@@ -1,0 +1,14 @@
+// Base64 (RFC 4648) — needed for HTTP Basic authentication.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace davpse {
+
+std::string base64_encode(std::string_view data);
+
+/// Strict decode: returns false on bad characters or bad padding.
+bool base64_decode(std::string_view encoded, std::string* out);
+
+}  // namespace davpse

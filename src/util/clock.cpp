@@ -1,0 +1,25 @@
+#include "util/clock.h"
+
+#include <ctime>
+
+namespace davpse {
+namespace {
+
+double clock_seconds(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+double wall_time_seconds() { return clock_seconds(CLOCK_MONOTONIC); }
+
+double thread_cpu_seconds() { return clock_seconds(CLOCK_THREAD_CPUTIME_ID); }
+
+double process_cpu_seconds() {
+  return clock_seconds(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+}  // namespace davpse

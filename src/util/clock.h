@@ -1,0 +1,38 @@
+// Timing for the benchmark harness. Table 1 of the paper reports both
+// *elapsed* and *CPU* time to separate client-side processing from
+// server/network cost; StopWatch mirrors that split.
+#pragma once
+
+#include <cstdint>
+
+namespace davpse {
+
+/// Monotonic wall-clock time in seconds.
+double wall_time_seconds();
+
+/// CPU time consumed by the calling *thread*, in seconds. Used to
+/// attribute client-side processing cost the way Table 1 does.
+double thread_cpu_seconds();
+
+/// CPU time consumed by the whole process (all threads), in seconds.
+double process_cpu_seconds();
+
+/// Measures an interval in both wall and calling-thread CPU time.
+class StopWatch {
+ public:
+  StopWatch() { restart(); }
+
+  void restart() {
+    wall_start_ = wall_time_seconds();
+    cpu_start_ = thread_cpu_seconds();
+  }
+
+  double elapsed_wall() const { return wall_time_seconds() - wall_start_; }
+  double elapsed_cpu() const { return thread_cpu_seconds() - cpu_start_; }
+
+ private:
+  double wall_start_ = 0;
+  double cpu_start_ = 0;
+};
+
+}  // namespace davpse

@@ -1,0 +1,106 @@
+#include "util/fs.h"
+
+#include <atomic>
+#include <fstream>
+#include <random>
+#include <system_error>
+
+namespace davpse {
+
+namespace fs = std::filesystem;
+
+Status read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return error(ErrorCode::kNotFound, "cannot open " + path.string());
+  }
+  in.seekg(0, std::ios::end);
+  auto size = in.tellg();
+  if (size < 0) {
+    return error(ErrorCode::kInternal, "cannot stat " + path.string());
+  }
+  out->resize(static_cast<size_t>(size));
+  in.seekg(0);
+  in.read(out->data(), size);
+  if (!in) {
+    return error(ErrorCode::kInternal, "short read on " + path.string());
+  }
+  return Status::ok();
+}
+
+Status write_file_atomic(const fs::path& path, std::string_view data) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return error(ErrorCode::kInternal, "cannot create " + tmp.string());
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return error(ErrorCode::kInternal, "short write on " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return error(ErrorCode::kInternal, "rename failed for " + path.string());
+  }
+  return Status::ok();
+}
+
+std::uint64_t disk_usage(const fs::path& root) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    return static_cast<std::uint64_t>(fs::file_size(root, ec));
+  }
+  std::uint64_t total = 0;
+  if (!fs::is_directory(root, ec)) return 0;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) {
+      total += static_cast<std::uint64_t>(it->file_size(ec));
+    }
+  }
+  return total;
+}
+
+Status copy_tree(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::copy(from, to,
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+           ec);
+  if (ec) {
+    return error(ErrorCode::kInternal,
+                 "copy " + from.string() + " -> " + to.string() + ": " +
+                     ec.message());
+  }
+  return Status::ok();
+}
+
+TempDir::TempDir(std::string_view prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::random_device rd;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    auto candidate =
+        fs::temp_directory_path() /
+        (std::string(prefix) + "-" + std::to_string(rd() % 1000000) + "-" +
+         std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec) && !ec) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw std::runtime_error("TempDir: could not create a unique directory");
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);  // best effort; never throws in a dtor
+  }
+}
+
+}  // namespace davpse

@@ -1,0 +1,47 @@
+// Filesystem helpers shared by the DAV repository, the DBM engines and
+// the OODB segment files: whole-file IO, recursive disk accounting, and
+// RAII temporary directories for tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "util/status.h"
+
+namespace davpse {
+
+/// Reads the whole file into `out`. kNotFound if missing.
+Status read_file(const std::filesystem::path& path, std::string* out);
+
+/// Atomically replaces `path` with `data` (write temp + rename) so a
+/// crashed writer never leaves a half-written document behind.
+Status write_file_atomic(const std::filesystem::path& path,
+                         std::string_view data);
+
+/// Sum of file sizes under `root` (the §3.2.4 disk-usage metric). For
+/// DBM files this is the *allocated* size including preallocated,
+/// unused bucket space — exactly what the paper measured.
+std::uint64_t disk_usage(const std::filesystem::path& root);
+
+/// Recursively copies `from` to `to` (used by DAV COPY on collections).
+Status copy_tree(const std::filesystem::path& from,
+                 const std::filesystem::path& to);
+
+/// Creates a unique directory under the system temp dir and removes it
+/// (recursively) on destruction.
+class TempDir {
+ public:
+  explicit TempDir(std::string_view prefix = "davpse");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace davpse

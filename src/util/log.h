@@ -1,0 +1,49 @@
+// Tiny leveled logger. Thread-safe (single mutex around emission);
+// defaults to warnings-and-up so benches stay quiet unless asked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace davpse {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[WARN] message") to stderr under a mutex.
+void log_message(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace davpse
+
+#define DAVPSE_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::davpse::log_level())) \
+    ;                                                       \
+  else                                                      \
+    ::davpse::internal::LogLine(level)
+
+#define DAVPSE_LOG_DEBUG DAVPSE_LOG(::davpse::LogLevel::kDebug)
+#define DAVPSE_LOG_INFO DAVPSE_LOG(::davpse::LogLevel::kInfo)
+#define DAVPSE_LOG_WARN DAVPSE_LOG(::davpse::LogLevel::kWarn)
+#define DAVPSE_LOG_ERROR DAVPSE_LOG(::davpse::LogLevel::kError)

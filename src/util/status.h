@@ -1,0 +1,109 @@
+// Lightweight Status / Result<T> error propagation for recoverable,
+// expected failures (protocol errors, missing resources, malformed
+// input). Programming errors (precondition violations) use assertions
+// and exceptions instead; see C++ Core Guidelines E.2/E.14.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace davpse {
+
+/// Coarse error taxonomy shared by every layer in the stack. HTTP and
+/// DAV status codes map onto these on the client side; substrates (dbm,
+/// oodb, net) use them directly.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // resource / key / endpoint does not exist
+  kAlreadyExists,   // create of something that exists
+  kInvalidArgument, // malformed input at an API boundary
+  kMalformed,       // malformed wire data (XML, HTTP framing, ...)
+  kConflict,        // DAV 409: missing intermediate collection, etc.
+  kLocked,          // DAV 423
+  kTooLarge,        // exceeds configured/engine limit (413)
+  kPermissionDenied,// auth failure (401/403)
+  kUnsupported,     // method/feature not implemented
+  kUnavailable,     // peer closed / endpoint down / retryable
+  kTimeout,         // blocking operation exceeded its deadline
+  kInternal,        // invariant broke on the other side (500)
+};
+
+/// Human-readable code name, e.g. "NOT_FOUND".
+std::string_view error_code_name(ErrorCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NOT_FOUND: no such resource /a/b" or "OK".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// A value-or-Status. `value()` asserts success; callers test `ok()`
+/// (or `status()`) first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result from Status requires an error");
+  }
+
+  bool ok() const { return status_.is_ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace davpse
+
+/// Propagate an error Status from an expression yielding Status.
+#define DAVPSE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::davpse::Status davpse_status__ = (expr);        \
+    if (!davpse_status__.is_ok()) return davpse_status__; \
+  } while (0)

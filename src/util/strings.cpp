@@ -1,0 +1,154 @@
+#include "util/strings.h"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+
+namespace davpse {
+namespace {
+
+bool is_ascii_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+bool is_unreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && is_ascii_space(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && is_ascii_space(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_skip_empty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (auto& piece : split(s, sep)) {
+    if (!piece.empty()) out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::string ascii_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string percent_encode_path(std::string_view path) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    if (is_unreserved(c) || c == '/') {
+      out += c;
+    } else {
+      auto byte = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[byte >> 4];
+      out += kHex[byte & 0xF];
+    }
+  }
+  return out;
+}
+
+bool percent_decode(std::string_view in, std::string* out) {
+  out->clear();
+  out->reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      *out += in[i];
+      continue;
+    }
+    if (i + 2 >= in.size()) return false;
+    int hi = hex_value(in[i + 1]);
+    int lo = hex_value(in[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    *out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return true;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB",
+                                                        "TB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  return buf;
+}
+
+}  // namespace davpse

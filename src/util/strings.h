@@ -1,0 +1,46 @@
+// Small string utilities used across the protocol stack: trimming,
+// splitting, ASCII case handling (HTTP headers are case-insensitive),
+// and percent-encoding (URIs).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace davpse {
+
+/// Removes leading/trailing ASCII whitespace (space, \t, \r, \n).
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields. split("a,,b", ',') -> {a,"",b}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on `sep`, dropping empty fields (useful for path segments).
+std::vector<std::string> split_skip_empty(std::string_view s, char sep);
+
+/// ASCII-lowercases a copy (HTTP header names, method tokens).
+std::string ascii_lower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins parts with `sep` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Percent-encodes everything outside RFC 3986 "unreserved" plus '/'.
+/// Suitable for encoding a whole URI path in one call.
+std::string percent_encode_path(std::string_view path);
+
+/// Percent-decodes; returns false on malformed escapes ("%zz", "%4").
+bool percent_decode(std::string_view in, std::string* out);
+
+/// Formats like "12.3 MB" / "512 B" for reports.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats seconds with millisecond precision, e.g. "3.482 s".
+std::string format_seconds(double seconds);
+
+}  // namespace davpse

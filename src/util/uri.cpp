@@ -1,0 +1,123 @@
+#include "util/uri.h"
+
+#include "util/strings.h"
+
+namespace davpse {
+
+std::string Uri::encoded_path() const { return percent_encode_path(path); }
+
+std::string Uri::to_string() const {
+  if (scheme.empty()) return encoded_path();
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += ":" + std::to_string(port);
+  out += encoded_path();
+  return out;
+}
+
+Result<Uri> parse_uri(std::string_view raw) {
+  if (raw.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty URI");
+  }
+  Uri uri;
+  std::string_view rest = raw;
+  auto scheme_end = rest.find("://");
+  if (scheme_end != std::string_view::npos) {
+    uri.scheme = ascii_lower(rest.substr(0, scheme_end));
+    rest.remove_prefix(scheme_end + 3);
+    auto path_begin = rest.find('/');
+    std::string_view authority =
+        path_begin == std::string_view::npos ? rest : rest.substr(0, path_begin);
+    rest = path_begin == std::string_view::npos ? std::string_view("/")
+                                                : rest.substr(path_begin);
+    auto colon = authority.rfind(':');
+    if (colon != std::string_view::npos) {
+      uri.host = std::string(authority.substr(0, colon));
+      auto port_str = authority.substr(colon + 1);
+      int port = 0;
+      for (char c : port_str) {
+        if (c < '0' || c > '9') {
+          return Status(ErrorCode::kInvalidArgument, "bad port in URI");
+        }
+        port = port * 10 + (c - '0');
+        if (port > 65535) {
+          return Status(ErrorCode::kInvalidArgument, "port out of range");
+        }
+      }
+      uri.port = port;
+    } else {
+      uri.host = std::string(authority);
+    }
+    if (uri.host.empty()) {
+      return Status(ErrorCode::kInvalidArgument, "empty host in URI");
+    }
+  }
+  if (rest.empty() || rest[0] != '/') {
+    return Status(ErrorCode::kInvalidArgument,
+                  "URI path must start with '/': " + std::string(raw));
+  }
+  // Strip query/fragment; DAV resources are identified by path alone.
+  auto cut = rest.find_first_of("?#");
+  if (cut != std::string_view::npos) rest = rest.substr(0, cut);
+  std::string decoded;
+  if (!percent_decode(rest, &decoded)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "malformed percent escape in URI path");
+  }
+  uri.path = std::move(decoded);
+  return uri;
+}
+
+Result<std::string> normalize_path(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status(ErrorCode::kInvalidArgument,
+                  "path must be absolute: " + std::string(path));
+  }
+  std::vector<std::string> stack;
+  for (auto& seg : split_skip_empty(path, '/')) {
+    if (seg == ".") continue;
+    if (seg == "..") {
+      if (stack.empty()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "path escapes root: " + std::string(path));
+      }
+      stack.pop_back();
+      continue;
+    }
+    stack.push_back(std::move(seg));
+  }
+  if (stack.empty()) return std::string("/");
+  return "/" + join(stack, "/");
+}
+
+std::vector<std::string> path_segments(std::string_view normalized) {
+  return split_skip_empty(normalized, '/');
+}
+
+std::string parent_path(std::string_view normalized) {
+  if (normalized == "/") return "/";
+  auto slash = normalized.rfind('/');
+  if (slash == 0) return "/";
+  return std::string(normalized.substr(0, slash));
+}
+
+std::string basename_of(std::string_view normalized) {
+  if (normalized == "/") return "";
+  auto slash = normalized.rfind('/');
+  return std::string(normalized.substr(slash + 1));
+}
+
+std::string join_path(std::string_view parent, std::string_view child) {
+  std::string out(parent);
+  if (out.empty() || out.back() != '/') out += '/';
+  out += child;
+  return out;
+}
+
+bool path_is_within(std::string_view descendant, std::string_view ancestor) {
+  if (ancestor == "/") return true;
+  if (!starts_with(descendant, ancestor)) return false;
+  return descendant.size() == ancestor.size() ||
+         descendant[ancestor.size()] == '/';
+}
+
+}  // namespace davpse

@@ -1,0 +1,48 @@
+// Minimal URI handling for the HTTP/DAV stack: absolute-URI and
+// path-only parsing, plus the path normalization DAV needs to compare
+// and traverse resource hierarchies safely (no ".." escapes).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace davpse {
+
+struct Uri {
+  std::string scheme;  // "http" (empty for path-only references)
+  std::string host;    // endpoint name in the in-memory network
+  int port = 0;        // 0 = unspecified
+  std::string path;    // percent-DECODED, always starts with '/'
+
+  /// Re-encodes the path for the wire.
+  std::string encoded_path() const;
+  std::string to_string() const;
+};
+
+/// Parses "http://host[:port]/path" or "/path". Decodes percent
+/// escapes in the path. Rejects empty input and malformed escapes.
+Result<Uri> parse_uri(std::string_view raw);
+
+/// Collapses "//" and ".", rejects paths that escape the root via
+/// "..". Result has a leading '/' and no trailing '/' (except root).
+Result<std::string> normalize_path(std::string_view path);
+
+/// Splits a normalized path into segments ("/a/b" -> {"a","b"}).
+std::vector<std::string> path_segments(std::string_view normalized);
+
+/// Parent of a normalized path ("/a/b" -> "/a", "/a" -> "/").
+std::string parent_path(std::string_view normalized);
+
+/// Last segment ("/a/b" -> "b"); empty for root.
+std::string basename_of(std::string_view normalized);
+
+/// Joins parent + child segment with exactly one '/'.
+std::string join_path(std::string_view parent, std::string_view child);
+
+/// True if `descendant` == `ancestor` or lies strictly below it.
+bool path_is_within(std::string_view descendant, std::string_view ancestor);
+
+}  // namespace davpse

@@ -1,0 +1,105 @@
+#include "xml/dom.h"
+
+#include "xml/writer.h"
+
+namespace davpse::xml {
+
+std::string_view Element::attribute(std::string_view local) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name.ns.empty() && attr.name.local == local) return attr.value;
+  }
+  return {};
+}
+
+Element* Element::add_child(QName name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+const Element* Element::first_child(const QName& name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(const QName& name) const {
+  std::vector<const Element*> out;
+  for (const auto& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string_view Element::child_text(const QName& name) const {
+  const Element* child = first_child(name);
+  return child == nullptr ? std::string_view() : std::string_view(child->text());
+}
+
+namespace {
+
+void write_element(const Element& element, XmlWriter* writer) {
+  writer->start_element(element.name());
+  for (const auto& attr : element.attributes()) {
+    // Only no-namespace attributes are emitted (matches our writer).
+    if (attr.name.ns.empty()) {
+      writer->attribute(attr.name.local, attr.value);
+    }
+  }
+  if (!element.text().empty()) writer->text(element.text());
+  for (const auto& child : element.children()) {
+    write_element(*child, writer);
+  }
+  writer->end_element();
+}
+
+class DomBuilder final : public SaxHandler {
+ public:
+  void on_start_element(const QName& name,
+                        const std::vector<SaxAttribute>& attributes) override {
+    Element* element;
+    if (stack_.empty()) {
+      root_ = std::make_unique<Element>(name);
+      element = root_.get();
+    } else {
+      element = stack_.back()->add_child(name);
+    }
+    element->set_attributes(attributes);
+    stack_.push_back(element);
+  }
+
+  void on_end_element(const QName&) override { stack_.pop_back(); }
+
+  void on_characters(std::string_view text) override {
+    if (!stack_.empty()) stack_.back()->append_text(text);
+  }
+
+  ElementPtr take_root() { return std::move(root_); }
+
+ private:
+  ElementPtr root_;
+  std::vector<Element*> stack_;
+};
+
+}  // namespace
+
+std::string Element::to_xml() const {
+  XmlWriter writer;
+  write_element(*this, &writer);
+  return writer.take();
+}
+
+size_t Element::subtree_size() const {
+  size_t count = 1;
+  for (const auto& child : children_) count += child->subtree_size();
+  return count;
+}
+
+Result<ElementPtr> parse_document(std::string_view xml) {
+  DomBuilder builder;
+  SaxParser parser;
+  DAVPSE_RETURN_IF_ERROR(parser.parse(xml, &builder));
+  return builder.take_root();
+}
+
+}  // namespace davpse::xml

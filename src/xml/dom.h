@@ -1,0 +1,64 @@
+// Document Object Model: a fully materialized element tree. Built on
+// the SAX tokenizer; deliberately allocates one node per element and
+// copies all character data so that the DOM-vs-SAX ablation reproduces
+// the overhead the paper measured with Xerces DOM.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/qname.h"
+#include "xml/sax.h"
+
+namespace davpse::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+class Element {
+ public:
+  explicit Element(QName name) : name_(std::move(name)) {}
+
+  const QName& name() const { return name_; }
+
+  const std::vector<SaxAttribute>& attributes() const { return attributes_; }
+  void set_attributes(std::vector<SaxAttribute> attributes) {
+    attributes_ = std::move(attributes);
+  }
+  /// Attribute lookup by no-namespace name; empty if absent.
+  std::string_view attribute(std::string_view local) const;
+
+  const std::vector<ElementPtr>& children() const { return children_; }
+  Element* add_child(QName name);
+
+  /// Concatenated direct text content (not recursive).
+  const std::string& text() const { return text_; }
+  void append_text(std::string_view text) { text_ += text; }
+
+  /// First direct child with the given name; nullptr if absent.
+  const Element* first_child(const QName& name) const;
+  /// All direct children with the given name.
+  std::vector<const Element*> children_named(const QName& name) const;
+  /// Text of the first child with that name; empty if absent.
+  std::string_view child_text(const QName& name) const;
+
+  /// Serializes this element (and subtree) back to markup.
+  std::string to_xml() const;
+
+  /// Number of elements in this subtree, including this one.
+  size_t subtree_size() const;
+
+ private:
+  QName name_;
+  std::vector<SaxAttribute> attributes_;
+  std::vector<ElementPtr> children_;
+  std::string text_;
+};
+
+/// Parses a document and returns its root element.
+Result<ElementPtr> parse_document(std::string_view xml);
+
+}  // namespace davpse::xml

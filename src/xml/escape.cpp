@@ -1,0 +1,75 @@
+#include "xml/escape.h"
+
+namespace davpse::xml {
+namespace {
+
+std::string escape_impl(std::string_view raw, bool quote) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (quote) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view raw) {
+  return escape_impl(raw, /*quote=*/false);
+}
+
+std::string escape_attribute(std::string_view raw) {
+  return escape_impl(raw, /*quote=*/true);
+}
+
+std::string unescape_text(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '&') {
+      out += escaped[i];
+      continue;
+    }
+    if (escaped.compare(i, 5, "&amp;") == 0) {
+      out += '&';
+      i += 4;
+    } else if (escaped.compare(i, 4, "&lt;") == 0) {
+      out += '<';
+      i += 3;
+    } else if (escaped.compare(i, 4, "&gt;") == 0) {
+      out += '>';
+      i += 3;
+    } else if (escaped.compare(i, 6, "&quot;") == 0) {
+      out += '"';
+      i += 5;
+    } else if (escaped.compare(i, 6, "&apos;") == 0) {
+      out += '\'';
+      i += 5;
+    } else {
+      out += escaped[i];
+    }
+  }
+  return out;
+}
+
+bool is_xml_safe_text(std::string_view raw) {
+  for (char c : raw) {
+    auto byte = static_cast<unsigned char>(c);
+    if (byte < 0x20 && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace davpse::xml

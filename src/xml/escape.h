@@ -1,0 +1,26 @@
+// XML character escaping for element content and attribute values.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace davpse::xml {
+
+/// Escapes '&', '<', '>' for element text content.
+std::string escape_text(std::string_view raw);
+
+/// Escapes '&', '<', '>', '"' for double-quoted attribute values.
+std::string escape_attribute(std::string_view raw);
+
+/// Decodes the five predefined entities (&amp; &lt; &gt; &quot;
+/// &apos;) in serialized character data. Unknown entities are left
+/// untouched. Inverse of escape_text for text-only content.
+std::string unescape_text(std::string_view escaped);
+
+/// True if `raw` survives an XML text round trip unchanged: no control
+/// bytes below 0x20 other than tab/LF/CR. Binary payloads that fail
+/// this must be base64-wrapped before being stored as XML property
+/// values (the DAV property layer does this automatically).
+bool is_xml_safe_text(std::string_view raw);
+
+}  // namespace davpse::xml

@@ -1,0 +1,54 @@
+// Namespace-qualified XML names. DAV properties are identified by
+// (namespace URI, local name) pairs — e.g. {DAV:}getcontentlength or
+// {http://purl.pnl.gov/ecce}formula — so QName is the key type across
+// the DAV server, client, and Ecce schema layers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace davpse::xml {
+
+struct QName {
+  std::string ns;     // namespace URI; empty = no namespace
+  std::string local;  // local part, never empty for a valid name
+
+  QName() = default;
+  QName(std::string ns_uri, std::string local_name)
+      : ns(std::move(ns_uri)), local(std::move(local_name)) {}
+
+  /// James Clark notation: "{DAV:}href" (or just "href" with no ns).
+  std::string to_string() const {
+    if (ns.empty()) return local;
+    return "{" + ns + "}" + local;
+  }
+
+  bool empty() const { return local.empty(); }
+
+  friend bool operator==(const QName& a, const QName& b) {
+    return a.ns == b.ns && a.local == b.local;
+  }
+  friend auto operator<=>(const QName& a, const QName& b) {
+    if (auto cmp = a.ns <=> b.ns; cmp != 0) return cmp;
+    return a.local <=> b.local;
+  }
+};
+
+/// The WebDAV namespace (RFC 2518 uses the literal URI "DAV:").
+inline constexpr std::string_view kDavNamespace = "DAV:";
+
+inline QName dav_name(std::string_view local) {
+  return QName(std::string(kDavNamespace), std::string(local));
+}
+
+}  // namespace davpse::xml
+
+template <>
+struct std::hash<davpse::xml::QName> {
+  size_t operator()(const davpse::xml::QName& name) const noexcept {
+    size_t h1 = std::hash<std::string>{}(name.ns);
+    size_t h2 = std::hash<std::string>{}(name.local);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,366 @@
+#include "xml/sax.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace davpse::xml {
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Recursive-descent scanner over the document buffer. Namespace
+/// bindings live in a scoped vector exactly as in XmlWriter.
+class Scanner {
+ public:
+  Scanner(std::string_view xml, SaxHandler* handler)
+      : xml_(xml), handler_(handler) {}
+
+  Status run() {
+    skip_prolog();
+    if (at_end()) return fail("document has no root element");
+    DAVPSE_RETURN_IF_ERROR(parse_element());
+    skip_misc();
+    if (!at_end()) return fail("content after root element");
+    return Status::ok();
+  }
+
+ private:
+  bool at_end() const { return pos_ >= xml_.size(); }
+  char peek() const { return xml_[pos_]; }
+  bool looking_at(std::string_view token) const {
+    return xml_.substr(pos_, token.size()) == token;
+  }
+
+  Status fail(std::string message) const {
+    return error(ErrorCode::kMalformed,
+                 "XML error at byte " + std::to_string(pos_) + ": " +
+                     std::move(message));
+  }
+
+  void skip_spaces() {
+    while (!at_end() && is_space(peek())) ++pos_;
+  }
+
+  /// XML declaration, comments, PIs, DOCTYPE before the root.
+  void skip_prolog() {
+    for (;;) {
+      skip_spaces();
+      if (looking_at("<?")) {
+        auto end = xml_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? xml_.size() : end + 2;
+      } else if (looking_at("<!--")) {
+        auto end = xml_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? xml_.size() : end + 3;
+      } else if (looking_at("<!DOCTYPE")) {
+        // Skip to matching '>' (internal subsets with '[' ... ']').
+        int bracket_depth = 0;
+        while (!at_end()) {
+          char c = xml_[pos_++];
+          if (c == '[') ++bracket_depth;
+          if (c == ']') --bracket_depth;
+          if (c == '>' && bracket_depth <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Comments/PIs/whitespace after the root.
+  void skip_misc() { skip_prolog(); }
+
+  Result<std::string> read_name() {
+    if (at_end() || !is_name_start(peek())) {
+      return fail("expected a name");
+    }
+    size_t start = pos_;
+    while (!at_end() && is_name_char(peek())) ++pos_;
+    // Allow one ':' separating prefix and local part.
+    if (!at_end() && peek() == ':') {
+      ++pos_;
+      if (at_end() || !is_name_start(peek())) {
+        return fail("expected local name after ':'");
+      }
+      while (!at_end() && is_name_char(peek())) ++pos_;
+    }
+    return std::string(xml_.substr(start, pos_ - start));
+  }
+
+  /// Decodes &amp; &lt; &gt; &quot; &apos; &#ddd; &#xhh; into `out`.
+  Status decode_entity(std::string* out) {
+    assert(peek() == '&');
+    size_t semi = xml_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 12) {
+      return fail("unterminated entity reference");
+    }
+    std::string_view entity = xml_.substr(pos_ + 1, semi - pos_ - 1);
+    pos_ = semi + 1;
+    if (entity == "amp") {
+      *out += '&';
+    } else if (entity == "lt") {
+      *out += '<';
+    } else if (entity == "gt") {
+      *out += '>';
+    } else if (entity == "quot") {
+      *out += '"';
+    } else if (entity == "apos") {
+      *out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      uint32_t code = 0;
+      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      std::string_view digits = entity.substr(hex ? 2 : 1);
+      if (digits.empty()) return fail("empty character reference");
+      for (char c : digits) {
+        int v;
+        if (c >= '0' && c <= '9') {
+          v = c - '0';
+        } else if (hex && c >= 'a' && c <= 'f') {
+          v = c - 'a' + 10;
+        } else if (hex && c >= 'A' && c <= 'F') {
+          v = c - 'A' + 10;
+        } else {
+          return fail("bad character reference");
+        }
+        code = code * (hex ? 16 : 10) + static_cast<uint32_t>(v);
+        if (code > 0x10FFFF) return fail("character reference out of range");
+      }
+      append_utf8(code, out);
+    } else {
+      return fail("unknown entity '&" + std::string(entity) + ";'");
+    }
+    return Status::ok();
+  }
+
+  static void append_utf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Result<std::string> read_attribute_value() {
+    if (at_end() || (peek() != '"' && peek() != '\'')) {
+      return fail("expected quoted attribute value");
+    }
+    char quote = peek();
+    ++pos_;
+    std::string value;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '&') {
+        DAVPSE_RETURN_IF_ERROR(decode_entity(&value));
+      } else if (peek() == '<') {
+        return fail("'<' in attribute value");
+      } else {
+        value += peek();
+        ++pos_;
+      }
+    }
+    if (at_end()) return fail("unterminated attribute value");
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  Result<std::string> resolve_prefix(std::string_view prefix,
+                                     bool is_attribute) {
+    if (prefix.empty()) {
+      if (is_attribute) return std::string();  // no default ns for attrs
+      for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+        if (it->prefix.empty()) return it->ns;
+      }
+      return std::string();
+    }
+    if (prefix == "xml") {
+      return std::string("http://www.w3.org/XML/1998/namespace");
+    }
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->prefix == prefix) return it->ns;
+    }
+    return fail("undeclared namespace prefix '" + std::string(prefix) + "'");
+  }
+
+  static std::pair<std::string_view, std::string_view> split_prefixed(
+      std::string_view name) {
+    auto colon = name.find(':');
+    if (colon == std::string_view::npos) return {"", name};
+    return {name.substr(0, colon), name.substr(colon + 1)};
+  }
+
+  Status parse_element() {
+    assert(peek() == '<');
+    ++pos_;
+    auto raw_name = read_name();
+    if (!raw_name.ok()) return raw_name.status();
+
+    size_t scope_mark = bindings_.size();
+    struct RawAttr {
+      std::string name;
+      std::string value;
+    };
+    std::vector<RawAttr> raw_attrs;
+
+    bool self_closing = false;
+    for (;;) {
+      skip_spaces();
+      if (at_end()) return fail("unterminated start tag");
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      if (looking_at("/>")) {
+        pos_ += 2;
+        self_closing = true;
+        break;
+      }
+      auto attr_name = read_name();
+      if (!attr_name.ok()) return attr_name.status();
+      skip_spaces();
+      if (at_end() || peek() != '=') return fail("expected '=' after attribute");
+      ++pos_;
+      skip_spaces();
+      auto attr_value = read_attribute_value();
+      if (!attr_value.ok()) return attr_value.status();
+
+      const std::string& aname = attr_name.value();
+      if (aname == "xmlns") {
+        bindings_.push_back({"", std::move(attr_value.value())});
+      } else if (starts_with(aname, "xmlns:")) {
+        bindings_.push_back(
+            {aname.substr(6), std::move(attr_value.value())});
+      } else {
+        raw_attrs.push_back({aname, std::move(attr_value.value())});
+      }
+    }
+
+    auto [prefix, local] = split_prefixed(raw_name.value());
+    auto ns = resolve_prefix(prefix, /*is_attribute=*/false);
+    if (!ns.ok()) return ns.status();
+    QName name(std::move(ns.value()), std::string(local));
+
+    std::vector<SaxAttribute> attributes;
+    attributes.reserve(raw_attrs.size());
+    for (auto& raw : raw_attrs) {
+      auto [aprefix, alocal] = split_prefixed(raw.name);
+      auto ans = resolve_prefix(aprefix, /*is_attribute=*/true);
+      if (!ans.ok()) return ans.status();
+      attributes.push_back(
+          {QName(std::move(ans.value()), std::string(alocal)),
+           std::move(raw.value)});
+    }
+
+    handler_->on_start_element(name, attributes);
+    if (!self_closing) {
+      DAVPSE_RETURN_IF_ERROR(parse_content(name));
+    }
+    handler_->on_end_element(name);
+    bindings_.resize(scope_mark);
+    return Status::ok();
+  }
+
+  Status parse_content(const QName& open_name) {
+    std::string text;
+    auto flush_text = [&] {
+      if (!text.empty()) {
+        handler_->on_characters(text);
+        text.clear();
+      }
+    };
+    for (;;) {
+      if (at_end()) return fail("unterminated element " + open_name.local);
+      char c = peek();
+      if (c == '<') {
+        if (looking_at("</")) {
+          flush_text();
+          pos_ += 2;
+          auto raw_name = read_name();
+          if (!raw_name.ok()) return raw_name.status();
+          skip_spaces();
+          if (at_end() || peek() != '>') return fail("malformed end tag");
+          ++pos_;
+          auto [prefix, local] = split_prefixed(raw_name.value());
+          auto ns = resolve_prefix(prefix, /*is_attribute=*/false);
+          if (!ns.ok()) return ns.status();
+          if (!(open_name.local == local && open_name.ns == ns.value())) {
+            return fail("mismatched end tag </" + raw_name.value() +
+                        "> for <" + open_name.to_string() + ">");
+          }
+          return Status::ok();
+        }
+        if (looking_at("<!--")) {
+          flush_text();
+          auto end = xml_.find("-->", pos_);
+          if (end == std::string_view::npos) return fail("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (looking_at("<![CDATA[")) {
+          auto end = xml_.find("]]>", pos_);
+          if (end == std::string_view::npos) return fail("unterminated CDATA");
+          text.append(xml_.substr(pos_ + 9, end - pos_ - 9));
+          pos_ = end + 3;
+          continue;
+        }
+        if (looking_at("<?")) {
+          flush_text();
+          auto end = xml_.find("?>", pos_);
+          if (end == std::string_view::npos) return fail("unterminated PI");
+          pos_ = end + 2;
+          continue;
+        }
+        flush_text();
+        DAVPSE_RETURN_IF_ERROR(parse_element());
+        continue;
+      }
+      if (c == '&') {
+        DAVPSE_RETURN_IF_ERROR(decode_entity(&text));
+        continue;
+      }
+      // Plain character run up to the next markup/entity.
+      size_t stop = xml_.find_first_of("<&", pos_);
+      if (stop == std::string_view::npos) stop = xml_.size();
+      text.append(xml_.substr(pos_, stop - pos_));
+      pos_ = stop;
+    }
+  }
+
+  struct Binding {
+    std::string prefix;
+    std::string ns;
+  };
+
+  std::string_view xml_;
+  SaxHandler* handler_;
+  size_t pos_ = 0;
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace
+
+Status SaxParser::parse(std::string_view xml, SaxHandler* handler) {
+  assert(handler != nullptr);
+  return Scanner(xml, handler).run();
+}
+
+}  // namespace davpse::xml

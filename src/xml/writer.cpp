@@ -1,0 +1,120 @@
+#include "xml/writer.h"
+
+#include <cassert>
+
+#include "xml/escape.h"
+
+namespace davpse::xml {
+
+void XmlWriter::declaration() {
+  assert(out_.empty() && "declaration must come first");
+  out_ += "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n";
+}
+
+void XmlWriter::prefer_prefix(std::string_view ns, std::string_view prefix) {
+  preferred_.push_back({std::string(ns), std::string(prefix)});
+}
+
+std::string XmlWriter::prefix_for(const std::string& ns,
+                                  std::string* declarations) {
+  if (ns.empty()) return "";
+  // Innermost binding wins.
+  for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+    if (it->ns == ns) return it->prefix;
+  }
+  std::string prefix;
+  for (const auto& pref : preferred_) {
+    if (pref.ns == ns) {
+      prefix = pref.prefix;
+      break;
+    }
+  }
+  if (prefix.empty()) {
+    prefix = "ns" + std::to_string(++auto_prefix_counter_);
+  }
+  // Avoid shadowing a live prefix bound to a different namespace.
+  for (const auto& binding : scope_) {
+    if (binding.prefix == prefix && binding.ns != ns) {
+      prefix = "ns" + std::to_string(++auto_prefix_counter_);
+      break;
+    }
+  }
+  scope_.push_back({ns, prefix});
+  *declarations += " xmlns:" + prefix + "=\"" + escape_attribute(ns) + "\"";
+  return prefix;
+}
+
+void XmlWriter::close_start_tag() {
+  if (in_start_tag_) {
+    out_ += ">";
+    in_start_tag_ = false;
+  }
+}
+
+void XmlWriter::start_element(const QName& name) {
+  assert(!name.local.empty());
+  close_start_tag();
+  if (!open_.empty()) open_.back().has_children = true;
+  size_t mark = scope_.size();
+  std::string declarations;
+  std::string prefix = prefix_for(name.ns, &declarations);
+  std::string tag = prefix.empty() ? name.local : prefix + ":" + name.local;
+  out_ += "<" + tag + declarations;
+  in_start_tag_ = true;
+  open_.push_back({std::move(tag), mark, false});
+}
+
+void XmlWriter::attribute(std::string_view name, std::string_view value) {
+  assert(in_start_tag_ && "attribute() must follow start_element()");
+  out_ += " ";
+  out_ += name;
+  out_ += "=\"";
+  out_ += escape_attribute(value);
+  out_ += "\"";
+}
+
+void XmlWriter::text(std::string_view content) {
+  assert(!open_.empty());
+  close_start_tag();
+  open_.back().has_children = true;
+  out_ += escape_text(content);
+}
+
+void XmlWriter::raw(std::string_view xml) {
+  assert(!open_.empty());
+  close_start_tag();
+  open_.back().has_children = true;
+  out_ += xml;
+}
+
+void XmlWriter::end_element() {
+  assert(!open_.empty());
+  OpenElement element = std::move(open_.back());
+  open_.pop_back();
+  if (in_start_tag_ && !element.has_children) {
+    out_ += "/>";
+    in_start_tag_ = false;
+  } else {
+    close_start_tag();
+    out_ += "</" + element.tag + ">";
+  }
+  scope_.resize(element.scope_mark);
+}
+
+void XmlWriter::text_element(const QName& name, std::string_view content) {
+  start_element(name);
+  if (!content.empty()) text(content);
+  end_element();
+}
+
+void XmlWriter::empty_element(const QName& name) {
+  start_element(name);
+  end_element();
+}
+
+std::string XmlWriter::take() {
+  assert(open_.empty() && "unclosed elements at take()");
+  return std::move(out_);
+}
+
+}  // namespace davpse::xml

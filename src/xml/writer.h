@@ -1,0 +1,79 @@
+// Streaming, namespace-aware XML writer. Used to build DAV request and
+// multistatus bodies and to serialize Ecce documents. Namespace
+// prefixes are managed automatically: a namespace is declared on the
+// element where it first appears and stays in scope below it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/qname.h"
+
+namespace davpse::xml {
+
+class XmlWriter {
+ public:
+  XmlWriter() = default;
+
+  /// Emits the '<?xml version="1.0" encoding="utf-8"?>' declaration;
+  /// call before the first element if wanted.
+  void declaration();
+
+  /// Suggests a prefix for a namespace (e.g. "D" for DAV:); applies to
+  /// declarations emitted after this call. Purely cosmetic.
+  void prefer_prefix(std::string_view ns, std::string_view prefix);
+
+  void start_element(const QName& name);
+
+  /// Attribute on the most recently started element; must be called
+  /// before any child content. No-namespace attributes only (DAV needs
+  /// nothing more).
+  void attribute(std::string_view name, std::string_view value);
+
+  /// Escaped character content.
+  void text(std::string_view content);
+
+  /// Raw bytes, caller guarantees well-formedness (used to embed
+  /// already-serialized XML property values).
+  void raw(std::string_view xml);
+
+  void end_element();
+
+  /// Convenience: <name>text</name>.
+  void text_element(const QName& name, std::string_view content);
+
+  /// Convenience: <name/>.
+  void empty_element(const QName& name);
+
+  /// Finishes and returns the document. All elements must be closed.
+  std::string take();
+
+  size_t depth() const { return open_.size(); }
+
+ private:
+  struct OpenElement {
+    std::string tag;          // prefixed tag used in the start tag
+    size_t scope_mark;        // prefix-scope size to restore on close
+    bool has_children = false;
+  };
+
+  struct PrefixBinding {
+    std::string ns;
+    std::string prefix;
+  };
+
+  /// Returns the prefix for `ns`, declaring it on the current element
+  /// if needed. `declarations` receives any xmlns attributes to emit.
+  std::string prefix_for(const std::string& ns, std::string* declarations);
+  void close_start_tag();
+
+  std::string out_;
+  std::vector<OpenElement> open_;
+  std::vector<PrefixBinding> scope_;
+  std::vector<PrefixBinding> preferred_;
+  int auto_prefix_counter_ = 0;
+  bool in_start_tag_ = false;
+};
+
+}  // namespace davpse::xml

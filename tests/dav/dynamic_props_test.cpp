@@ -1,0 +1,138 @@
+// Dynamically computed metadata (§4): registry behavior, the built-in
+// providers, and the schema-translation scenario end to end.
+#include "dav/dynamic_props.h"
+
+#include <gtest/gtest.h>
+
+#include "davclient/client.h"
+#include "davclient/search.h"
+#include "testing/env.h"
+
+namespace davpse {
+namespace {
+
+using davclient::Depth;
+using davclient::Where;
+using testing::DavStack;
+
+const xml::QName kFormula("http://purl.pnl.gov/ecce", "formula");
+// The "other application's" vocabulary for the same concept.
+const xml::QName kOtherFormula("urn:otherapp", "chemical-formula");
+const xml::QName kSizeCategory("urn:otherapp", "size-category");
+const xml::QName kDigest("urn:otherapp", "content-digest");
+
+TEST(DynamicRegistry, RegisterComputeUnregister) {
+  dav::DynamicPropertyRegistry registry;
+  xml::QName name("urn:t", "answer");
+  EXPECT_FALSE(registry.has(name));
+  registry.register_provider(
+      name, [](const dav::DynamicContext&) { return std::string("42"); });
+  EXPECT_TRUE(registry.has(name));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.names(), (std::vector<xml::QName>{name}));
+
+  dav::ResourceInfo info;
+  std::string path = "/x";
+  dav::DynamicContext context{
+      path, info, [](const xml::QName&) { return std::nullopt; },
+      [] { return Result<std::string>(std::string()); }};
+  EXPECT_EQ(registry.compute(name, context), "42");
+  EXPECT_FALSE(registry.compute(xml::QName("urn:t", "other"), context)
+                   .has_value());
+  registry.unregister(name);
+  EXPECT_FALSE(registry.has(name));
+}
+
+struct DynamicStack : ::testing::Test {
+  DynamicStack() : client(stack.client()) {
+    // Install the three example providers.
+    stack.dav->dynamic_properties().register_provider(
+        kOtherFormula, dav::alias_property(kFormula));
+    stack.dav->dynamic_properties().register_provider(
+        kSizeCategory, dav::size_category_provider());
+    stack.dav->dynamic_properties().register_provider(
+        kDigest, dav::content_digest_provider());
+
+    EXPECT_TRUE(client.mkcol("/data").is_ok());
+    EXPECT_TRUE(client.put("/data/mol", "molecule body").is_ok());
+    EXPECT_TRUE(client.set_property("/data/mol", kFormula, "H2O").is_ok());
+    EXPECT_TRUE(
+        client.put("/data/big", std::string(128 * 1024, 'b')).is_ok());
+  }
+  DavStack stack;
+  davclient::DavClient client;
+};
+
+TEST_F(DynamicStack, AliasTranslatesSchemaOnTheFly) {
+  // The other application asks in ITS vocabulary and gets Ecce's data.
+  auto value = client.get_property("/data/mol", kOtherFormula);
+  ASSERT_TRUE(value.ok()) << value.status().to_string();
+  EXPECT_EQ(value.value(), "H2O");
+  // Resources without the source property report the alias undefined.
+  auto absent = client.propfind("/data/big", Depth::kZero, {kOtherFormula});
+  ASSERT_TRUE(absent.ok());
+  ASSERT_EQ(absent.value().responses.front().missing.size(), 1u);
+}
+
+TEST_F(DynamicStack, StoredPropertyShadowsDynamic) {
+  ASSERT_TRUE(
+      client.set_property("/data/mol", kOtherFormula, "OVERRIDE").is_ok());
+  auto value = client.get_property("/data/mol", kOtherFormula);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), "OVERRIDE");
+}
+
+TEST_F(DynamicStack, SizeCategoryAndDigestProviders) {
+  EXPECT_EQ(client.get_property("/data/mol", kSizeCategory).value(),
+            "small");
+  EXPECT_EQ(client.get_property("/data/big", kSizeCategory).value(),
+            "medium");
+  // Collections have no size category.
+  auto on_collection = client.propfind("/data", Depth::kZero,
+                                       {kSizeCategory});
+  ASSERT_TRUE(on_collection.ok());
+  EXPECT_EQ(on_collection.value().responses.front().missing.size(), 1u);
+
+  auto digest = client.get_property("/data/mol", kDigest);
+  ASSERT_TRUE(digest.ok());
+  EXPECT_EQ(digest.value().size(), 16u);
+  // Deterministic: same content, same digest.
+  EXPECT_EQ(client.get_property("/data/mol", kDigest).value(),
+            digest.value());
+  // Content change changes the digest.
+  ASSERT_TRUE(client.put("/data/mol", "different body").is_ok());
+  EXPECT_NE(client.get_property("/data/mol", kDigest).value(),
+            digest.value());
+}
+
+TEST_F(DynamicStack, DynamicPropertiesSearchable) {
+  // SEARCH over the translated vocabulary — the full integration
+  // story: a foreign application both queries and filters in its own
+  // schema.
+  auto result = client.search("/data", Depth::kInfinity,
+                              {kOtherFormula, kSizeCategory},
+                              Where::eq(kOtherFormula, "H2O"));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_EQ(result.value().responses.size(), 1u);
+  EXPECT_EQ(result.value().responses.front().href, "/data/mol");
+  EXPECT_EQ(result.value().responses.front().prop(kSizeCategory), "small");
+
+  auto medium = client.search("/data", Depth::kInfinity, {kSizeCategory},
+                              Where::eq(kSizeCategory, "medium"));
+  ASSERT_TRUE(medium.ok());
+  ASSERT_EQ(medium.value().responses.size(), 1u);
+  EXPECT_EQ(medium.value().responses.front().href, "/data/big");
+}
+
+TEST_F(DynamicStack, ProppatchCannotWriteThroughDynamicName) {
+  // Writing to a dynamic name stores a dead property (which then
+  // shadows); the provider itself is unaffected for other resources.
+  ASSERT_TRUE(
+      client.set_property("/data/big", kSizeCategory, "huge").is_ok());
+  EXPECT_EQ(client.get_property("/data/big", kSizeCategory).value(), "huge");
+  EXPECT_EQ(client.get_property("/data/mol", kSizeCategory).value(),
+            "small");
+}
+
+}  // namespace
+}  // namespace davpse

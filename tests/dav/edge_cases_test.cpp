@@ -1,0 +1,208 @@
+// Protocol edge cases: lock tokens presented through If headers,
+// malformed request bodies, concurrent mixed workloads against the
+// store-wide reader/writer locking, and miscellaneous RFC corners.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "davclient/client.h"
+#include "testing/env.h"
+
+namespace davpse {
+namespace {
+
+using davclient::Depth;
+using davclient::PropWrite;
+using testing::DavStack;
+
+TEST(DavEdge, LockHolderWritesWithIfHeaderToken) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc", "v1").is_ok());
+  auto lock = client.lock_exclusive("/doc", "owner");
+  ASSERT_TRUE(lock.ok());
+
+  // Without the token: refused, even for the client that locked it
+  // (locks are token-based, not connection-based).
+  EXPECT_EQ(client.put("/doc", "v2").code(), ErrorCode::kLocked);
+
+  // With the token in an If header: accepted.
+  http::HttpRequest request;
+  request.method = "PUT";
+  request.target = "/doc";
+  request.body = "v2-with-token";
+  request.headers.set("If", "(<" + lock.value().token + ">)");
+  auto response = client.http().execute(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, http::kNoContent);
+  EXPECT_EQ(client.get("/doc").value(), "v2-with-token");
+
+  // A wrong token in the If header is still refused.
+  http::HttpRequest bad;
+  bad.method = "PUT";
+  bad.target = "/doc";
+  bad.body = "nope";
+  bad.headers.set("If", "(<opaquelocktoken:davpse-99999>)");
+  auto refused = client.http().execute(std::move(bad));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().status, http::kLocked);
+  ASSERT_TRUE(client.unlock(lock.value()).is_ok());
+}
+
+TEST(DavEdge, DepthInfinityLockCoversNewChildren) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.mkcol("/tree").is_ok());
+  auto lock = client.lock_exclusive("/tree", "owner");
+  ASSERT_TRUE(lock.ok());
+  // Creating a child inside the locked tree requires the token.
+  EXPECT_EQ(client.put("/tree/child", "x").code(), ErrorCode::kLocked);
+  http::HttpRequest request;
+  request.method = "PUT";
+  request.target = "/tree/child";
+  request.body = "x";
+  request.headers.set("If", "(<" + lock.value().token + ">)");
+  auto response = client.http().execute(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, http::kCreated);
+}
+
+TEST(DavEdge, MalformedBodiesGet400) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc", "x").is_ok());
+  for (const char* method : {"PROPFIND", "PROPPATCH"}) {
+    http::HttpRequest request;
+    request.method = method;
+    request.target = "/doc";
+    request.body = "<not-xml";
+    auto response = client.http().execute(std::move(request));
+    ASSERT_TRUE(response.ok()) << method;
+    EXPECT_EQ(response.value().status, http::kBadRequest) << method;
+  }
+  // Wrong root element types.
+  http::HttpRequest wrong_root;
+  wrong_root.method = "PROPFIND";
+  wrong_root.target = "/doc";
+  wrong_root.body = "<something-else/>";
+  auto response = client.http().execute(std::move(wrong_root));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, http::kBadRequest);
+}
+
+TEST(DavEdge, MkcolWithBodyIsUnsupportedMediaType) {
+  DavStack stack;
+  auto client = stack.client();
+  http::HttpRequest request;
+  request.method = "MKCOL";
+  request.target = "/col";
+  request.body = "<mkcol-extended-request/>";
+  auto response = client.http().execute(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, http::kUnsupportedMediaType);
+}
+
+TEST(DavEdge, CopyMissingDestinationHeader) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc", "x").is_ok());
+  http::HttpRequest request;
+  request.method = "COPY";
+  request.target = "/doc";
+  auto response = client.http().execute(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, http::kBadRequest);
+}
+
+TEST(DavEdge, MoveOntoItselfForbidden) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc", "x").is_ok());
+  EXPECT_EQ(client.move("/doc", "/doc").code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(DavEdge, PropfindDepthHeaderDefaultsToInfinity) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.mkcol_recursive("/a/b").is_ok());
+  ASSERT_TRUE(client.put("/a/b/leaf", "x").is_ok());
+  // Raw request without a Depth header.
+  http::HttpRequest request;
+  request.method = "PROPFIND";
+  request.target = "/a";
+  auto response = client.http().execute(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, http::kMultiStatus);
+  auto parsed = davclient::parse_multistatus(response.value().body,
+                                             davclient::ParserKind::kDom);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().responses.size(), 3u);  // /a, /a/b, /a/b/leaf
+}
+
+TEST(DavEdge, ConcurrentMixedWorkloadStaysConsistent) {
+  DavStack stack(dbm::Flavor::kGdbm, /*daemons=*/8);
+  auto seeder = stack.client();
+  ASSERT_TRUE(seeder.mkcol("/shared").is_ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        seeder.put("/shared/doc" + std::to_string(i), "seed").is_ok());
+  }
+  seeder.http().reset_connection();
+
+  constexpr int kWriters = 3, kReaders = 5, kOps = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&stack, &failures, w] {
+      auto client = stack.client();
+      xml::QName prop("urn:stress", "p" + std::to_string(w));
+      for (int i = 0; i < kOps; ++i) {
+        std::string path = "/shared/doc" + std::to_string(i % 8);
+        if (!client.put(path, "w" + std::to_string(w * 1000 + i)).is_ok()) {
+          failures.fetch_add(1);
+        }
+        if (!client.set_property(path, prop, std::to_string(i)).is_ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&stack, &failures] {
+      auto client = stack.client();
+      for (int i = 0; i < kOps; ++i) {
+        auto listing = client.propfind_all("/shared", Depth::kOne);
+        if (!listing.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (const auto& response : listing.value().responses) {
+          if (response.is_collection()) continue;
+          auto body = client.get(response.href);
+          if (!body.ok()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Final state is readable and complete.
+  auto final_listing = seeder.propfind_all("/shared", Depth::kOne);
+  ASSERT_TRUE(final_listing.ok());
+  EXPECT_EQ(final_listing.value().responses.size(), 9u);
+}
+
+TEST(DavEdge, UnicodeAndEscapedPropertyNamesAndValues) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc", "x").is_ok());
+  xml::QName unicode_prop("urn:tëst", "prop-ñame");
+  std::string value = "välue with € and \U0001F9EA";
+  ASSERT_TRUE(client.set_property("/doc", unicode_prop, value).is_ok());
+  EXPECT_EQ(client.get_property("/doc", unicode_prop).value(), value);
+}
+
+}  // namespace
+}  // namespace davpse

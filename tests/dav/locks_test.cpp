@@ -1,0 +1,158 @@
+#include "dav/locks.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace davpse::dav {
+namespace {
+
+TEST(Locks, ExclusiveAcquireAndRelease) {
+  LockManager manager;
+  auto lock = manager.acquire("/a", LockScope::kExclusive, true, "me", 0);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_FALSE(lock.value().token.empty());
+  EXPECT_EQ(manager.active_count(), 1u);
+  ASSERT_TRUE(manager.release("/a", lock.value().token).is_ok());
+  EXPECT_EQ(manager.active_count(), 0u);
+}
+
+TEST(Locks, ExclusiveConflictsWithEverything) {
+  LockManager manager;
+  auto first = manager.acquire("/a", LockScope::kExclusive, true, "one", 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(manager.acquire("/a", LockScope::kExclusive, true, "two", 0)
+                .status()
+                .code(),
+            ErrorCode::kLocked);
+  EXPECT_EQ(manager.acquire("/a", LockScope::kShared, true, "two", 0)
+                .status()
+                .code(),
+            ErrorCode::kLocked);
+}
+
+TEST(Locks, SharedLocksCoexist) {
+  LockManager manager;
+  ASSERT_TRUE(manager.acquire("/a", LockScope::kShared, true, "one", 0).ok());
+  ASSERT_TRUE(manager.acquire("/a", LockScope::kShared, true, "two", 0).ok());
+  EXPECT_EQ(manager.active_count(), 2u);
+  // But an exclusive request is refused.
+  EXPECT_EQ(manager.acquire("/a", LockScope::kExclusive, true, "x", 0)
+                .status()
+                .code(),
+            ErrorCode::kLocked);
+}
+
+TEST(Locks, DepthInfinityCoversDescendants) {
+  LockManager manager;
+  auto lock =
+      manager.acquire("/tree", LockScope::kExclusive, true, "me", 0);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_EQ(
+      manager.acquire("/tree/leaf", LockScope::kExclusive, true, "other", 0)
+          .status()
+          .code(),
+      ErrorCode::kLocked);
+  EXPECT_EQ(manager.check_write("/tree/deep/leaf", std::nullopt).code(),
+            ErrorCode::kLocked);
+  EXPECT_TRUE(
+      manager.check_write("/tree/deep/leaf", lock.value().token).is_ok());
+  EXPECT_TRUE(manager.check_write("/elsewhere", std::nullopt).is_ok());
+}
+
+TEST(Locks, DepthZeroDoesNotCoverChildren) {
+  LockManager manager;
+  ASSERT_TRUE(
+      manager.acquire("/col", LockScope::kExclusive, false, "me", 0).ok());
+  EXPECT_TRUE(manager.check_write("/col/child", std::nullopt).is_ok());
+  EXPECT_EQ(manager.check_write("/col", std::nullopt).code(),
+            ErrorCode::kLocked);
+}
+
+TEST(Locks, DepthInfinityRequestConflictsWithLockedDescendant) {
+  LockManager manager;
+  ASSERT_TRUE(
+      manager.acquire("/tree/leaf", LockScope::kExclusive, true, "a", 0).ok());
+  EXPECT_EQ(manager.acquire("/tree", LockScope::kExclusive, true, "b", 0)
+                .status()
+                .code(),
+            ErrorCode::kLocked);
+  // Depth-0 sibling request is fine.
+  EXPECT_TRUE(
+      manager.acquire("/tree/other", LockScope::kExclusive, true, "b", 0)
+          .ok());
+}
+
+TEST(Locks, ReleaseRequiresMatchingToken) {
+  LockManager manager;
+  auto lock = manager.acquire("/a", LockScope::kExclusive, true, "me", 0);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_EQ(manager.release("/a", "opaquelocktoken:wrong").code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(manager.release("/b", lock.value().token).code(),
+            ErrorCode::kNotFound);
+  EXPECT_TRUE(manager.release("/a", lock.value().token).is_ok());
+}
+
+TEST(Locks, TimeoutExpires) {
+  LockManager manager;
+  auto lock = manager.acquire("/a", LockScope::kExclusive, true, "me", 0.05);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_EQ(manager.active_count(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_TRUE(manager.check_write("/a", std::nullopt).is_ok());
+}
+
+TEST(Locks, RefreshExtendsTimeout) {
+  LockManager manager;
+  auto lock = manager.acquire("/a", LockScope::kExclusive, true, "me", 0.08);
+  ASSERT_TRUE(lock.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto refreshed = manager.refresh("/a", lock.value().token, 10.0);
+  ASSERT_TRUE(refreshed.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(manager.active_count(), 1u);  // would have expired without refresh
+}
+
+TEST(Locks, RefreshUnknownTokenFails) {
+  LockManager manager;
+  EXPECT_EQ(manager.refresh("/a", "opaquelocktoken:nope", 10).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Locks, ForgetSubtreeDropsCoveredLocks) {
+  LockManager manager;
+  ASSERT_TRUE(
+      manager.acquire("/tree/a", LockScope::kExclusive, true, "x", 0).ok());
+  ASSERT_TRUE(
+      manager.acquire("/tree/b", LockScope::kExclusive, true, "y", 0).ok());
+  ASSERT_TRUE(
+      manager.acquire("/other", LockScope::kExclusive, true, "z", 0).ok());
+  manager.forget_subtree("/tree");
+  EXPECT_EQ(manager.active_count(), 1u);
+  EXPECT_EQ(manager.check_write("/other", std::nullopt).code(),
+            ErrorCode::kLocked);
+}
+
+TEST(Locks, LocksCoveringReportsAncestors) {
+  LockManager manager;
+  auto lock = manager.acquire("/a", LockScope::kExclusive, true, "me", 0);
+  ASSERT_TRUE(lock.ok());
+  auto covering = manager.locks_covering("/a/b/c");
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0].token, lock.value().token);
+  EXPECT_TRUE(manager.locks_covering("/unrelated").empty());
+}
+
+TEST(Locks, SharedLockStillRequiresTokenForWrites) {
+  LockManager manager;
+  auto lock = manager.acquire("/a", LockScope::kShared, true, "me", 0);
+  ASSERT_TRUE(lock.ok());
+  EXPECT_EQ(manager.check_write("/a", std::nullopt).code(),
+            ErrorCode::kLocked);
+  EXPECT_TRUE(manager.check_write("/a", lock.value().token).is_ok());
+}
+
+}  // namespace
+}  // namespace davpse::dav

@@ -1,0 +1,170 @@
+#include "dav/repository.h"
+
+#include <gtest/gtest.h>
+
+#include "util/fs.h"
+
+namespace davpse::dav {
+namespace {
+
+struct RepoFixture : ::testing::Test {
+  RepoFixture() : temp("repotest"), repo(temp.path(), dbm::Flavor::kGdbm) {}
+  TempDir temp;
+  FsRepository repo;
+};
+
+TEST_F(RepoFixture, RootIsACollection) {
+  EXPECT_EQ(repo.stat("/").kind, ResourceKind::kCollection);
+}
+
+TEST_F(RepoFixture, DocumentLifecycle) {
+  EXPECT_EQ(repo.stat("/doc").kind, ResourceKind::kMissing);
+  ASSERT_TRUE(repo.write_document("/doc", "contents").is_ok());
+  ResourceInfo info = repo.stat("/doc");
+  EXPECT_EQ(info.kind, ResourceKind::kDocument);
+  EXPECT_EQ(info.content_length, 8u);
+  EXPECT_GT(info.mtime_seconds, 0);
+  EXPECT_EQ(repo.read_document("/doc").value(), "contents");
+  ASSERT_TRUE(repo.remove("/doc").is_ok());
+  EXPECT_FALSE(repo.exists("/doc"));
+}
+
+TEST_F(RepoFixture, PutRequiresParentCollection) {
+  Status status = repo.write_document("/no/parent/doc", "x");
+  EXPECT_EQ(status.code(), ErrorCode::kConflict);
+}
+
+TEST_F(RepoFixture, CollectionLifecycle) {
+  ASSERT_TRUE(repo.make_collection("/col").is_ok());
+  EXPECT_EQ(repo.stat("/col").kind, ResourceKind::kCollection);
+  EXPECT_EQ(repo.make_collection("/col").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(repo.make_collection("/a/b").code(), ErrorCode::kConflict);
+  ASSERT_TRUE(repo.remove("/col").is_ok());
+  EXPECT_FALSE(repo.exists("/col"));
+}
+
+TEST_F(RepoFixture, ListChildrenHidesDavDir) {
+  ASSERT_TRUE(repo.make_collection("/col").is_ok());
+  ASSERT_TRUE(repo.write_document("/col/b", "2").is_ok());
+  ASSERT_TRUE(repo.write_document("/col/a", "1").is_ok());
+  // Attaching metadata creates the hidden .DAV directory.
+  PropertyDb db = repo.properties("/col/a");
+  ASSERT_TRUE(db.set({{xml::QName("urn:t", "p"), {"v"}}}).is_ok());
+  auto children = repo.list_children("/col");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(RepoFixture, PropertiesPersistAndRemove) {
+  ASSERT_TRUE(repo.write_document("/doc", "x").is_ok());
+  PropertyDb db = repo.properties("/doc");
+  EXPECT_FALSE(db.database_exists());
+  xml::QName name("urn:test", "color");
+  ASSERT_TRUE(db.set({{name, {"blue"}}}).is_ok());
+  EXPECT_TRUE(db.database_exists());
+  EXPECT_EQ(db.get(name).value().inner_xml, "blue");
+  auto all = db.get_all();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 1u);
+  EXPECT_EQ(all.value()[0].first, name);
+  ASSERT_TRUE(db.remove({name}).is_ok());
+  EXPECT_EQ(db.get(name).status().code(), ErrorCode::kNotFound);
+  // Removing a missing property is a no-op success (RFC 2518).
+  EXPECT_TRUE(db.remove({xml::QName("urn:test", "ghost")}).is_ok());
+}
+
+TEST_F(RepoFixture, DocumentCopyCarriesProperties) {
+  ASSERT_TRUE(repo.write_document("/src", "data").is_ok());
+  xml::QName name("urn:t", "tag");
+  ASSERT_TRUE(repo.properties("/src").set({{name, {"v1"}}}).is_ok());
+  ASSERT_TRUE(repo.copy("/src", "/dst").is_ok());
+  EXPECT_EQ(repo.read_document("/dst").value(), "data");
+  EXPECT_EQ(repo.properties("/dst").get(name).value().inner_xml, "v1");
+  // Source untouched.
+  EXPECT_EQ(repo.properties("/src").get(name).value().inner_xml, "v1");
+}
+
+TEST_F(RepoFixture, CollectionCopyIsDeepWithProperties) {
+  ASSERT_TRUE(repo.make_collection("/tree").is_ok());
+  ASSERT_TRUE(repo.make_collection("/tree/sub").is_ok());
+  ASSERT_TRUE(repo.write_document("/tree/sub/leaf", "L").is_ok());
+  xml::QName name("urn:t", "mark");
+  ASSERT_TRUE(repo.properties("/tree").set({{name, {"root"}}}).is_ok());
+  ASSERT_TRUE(
+      repo.properties("/tree/sub/leaf").set({{name, {"leaf"}}}).is_ok());
+  ASSERT_TRUE(repo.copy("/tree", "/copy").is_ok());
+  EXPECT_EQ(repo.read_document("/copy/sub/leaf").value(), "L");
+  EXPECT_EQ(repo.properties("/copy").get(name).value().inner_xml, "root");
+  EXPECT_EQ(repo.properties("/copy/sub/leaf").get(name).value().inner_xml,
+            "leaf");
+}
+
+TEST_F(RepoFixture, CopyRefusesExistingDestination) {
+  ASSERT_TRUE(repo.write_document("/a", "1").is_ok());
+  ASSERT_TRUE(repo.write_document("/b", "2").is_ok());
+  EXPECT_EQ(repo.copy("/a", "/b").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(repo.copy("/missing", "/c").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(repo.copy("/a", "/no/parent").code(), ErrorCode::kConflict);
+}
+
+TEST_F(RepoFixture, MoveDocumentCarriesProperties) {
+  ASSERT_TRUE(repo.write_document("/src", "data").is_ok());
+  xml::QName name("urn:t", "tag");
+  ASSERT_TRUE(repo.properties("/src").set({{name, {"v"}}}).is_ok());
+  ASSERT_TRUE(repo.move("/src", "/dst").is_ok());
+  EXPECT_FALSE(repo.exists("/src"));
+  EXPECT_EQ(repo.read_document("/dst").value(), "data");
+  EXPECT_EQ(repo.properties("/dst").get(name).value().inner_xml, "v");
+  EXPECT_FALSE(repo.properties("/src").database_exists());
+}
+
+TEST_F(RepoFixture, RemoveDocumentDropsItsPropertyDb) {
+  ASSERT_TRUE(repo.write_document("/doc", "x").is_ok());
+  ASSERT_TRUE(
+      repo.properties("/doc").set({{xml::QName("u", "p"), {"v"}}}).is_ok());
+  std::filesystem::path db_file = repo.properties("/doc").db_path();
+  EXPECT_TRUE(std::filesystem::exists(db_file));
+  ASSERT_TRUE(repo.remove("/doc").is_ok());
+  EXPECT_FALSE(std::filesystem::exists(db_file));
+}
+
+TEST_F(RepoFixture, DiskUsageCountsDocAndProps) {
+  ASSERT_TRUE(repo.write_document("/doc", std::string(1000, 'd')).is_ok());
+  uint64_t doc_only = repo.disk_usage("/doc");
+  EXPECT_EQ(doc_only, 1000u);
+  ASSERT_TRUE(
+      repo.properties("/doc").set({{xml::QName("u", "p"), {"v"}}}).is_ok());
+  // Now the 25 KB GDBM initial allocation is part of the footprint.
+  EXPECT_GE(repo.disk_usage("/doc"), 1000u + 25 * 1024u);
+}
+
+TEST_F(RepoFixture, CompactAllShrinksChurnedPropertyDbs) {
+  ASSERT_TRUE(repo.make_collection("/col").is_ok());
+  ASSERT_TRUE(repo.write_document("/col/doc", "x").is_ok());
+  PropertyDb db = repo.properties("/col/doc");
+  xml::QName name("urn:t", "churn");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db.set({{name, {std::string(400, 'a' + i % 26)}}}).is_ok());
+  }
+  uint64_t before = repo.disk_usage("/col");
+  ASSERT_TRUE(repo.compact_all("/col").is_ok());
+  uint64_t after = repo.disk_usage("/col");
+  EXPECT_LT(after, before);
+  EXPECT_EQ(repo.properties("/col/doc").get(name).value().inner_xml.size(),
+            400u);
+}
+
+TEST_F(RepoFixture, SdbmFlavorRepositoryEnforcesValueCap) {
+  TempDir temp2("repotest-sdbm");
+  FsRepository sdbm_repo(temp2.path(), dbm::Flavor::kSdbm);
+  ASSERT_TRUE(sdbm_repo.write_document("/doc", "x").is_ok());
+  PropertyDb db = sdbm_repo.properties("/doc");
+  EXPECT_TRUE(db.set({{xml::QName("u", "ok"),
+                       {std::string(1024, 'v')}}}).is_ok());
+  Status status =
+      db.set({{xml::QName("u", "big"), {std::string(2048, 'v')}}});
+  EXPECT_EQ(status.code(), ErrorCode::kTooLarge);
+}
+
+}  // namespace
+}  // namespace davpse::dav

@@ -1,0 +1,272 @@
+// DASL basicsearch: grammar parsing, expression evaluation, and the
+// full SEARCH round trip through the protocol stack.
+#include "dav/search.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "davclient/client.h"
+#include "davclient/search.h"
+#include "testing/env.h"
+
+namespace davpse {
+namespace {
+
+using dav::compare_values;
+using dav::evaluate_search;
+using dav::parse_search_request;
+using dav::SearchOp;
+using davclient::Depth;
+using davclient::PropWrite;
+using davclient::Where;
+using testing::DavStack;
+
+const xml::QName kFormula("urn:chem", "formula");
+const xml::QName kEnergy("urn:chem", "energy");
+
+// --- grammar -----------------------------------------------------------
+
+dav::SearchRequest parse_ok(const std::string& body) {
+  auto doc = xml::parse_document(body);
+  EXPECT_TRUE(doc.ok()) << doc.status().to_string();
+  auto parsed = parse_search_request(*doc.value());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().to_string();
+  return std::move(parsed).value();
+}
+
+TEST(SearchGrammar, FullRequestParses) {
+  auto request = parse_ok(R"(
+    <D:searchrequest xmlns:D="DAV:" xmlns:c="urn:chem">
+      <D:basicsearch>
+        <D:select><D:prop><c:formula/><D:getcontentlength/></D:prop>
+        </D:select>
+        <D:from><D:scope><D:href>/Ecce</D:href><D:depth>infinity</D:depth>
+        </D:scope></D:from>
+        <D:where>
+          <D:and>
+            <D:eq><D:prop><c:formula/></D:prop><D:literal>H2O</D:literal>
+            </D:eq>
+            <D:not><D:is-collection/></D:not>
+          </D:and>
+        </D:where>
+      </D:basicsearch>
+    </D:searchrequest>)");
+  EXPECT_EQ(request.scope, "/Ecce");
+  EXPECT_TRUE(request.depth_infinity);
+  ASSERT_EQ(request.select.size(), 2u);
+  EXPECT_EQ(request.select[0], kFormula);
+  ASSERT_TRUE(request.where.has_value());
+  EXPECT_EQ(request.where->op, SearchOp::kAnd);
+  ASSERT_EQ(request.where->children.size(), 2u);
+  EXPECT_EQ(request.where->children[0].op, SearchOp::kEq);
+  EXPECT_EQ(request.where->children[0].literal, "H2O");
+  EXPECT_EQ(request.where->children[1].op, SearchOp::kNot);
+}
+
+TEST(SearchGrammar, DefaultsWithoutFromAndWhere) {
+  auto request = parse_ok(R"(
+    <D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+      <D:select><D:prop><D:displayname/></D:prop></D:select>
+    </D:basicsearch></D:searchrequest>)");
+  EXPECT_EQ(request.scope, "/");
+  EXPECT_TRUE(request.depth_infinity);
+  EXPECT_FALSE(request.where.has_value());
+}
+
+TEST(SearchGrammar, Rejections) {
+  auto reject = [](const std::string& body) {
+    auto doc = xml::parse_document(body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_FALSE(parse_search_request(*doc.value()).ok()) << body;
+  };
+  reject("<D:searchrequest xmlns:D=\"DAV:\"/>");  // no basicsearch
+  reject(R"(<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+      <D:where><D:eq><D:literal>x</D:literal></D:eq></D:where>
+      </D:basicsearch></D:searchrequest>)");  // eq without prop
+  reject(R"(<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+      <D:where><D:and/></D:where>
+      </D:basicsearch></D:searchrequest>)");  // empty and
+  reject(R"(<D:searchrequest xmlns:D="DAV:"><D:basicsearch>
+      <D:where><D:regexp><D:prop><D:displayname/></D:prop>
+      <D:literal>.*</D:literal></D:regexp></D:where>
+      </D:basicsearch></D:searchrequest>)");  // unsupported operator
+  auto not_searchrequest = xml::parse_document("<wrong/>");
+  ASSERT_TRUE(not_searchrequest.ok());
+  EXPECT_FALSE(parse_search_request(*not_searchrequest.value()).ok());
+}
+
+// --- evaluation -----------------------------------------------------------
+
+TEST(SearchEval, CompareValuesNumericVsString) {
+  EXPECT_TRUE(compare_values(SearchOp::kEq, "10", "10.0"));   // numeric
+  EXPECT_TRUE(compare_values(SearchOp::kLt, "9", "10"));      // numeric
+  EXPECT_FALSE(compare_values(SearchOp::kLt, "9x", "10x"));   // string
+  EXPECT_TRUE(compare_values(SearchOp::kLt, "abc", "abd"));
+  EXPECT_TRUE(compare_values(SearchOp::kGte, "2.5", "2.5"));
+  EXPECT_FALSE(compare_values(SearchOp::kEq, "h2o", "H2O"));  // case matters
+}
+
+TEST(SearchEval, ExpressionTreeAgainstPropertyMap) {
+  std::map<xml::QName, std::string> props = {{kFormula, "H2O"},
+                                             {kEnergy, "-76.4"}};
+  auto lookup = [&](const xml::QName& name) -> std::optional<std::string> {
+    auto it = props.find(name);
+    if (it == props.end()) return std::nullopt;
+    return it->second;
+  };
+
+  dav::SearchExpr eq{SearchOp::kEq, kFormula, "H2O", {}};
+  EXPECT_TRUE(evaluate_search(eq, lookup, false));
+
+  dav::SearchExpr lt{SearchOp::kLt, kEnergy, "-76", {}};
+  EXPECT_TRUE(evaluate_search(lt, lookup, false));  // -76.4 < -76
+
+  dav::SearchExpr missing{SearchOp::kEq, xml::QName("urn:x", "nope"), "v", {}};
+  EXPECT_FALSE(evaluate_search(missing, lookup, false));
+
+  dav::SearchExpr defined{SearchOp::kIsDefined, kEnergy, "", {}};
+  EXPECT_TRUE(evaluate_search(defined, lookup, false));
+
+  dav::SearchExpr collection{SearchOp::kIsCollection, {}, "", {}};
+  EXPECT_FALSE(evaluate_search(collection, lookup, false));
+  EXPECT_TRUE(evaluate_search(collection, lookup, true));
+
+  dav::SearchExpr combined{SearchOp::kAnd, {}, "", {eq, lt}};
+  EXPECT_TRUE(evaluate_search(combined, lookup, false));
+  dav::SearchExpr negated{SearchOp::kNot, {}, "", {combined}};
+  EXPECT_FALSE(evaluate_search(negated, lookup, false));
+  dav::SearchExpr either{SearchOp::kOr, {}, "", {missing, eq}};
+  EXPECT_TRUE(evaluate_search(either, lookup, false));
+
+  dav::SearchExpr contains{SearchOp::kContains, kFormula, "2O", {}};
+  EXPECT_TRUE(evaluate_search(contains, lookup, false));
+}
+
+// --- end-to-end through the protocol ------------------------------------
+
+struct SearchStack : ::testing::Test {
+  SearchStack() : client(stack.client()) {
+    EXPECT_TRUE(client.mkcol("/lab").is_ok());
+    add("/lab/water", "H2O", "-76.4");
+    add("/lab/peroxide", "H2O2", "-151.5");
+    add("/lab/uranyl", "O2U", "-28000.1");
+    EXPECT_TRUE(client.mkcol("/lab/archive").is_ok());
+    add("/lab/archive/old-water", "H2O", "-76.0");
+  }
+  void add(const std::string& path, const std::string& formula,
+           const std::string& energy) {
+    ASSERT_TRUE(client.put(path, "data for " + path).is_ok());
+    ASSERT_TRUE(client
+                    .proppatch(path,
+                               {PropWrite::of_text(kFormula, formula),
+                                PropWrite::of_text(kEnergy, energy)})
+                    .is_ok());
+  }
+  DavStack stack;
+  davclient::DavClient client;
+};
+
+TEST_F(SearchStack, EqualityOverScope) {
+  auto result = client.search("/lab", Depth::kInfinity, {kFormula},
+                              Where::eq(kFormula, "H2O"));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_EQ(result.value().responses.size(), 2u);
+  EXPECT_NE(result.value().find("/lab/water"), nullptr);
+  EXPECT_NE(result.value().find("/lab/archive/old-water"), nullptr);
+}
+
+TEST_F(SearchStack, DepthOneLimitsScope) {
+  auto result = client.search("/lab", Depth::kOne, {kFormula},
+                              Where::eq(kFormula, "H2O"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().responses.size(), 1u);
+  EXPECT_EQ(result.value().responses.front().href, "/lab/water");
+}
+
+TEST_F(SearchStack, NumericComparisonOnProperties) {
+  // "energy below -100": peroxide and uranyl.
+  auto result = client.search("/lab", Depth::kInfinity, {kEnergy},
+                              Where::lt(kEnergy, "-100"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().responses.size(), 2u);
+  EXPECT_NE(result.value().find("/lab/peroxide"), nullptr);
+  EXPECT_NE(result.value().find("/lab/uranyl"), nullptr);
+}
+
+TEST_F(SearchStack, CombinatorsAndNegation) {
+  auto result = client.search(
+      "/lab", Depth::kInfinity, {kFormula},
+      Where::contains(kFormula, "H2O") && !Where::eq(kFormula, "H2O"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().responses.size(), 1u);
+  EXPECT_EQ(result.value().responses.front().href, "/lab/peroxide");
+}
+
+TEST_F(SearchStack, LivePropertiesSearchable) {
+  // Collections only.
+  auto collections = client.search("/lab", Depth::kInfinity,
+                                   {xml::dav_name("displayname")},
+                                   Where::is_collection());
+  ASSERT_TRUE(collections.ok());
+  ASSERT_EQ(collections.value().responses.size(), 2u);  // /lab + archive
+
+  // Documents larger than 15 bytes ("data for /lab/peroxide" etc).
+  auto big = client.search(
+      "/lab", Depth::kInfinity, {xml::dav_name("getcontentlength")},
+      Where::gt(xml::dav_name("getcontentlength"), "22"));
+  ASSERT_TRUE(big.ok());
+  for (const auto& response : big.value().responses) {
+    auto length = response.prop(xml::dav_name("getcontentlength"));
+    ASSERT_TRUE(length.has_value());
+    EXPECT_GT(std::stoul(std::string(*length)), 22u);
+  }
+}
+
+TEST_F(SearchStack, IsDefinedFindsAnnotatedResourcesOnly) {
+  xml::QName note("urn:other", "note");
+  ASSERT_TRUE(client.set_property("/lab/uranyl", note, "check me").is_ok());
+  auto result = client.search("/lab", Depth::kInfinity, {note},
+                              Where::is_defined(note));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().responses.size(), 1u);
+  EXPECT_EQ(result.value().responses.front().href, "/lab/uranyl");
+  EXPECT_EQ(result.value().responses.front().prop(note), "check me");
+}
+
+TEST_F(SearchStack, SearchAllReturnsWholeScope) {
+  auto result = client.search_all("/lab", Depth::kInfinity, {kFormula});
+  ASSERT_TRUE(result.ok());
+  // /lab, 3 documents, archive, archive/old-water.
+  EXPECT_EQ(result.value().responses.size(), 6u);
+}
+
+TEST_F(SearchStack, MissingScopeIs404) {
+  auto result = client.search_all("/ghost", Depth::kInfinity, {kFormula});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SearchStack, SelectedButUndefinedPropsReported404) {
+  xml::QName ghost("urn:other", "ghost");
+  auto result = client.search("/lab", Depth::kInfinity, {kFormula, ghost},
+                              Where::eq(kFormula, "H2O2"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().responses.size(), 1u);
+  const auto& response = result.value().responses.front();
+  EXPECT_TRUE(response.prop(kFormula).has_value());
+  ASSERT_EQ(response.missing.size(), 1u);
+  EXPECT_EQ(response.missing[0], ghost);
+}
+
+TEST_F(SearchStack, OptionsAdvertisesDasl) {
+  http::HttpRequest request;
+  request.method = "OPTIONS";
+  request.target = "/";
+  auto response = client.http().execute(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().headers.get("DASL"), "<DAV:basicsearch>");
+}
+
+}  // namespace
+}  // namespace davpse

@@ -1,0 +1,147 @@
+// Property-style invariants for the namespace operations, checked over
+// randomly generated resource trees:
+//   COPY:   destination is deeply equal to the source (bodies + dead
+//           properties); the source is untouched.
+//   MOVE:   destination is deeply equal to what the source was; the
+//           source is gone.
+//   DELETE: the subtree is gone; siblings are untouched.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "davclient/client.h"
+#include "testing/env.h"
+#include "util/random.h"
+
+namespace davpse {
+namespace {
+
+using davclient::DavClient;
+using davclient::Depth;
+using davclient::PropWrite;
+using testing::DavStack;
+
+const xml::QName kTag("urn:tree", "tag");
+const xml::QName kBlob("urn:tree", "blob");
+
+/// In-memory model of a generated tree for later comparison.
+struct ModelNode {
+  bool is_collection = false;
+  std::string body;
+  std::map<std::string, std::string> props;  // local name -> value
+};
+using Model = std::map<std::string, ModelNode>;  // path (rel to root) -> node
+
+/// Builds a random tree under `root` on the server and in the model.
+void generate_tree(Rng& rng, DavClient& client, const std::string& root,
+                   int depth, Model* model, const std::string& rel = "") {
+  size_t child_count = depth <= 0 ? 0 : rng.uniform(1, 4);
+  for (size_t i = 0; i < child_count; ++i) {
+    std::string name = rng.identifier(3, 8) + std::to_string(i);
+    std::string path = root + "/" + name;
+    std::string rel_path = rel + "/" + name;
+    ModelNode node;
+    node.is_collection = depth > 1 && rng.coin(0.4);
+    if (node.is_collection) {
+      ASSERT_TRUE(client.mkcol(path).is_ok());
+    } else {
+      node.body = rng.ascii_blob(rng.uniform(0, 2000));
+      ASSERT_TRUE(client.put(path, node.body).is_ok());
+    }
+    std::vector<PropWrite> writes;
+    size_t prop_count = rng.uniform(0, 4);
+    for (size_t p = 0; p < prop_count; ++p) {
+      std::string local = "p" + std::to_string(p);
+      std::string value = rng.ascii_blob(rng.uniform(1, 200));
+      node.props[local] = value;
+      writes.push_back(
+          PropWrite::of_text(xml::QName("urn:tree", local), value));
+    }
+    if (!writes.empty()) {
+      ASSERT_TRUE(client.proppatch(path, writes).is_ok());
+    }
+    if (node.is_collection) {
+      generate_tree(rng, client, path, depth - 1, model, rel_path);
+    }
+    (*model)[rel_path] = std::move(node);
+  }
+}
+
+/// Verifies the server subtree at `root` matches the model exactly.
+void verify_tree(DavClient& client, const std::string& root,
+                 const Model& model) {
+  auto listing = client.propfind_all(root, Depth::kInfinity);
+  ASSERT_TRUE(listing.ok()) << listing.status().to_string();
+  // Count server resources (excluding the root itself).
+  size_t server_count = 0;
+  for (const auto& response : listing.value().responses) {
+    if (response.href == root) continue;
+    ++server_count;
+    ASSERT_GE(response.href.size(), root.size());
+    std::string rel = response.href.substr(root.size());
+    auto it = model.find(rel);
+    ASSERT_NE(it, model.end()) << "unexpected resource " << response.href;
+    const ModelNode& node = it->second;
+    EXPECT_EQ(response.is_collection(), node.is_collection) << response.href;
+    for (const auto& [local, value] : node.props) {
+      auto got = client.get_property(response.href,
+                                     xml::QName("urn:tree", local));
+      ASSERT_TRUE(got.ok()) << response.href << " " << local;
+      EXPECT_EQ(got.value(), value) << response.href << " " << local;
+    }
+    if (!node.is_collection) {
+      auto body = client.get(response.href);
+      ASSERT_TRUE(body.ok());
+      EXPECT_EQ(body.value(), node.body) << response.href;
+    }
+  }
+  EXPECT_EQ(server_count, model.size());
+}
+
+class TreeInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeInvariants, CopyMoveDeletePreserveStructure) {
+  DavStack stack;
+  auto client = stack.client();
+  Rng rng(GetParam());
+  ASSERT_TRUE(client.mkcol("/src").is_ok());
+  Model model;
+  generate_tree(rng, client, "/src", 3, &model);
+
+  // COPY: deep-equal destination, untouched source.
+  ASSERT_TRUE(client.copy("/src", "/copied").is_ok());
+  verify_tree(client, "/copied", model);
+  verify_tree(client, "/src", model);
+
+  // MOVE: destination carries everything, source vanishes.
+  ASSERT_TRUE(client.move("/src", "/moved").is_ok());
+  verify_tree(client, "/moved", model);
+  EXPECT_FALSE(client.exists("/src").value());
+
+  // Mutating the copy must not affect the moved original (full
+  // physical independence of the two trees, properties included).
+  if (!model.empty()) {
+    const auto& [rel, node] = *model.begin();
+    std::string target = "/copied" + rel;
+    if (node.is_collection) {
+      ASSERT_TRUE(client.put(target + "/injected", "x").is_ok());
+    } else {
+      ASSERT_TRUE(client.put(target, "mutated").is_ok());
+      ASSERT_TRUE(
+          client.set_property(target, xml::QName("urn:tree", "p0"), "mut")
+              .is_ok());
+    }
+    verify_tree(client, "/moved", model);
+  }
+
+  // DELETE: the subtree disappears, the sibling tree is intact.
+  ASSERT_TRUE(client.remove("/copied").is_ok());
+  EXPECT_FALSE(client.exists("/copied").value());
+  verify_tree(client, "/moved", model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeInvariants,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace davpse

@@ -1,0 +1,139 @@
+// DeltaV-lite versioning: VERSION-CONTROL, auto-checkin on PUT, the
+// version-tree REPORT, historical retrieval, and interaction with
+// MOVE/COPY/DELETE. (The paper's title promises versioning; the DeltaV
+// standard was still a draft in 2001 — this is the linear-history
+// subset.)
+#include <gtest/gtest.h>
+
+#include "davclient/client.h"
+#include "testing/env.h"
+
+namespace davpse {
+namespace {
+
+using davclient::Depth;
+using testing::DavStack;
+
+const xml::QName kVersionName = xml::dav_name("version-name");
+
+struct VersioningFixture : ::testing::Test {
+  VersioningFixture() : client(stack.client()) {
+    EXPECT_TRUE(client.put("/doc", "v1-content").is_ok());
+  }
+  DavStack stack;
+  davclient::DavClient client;
+};
+
+TEST_F(VersioningFixture, VersionControlSnapshotsCurrentContent) {
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  auto versions = client.list_versions("/doc");
+  ASSERT_TRUE(versions.ok()) << versions.status().to_string();
+  EXPECT_EQ(versions.value(), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(client.get_version("/doc", 1).value(), "v1-content");
+}
+
+TEST_F(VersioningFixture, VersionControlIsIdempotent) {
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  EXPECT_EQ(client.list_versions("/doc").value().size(), 1u);
+}
+
+TEST_F(VersioningFixture, EveryPutChecksInANewVersion) {
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  ASSERT_TRUE(client.put("/doc", "v2-content").is_ok());
+  ASSERT_TRUE(client.put("/doc", "v3-content").is_ok());
+  auto versions = client.list_versions("/doc");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions.value(), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(client.get_version("/doc", 1).value(), "v1-content");
+  EXPECT_EQ(client.get_version("/doc", 2).value(), "v2-content");
+  EXPECT_EQ(client.get_version("/doc", 3).value(), "v3-content");
+  // Plain GET returns the latest.
+  EXPECT_EQ(client.get("/doc").value(), "v3-content");
+}
+
+TEST_F(VersioningFixture, VersionNameLiveProperty) {
+  // Absent before version control...
+  auto before = client.propfind("/doc", Depth::kZero, {kVersionName});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().responses.front().missing.size(), 1u);
+  // ...tracks the checked-in count afterwards.
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  ASSERT_TRUE(client.put("/doc", "v2").is_ok());
+  auto after = client.propfind("/doc", Depth::kZero, {kVersionName});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().responses.front().prop(kVersionName), "2");
+}
+
+TEST_F(VersioningFixture, UnversionedResourcesRejectReports) {
+  auto versions = client.list_versions("/doc");
+  EXPECT_FALSE(versions.ok());
+  EXPECT_EQ(versions.status().code(), ErrorCode::kConflict);
+  EXPECT_EQ(client.get_version("/doc", 1).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(VersioningFixture, MissingVersionIs404) {
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  EXPECT_EQ(client.get_version("/doc", 99).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(VersioningFixture, CollectionsCannotBeVersioned) {
+  ASSERT_TRUE(client.mkcol("/col").is_ok());
+  Status status = client.version_control("/col");
+  EXPECT_EQ(status.code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(client.version_control("/ghost").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(VersioningFixture, MoveCarriesHistoryCopyDoesNot) {
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  ASSERT_TRUE(client.put("/doc", "v2").is_ok());
+
+  ASSERT_TRUE(client.copy("/doc", "/copied").is_ok());
+  // The copy is a fresh, unversioned resource (DeltaV semantics).
+  EXPECT_EQ(client.list_versions("/copied").status().code(),
+            ErrorCode::kConflict);
+
+  ASSERT_TRUE(client.move("/doc", "/moved").is_ok());
+  auto versions = client.list_versions("/moved");
+  ASSERT_TRUE(versions.ok()) << versions.status().to_string();
+  EXPECT_EQ(versions.value(), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(client.get_version("/moved", 1).value(), "v1-content");
+}
+
+TEST_F(VersioningFixture, DeleteDropsHistory) {
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  ASSERT_TRUE(client.put("/doc", "v2").is_ok());
+  ASSERT_TRUE(client.remove("/doc").is_ok());
+  // Re-creating the resource starts with no history.
+  ASSERT_TRUE(client.put("/doc", "fresh").is_ok());
+  EXPECT_EQ(client.list_versions("/doc").status().code(),
+            ErrorCode::kConflict);
+}
+
+TEST_F(VersioningFixture, OptionsAdvertisesVersionControl) {
+  http::HttpRequest request;
+  request.method = "OPTIONS";
+  request.target = "/";
+  auto response = client.http().execute(std::move(request));
+  ASSERT_TRUE(response.ok());
+  auto dav_header = response.value().headers.get("DAV");
+  ASSERT_TRUE(dav_header.has_value());
+  EXPECT_NE(dav_header->find("version-control"), std::string_view::npos);
+}
+
+TEST_F(VersioningFixture, HistoryPreservedAcrossManyRevisions) {
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  for (int i = 2; i <= 20; ++i) {
+    ASSERT_TRUE(client.put("/doc", "rev-" + std::to_string(i)).is_ok());
+  }
+  auto versions = client.list_versions("/doc");
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions.value().size(), 20u);
+  EXPECT_EQ(client.get_version("/doc", 7).value(), "rev-7");
+  EXPECT_EQ(client.get_version("/doc", 20).value(), "rev-20");
+}
+
+}  // namespace
+}  // namespace davpse

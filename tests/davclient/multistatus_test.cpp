@@ -1,0 +1,198 @@
+// DOM-vs-SAX multistatus parser equivalence, including a generator-
+// based property sweep: both strategies must produce identical
+// structures for arbitrary generated multistatus bodies.
+#include "davclient/multistatus.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/strings.h"
+#include "xml/writer.h"
+
+namespace davpse::davclient {
+namespace {
+
+const char kSample[] = R"(<?xml version="1.0" encoding="utf-8"?>
+<D:multistatus xmlns:D="DAV:">
+  <D:response>
+    <D:href>/Ecce/proj%20x/calc</D:href>
+    <D:propstat>
+      <D:prop>
+        <e:formula xmlns:e="http://purl.pnl.gov/ecce">H30O17U</e:formula>
+        <D:resourcetype><D:collection/></D:resourcetype>
+      </D:prop>
+      <D:status>HTTP/1.1 200 OK</D:status>
+    </D:propstat>
+    <D:propstat>
+      <D:prop><e:missing xmlns:e="http://purl.pnl.gov/ecce"/></D:prop>
+      <D:status>HTTP/1.1 404 Not Found</D:status>
+    </D:propstat>
+  </D:response>
+  <D:response>
+    <D:href>/other</D:href>
+    <D:propstat>
+      <D:prop><D:getcontentlength>42</D:getcontentlength></D:prop>
+      <D:status>HTTP/1.1 200 OK</D:status>
+    </D:propstat>
+  </D:response>
+</D:multistatus>)";
+
+const xml::QName kFormula("http://purl.pnl.gov/ecce", "formula");
+const xml::QName kMissing("http://purl.pnl.gov/ecce", "missing");
+
+class BothParsers : public ::testing::TestWithParam<ParserKind> {};
+
+TEST_P(BothParsers, ParsesSampleDocument) {
+  auto parsed = parse_multistatus(kSample, GetParam());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const Multistatus& ms = parsed.value();
+  ASSERT_EQ(ms.responses.size(), 2u);
+
+  const ResourceResponse& first = ms.responses[0];
+  EXPECT_EQ(first.href, "/Ecce/proj x/calc");  // percent-decoded
+  EXPECT_EQ(first.prop(kFormula), "H30O17U");
+  EXPECT_TRUE(first.is_collection());
+  ASSERT_EQ(first.missing.size(), 1u);
+  EXPECT_EQ(first.missing[0], kMissing);
+
+  const ResourceResponse& second = ms.responses[1];
+  EXPECT_EQ(second.href, "/other");
+  EXPECT_EQ(second.prop(xml::dav_name("getcontentlength")), "42");
+  EXPECT_FALSE(second.is_collection());
+
+  EXPECT_NE(ms.find("/other"), nullptr);
+  EXPECT_EQ(ms.find("/nope"), nullptr);
+}
+
+TEST_P(BothParsers, FailedPropstatRecorded) {
+  const char doc[] = R"(<D:multistatus xmlns:D="DAV:"><D:response>
+      <D:href>/doc</D:href>
+      <D:propstat>
+        <D:prop><p:big xmlns:p="urn:p"/></D:prop>
+        <D:status>HTTP/1.1 507 Insufficient Storage</D:status>
+      </D:propstat>
+    </D:response></D:multistatus>)";
+  auto parsed = parse_multistatus(doc, GetParam());
+  ASSERT_TRUE(parsed.ok());
+  const auto& response = parsed.value().responses.front();
+  ASSERT_EQ(response.failed.size(), 1u);
+  EXPECT_EQ(response.failed[0].status, 507);
+  EXPECT_EQ(response.failed[0].name, xml::QName("urn:p", "big"));
+}
+
+TEST_P(BothParsers, RejectsNonMultistatusRoot) {
+  auto parsed = parse_multistatus("<wrong/>", GetParam());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kMalformed);
+}
+
+TEST_P(BothParsers, RejectsMalformedXml) {
+  auto parsed = parse_multistatus("<D:multistatus xmlns:D=\"DAV:\">",
+                                  GetParam());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST_P(BothParsers, HandlesAbsoluteUriHrefs) {
+  const char doc[] = R"(<D:multistatus xmlns:D="DAV:"><D:response>
+      <D:href>http://server:80/a/b</D:href>
+      <D:propstat><D:prop><D:displayname>b</D:displayname></D:prop>
+      <D:status>HTTP/1.1 200 OK</D:status></D:propstat>
+    </D:response></D:multistatus>)";
+  auto parsed = parse_multistatus(doc, GetParam());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().responses.front().href, "/a/b");
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, BothParsers,
+                         ::testing::Values(ParserKind::kDom,
+                                           ParserKind::kSax),
+                         [](const auto& info) {
+                           return info.param == ParserKind::kDom ? "Dom"
+                                                                 : "Sax";
+                         });
+
+// --- generator-based DOM==SAX equivalence ------------------------------
+
+std::string generate_multistatus(Rng& rng, size_t responses,
+                                 size_t props_per_response) {
+  xml::XmlWriter writer;
+  writer.prefer_prefix("DAV:", "D");
+  writer.declaration();
+  writer.start_element(xml::dav_name("multistatus"));
+  for (size_t r = 0; r < responses; ++r) {
+    writer.start_element(xml::dav_name("response"));
+    writer.text_element(xml::dav_name("href"),
+                        "/obj" + std::to_string(r));
+    writer.start_element(xml::dav_name("propstat"));
+    writer.start_element(xml::dav_name("prop"));
+    for (size_t p = 0; p < props_per_response; ++p) {
+      xml::QName name("urn:gen" + std::to_string(rng.uniform(1, 3)),
+                      "p" + std::to_string(p));
+      writer.start_element(name);
+      if (rng.coin(0.3)) {
+        // Nested XML value.
+        writer.start_element(xml::QName("urn:val", "inner"));
+        writer.text(rng.ascii_blob(rng.uniform(0, 30)));
+        writer.end_element();
+      } else {
+        writer.text(rng.ascii_blob(rng.uniform(0, 50)));
+      }
+      writer.end_element();
+    }
+    writer.end_element();
+    writer.text_element(xml::dav_name("status"), "HTTP/1.1 200 OK");
+    writer.end_element();
+    if (rng.coin(0.4)) {
+      writer.start_element(xml::dav_name("propstat"));
+      writer.start_element(xml::dav_name("prop"));
+      writer.empty_element(xml::QName("urn:gen1", "absent"));
+      writer.end_element();
+      writer.text_element(xml::dav_name("status"),
+                          "HTTP/1.1 404 Not Found");
+      writer.end_element();
+    }
+    writer.end_element();
+  }
+  writer.end_element();
+  return writer.take();
+}
+
+void expect_equivalent(const Multistatus& dom, const Multistatus& sax) {
+  ASSERT_EQ(dom.responses.size(), sax.responses.size());
+  for (size_t i = 0; i < dom.responses.size(); ++i) {
+    const auto& d = dom.responses[i];
+    const auto& s = sax.responses[i];
+    EXPECT_EQ(d.href, s.href);
+    ASSERT_EQ(d.found.size(), s.found.size());
+    for (size_t j = 0; j < d.found.size(); ++j) {
+      EXPECT_EQ(d.found[j].name, s.found[j].name);
+      EXPECT_EQ(d.found[j].inner_xml, s.found[j].inner_xml)
+          << d.found[j].name.to_string();
+    }
+    ASSERT_EQ(d.missing.size(), s.missing.size());
+    for (size_t j = 0; j < d.missing.size(); ++j) {
+      EXPECT_EQ(d.missing[j], s.missing[j]);
+    }
+  }
+}
+
+class DomSaxEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomSaxEquivalence, GeneratedBodiesParseIdentically) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    std::string body = generate_multistatus(rng, rng.uniform(0, 10),
+                                            rng.uniform(0, 8));
+    auto dom = parse_multistatus(body, ParserKind::kDom);
+    auto sax = parse_multistatus(body, ParserKind::kSax);
+    ASSERT_TRUE(dom.ok()) << dom.status().to_string() << "\n" << body;
+    ASSERT_TRUE(sax.ok()) << sax.status().to_string() << "\n" << body;
+    expect_equivalent(dom.value(), sax.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomSaxEquivalence,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace davpse::davclient

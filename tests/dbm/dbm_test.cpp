@@ -1,0 +1,242 @@
+#include "dbm/dbm.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+
+#include "util/fs.h"
+#include "util/random.h"
+
+namespace davpse::dbm {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DbmFlavors : public ::testing::TestWithParam<Flavor> {
+ protected:
+  TempDir temp{"dbmtest"};
+  fs::path db_path() const { return temp.path() / "test.db"; }
+};
+
+TEST_P(DbmFlavors, CreateStoreFetch) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok()) << db.status().to_string();
+  ASSERT_TRUE(db.value()->store("key1", "value1").is_ok());
+  ASSERT_TRUE(db.value()->store("key2", "value2").is_ok());
+  auto fetched = db.value()->fetch("key1");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value(), "value1");
+  EXPECT_TRUE(db.value()->contains("key2"));
+  EXPECT_FALSE(db.value()->contains("key3"));
+  EXPECT_EQ(db.value()->size(), 2u);
+}
+
+TEST_P(DbmFlavors, CreateRefusesExistingFile) {
+  { auto db = create_dbm(db_path(), GetParam()); ASSERT_TRUE(db.ok()); }
+  auto again = create_dbm(db_path(), GetParam());
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_P(DbmFlavors, OverwriteReplacesValue) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->store("k", "old").is_ok());
+  ASSERT_TRUE(db.value()->store("k", "new").is_ok());
+  EXPECT_EQ(db.value()->fetch("k").value(), "new");
+  EXPECT_EQ(db.value()->size(), 1u);
+}
+
+TEST_P(DbmFlavors, RemoveAndTombstones) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->store("k", "v").is_ok());
+  ASSERT_TRUE(db.value()->remove("k").is_ok());
+  EXPECT_FALSE(db.value()->contains("k"));
+  EXPECT_EQ(db.value()->fetch("k").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(db.value()->remove("k").code(), ErrorCode::kNotFound);
+}
+
+TEST_P(DbmFlavors, PersistsAcrossReopen) {
+  {
+    auto db = create_dbm(db_path(), GetParam());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()->store("alpha", "1").is_ok());
+    ASSERT_TRUE(db.value()->store("beta", "2").is_ok());
+    ASSERT_TRUE(db.value()->remove("alpha").is_ok());
+    ASSERT_TRUE(db.value()->store("gamma", "3").is_ok());
+    ASSERT_TRUE(db.value()->sync().is_ok());
+  }
+  auto reopened = open_dbm(db_path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().to_string();
+  EXPECT_EQ(reopened.value()->flavor(), GetParam());
+  EXPECT_FALSE(reopened.value()->contains("alpha"));
+  EXPECT_EQ(reopened.value()->fetch("beta").value(), "2");
+  EXPECT_EQ(reopened.value()->fetch("gamma").value(), "3");
+}
+
+TEST_P(DbmFlavors, InitialSizePreallocated) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok());
+  uint64_t expected =
+      GetParam() == Flavor::kSdbm ? 8 * 1024 : 25 * 1024;
+  // An empty database already occupies its initial allocation — the
+  // §3.2.4 "significant unused but allocated space".
+  EXPECT_EQ(db.value()->file_size(), expected);
+  EXPECT_EQ(db.value()->live_bytes(), 0u);
+}
+
+TEST_P(DbmFlavors, CompactReclaimsDeadRecords) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok());
+  std::string value(512, 'v');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.value()->store("churn", value + std::to_string(i)).is_ok());
+  }
+  ASSERT_TRUE(db.value()->store("keeper", "stays").is_ok());
+  uint64_t before = db.value()->file_size();
+  ASSERT_TRUE(db.value()->compact().is_ok());
+  uint64_t after = db.value()->file_size();
+  EXPECT_LT(after, before);
+  EXPECT_EQ(db.value()->fetch("keeper").value(), "stays");
+  EXPECT_TRUE(db.value()->contains("churn"));
+  // Contents survive a reopen after compaction.
+  auto reopened = open_dbm(db_path());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->fetch("keeper").value(), "stays");
+}
+
+TEST_P(DbmFlavors, KeysEnumeratesLiveSet) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->store("a", "1").is_ok());
+  ASSERT_TRUE(db.value()->store("b", "2").is_ok());
+  ASSERT_TRUE(db.value()->remove("a").is_ok());
+  auto keys = db.value()->keys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "b");
+}
+
+TEST_P(DbmFlavors, BinaryKeysAndValues) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok());
+  std::string key("bin\0key", 7);
+  std::string value("val\0ue\xff", 7);
+  ASSERT_TRUE(db.value()->store(key, value).is_ok());
+  EXPECT_EQ(db.value()->fetch(key).value(), value);
+}
+
+TEST_P(DbmFlavors, RandomOpsAgainstReferenceMap) {
+  auto db = create_dbm(db_path(), GetParam());
+  ASSERT_TRUE(db.ok());
+  std::map<std::string, std::string> reference;
+  Rng rng(GetParam() == Flavor::kSdbm ? 100 : 200);
+  for (int op = 0; op < 600; ++op) {
+    std::string key = "k" + std::to_string(rng.uniform(0, 30));
+    int action = static_cast<int>(rng.uniform(0, 2));
+    if (action == 0) {
+      std::string value = rng.ascii_blob(rng.uniform(0, 900));
+      ASSERT_TRUE(db.value()->store(key, value).is_ok());
+      reference[key] = value;
+    } else if (action == 1) {
+      Status status = db.value()->remove(key);
+      EXPECT_EQ(status.is_ok(), reference.erase(key) > 0);
+    } else {
+      auto fetched = db.value()->fetch(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_FALSE(fetched.ok());
+      } else {
+        ASSERT_TRUE(fetched.ok());
+        EXPECT_EQ(fetched.value(), it->second);
+      }
+    }
+  }
+  EXPECT_EQ(db.value()->size(), reference.size());
+  // Everything must survive a sync + reopen.
+  ASSERT_TRUE(db.value()->sync().is_ok());
+  auto reopened = open_dbm(db_path());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(reopened.value()->fetch(key).value(), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, DbmFlavors,
+                         ::testing::Values(Flavor::kSdbm, Flavor::kGdbm),
+                         [](const auto& info) {
+                           return info.param == Flavor::kSdbm ? "Sdbm"
+                                                              : "Gdbm";
+                         });
+
+// --- flavor-specific behaviors ---------------------------------------
+
+TEST(SdbmLimits, RejectsValuesOverOneKb) {
+  TempDir temp("dbmtest");
+  auto db = create_dbm(temp.path() / "s.db", Flavor::kSdbm);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db.value()->store("k", std::string(1024, 'x')).is_ok());
+  Status status = db.value()->store("k", std::string(1025, 'x'));
+  EXPECT_EQ(status.code(), ErrorCode::kTooLarge);
+}
+
+TEST(GdbmLimits, AcceptsLargeValues) {
+  TempDir temp("dbmtest");
+  auto db = create_dbm(temp.path() / "g.db", Flavor::kGdbm);
+  ASSERT_TRUE(db.ok());
+  std::string big(4 * 1024 * 1024, 'g');
+  ASSERT_TRUE(db.value()->store("k", big).is_ok());
+  EXPECT_EQ(db.value()->fetch("k").value(), big);
+}
+
+TEST(DbmErrors, OpenMissingFile) {
+  TempDir temp("dbmtest");
+  auto db = open_dbm(temp.path() / "missing.db");
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(DbmErrors, OpenGarbageFile) {
+  TempDir temp("dbmtest");
+  fs::path path = temp.path() / "garbage.db";
+  ASSERT_TRUE(write_file_atomic(path, std::string(100, 'z')).is_ok());
+  auto db = open_dbm(path);
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DbmErrors, TruncatedRecordDetected) {
+  TempDir temp("dbmtest");
+  fs::path path = temp.path() / "trunc.db";
+  {
+    auto db = create_dbm(path, Flavor::kGdbm);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()->store("key", std::string(2000, 'v')).is_ok());
+    ASSERT_TRUE(db.value()->sync().is_ok());
+  }
+  // Chop the tail off the last record.
+  auto size = fs::file_size(path);
+  fs::resize_file(path, size - 100);
+  auto db = open_dbm(path);
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), ErrorCode::kMalformed);
+}
+
+TEST(DbmOpenOrCreate, CreatesThenReopens) {
+  TempDir temp("dbmtest");
+  fs::path path = temp.path() / "oc.db";
+  {
+    auto db = open_or_create_dbm(path, Flavor::kGdbm);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db.value()->store("k", "v").is_ok());
+    ASSERT_TRUE(db.value()->sync().is_ok());
+  }
+  auto db = open_or_create_dbm(path, Flavor::kGdbm);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->fetch("k").value(), "v");
+}
+
+}  // namespace
+}  // namespace davpse::dbm

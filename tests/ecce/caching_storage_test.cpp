@@ -1,0 +1,125 @@
+// The client-side cache extension: ETag revalidation semantics,
+// invalidation on every mutation path, and coherence against writers
+// that bypass the cache.
+#include "core/caching_storage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dav_factory.h"
+#include "core/workload.h"
+#include "testing/env.h"
+
+namespace davpse::ecce {
+namespace {
+
+using testing::DavStack;
+
+struct CacheFixture : ::testing::Test {
+  CacheFixture() : client(stack.client()), storage(&client) {
+    EXPECT_TRUE(storage.create_container("/d").is_ok());
+    EXPECT_TRUE(
+        storage.write_object("/d/doc", "version-1", "text/plain").is_ok());
+  }
+  DavStack stack;
+  davclient::DavClient client;
+  CachingDavStorage storage;
+};
+
+TEST_F(CacheFixture, SecondReadIsARevalidatedHit) {
+  auto first = storage.read_object("/d/doc");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), "version-1");
+  EXPECT_EQ(storage.misses(), 1u);
+  EXPECT_EQ(storage.hits(), 0u);
+
+  auto second = storage.read_object("/d/doc");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), "version-1");
+  EXPECT_EQ(storage.misses(), 1u);
+  EXPECT_EQ(storage.hits(), 1u);
+  EXPECT_EQ(storage.cached_documents(), 1u);
+  EXPECT_EQ(storage.cached_bytes(), 9u);
+}
+
+TEST_F(CacheFixture, LocalWriteInvalidates) {
+  ASSERT_TRUE(storage.read_object("/d/doc").ok());
+  ASSERT_TRUE(
+      storage.write_object("/d/doc", "version-2", "text/plain").is_ok());
+  auto read = storage.read_object("/d/doc");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "version-2");
+  EXPECT_EQ(storage.misses(), 2u);  // both reads were full fetches
+}
+
+TEST_F(CacheFixture, ForeignWriteCaughtByEtagValidation) {
+  ASSERT_TRUE(storage.read_object("/d/doc").ok());
+  // Another client writes behind the cache's back.
+  auto other = stack.client();
+  // Ensure a different mtime second is not required: size changes too.
+  ASSERT_TRUE(other.put("/d/doc", "foreign-version-longer").is_ok());
+  auto read = storage.read_object("/d/doc");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "foreign-version-longer");
+}
+
+TEST_F(CacheFixture, RemoveInvalidatesSubtree) {
+  ASSERT_TRUE(
+      storage.write_object("/d/doc2", "x", "text/plain").is_ok());
+  ASSERT_TRUE(storage.read_object("/d/doc").ok());
+  ASSERT_TRUE(storage.read_object("/d/doc2").ok());
+  EXPECT_EQ(storage.cached_documents(), 2u);
+  ASSERT_TRUE(storage.remove("/d").is_ok());
+  EXPECT_EQ(storage.cached_documents(), 0u);
+  EXPECT_EQ(storage.read_object("/d/doc").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(CacheFixture, MoveAndCopyInvalidateTargets) {
+  ASSERT_TRUE(storage.read_object("/d/doc").ok());
+  ASSERT_TRUE(storage.move("/d/doc", "/d/renamed").is_ok());
+  EXPECT_EQ(storage.read_object("/d/doc").status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(storage.read_object("/d/renamed").value(), "version-1");
+
+  ASSERT_TRUE(storage.copy("/d/renamed", "/d/copy").is_ok());
+  EXPECT_EQ(storage.read_object("/d/copy").value(), "version-1");
+}
+
+TEST_F(CacheFixture, ClearResetsEverything) {
+  ASSERT_TRUE(storage.read_object("/d/doc").ok());
+  ASSERT_TRUE(storage.read_object("/d/doc").ok());
+  storage.clear();
+  EXPECT_EQ(storage.hits(), 0u);
+  EXPECT_EQ(storage.cached_documents(), 0u);
+  auto read = storage.read_object("/d/doc");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(storage.misses(), 1u);
+}
+
+TEST(CachingFactory, RepeatedToolLoadsRevalidateInsteadOfRefetch) {
+  // The factory stack works unchanged over the caching storage — the
+  // decorator drops in exactly where Figure 2 says a cache would go.
+  DavStack stack;
+  auto client = stack.client();
+  CachingDavStorage storage(&client);
+  DavCalculationFactory factory(&storage);
+  ASSERT_TRUE(factory.initialize().is_ok());
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  Calculation calc = make_uo2_calculation();
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+
+  auto first = factory.load_calculation("p", calc.name, LoadParts::all());
+  ASSERT_TRUE(first.ok());
+  uint64_t misses_after_first = storage.misses();
+  EXPECT_GT(misses_after_first, 0u);
+  EXPECT_EQ(storage.hits(), 0u);
+
+  auto second = factory.load_calculation("p", calc.name, LoadParts::all());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(storage.misses(), misses_after_first);  // no re-shipping
+  EXPECT_GT(storage.hits(), 0u);
+  EXPECT_EQ(second.value().output_bytes(), first.value().output_bytes());
+}
+
+}  // namespace
+}  // namespace davpse::ecce

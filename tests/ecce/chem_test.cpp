@@ -1,0 +1,185 @@
+#include "core/chem.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace davpse::ecce {
+namespace {
+
+TEST(Molecule, Uo2BenchmarkShape) {
+  Molecule molecule = make_uo2_15h2o();
+  EXPECT_EQ(molecule.atoms.size(), 50u);  // the paper's 50-atom system
+  EXPECT_EQ(molecule.charge, 2);
+  size_t uranium = 0, oxygen = 0, hydrogen = 0;
+  for (const Atom& atom : molecule.atoms) {
+    if (atom.symbol == "U") ++uranium;
+    if (atom.symbol == "O") ++oxygen;
+    if (atom.symbol == "H") ++hydrogen;
+  }
+  EXPECT_EQ(uranium, 1u);
+  EXPECT_EQ(oxygen, 19u);
+  EXPECT_EQ(hydrogen, 30u);
+}
+
+TEST(Molecule, EmpiricalFormulaHillOrder) {
+  Molecule water;
+  water.atoms = {{"O", 0, 0, 0}, {"H", 0, 0, 1}, {"H", 0, 1, 0}};
+  EXPECT_EQ(water.empirical_formula(), "H2O");
+
+  Molecule methane;
+  methane.atoms = {{"C", 0, 0, 0}, {"H", 1, 0, 0}, {"H", 0, 1, 0},
+                   {"H", 0, 0, 1}, {"H", 1, 1, 1}};
+  EXPECT_EQ(methane.empirical_formula(), "CH4");
+
+  EXPECT_EQ(make_uo2_15h2o().empirical_formula(), "H30O19U");
+}
+
+TEST(Molecule, SymmetryGuess) {
+  Molecule lone;
+  lone.atoms = {{"He", 0, 0, 0}};
+  EXPECT_EQ(lone.symmetry_group(), "Kh");
+  Molecule diatomic;
+  diatomic.atoms = {{"C", 0, 0, 0}, {"O", 0, 0, 1.1}};
+  EXPECT_EQ(diatomic.symmetry_group(), "C*v");
+  Molecule linear;
+  linear.atoms = {{"O", 0, 0, -1.16}, {"C", 0, 0, 0}, {"O", 0, 0, 1.16}};
+  EXPECT_EQ(linear.symmetry_group(), "D*h");
+  EXPECT_EQ(make_uo2_15h2o().symmetry_group(), "C1");
+}
+
+TEST(Molecule, XyzRoundTrip) {
+  Molecule original = make_uo2_15h2o();
+  auto parsed = Molecule::from_xyz(original.to_xyz());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().atoms.size(), original.atoms.size());
+  EXPECT_EQ(parsed.value().name, original.name);
+  for (size_t i = 0; i < original.atoms.size(); ++i) {
+    EXPECT_EQ(parsed.value().atoms[i].symbol, original.atoms[i].symbol);
+    EXPECT_NEAR(parsed.value().atoms[i].x, original.atoms[i].x, 1e-6);
+    EXPECT_NEAR(parsed.value().atoms[i].y, original.atoms[i].y, 1e-6);
+    EXPECT_NEAR(parsed.value().atoms[i].z, original.atoms[i].z, 1e-6);
+  }
+}
+
+TEST(Molecule, XyzRejectsMalformed) {
+  EXPECT_FALSE(Molecule::from_xyz("").ok());
+  EXPECT_FALSE(Molecule::from_xyz("abc\nname\n").ok());
+  EXPECT_FALSE(Molecule::from_xyz("2\nname\nO 0 0 0\n").ok());  // count short
+  EXPECT_FALSE(Molecule::from_xyz("1\nname\nO 0 zero 0\n").ok());
+  EXPECT_FALSE(Molecule::from_xyz("1\nname\nO 0 0\n").ok());  // 3 fields
+}
+
+TEST(Molecule, PdbRoundTrip) {
+  Molecule original = make_water_cluster(4, 99);
+  auto parsed = Molecule::from_pdb(original.to_pdb());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().atoms.size(), original.atoms.size());
+  EXPECT_EQ(parsed.value().name, original.name);
+  for (size_t i = 0; i < original.atoms.size(); ++i) {
+    EXPECT_EQ(parsed.value().atoms[i].symbol, original.atoms[i].symbol);
+    EXPECT_NEAR(parsed.value().atoms[i].x, original.atoms[i].x, 1e-3);
+  }
+}
+
+TEST(Molecule, PdbRejectsMalformed) {
+  EXPECT_FALSE(Molecule::from_pdb("no atom records here\n").ok());
+  EXPECT_FALSE(Molecule::from_pdb("HETATM short\n").ok());
+}
+
+TEST(BasisSet, TextRoundTrip) {
+  BasisSet original = make_basis_set("cc-pVDZ", {"U", "O", "H"}, 5);
+  auto parsed = BasisSet::from_text(original.to_text());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().name, original.name);
+  ASSERT_EQ(parsed.value().shells.size(), original.shells.size());
+  for (size_t i = 0; i < original.shells.size(); ++i) {
+    EXPECT_EQ(parsed.value().shells[i].element, original.shells[i].element);
+    EXPECT_EQ(parsed.value().shells[i].shell_type,
+              original.shells[i].shell_type);
+    ASSERT_EQ(parsed.value().shells[i].exponents.size(),
+              original.shells[i].exponents.size());
+    for (size_t j = 0; j < original.shells[i].exponents.size(); ++j) {
+      EXPECT_NEAR(parsed.value().shells[i].exponents[j] /
+                      original.shells[i].exponents[j],
+                  1.0, 1e-6);
+    }
+  }
+}
+
+TEST(BasisSet, FromTextRejections) {
+  EXPECT_FALSE(BasisSet::from_text("").ok());
+  EXPECT_FALSE(BasisSet::from_text("garbage\n").ok());
+  EXPECT_FALSE(BasisSet::from_text("BASIS noquotes\n").ok());
+  EXPECT_FALSE(
+      BasisSet::from_text("BASIS \"x\"\n 1.0 2.0\nEND\n").ok());  // primitive
+                                                                  // before
+                                                                  // shell
+}
+
+TEST(OutputProperty, BytesRoundTrip) {
+  OutputProperty original = make_property("gradient", "Hartree/Bohr",
+                                          100 * 1024, 77);
+  EXPECT_TRUE(original.shape_consistent());
+  auto parsed = OutputProperty::from_bytes(original.to_bytes());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().name, original.name);
+  EXPECT_EQ(parsed.value().units, original.units);
+  EXPECT_EQ(parsed.value().dimensions, original.dimensions);
+  EXPECT_EQ(parsed.value().values, original.values);
+}
+
+TEST(OutputProperty, SizeTargetsApproximated) {
+  OutputProperty big = make_property("modes", "A", 1800 * 1024, 1);
+  size_t payload = big.values.size() * sizeof(double);
+  EXPECT_NEAR(static_cast<double>(payload), 1800 * 1024.0, 1024.0);
+}
+
+TEST(OutputProperty, FromBytesRejections) {
+  EXPECT_FALSE(OutputProperty::from_bytes("").ok());
+  EXPECT_FALSE(OutputProperty::from_bytes("WRONGMAGIC___").ok());
+  OutputProperty original = make_property("p", "u", 1024, 2);
+  std::string encoded = original.to_bytes();
+  EXPECT_FALSE(
+      OutputProperty::from_bytes(encoded.substr(0, encoded.size() / 2)).ok());
+}
+
+TEST(Workload, SmallCalculationsAreSmallAndDeterministic) {
+  Calculation a = make_small_calculation("c1", 5);
+  Calculation b = make_small_calculation("c1", 5);
+  EXPECT_EQ(a.molecule.atoms.size(), b.molecule.atoms.size());
+  EXPECT_EQ(a.output_bytes(), b.output_bytes());
+  EXPECT_LE(a.molecule.atoms.size(), 12u);
+  EXPECT_LE(a.output_bytes(), 6 * 4096u);
+  EXPECT_FALSE(a.tasks.empty());
+  EXPECT_FALSE(a.tasks[0].input_deck.empty());
+}
+
+TEST(Workload, Uo2CalculationMatchesPaperScale) {
+  Calculation calc = make_uo2_calculation();
+  EXPECT_EQ(calc.molecule.atoms.size(), 50u);
+  EXPECT_EQ(calc.tasks.size(), 3u);
+  size_t max_property = 0;
+  for (const CalcTask& task : calc.tasks) {
+    for (const OutputProperty& output : task.outputs) {
+      max_property = std::max(max_property,
+                              output.values.size() * sizeof(double));
+    }
+  }
+  // "individual output properties up to 1.8 MB in size"
+  EXPECT_NEAR(static_cast<double>(max_property), 1800 * 1024.0, 2048.0);
+}
+
+TEST(Workload, BasisLibraryHasDistinctNames) {
+  auto library = make_basis_library(15);
+  ASSERT_EQ(library.size(), 15u);
+  for (size_t i = 0; i < library.size(); ++i) {
+    EXPECT_FALSE(library[i].shells.empty());
+    for (size_t j = i + 1; j < library.size(); ++j) {
+      EXPECT_NE(library[i].name, library[j].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace davpse::ecce

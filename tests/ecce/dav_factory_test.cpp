@@ -1,0 +1,299 @@
+// The Figure 4 mapping, exercised over the full DAV stack: the
+// object/factory layer saves a calculation, and both Ecce itself and
+// schema-ignorant DAV clients can read the result.
+#include "core/dav_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dav_storage.h"
+#include "core/schema_names.h"
+#include "core/workload.h"
+#include "testing/env.h"
+
+namespace davpse::ecce {
+namespace {
+
+using davclient::Depth;
+using testing::DavStack;
+
+struct DavFactoryFixture : ::testing::Test {
+  DavFactoryFixture()
+      : client(stack.client()), storage(&client), factory(&storage) {
+    EXPECT_TRUE(factory.initialize().is_ok());
+  }
+  DavStack stack;
+  davclient::DavClient client;
+  DavStorage storage;
+  DavCalculationFactory factory;
+};
+
+/// Loaded calculations report outputs in canonical (name-sorted)
+/// order; bring locally-built expectations into the same order.
+void normalize_outputs(Calculation* calculation) {
+  for (CalcTask& task : calculation->tasks) {
+    std::sort(task.outputs.begin(), task.outputs.end(),
+              [](const OutputProperty& a, const OutputProperty& b) {
+                return a.name < b.name;
+              });
+  }
+}
+
+void expect_calculations_equal(Calculation a, Calculation b) {
+  normalize_outputs(&a);
+  normalize_outputs(&b);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_EQ(a.theory, b.theory);
+  ASSERT_EQ(a.molecule.atoms.size(), b.molecule.atoms.size());
+  EXPECT_EQ(a.molecule.charge, b.molecule.charge);
+  for (size_t i = 0; i < a.molecule.atoms.size(); ++i) {
+    EXPECT_EQ(a.molecule.atoms[i].symbol, b.molecule.atoms[i].symbol);
+    EXPECT_NEAR(a.molecule.atoms[i].x, b.molecule.atoms[i].x, 1e-6);
+  }
+  EXPECT_EQ(a.basis.name, b.basis.name);
+  EXPECT_EQ(a.basis.shells.size(), b.basis.shells.size());
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].name, b.tasks[i].name);
+    EXPECT_EQ(a.tasks[i].kind, b.tasks[i].kind);
+    EXPECT_EQ(a.tasks[i].state, b.tasks[i].state);
+    EXPECT_EQ(a.tasks[i].input_deck, b.tasks[i].input_deck);
+    EXPECT_EQ(a.tasks[i].job.host, b.tasks[i].job.host);
+    EXPECT_EQ(a.tasks[i].job.scheduler_id, b.tasks[i].job.scheduler_id);
+    ASSERT_EQ(a.tasks[i].outputs.size(), b.tasks[i].outputs.size());
+    for (size_t j = 0; j < a.tasks[i].outputs.size(); ++j) {
+      EXPECT_EQ(a.tasks[i].outputs[j].name, b.tasks[i].outputs[j].name);
+      EXPECT_EQ(a.tasks[i].outputs[j].values, b.tasks[i].outputs[j].values);
+    }
+  }
+}
+
+TEST_F(DavFactoryFixture, ProjectLifecycle) {
+  ASSERT_TRUE(factory.create_project("aqueous").is_ok());
+  ASSERT_TRUE(factory.create_project("gasphase").is_ok());
+  auto projects = factory.list_projects();
+  ASSERT_TRUE(projects.ok());
+  EXPECT_EQ(projects.value(),
+            (std::vector<std::string>{"aqueous", "gasphase"}));
+}
+
+TEST_F(DavFactoryFixture, SaveLoadFullCalculation) {
+  Calculation original = make_uo2_calculation();
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", original).is_ok());
+  auto loaded = factory.load_calculation("p", original.name,
+                                         LoadParts::all());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  expect_calculations_equal(original, loaded.value());
+}
+
+TEST_F(DavFactoryFixture, LoadPartsAreSelective) {
+  Calculation original = make_uo2_calculation();
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", original).is_ok());
+
+  auto molecule_only = factory.load_calculation(
+      "p", original.name, LoadParts::molecule_only());
+  ASSERT_TRUE(molecule_only.ok());
+  EXPECT_EQ(molecule_only.value().molecule.atoms.size(), 50u);
+  EXPECT_TRUE(molecule_only.value().basis.shells.empty());
+  for (const CalcTask& task : molecule_only.value().tasks) {
+    EXPECT_TRUE(task.outputs.empty());
+    EXPECT_TRUE(task.input_deck.empty());
+  }
+
+  LoadParts no_outputs = LoadParts::all();
+  no_outputs.outputs = false;
+  auto editor_view =
+      factory.load_calculation("p", original.name, no_outputs);
+  ASSERT_TRUE(editor_view.ok());
+  EXPECT_FALSE(editor_view.value().tasks.empty());
+  for (const CalcTask& task : editor_view.value().tasks) {
+    EXPECT_TRUE(task.outputs.empty());
+    EXPECT_FALSE(task.input_deck.empty());
+  }
+}
+
+TEST_F(DavFactoryFixture, ProjectSummaryReadsMetadataOnly) {
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  Calculation small = make_small_calculation("calc-a", 3);
+  Calculation uo2 = make_uo2_calculation();
+  ASSERT_TRUE(factory.save_calculation("p", small).is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", uo2).is_ok());
+  auto summary = factory.project_summary("p");
+  ASSERT_TRUE(summary.ok()) << summary.status().to_string();
+  ASSERT_EQ(summary.value().size(), 2u);
+  const CalcSummary* uo2_row = nullptr;
+  for (const auto& row : summary.value()) {
+    if (row.name == uo2.name) uo2_row = &row;
+  }
+  ASSERT_NE(uo2_row, nullptr);
+  EXPECT_EQ(uo2_row->theory, TheoryLevel::kDFT);
+  EXPECT_EQ(uo2_row->state, RunState::kComplete);
+  EXPECT_EQ(uo2_row->formula, "H30O19U");
+}
+
+TEST_F(DavFactoryFixture, UpdateTaskStatePersists) {
+  Calculation calc = make_small_calculation("c", 1);
+  calc.tasks[0].state = RunState::kCreated;
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+  ASSERT_TRUE(
+      factory.update_task_state("p", "c", "task-1", RunState::kRunning)
+          .is_ok());
+  auto loaded = factory.load_calculation("p", "c", LoadParts::all());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().tasks[0].state, RunState::kRunning);
+}
+
+TEST_F(DavFactoryFixture, AttachOutputAddsProperty) {
+  Calculation calc = make_small_calculation("c", 2);
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+  size_t before = 0;
+  {
+    auto loaded = factory.load_calculation("p", "c", LoadParts::all());
+    ASSERT_TRUE(loaded.ok());
+    before = loaded.value().tasks[0].outputs.size();
+  }
+  OutputProperty extra = make_property("dipole", "Debye", 256, 9);
+  ASSERT_TRUE(factory.attach_output("p", "c", "task-1", extra).is_ok());
+  auto loaded = factory.load_calculation("p", "c", LoadParts::all());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().tasks[0].outputs.size(), before + 1);
+}
+
+TEST_F(DavFactoryFixture, CopyCalculationIsServerSideAndDeep) {
+  Calculation calc = make_small_calculation("orig", 4);
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+  ASSERT_TRUE(factory.copy_calculation("p", "orig", "copy").is_ok());
+  auto original = factory.load_calculation("p", "orig", LoadParts::all());
+  auto copied = factory.load_calculation("p", "copy", LoadParts::all());
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(copied.ok());
+  Calculation expected = original.value();
+  expected.name = "copy";
+  expect_calculations_equal(expected, copied.value());
+}
+
+TEST_F(DavFactoryFixture, RemoveCalculationDeletesSubtree) {
+  Calculation calc = make_small_calculation("c", 6);
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+  ASSERT_TRUE(factory.remove_calculation("p", "c").is_ok());
+  EXPECT_FALSE(
+      factory.load_calculation("p", "c", LoadParts::all()).ok());
+  auto names = factory.list_calculations("p");
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names.value().empty());
+}
+
+TEST_F(DavFactoryFixture, BasisLibraryRoundTrip) {
+  auto library = make_basis_library(4);
+  for (const BasisSet& basis : library) {
+    ASSERT_TRUE(factory.save_library_basis(basis).is_ok());
+  }
+  auto names = factory.list_library_bases();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value().size(), 4u);
+  auto loaded = factory.load_library_basis(library[2].name);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().shells.size(), library[2].shells.size());
+}
+
+TEST_F(DavFactoryFixture, MoleculeDiscoverableWithoutEcceSchema) {
+  // "applications could search the data store for DAV documents
+  // matching the formula metadata and render a 3D display of the
+  // molecule without understanding the rest of the Ecce schema."
+  Calculation calc = make_uo2_calculation();
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+
+  auto naive = stack.client();  // fresh client, no factory layer
+  auto result = naive.propfind("/Ecce", Depth::kInfinity,
+                               {kFormulaProp, kFormatProp});
+  ASSERT_TRUE(result.ok());
+  int molecules_found = 0;
+  for (const auto& response : result.value().responses) {
+    auto formula = response.prop(kFormulaProp);
+    auto format = response.prop(kFormatProp);
+    if (formula && format) {
+      ++molecules_found;
+      EXPECT_EQ(*formula, "H30O19U");
+      // The raw document is independently fetchable and parseable.
+      auto body = naive.get(response.href);
+      ASSERT_TRUE(body.ok());
+      EXPECT_TRUE(Molecule::from_xyz(body.value()).ok());
+    }
+  }
+  EXPECT_EQ(molecules_found, 1);
+}
+
+TEST_F(DavFactoryFixture, RelocateOutputKeepsVirtualDocumentIntact) {
+  // §3.2.3: "an application or a DAV implementation might elect to
+  // store large documents on an archive system... the DAV structure
+  // can be reorganized without breaking existing applications."
+  Calculation calc = make_uo2_calculation();
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+
+  auto before = factory.load_calculation("p", calc.name, LoadParts::all());
+  ASSERT_TRUE(before.ok());
+
+  // Archive the 1.8 MB normal-modes document out of the calc subtree.
+  ASSERT_TRUE(factory
+                  .relocate_output("p", calc.name, "task-2", "normal-modes",
+                                   "/Archive/large-properties/normal-modes")
+                  .is_ok());
+  // Physically gone from the task collection...
+  EXPECT_FALSE(
+      client.exists("/Ecce/p/" + calc.name + "/task-2/prop-normal-modes")
+          .value());
+  EXPECT_TRUE(
+      client.exists("/Archive/large-properties/normal-modes").value());
+
+  // ...but the application-level view is unchanged.
+  auto after = factory.load_calculation("p", calc.name, LoadParts::all());
+  ASSERT_TRUE(after.ok()) << after.status().to_string();
+  expect_calculations_equal(before.value(), after.value());
+
+  // Relocating something unknown fails cleanly.
+  EXPECT_EQ(factory
+                .relocate_output("p", calc.name, "task-2", "ghost",
+                                 "/Archive/x")
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(DavFactoryFixture, CopyRebasesMemberHrefs) {
+  Calculation calc = make_small_calculation("orig", 42);
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+  ASSERT_TRUE(factory.copy_calculation("p", "orig", "copy").is_ok());
+
+  // Mutate the ORIGINAL's outputs; the copy must not see the change
+  // (i.e. its member hrefs point into its own subtree).
+  OutputProperty replacement = make_property("prop-1", "a.u.", 512, 777);
+  ASSERT_TRUE(
+      factory.attach_output("p", "orig", "task-1", replacement).is_ok());
+  auto original = factory.load_calculation("p", "orig", LoadParts::all());
+  auto copied = factory.load_calculation("p", "copy", LoadParts::all());
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(copied.ok());
+  // The original gained/changed an output; the copy kept the old set.
+  EXPECT_EQ(copied.value().tasks[0].outputs.size(),
+            calc.tasks[0].outputs.size());
+}
+
+TEST_F(DavFactoryFixture, LoadMissingCalculationFails) {
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  auto loaded = factory.load_calculation("p", "ghost", LoadParts::all());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace davpse::ecce

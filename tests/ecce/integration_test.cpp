@@ -1,0 +1,306 @@
+// Cross-cutting Ecce scenarios: factory parity (same model through
+// both architectures), the §3.2.4 migration, the Section 4 agents, and
+// the Table 3 tool kernels end-to-end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/agents.h"
+#include "core/dav_factory.h"
+#include "core/dav_storage.h"
+#include "core/migrate.h"
+#include "core/oodb_factory.h"
+#include "core/schema_names.h"
+#include "core/tools.h"
+#include "core/workload.h"
+#include "testing/env.h"
+#include "util/fs.h"
+
+namespace davpse::ecce {
+namespace {
+
+using testing::DavStack;
+using testing::OodbStack;
+
+TEST(FactoryParity, SameCalculationThroughBothArchitectures) {
+  Calculation original = make_uo2_calculation();
+
+  DavStack dav_stack;
+  auto dav_client = dav_stack.client();
+  DavStorage storage(&dav_client);
+  DavCalculationFactory dav_factory(&storage);
+  ASSERT_TRUE(dav_factory.initialize().is_ok());
+  ASSERT_TRUE(dav_factory.create_project("p").is_ok());
+  ASSERT_TRUE(dav_factory.save_calculation("p", original).is_ok());
+
+  oodb::Schema schema = ecce_oodb_schema();
+  OodbStack oodb_stack(ecce_oodb_schema());
+  auto oodb_client = oodb_stack.client(schema);
+  OodbCalculationFactory oodb_factory(oodb_client.get());
+  ASSERT_TRUE(oodb_factory.initialize().is_ok());
+  ASSERT_TRUE(oodb_factory.create_project("p").is_ok());
+  ASSERT_TRUE(oodb_factory.save_calculation("p", original).is_ok());
+
+  auto from_dav =
+      dav_factory.load_calculation("p", original.name, LoadParts::all());
+  auto from_oodb =
+      oodb_factory.load_calculation("p", original.name, LoadParts::all());
+  ASSERT_TRUE(from_dav.ok());
+  ASSERT_TRUE(from_oodb.ok());
+
+  const Calculation& a = from_dav.value();
+  const Calculation& b = from_oodb.value();
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_EQ(a.theory, b.theory);
+  ASSERT_EQ(a.molecule.atoms.size(), b.molecule.atoms.size());
+  for (size_t i = 0; i < a.molecule.atoms.size(); ++i) {
+    EXPECT_EQ(a.molecule.atoms[i].symbol, b.molecule.atoms[i].symbol);
+    EXPECT_NEAR(a.molecule.atoms[i].x, b.molecule.atoms[i].x, 1e-6);
+    EXPECT_NEAR(a.molecule.atoms[i].y, b.molecule.atoms[i].y, 1e-6);
+    EXPECT_NEAR(a.molecule.atoms[i].z, b.molecule.atoms[i].z, 1e-6);
+  }
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].input_deck, b.tasks[i].input_deck);
+    ASSERT_EQ(a.tasks[i].outputs.size(), b.tasks[i].outputs.size());
+    for (size_t j = 0; j < a.tasks[i].outputs.size(); ++j) {
+      EXPECT_EQ(a.tasks[i].outputs[j].values, b.tasks[i].outputs[j].values);
+    }
+  }
+}
+
+TEST(Migration, TwoStageOodbToDav) {
+  // Legacy store: projects of small calculations plus a basis library.
+  oodb::Schema schema = ecce_oodb_schema();
+  OodbStack oodb_stack(ecce_oodb_schema());
+  auto oodb_client = oodb_stack.client(schema);
+  OodbCalculationFactory source(oodb_client.get());
+  ASSERT_TRUE(source.initialize().is_ok());
+  constexpr int kProjects = 2, kCalcsPerProject = 3;
+  for (int p = 0; p < kProjects; ++p) {
+    std::string project = "proj" + std::to_string(p);
+    ASSERT_TRUE(source.create_project(project).is_ok());
+    for (int c = 0; c < kCalcsPerProject; ++c) {
+      ASSERT_TRUE(source
+                      .save_calculation(
+                          project, make_small_calculation(
+                                       "calc" + std::to_string(c),
+                                       p * 100 + c + 1))
+                      .is_ok());
+    }
+  }
+  for (const BasisSet& basis : make_basis_library(2)) {
+    ASSERT_TRUE(source.save_library_basis(basis).is_ok());
+  }
+
+  // Raw files on "the user's local disk" (stage 2 input).
+  TempDir raw_dir("rawfiles");
+  namespace fs = std::filesystem;
+  fs::create_directories(raw_dir.path() / "proj0" / "calc1");
+  ASSERT_TRUE(write_file_atomic(raw_dir.path() / "proj0" / "calc1" /
+                                    "output.log",
+                                std::string(5000, 'L'))
+                  .is_ok());
+  ASSERT_TRUE(write_file_atomic(
+                  raw_dir.path() / "proj0" / "calc1" / "restart.db",
+                  std::string(2000, 'R'))
+                  .is_ok());
+
+  // Destination stack.
+  DavStack dav_stack;
+  auto dav_client = dav_stack.client();
+  DavStorage storage(&dav_client);
+  DavCalculationFactory dest(&storage);
+
+  Migrator migrator(&source, &dest, &storage);
+  auto report = migrator.migrate_all();
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().projects, static_cast<size_t>(kProjects));
+  EXPECT_EQ(report.value().calculations,
+            static_cast<size_t>(kProjects * kCalcsPerProject));
+
+  MigrationReport stage2 = report.value();
+  ASSERT_TRUE(migrator.move_raw_files(raw_dir.path(), &stage2).is_ok());
+  EXPECT_EQ(stage2.raw_files_moved, 2u);
+  EXPECT_EQ(stage2.raw_bytes_moved, 7000u);
+
+  // Everything is readable through the new architecture.
+  for (int p = 0; p < kProjects; ++p) {
+    std::string project = "proj" + std::to_string(p);
+    for (int c = 0; c < kCalcsPerProject; ++c) {
+      std::string name = "calc" + std::to_string(c);
+      auto from_source =
+          source.load_calculation(project, name, LoadParts::all());
+      auto from_dest = dest.load_calculation(project, name, LoadParts::all());
+      ASSERT_TRUE(from_source.ok());
+      ASSERT_TRUE(from_dest.ok()) << project << "/" << name;
+      EXPECT_EQ(from_dest.value().tasks.size(),
+                from_source.value().tasks.size());
+      EXPECT_EQ(from_dest.value().output_bytes(),
+                from_source.value().output_bytes());
+    }
+  }
+  // Raw files became members of the calculation virtual document.
+  auto raw = dav_client.get("/Ecce/proj0/calc1/raw-output.log");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw.value().size(), 5000u);
+  // Library migrated too.
+  auto bases = dest.list_library_bases();
+  ASSERT_TRUE(bases.ok());
+  EXPECT_EQ(bases.value().size(), 2u);
+}
+
+TEST(Agents, FormulaSearchFindsOnlyMolecules) {
+  DavStack stack;
+  auto client = stack.client();
+  DavStorage storage(&client);
+  DavCalculationFactory factory(&storage);
+  ASSERT_TRUE(factory.initialize().is_ok());
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(
+      factory.save_calculation("p", make_uo2_calculation()).is_ok());
+  ASSERT_TRUE(
+      factory.save_calculation("p", make_small_calculation("w", 11)).is_ok());
+
+  FormulaSearchAgent agent(&client);
+  auto all = agent.search("/Ecce");
+  ASSERT_TRUE(all.ok());
+  // save_calculation stamps ecce:formula on the calculation collection
+  // AND the molecule document; only documents are reported.
+  EXPECT_EQ(all.value().size(), 2u);
+  auto filtered = agent.search("/Ecce", "H30O19U");
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered.value().size(), 1u);
+  EXPECT_EQ(filtered.value()[0].format, "xyz");
+
+  auto none = agent.search("/Ecce", "C60");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+
+  // The DASL strategy returns exactly the same hits with server-side
+  // filtering.
+  FormulaSearchAgent dasl(&client,
+                          FormulaSearchAgent::Strategy::kServerSearch);
+  auto dasl_all = dasl.search("/Ecce");
+  ASSERT_TRUE(dasl_all.ok()) << dasl_all.status().to_string();
+  ASSERT_EQ(dasl_all.value().size(), all.value().size());
+  for (size_t i = 0; i < all.value().size(); ++i) {
+    EXPECT_EQ(dasl_all.value()[i].path, all.value()[i].path);
+    EXPECT_EQ(dasl_all.value()[i].formula, all.value()[i].formula);
+  }
+  auto dasl_filtered = dasl.search("/Ecce", "H30O19U");
+  ASSERT_TRUE(dasl_filtered.ok());
+  EXPECT_EQ(dasl_filtered.value().size(), 1u);
+}
+
+TEST(Agents, ThermoAgentAnnotatesAndEcceSeesIt) {
+  DavStack stack;
+  auto client = stack.client();
+  DavStorage storage(&client);
+  DavCalculationFactory factory(&storage);
+  ASSERT_TRUE(factory.initialize().is_ok());
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  ASSERT_TRUE(
+      factory.save_calculation("p", make_uo2_calculation()).is_ok());
+
+  ThermoAgent agent(&client);
+  auto annotated = agent.annotate("/Ecce");
+  ASSERT_TRUE(annotated.ok()) << annotated.status().to_string();
+  EXPECT_EQ(annotated.value(), 1u);
+
+  // The new metadata is immediately queryable alongside Ecce's own —
+  // no schema change, no Ecce involvement.
+  std::string molecule_path = "/Ecce/p/uo2-15h2o-dft/molecule";
+  auto enthalpy = client.get_property(molecule_path, kThermoEnthalpyProp);
+  ASSERT_TRUE(enthalpy.ok());
+  EXPECT_FALSE(enthalpy.value().empty());
+  auto source = client.get_property(molecule_path, kThermoSourceProp);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source.value(), "thermo-agent/1.0");
+  // Ecce's own metadata is untouched.
+  auto formula = client.get_property(molecule_path, kFormulaProp);
+  ASSERT_TRUE(formula.ok());
+  EXPECT_EQ(formula.value(), "H30O19U");
+}
+
+TEST(Agents, ThermoEstimateIsDeterministicAndSizeMonotone) {
+  ThermoEstimate small = estimate_thermo(make_water_cluster(2, 1));
+  ThermoEstimate small_again = estimate_thermo(make_water_cluster(2, 1));
+  EXPECT_DOUBLE_EQ(small.enthalpy_kj_mol, small_again.enthalpy_kj_mol);
+  ThermoEstimate large = estimate_thermo(make_water_cluster(20, 1));
+  EXPECT_GT(large.entropy_j_mol_k, small.entropy_j_mol_k);
+  EXPECT_LT(large.enthalpy_kj_mol, small.enthalpy_kj_mol);
+}
+
+TEST(ToolKernels, AllSixRunAgainstDavFactory) {
+  DavStack stack;
+  auto client = stack.client();
+  DavStorage storage(&client);
+  DavCalculationFactory factory(&storage);
+  ASSERT_TRUE(factory.initialize().is_ok());
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  Calculation calc = make_uo2_calculation();
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+  for (const BasisSet& basis : make_basis_library(5)) {
+    ASSERT_TRUE(factory.save_library_basis(basis).is_ok());
+  }
+
+  auto tools = make_all_tools(&factory);
+  ASSERT_EQ(tools.size(), 6u);
+  for (auto& tool : tools) {
+    ASSERT_TRUE(tool->start().is_ok()) << tool->name();
+    ASSERT_TRUE(tool->load("p", calc.name).is_ok()) << tool->name();
+  }
+  // Selectivity: the viewer holds the 1.8 MB outputs, the builder only
+  // the molecule, the launcher neither.
+  size_t builder = tools[0]->resident_bytes();
+  size_t basis_tool = tools[1]->resident_bytes();
+  size_t viewer = tools[3]->resident_bytes();
+  size_t launcher = tools[5]->resident_bytes();
+  EXPECT_LT(builder, 16 * 1024u);
+  EXPECT_GT(viewer, 1800 * 1024u);
+  EXPECT_LT(launcher, viewer / 10);
+  EXPECT_GT(basis_tool, 0u);
+}
+
+TEST(ToolKernels, CalcManagerSummarizesProject) {
+  DavStack stack;
+  auto client = stack.client();
+  DavStorage storage(&client);
+  DavCalculationFactory factory(&storage);
+  ASSERT_TRUE(factory.initialize().is_ok());
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(factory
+                    .save_calculation("p", make_small_calculation(
+                                               "c" + std::to_string(i), i + 1))
+                    .is_ok());
+  }
+  CalcManagerTool manager(&factory);
+  ASSERT_TRUE(manager.start().is_ok());
+  ASSERT_TRUE(manager.load_project("p").is_ok());
+  EXPECT_EQ(manager.summaries().size(), 4u);
+}
+
+TEST(ToolKernels, AllSixRunAgainstOodbFactory) {
+  oodb::Schema schema = ecce_oodb_schema();
+  OodbStack stack(ecce_oodb_schema());
+  auto client = stack.client(schema);
+  OodbCalculationFactory factory(client.get());
+  ASSERT_TRUE(factory.initialize().is_ok());
+  ASSERT_TRUE(factory.create_project("p").is_ok());
+  Calculation calc = make_small_calculation("c", 21);
+  ASSERT_TRUE(factory.save_calculation("p", calc).is_ok());
+  for (const BasisSet& basis : make_basis_library(3)) {
+    ASSERT_TRUE(factory.save_library_basis(basis).is_ok());
+  }
+  auto tools = make_all_tools(&factory);
+  for (auto& tool : tools) {
+    ASSERT_TRUE(tool->start().is_ok()) << tool->name();
+    ASSERT_TRUE(tool->load("p", calc.name).is_ok()) << tool->name();
+  }
+}
+
+}  // namespace
+}  // namespace davpse::ecce

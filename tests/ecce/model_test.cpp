@@ -1,0 +1,66 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace davpse::ecce {
+namespace {
+
+TEST(ModelEnums, RoundTripAllValues) {
+  for (TheoryLevel theory : {TheoryLevel::kSCF, TheoryLevel::kDFT,
+                             TheoryLevel::kMP2, TheoryLevel::kCCSD}) {
+    auto parsed = theory_from_string(to_string(theory));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), theory);
+  }
+  for (TaskKind kind : {TaskKind::kGeometryOptimization, TaskKind::kEnergy,
+                        TaskKind::kFrequency, TaskKind::kESP}) {
+    auto parsed = task_kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  for (RunState state : {RunState::kCreated, RunState::kSubmitted,
+                         RunState::kRunning, RunState::kComplete,
+                         RunState::kFailed}) {
+    auto parsed = run_state_from_string(to_string(state));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), state);
+  }
+}
+
+TEST(ModelEnums, UnknownStringsRejected) {
+  EXPECT_FALSE(theory_from_string("B3LYP?").ok());
+  EXPECT_FALSE(task_kind_from_string("").ok());
+  EXPECT_FALSE(run_state_from_string("COMPLETE").ok());  // case-sensitive
+}
+
+TEST(InputDeck, ContainsGeometryBasisAndTaskDirective) {
+  Calculation calc = make_uo2_calculation();
+  const CalcTask& optimize = calc.tasks[0];
+  std::string deck = generate_input_deck(calc, optimize);
+  EXPECT_NE(deck.find("charge 2"), std::string::npos);
+  EXPECT_NE(deck.find("geometry units angstroms"), std::string::npos);
+  EXPECT_NE(deck.find("U "), std::string::npos);
+  EXPECT_NE(deck.find(calc.basis.name), std::string::npos);
+  EXPECT_NE(deck.find("task dft optimize"), std::string::npos);
+
+  const CalcTask& frequency = calc.tasks[1];
+  EXPECT_NE(generate_input_deck(calc, frequency).find("task dft freq"),
+            std::string::npos);
+}
+
+TEST(Calculation, OutputBytesSumsAllTasks) {
+  Calculation calc = make_uo2_calculation();
+  size_t expected = 0;
+  for (const CalcTask& task : calc.tasks) {
+    for (const OutputProperty& output : task.outputs) {
+      expected += output.values.size() * sizeof(double);
+    }
+  }
+  EXPECT_EQ(calc.output_bytes(), expected);
+  EXPECT_GT(calc.output_bytes(), 1800 * 1024u);
+}
+
+}  // namespace
+}  // namespace davpse::ecce

@@ -1,0 +1,151 @@
+// Relationship metadata: codec round trips, read-modify-write
+// semantics, reverse lookup via SEARCH, and the pedigree-tracking
+// scenario (derived data pointing back at its sources).
+#include "core/relationships.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.h"
+
+namespace davpse::ecce {
+namespace {
+
+using testing::DavStack;
+
+TEST(RelationshipCodec, RoundTrip) {
+  std::vector<Relationship> rels = {
+      {"derived-from", "/Ecce/p/calc1"},
+      {"annotates", "/notebook/page 7"},  // space survives XML attr
+      {"precedes", "/Ecce/p/calc3"},
+  };
+  auto decoded = decode_relationships(encode_relationships(rels));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().size(), 3u);
+  for (size_t i = 0; i < rels.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].type, rels[i].type);
+    EXPECT_EQ(decoded.value()[i].href, rels[i].href);
+  }
+}
+
+TEST(RelationshipCodec, EmptyAndMalformed) {
+  auto empty = decode_relationships("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  EXPECT_FALSE(decode_relationships("<unclosed").ok());
+  EXPECT_FALSE(decode_relationships(
+                   "<e:rel xmlns:e=\"http://purl.pnl.gov/ecce\" "
+                   "type=\"x\"/>")  // missing href
+                   .ok());
+  // Foreign elements between entries are tolerated and skipped.
+  std::string mixed =
+      encode_relationships({{"has-part", "/a"}}) + "<other xmlns=\"u\"/>";
+  auto decoded = decode_relationships(mixed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 1u);
+}
+
+struct RelFixture : ::testing::Test {
+  RelFixture() : client(stack.client()) {
+    EXPECT_TRUE(client.mkcol("/store").is_ok());
+    for (const char* name : {"raw", "refined", "report"}) {
+      EXPECT_TRUE(client.put(std::string("/store/") + name, name).is_ok());
+    }
+  }
+  DavStack stack;
+  davclient::DavClient client;
+};
+
+TEST_F(RelFixture, AddAndReadBack) {
+  ASSERT_TRUE(add_relationship(client, "/store/refined", kRelDerivedFrom,
+                               "/store/raw")
+                  .is_ok());
+  auto rels = relationships_of(client, "/store/refined");
+  ASSERT_TRUE(rels.ok()) << rels.status().to_string();
+  ASSERT_EQ(rels.value().size(), 1u);
+  EXPECT_EQ(rels.value()[0].type, "derived-from");
+  EXPECT_EQ(rels.value()[0].href, "/store/raw");
+  // Resources without relationships report an empty list.
+  auto none = relationships_of(client, "/store/raw");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST_F(RelFixture, DuplicatesIgnoredDistinctAccumulate) {
+  ASSERT_TRUE(add_relationship(client, "/store/report", kRelDerivedFrom,
+                               "/store/refined")
+                  .is_ok());
+  ASSERT_TRUE(add_relationship(client, "/store/report", kRelDerivedFrom,
+                               "/store/refined")
+                  .is_ok());
+  ASSERT_TRUE(add_relationship(client, "/store/report", kRelDerivedFrom,
+                               "/store/raw")
+                  .is_ok());
+  ASSERT_TRUE(add_relationship(client, "/store/report", kRelAnnotates,
+                               "/store/raw")
+                  .is_ok());
+  auto rels = relationships_of(client, "/store/report");
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(rels.value().size(), 3u);
+}
+
+TEST_F(RelFixture, RemoveRelationship) {
+  ASSERT_TRUE(add_relationship(client, "/store/refined", kRelDerivedFrom,
+                               "/store/raw")
+                  .is_ok());
+  ASSERT_TRUE(remove_relationship(client, "/store/refined",
+                                  kRelDerivedFrom, "/store/raw")
+                  .is_ok());
+  auto rels = relationships_of(client, "/store/refined");
+  ASSERT_TRUE(rels.ok());
+  EXPECT_TRUE(rels.value().empty());
+  EXPECT_EQ(remove_relationship(client, "/store/refined", kRelDerivedFrom,
+                                "/store/raw")
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(RelFixture, ReverseLookupViaSearch) {
+  // Pedigree: refined and report both derive from raw.
+  ASSERT_TRUE(add_relationship(client, "/store/refined", kRelDerivedFrom,
+                               "/store/raw")
+                  .is_ok());
+  ASSERT_TRUE(add_relationship(client, "/store/report", kRelDerivedFrom,
+                               "/store/raw")
+                  .is_ok());
+  ASSERT_TRUE(add_relationship(client, "/store/report", kRelAnnotates,
+                               "/store/refined")
+                  .is_ok());
+
+  auto derived = find_related(client, "/store", kRelDerivedFrom,
+                              "/store/raw");
+  ASSERT_TRUE(derived.ok()) << derived.status().to_string();
+  ASSERT_EQ(derived.value().size(), 2u);
+
+  auto annotators = find_related(client, "/store", kRelAnnotates,
+                                 "/store/refined");
+  ASSERT_TRUE(annotators.ok());
+  ASSERT_EQ(annotators.value().size(), 1u);
+  EXPECT_EQ(annotators.value()[0], "/store/report");
+
+  auto nothing = find_related(client, "/store", kRelSupersedes,
+                              "/store/raw");
+  ASSERT_TRUE(nothing.ok());
+  EXPECT_TRUE(nothing.value().empty());
+}
+
+TEST_F(RelFixture, RelationshipsSurviveCopyAndMove) {
+  ASSERT_TRUE(add_relationship(client, "/store/refined", kRelDerivedFrom,
+                               "/store/raw")
+                  .is_ok());
+  ASSERT_TRUE(client.copy("/store/refined", "/store/refined2").is_ok());
+  auto copied = relationships_of(client, "/store/refined2");
+  ASSERT_TRUE(copied.ok());
+  ASSERT_EQ(copied.value().size(), 1u);
+  ASSERT_TRUE(client.move("/store/refined", "/store/renamed").is_ok());
+  auto moved = relationships_of(client, "/store/renamed");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace davpse::ecce

@@ -1,0 +1,136 @@
+#include "ftp/ftp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/fs.h"
+#include "util/random.h"
+
+namespace davpse::ftp {
+namespace {
+
+std::string unique_endpoint() {
+  static std::atomic<int> counter{0};
+  return "ftptest-" + std::to_string(counter.fetch_add(1));
+}
+
+struct FtpFixture {
+  FtpFixture() : temp("ftptest") {
+    FtpServerConfig config;
+    config.endpoint = unique_endpoint();
+    config.root = temp.path();
+    config.user = "chemist";
+    config.password = "s3cret";
+    endpoint = config.endpoint;
+    server = std::make_unique<FtpServer>(config);
+    EXPECT_TRUE(server->start().is_ok());
+  }
+  TempDir temp;
+  std::string endpoint;
+  std::unique_ptr<FtpServer> server;
+};
+
+TEST(Ftp, LoginStoreRetrieve) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  std::string payload("binary\0payload", 14);
+  ASSERT_TRUE(client.store("output.dat", payload).is_ok());
+  auto fetched = client.retrieve("output.dat");
+  ASSERT_TRUE(fetched.ok()) << fetched.status().to_string();
+  EXPECT_EQ(fetched.value(), payload);
+  EXPECT_TRUE(client.quit().is_ok());
+}
+
+TEST(Ftp, StoredFileLandsOnDisk) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  ASSERT_TRUE(client.store("f.bin", "0123456789").is_ok());
+  std::string contents;
+  ASSERT_TRUE(read_file(fixture.temp.path() / "f.bin", &contents).is_ok());
+  EXPECT_EQ(contents, "0123456789");
+}
+
+TEST(Ftp, WrongPasswordRejected) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  Status status = client.login("chemist", "wrong");
+  EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(Ftp, CommandsBeforeLoginRejected) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  Status status = client.store("f", "data");
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(Ftp, RetrieveMissingFileIsNotFound) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  auto fetched = client.retrieve("missing.dat");
+  EXPECT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Ftp, PathTraversalNamesRejected) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  EXPECT_FALSE(client.store("../escape", "x").is_ok());
+  EXPECT_FALSE(client.store("a/b", "x").is_ok());
+  EXPECT_FALSE(client.retrieve("..").ok());
+}
+
+TEST(Ftp, LargeBinaryTransferIntegrity) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  Rng rng(13);
+  std::string payload = rng.binary_blob(5 * 1024 * 1024);
+  ASSERT_TRUE(client.store("big.bin", payload).is_ok());
+  auto fetched = client.retrieve("big.bin");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value(), payload);
+}
+
+TEST(Ftp, MultipleTransfersOnOneSession) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  for (int i = 0; i < 5; ++i) {
+    std::string name = "file" + std::to_string(i);
+    std::string data = "payload-" + std::to_string(i);
+    ASSERT_TRUE(client.store(name, data).is_ok());
+    auto fetched = client.retrieve(name);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched.value(), data);
+  }
+}
+
+TEST(Ftp, NetworkModelAccountsDataBytes) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  net::NetworkModel model(net::LinkProfile::paper_lan());
+  client.set_network_model(&model);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  std::string payload(100'000, 'd');
+  ASSERT_TRUE(client.store("d.bin", payload).is_ok());
+  EXPECT_GE(model.bytes(), payload.size());
+  EXPECT_GE(model.round_trips(), 5u);  // greeting, USER, PASS, TYPE, PASV...
+}
+
+TEST(Ftp, OverwriteExistingFile) {
+  FtpFixture fixture;
+  FtpClient client(fixture.endpoint);
+  ASSERT_TRUE(client.login("chemist", "s3cret").is_ok());
+  ASSERT_TRUE(client.store("f", "first").is_ok());
+  ASSERT_TRUE(client.store("f", "second").is_ok());
+  EXPECT_EQ(client.retrieve("f").value(), "second");
+}
+
+}  // namespace
+}  // namespace davpse::ftp

@@ -1,0 +1,72 @@
+#include "http/auth.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse::http {
+namespace {
+
+// "nocolon" in base64 — a credential blob without the required ':'.
+std::string credential_without_colon() { return "bm9jb2xvbg=="; }
+
+TEST(BasicAuth, HeaderEncoding) {
+  EXPECT_EQ(basic_auth_header({"Aladdin", "open sesame"}),
+            "Basic QWxhZGRpbjpvcGVuIHNlc2FtZQ==");
+}
+
+TEST(BasicAuth, ParseRoundTrip) {
+  HeaderMap headers;
+  headers.set("Authorization", basic_auth_header({"user", "pa:ss"}));
+  auto credentials = parse_basic_auth(headers);
+  ASSERT_TRUE(credentials.has_value());
+  EXPECT_EQ(credentials->user, "user");
+  EXPECT_EQ(credentials->password, "pa:ss");  // first ':' splits
+}
+
+TEST(BasicAuth, ParseRejections) {
+  HeaderMap headers;
+  EXPECT_FALSE(parse_basic_auth(headers).has_value());  // absent
+  headers.set("Authorization", "Bearer token");
+  EXPECT_FALSE(parse_basic_auth(headers).has_value());  // wrong scheme
+  headers.set("Authorization", "Basic !!!notbase64!!!");
+  EXPECT_FALSE(parse_basic_auth(headers).has_value());  // bad encoding
+  headers.set("Authorization", "Basic " + credential_without_colon());
+  EXPECT_FALSE(parse_basic_auth(headers).has_value());  // no colon
+}
+
+TEST(Authenticator, DisabledAcceptsEverything) {
+  BasicAuthenticator authenticator;
+  EXPECT_FALSE(authenticator.enabled());
+  HttpRequest request;
+  EXPECT_TRUE(authenticator.authorize(request));
+}
+
+TEST(Authenticator, ValidatesAccounts) {
+  BasicAuthenticator authenticator;
+  authenticator.add_user("alice", "secret");
+  EXPECT_TRUE(authenticator.enabled());
+
+  HttpRequest request;
+  EXPECT_FALSE(authenticator.authorize(request));  // no credentials
+
+  request.headers.set("Authorization",
+                      basic_auth_header({"alice", "secret"}));
+  EXPECT_TRUE(authenticator.authorize(request));
+
+  request.headers.set("Authorization",
+                      basic_auth_header({"alice", "wrong"}));
+  EXPECT_FALSE(authenticator.authorize(request));
+
+  request.headers.set("Authorization", basic_auth_header({"bob", "secret"}));
+  EXPECT_FALSE(authenticator.authorize(request));
+}
+
+TEST(Authenticator, ChallengeShape) {
+  HttpResponse challenge = BasicAuthenticator::challenge();
+  EXPECT_EQ(challenge.status, kUnauthorized);
+  auto value = challenge.headers.get("WWW-Authenticate");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_NE(value->find("Basic"), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace davpse::http

@@ -1,0 +1,87 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse::http {
+namespace {
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap headers;
+  headers.set("Content-Type", "text/xml");
+  EXPECT_EQ(headers.get("content-type"), "text/xml");
+  EXPECT_EQ(headers.get("CONTENT-TYPE"), "text/xml");
+  EXPECT_FALSE(headers.get("Content-Length").has_value());
+  EXPECT_TRUE(headers.has("content-TYPE"));
+}
+
+TEST(HeaderMap, SetReplacesAddAppends) {
+  HeaderMap headers;
+  headers.add("Via", "a");
+  headers.add("Via", "b");
+  EXPECT_EQ(headers.get_all("via").size(), 2u);
+  headers.set("Via", "c");
+  auto all = headers.get_all("via");
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], "c");
+}
+
+TEST(HeaderMap, RemoveErasesAllMatches) {
+  HeaderMap headers;
+  headers.add("X", "1");
+  headers.add("x", "2");
+  headers.add("Y", "3");
+  headers.remove("X");
+  EXPECT_FALSE(headers.has("x"));
+  EXPECT_TRUE(headers.has("Y"));
+  EXPECT_EQ(headers.size(), 1u);
+}
+
+TEST(HeaderMap, GetUintParsing) {
+  HeaderMap headers;
+  headers.set("Content-Length", "1048576");
+  headers.set("Bad", "12x");
+  headers.set("Spacey", "  42  ");
+  EXPECT_EQ(headers.get_uint("Content-Length"), 1048576u);
+  EXPECT_FALSE(headers.get_uint("Bad").has_value());
+  EXPECT_EQ(headers.get_uint("Spacey"), 42u);
+  EXPECT_FALSE(headers.get_uint("Missing").has_value());
+}
+
+TEST(KeepAlive, Http11DefaultsOnAndCloseTurnsOff) {
+  HttpRequest request;
+  EXPECT_TRUE(request.keep_alive());
+  request.headers.set("Connection", "close");
+  EXPECT_FALSE(request.keep_alive());
+  request.headers.set("Connection", "Close");
+  EXPECT_FALSE(request.keep_alive());
+  HttpResponse response;
+  EXPECT_TRUE(response.keep_alive());
+  response.headers.set("Connection", "close");
+  EXPECT_FALSE(response.keep_alive());
+}
+
+TEST(ResponseFactories, MakeAndMultistatus) {
+  HttpResponse plain = HttpResponse::make(204);
+  EXPECT_EQ(plain.status, 204);
+  EXPECT_TRUE(plain.body.empty());
+
+  HttpResponse with_body = HttpResponse::make(404, "gone\n");
+  EXPECT_EQ(with_body.status, 404);
+  EXPECT_EQ(with_body.headers.get("Content-Type"), "text/plain");
+
+  HttpResponse ms = HttpResponse::multistatus("<x/>");
+  EXPECT_EQ(ms.status, kMultiStatus);
+  EXPECT_EQ(ms.headers.get("Content-Type"), "text/xml; charset=\"utf-8\"");
+}
+
+TEST(ReasonPhrases, DavCodesCovered) {
+  EXPECT_EQ(reason_phrase(207), "Multi-Status");
+  EXPECT_EQ(reason_phrase(423), "Locked");
+  EXPECT_EQ(reason_phrase(424), "Failed Dependency");
+  EXPECT_EQ(reason_phrase(507), "Insufficient Storage");
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace davpse::http

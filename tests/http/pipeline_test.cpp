@@ -1,0 +1,149 @@
+// HTTP/1.1 pipelining: ordering, keep-alive interaction, recovery when
+// the server's per-connection request cap closes a connection
+// mid-batch, and the DAV-level propfind_many wrapper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "davclient/client.h"
+#include "http/client.h"
+#include "http/server.h"
+#include "testing/env.h"
+
+namespace davpse::http {
+namespace {
+
+/// Echoes the request target so response ordering is verifiable.
+class TargetEcho final : public Handler {
+ public:
+  HttpResponse handle(const HttpRequest& request) override {
+    calls.fetch_add(1);
+    return HttpResponse::make(200, "echo:" + request.target);
+  }
+  std::atomic<int> calls{0};
+};
+
+struct PipelineFixture {
+  explicit PipelineFixture(size_t cap = 100) {
+    ServerConfig config;
+    config.endpoint = testing::unique_endpoint("pipeline");
+    config.max_requests_per_connection = cap;
+    endpoint = config.endpoint;
+    server = std::make_unique<HttpServer>(config, &handler);
+    EXPECT_TRUE(server->start().is_ok());
+  }
+  HttpClient client() {
+    ClientConfig config;
+    config.endpoint = endpoint;
+    return HttpClient(config);
+  }
+  TargetEcho handler;
+  std::string endpoint;
+  std::unique_ptr<HttpServer> server;
+};
+
+std::vector<HttpRequest> make_gets(int count) {
+  std::vector<HttpRequest> requests;
+  for (int i = 0; i < count; ++i) {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = "/r" + std::to_string(i);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+TEST(Pipeline, ResponsesArriveInOrder) {
+  PipelineFixture fixture;
+  auto client = fixture.client();
+  auto responses = client.execute_pipelined(make_gets(20));
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+  ASSERT_EQ(responses.value().size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(responses.value()[i].body, "echo:/r" + std::to_string(i));
+  }
+  EXPECT_EQ(client.connections_opened(), 1u);
+}
+
+TEST(Pipeline, EmptyBatch) {
+  PipelineFixture fixture;
+  auto client = fixture.client();
+  auto responses = client.execute_pipelined({});
+  ASSERT_TRUE(responses.ok());
+  EXPECT_TRUE(responses.value().empty());
+}
+
+TEST(Pipeline, RecoversFromPerConnectionCap) {
+  PipelineFixture fixture(/*cap=*/7);
+  auto client = fixture.client();
+  auto responses = client.execute_pipelined(make_gets(20));
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+  ASSERT_EQ(responses.value().size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(responses.value()[i].body, "echo:/r" + std::to_string(i));
+  }
+  // ceil(20/7) = 3 connections.
+  EXPECT_EQ(client.connections_opened(), 3u);
+  EXPECT_EQ(fixture.handler.calls.load(), 20);
+}
+
+TEST(Pipeline, BatchCountsOneModeledRoundTripPerConnection) {
+  PipelineFixture fixture;
+  auto client = fixture.client();
+  net::NetworkModel model(net::LinkProfile::paper_lan());
+  client.set_network_model(&model);
+  auto responses = client.execute_pipelined(make_gets(50));
+  ASSERT_TRUE(responses.ok());
+  // 1 connect + 1 batch round trip, vs 51 for serial requests.
+  EXPECT_EQ(model.round_trips(), 2u);
+}
+
+TEST(Pipeline, MixedWithSerialRequestsOnSameClient) {
+  PipelineFixture fixture;
+  auto client = fixture.client();
+  auto single = client.get("/warmup");
+  ASSERT_TRUE(single.ok());
+  auto batch = client.execute_pipelined(make_gets(5));
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value().size(), 5u);
+  auto after = client.get("/after");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().body, "echo:/after");
+  EXPECT_EQ(client.connections_opened(), 1u);
+}
+
+TEST(PipelineDav, PropfindManyReturnsPerPathResults) {
+  testing::DavStack stack;
+  auto seeder = stack.client();
+  xml::QName tag("urn:t", "tag");
+  for (int i = 0; i < 10; ++i) {
+    std::string path = "/doc" + std::to_string(i);
+    ASSERT_TRUE(seeder.put(path, "body").is_ok());
+    ASSERT_TRUE(
+        seeder.set_property(path, tag, "v" + std::to_string(i)).is_ok());
+  }
+  auto client = stack.client();
+  std::vector<std::string> paths;
+  for (int i = 0; i < 10; ++i) paths.push_back("/doc" + std::to_string(i));
+  auto results = client.propfind_many(paths, {tag});
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  ASSERT_EQ(results.value().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(results.value()[i].responses.size(), 1u);
+    EXPECT_EQ(results.value()[i].responses.front().prop(tag),
+              "v" + std::to_string(i));
+  }
+}
+
+TEST(PipelineDav, PropfindManyMissingPathFails) {
+  testing::DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/exists", "x").is_ok());
+  auto results =
+      client.propfind_many({"/exists", "/ghost"}, {xml::dav_name("getetag")});
+  EXPECT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace davpse::http

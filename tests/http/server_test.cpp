@@ -1,0 +1,250 @@
+#include "http/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "http/client.h"
+
+namespace davpse::http {
+namespace {
+
+std::string unique_endpoint() {
+  static std::atomic<int> counter{0};
+  return "httptest-" + std::to_string(counter.fetch_add(1));
+}
+
+/// Echo handler: returns method, target, and body length; sleeps if
+/// asked via the X-Delay-Ms header.
+class EchoHandler final : public Handler {
+ public:
+  HttpResponse handle(const HttpRequest& request) override {
+    calls.fetch_add(1);
+    if (auto delay = request.headers.get_uint("X-Delay-Ms")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(*delay));
+    }
+    if (request.target == "/throw") {
+      throw std::runtime_error("handler exploded");
+    }
+    return HttpResponse::make(
+        200, request.method + " " + request.target + " " +
+                 std::to_string(request.body.size()));
+  }
+  std::atomic<int> calls{0};
+};
+
+struct ServerFixture {
+  explicit ServerFixture(ServerConfig config = {}) {
+    config.endpoint = unique_endpoint();
+    endpoint = config.endpoint;
+    server = std::make_unique<HttpServer>(config, &handler);
+    EXPECT_TRUE(server->start().is_ok());
+  }
+  HttpClient client(ConnectionPolicy policy = ConnectionPolicy::kPersistent) {
+    ClientConfig config;
+    config.endpoint = endpoint;
+    config.policy = policy;
+    return HttpClient(config);
+  }
+  EchoHandler handler;
+  std::string endpoint;
+  std::unique_ptr<HttpServer> server;
+};
+
+TEST(HttpServer, BasicRequestResponse) {
+  ServerFixture fixture;
+  auto client = fixture.client();
+  auto response = client.get("/hello");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, "GET /hello 0");
+}
+
+TEST(HttpServer, PutBodyDelivered) {
+  ServerFixture fixture;
+  auto client = fixture.client();
+  auto response = client.put("/doc", std::string(1234, 'x'));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().body, "PUT /doc 1234");
+}
+
+TEST(HttpServer, KeepAliveReusesConnection) {
+  ServerFixture fixture;
+  auto client = fixture.client(ConnectionPolicy::kPersistent);
+  for (int i = 0; i < 10; ++i) {
+    auto response = client.get("/r" + std::to_string(i));
+    ASSERT_TRUE(response.ok());
+  }
+  EXPECT_EQ(client.connections_opened(), 1u);
+  EXPECT_EQ(client.requests_sent(), 10u);
+}
+
+TEST(HttpServer, PerRequestPolicyReconnects) {
+  ServerFixture fixture;
+  auto client = fixture.client(ConnectionPolicy::kPerRequest);
+  for (int i = 0; i < 5; ++i) {
+    auto response = client.get("/r");
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response.value().keep_alive());
+  }
+  EXPECT_EQ(client.connections_opened(), 5u);
+}
+
+TEST(HttpServer, RequestCapClosesConnectionAndClientRecovers) {
+  ServerConfig config;
+  config.max_requests_per_connection = 3;
+  ServerFixture fixture(config);
+  auto client = fixture.client();
+  for (int i = 0; i < 7; ++i) {
+    auto response = client.get("/r");
+    ASSERT_TRUE(response.ok()) << i;
+  }
+  // 3 requests per connection: connections 1..3 (ceil(7/3)).
+  EXPECT_EQ(client.connections_opened(), 3u);
+}
+
+TEST(HttpServer, ParallelClients) {
+  ServerConfig config;
+  config.daemons = 8;
+  ServerFixture fixture(config);
+  constexpr int kThreads = 8, kRequests = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto client = fixture.client();
+      for (int i = 0; i < kRequests; ++i) {
+        auto response = client.get("/parallel");
+        if (!response.ok() || response.value().status != 200) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(fixture.handler.calls.load(), kThreads * kRequests);
+  EXPECT_EQ(fixture.server->requests_served(),
+            static_cast<uint64_t>(kThreads * kRequests));
+}
+
+TEST(HttpServer, SlowRequestsServedConcurrently) {
+  ServerConfig config;
+  config.daemons = 4;
+  ServerFixture fixture(config);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto client = fixture.client();
+      HttpRequest request;
+      request.method = "GET";
+      request.target = "/slow";
+      request.headers.set("X-Delay-Ms", "100");
+      auto response = client.execute(std::move(request));
+      EXPECT_TRUE(response.ok());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  // Serial execution would take >= 0.4 s.
+  EXPECT_LT(elapsed, 0.35);
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  ServerFixture fixture;
+  auto client = fixture.client();
+  auto response = client.get("/throw");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, kInternalError);
+  EXPECT_NE(response.value().body.find("handler exploded"),
+            std::string::npos);
+  // The connection survives for the next request.
+  auto next = client.get("/ok");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value().status, 200);
+}
+
+TEST(HttpServer, OversizedBodyRejected) {
+  ServerConfig config;
+  config.max_body_bytes = 64;
+  ServerFixture fixture(config);
+  auto client = fixture.client();
+  auto response = client.put("/big", std::string(1000, 'x'));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, kRequestTooLarge);
+}
+
+TEST(HttpServer, BasicAuthEnforced) {
+  ServerConfig config;
+  config.authenticator.add_user("alice", "secret");
+  ServerFixture fixture(config);
+
+  auto anonymous = fixture.client();
+  auto denied = anonymous.get("/protected");
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied.value().status, kUnauthorized);
+  EXPECT_TRUE(denied.value().headers.has("WWW-Authenticate"));
+
+  ClientConfig authed_config;
+  authed_config.endpoint = fixture.endpoint;
+  authed_config.credentials = Credentials{"alice", "secret"};
+  HttpClient authed(authed_config);
+  auto allowed = authed.get("/protected");
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_EQ(allowed.value().status, 200);
+
+  ClientConfig wrong_config;
+  wrong_config.endpoint = fixture.endpoint;
+  wrong_config.credentials = Credentials{"alice", "hunter2"};
+  HttpClient wrong(wrong_config);
+  auto rejected = wrong.get("/protected");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, kUnauthorized);
+}
+
+TEST(HttpServer, MalformedRequestGets400AndClose) {
+  ServerFixture fixture;
+  auto stream = net::Network::instance().connect(fixture.endpoint);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream.value()->write("THIS IS NOT HTTP\r\n\r\n").is_ok());
+  auto reply = stream.value()->read_all();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply.value().find("400"), std::string::npos);
+}
+
+TEST(HttpServer, ConnectAfterStopRefused) {
+  auto fixture = std::make_unique<ServerFixture>();
+  std::string endpoint = fixture->endpoint;
+  fixture->server->stop();
+  auto stream = net::Network::instance().connect(endpoint);
+  EXPECT_FALSE(stream.ok());
+  (void)endpoint;
+}
+
+TEST(HttpClient, ConnectionRefusedSurfacesError) {
+  ClientConfig config;
+  config.endpoint = "no-such-service";
+  HttpClient client(config);
+  auto response = client.get("/x");
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(HttpClient, NetworkModelAccountsTraffic) {
+  ServerFixture fixture;
+  auto client = fixture.client();
+  net::NetworkModel model(net::LinkProfile::paper_lan());
+  client.set_network_model(&model);
+  auto response = client.put("/doc", std::string(10000, 'z'));
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(model.bytes(), 10000u);       // body + headers + response
+  EXPECT_GE(model.round_trips(), 2u);     // connect + request
+  EXPECT_GT(model.modeled_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace davpse::http

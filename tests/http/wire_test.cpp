@@ -1,0 +1,238 @@
+#include "http/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/pipe.h"
+#include "util/random.h"
+
+namespace davpse::http {
+namespace {
+
+/// Pushes raw bytes at a reader through a pipe.
+std::unique_ptr<net::Stream> stream_of(net::PipePair& pair,
+                                       std::string_view raw) {
+  EXPECT_TRUE(pair.a->write(raw).is_ok());
+  pair.a->shutdown_write();
+  return std::move(pair.b);
+}
+
+TEST(WireRequest, ParsesSimpleGet) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(
+      pair, "GET /a/b HTTP/1.1\r\nHost: svc\r\nX-Custom: v\r\n\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_TRUE(request.ok()) << request.status().to_string();
+  EXPECT_EQ(request.value().method, "GET");
+  EXPECT_EQ(request.value().target, "/a/b");
+  EXPECT_EQ(request.value().version, "HTTP/1.1");
+  EXPECT_EQ(request.value().headers.get("host"), "svc");
+  EXPECT_EQ(request.value().headers.get("x-custom"), "v");
+  EXPECT_TRUE(request.value().body.empty());
+}
+
+TEST(WireRequest, ParsesContentLengthBody) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(
+      pair, "PUT /doc HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request.value().body, "hello");
+}
+
+TEST(WireRequest, ParsesChunkedBody) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n5\r\nhello\r\n6;ext=1\r\n world\r\n0\r\n\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_TRUE(request.ok()) << request.status().to_string();
+  EXPECT_EQ(request.value().body, "hello world");
+}
+
+TEST(WireRequest, KeepAliveSequenceOnOneConnection) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "GET /1 HTTP/1.1\r\n\r\n"
+                          "GET /2 HTTP/1.1\r\n\r\n");
+  WireReader reader(stream.get());
+  auto first = reader.read_request();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().target, "/1");
+  auto second = reader.read_request();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().target, "/2");
+  auto third = reader.read_request();
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(WireRequest, EnforcesBodyLimit) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(
+      pair, "PUT /big HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request(/*max_body=*/100);
+  EXPECT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), ErrorCode::kTooLarge);
+}
+
+struct BadRequestCase {
+  const char* name;
+  const char* wire;
+  ErrorCode code;
+};
+
+class WireRequestRejects : public ::testing::TestWithParam<BadRequestCase> {};
+
+TEST_P(WireRequestRejects, Rejected) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair, GetParam().wire);
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), GetParam().code) << GetParam().wire;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, WireRequestRejects,
+    ::testing::Values(
+        BadRequestCase{"TwoTokens", "GET /x\r\n\r\n", ErrorCode::kMalformed},
+        BadRequestCase{"BadVersion", "GET /x HTTP/2.0\r\n\r\n",
+                       ErrorCode::kUnsupported},
+        BadRequestCase{"HeaderNoColon",
+                       "GET /x HTTP/1.1\r\nBadHeader\r\n\r\n",
+                       ErrorCode::kMalformed},
+        BadRequestCase{"SpaceInFieldName",
+                       "GET /x HTTP/1.1\r\nBad Header: v\r\n\r\n",
+                       ErrorCode::kMalformed},
+        BadRequestCase{"TruncatedBody",
+                       "PUT /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+                       ErrorCode::kUnavailable},
+        BadRequestCase{"BadChunkSize",
+                       "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                       "\r\nXYZ\r\n",
+                       ErrorCode::kMalformed},
+        BadRequestCase{"MissingChunkCrlf",
+                       "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                       "\r\n3\r\nabcXX0\r\n\r\n",
+                       ErrorCode::kMalformed},
+        BadRequestCase{"UnknownCoding",
+                       "POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+                       ErrorCode::kUnsupported}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(WireResponse, RoundTrip) {
+  auto pair = net::make_pipe();
+  HttpResponse sent = HttpResponse::make(207, "<xml/>", "text/xml");
+  ASSERT_TRUE(write_response(pair.a.get(), sent).is_ok());
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  ASSERT_TRUE(received.ok()) << received.status().to_string();
+  EXPECT_EQ(received.value().status, 207);
+  EXPECT_EQ(received.value().body, "<xml/>");
+  EXPECT_EQ(received.value().headers.get("Content-Type"), "text/xml");
+  EXPECT_TRUE(received.value().headers.has("Date"));
+  EXPECT_TRUE(received.value().headers.has("Server"));
+}
+
+TEST(WireResponse, NoContentHasNoBody) {
+  auto pair = net::make_pipe();
+  ASSERT_TRUE(pair.a->write("HTTP/1.1 204 No Content\r\n\r\n").is_ok());
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().status, 204);
+  EXPECT_TRUE(received.value().body.empty());
+}
+
+TEST(WireResponse, ParsesChunkedBody) {
+  auto pair = net::make_pipe();
+  ASSERT_TRUE(pair.a
+                  ->write("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n4\r\nWiki\r\n5\r\npedia\r\n0\r\n"
+                          "Trailer: x\r\n\r\n")
+                  .is_ok());
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  ASSERT_TRUE(received.ok()) << received.status().to_string();
+  EXPECT_EQ(received.value().body, "Wikipedia");
+}
+
+TEST(WireResponse, RejectsGarbageStatusLine) {
+  auto pair = net::make_pipe();
+  ASSERT_TRUE(pair.a->write("NOT-HTTP garbage\r\n\r\n").is_ok());
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  EXPECT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), ErrorCode::kMalformed);
+}
+
+TEST(WireRequest, RoundTripWithWriteRequest) {
+  auto pair = net::make_pipe();
+  HttpRequest sent;
+  sent.method = "PROPFIND";
+  sent.target = "/Ecce/proj";
+  sent.headers.set("Depth", "1");
+  sent.body = "<propfind/>";
+  ASSERT_TRUE(write_request(pair.a.get(), sent).is_ok());
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_request();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().method, "PROPFIND");
+  EXPECT_EQ(received.value().target, "/Ecce/proj");
+  EXPECT_EQ(received.value().headers.get("Depth"), "1");
+  EXPECT_EQ(received.value().body, "<propfind/>");
+}
+
+TEST(WireRequest, PropertyRandomBodiesRoundTrip) {
+  Rng rng(91);
+  for (int i = 0; i < 30; ++i) {
+    auto pair = net::make_pipe(16 * 1024);
+    HttpRequest sent;
+    sent.method = "PUT";
+    sent.target = "/doc";
+    std::string body = rng.binary_blob(rng.uniform(0, 100'000));
+    sent.body = body;
+    std::thread writer([&] {
+      EXPECT_TRUE(write_request(pair.a.get(), sent).is_ok());
+      pair.a->shutdown_write();
+    });
+    WireReader reader(pair.b.get());
+    auto received = reader.read_request();
+    writer.join();
+    ASSERT_TRUE(received.ok());
+    EXPECT_EQ(received.value().body, body);
+  }
+}
+
+TEST(WireRequest, LargeBodyStreamsThroughSmallPipe) {
+  auto pair = net::make_pipe(/*capacity=*/8 * 1024);
+  std::string body(2 * 1024 * 1024, 'B');
+  HttpRequest sent;
+  sent.method = "PUT";
+  sent.target = "/big";
+  sent.body = body;
+  std::thread writer([&] {
+    EXPECT_TRUE(write_request(pair.a.get(), sent).is_ok());
+    pair.a->shutdown_write();
+  });
+  WireReader reader(pair.b.get());
+  auto received = reader.read_request();
+  writer.join();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().body.size(), body.size());
+  EXPECT_EQ(received.value().body, body);
+}
+
+}  // namespace
+}  // namespace davpse::http

@@ -1,0 +1,144 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/network_model.h"
+
+namespace davpse::net {
+namespace {
+
+TEST(Network, ConnectRefusedWithoutListener) {
+  Network network;
+  auto stream = network.connect("nobody-home");
+  EXPECT_FALSE(stream.ok());
+  EXPECT_EQ(stream.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Network, ListenAcceptConnect) {
+  Network network;
+  auto listener = network.listen("svc");
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto accepted = listener.value()->accept();
+    ASSERT_TRUE(accepted.ok());
+    char buf[8];
+    auto got = accepted.value()->read(buf, sizeof buf);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::string(buf, got.value()), "hi");
+    EXPECT_TRUE(accepted.value()->write("yo").is_ok());
+  });
+  auto client = network.connect("svc");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->write("hi").is_ok());
+  char buf[8];
+  auto reply = client.value()->read(buf, sizeof buf);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(std::string(buf, reply.value()), "yo");
+  server.join();
+}
+
+TEST(Network, DuplicateEndpointRejected) {
+  Network network;
+  auto first = network.listen("svc");
+  ASSERT_TRUE(first.ok());
+  auto second = network.listen("svc");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(Network, EndpointFreedOnListenerDestruction) {
+  Network network;
+  { auto listener = network.listen("svc"); ASSERT_TRUE(listener.ok()); }
+  auto again = network.listen("svc");
+  EXPECT_TRUE(again.ok());
+}
+
+TEST(Network, ShutdownWakesAccept) {
+  Network network;
+  auto listener = network.listen("svc");
+  ASSERT_TRUE(listener.ok());
+  std::thread closer([&] { listener.value()->shutdown(); });
+  auto accepted = listener.value()->accept();
+  closer.join();
+  EXPECT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(Network, PendingConnectionSurvivesUntilAccept) {
+  Network network;
+  auto listener = network.listen("svc");
+  ASSERT_TRUE(listener.ok());
+  auto client = network.connect("svc");  // no accept() yet
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->write("queued").is_ok());
+  auto accepted = listener.value()->accept();
+  ASSERT_TRUE(accepted.ok());
+  char buf[16];
+  auto got = accepted.value()->read(buf, sizeof buf);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, got.value()), "queued");
+}
+
+TEST(Network, ManyConcurrentConnections) {
+  Network network;
+  auto listener = network.listen("svc");
+  ASSERT_TRUE(listener.ok());
+  constexpr int kClients = 16;
+  std::thread server([&] {
+    for (int i = 0; i < kClients; ++i) {
+      auto accepted = listener.value()->accept();
+      ASSERT_TRUE(accepted.ok());
+      auto echo = accepted.value()->read_all();
+      ASSERT_TRUE(echo.ok());
+      EXPECT_TRUE(accepted.value()->write(echo.value()).is_ok());
+    }
+  });
+  std::vector<std::thread> clients;
+  std::atomic<int> successes{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto stream = network.connect("svc");
+      ASSERT_TRUE(stream.ok());
+      std::string message = "client-" + std::to_string(i);
+      ASSERT_TRUE(stream.value()->write(message).is_ok());
+      stream.value()->shutdown_write();
+      auto reply = stream.value()->read_all();
+      ASSERT_TRUE(reply.ok());
+      EXPECT_EQ(reply.value(), message);
+      successes.fetch_add(1);
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  server.join();
+  EXPECT_EQ(successes.load(), kClients);
+}
+
+TEST(Network, TotalBytesAccumulates) {
+  Network network;
+  auto listener = network.listen("svc");
+  ASSERT_TRUE(listener.ok());
+  auto client = network.connect("svc");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->write("0123456789").is_ok());
+  auto accepted = listener.value()->accept();
+  ASSERT_TRUE(accepted.ok());
+  char buf[16];
+  (void)accepted.value()->read(buf, sizeof buf);
+  EXPECT_EQ(network.total_bytes(), 10u);
+}
+
+TEST(NetworkModel, ModeledTimeMatchesLinkMath) {
+  NetworkModel model(LinkProfile::paper_lan());
+  model.add_bytes(150'000'000 / 8);  // one second of the 150 Mbit/s link
+  model.add_round_trips(10);
+  EXPECT_NEAR(model.modeled_seconds(), 1.0 + 10 * 0.0003, 1e-9);
+  model.reset();
+  EXPECT_EQ(model.bytes(), 0u);
+  EXPECT_DOUBLE_EQ(model.modeled_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace davpse::net

@@ -1,0 +1,131 @@
+#include "net/pipe.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/clock.h"
+
+namespace davpse::net {
+namespace {
+
+TEST(Pipe, SimpleWriteRead) {
+  auto pair = make_pipe();
+  ASSERT_TRUE(pair.a->write("hello").is_ok());
+  char buf[16];
+  auto got = pair.b->read(buf, sizeof buf);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, got.value()), "hello");
+}
+
+TEST(Pipe, Duplex) {
+  auto pair = make_pipe();
+  ASSERT_TRUE(pair.a->write("ping").is_ok());
+  ASSERT_TRUE(pair.b->write("pong").is_ok());
+  char buf[16];
+  auto from_a = pair.b->read(buf, sizeof buf);
+  ASSERT_TRUE(from_a.ok());
+  EXPECT_EQ(std::string(buf, from_a.value()), "ping");
+  auto from_b = pair.a->read(buf, sizeof buf);
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_EQ(std::string(buf, from_b.value()), "pong");
+}
+
+TEST(Pipe, EofAfterShutdownWrite) {
+  auto pair = make_pipe();
+  ASSERT_TRUE(pair.a->write("last").is_ok());
+  pair.a->shutdown_write();
+  auto all = pair.b->read_all();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), "last");
+  // Subsequent reads keep returning clean EOF.
+  char buf[4];
+  auto eof = pair.b->read(buf, sizeof buf);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(eof.value(), 0u);
+}
+
+TEST(Pipe, WriteAfterPeerCloseFails) {
+  auto pair = make_pipe();
+  pair.b->close();
+  // The reader side is gone; a (possibly large) write must fail rather
+  // than block forever.
+  std::string big(1 << 20, 'x');
+  Status status = pair.a->write(big);
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(Pipe, BackpressureBlocksUntilDrained) {
+  auto pair = make_pipe(/*capacity=*/1024);
+  std::string payload(10 * 1024, 'p');
+  std::thread writer([&] {
+    EXPECT_TRUE(pair.a->write(payload).is_ok());
+    pair.a->shutdown_write();
+  });
+  auto all = pair.b->read_all();
+  writer.join();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), payload.size());
+  EXPECT_EQ(all.value(), payload);
+}
+
+TEST(Pipe, ReadTimeout) {
+  auto pair = make_pipe();
+  pair.b->set_read_timeout(0.05);
+  char buf[4];
+  StopWatch watch;
+  auto got = pair.b->read(buf, sizeof buf);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kTimeout);
+  EXPECT_GE(watch.elapsed_wall(), 0.04);
+  // Data arriving later is still readable after clearing the timeout.
+  pair.b->set_read_timeout(0);
+  ASSERT_TRUE(pair.a->write("late").is_ok());
+  auto late = pair.b->read(buf, sizeof buf);
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(std::string(buf, late.value()), "late");
+}
+
+TEST(Pipe, TrafficCounterTracksBothDirections) {
+  auto pair = make_pipe();
+  ASSERT_TRUE(pair.a->write("12345").is_ok());
+  ASSERT_TRUE(pair.b->write("123").is_ok());
+  char buf[8];
+  (void)pair.b->read(buf, sizeof buf);
+  (void)pair.a->read(buf, sizeof buf);
+  EXPECT_EQ(pair.traffic->bytes_a_to_b.load(), 5u);
+  EXPECT_EQ(pair.traffic->bytes_b_to_a.load(), 3u);
+  EXPECT_EQ(pair.traffic->total(), 8u);
+  EXPECT_EQ(pair.a->traffic(), pair.traffic.get());
+}
+
+TEST(Pipe, LargeTransferIntegrity) {
+  auto pair = make_pipe(64 * 1024);
+  std::string payload;
+  payload.reserve(3 * 1024 * 1024);
+  for (int i = 0; payload.size() < 3 * 1024 * 1024; ++i) {
+    payload += static_cast<char>(i * 131 + 7);
+  }
+  std::thread writer([&] {
+    EXPECT_TRUE(pair.a->write(payload).is_ok());
+    pair.a->shutdown_write();
+  });
+  auto all = pair.b->read_all();
+  writer.join();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), payload);
+}
+
+TEST(Pipe, ReadExactAndPrematureEof) {
+  auto pair = make_pipe();
+  ASSERT_TRUE(pair.a->write("abcdef").is_ok());
+  char buf[4];
+  ASSERT_TRUE(pair.b->read_exact(buf, 4).is_ok());
+  EXPECT_EQ(std::string(buf, 4), "abcd");
+  pair.a->shutdown_write();
+  Status status = pair.b->read_exact(buf, 4);  // only 2 bytes remain
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace davpse::net

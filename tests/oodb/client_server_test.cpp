@@ -1,0 +1,242 @@
+// OODB client/server integration: handshake, cache-forward faulting,
+// commits, and persistence through the page server.
+#include <gtest/gtest.h>
+
+#include "testing/env.h"
+
+namespace davpse::oodb {
+namespace {
+
+using testing::OodbStack;
+
+Schema pair_schema() {
+  Schema schema;
+  EXPECT_TRUE(schema
+                  .add_class("Node", {{"label", FieldType::kString},
+                                      {"next", FieldType::kObjectRef}})
+                  .is_ok());
+  EXPECT_TRUE(schema.compile().is_ok());
+  return schema;
+}
+
+TEST(OodbClientServer, OpenHandshakeSucceedsOnMatchingSchema) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto client = stack.client(schema);
+  EXPECT_TRUE(client->open().is_ok());
+  EXPECT_TRUE(client->is_open());
+}
+
+TEST(OodbClientServer, SchemaMismatchRefusedAtHello) {
+  OodbStack stack(pair_schema());
+  Schema other;
+  ASSERT_TRUE(other.add_class("Node", {{"label", FieldType::kString}}).is_ok());
+  ASSERT_TRUE(other.compile().is_ok());
+  auto client = stack.client(other);
+  Status status = client->open();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kConflict);
+}
+
+TEST(OodbClientServer, UncompiledSchemaRejectedLocally) {
+  Schema uncompiled;
+  ASSERT_TRUE(uncompiled.add_class("Node", {}).is_ok());
+  OodbStack stack(pair_schema());
+  OodbClientConfig config;
+  config.endpoint = stack.endpoint();
+  OodbClient client(config, uncompiled);
+  EXPECT_EQ(client.open().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(OodbClientServer, CreateCommitReadBack) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto writer = stack.client(schema);
+  ASSERT_TRUE(writer->open().is_ok());
+  auto object = writer->create("Node");
+  ASSERT_TRUE(object.ok());
+  object.value()->set(0, std::string("head"));
+  ObjectId id = object.value()->id();
+  ASSERT_TRUE(writer->commit().is_ok());
+
+  auto reader = stack.client(schema);
+  ASSERT_TRUE(reader->open().is_ok());
+  auto fetched = reader->read(id);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value()->get_string(0), "head");
+}
+
+TEST(OodbClientServer, CreateUnknownClassFails) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto client = stack.client(schema);
+  ASSERT_TRUE(client->open().is_ok());
+  EXPECT_EQ(client->create("Ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(OodbClientServer, UncommittedWritesInvisibleToOthers) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto writer = stack.client(schema);
+  ASSERT_TRUE(writer->open().is_ok());
+  auto object = writer->create("Node");
+  ASSERT_TRUE(object.ok());
+  ObjectId id = object.value()->id();
+
+  auto reader = stack.client(schema);
+  ASSERT_TRUE(reader->open().is_ok());
+  EXPECT_EQ(reader->read(id).status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(writer->commit().is_ok());
+  EXPECT_TRUE(reader->read(id).ok());
+}
+
+TEST(OodbClientServer, CacheForwardFaultsWholeSegment) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto writer = stack.client(schema);
+  ASSERT_TRUE(writer->open().is_ok());
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 40; ++i) {  // all land in segment 0
+    auto object = writer->create("Node");
+    ASSERT_TRUE(object.ok());
+    object.value()->set(0, "n" + std::to_string(i));
+    ids.push_back(object.value()->id());
+  }
+  ASSERT_TRUE(writer->commit().is_ok());
+
+  auto reader = stack.client(schema, /*cache_forward=*/true);
+  ASSERT_TRUE(reader->open().is_ok());
+  ASSERT_TRUE(reader->read(ids[0]).ok());
+  EXPECT_EQ(reader->segment_fetches(), 1u);
+  // The rest of the cohort is already cached: no further fetches.
+  for (ObjectId id : ids) {
+    ASSERT_TRUE(reader->read(id).ok());
+  }
+  EXPECT_EQ(reader->segment_fetches(), 1u);
+  EXPECT_GE(reader->cached_objects(), ids.size());
+}
+
+TEST(OodbClientServer, NonCacheForwardFetchesObjectByObject) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto writer = stack.client(schema);
+  ASSERT_TRUE(writer->open().is_ok());
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 10; ++i) {
+    auto object = writer->create("Node");
+    ASSERT_TRUE(object.ok());
+    ids.push_back(object.value()->id());
+  }
+  ASSERT_TRUE(writer->commit().is_ok());
+
+  auto reader = stack.client(schema, /*cache_forward=*/false);
+  ASSERT_TRUE(reader->open().is_ok());
+  for (ObjectId id : ids) {
+    ASSERT_TRUE(reader->read(id).ok());
+  }
+  EXPECT_EQ(reader->object_fetches(), ids.size());
+  EXPECT_EQ(reader->segment_fetches(), 0u);
+}
+
+TEST(OodbClientServer, DirtyTrackingShipsUpdates) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto client = stack.client(schema);
+  ASSERT_TRUE(client->open().is_ok());
+  auto object = client->create("Node");
+  ASSERT_TRUE(object.ok());
+  object.value()->set(0, std::string("v1"));
+  ObjectId id = object.value()->id();
+  ASSERT_TRUE(client->commit().is_ok());
+
+  object.value()->set(0, std::string("v2"));
+  client->mark_dirty(id);
+  ASSERT_TRUE(client->commit().is_ok());
+
+  auto reader = stack.client(schema);
+  ASSERT_TRUE(reader->open().is_ok());
+  EXPECT_EQ(reader->read(id).value()->get_string(0), "v2");
+}
+
+TEST(OodbClientServer, RootsVisibleAcrossClients) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto a = stack.client(schema);
+  ASSERT_TRUE(a->open().is_ok());
+  auto object = a->create("Node");
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(a->commit().is_ok());
+  ASSERT_TRUE(a->set_root("entry", object.value()->id()).is_ok());
+
+  auto b = stack.client(schema);
+  ASSERT_TRUE(b->open().is_ok());
+  auto root = b->get_root("entry");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), object.value()->id());
+  EXPECT_EQ(b->get_root("unset").value(), kNullObject);
+}
+
+TEST(OodbClientServer, RemoveDeletesServerSide) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto client = stack.client(schema);
+  ASSERT_TRUE(client->open().is_ok());
+  auto object = client->create("Node");
+  ASSERT_TRUE(object.ok());
+  ObjectId id = object.value()->id();
+  ASSERT_TRUE(client->commit().is_ok());
+  ASSERT_TRUE(client->remove(id).is_ok());
+  auto reader = stack.client(schema, /*cache_forward=*/false);
+  ASSERT_TRUE(reader->open().is_ok());
+  EXPECT_EQ(reader->read(id).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(OodbClientServer, CommitPersistsStoreImageToDisk) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto client = stack.client(schema);
+  ASSERT_TRUE(client->open().is_ok());
+  auto object = client->create("Node");
+  ASSERT_TRUE(object.ok());
+  object.value()->set(0, std::string("persisted"));
+  ObjectId id = object.value()->id();
+  ASSERT_TRUE(client->commit().is_ok());
+
+  auto image = SegmentStore::load(stack.temp.path() / "store.oodb", schema);
+  ASSERT_TRUE(image.ok()) << image.status().to_string();
+  EXPECT_EQ(image.value()->read(id).value().get_string(0), "persisted");
+}
+
+TEST(OodbClientServer, StatsReportCounts) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto client = stack.client(schema);
+  ASSERT_TRUE(client->open().is_ok());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(client->create("Node").ok());
+  }
+  ASSERT_TRUE(client->commit().is_ok());
+  auto stats = client->stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().first, 7u);
+  EXPECT_GT(stats.value().second, kStoreHeaderBytes);
+}
+
+TEST(OodbClientServer, InvalidateCacheRefetches) {
+  Schema schema = pair_schema();
+  OodbStack stack(pair_schema());
+  auto client = stack.client(schema);
+  ASSERT_TRUE(client->open().is_ok());
+  auto object = client->create("Node");
+  ASSERT_TRUE(object.ok());
+  ObjectId id = object.value()->id();
+  ASSERT_TRUE(client->commit().is_ok());
+  EXPECT_GT(client->cached_objects(), 0u);
+  client->invalidate_cache();
+  EXPECT_EQ(client->cached_objects(), 0u);
+  EXPECT_TRUE(client->read(id).ok());
+  EXPECT_GT(client->cached_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace davpse::oodb

@@ -1,0 +1,128 @@
+#include "oodb/object.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace davpse::oodb {
+namespace {
+
+ClassDef every_type_class() {
+  ClassDef def;
+  def.class_id = 7;
+  def.name = "Everything";
+  def.fields = {{"i", FieldType::kInt64},     {"d", FieldType::kDouble},
+                {"s", FieldType::kString},    {"r", FieldType::kObjectRef},
+                {"da", FieldType::kDoubleArray},
+                {"ra", FieldType::kRefArray}};
+  return def;
+}
+
+TEST(PersistentObject, DefaultsPerFieldType) {
+  ClassDef def = every_type_class();
+  PersistentObject object(def, 42);
+  EXPECT_EQ(object.id(), 42u);
+  EXPECT_EQ(object.class_id(), 7u);
+  EXPECT_EQ(object.field_count(), 6u);
+  EXPECT_EQ(object.get_int(0), 0);
+  EXPECT_DOUBLE_EQ(object.get_double(1), 0.0);
+  EXPECT_TRUE(object.get_string(2).empty());
+  EXPECT_EQ(object.get_ref(3), kNullObject);
+  EXPECT_TRUE(object.get_double_array(4).empty());
+  EXPECT_TRUE(object.get_ref_array(5).empty());
+}
+
+TEST(PersistentObject, TypeMismatchYieldsDefaults) {
+  ClassDef def = every_type_class();
+  PersistentObject object(def, 1);
+  object.set(0, int64_t{99});
+  // Asking for the wrong type returns the type's default, not garbage.
+  EXPECT_DOUBLE_EQ(object.get_double(0), 0.0);
+  EXPECT_TRUE(object.get_string(0).empty());
+  EXPECT_EQ(object.get_int(0), 99);
+}
+
+TEST(PersistentObject, EncodeDecodeAllTypes) {
+  ClassDef def = every_type_class();
+  PersistentObject object(def, 1234567890123ULL);
+  object.set(0, int64_t{-5});
+  object.set(1, 3.14159);
+  object.set(2, std::string("uranium \0 oxide", 15));
+  object.set(3, ObjectId{77});
+  object.set(4, std::vector<double>{1.0, -2.5, 1e300});
+  object.set(5, std::vector<ObjectId>{1, 2, 3, 4});
+
+  auto decoded = PersistentObject::decode(object.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  const PersistentObject& copy = decoded.value();
+  EXPECT_EQ(copy.id(), object.id());
+  EXPECT_EQ(copy.class_id(), object.class_id());
+  EXPECT_EQ(copy.get_int(0), -5);
+  EXPECT_DOUBLE_EQ(copy.get_double(1), 3.14159);
+  EXPECT_EQ(copy.get_string(2), object.get_string(2));
+  EXPECT_EQ(copy.get_ref(3), 77u);
+  EXPECT_EQ(copy.get_double_array(4),
+            (std::vector<double>{1.0, -2.5, 1e300}));
+  EXPECT_EQ(copy.get_ref_array(5), (std::vector<ObjectId>{1, 2, 3, 4}));
+}
+
+TEST(PersistentObject, DecodeRejectsTruncation) {
+  ClassDef def = every_type_class();
+  PersistentObject object(def, 5);
+  object.set(2, std::string(100, 's'));
+  std::string encoded = object.encode();
+  for (size_t cut = 0; cut < encoded.size(); cut += 13) {
+    auto decoded =
+        PersistentObject::decode(std::string_view(encoded).substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(PersistentObject, DecodeRejectsUnknownTag) {
+  ClassDef def;
+  def.class_id = 1;
+  def.fields = {{"i", FieldType::kInt64}};
+  PersistentObject object(def, 9);
+  std::string encoded = object.encode();
+  encoded[16] = '\x7f';  // corrupt the first field tag
+  auto decoded = PersistentObject::decode(encoded);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(PersistentObject, MemoryBytesGrowsWithPayload) {
+  ClassDef def = every_type_class();
+  PersistentObject small(def, 1);
+  PersistentObject large(def, 2);
+  large.set(4, std::vector<double>(10000, 1.0));
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes() + 70000);
+}
+
+class ObjectCodecRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObjectCodecRoundTrip, RandomObjects) {
+  Rng rng(GetParam());
+  ClassDef def = every_type_class();
+  for (int i = 0; i < 40; ++i) {
+    PersistentObject object(def, rng.uniform(1, 1'000'000'000));
+    object.set(0, static_cast<int64_t>(rng.uniform(0, UINT64_MAX)));
+    object.set(1, rng.uniform_real(-1e12, 1e12));
+    object.set(2, rng.binary_blob(rng.uniform(0, 2000)));
+    object.set(3, ObjectId{rng.uniform(0, 1000)});
+    std::vector<double> doubles(rng.uniform(0, 300));
+    for (double& d : doubles) d = rng.uniform_real(-1, 1);
+    object.set(4, doubles);
+    std::vector<ObjectId> refs(rng.uniform(0, 50));
+    for (ObjectId& r : refs) r = rng.uniform(1, 99999);
+    object.set(5, refs);
+
+    auto decoded = PersistentObject::decode(object.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().encode(), object.encode());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectCodecRoundTrip,
+                         ::testing::Values(3, 7, 31, 127));
+
+}  // namespace
+}  // namespace davpse::oodb

@@ -1,0 +1,135 @@
+// OODB wire-protocol robustness: frame framing, the HELLO gate, error
+// replies for malformed payloads, and unknown opcodes — driven through
+// raw streams rather than the client library.
+#include "oodb/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "net/pipe.h"
+#include "oodb/server.h"
+#include "testing/env.h"
+
+namespace davpse::oodb {
+namespace {
+
+Schema tiny_schema() {
+  Schema schema;
+  EXPECT_TRUE(schema.add_class("T", {{"v", FieldType::kInt64}}).is_ok());
+  EXPECT_TRUE(schema.compile().is_ok());
+  return schema;
+}
+
+TEST(Frames, RoundTripOverPipe) {
+  auto pair = net::make_pipe();
+  std::string payload;
+  frame_put_u64(&payload, 123456789ULL);
+  frame_put_bytes(&payload, "binary\0data");
+  ASSERT_TRUE(write_frame(pair.a.get(), Op::kRead, payload).is_ok());
+  auto frame = read_frame(pair.b.get());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().op, Op::kRead);
+  EXPECT_EQ(frame.value().payload, payload);
+
+  FrameCursor cursor{frame.value().payload};
+  uint64_t id;
+  std::string bytes;
+  ASSERT_TRUE(cursor.u64(&id));
+  EXPECT_EQ(id, 123456789ULL);
+  ASSERT_TRUE(cursor.bytes(&bytes));
+  EXPECT_EQ(bytes, "binary");  // \0-truncated literal: 6 bytes
+}
+
+TEST(Frames, TruncatedFrameIsUnavailable) {
+  auto pair = net::make_pipe();
+  ASSERT_TRUE(pair.a->write(std::string("\x10\x00\x00\x00", 4)).is_ok());
+  pair.a->shutdown_write();  // declared 16-byte payload never arrives
+  auto frame = read_frame(pair.b.get());
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(FrameCursor, BoundsChecking) {
+  std::string payload;
+  frame_put_u32(&payload, 7);
+  FrameCursor cursor{payload};
+  uint64_t too_big;
+  EXPECT_FALSE(cursor.u64(&too_big));  // only 4 bytes available
+  uint32_t ok_value;
+  ASSERT_TRUE(cursor.u32(&ok_value));
+  EXPECT_EQ(ok_value, 7u);
+  std::string bytes;
+  EXPECT_FALSE(cursor.bytes(&bytes));  // exhausted
+}
+
+struct RawSession {
+  explicit RawSession(const std::string& endpoint) {
+    auto connected = net::Network::instance().connect(endpoint);
+    EXPECT_TRUE(connected.ok());
+    stream = std::move(connected).value();
+  }
+  Frame call(Op op, std::string_view payload) {
+    EXPECT_TRUE(write_frame(stream.get(), op, payload).is_ok());
+    auto frame = read_frame(stream.get());
+    EXPECT_TRUE(frame.ok());
+    return std::move(frame).value();
+  }
+  std::unique_ptr<net::Stream> stream;
+};
+
+TEST(OodbProtocol, HelloGateBlocksEverythingElse) {
+  testing::OodbStack stack(tiny_schema());
+  RawSession session(stack.endpoint());
+  Frame denied = session.call(Op::kStats, "");
+  EXPECT_EQ(denied.op, Op::kError);
+  EXPECT_NE(denied.payload.find("HELLO"), std::string::npos);
+
+  std::string hello;
+  frame_put_u64(&hello, tiny_schema().fingerprint());
+  Frame ok = session.call(Op::kHello, hello);
+  EXPECT_EQ(ok.op, Op::kOk);
+  Frame stats = session.call(Op::kStats, "");
+  EXPECT_EQ(stats.op, Op::kOk);
+}
+
+TEST(OodbProtocol, MalformedPayloadsReturnErrors) {
+  testing::OodbStack stack(tiny_schema());
+  RawSession session(stack.endpoint());
+  std::string hello;
+  frame_put_u64(&hello, tiny_schema().fingerprint());
+  ASSERT_EQ(session.call(Op::kHello, hello).op, Op::kOk);
+
+  EXPECT_EQ(session.call(Op::kRead, "abc").op, Op::kError);   // short id
+  EXPECT_EQ(session.call(Op::kAlloc, "").op, Op::kError);     // no count
+  std::string zero_alloc;
+  frame_put_u64(&zero_alloc, 0);
+  EXPECT_EQ(session.call(Op::kAlloc, zero_alloc).op, Op::kError);
+  EXPECT_EQ(session.call(static_cast<Op>(77), "").op, Op::kError);
+  // The session survives all of it.
+  EXPECT_EQ(session.call(Op::kStats, "").op, Op::kOk);
+}
+
+TEST(OodbProtocol, ReadMissingObjectIsNotFoundError) {
+  testing::OodbStack stack(tiny_schema());
+  RawSession session(stack.endpoint());
+  std::string hello;
+  frame_put_u64(&hello, tiny_schema().fingerprint());
+  ASSERT_EQ(session.call(Op::kHello, hello).op, Op::kOk);
+  std::string read;
+  frame_put_u64(&read, 424242);
+  Frame reply = session.call(Op::kRead, read);
+  EXPECT_EQ(reply.op, Op::kError);
+  EXPECT_NE(reply.payload.find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(OodbProtocol, WrongFingerprintRejectedWithConflict) {
+  testing::OodbStack stack(tiny_schema());
+  RawSession session(stack.endpoint());
+  std::string hello;
+  frame_put_u64(&hello, 0xDEADBEEF);
+  Frame reply = session.call(Op::kHello, hello);
+  EXPECT_EQ(reply.op, Op::kError);
+  EXPECT_NE(reply.payload.find("CONFLICT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace davpse::oodb

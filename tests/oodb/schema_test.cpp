@@ -1,0 +1,108 @@
+#include "oodb/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse::oodb {
+namespace {
+
+Schema two_class_schema() {
+  Schema schema;
+  EXPECT_TRUE(schema
+                  .add_class("Molecule", {{"name", FieldType::kString},
+                                          {"charge", FieldType::kInt64}})
+                  .is_ok());
+  EXPECT_TRUE(schema
+                  .add_class("Atom", {{"symbol", FieldType::kString},
+                                      {"x", FieldType::kDouble}})
+                  .is_ok());
+  EXPECT_TRUE(schema.compile().is_ok());
+  return schema;
+}
+
+TEST(Schema, CompileAssignsIdsInOrder) {
+  Schema schema = two_class_schema();
+  EXPECT_TRUE(schema.compiled());
+  ASSERT_NE(schema.find("Molecule"), nullptr);
+  ASSERT_NE(schema.find("Atom"), nullptr);
+  EXPECT_EQ(schema.find("Molecule")->class_id, 1u);
+  EXPECT_EQ(schema.find("Atom")->class_id, 2u);
+  EXPECT_EQ(schema.find(1u)->name, "Molecule");
+  EXPECT_EQ(schema.find(99u), nullptr);
+  EXPECT_EQ(schema.find("Ghost"), nullptr);
+}
+
+TEST(Schema, FieldIndexLookup) {
+  Schema schema = two_class_schema();
+  const ClassDef* molecule = schema.find("Molecule");
+  EXPECT_EQ(molecule->field_index("name"), 0);
+  EXPECT_EQ(molecule->field_index("charge"), 1);
+  EXPECT_EQ(molecule->field_index("ghost"), -1);
+}
+
+TEST(Schema, DuplicateClassRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.add_class("A", {}).is_ok());
+  EXPECT_EQ(schema.add_class("A", {}).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(Schema, NoAdditionsAfterCompile) {
+  Schema schema = two_class_schema();
+  Status status = schema.add_class("Late", {});
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(schema.compile().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Schema, FingerprintStableAndSensitive) {
+  Schema a = two_class_schema();
+  Schema b = two_class_schema();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // Any change — renamed field, different type, extra class — alters
+  // the fingerprint (the schema-evolution recompilation signal).
+  Schema renamed;
+  ASSERT_TRUE(renamed
+                  .add_class("Molecule", {{"title", FieldType::kString},
+                                          {"charge", FieldType::kInt64}})
+                  .is_ok());
+  ASSERT_TRUE(renamed
+                  .add_class("Atom", {{"symbol", FieldType::kString},
+                                      {"x", FieldType::kDouble}})
+                  .is_ok());
+  ASSERT_TRUE(renamed.compile().is_ok());
+  EXPECT_NE(renamed.fingerprint(), a.fingerprint());
+
+  Schema retyped;
+  ASSERT_TRUE(retyped
+                  .add_class("Molecule", {{"name", FieldType::kString},
+                                          {"charge", FieldType::kDouble}})
+                  .is_ok());
+  ASSERT_TRUE(retyped
+                  .add_class("Atom", {{"symbol", FieldType::kString},
+                                      {"x", FieldType::kDouble}})
+                  .is_ok());
+  ASSERT_TRUE(retyped.compile().is_ok());
+  EXPECT_NE(retyped.fingerprint(), a.fingerprint());
+}
+
+TEST(Schema, SerializeDeserializeRoundTrip) {
+  Schema schema = two_class_schema();
+  auto restored = Schema::deserialize(schema.serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value().fingerprint(), schema.fingerprint());
+  EXPECT_EQ(restored.value().class_count(), 2u);
+  EXPECT_EQ(restored.value().find("Atom")->fields[1].name, "x");
+  EXPECT_EQ(restored.value().find("Atom")->fields[1].type,
+            FieldType::kDouble);
+}
+
+TEST(Schema, DeserializeRejectsTruncation) {
+  Schema schema = two_class_schema();
+  std::string blob = schema.serialize();
+  for (size_t cut : {size_t{0}, size_t{3}, blob.size() / 2, blob.size() - 1}) {
+    auto restored = Schema::deserialize(std::string_view(blob).substr(0, cut));
+    EXPECT_FALSE(restored.ok()) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace davpse::oodb

@@ -1,0 +1,161 @@
+#include "oodb/store.h"
+
+#include <gtest/gtest.h>
+
+#include "util/fs.h"
+
+namespace davpse::oodb {
+namespace {
+
+Schema simple_schema() {
+  Schema schema;
+  EXPECT_TRUE(
+      schema.add_class("Thing", {{"label", FieldType::kString}}).is_ok());
+  EXPECT_TRUE(schema.compile().is_ok());
+  return schema;
+}
+
+PersistentObject make_thing(const Schema& schema, ObjectId id,
+                            const std::string& label) {
+  PersistentObject object(*schema.find("Thing"), id);
+  object.set(0, label);
+  return object;
+}
+
+TEST(SegmentStore, AllocateSequential) {
+  SegmentStore store(simple_schema());
+  EXPECT_EQ(store.allocate(1), 1u);
+  EXPECT_EQ(store.allocate(5), 2u);
+  EXPECT_EQ(store.allocate(1), 7u);
+}
+
+TEST(SegmentStore, WriteReadRemove) {
+  Schema schema = simple_schema();
+  SegmentStore store(simple_schema());
+  ObjectId id = store.allocate(1);
+  ASSERT_TRUE(store.write(make_thing(schema, id, "hello")).is_ok());
+  EXPECT_TRUE(store.contains(id));
+  auto fetched = store.read(id);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().get_string(0), "hello");
+  ASSERT_TRUE(store.remove(id).is_ok());
+  EXPECT_FALSE(store.contains(id));
+  EXPECT_EQ(store.read(id).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store.remove(id).code(), ErrorCode::kNotFound);
+}
+
+TEST(SegmentStore, SegmentAssignmentByAllocationOrder) {
+  EXPECT_EQ(segment_of(1), 0u);
+  EXPECT_EQ(segment_of(kSegmentCapacity), 0u);
+  EXPECT_EQ(segment_of(kSegmentCapacity + 1), 1u);
+}
+
+TEST(SegmentStore, ReadSegmentReturnsCohort) {
+  Schema schema = simple_schema();
+  SegmentStore store(simple_schema());
+  // Fill the first segment and one object of the second.
+  for (uint64_t i = 0; i < kSegmentCapacity + 1; ++i) {
+    ObjectId id = store.allocate(1);
+    ASSERT_TRUE(
+        store.write(make_thing(schema, id, "o" + std::to_string(id))).is_ok());
+  }
+  EXPECT_EQ(store.read_segment(0).size(), kSegmentCapacity);
+  EXPECT_EQ(store.read_segment(1).size(), 1u);
+  EXPECT_TRUE(store.read_segment(7).empty());
+}
+
+TEST(SegmentStore, RootsRoundTrip) {
+  SegmentStore store(simple_schema());
+  EXPECT_EQ(store.get_root("projects"), kNullObject);
+  store.set_root("projects", 17);
+  EXPECT_EQ(store.get_root("projects"), 17u);
+  EXPECT_EQ(store.root_names(), (std::vector<std::string>{"projects"}));
+}
+
+TEST(SegmentStore, SaveLoadRoundTrip) {
+  TempDir temp("oodbstore");
+  Schema schema = simple_schema();
+  auto path = temp.path() / "store.oodb";
+  {
+    SegmentStore store(simple_schema());
+    for (int i = 0; i < 300; ++i) {  // spans multiple segments
+      ObjectId id = store.allocate(1);
+      ASSERT_TRUE(store.write(make_thing(schema, id,
+                                         "obj" + std::to_string(id)))
+                      .is_ok());
+    }
+    store.set_root("main", 5);
+    ASSERT_TRUE(store.save(path).is_ok());
+  }
+  auto loaded = SegmentStore::load(path, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  SegmentStore& store = *loaded.value();
+  EXPECT_EQ(store.object_count(), 300u);
+  EXPECT_EQ(store.get_root("main"), 5u);
+  EXPECT_EQ(store.read(150).value().get_string(0), "obj150");
+  // Allocation continues after the loaded high-water mark.
+  EXPECT_GE(store.allocate(1), 301u);
+}
+
+TEST(SegmentStore, LoadRejectsSchemaMismatch) {
+  TempDir temp("oodbstore");
+  auto path = temp.path() / "store.oodb";
+  {
+    SegmentStore store(simple_schema());
+    ASSERT_TRUE(store.save(path).is_ok());
+  }
+  Schema evolved;
+  ASSERT_TRUE(evolved
+                  .add_class("Thing", {{"label", FieldType::kString},
+                                       {"extra", FieldType::kInt64}})
+                  .is_ok());
+  ASSERT_TRUE(evolved.compile().is_ok());
+  auto loaded = SegmentStore::load(path, evolved);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kConflict);
+  EXPECT_NE(loaded.status().message().find("recompile"), std::string::npos);
+}
+
+TEST(SegmentStore, LoadRejectsGarbage) {
+  TempDir temp("oodbstore");
+  auto path = temp.path() / "garbage";
+  ASSERT_TRUE(write_file_atomic(path, std::string(5000, 'g')).is_ok());
+  auto loaded = SegmentStore::load(path, simple_schema());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kMalformed);
+}
+
+TEST(SegmentStore, ImageCarriesHiddenSegmentOverhead) {
+  Schema schema = simple_schema();
+  SegmentStore store(simple_schema());
+  uint64_t empty_image = store.image_bytes();
+  EXPECT_GE(empty_image, kStoreHeaderBytes);
+
+  // One object per segment maximizes hidden overhead per byte stored.
+  size_t segments = 5;
+  uint64_t payload = 0;
+  for (size_t s = 0; s < segments; ++s) {
+    ObjectId id = s * kSegmentCapacity + 1;
+    PersistentObject object = make_thing(schema, id, "x");
+    payload += object.encode().size();
+    ASSERT_TRUE(store.write(object).is_ok());
+  }
+  uint64_t image = store.image_bytes();
+  // Every occupied segment pays kHiddenSegmentBytes of index space.
+  EXPECT_GE(image, kStoreHeaderBytes + payload +
+                       segments * kHiddenSegmentBytes);
+}
+
+TEST(SegmentStore, AllIdsSorted) {
+  Schema schema = simple_schema();
+  SegmentStore store(simple_schema());
+  ObjectId first = store.allocate(3);
+  for (ObjectId id = first + 2;; --id) {
+    ASSERT_TRUE(store.write(make_thing(schema, id, "x")).is_ok());
+    if (id == first) break;
+  }
+  EXPECT_EQ(store.all_ids(), (std::vector<ObjectId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace davpse::oodb

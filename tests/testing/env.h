@@ -1,0 +1,89 @@
+// Shared fixtures: in-process DAV and OODB stacks on unique endpoints.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "dav/server.h"
+#include "davclient/client.h"
+#include "http/server.h"
+#include "oodb/client.h"
+#include "oodb/server.h"
+#include "util/fs.h"
+
+namespace davpse::testing {
+
+/// Process-unique endpoint name ("test-dav-3").
+inline std::string unique_endpoint(const std::string& prefix) {
+  static std::atomic<int> counter{0};
+  return prefix + "-" + std::to_string(counter.fetch_add(1));
+}
+
+/// A full DAV stack: temp-dir repository, DavServer handler, HttpServer
+/// front end. Ready after construction; stops on destruction.
+struct DavStack {
+  explicit DavStack(dbm::Flavor flavor = dbm::Flavor::kGdbm,
+                    size_t daemons = 5)
+      : temp("davstack") {
+    dav::DavConfig dav_config;
+    dav_config.root = temp.path();
+    dav_config.flavor = flavor;
+    dav = std::make_unique<dav::DavServer>(dav_config);
+    http::ServerConfig http_config;
+    http_config.endpoint = unique_endpoint("test-dav");
+    http_config.daemons = daemons;
+    server = std::make_unique<http::HttpServer>(http_config, dav.get());
+    Status status = server->start();
+    if (!status.is_ok()) {
+      throw std::runtime_error("DavStack start failed: " + status.to_string());
+    }
+  }
+
+  /// New client bound to this stack.
+  davclient::DavClient client(
+      davclient::ParserKind parser = davclient::ParserKind::kDom,
+      http::ConnectionPolicy policy = http::ConnectionPolicy::kPersistent) {
+    http::ClientConfig config;
+    config.endpoint = server->endpoint();
+    config.policy = policy;
+    return davclient::DavClient(config, parser);
+  }
+
+  TempDir temp;
+  std::unique_ptr<dav::DavServer> dav;
+  std::unique_ptr<http::HttpServer> server;
+};
+
+/// A full OODB stack around a fresh SegmentStore.
+struct OodbStack {
+  explicit OodbStack(oodb::Schema schema)
+      : temp("oodbstack"), endpoint_(unique_endpoint("test-oodb")) {
+    oodb::OodbServerConfig config;
+    config.endpoint = endpoint_;
+    config.store_file = temp.path() / "store.oodb";
+    server = std::make_unique<oodb::OodbServer>(
+        config, std::make_unique<oodb::SegmentStore>(std::move(schema)));
+    Status status = server->start();
+    if (!status.is_ok()) {
+      throw std::runtime_error("OodbStack start failed: " +
+                               status.to_string());
+    }
+  }
+
+  std::unique_ptr<oodb::OodbClient> client(const oodb::Schema& schema,
+                                           bool cache_forward = true) {
+    oodb::OodbClientConfig config;
+    config.endpoint = endpoint_;
+    config.cache_forward = cache_forward;
+    return std::make_unique<oodb::OodbClient>(config, schema);
+  }
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  TempDir temp;
+  std::string endpoint_;
+  std::unique_ptr<oodb::OodbServer> server;
+};
+
+}  // namespace davpse::testing

@@ -1,0 +1,62 @@
+#include "util/base64.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace davpse {
+namespace {
+
+// RFC 4648 §10 test vectors.
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  std::string out;
+  ASSERT_TRUE(base64_decode("Zm9vYmFy", &out));
+  EXPECT_EQ(out, "foobar");
+  ASSERT_TRUE(base64_decode("Zg==", &out));
+  EXPECT_EQ(out, "f");
+  ASSERT_TRUE(base64_decode("", &out));
+  EXPECT_EQ(out, "");
+}
+
+TEST(Base64, RejectsMalformedInput) {
+  std::string out;
+  EXPECT_FALSE(base64_decode("Zg", &out));       // bad length
+  EXPECT_FALSE(base64_decode("Zg=a", &out));     // data after padding
+  EXPECT_FALSE(base64_decode("Z===", &out));     // too much padding
+  EXPECT_FALSE(base64_decode("Zm9v!A==", &out)); // illegal character
+  EXPECT_FALSE(base64_decode("====", &out));     // all padding
+}
+
+TEST(Base64, BasicAuthShape) {
+  // The classic RFC 2617 example credential.
+  EXPECT_EQ(base64_encode("Aladdin:open sesame"),
+            "QWxhZGRpbjpvcGVuIHNlc2FtZQ==");
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Base64RoundTrip, ArbitraryBinary) {
+  Rng rng(GetParam() * 977 + 5);
+  for (int i = 0; i < 50; ++i) {
+    std::string original = rng.binary_blob(GetParam() + rng.uniform(0, 3));
+    std::string decoded;
+    ASSERT_TRUE(base64_decode(base64_encode(original), &decoded));
+    EXPECT_EQ(decoded, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 16, 63, 255, 4096));
+
+}  // namespace
+}  // namespace davpse

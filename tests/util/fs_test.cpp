@@ -1,0 +1,81 @@
+#include "util/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace davpse {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(TempDirTest, CreatesAndRemoves) {
+  fs::path captured;
+  {
+    TempDir dir("fstest");
+    captured = dir.path();
+    EXPECT_TRUE(fs::is_directory(captured));
+  }
+  EXPECT_FALSE(fs::exists(captured));
+}
+
+TEST(FileIo, WriteThenRead) {
+  TempDir dir("fstest");
+  fs::path file = dir.path() / "data.bin";
+  std::string payload = "hello\0world", contents;
+  ASSERT_TRUE(write_file_atomic(file, payload).is_ok());
+  ASSERT_TRUE(read_file(file, &contents).is_ok());
+  EXPECT_EQ(contents, payload);
+}
+
+TEST(FileIo, AtomicReplaceLeavesNoTempFile) {
+  TempDir dir("fstest");
+  fs::path file = dir.path() / "doc";
+  ASSERT_TRUE(write_file_atomic(file, "one").is_ok());
+  ASSERT_TRUE(write_file_atomic(file, "two").is_ok());
+  std::string contents;
+  ASSERT_TRUE(read_file(file, &contents).is_ok());
+  EXPECT_EQ(contents, "two");
+  size_t entries = 0;
+  for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir.path())) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(FileIo, ReadMissingIsNotFound) {
+  TempDir dir("fstest");
+  std::string contents;
+  Status status = read_file(dir.path() / "nope", &contents);
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+}
+
+TEST(DiskUsage, SumsRecursively) {
+  TempDir dir("fstest");
+  fs::create_directories(dir.path() / "sub" / "deeper");
+  ASSERT_TRUE(write_file_atomic(dir.path() / "a", std::string(100, 'x')).is_ok());
+  ASSERT_TRUE(
+      write_file_atomic(dir.path() / "sub" / "b", std::string(50, 'y')).is_ok());
+  ASSERT_TRUE(write_file_atomic(dir.path() / "sub" / "deeper" / "c",
+                                std::string(7, 'z'))
+                  .is_ok());
+  EXPECT_EQ(disk_usage(dir.path()), 157u);
+  EXPECT_EQ(disk_usage(dir.path() / "sub"), 57u);
+  EXPECT_EQ(disk_usage(dir.path() / "a"), 100u);
+  EXPECT_EQ(disk_usage(dir.path() / "missing"), 0u);
+}
+
+TEST(CopyTree, CopiesNestedStructure) {
+  TempDir dir("fstest");
+  fs::create_directories(dir.path() / "src" / "inner");
+  ASSERT_TRUE(
+      write_file_atomic(dir.path() / "src" / "inner" / "f", "data").is_ok());
+  ASSERT_TRUE(copy_tree(dir.path() / "src", dir.path() / "dst").is_ok());
+  std::string contents;
+  ASSERT_TRUE(read_file(dir.path() / "dst" / "inner" / "f", &contents).is_ok());
+  EXPECT_EQ(contents, "data");
+}
+
+}  // namespace
+}  // namespace davpse

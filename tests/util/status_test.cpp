@@ -1,0 +1,60 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = error(ErrorCode::kNotFound, "no such thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: no such thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kInternal); ++code) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(code)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(error(ErrorCode::kTimeout, "too slow"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status helper_returning_early(bool fail) {
+  DAVPSE_RETURN_IF_ERROR(fail ? error(ErrorCode::kInternal, "boom")
+                              : Status::ok());
+  return error(ErrorCode::kConflict, "reached end");
+}
+
+TEST(ReturnIfError, PropagatesOnlyErrors) {
+  EXPECT_EQ(helper_returning_early(true).code(), ErrorCode::kInternal);
+  EXPECT_EQ(helper_returning_early(false).code(), ErrorCode::kConflict);
+}
+
+}  // namespace
+}  // namespace davpse

@@ -1,0 +1,91 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace davpse {
+namespace {
+
+TEST(Trim, StripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t\r\nabc\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitSkipEmpty, DropsEmptyFields) {
+  EXPECT_EQ(split_skip_empty("/a//b/", '/'),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_skip_empty("///", '/').empty());
+}
+
+TEST(AsciiCase, LowerAndIequals) {
+  EXPECT_EQ(ascii_lower("Content-TYPE"), "content-type");
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+}
+
+TEST(Affixes, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("/Ecce/proj", "/Ecce"));
+  EXPECT_FALSE(starts_with("/Ec", "/Ecce"));
+  EXPECT_TRUE(ends_with("file.props", ".props"));
+  EXPECT_FALSE(ends_with("props", ".props"));
+}
+
+TEST(Join, InsertsSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(PercentEncode, EncodesReservedKeepsSlash) {
+  EXPECT_EQ(percent_encode_path("/a b/c"), "/a%20b/c");
+  EXPECT_EQ(percent_encode_path("/plain-path_1.2~x/"), "/plain-path_1.2~x/");
+  EXPECT_EQ(percent_encode_path("100%"), "100%25");
+}
+
+TEST(PercentDecode, RoundTripsAndRejectsBadEscapes) {
+  std::string out;
+  ASSERT_TRUE(percent_decode("/a%20b", &out));
+  EXPECT_EQ(out, "/a b");
+  EXPECT_FALSE(percent_decode("%zz", &out));
+  EXPECT_FALSE(percent_decode("%4", &out));
+  EXPECT_FALSE(percent_decode("abc%", &out));
+}
+
+TEST(PercentCodec, PropertyRoundTripArbitraryBytes) {
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    std::string original = rng.binary_blob(rng.uniform(0, 64));
+    std::string decoded;
+    ASSERT_TRUE(percent_decode(percent_encode_path(original), &decoded));
+    EXPECT_EQ(decoded, original);
+  }
+}
+
+TEST(FormatBytes, HumanUnits) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(35ull * 1024 * 1024), "35.0 MB");
+}
+
+TEST(FormatSeconds, MillisecondPrecision) {
+  EXPECT_EQ(format_seconds(3.482), "3.482 s");
+  EXPECT_EQ(format_seconds(0.0), "0.000 s");
+}
+
+}  // namespace
+}  // namespace davpse

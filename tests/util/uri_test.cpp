@@ -1,0 +1,85 @@
+#include "util/uri.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse {
+namespace {
+
+TEST(ParseUri, AbsoluteHttp) {
+  auto uri = parse_uri("http://server:8080/a/b%20c");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri.value().scheme, "http");
+  EXPECT_EQ(uri.value().host, "server");
+  EXPECT_EQ(uri.value().port, 8080);
+  EXPECT_EQ(uri.value().path, "/a/b c");
+  EXPECT_EQ(uri.value().encoded_path(), "/a/b%20c");
+}
+
+TEST(ParseUri, HostWithoutPortOrPath) {
+  auto uri = parse_uri("http://server");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri.value().port, 0);
+  EXPECT_EQ(uri.value().path, "/");
+}
+
+TEST(ParseUri, PathOnly) {
+  auto uri = parse_uri("/Ecce/proj/calc");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_TRUE(uri.value().scheme.empty());
+  EXPECT_EQ(uri.value().path, "/Ecce/proj/calc");
+}
+
+TEST(ParseUri, StripsQueryAndFragment) {
+  auto uri = parse_uri("/a/b?x=1#frag");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri.value().path, "/a/b");
+}
+
+TEST(ParseUri, Rejections) {
+  EXPECT_FALSE(parse_uri("").ok());
+  EXPECT_FALSE(parse_uri("relative/path").ok());
+  EXPECT_FALSE(parse_uri("http:///nohost").ok());
+  EXPECT_FALSE(parse_uri("http://h:99999/").ok());
+  EXPECT_FALSE(parse_uri("http://h:12ab/").ok());
+  EXPECT_FALSE(parse_uri("/bad%zzescape").ok());
+}
+
+TEST(NormalizePath, CollapsesAndResolves) {
+  EXPECT_EQ(normalize_path("/a/b/c").value(), "/a/b/c");
+  EXPECT_EQ(normalize_path("/a//b/").value(), "/a/b");
+  EXPECT_EQ(normalize_path("/a/./b").value(), "/a/b");
+  EXPECT_EQ(normalize_path("/a/x/../b").value(), "/a/b");
+  EXPECT_EQ(normalize_path("/").value(), "/");
+  EXPECT_EQ(normalize_path("//").value(), "/");
+}
+
+TEST(NormalizePath, RejectsEscapes) {
+  EXPECT_FALSE(normalize_path("/..").ok());
+  EXPECT_FALSE(normalize_path("/a/../..").ok());
+  EXPECT_FALSE(normalize_path("relative").ok());
+  EXPECT_FALSE(normalize_path("").ok());
+}
+
+TEST(PathHelpers, SegmentsParentBasename) {
+  EXPECT_EQ(path_segments("/a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(path_segments("/").empty());
+  EXPECT_EQ(parent_path("/a/b"), "/a");
+  EXPECT_EQ(parent_path("/a"), "/");
+  EXPECT_EQ(parent_path("/"), "/");
+  EXPECT_EQ(basename_of("/a/b"), "b");
+  EXPECT_EQ(basename_of("/"), "");
+  EXPECT_EQ(join_path("/a", "b"), "/a/b");
+  EXPECT_EQ(join_path("/", "b"), "/b");
+}
+
+TEST(PathIsWithin, AncestryChecks) {
+  EXPECT_TRUE(path_is_within("/a/b", "/a"));
+  EXPECT_TRUE(path_is_within("/a", "/a"));
+  EXPECT_TRUE(path_is_within("/anything", "/"));
+  EXPECT_FALSE(path_is_within("/ab", "/a"));  // no segment-boundary match
+  EXPECT_FALSE(path_is_within("/a", "/a/b"));
+}
+
+}  // namespace
+}  // namespace davpse

@@ -1,0 +1,128 @@
+#include "xml/dom.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "xml/writer.h"
+
+namespace davpse::xml {
+namespace {
+
+TEST(Dom, ParseAndNavigate) {
+  auto doc = parse_document(
+      R"(<D:multistatus xmlns:D="DAV:">
+           <D:response><D:href>/a</D:href></D:response>
+           <D:response><D:href>/b</D:href></D:response>
+         </D:multistatus>)");
+  ASSERT_TRUE(doc.ok());
+  const Element& root = *doc.value();
+  EXPECT_EQ(root.name(), dav_name("multistatus"));
+  auto responses = root.children_named(dav_name("response"));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0]->child_text(dav_name("href")), "/a");
+  EXPECT_EQ(responses[1]->child_text(dav_name("href")), "/b");
+  EXPECT_EQ(root.first_child(dav_name("missing")), nullptr);
+  EXPECT_EQ(root.child_text(dav_name("missing")), "");
+}
+
+TEST(Dom, AttributesAccessible) {
+  auto doc = parse_document(R"(<e a="1" b="two"/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->attribute("a"), "1");
+  EXPECT_EQ(doc.value()->attribute("b"), "two");
+  EXPECT_EQ(doc.value()->attribute("c"), "");
+}
+
+TEST(Dom, TextAccumulatesAcrossEntitiesAndCdata) {
+  auto doc = parse_document("<e>a&amp;b<![CDATA[<c>]]>d</e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->text(), "a&b<c>d");
+}
+
+TEST(Dom, SubtreeSize) {
+  auto doc = parse_document("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value()->subtree_size(), 4u);
+}
+
+TEST(Dom, ToXmlReparsesToSameStructure) {
+  auto doc = parse_document(
+      R"(<root xmlns:p="urn:p"><p:x>text &amp; entity</p:x><plain/></root>)");
+  ASSERT_TRUE(doc.ok());
+  auto reparsed = parse_document(doc.value()->to_xml());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value()->subtree_size(), doc.value()->subtree_size());
+  EXPECT_EQ(reparsed.value()->first_child(QName("urn:p", "x"))->text(),
+            "text & entity");
+}
+
+TEST(Dom, MalformedInputRejected) {
+  EXPECT_FALSE(parse_document("<a><b></a>").ok());
+  EXPECT_FALSE(parse_document("").ok());
+}
+
+// --- Property-based: random documents survive write->parse->write ------
+
+struct RandomDocParams {
+  uint64_t seed;
+  int max_depth;
+  int max_children;
+};
+
+void generate(Rng& rng, XmlWriter* writer, Element* shadow, int depth,
+              int max_depth, int max_children) {
+  size_t child_count = depth >= max_depth ? 0 : rng.uniform(0, max_children);
+  for (size_t i = 0; i < child_count; ++i) {
+    bool namespaced = rng.coin(0.4);
+    QName name(namespaced ? "urn:ns" + std::to_string(rng.uniform(1, 3)) : "",
+               rng.identifier(1, 8));
+    writer->start_element(name);
+    Element* child = shadow->add_child(name);
+    if (rng.coin(0.6)) {
+      std::string text = rng.ascii_blob(rng.uniform(0, 20));
+      writer->text(text);
+      child->append_text(text);
+    }
+    generate(rng, writer, child, depth + 1, max_depth, max_children);
+    writer->end_element();
+  }
+}
+
+bool structurally_equal(const Element& a, const Element& b) {
+  if (!(a.name() == b.name())) return false;
+  if (a.text() != b.text()) return false;
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!structurally_equal(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+class DomRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomRoundTrip, RandomDocumentsRoundTrip) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    XmlWriter writer;
+    Element expected(QName("", "root"));
+    writer.start_element(expected.name());
+    generate(rng, &writer, &expected, 0, 4, 4);
+    writer.end_element();
+    std::string xml = writer.take();
+
+    auto parsed = parse_document(xml);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().to_string() << "\n" << xml;
+    EXPECT_TRUE(structurally_equal(expected, *parsed.value())) << xml;
+
+    // Second generation: serialize the parsed tree and parse again.
+    auto reparsed = parse_document(parsed.value()->to_xml());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_TRUE(structurally_equal(*parsed.value(), *reparsed.value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace davpse::xml

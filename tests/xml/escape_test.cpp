@@ -1,0 +1,45 @@
+#include "xml/escape.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse::xml {
+namespace {
+
+TEST(Escape, TextEscapesMarkup) {
+  EXPECT_EQ(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(escape_text("plain"), "plain");
+  EXPECT_EQ(escape_text("\"quotes'stay\""), "\"quotes'stay\"");
+}
+
+TEST(Escape, AttributeAlsoEscapesQuotes) {
+  EXPECT_EQ(escape_attribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(escape_attribute("<&>"), "&lt;&amp;&gt;");
+}
+
+TEST(Unescape, InvertsTextEscaping) {
+  EXPECT_EQ(unescape_text("a&lt;b&gt;&amp;c"), "a<b>&c");
+  EXPECT_EQ(unescape_text("&quot;&apos;"), "\"'");
+  EXPECT_EQ(unescape_text("no entities"), "no entities");
+  // Unknown entities pass through untouched.
+  EXPECT_EQ(unescape_text("&unknown;"), "&unknown;");
+  EXPECT_EQ(unescape_text("dangling &"), "dangling &");
+}
+
+TEST(Unescape, RoundTripsEscapeText) {
+  const std::string samples[] = {
+      "", "plain", "<<<>>>", "&&&", "a < b && c > d",
+      "mixed \"quotes\" & 'apostrophes' <tags>"};
+  for (const auto& sample : samples) {
+    EXPECT_EQ(unescape_text(escape_text(sample)), sample) << sample;
+  }
+}
+
+TEST(XmlSafeText, ControlByteDetection) {
+  EXPECT_TRUE(is_xml_safe_text("normal text\twith\ntabs\rand newlines"));
+  EXPECT_FALSE(is_xml_safe_text(std::string("bin\0ary", 7)));
+  EXPECT_FALSE(is_xml_safe_text("\x01"));
+  EXPECT_TRUE(is_xml_safe_text("\x7f\x80"));  // high bytes are fine
+}
+
+}  // namespace
+}  // namespace davpse::xml

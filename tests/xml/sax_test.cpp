@@ -1,0 +1,181 @@
+#include "xml/sax.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse::xml {
+namespace {
+
+/// Records events as readable strings for assertion.
+class Recorder final : public SaxHandler {
+ public:
+  void on_start_element(const QName& name,
+                        const std::vector<SaxAttribute>& attributes) override {
+    std::string event = "start " + name.to_string();
+    for (const auto& attr : attributes) {
+      event += " @" + attr.name.to_string() + "=" + attr.value;
+    }
+    events.push_back(std::move(event));
+  }
+  void on_end_element(const QName& name) override {
+    events.push_back("end " + name.to_string());
+  }
+  void on_characters(std::string_view text) override {
+    if (!events.empty() && events.back().starts_with("text ")) {
+      events.back() += text;  // merge adjacent runs for stable asserts
+    } else {
+      events.push_back("text " + std::string(text));
+    }
+  }
+
+  std::vector<std::string> events;
+};
+
+std::vector<std::string> parse_events(std::string_view xml) {
+  Recorder recorder;
+  SaxParser parser;
+  Status status = parser.parse(xml, &recorder);
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+  return recorder.events;
+}
+
+Status parse_status(std::string_view xml) {
+  Recorder recorder;
+  SaxParser parser;
+  return parser.parse(xml, &recorder);
+}
+
+TEST(Sax, SimpleElement) {
+  EXPECT_EQ(parse_events("<a>hi</a>"),
+            (std::vector<std::string>{"start a", "text hi", "end a"}));
+}
+
+TEST(Sax, SelfClosing) {
+  EXPECT_EQ(parse_events("<a/>"),
+            (std::vector<std::string>{"start a", "end a"}));
+}
+
+TEST(Sax, NestedWithWhitespaceText) {
+  auto events = parse_events("<a> <b/> </a>");
+  EXPECT_EQ(events, (std::vector<std::string>{"start a", "text  ", "start b",
+                                              "end b", "text  ", "end a"}));
+}
+
+TEST(Sax, AttributesWithBothQuoteStyles) {
+  auto events = parse_events(R"(<a x="1" y='2'/>)");
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"start a @x=1 @y=2", "end a"}));
+}
+
+TEST(Sax, DefaultNamespaceAppliesToElementsNotAttributes) {
+  auto events = parse_events(R"(<a xmlns="urn:n" x="1"><b/></a>)");
+  EXPECT_EQ(events, (std::vector<std::string>{"start {urn:n}a @x=1",
+                                              "start {urn:n}b",
+                                              "end {urn:n}b", "end {urn:n}a"}));
+}
+
+TEST(Sax, PrefixedNamespaces) {
+  auto events = parse_events(
+      R"(<D:multistatus xmlns:D="DAV:"><D:href>/x</D:href></D:multistatus>)");
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"start {DAV:}multistatus",
+                                      "start {DAV:}href", "text /x",
+                                      "end {DAV:}href",
+                                      "end {DAV:}multistatus"}));
+}
+
+TEST(Sax, PrefixScopingAndShadowing) {
+  auto events = parse_events(
+      R"(<p:a xmlns:p="urn:1"><p:b xmlns:p="urn:2"/><p:c/></p:a>)");
+  EXPECT_EQ(events, (std::vector<std::string>{
+                        "start {urn:1}a", "start {urn:2}b", "end {urn:2}b",
+                        "start {urn:1}c", "end {urn:1}c", "end {urn:1}a"}));
+}
+
+TEST(Sax, EntityDecoding) {
+  auto events = parse_events("<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>");
+  EXPECT_EQ(events, (std::vector<std::string>{"start a", "text <>&\"'AB",
+                                              "end a"}));
+}
+
+TEST(Sax, EntityInAttribute) {
+  auto events = parse_events(R"(<a v="x&amp;y"/>)");
+  EXPECT_EQ(events, (std::vector<std::string>{"start a @v=x&y", "end a"}));
+}
+
+TEST(Sax, UnicodeCharacterReference) {
+  auto events = parse_events("<a>&#x00E9;</a>");  // é
+  EXPECT_EQ(events, (std::vector<std::string>{"start a", "text \xC3\xA9",
+                                              "end a"}));
+}
+
+TEST(Sax, CdataPassedVerbatim) {
+  auto events = parse_events("<a><![CDATA[<not-a-tag>&amp;]]></a>");
+  EXPECT_EQ(events, (std::vector<std::string>{
+                        "start a", "text <not-a-tag>&amp;", "end a"}));
+}
+
+TEST(Sax, CommentsAndPisSkipped) {
+  auto events =
+      parse_events("<?xml version=\"1.0\"?><!-- c --><a><!-- inside --><b/>"
+                   "<?pi data?></a><!-- after -->");
+  EXPECT_EQ(events, (std::vector<std::string>{"start a", "start b", "end b",
+                                              "end a"}));
+}
+
+TEST(Sax, DoctypeSkipped) {
+  auto events = parse_events(
+      "<!DOCTYPE root [<!ELEMENT root ANY>]><root/>");
+  EXPECT_EQ(events, (std::vector<std::string>{"start root", "end root"}));
+}
+
+// Malformed-document rejection matrix.
+class SaxRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SaxRejects, ReturnsMalformed) {
+  Status status = parse_status(GetParam());
+  EXPECT_FALSE(status.is_ok()) << "accepted: " << GetParam();
+  EXPECT_EQ(status.code(), ErrorCode::kMalformed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadDocuments, SaxRejects,
+    ::testing::Values(
+        "",                               // empty
+        "just text",                      // no root element
+        "<a>",                            // unterminated
+        "<a></b>",                        // mismatched tags
+        "<a><b></a></b>",                 // interleaved
+        "<a/><b/>",                       // two roots
+        "<a>trailing</a>junk",            // content after root
+        "<a attr></a>",                   // attribute without value
+        "<a attr=value/>",                // unquoted value
+        "<a attr=\"unterminated></a>",    // unterminated value
+        "<a>&unknown;</a>",               // unknown entity
+        "<a>&#xZZ;</a>",                  // bad char reference
+        "<a>&#1114112;</a>",              // out-of-range reference
+        "<p:a/>",                         // undeclared prefix
+        "<a><p:b xmlns:q=\"u\"/></a>",    // prefix declared as other name
+        "<a v=\"x<y\"/>",                 // '<' in attribute value
+        "<1tag/>",                        // bad name start
+        "<a><![CDATA[unterminated</a>",   // unterminated CDATA
+        "<a><!-- unterminated</a>"));     // unterminated comment
+
+TEST(Sax, EndTagToleratesTrailingSpaceButNotJunkAfterRoot) {
+  EXPECT_TRUE(parse_status(R"(<a xmlns="urn:1"></a >)").is_ok());
+  EXPECT_FALSE(parse_status(R"(<a xmlns="urn:1"></a >junk)").is_ok());
+}
+
+TEST(Sax, DeeplyNestedDocument) {
+  std::string xml;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) xml += "<d>";
+  xml += "x";
+  for (int i = 0; i < kDepth; ++i) xml += "</d>";
+  Recorder recorder;
+  SaxParser parser;
+  ASSERT_TRUE(parser.parse(xml, &recorder).is_ok());
+  EXPECT_EQ(recorder.events.size(), 2 * kDepth + 1u);
+}
+
+}  // namespace
+}  // namespace davpse::xml

@@ -1,0 +1,117 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+namespace davpse::xml {
+namespace {
+
+TEST(Writer, SimpleDocument) {
+  XmlWriter writer;
+  writer.start_element(QName("", "root"));
+  writer.text("hello");
+  writer.end_element();
+  EXPECT_EQ(writer.take(), "<root>hello</root>");
+}
+
+TEST(Writer, Declaration) {
+  XmlWriter writer;
+  writer.declaration();
+  writer.empty_element(QName("", "r"));
+  EXPECT_EQ(writer.take(),
+            "<?xml version=\"1.0\" encoding=\"utf-8\"?>\n<r/>");
+}
+
+TEST(Writer, SelfClosingEmptyElement) {
+  XmlWriter writer;
+  writer.start_element(QName("", "a"));
+  writer.empty_element(QName("", "b"));
+  writer.end_element();
+  EXPECT_EQ(writer.take(), "<a><b/></a>");
+}
+
+TEST(Writer, NamespaceDeclaredOnFirstUse) {
+  XmlWriter writer;
+  writer.prefer_prefix("DAV:", "D");
+  writer.start_element(dav_name("multistatus"));
+  writer.empty_element(dav_name("response"));
+  writer.end_element();
+  EXPECT_EQ(writer.take(),
+            "<D:multistatus xmlns:D=\"DAV:\"><D:response/></D:multistatus>");
+}
+
+TEST(Writer, AutoPrefixesForUnknownNamespaces) {
+  XmlWriter writer;
+  writer.start_element(QName("urn:a", "root"));
+  writer.empty_element(QName("urn:b", "child"));
+  writer.end_element();
+  std::string xml = writer.take();
+  EXPECT_NE(xml.find("xmlns:ns1=\"urn:a\""), std::string::npos);
+  EXPECT_NE(xml.find("xmlns:ns2=\"urn:b\""), std::string::npos);
+}
+
+TEST(Writer, NamespaceScopeEndsWithElement) {
+  XmlWriter writer;
+  writer.start_element(QName("", "root"));
+  writer.empty_element(QName("urn:x", "a"));
+  writer.empty_element(QName("urn:x", "b"));
+  writer.end_element();
+  std::string xml = writer.take();
+  // Declared twice: the binding from <a> went out of scope before <b>.
+  size_t first = xml.find("xmlns:ns1=\"urn:x\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(xml.find("xmlns:ns2=\"urn:x\"", first + 1), std::string::npos);
+}
+
+TEST(Writer, SiblingReusesAncestorBinding) {
+  XmlWriter writer;
+  writer.start_element(QName("urn:x", "root"));
+  writer.empty_element(QName("urn:x", "child"));
+  writer.end_element();
+  std::string xml = writer.take();
+  // Only one declaration: the child reuses the root's binding.
+  size_t first = xml.find("xmlns:");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(xml.find("xmlns:", first + 1), std::string::npos);
+}
+
+TEST(Writer, AttributesAndEscaping) {
+  XmlWriter writer;
+  writer.start_element(QName("", "e"));
+  writer.attribute("name", "a\"<>&b");
+  writer.text("x<y");
+  writer.end_element();
+  EXPECT_EQ(writer.take(),
+            "<e name=\"a&quot;&lt;&gt;&amp;b\">x&lt;y</e>");
+}
+
+TEST(Writer, TextElementConvenience) {
+  XmlWriter writer;
+  writer.start_element(QName("", "root"));
+  writer.text_element(QName("", "inner"), "value");
+  writer.text_element(QName("", "empty"), "");
+  writer.end_element();
+  EXPECT_EQ(writer.take(), "<root><inner>value</inner><empty/></root>");
+}
+
+TEST(Writer, RawContentEmbedding) {
+  XmlWriter writer;
+  writer.start_element(QName("", "root"));
+  writer.raw("<pre-serialized xmlns=\"urn:z\"/>");
+  writer.end_element();
+  EXPECT_EQ(writer.take(),
+            "<root><pre-serialized xmlns=\"urn:z\"/></root>");
+}
+
+TEST(Writer, DepthTracksNesting) {
+  XmlWriter writer;
+  EXPECT_EQ(writer.depth(), 0u);
+  writer.start_element(QName("", "a"));
+  writer.start_element(QName("", "b"));
+  EXPECT_EQ(writer.depth(), 2u);
+  writer.end_element();
+  writer.end_element();
+  EXPECT_EQ(writer.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace davpse::xml
