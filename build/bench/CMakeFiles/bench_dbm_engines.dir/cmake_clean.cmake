@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbm_engines.dir/bench_dbm_engines.cpp.o"
+  "CMakeFiles/bench_dbm_engines.dir/bench_dbm_engines.cpp.o.d"
+  "bench_dbm_engines"
+  "bench_dbm_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbm_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_migration_disk.dir/bench_migration_disk.cpp.o"
+  "CMakeFiles/bench_migration_disk.dir/bench_migration_disk.cpp.o.d"
+  "bench_migration_disk"
+  "bench_migration_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_migration_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

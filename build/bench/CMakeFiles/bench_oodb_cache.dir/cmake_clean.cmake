@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oodb_cache.dir/bench_oodb_cache.cpp.o"
+  "CMakeFiles/bench_oodb_cache.dir/bench_oodb_cache.cpp.o.d"
+  "bench_oodb_cache"
+  "bench_oodb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oodb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

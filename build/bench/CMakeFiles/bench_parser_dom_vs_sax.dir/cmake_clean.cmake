@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parser_dom_vs_sax.dir/bench_parser_dom_vs_sax.cpp.o"
+  "CMakeFiles/bench_parser_dom_vs_sax.dir/bench_parser_dom_vs_sax.cpp.o.d"
+  "bench_parser_dom_vs_sax"
+  "bench_parser_dom_vs_sax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parser_dom_vs_sax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_parser_dom_vs_sax.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_put_vs_ftp.dir/bench_table2_put_vs_ftp.cpp.o"
+  "CMakeFiles/bench_table2_put_vs_ftp.dir/bench_table2_put_vs_ftp.cpp.o.d"
+  "bench_table2_put_vs_ftp"
+  "bench_table2_put_vs_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_put_vs_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

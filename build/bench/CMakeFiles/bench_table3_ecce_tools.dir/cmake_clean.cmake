@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ecce_tools.dir/bench_table3_ecce_tools.cpp.o"
+  "CMakeFiles/bench_table3_ecce_tools.dir/bench_table3_ecce_tools.cpp.o.d"
+  "bench_table3_ecce_tools"
+  "bench_table3_ecce_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ecce_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

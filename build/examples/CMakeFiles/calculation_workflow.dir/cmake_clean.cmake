@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculation_workflow.dir/calculation_workflow.cpp.o"
+  "CMakeFiles/calculation_workflow.dir/calculation_workflow.cpp.o.d"
+  "calculation_workflow"
+  "calculation_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculation_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_browser.dir/dav_browser.cpp.o"
+  "CMakeFiles/dav_browser.dir/dav_browser.cpp.o.d"
+  "dav_browser"
+  "dav_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_agent.dir/feature_agent.cpp.o"
+  "CMakeFiles/feature_agent.dir/feature_agent.cpp.o.d"
+  "feature_agent"
+  "feature_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_store.dir/migrate_store.cpp.o"
+  "CMakeFiles/migrate_store.dir/migrate_store.cpp.o.d"
+  "migrate_store"
+  "migrate_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

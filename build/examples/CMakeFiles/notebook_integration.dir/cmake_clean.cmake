@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notebook_integration.dir/notebook_integration.cpp.o"
+  "CMakeFiles/notebook_integration.dir/notebook_integration.cpp.o.d"
+  "notebook_integration"
+  "notebook_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notebook_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agents.cpp" "src/core/CMakeFiles/davpse_ecce.dir/agents.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/agents.cpp.o.d"
+  "/root/repo/src/core/caching_storage.cpp" "src/core/CMakeFiles/davpse_ecce.dir/caching_storage.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/caching_storage.cpp.o.d"
+  "/root/repo/src/core/chem.cpp" "src/core/CMakeFiles/davpse_ecce.dir/chem.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/chem.cpp.o.d"
+  "/root/repo/src/core/dav_factory.cpp" "src/core/CMakeFiles/davpse_ecce.dir/dav_factory.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/dav_factory.cpp.o.d"
+  "/root/repo/src/core/dav_storage.cpp" "src/core/CMakeFiles/davpse_ecce.dir/dav_storage.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/dav_storage.cpp.o.d"
+  "/root/repo/src/core/migrate.cpp" "src/core/CMakeFiles/davpse_ecce.dir/migrate.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/migrate.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/davpse_ecce.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/model.cpp.o.d"
+  "/root/repo/src/core/oodb_factory.cpp" "src/core/CMakeFiles/davpse_ecce.dir/oodb_factory.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/oodb_factory.cpp.o.d"
+  "/root/repo/src/core/relationships.cpp" "src/core/CMakeFiles/davpse_ecce.dir/relationships.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/relationships.cpp.o.d"
+  "/root/repo/src/core/tools.cpp" "src/core/CMakeFiles/davpse_ecce.dir/tools.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/tools.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/davpse_ecce.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/davpse_ecce.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/davclient/CMakeFiles/davpse_davclient.dir/DependInfo.cmake"
+  "/root/repo/build/src/oodb/CMakeFiles/davpse_oodb.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/davpse_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/davpse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/davpse_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/davpse_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_ecce.dir/agents.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/agents.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/caching_storage.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/caching_storage.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/chem.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/chem.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/dav_factory.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/dav_factory.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/dav_storage.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/dav_storage.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/migrate.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/migrate.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/model.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/model.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/oodb_factory.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/oodb_factory.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/relationships.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/relationships.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/tools.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/tools.cpp.o.d"
+  "CMakeFiles/davpse_ecce.dir/workload.cpp.o"
+  "CMakeFiles/davpse_ecce.dir/workload.cpp.o.d"
+  "libdavpse_ecce.a"
+  "libdavpse_ecce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_ecce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

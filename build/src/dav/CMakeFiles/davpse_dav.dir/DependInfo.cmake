@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dav/dynamic_props.cpp" "src/dav/CMakeFiles/davpse_dav.dir/dynamic_props.cpp.o" "gcc" "src/dav/CMakeFiles/davpse_dav.dir/dynamic_props.cpp.o.d"
+  "/root/repo/src/dav/locks.cpp" "src/dav/CMakeFiles/davpse_dav.dir/locks.cpp.o" "gcc" "src/dav/CMakeFiles/davpse_dav.dir/locks.cpp.o.d"
+  "/root/repo/src/dav/props.cpp" "src/dav/CMakeFiles/davpse_dav.dir/props.cpp.o" "gcc" "src/dav/CMakeFiles/davpse_dav.dir/props.cpp.o.d"
+  "/root/repo/src/dav/repository.cpp" "src/dav/CMakeFiles/davpse_dav.dir/repository.cpp.o" "gcc" "src/dav/CMakeFiles/davpse_dav.dir/repository.cpp.o.d"
+  "/root/repo/src/dav/search.cpp" "src/dav/CMakeFiles/davpse_dav.dir/search.cpp.o" "gcc" "src/dav/CMakeFiles/davpse_dav.dir/search.cpp.o.d"
+  "/root/repo/src/dav/server.cpp" "src/dav/CMakeFiles/davpse_dav.dir/server.cpp.o" "gcc" "src/dav/CMakeFiles/davpse_dav.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbm/CMakeFiles/davpse_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/davpse_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/davpse_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/davpse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/davpse_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_dav.dir/dynamic_props.cpp.o"
+  "CMakeFiles/davpse_dav.dir/dynamic_props.cpp.o.d"
+  "CMakeFiles/davpse_dav.dir/locks.cpp.o"
+  "CMakeFiles/davpse_dav.dir/locks.cpp.o.d"
+  "CMakeFiles/davpse_dav.dir/props.cpp.o"
+  "CMakeFiles/davpse_dav.dir/props.cpp.o.d"
+  "CMakeFiles/davpse_dav.dir/repository.cpp.o"
+  "CMakeFiles/davpse_dav.dir/repository.cpp.o.d"
+  "CMakeFiles/davpse_dav.dir/search.cpp.o"
+  "CMakeFiles/davpse_dav.dir/search.cpp.o.d"
+  "CMakeFiles/davpse_dav.dir/server.cpp.o"
+  "CMakeFiles/davpse_dav.dir/server.cpp.o.d"
+  "libdavpse_dav.a"
+  "libdavpse_dav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_dav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/davclient/client.cpp" "src/davclient/CMakeFiles/davpse_davclient.dir/client.cpp.o" "gcc" "src/davclient/CMakeFiles/davpse_davclient.dir/client.cpp.o.d"
+  "/root/repo/src/davclient/multistatus.cpp" "src/davclient/CMakeFiles/davpse_davclient.dir/multistatus.cpp.o" "gcc" "src/davclient/CMakeFiles/davpse_davclient.dir/multistatus.cpp.o.d"
+  "/root/repo/src/davclient/search.cpp" "src/davclient/CMakeFiles/davpse_davclient.dir/search.cpp.o" "gcc" "src/davclient/CMakeFiles/davpse_davclient.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/davpse_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/davpse_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/davpse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/davpse_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

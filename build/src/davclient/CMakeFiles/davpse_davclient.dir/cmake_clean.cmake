@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_davclient.dir/client.cpp.o"
+  "CMakeFiles/davpse_davclient.dir/client.cpp.o.d"
+  "CMakeFiles/davpse_davclient.dir/multistatus.cpp.o"
+  "CMakeFiles/davpse_davclient.dir/multistatus.cpp.o.d"
+  "CMakeFiles/davpse_davclient.dir/search.cpp.o"
+  "CMakeFiles/davpse_davclient.dir/search.cpp.o.d"
+  "libdavpse_davclient.a"
+  "libdavpse_davclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_davclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdavpse_davclient.a"
+)

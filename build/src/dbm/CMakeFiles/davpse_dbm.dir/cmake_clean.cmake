@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_dbm.dir/dbm.cpp.o"
+  "CMakeFiles/davpse_dbm.dir/dbm.cpp.o.d"
+  "libdavpse_dbm.a"
+  "libdavpse_dbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_dbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

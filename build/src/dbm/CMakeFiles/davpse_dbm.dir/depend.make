@@ -1,0 +1,2 @@
+# Empty dependencies file for davpse_dbm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_ftp.dir/ftp.cpp.o"
+  "CMakeFiles/davpse_ftp.dir/ftp.cpp.o.d"
+  "libdavpse_ftp.a"
+  "libdavpse_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_http.dir/auth.cpp.o"
+  "CMakeFiles/davpse_http.dir/auth.cpp.o.d"
+  "CMakeFiles/davpse_http.dir/client.cpp.o"
+  "CMakeFiles/davpse_http.dir/client.cpp.o.d"
+  "CMakeFiles/davpse_http.dir/message.cpp.o"
+  "CMakeFiles/davpse_http.dir/message.cpp.o.d"
+  "CMakeFiles/davpse_http.dir/server.cpp.o"
+  "CMakeFiles/davpse_http.dir/server.cpp.o.d"
+  "CMakeFiles/davpse_http.dir/wire.cpp.o"
+  "CMakeFiles/davpse_http.dir/wire.cpp.o.d"
+  "libdavpse_http.a"
+  "libdavpse_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_net.dir/network.cpp.o"
+  "CMakeFiles/davpse_net.dir/network.cpp.o.d"
+  "CMakeFiles/davpse_net.dir/pipe.cpp.o"
+  "CMakeFiles/davpse_net.dir/pipe.cpp.o.d"
+  "CMakeFiles/davpse_net.dir/stream.cpp.o"
+  "CMakeFiles/davpse_net.dir/stream.cpp.o.d"
+  "libdavpse_net.a"
+  "libdavpse_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oodb/client.cpp" "src/oodb/CMakeFiles/davpse_oodb.dir/client.cpp.o" "gcc" "src/oodb/CMakeFiles/davpse_oodb.dir/client.cpp.o.d"
+  "/root/repo/src/oodb/object.cpp" "src/oodb/CMakeFiles/davpse_oodb.dir/object.cpp.o" "gcc" "src/oodb/CMakeFiles/davpse_oodb.dir/object.cpp.o.d"
+  "/root/repo/src/oodb/protocol.cpp" "src/oodb/CMakeFiles/davpse_oodb.dir/protocol.cpp.o" "gcc" "src/oodb/CMakeFiles/davpse_oodb.dir/protocol.cpp.o.d"
+  "/root/repo/src/oodb/schema.cpp" "src/oodb/CMakeFiles/davpse_oodb.dir/schema.cpp.o" "gcc" "src/oodb/CMakeFiles/davpse_oodb.dir/schema.cpp.o.d"
+  "/root/repo/src/oodb/server.cpp" "src/oodb/CMakeFiles/davpse_oodb.dir/server.cpp.o" "gcc" "src/oodb/CMakeFiles/davpse_oodb.dir/server.cpp.o.d"
+  "/root/repo/src/oodb/store.cpp" "src/oodb/CMakeFiles/davpse_oodb.dir/store.cpp.o" "gcc" "src/oodb/CMakeFiles/davpse_oodb.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/davpse_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/davpse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

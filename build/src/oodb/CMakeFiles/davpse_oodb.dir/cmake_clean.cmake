@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_oodb.dir/client.cpp.o"
+  "CMakeFiles/davpse_oodb.dir/client.cpp.o.d"
+  "CMakeFiles/davpse_oodb.dir/object.cpp.o"
+  "CMakeFiles/davpse_oodb.dir/object.cpp.o.d"
+  "CMakeFiles/davpse_oodb.dir/protocol.cpp.o"
+  "CMakeFiles/davpse_oodb.dir/protocol.cpp.o.d"
+  "CMakeFiles/davpse_oodb.dir/schema.cpp.o"
+  "CMakeFiles/davpse_oodb.dir/schema.cpp.o.d"
+  "CMakeFiles/davpse_oodb.dir/server.cpp.o"
+  "CMakeFiles/davpse_oodb.dir/server.cpp.o.d"
+  "CMakeFiles/davpse_oodb.dir/store.cpp.o"
+  "CMakeFiles/davpse_oodb.dir/store.cpp.o.d"
+  "libdavpse_oodb.a"
+  "libdavpse_oodb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_oodb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

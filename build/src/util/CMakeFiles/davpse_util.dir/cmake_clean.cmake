@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_util.dir/base64.cpp.o"
+  "CMakeFiles/davpse_util.dir/base64.cpp.o.d"
+  "CMakeFiles/davpse_util.dir/clock.cpp.o"
+  "CMakeFiles/davpse_util.dir/clock.cpp.o.d"
+  "CMakeFiles/davpse_util.dir/fs.cpp.o"
+  "CMakeFiles/davpse_util.dir/fs.cpp.o.d"
+  "CMakeFiles/davpse_util.dir/log.cpp.o"
+  "CMakeFiles/davpse_util.dir/log.cpp.o.d"
+  "CMakeFiles/davpse_util.dir/status.cpp.o"
+  "CMakeFiles/davpse_util.dir/status.cpp.o.d"
+  "CMakeFiles/davpse_util.dir/strings.cpp.o"
+  "CMakeFiles/davpse_util.dir/strings.cpp.o.d"
+  "CMakeFiles/davpse_util.dir/uri.cpp.o"
+  "CMakeFiles/davpse_util.dir/uri.cpp.o.d"
+  "libdavpse_util.a"
+  "libdavpse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davpse_xml.dir/dom.cpp.o"
+  "CMakeFiles/davpse_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/davpse_xml.dir/escape.cpp.o"
+  "CMakeFiles/davpse_xml.dir/escape.cpp.o.d"
+  "CMakeFiles/davpse_xml.dir/sax.cpp.o"
+  "CMakeFiles/davpse_xml.dir/sax.cpp.o.d"
+  "CMakeFiles/davpse_xml.dir/writer.cpp.o"
+  "CMakeFiles/davpse_xml.dir/writer.cpp.o.d"
+  "libdavpse_xml.a"
+  "libdavpse_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davpse_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

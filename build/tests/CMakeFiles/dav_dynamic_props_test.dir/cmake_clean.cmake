@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_dynamic_props_test.dir/dav/dynamic_props_test.cpp.o"
+  "CMakeFiles/dav_dynamic_props_test.dir/dav/dynamic_props_test.cpp.o.d"
+  "dav_dynamic_props_test"
+  "dav_dynamic_props_test.pdb"
+  "dav_dynamic_props_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_dynamic_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

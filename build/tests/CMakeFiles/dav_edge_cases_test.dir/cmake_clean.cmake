@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_edge_cases_test.dir/dav/edge_cases_test.cpp.o"
+  "CMakeFiles/dav_edge_cases_test.dir/dav/edge_cases_test.cpp.o.d"
+  "dav_edge_cases_test"
+  "dav_edge_cases_test.pdb"
+  "dav_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_large_object_test.dir/dav/large_object_test.cpp.o"
+  "CMakeFiles/dav_large_object_test.dir/dav/large_object_test.cpp.o.d"
+  "dav_large_object_test"
+  "dav_large_object_test.pdb"
+  "dav_large_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_large_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

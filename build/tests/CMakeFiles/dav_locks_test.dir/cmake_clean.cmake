@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_locks_test.dir/dav/locks_test.cpp.o"
+  "CMakeFiles/dav_locks_test.dir/dav/locks_test.cpp.o.d"
+  "dav_locks_test"
+  "dav_locks_test.pdb"
+  "dav_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

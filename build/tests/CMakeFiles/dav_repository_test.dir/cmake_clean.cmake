@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_repository_test.dir/dav/repository_test.cpp.o"
+  "CMakeFiles/dav_repository_test.dir/dav/repository_test.cpp.o.d"
+  "dav_repository_test"
+  "dav_repository_test.pdb"
+  "dav_repository_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

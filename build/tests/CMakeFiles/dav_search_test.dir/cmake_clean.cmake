@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_search_test.dir/dav/search_test.cpp.o"
+  "CMakeFiles/dav_search_test.dir/dav/search_test.cpp.o.d"
+  "dav_search_test"
+  "dav_search_test.pdb"
+  "dav_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

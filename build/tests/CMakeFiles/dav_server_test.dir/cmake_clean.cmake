@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_server_test.dir/dav/server_test.cpp.o"
+  "CMakeFiles/dav_server_test.dir/dav/server_test.cpp.o.d"
+  "dav_server_test"
+  "dav_server_test.pdb"
+  "dav_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

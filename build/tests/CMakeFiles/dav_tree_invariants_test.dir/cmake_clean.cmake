@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_tree_invariants_test.dir/dav/tree_invariants_test.cpp.o"
+  "CMakeFiles/dav_tree_invariants_test.dir/dav/tree_invariants_test.cpp.o.d"
+  "dav_tree_invariants_test"
+  "dav_tree_invariants_test.pdb"
+  "dav_tree_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_tree_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dav_versioning_test.dir/dav/versioning_test.cpp.o"
+  "CMakeFiles/dav_versioning_test.dir/dav/versioning_test.cpp.o.d"
+  "dav_versioning_test"
+  "dav_versioning_test.pdb"
+  "dav_versioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dav_versioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

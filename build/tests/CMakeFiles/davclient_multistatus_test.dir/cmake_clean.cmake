@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/davclient_multistatus_test.dir/davclient/multistatus_test.cpp.o"
+  "CMakeFiles/davclient_multistatus_test.dir/davclient/multistatus_test.cpp.o.d"
+  "davclient_multistatus_test"
+  "davclient_multistatus_test.pdb"
+  "davclient_multistatus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/davclient_multistatus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_test.dir/dbm/dbm_test.cpp.o"
+  "CMakeFiles/dbm_test.dir/dbm/dbm_test.cpp.o.d"
+  "dbm_test"
+  "dbm_test.pdb"
+  "dbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

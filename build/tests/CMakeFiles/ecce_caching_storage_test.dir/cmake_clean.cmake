@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecce_caching_storage_test.dir/ecce/caching_storage_test.cpp.o"
+  "CMakeFiles/ecce_caching_storage_test.dir/ecce/caching_storage_test.cpp.o.d"
+  "ecce_caching_storage_test"
+  "ecce_caching_storage_test.pdb"
+  "ecce_caching_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecce_caching_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

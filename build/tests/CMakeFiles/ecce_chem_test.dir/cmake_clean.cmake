@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecce_chem_test.dir/ecce/chem_test.cpp.o"
+  "CMakeFiles/ecce_chem_test.dir/ecce/chem_test.cpp.o.d"
+  "ecce_chem_test"
+  "ecce_chem_test.pdb"
+  "ecce_chem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecce_chem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

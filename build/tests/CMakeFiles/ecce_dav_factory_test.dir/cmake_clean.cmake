@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecce_dav_factory_test.dir/ecce/dav_factory_test.cpp.o"
+  "CMakeFiles/ecce_dav_factory_test.dir/ecce/dav_factory_test.cpp.o.d"
+  "ecce_dav_factory_test"
+  "ecce_dav_factory_test.pdb"
+  "ecce_dav_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecce_dav_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecce_integration_test.dir/ecce/integration_test.cpp.o"
+  "CMakeFiles/ecce_integration_test.dir/ecce/integration_test.cpp.o.d"
+  "ecce_integration_test"
+  "ecce_integration_test.pdb"
+  "ecce_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecce_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecce_model_test.dir/ecce/model_test.cpp.o"
+  "CMakeFiles/ecce_model_test.dir/ecce/model_test.cpp.o.d"
+  "ecce_model_test"
+  "ecce_model_test.pdb"
+  "ecce_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecce_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecce_relationships_test.dir/ecce/relationships_test.cpp.o"
+  "CMakeFiles/ecce_relationships_test.dir/ecce/relationships_test.cpp.o.d"
+  "ecce_relationships_test"
+  "ecce_relationships_test.pdb"
+  "ecce_relationships_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecce_relationships_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

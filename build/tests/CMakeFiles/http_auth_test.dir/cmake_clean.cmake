@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_auth_test.dir/http/auth_test.cpp.o"
+  "CMakeFiles/http_auth_test.dir/http/auth_test.cpp.o.d"
+  "http_auth_test"
+  "http_auth_test.pdb"
+  "http_auth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_message_test.dir/http/message_test.cpp.o"
+  "CMakeFiles/http_message_test.dir/http/message_test.cpp.o.d"
+  "http_message_test"
+  "http_message_test.pdb"
+  "http_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

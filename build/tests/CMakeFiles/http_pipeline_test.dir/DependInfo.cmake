@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/http/pipeline_test.cpp" "tests/CMakeFiles/http_pipeline_test.dir/http/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/http_pipeline_test.dir/http/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/davpse_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/dav/CMakeFiles/davpse_dav.dir/DependInfo.cmake"
+  "/root/repo/build/src/davclient/CMakeFiles/davpse_davclient.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbm/CMakeFiles/davpse_dbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/davpse_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/davpse_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/davpse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_pipeline_test.dir/http/pipeline_test.cpp.o"
+  "CMakeFiles/http_pipeline_test.dir/http/pipeline_test.cpp.o.d"
+  "http_pipeline_test"
+  "http_pipeline_test.pdb"
+  "http_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_wire_test.dir/http/wire_test.cpp.o"
+  "CMakeFiles/http_wire_test.dir/http/wire_test.cpp.o.d"
+  "http_wire_test"
+  "http_wire_test.pdb"
+  "http_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pipe_test.dir/net/pipe_test.cpp.o"
+  "CMakeFiles/net_pipe_test.dir/net/pipe_test.cpp.o.d"
+  "net_pipe_test"
+  "net_pipe_test.pdb"
+  "net_pipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_client_server_test.dir/oodb/client_server_test.cpp.o"
+  "CMakeFiles/oodb_client_server_test.dir/oodb/client_server_test.cpp.o.d"
+  "oodb_client_server_test"
+  "oodb_client_server_test.pdb"
+  "oodb_client_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_client_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

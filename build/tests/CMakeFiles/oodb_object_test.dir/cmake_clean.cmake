@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_object_test.dir/oodb/object_test.cpp.o"
+  "CMakeFiles/oodb_object_test.dir/oodb/object_test.cpp.o.d"
+  "oodb_object_test"
+  "oodb_object_test.pdb"
+  "oodb_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_protocol_test.dir/oodb/protocol_test.cpp.o"
+  "CMakeFiles/oodb_protocol_test.dir/oodb/protocol_test.cpp.o.d"
+  "oodb_protocol_test"
+  "oodb_protocol_test.pdb"
+  "oodb_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_schema_test.dir/oodb/schema_test.cpp.o"
+  "CMakeFiles/oodb_schema_test.dir/oodb/schema_test.cpp.o.d"
+  "oodb_schema_test"
+  "oodb_schema_test.pdb"
+  "oodb_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodb_store_test.dir/oodb/store_test.cpp.o"
+  "CMakeFiles/oodb_store_test.dir/oodb/store_test.cpp.o.d"
+  "oodb_store_test"
+  "oodb_store_test.pdb"
+  "oodb_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodb_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

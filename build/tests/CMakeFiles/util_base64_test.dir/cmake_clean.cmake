@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_base64_test.dir/util/base64_test.cpp.o"
+  "CMakeFiles/util_base64_test.dir/util/base64_test.cpp.o.d"
+  "util_base64_test"
+  "util_base64_test.pdb"
+  "util_base64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_base64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

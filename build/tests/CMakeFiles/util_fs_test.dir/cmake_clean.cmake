@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_fs_test.dir/util/fs_test.cpp.o"
+  "CMakeFiles/util_fs_test.dir/util/fs_test.cpp.o.d"
+  "util_fs_test"
+  "util_fs_test.pdb"
+  "util_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

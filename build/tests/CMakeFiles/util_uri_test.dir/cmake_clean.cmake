@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_uri_test.dir/util/uri_test.cpp.o"
+  "CMakeFiles/util_uri_test.dir/util/uri_test.cpp.o.d"
+  "util_uri_test"
+  "util_uri_test.pdb"
+  "util_uri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_uri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_escape_test.dir/xml/escape_test.cpp.o"
+  "CMakeFiles/xml_escape_test.dir/xml/escape_test.cpp.o.d"
+  "xml_escape_test"
+  "xml_escape_test.pdb"
+  "xml_escape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_escape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_sax_test.dir/xml/sax_test.cpp.o"
+  "CMakeFiles/xml_sax_test.dir/xml/sax_test.cpp.o.d"
+  "xml_sax_test"
+  "xml_sax_test.pdb"
+  "xml_sax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_sax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
