@@ -1,0 +1,133 @@
+// Streaming body pipeline: streamed vs eager 64 MiB GET and PUT, with
+// peak per-request heap growth measured via whole-process operator
+// new/delete instrumentation. The bounded-memory invariant under test:
+// a streamed transfer's peak allocation stays under 1 MiB — block
+// buffers plus pipe queues — while the eager path holds the full
+// object (and its copies) in RAM.
+//
+// DAVPSE_STREAM_MB overrides the object size (default 64).
+#include "tests/testing/heap_probe.h"
+
+#include <memory>
+
+#include "bench/common.h"
+#include "http/body.h"
+
+namespace {
+
+namespace probe = davpse::testing::heap_probe;
+
+/// Deterministic generated body — O(1) memory at any size.
+class PatternSource final : public davpse::http::BodySource {
+ public:
+  explicit PatternSource(uint64_t total) : total_(total) {}
+
+  davpse::Result<size_t> read(char* out, size_t max) override {
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(max, total_ - offset_));
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t pos = offset_ + i;
+      out[i] = static_cast<char>((pos * 131 + (pos >> 9)) & 0xff);
+    }
+    offset_ += n;
+    return n;
+  }
+  std::optional<uint64_t> length() const override { return total_; }
+  bool rewind() override {
+    offset_ = 0;
+    return true;
+  }
+
+ private:
+  uint64_t total_;
+  uint64_t offset_ = 0;
+};
+
+std::string mib_cell(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f MiB",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace davpse;
+  using namespace davpse::bench;
+
+  const uint64_t size = env_u64("DAVPSE_STREAM_MB", 64) * 1024 * 1024;
+  constexpr uint64_t kStreamedBudget = 1024 * 1024;  // 1 MiB
+
+  heading("Streaming body pipeline: bounded-memory transfers");
+  std::printf("Object size: %llu MiB (DAVPSE_STREAM_MB to override). "
+              "Peak = heap growth over the transfer.\n\n",
+              static_cast<unsigned long long>(size / (1024 * 1024)));
+
+  DavStack stack;
+  auto client = stack.client();
+  // Warm the connection so steady-state allocations predate the
+  // measurement windows.
+  if (!client.put("/warm.bin", std::string(1024, 'w')).is_ok()) return 1;
+
+  struct Row {
+    const char* name;
+    Measurement timing;
+    uint64_t peak = 0;
+  };
+  std::vector<Row> rows;
+
+  auto run = [&](const char* name, auto&& operation) {
+    uint64_t before = probe::live_bytes();
+    probe::reset_peak();
+    Measurement timing = measure(nullptr, operation);
+    rows.push_back(Row{name, timing, probe::peak_bytes() - before});
+  };
+
+  run("PUT streamed", [&] {
+    auto body = std::make_shared<PatternSource>(size);
+    if (!client.put_from("/stream.bin", body).is_ok()) std::abort();
+  });
+  run("GET streamed", [&] {
+    http::DigestBodySink sink;
+    if (!client.get_to("/stream.bin", &sink).is_ok()) std::abort();
+    if (sink.bytes_seen() != size) std::abort();
+  });
+  run("PUT eager", [&] {
+    PatternSource reference(size);
+    std::string body;
+    http::StringBodySink buffer(&body);
+    (void)http::drain_body(reference, buffer);
+    if (!client.put("/eager.bin", std::move(body)).is_ok()) std::abort();
+  });
+  run("GET eager", [&] {
+    auto fetched = client.get("/eager.bin");
+    if (!fetched.ok() || fetched.value().size() != size) std::abort();
+  });
+
+  TablePrinter table({14, 12, 12, 14});
+  table.row({"operation", "elapsed", "cpu", "peak heap"});
+  table.rule();
+  for (const Row& row : rows) {
+    table.row({row.name, seconds_cell(row.timing.wall_seconds),
+               seconds_cell(row.timing.cpu_seconds), mib_cell(row.peak)});
+  }
+
+  bool ok = true;
+  for (const Row& row : rows) {
+    bool streamed = std::string(row.name).find("streamed") !=
+                    std::string::npos;
+    if (streamed && row.peak > kStreamedBudget) {
+      std::printf("\nFAIL: %s peaked at %s, budget is %s\n", row.name,
+                  mib_cell(row.peak).c_str(),
+                  mib_cell(kStreamedBudget).c_str());
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("\nStreamed transfers stayed within the %s budget; the "
+                "eager path held the full object.\n",
+                mib_cell(kStreamedBudget).c_str());
+  }
+  return ok ? 0 : 1;
+}

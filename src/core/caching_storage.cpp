@@ -4,42 +4,87 @@
 
 namespace davpse::ecce {
 
-Result<std::string> CachingDavStorage::read_object(const std::string& path) {
+namespace fs = std::filesystem;
+
+Result<fs::path> CachingDavStorage::refresh(const std::string& path) {
   std::string previous_etag;
+  fs::path spill_file;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(path);
     if (it != cache_.end()) previous_etag = it->second.etag;
+    spill_file = spill_.path() / ("obj" + std::to_string(next_file_id_++));
   }
-  auto fetched = client_->get_if_changed(path, previous_etag);
+  // The fetch drains straight into a spill file; a 304 never touches
+  // it (the unfinished sink cleans up its temp file on destruction).
+  http::FileBodySink cache_sink(spill_file);
+  auto fetched = client_->get_if_changed_to(path, previous_etag, &cache_sink);
   if (!fetched.ok()) {
-    if (fetched.status().code() == ErrorCode::kNotFound) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      cache_.erase(path);
-    }
+    if (fetched.status().code() == ErrorCode::kNotFound) erase_entry(path);
     return fetched.status();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (fetched.value().not_modified) {
-    ++hits_;
-    return cache_[path].body;  // entry must exist: we sent its etag
+  bool revalidate_lost = false;
+  fs::path to_serve;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fetched.value().not_modified) {
+      auto it = cache_.find(path);
+      if (it != cache_.end()) {
+        ++hits_;
+        to_serve = it->second.file;
+      } else {
+        // Invalidated between sending the ETag and the 304 landing —
+        // the validated copy is gone; fetch unconditionally below.
+        revalidate_lost = true;
+      }
+    } else {
+      ++misses_;
+      auto it = cache_.find(path);
+      if (it != cache_.end()) {
+        std::error_code ec;
+        fs::remove(it->second.file, ec);
+      }
+      cache_[path] = Entry{std::move(fetched.value().etag), spill_file,
+                           cache_sink.bytes_written()};
+      to_serve = spill_file;
+    }
   }
-  ++misses_;
-  Entry entry{std::move(fetched.value().etag),
-              std::move(fetched.value().body)};
-  std::string body = entry.body;
-  cache_[path] = std::move(entry);
+  if (revalidate_lost) return refresh(path);
+  return to_serve;
+}
+
+Status CachingDavStorage::read_object_to(const std::string& path,
+                                         http::BodySink* sink) {
+  auto cached = refresh(path);
+  if (!cached.ok()) return cached.status();
+  // Serve from the spill file. The descriptor is opened before any
+  // concurrent invalidation could unlink it, so the content stays
+  // readable for the duration of the drain (POSIX inode semantics).
+  auto source = http::FileBodySource::open(cached.value());
+  if (!source.ok()) return source.status();
+  auto drained = http::drain_body(*source.value(), *sink);
+  return drained.status();
+}
+
+Result<std::string> CachingDavStorage::read_object(const std::string& path) {
+  std::string body;
+  http::StringBodySink sink(&body);
+  DAVPSE_RETURN_IF_ERROR(read_object_to(path, &sink));
   return body;
 }
 
 Status CachingDavStorage::write_object(const std::string& path,
                                        std::string data,
                                        const std::string& content_type) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    cache_.erase(path);
-  }
+  erase_entry(path);
   return inner_.write_object(path, std::move(data), content_type);
+}
+
+Status CachingDavStorage::write_object_from(const std::string& path,
+                                            std::shared_ptr<http::BodySource> data,
+                                            const std::string& content_type) {
+  erase_entry(path);
+  return inner_.write_object_from(path, std::move(data), content_type);
 }
 
 Status CachingDavStorage::remove(const std::string& path) {
@@ -60,10 +105,21 @@ Status CachingDavStorage::move(const std::string& from,
   return inner_.move(from, to);
 }
 
+void CachingDavStorage::erase_entry(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(path);
+  if (it == cache_.end()) return;
+  std::error_code ec;
+  fs::remove(it->second.file, ec);
+  cache_.erase(it);
+}
+
 void CachingDavStorage::invalidate_subtree(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (path_is_within(it->first, path)) {
+      std::error_code ec;
+      fs::remove(it->second.file, ec);
       it = cache_.erase(it);
     } else {
       ++it;
@@ -79,12 +135,16 @@ size_t CachingDavStorage::cached_documents() const {
 size_t CachingDavStorage::cached_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t total = 0;
-  for (const auto& [path, entry] : cache_) total += entry.body.size();
+  for (const auto& [path, entry] : cache_) total += entry.size;
   return total;
 }
 
 void CachingDavStorage::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [path, entry] : cache_) {
+    std::error_code ec;
+    fs::remove(entry.file, ec);
+  }
   cache_.clear();
   hits_ = 0;
   misses_ = 0;

@@ -4,18 +4,24 @@
 // relatively straight forward to add a cache to the layered client
 // architecture of Figure 2."
 //
-// CachingDavStorage decorates a DavStorage: read_object keeps an
+// CachingDavStorage decorates a DavStorage: reads keep an
 // ETag-validated copy of each document, so repeated reads cost one
 // conditional GET (a header exchange) instead of re-shipping the body.
-// Local writes/removes/moves invalidate; remote writers are caught by
-// the ETag validation. Everything else forwards unchanged.
+// Cached bodies live in a spill directory on disk, not in RAM — the
+// cache fills by draining the response stream to a file and serves by
+// streaming that file back out, so caching a document of any size
+// stays O(block) in memory. Local writes/removes/moves invalidate;
+// remote writers are caught by the ETag validation. Everything else
+// forwards unchanged.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <mutex>
 
 #include "core/dav_storage.h"
+#include "util/fs.h"
 
 namespace davpse::ecce {
 
@@ -23,14 +29,19 @@ class CachingDavStorage final : public DataStorageInterface {
  public:
   /// Borrows the client, like DavStorage.
   explicit CachingDavStorage(davclient::DavClient* client)
-      : inner_(client), client_(client) {}
+      : inner_(client), client_(client), spill_("davpse-cache") {}
 
   // -- cached path ----------------------------------------------------------
   Result<std::string> read_object(const std::string& path) override;
+  Status read_object_to(const std::string& path,
+                        http::BodySink* sink) override;
 
   // -- invalidating forwards -----------------------------------------------
   Status write_object(const std::string& path, std::string data,
                       const std::string& content_type) override;
+  Status write_object_from(const std::string& path,
+                           std::shared_ptr<http::BodySource> data,
+                           const std::string& content_type) override;
   Status remove(const std::string& path) override;
   Status copy(const std::string& from, const std::string& to) override;
   Status move(const std::string& from, const std::string& to) override;
@@ -71,21 +82,29 @@ class CachingDavStorage final : public DataStorageInterface {
   uint64_t hits() const { return hits_; }          // served after a 304
   uint64_t misses() const { return misses_; }      // full body fetched
   size_t cached_documents() const;
+  /// Bytes of document content held in the spill directory.
   size_t cached_bytes() const;
   void clear();
 
  private:
-  void invalidate_subtree(const std::string& path);
-
   struct Entry {
     std::string etag;
-    std::string body;
+    std::filesystem::path file;  // cached body in the spill directory
+    uint64_t size = 0;
   };
+
+  void invalidate_subtree(const std::string& path);
+  void erase_entry(const std::string& path);
+  /// Revalidates (or fetches) `path` into the spill directory and
+  /// returns the cache file to serve from.
+  Result<std::filesystem::path> refresh(const std::string& path);
 
   DavStorage inner_;
   davclient::DavClient* client_;
+  TempDir spill_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> cache_;
+  uint64_t next_file_id_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

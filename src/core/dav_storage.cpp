@@ -46,6 +46,17 @@ Result<std::string> DavStorage::read_object(const std::string& path) {
   return client_->get(path);
 }
 
+Status DavStorage::read_object_to(const std::string& path,
+                                  http::BodySink* sink) {
+  return client_->get_to(path, sink);
+}
+
+Status DavStorage::write_object_from(const std::string& path,
+                                     std::shared_ptr<http::BodySource> data,
+                                     const std::string& content_type) {
+  return client_->put_from(path, std::move(data), content_type);
+}
+
 Status DavStorage::set_metadata(const std::string& path,
                                 const std::vector<Metadatum>& metadata) {
   std::vector<davclient::PropWrite> writes;

@@ -24,6 +24,13 @@ class DavStorage final : public DataStorageInterface {
                       const std::string& content_type) override;
   Result<std::string> read_object(const std::string& path) override;
 
+  // True streaming over DAV GET/PUT — O(block) memory per transfer.
+  Status read_object_to(const std::string& path,
+                        http::BodySink* sink) override;
+  Status write_object_from(const std::string& path,
+                           std::shared_ptr<http::BodySource> data,
+                           const std::string& content_type) override;
+
   Status set_metadata(const std::string& path,
                       const std::vector<Metadatum>& metadata) override;
   Result<std::string> get_metadatum(const std::string& path,

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "http/body.h"
 #include "util/status.h"
 #include "xml/qname.h"
 
@@ -34,6 +36,32 @@ class DataStorageInterface {
   virtual Status write_object(const std::string& path, std::string data,
                               const std::string& content_type) = 0;
   virtual Result<std::string> read_object(const std::string& path) = 0;
+
+  // Streaming object transfer: the default adapters below buffer via
+  // the eager methods, so every binding works out of the box; bindings
+  // with a streaming protocol path (DAV) override them to move bodies
+  // in fixed-size blocks — a chemistry dataset of any size then flows
+  // repository → PSE in O(block) client memory.
+
+  /// Drains the object's content into `sink`.
+  virtual Status read_object_to(const std::string& path,
+                                http::BodySink* sink) {
+    auto data = read_object(path);
+    if (!data.ok()) return data.status();
+    DAVPSE_RETURN_IF_ERROR(sink->write(data.value()));
+    return sink->finish();
+  }
+
+  /// Stores the object, reading its content from `data`.
+  virtual Status write_object_from(const std::string& path,
+                                   std::shared_ptr<http::BodySource> data,
+                                   const std::string& content_type) {
+    std::string buffer;
+    http::StringBodySink sink(&buffer);
+    auto drained = http::drain_body(*data, sink);
+    if (!drained.ok()) return drained.status();
+    return write_object(path, std::move(buffer), content_type);
+  }
 
   // -- metadata -------------------------------------------------------------
   virtual Status set_metadata(const std::string& path,

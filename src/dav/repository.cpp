@@ -88,6 +88,21 @@ Result<std::string> FsRepository::read_document(
   return body;
 }
 
+Result<std::unique_ptr<http::BodySource>> FsRepository::open_document_source(
+    const std::string& path) const {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "resource is a collection: " + path);
+  }
+  auto source = http::FileBodySource::open(target);
+  if (!source.ok()) {
+    return Status(ErrorCode::kNotFound, "no such resource: " + path);
+  }
+  return std::unique_ptr<http::BodySource>(std::move(source).value());
+}
+
 Status FsRepository::write_document(const std::string& path,
                                     std::string_view body) {
   fs::path target = fs_path(path);
@@ -101,6 +116,26 @@ Status FsRepository::write_document(const std::string& path,
                  "parent collection does not exist: " + parent_path(path));
   }
   return write_file_atomic(target, body);
+}
+
+Status FsRepository::write_document_from(const std::string& path,
+                                         http::BodySource* body) {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    return error(ErrorCode::kConflict,
+                 "cannot PUT over a collection: " + path);
+  }
+  if (!fs::is_directory(target.parent_path(), ec)) {
+    return error(ErrorCode::kConflict,
+                 "parent collection does not exist: " + parent_path(path));
+  }
+  // Same atomicity as write_document: the body streams into a temp
+  // file and only replaces the document once complete, so a truncated
+  // upload never clobbers the previous contents.
+  http::FileBodySink sink(target);
+  auto drained = http::drain_body(*body, sink);
+  return drained.status();
 }
 
 Status FsRepository::make_collection(const std::string& path) {
@@ -250,6 +285,26 @@ Status FsRepository::snapshot_version(const std::string& path, uint32_t n,
   return write_file_atomic(dir / ("v" + std::to_string(n)), body);
 }
 
+Status FsRepository::snapshot_version_from_document(const std::string& path,
+                                                    uint32_t n) {
+  fs::path dir = versions_dir(path);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return error(ErrorCode::kInternal,
+                 "cannot create version store for " + path);
+  }
+  // OS-level copy of the just-written document — streams inside the
+  // kernel, never materializing the body in this process.
+  fs::copy_file(fs_path(path), dir / ("v" + std::to_string(n)),
+                fs::copy_options::overwrite_existing, ec);
+  if (ec) {
+    return error(ErrorCode::kInternal,
+                 "version snapshot failed for " + path + ": " + ec.message());
+  }
+  return Status::ok();
+}
+
 Result<std::string> FsRepository::read_version(const std::string& path,
                                                uint32_t n) const {
   std::string body;
@@ -260,6 +315,17 @@ Result<std::string> FsRepository::read_version(const std::string& path,
                   "no version " + std::to_string(n) + " of " + path);
   }
   return body;
+}
+
+Result<std::unique_ptr<http::BodySource>> FsRepository::open_version_source(
+    const std::string& path, uint32_t n) const {
+  auto source = http::FileBodySource::open(versions_dir(path) /
+                                           ("v" + std::to_string(n)));
+  if (!source.ok()) {
+    return Status(ErrorCode::kNotFound,
+                  "no version " + std::to_string(n) + " of " + path);
+  }
+  return std::unique_ptr<http::BodySource>(std::move(source).value());
 }
 
 Status FsRepository::strip_version_history(const std::string& path) {

@@ -16,6 +16,7 @@
 
 #include "dav/props.h"
 #include "dbm/dbm.h"
+#include "http/body.h"
 #include "util/status.h"
 
 namespace davpse::dav {
@@ -48,10 +49,24 @@ class FsRepository {
 
   Result<std::string> read_document(const std::string& path) const;
 
+  /// Streaming read: the returned source reads the document file in
+  /// blocks, so a GET never needs the whole object in memory. The file
+  /// stays readable through the source even if the document is
+  /// replaced or removed meanwhile (POSIX: writes are tmp+rename,
+  /// deletes are unlink — the open descriptor pins the old inode).
+  Result<std::unique_ptr<http::BodySource>> open_document_source(
+      const std::string& path) const;
+
   /// Creates or replaces. kConflict if the parent collection is
   /// missing (RFC 2518 PUT semantics); kMethodNotAllowed surfaces as
   /// kConflict too if the target is a collection.
   Status write_document(const std::string& path, std::string_view body);
+
+  /// Streaming write: drains `body` to a temp file in blocks and
+  /// renames it into place, with the same conflict checks as
+  /// write_document. Peak memory is O(block) regardless of size.
+  Status write_document_from(const std::string& path,
+                             http::BodySource* body);
 
   // -- collections ------------------------------------------------------
 
@@ -81,8 +96,15 @@ class FsRepository {
   /// Stores the document's snapshot as version `n`.
   Status snapshot_version(const std::string& path, uint32_t n,
                           std::string_view body);
+  /// Snapshots the document's *current on-disk contents* as version
+  /// `n` via an OS-level file copy — the streamed-PUT path, where the
+  /// body went straight to disk and cannot be replayed from memory.
+  Status snapshot_version_from_document(const std::string& path, uint32_t n);
   /// kNotFound when the version does not exist.
   Result<std::string> read_version(const std::string& path, uint32_t n) const;
+  /// Streaming counterpart of read_version.
+  Result<std::unique_ptr<http::BodySource>> open_version_source(
+      const std::string& path, uint32_t n) const;
   /// Ascending version numbers present for the resource.
   std::vector<uint32_t> list_versions(const std::string& path) const;
 

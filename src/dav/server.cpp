@@ -289,13 +289,13 @@ HttpResponse DavServer::do_get(const HttpRequest& request,
     // DeltaV-lite: retrieve a historical version of a version-
     // controlled document (X-Version: N; see do_version_control).
     if (auto requested = request.headers.get_uint("X-Version")) {
-      auto body = repository_.read_version(
+      auto source = repository_.open_version_source(
           path, static_cast<uint32_t>(*requested));
-      if (!body.ok()) return error_response(body.status());
-      HttpResponse response = HttpResponse::make(
-          http::kOk, std::move(body).value(), "application/octet-stream");
+      if (!source.ok()) return error_response(source.status());
+      HttpResponse response = HttpResponse::make(http::kOk);
+      response.headers.set("Content-Type", "application/octet-stream");
       response.headers.set("X-Version", std::to_string(*requested));
-      if (head_only) response.body.clear();
+      if (!head_only) response.body_source = std::move(source).value();
       return response;
     }
   }
@@ -325,9 +325,14 @@ HttpResponse DavServer::do_get(const HttpRequest& request,
   response.headers.set("Last-Modified", http_date(info.mtime_seconds));
   response.headers.set("ETag", etag);
   if (!head_only) {
-    auto body = repository_.read_document(path);
-    if (!body.ok()) return error_response(body.status());
-    response.body = std::move(body).value();
+    // Streaming GET: the response carries an open file source; the
+    // HTTP server pumps it to the socket in blocks *after* this
+    // handler returns (and after store_mutex_ is released). Safe on
+    // POSIX — writes are tmp+rename and deletes are unlink, so the
+    // open descriptor keeps this version of the document readable.
+    auto source = repository_.open_document_source(path);
+    if (!source.ok()) return error_response(source.status());
+    response.body_source = std::move(source).value();
   } else {
     response.headers.set("Content-Length",
                          std::to_string(info.content_length));
@@ -340,8 +345,29 @@ HttpResponse DavServer::do_put(const HttpRequest& request,
   std::unique_lock<std::shared_mutex> lock(store_mutex_);
   DAVPSE_DAV_CHECK_LOCK(path, request);
   bool existed = repository_.exists(path);
-  Status status = repository_.write_document(path, request.body);
-  if (!status.is_ok()) return error_response(status);
+  Status status;
+  if (request.body_source != nullptr) {
+    // Streaming PUT: the body flows wire → temp file in blocks; peak
+    // memory stays O(block) no matter how large the upload is.
+    status = repository_.write_document_from(path,
+                                             request.body_source.get());
+    if (!status.is_ok()) {
+      if (status.code() == ErrorCode::kTooLarge) {
+        // The *wire-level* body limit tripped mid-decode — that is
+        // 413, not the 507 the repository-quota mapping would give.
+        return HttpResponse::make(http::kRequestTooLarge,
+                                  status.message() + "\n");
+      }
+      if (status.code() == ErrorCode::kUnavailable) {
+        return HttpResponse::make(http::kBadRequest,
+                                  "request body truncated\n");
+      }
+      return error_response(status);
+    }
+  } else {
+    status = repository_.write_document(path, request.body);
+    if (!status.is_ok()) return error_response(status);
+  }
   PropertyDb db = repository_.properties(path);
   if (auto content_type = request.headers.get("Content-Type")) {
     Status prop_status = db.set(
@@ -353,7 +379,12 @@ HttpResponse DavServer::do_put(const HttpRequest& request,
   uint32_t versions = version_count_of(db);
   if (versions > 0) {
     uint32_t next = versions + 1;
-    Status snap = repository_.snapshot_version(path, next, request.body);
+    // A streamed body cannot be replayed from memory; snapshot from
+    // the document just written instead.
+    Status snap =
+        request.body_source != nullptr
+            ? repository_.snapshot_version_from_document(path, next)
+            : repository_.snapshot_version(path, next, request.body);
     if (!snap.is_ok()) return error_response(snap);
     Status count = db.set(
         {{kVersionCountProp, PropertyValue{std::to_string(next)}}});

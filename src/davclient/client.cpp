@@ -127,6 +127,43 @@ Status DavClient::put(const std::string& path, std::string body,
   return expect_success(response, "PUT", path);
 }
 
+Status DavClient::get_to(const std::string& path, http::BodySink* sink) {
+  auto response = http_.get_to(percent_encode_path(path), sink);
+  return expect_success(response, "GET", path);
+}
+
+Result<DavClient::FetchedMeta> DavClient::get_if_changed_to(
+    const std::string& path, const std::string& previous_etag,
+    http::BodySink* sink) {
+  http::HttpRequest request;
+  request.method = "GET";
+  request.target = percent_encode_path(path);
+  if (!previous_etag.empty()) {
+    request.headers.set("If-None-Match", previous_etag);
+  }
+  auto response = http_.execute(std::move(request), sink);
+  if (!response.ok()) return response.status();
+  FetchedMeta fetched;
+  if (auto etag = response.value().headers.get("ETag")) {
+    fetched.etag = std::string(*etag);
+  }
+  if (response.value().status == 304) {
+    fetched.not_modified = true;
+    return fetched;
+  }
+  DAVPSE_RETURN_IF_ERROR(
+      status_from_http(response.value().status, "GET", path));
+  return fetched;
+}
+
+Status DavClient::put_from(const std::string& path,
+                           std::shared_ptr<http::BodySource> body,
+                           std::string_view content_type) {
+  auto response =
+      http_.put_from(percent_encode_path(path), std::move(body), content_type);
+  return expect_success(response, "PUT", path);
+}
+
 Status DavClient::remove(const std::string& path) {
   auto response = http_.del(percent_encode_path(path));
   return expect_success(response, "DELETE", path);

@@ -69,6 +69,30 @@ class DavClient {
              std::string_view content_type = "application/octet-stream");
   Status remove(const std::string& path);
 
+  // -- streaming document transfer ---------------------------------------
+  // The streamed counterparts of get/put: bodies move between the
+  // wire and the caller's source/sink in fixed-size blocks, so a
+  // transfer of any size runs in O(block) client memory.
+
+  /// Drains the document straight into `sink`.
+  Status get_to(const std::string& path, http::BodySink* sink);
+
+  /// Conditional streaming GET: like get_if_changed but the body (when
+  /// modified) goes to `sink` instead of a returned string.
+  struct FetchedMeta {
+    bool not_modified = false;
+    std::string etag;
+  };
+  Result<FetchedMeta> get_if_changed_to(const std::string& path,
+                                        const std::string& previous_etag,
+                                        http::BodySink* sink);
+
+  /// Sends the document straight from `body` (Content-Length when the
+  /// source knows its size, chunked otherwise).
+  Status put_from(const std::string& path,
+                  std::shared_ptr<http::BodySource> body,
+                  std::string_view content_type = "application/octet-stream");
+
   // -- collections ------------------------------------------------------
 
   Status mkcol(const std::string& path);

@@ -1,0 +1,129 @@
+#include "http/body.h"
+
+#include <cstring>
+#include <system_error>
+
+namespace davpse::http {
+
+namespace fs = std::filesystem;
+
+Result<uint64_t> drain_body(BodySource& source, BodySink& sink,
+                            size_t block) {
+  std::string buf(block, '\0');
+  uint64_t total = 0;
+  for (;;) {
+    auto got = source.read(buf.data(), buf.size());
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) break;
+    DAVPSE_RETURN_IF_ERROR(
+        sink.write(std::string_view(buf.data(), got.value())));
+    total += got.value();
+  }
+  DAVPSE_RETURN_IF_ERROR(sink.finish());
+  return total;
+}
+
+Status discard_body(BodySource& source, size_t block) {
+  NullBodySink null;
+  auto drained = drain_body(source, null, block);
+  return drained.ok() ? Status::ok() : drained.status();
+}
+
+Result<size_t> StringBodySource::read(char* buf, size_t max) {
+  size_t n = std::min(max, body_.size() - pos_);
+  std::memcpy(buf, body_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+Status StringBodySink::write(std::string_view data) {
+  if (max_bytes_ != 0 && out_->size() + data.size() > max_bytes_) {
+    return error(ErrorCode::kTooLarge,
+                 "body exceeds limit of " + std::to_string(max_bytes_) +
+                     " bytes");
+  }
+  out_->append(data);
+  return Status::ok();
+}
+
+Result<std::unique_ptr<FileBodySource>> FileBodySource::open(
+    const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(ErrorCode::kNotFound, "cannot open " + path.string());
+  }
+  in.seekg(0, std::ios::end);
+  auto size = in.tellg();
+  if (size < 0) {
+    return Status(ErrorCode::kInternal, "cannot stat " + path.string());
+  }
+  in.seekg(0);
+  return std::unique_ptr<FileBodySource>(new FileBodySource(
+      std::move(in), path, static_cast<uint64_t>(size)));
+}
+
+Result<size_t> FileBodySource::read(char* buf, size_t max) {
+  if (!in_.good() && !in_.eof()) {
+    return Status(ErrorCode::kInternal, "read error on " + path_.string());
+  }
+  in_.read(buf, static_cast<std::streamsize>(max));
+  auto got = in_.gcount();
+  if (got == 0 && !in_.eof()) {
+    return Status(ErrorCode::kInternal, "read error on " + path_.string());
+  }
+  return static_cast<size_t>(got);
+}
+
+bool FileBodySource::rewind() {
+  in_.clear();
+  in_.seekg(0);
+  return in_.good();
+}
+
+FileBodySink::FileBodySink(fs::path path) : path_(std::move(path)) {
+  tmp_ = path_;
+  tmp_ += ".tmp";
+  out_.open(tmp_, std::ios::binary | std::ios::trunc);
+  open_failed_ = !out_.is_open();
+}
+
+FileBodySink::~FileBodySink() {
+  if (!finished_ && !open_failed_) {
+    out_.close();
+    std::error_code ec;
+    fs::remove(tmp_, ec);
+  }
+}
+
+Status FileBodySink::write(std::string_view data) {
+  if (open_failed_) {
+    return error(ErrorCode::kInternal, "cannot create " + tmp_.string());
+  }
+  out_.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out_) {
+    return error(ErrorCode::kInternal, "short write on " + tmp_.string());
+  }
+  bytes_ += data.size();
+  return Status::ok();
+}
+
+Status FileBodySink::finish() {
+  if (open_failed_) {
+    return error(ErrorCode::kInternal, "cannot create " + tmp_.string());
+  }
+  if (finished_) return Status::ok();
+  out_.close();
+  if (!out_) {
+    return error(ErrorCode::kInternal, "close failed on " + tmp_.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp_, path_, ec);
+  if (ec) {
+    fs::remove(tmp_, ec);
+    return error(ErrorCode::kInternal, "rename failed for " + path_.string());
+  }
+  finished_ = true;
+  return Status::ok();
+}
+
+}  // namespace davpse::http

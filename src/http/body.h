@@ -1,0 +1,173 @@
+// Streaming body abstraction: the bounded-memory data path between the
+// repository's files and the PSE client cache. A BodySource produces
+// body bytes in blocks; a BodySink consumes them. Every layer of the
+// stack (wire framing, HTTP server/client, DAV server/client, storage
+// cache) moves bodies through these interfaces in ~64 KiB blocks, so a
+// multi-hundred-MB transfer never materializes the object in RAM. The
+// eager std::string APIs remain as thin adapters over this core.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace davpse::http {
+
+/// Block size used by all drain loops; peak per-request buffering is
+/// O(kBodyBlockSize), independent of object size.
+inline constexpr size_t kBodyBlockSize = 64 * 1024;
+
+/// Pull-based producer of body bytes. Sources are single-pass and
+/// stateful; rewind() (when supported) resets to the beginning so a
+/// client can replay a body after a dead keep-alive connection.
+class BodySource {
+ public:
+  virtual ~BodySource() = default;
+
+  /// Reads up to `max` bytes into `buf`; returns the count, 0 at end
+  /// of body. Short reads are allowed at any point.
+  virtual Result<size_t> read(char* buf, size_t max) = 0;
+
+  /// Total body size when known up front (drives Content-Length);
+  /// nullopt means unknown (sent with chunked transfer coding).
+  virtual std::optional<uint64_t> length() const { return std::nullopt; }
+
+  /// Resets to the start of the body; false if this source cannot be
+  /// replayed (e.g. a live wire decoder).
+  virtual bool rewind() { return false; }
+};
+
+/// Push-based consumer of body bytes. finish() signals end of body so
+/// sinks with commit semantics (atomic file replace) can complete.
+class BodySink {
+ public:
+  virtual ~BodySink() = default;
+  virtual Status write(std::string_view data) = 0;
+  virtual Status finish() { return Status::ok(); }
+};
+
+/// Pumps `source` into `sink` in `block`-sized reads and calls
+/// finish(). Returns the total bytes moved.
+Result<uint64_t> drain_body(BodySource& source, BodySink& sink,
+                            size_t block = kBodyBlockSize);
+
+/// Discards the remainder of `source` (connection framing: a wire body
+/// must be fully consumed before the next message can be read).
+Status discard_body(BodySource& source, size_t block = kBodyBlockSize);
+
+// -- in-memory adapters ------------------------------------------------
+
+/// Owns a string and serves it in block-sized views. Rewindable.
+class StringBodySource final : public BodySource {
+ public:
+  explicit StringBodySource(std::string body) : body_(std::move(body)) {}
+
+  Result<size_t> read(char* buf, size_t max) override;
+  std::optional<uint64_t> length() const override { return body_.size(); }
+  bool rewind() override {
+    pos_ = 0;
+    return true;
+  }
+
+ private:
+  std::string body_;
+  size_t pos_ = 0;
+};
+
+/// Accumulates into a caller-owned string; `max_bytes` (0 = unlimited)
+/// yields kTooLarge once exceeded — used by the eager adapters so a
+/// buffered read can never balloon past the configured limit.
+class StringBodySink final : public BodySink {
+ public:
+  explicit StringBodySink(std::string* out, uint64_t max_bytes = 0)
+      : out_(out), max_bytes_(max_bytes) {}
+
+  Status write(std::string_view data) override;
+
+ private:
+  std::string* out_;
+  uint64_t max_bytes_;
+};
+
+/// Swallows everything (framing drains).
+class NullBodySink final : public BodySink {
+ public:
+  Status write(std::string_view) override { return Status::ok(); }
+};
+
+// -- file adapters -----------------------------------------------------
+
+/// Streams a file in blocks; length is the file size at open time.
+class FileBodySource final : public BodySource {
+ public:
+  /// kNotFound if the file cannot be opened.
+  static Result<std::unique_ptr<FileBodySource>> open(
+      const std::filesystem::path& path);
+
+  Result<size_t> read(char* buf, size_t max) override;
+  std::optional<uint64_t> length() const override { return size_; }
+  bool rewind() override;
+
+ private:
+  FileBodySource(std::ifstream in, std::filesystem::path path,
+                 uint64_t size)
+      : in_(std::move(in)), path_(std::move(path)), size_(size) {}
+
+  std::ifstream in_;
+  std::filesystem::path path_;
+  uint64_t size_;
+};
+
+/// Streams into `<path>.tmp` and atomically renames on finish(), so a
+/// failed transfer never leaves a half-written document behind. The
+/// temp file is removed if the sink is destroyed unfinished.
+class FileBodySink final : public BodySink {
+ public:
+  explicit FileBodySink(std::filesystem::path path);
+  ~FileBodySink() override;
+
+  Status write(std::string_view data) override;
+  Status finish() override;
+
+  uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::filesystem::path path_;
+  std::filesystem::path tmp_;
+  std::ofstream out_;
+  uint64_t bytes_ = 0;
+  bool finished_ = false;
+  bool open_failed_ = false;
+};
+
+// -- verification ------------------------------------------------------
+
+/// Rolling FNV-1a 64-bit digest over the bytes seen — lets tests and
+/// benches assert end-to-end content integrity without ever holding
+/// the body.
+class DigestBodySink final : public BodySink {
+ public:
+  Status write(std::string_view data) override {
+    for (unsigned char c : data) {
+      hash_ ^= c;
+      hash_ *= 1099511628211ull;
+    }
+    bytes_ += data.size();
+    return Status::ok();
+  }
+
+  uint64_t digest() const { return hash_; }
+  uint64_t bytes_seen() const { return bytes_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace davpse::http

@@ -40,11 +40,38 @@ void HttpClient::account_traffic() {
 }
 
 Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
+                                              BodySink* sink,
                                               bool* reused_connection) {
   *reused_connection = connection_ != nullptr;
   DAVPSE_RETURN_IF_ERROR(ensure_connected());
   DAVPSE_RETURN_IF_ERROR(write_request(connection_.get(), request));
-  auto response = reader_->read_response();
+  Result<HttpResponse> response = Status(ErrorCode::kInternal, "unset");
+  if (sink == nullptr) {
+    response = reader_->read_response();
+  } else {
+    response = reader_->read_response_head();
+    if (response.ok()) {
+      int status = response.value().status;
+      bool has_body =
+          status != 204 && status != 304 && (status < 100 || status >= 200);
+      if (has_body) {
+        auto source =
+            reader_->open_body(response.value().headers, /*max_body=*/0);
+        if (!source.ok()) {
+          response = source.status();
+        } else if (status >= 200 && status < 300) {
+          // Success body streams to the caller's sink in blocks.
+          auto drained = drain_body(*source.value(), *sink);
+          if (!drained.ok()) response = drained.status();
+        } else {
+          // Error bodies are small diagnostics; buffer them as usual.
+          StringBodySink buffer(&response.value().body);
+          auto drained = drain_body(*source.value(), buffer);
+          if (!drained.ok()) response = drained.status();
+        }
+      }
+    }
+  }
   ++requests_sent_;
   if (model_ != nullptr) model_->add_round_trips(1);
   account_traffic();
@@ -52,6 +79,11 @@ Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
 }
 
 Result<HttpResponse> HttpClient::execute(HttpRequest request) {
+  return execute(std::move(request), nullptr);
+}
+
+Result<HttpResponse> HttpClient::execute(HttpRequest request,
+                                         BodySink* sink) {
   request.headers.set("Host", config_.endpoint);
   if (config_.credentials) {
     request.headers.set("Authorization",
@@ -62,13 +94,18 @@ Result<HttpResponse> HttpClient::execute(HttpRequest request) {
   }
 
   bool reused = false;
-  auto response = execute_once(request, &reused);
+  auto response = execute_once(request, sink, &reused);
   if (!response.ok() && reused &&
       response.status().code() == ErrorCode::kUnavailable) {
     // The cached keep-alive connection died (server idle timeout or
-    // request cap); retry once on a fresh one.
-    reset_connection();
-    response = execute_once(request, &reused);
+    // request cap); retry once on a fresh one. A partially consumed
+    // streaming body can only be replayed if its source rewinds.
+    bool can_replay =
+        request.body_source == nullptr || request.body_source->rewind();
+    if (can_replay) {
+      reset_connection();
+      response = execute_once(request, sink, &reused);
+    }
   }
   if (!response.ok()) {
     reset_connection();
@@ -139,18 +176,36 @@ Result<HttpResponse> HttpClient::get(std::string_view path) {
 
 Result<HttpResponse> HttpClient::put(std::string_view path, std::string body,
                                      std::string_view content_type) {
-  HttpRequest request;
-  request.method = "PUT";
-  request.target = std::string(path);
-  request.body = std::move(body);
-  request.headers.set("Content-Type", content_type);
-  return execute(std::move(request));
+  // The body is moved into a rewindable source, never copied again —
+  // the wire writer reads blocks straight out of it, and a dead
+  // keep-alive retry rewinds rather than re-buffering.
+  return put_from(path, std::make_shared<StringBodySource>(std::move(body)),
+                  content_type);
 }
 
 Result<HttpResponse> HttpClient::del(std::string_view path) {
   HttpRequest request;
   request.method = "DELETE";
   request.target = std::string(path);
+  return execute(std::move(request));
+}
+
+Result<HttpResponse> HttpClient::get_to(std::string_view path,
+                                        BodySink* sink) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::string(path);
+  return execute(std::move(request), sink);
+}
+
+Result<HttpResponse> HttpClient::put_from(std::string_view path,
+                                          std::shared_ptr<BodySource> body,
+                                          std::string_view content_type) {
+  HttpRequest request;
+  request.method = "PUT";
+  request.target = std::string(path);
+  request.body_source = std::move(body);
+  request.headers.set("Content-Type", content_type);
   return execute(std::move(request));
 }
 

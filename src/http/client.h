@@ -46,8 +46,16 @@ class HttpClient {
 
   /// Sends the request (filling Host/Authorization) and reads the
   /// response. Retries once on a fresh connection if a reused
-  /// keep-alive connection turns out to be dead.
+  /// keep-alive connection turns out to be dead (a streaming request
+  /// body is only retried when its source can rewind()).
   Result<HttpResponse> execute(HttpRequest request);
+
+  /// Streaming execute: 2xx response bodies are drained into `sink`
+  /// block by block (the returned response carries headers only, its
+  /// `body` stays empty); non-2xx bodies are small diagnostics and are
+  /// buffered into `body` as usual. Peak client memory is O(block),
+  /// independent of the response size.
+  Result<HttpResponse> execute(HttpRequest request, BodySink* sink);
 
   /// HTTP/1.1 pipelining — the optimization the paper lists as "not
   /// pursued": all requests are written back-to-back on one keep-alive
@@ -58,12 +66,23 @@ class HttpClient {
   Result<std::vector<HttpResponse>> execute_pipelined(
       std::vector<HttpRequest> requests);
 
-  /// Convenience wrappers.
+  /// Convenience wrappers. put() moves the body into a rewindable
+  /// in-memory source — no further copies on the way to the wire.
   Result<HttpResponse> get(std::string_view path);
   Result<HttpResponse> put(std::string_view path, std::string body,
                            std::string_view content_type =
                                "application/octet-stream");
   Result<HttpResponse> del(std::string_view path);
+
+  /// Streaming convenience wrappers: get_to drains the response body
+  /// into `sink`; put_from sends the body straight from `body`
+  /// (Content-Length when the source knows its length, chunked
+  /// otherwise). Neither materializes the object.
+  Result<HttpResponse> get_to(std::string_view path, BodySink* sink);
+  Result<HttpResponse> put_from(std::string_view path,
+                                std::shared_ptr<BodySource> body,
+                                std::string_view content_type =
+                                    "application/octet-stream");
 
   /// Attaches an accounting sink; every subsequent exchange adds its
   /// bytes and round trips. Pass nullptr to detach.
@@ -77,6 +96,7 @@ class HttpClient {
 
  private:
   Result<HttpResponse> execute_once(const HttpRequest& request,
+                                    BodySink* sink,
                                     bool* reused_connection);
   Status ensure_connected();
   void account_traffic();

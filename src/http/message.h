@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "http/body.h"
 
 namespace davpse::http {
 
@@ -44,6 +47,15 @@ struct HttpRequest {
   HeaderMap headers;
   std::string body;
 
+  /// Streaming body. When set it takes precedence over `body`: the
+  /// wire layer pulls it in blocks (Content-Length when the source
+  /// knows its length, chunked otherwise) so the full object is never
+  /// resident. Sources are single-pass; shared_ptr keeps the message
+  /// copyable, but only one copy may consume the stream.
+  std::shared_ptr<BodySource> body_source;
+
+  bool has_body_source() const { return body_source != nullptr; }
+
   /// True unless "Connection: close" (HTTP/1.1 default keep-alive).
   bool keep_alive() const;
 };
@@ -52,6 +64,11 @@ struct HttpResponse {
   int status = 200;
   HeaderMap headers;
   std::string body;
+
+  /// Streaming body; same contract as HttpRequest::body_source.
+  std::shared_ptr<BodySource> body_source;
+
+  bool has_body_source() const { return body_source != nullptr; }
 
   bool keep_alive() const;
 

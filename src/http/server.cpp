@@ -68,14 +68,35 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
     if (served_here > 0) {
       stream->set_read_timeout(config_.keep_alive_timeout_seconds);
     }
-    auto request = reader.read_request(config_.max_body_bytes);
+    auto head = reader.read_request_head();
     stream->set_read_timeout(0);
+    Status body_failure = Status::ok();
+    Result<HttpRequest> request = std::move(head);
+    if (request.ok()) {
+      // Open the incremental body decoder. The configured body limit
+      // is enforced *during* decode: an oversized upload aborts with
+      // kTooLarge mid-stream instead of after buffering the body.
+      auto source =
+          reader.open_body(request.value().headers, config_.max_body_bytes);
+      if (!source.ok()) {
+        request = source.status();
+      } else if (handler_ != nullptr &&
+                 handler_->wants_body_stream(request.value())) {
+        request.value().body_source = std::move(source).value();
+      } else {
+        StringBodySink sink(&request.value().body, config_.max_body_bytes);
+        auto drained = drain_body(*source.value(), sink);
+        if (!drained.ok()) request = drained.status();
+      }
+    }
     if (!request.ok()) {
       const Status& status = request.status();
       if (status.code() == ErrorCode::kUnavailable ||
           status.code() == ErrorCode::kTimeout) {
         return;  // peer closed / idle limit — normal end of connection
       }
+      // The body (if any) was not consumed, so the connection framing
+      // is lost — reply and close.
       int code = status.code() == ErrorCode::kTooLarge ? kRequestTooLarge
                                                        : kBadRequest;
       HttpResponse reply =
@@ -97,11 +118,25 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
                                       std::string(e.what()) + "\n");
       }
     }
+    if (request.value().body_source != nullptr) {
+      // Keep-alive framing: whatever the handler left unread must be
+      // drained off the wire before the next request can be parsed.
+      // If draining fails (oversized chunked upload, truncated body)
+      // the connection is unusable — finish this reply and close.
+      body_failure = discard_body(*request.value().body_source);
+      if (!body_failure.is_ok() &&
+          body_failure.code() == ErrorCode::kTooLarge &&
+          response.status < 400) {
+        response = HttpResponse::make(kRequestTooLarge,
+                                      body_failure.message() + "\n");
+      }
+    }
 
     ++served_here;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     bool close_after =
         !request.value().keep_alive() || !response.keep_alive() ||
+        !body_failure.is_ok() ||
         served_here >= config_.max_requests_per_connection;
     if (close_after) response.headers.set("Connection", "close");
     if (!write_response(stream.get(), response).is_ok()) return;

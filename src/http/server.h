@@ -28,6 +28,17 @@ class Handler {
  public:
   virtual ~Handler() = default;
   virtual HttpResponse handle(const HttpRequest& request) = 0;
+
+  /// Streaming opt-in, asked per request after the head is parsed but
+  /// before the body is read. Return true and handle() receives the
+  /// live wire decoder as request.body_source (request.body empty) —
+  /// the handler drains it in blocks instead of the server buffering
+  /// the body. Default keeps the eager contract: the server reads the
+  /// whole body into request.body first.
+  virtual bool wants_body_stream(const HttpRequest& head) {
+    (void)head;
+    return false;
+  }
 };
 
 struct ServerConfig {

@@ -30,6 +30,11 @@ std::string http_date_now() {
   return buf;
 }
 
+/// 204/304 and 1xx have no body by definition.
+bool response_has_body(int status) {
+  return status != 204 && status != 304 && (status < 100 || status >= 200);
+}
+
 }  // namespace
 
 Status WireReader::fill() {
@@ -71,23 +76,33 @@ Result<std::string> WireReader::read_line() {
 Status WireReader::read_exact_buffered(char* out, size_t n) {
   size_t copied = 0;
   while (copied < n) {
-    if (buffer_pos_ < buffer_.size()) {
-      size_t available = buffer_.size() - buffer_pos_;
-      size_t chunk = std::min(available, n - copied);
-      std::memcpy(out + copied, buffer_.data() + buffer_pos_, chunk);
-      buffer_pos_ += chunk;
-      copied += chunk;
-      continue;
-    }
-    // Large bodies: read straight into the caller's buffer.
-    auto got = stream_->read(out + copied, n - copied);
-    if (!got.ok()) return got.status();
-    if (got.value() == 0) {
-      return error(ErrorCode::kUnavailable, "EOF inside message body");
+    auto got = read_some_buffered(out + copied, n - copied);
+    if (!got.ok()) {
+      if (got.status().code() == ErrorCode::kUnavailable) {
+        return error(ErrorCode::kUnavailable, "EOF inside message body");
+      }
+      return got.status();
     }
     copied += got.value();
   }
   return Status::ok();
+}
+
+Result<size_t> WireReader::read_some_buffered(char* out, size_t max) {
+  if (buffer_pos_ < buffer_.size()) {
+    size_t available = buffer_.size() - buffer_pos_;
+    size_t chunk = std::min(available, max);
+    std::memcpy(out, buffer_.data() + buffer_pos_, chunk);
+    buffer_pos_ += chunk;
+    return chunk;
+  }
+  // Large bodies: read straight into the caller's buffer.
+  auto got = stream_->read(out, max);
+  if (!got.ok()) return got.status();
+  if (got.value() == 0) {
+    return Status(ErrorCode::kUnavailable, "EOF inside message body");
+  }
+  return got;
 }
 
 namespace {
@@ -120,27 +135,84 @@ Status parse_header_block(const std::function<Result<std::string>()>& next_line,
 
 }  // namespace
 
-Result<std::string> WireReader::read_body(const HeaderMap& headers,
-                                          uint64_t max_body) {
-  auto transfer = headers.get("Transfer-Encoding");
-  if (transfer && !iequals(trim(*transfer), "identity")) {
-    if (!iequals(trim(*transfer), "chunked")) {
-      return Status(ErrorCode::kUnsupported,
-                    "unsupported transfer coding: " + std::string(*transfer));
+/// Incremental wire decoder: serves body bytes straight off the
+/// reader's connection, enforcing the body limit as bytes arrive.
+/// Borrows the WireReader — one live wire source per connection.
+class WireBodySource final : public BodySource {
+ public:
+  enum class Coding { kLength, kChunked };
+
+  WireBodySource(WireReader* reader, Coding coding, uint64_t declared,
+                 uint64_t max_body)
+      : reader_(reader), coding_(coding), max_body_(max_body) {
+    if (coding_ == Coding::kLength) {
+      declared_ = declared;
+      remaining_ = declared;
+      done_ = remaining_ == 0;
     }
-    std::string body;
+  }
+
+  Result<size_t> read(char* buf, size_t max) override {
+    if (!error_.is_ok()) return error_;
+    if (done_ || max == 0) return static_cast<size_t>(0);
+    auto got = coding_ == Coding::kLength ? read_length(buf, max)
+                                          : read_chunked(buf, max);
+    if (!got.ok()) error_ = got.status();
+    return got;
+  }
+
+  std::optional<uint64_t> length() const override {
+    if (coding_ == Coding::kLength) return declared_;
+    return std::nullopt;  // chunked: unknown until the final chunk
+  }
+
+ private:
+  Result<size_t> read_length(char* buf, size_t max) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(max, remaining_));
+    auto got = reader_->read_some_buffered(buf, want);
+    if (!got.ok()) {
+      if (got.status().code() == ErrorCode::kUnavailable) {
+        return Status(ErrorCode::kUnavailable, "EOF inside message body");
+      }
+      return got.status();
+    }
+    remaining_ -= got.value();
+    if (remaining_ == 0) done_ = true;
+    return got;
+  }
+
+  Result<size_t> read_chunked(char* buf, size_t max) {
     for (;;) {
-      auto size_line = read_line();
+      if (remaining_ > 0) {
+        size_t want = static_cast<size_t>(
+            std::min<uint64_t>(max, remaining_));
+        auto got = reader_->read_some_buffered(buf, want);
+        if (!got.ok()) {
+          if (got.status().code() == ErrorCode::kUnavailable) {
+            return Status(ErrorCode::kUnavailable,
+                          "EOF inside chunk data");
+          }
+          return got.status();
+        }
+        remaining_ -= got.value();
+        if (remaining_ == 0) {
+          DAVPSE_RETURN_IF_ERROR(consume_chunk_crlf());
+        }
+        return got;
+      }
+      // At a chunk boundary: parse the next size line.
+      auto size_line = reader_->read_line();
       if (!size_line.ok()) return size_line.status();
       // Chunk size is hex, possibly with extensions after ';'.
       std::string_view digits(size_line.value());
       auto semi = digits.find(';');
       if (semi != std::string_view::npos) digits = digits.substr(0, semi);
       digits = trim(digits);
-      uint64_t chunk_size = 0;
       if (digits.empty()) {
         return Status(ErrorCode::kMalformed, "empty chunk size");
       }
+      uint64_t chunk_size = 0;
       for (char c : digits) {
         int v;
         if (c >= '0' && c <= '9') {
@@ -157,39 +229,63 @@ Result<std::string> WireReader::read_body(const HeaderMap& headers,
       if (chunk_size == 0) {
         // Trailer section: read until blank line.
         for (;;) {
-          auto trailer = read_line();
+          auto trailer = reader_->read_line();
           if (!trailer.ok()) return trailer.status();
           if (trailer.value().empty()) break;
         }
-        return body;
+        done_ = true;
+        return static_cast<size_t>(0);
       }
-      if (max_body != 0 && body.size() + chunk_size > max_body) {
+      if (max_body_ != 0 && consumed_ + chunk_size > max_body_) {
         return Status(ErrorCode::kTooLarge, "chunked body exceeds limit");
       }
-      size_t old_size = body.size();
-      body.resize(old_size + chunk_size);
-      DAVPSE_RETURN_IF_ERROR(
-          read_exact_buffered(body.data() + old_size, chunk_size));
-      char crlf[2];
-      DAVPSE_RETURN_IF_ERROR(read_exact_buffered(crlf, 2));
-      if (crlf[0] != '\r' || crlf[1] != '\n') {
-        return Status(ErrorCode::kMalformed, "missing CRLF after chunk");
-      }
+      consumed_ += chunk_size;
+      remaining_ = chunk_size;
     }
   }
+
+  Status consume_chunk_crlf() {
+    char crlf[2];
+    DAVPSE_RETURN_IF_ERROR(reader_->read_exact_buffered(crlf, 2));
+    if (crlf[0] != '\r' || crlf[1] != '\n') {
+      return Status(ErrorCode::kMalformed, "missing CRLF after chunk");
+    }
+    return Status::ok();
+  }
+
+  WireReader* reader_;
+  Coding coding_;
+  uint64_t declared_ = 0;   // kLength only
+  uint64_t remaining_ = 0;  // kLength: body left; kChunked: current chunk
+  uint64_t consumed_ = 0;   // kChunked: total decoded so far
+  uint64_t max_body_;
+  bool done_ = false;
+  Status error_ = Status::ok();  // decode errors are sticky
+};
+
+Result<std::unique_ptr<BodySource>> WireReader::open_body(
+    const HeaderMap& headers, uint64_t max_body) {
+  auto transfer = headers.get("Transfer-Encoding");
+  if (transfer && !iequals(trim(*transfer), "identity")) {
+    if (!iequals(trim(*transfer), "chunked")) {
+      return Status(ErrorCode::kUnsupported,
+                    "unsupported transfer coding: " + std::string(*transfer));
+    }
+    return std::unique_ptr<BodySource>(new WireBodySource(
+        this, WireBodySource::Coding::kChunked, 0, max_body));
+  }
   auto length = headers.get_uint("Content-Length");
-  if (!length || *length == 0) return std::string();
-  if (max_body != 0 && *length > max_body) {
+  uint64_t declared = length ? *length : 0;
+  if (max_body != 0 && declared > max_body) {
     return Status(ErrorCode::kTooLarge,
-                  "declared body of " + std::to_string(*length) +
+                  "declared body of " + std::to_string(declared) +
                       " bytes exceeds limit of " + std::to_string(max_body));
   }
-  std::string body(*length, '\0');
-  DAVPSE_RETURN_IF_ERROR(read_exact_buffered(body.data(), body.size()));
-  return body;
+  return std::unique_ptr<BodySource>(new WireBodySource(
+      this, WireBodySource::Coding::kLength, declared, max_body));
 }
 
-Result<HttpRequest> WireReader::read_request(uint64_t max_body) {
+Result<HttpRequest> WireReader::read_request_head() {
   auto start = read_line();
   if (!start.ok()) return start.status();
   // Tolerate a stray blank line between pipelined requests.
@@ -217,13 +313,47 @@ Result<HttpRequest> WireReader::read_request(uint64_t max_body) {
   }
   DAVPSE_RETURN_IF_ERROR(parse_header_block(
       [this] { return read_line(); }, &request.headers));
-  auto body = read_body(request.headers, max_body);
-  if (!body.ok()) return body.status();
-  request.body = std::move(body).value();
   return request;
 }
 
-Result<HttpResponse> WireReader::read_response() {
+namespace {
+
+/// Buffers a wire body into `out` for the eager read paths. A known
+/// Content-Length sizes the string once and fills it in place (no
+/// block buffer, no growth copies); chunked bodies use the block drain.
+Status buffer_wire_body(BodySource& source, std::string* out,
+                        uint64_t max_body) {
+  if (auto total = source.length()) {
+    out->resize(static_cast<size_t>(*total));
+    size_t off = 0;
+    while (off < out->size()) {
+      auto got = source.read(out->data() + off, out->size() - off);
+      if (!got.ok()) return got.status();
+      if (got.value() == 0) {
+        return Status(ErrorCode::kUnavailable, "EOF inside message body");
+      }
+      off += got.value();
+    }
+    return Status::ok();
+  }
+  StringBodySink sink(out, max_body);
+  return drain_body(source, sink).status();
+}
+
+}  // namespace
+
+Result<HttpRequest> WireReader::read_request(uint64_t max_body) {
+  auto head = read_request_head();
+  if (!head.ok()) return head.status();
+  HttpRequest request = std::move(head).value();
+  auto source = open_body(request.headers, max_body);
+  if (!source.ok()) return source.status();
+  DAVPSE_RETURN_IF_ERROR(
+      buffer_wire_body(*source.value(), &request.body, max_body));
+  return request;
+}
+
+Result<HttpResponse> WireReader::read_response_head() {
   auto start = read_line();
   if (!start.ok()) return start.status();
   const std::string& line = start.value();
@@ -246,13 +376,20 @@ Result<HttpResponse> WireReader::read_response() {
   response.status = status;
   DAVPSE_RETURN_IF_ERROR(parse_header_block(
       [this] { return read_line(); }, &response.headers));
-  // 204/304 and 1xx have no body by definition.
-  if (status == 204 || status == 304 || (status >= 100 && status < 200)) {
+  return response;
+}
+
+Result<HttpResponse> WireReader::read_response() {
+  auto head = read_response_head();
+  if (!head.ok()) return head.status();
+  HttpResponse response = std::move(head).value();
+  if (!response_has_body(response.status)) {
     return response;
   }
-  auto body = read_body(response.headers, /*max_body=*/0);
-  if (!body.ok()) return body.status();
-  response.body = std::move(body).value();
+  auto source = open_body(response.headers, /*max_body=*/0);
+  if (!source.ok()) return source.status();
+  DAVPSE_RETURN_IF_ERROR(
+      buffer_wire_body(*source.value(), &response.body, /*max_body=*/0));
   return response;
 }
 
@@ -267,16 +404,78 @@ void append_headers(const HeaderMap& headers, std::string* out) {
   }
 }
 
+/// Frames the body headers for a streaming source: Content-Length when
+/// the total is known up front, chunked transfer coding otherwise.
+void set_streaming_body_headers(const BodySource& source,
+                                HeaderMap* headers) {
+  if (auto total = source.length()) {
+    headers->set("Content-Length", std::to_string(*total));
+    headers->remove("Transfer-Encoding");
+  } else {
+    headers->set("Transfer-Encoding", "chunked");
+    headers->remove("Content-Length");
+  }
+}
+
+std::string hex_of(size_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%zx", n);
+  return buf;
+}
+
+/// Pumps a body source onto the wire in fixed-size blocks. With a
+/// known length the bytes go out raw (and a short source is a framing
+/// error); otherwise each block becomes one chunk.
+Status write_streamed_body(net::Stream* stream, BodySource& source) {
+  // 4 blocks per write: fewer reader/writer wakeups on the transport
+  // while staying far inside the bounded-memory budget.
+  std::string buf(4 * kBodyBlockSize, '\0');
+  if (auto total = source.length()) {
+    uint64_t sent = 0;
+    for (;;) {
+      auto got = source.read(buf.data(), buf.size());
+      if (!got.ok()) return got.status();
+      if (got.value() == 0) break;
+      DAVPSE_RETURN_IF_ERROR(
+          stream->write(std::string_view(buf.data(), got.value())));
+      sent += got.value();
+    }
+    if (sent != *total) {
+      return error(ErrorCode::kInternal,
+                   "body source produced " + std::to_string(sent) +
+                       " bytes but declared " + std::to_string(*total));
+    }
+    return Status::ok();
+  }
+  for (;;) {
+    auto got = source.read(buf.data(), buf.size());
+    if (!got.ok()) return got.status();
+    if (got.value() == 0) break;
+    DAVPSE_RETURN_IF_ERROR(stream->write(hex_of(got.value()) + "\r\n"));
+    DAVPSE_RETURN_IF_ERROR(
+        stream->write(std::string_view(buf.data(), got.value())));
+    DAVPSE_RETURN_IF_ERROR(stream->write("\r\n"));
+  }
+  return stream->write("0\r\n\r\n");
+}
+
 }  // namespace
 
 Status write_request(net::Stream* stream, const HttpRequest& request) {
   std::string head = request.method + " " + request.target + " " +
                      request.version + "\r\n";
   HeaderMap headers = request.headers;
-  headers.set("Content-Length", std::to_string(request.body.size()));
+  if (request.body_source != nullptr) {
+    set_streaming_body_headers(*request.body_source, &headers);
+  } else {
+    headers.set("Content-Length", std::to_string(request.body.size()));
+  }
   append_headers(headers, &head);
   head += "\r\n";
   DAVPSE_RETURN_IF_ERROR(stream->write(head));
+  if (request.body_source != nullptr) {
+    return write_streamed_body(stream, *request.body_source);
+  }
   if (!request.body.empty()) {
     DAVPSE_RETURN_IF_ERROR(stream->write(request.body));
   }
@@ -287,12 +486,19 @@ Status write_response(net::Stream* stream, const HttpResponse& response) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      std::string(reason_phrase(response.status)) + "\r\n";
   HeaderMap headers = response.headers;
-  headers.set("Content-Length", std::to_string(response.body.size()));
+  if (response.body_source != nullptr) {
+    set_streaming_body_headers(*response.body_source, &headers);
+  } else {
+    headers.set("Content-Length", std::to_string(response.body.size()));
+  }
   if (!headers.has("Date")) headers.set("Date", http_date_now());
   if (!headers.has("Server")) headers.set("Server", "davpse/1.0");
   append_headers(headers, &head);
   head += "\r\n";
   DAVPSE_RETURN_IF_ERROR(stream->write(head));
+  if (response.body_source != nullptr) {
+    return write_streamed_body(stream, *response.body_source);
+  }
   if (!response.body.empty()) {
     DAVPSE_RETURN_IF_ERROR(stream->write(response.body));
   }

@@ -1,14 +1,22 @@
 // HTTP/1.1 wire framing over a Stream: request/status lines, header
 // blocks, and bodies via Content-Length or chunked transfer coding.
+//
+// Framing is split into head + body so bodies can stream: read the
+// head, then pull the body incrementally through a WireBodySource in
+// fixed-size blocks. The whole-message read_request()/read_response()
+// remain as eager adapters over that split.
 #pragma once
 
 #include <memory>
 
+#include "http/body.h"
 #include "http/message.h"
 #include "net/stream.h"
 #include "util/status.h"
 
 namespace davpse::http {
+
+class WireBodySource;
 
 /// Buffered reader that frames HTTP messages off a stream. One reader
 /// per connection; it owns the read buffer across keep-alive requests.
@@ -16,28 +24,50 @@ class WireReader {
  public:
   explicit WireReader(net::Stream* stream) : stream_(stream) {}
 
+  /// Whole-message adapters: head + body drained into `body`.
   /// `max_body` bounds acceptable bodies (0 = unlimited); oversized
-  /// bodies yield kTooLarge after draining is abandoned (connection
-  /// must be closed by the caller).
+  /// bodies yield kTooLarge as soon as the limit is crossed during
+  /// decode (connection must be closed by the caller).
   Result<HttpRequest> read_request(uint64_t max_body = 0);
   Result<HttpResponse> read_response();
 
+  /// Streaming path: request line / status line + headers only; the
+  /// body stays on the wire until pulled via open_body().
+  Result<HttpRequest> read_request_head();
+  Result<HttpResponse> read_response_head();
+
+  /// Incremental decoder for the message body described by `headers`
+  /// (chunked transfer coding or Content-Length; absent/zero length =
+  /// empty body). The source borrows this reader: it must be fully
+  /// drained (or the connection abandoned) before the next message is
+  /// read. `max_body` (0 = unlimited) aborts the decode with kTooLarge
+  /// the moment the limit is crossed — *before* the body is buffered.
+  Result<std::unique_ptr<BodySource>> open_body(const HeaderMap& headers,
+                                                uint64_t max_body);
+
  private:
+  friend class WireBodySource;
+
   /// Reads through the next CRLF; the line is returned without it.
   Result<std::string> read_line();
   Status fill();  // pulls more bytes into the buffer
-  Result<std::string> read_body(const HeaderMap& headers, uint64_t max_body);
   Status read_exact_buffered(char* out, size_t n);
+  /// Reads 1..max bytes (buffer first, then straight from the
+  /// stream); kUnavailable on EOF.
+  Result<size_t> read_some_buffered(char* out, size_t max);
 
   net::Stream* stream_;
   std::string buffer_;
   size_t buffer_pos_ = 0;
 };
 
-/// Serializes and sends a request. Sets Content-Length from the body.
+/// Serializes and sends a request. Streams body_source when present
+/// (Content-Length if the length is known, chunked otherwise);
+/// otherwise sets Content-Length from the eager body.
 Status write_request(net::Stream* stream, const HttpRequest& request);
 
-/// Serializes and sends a response. Sets Content-Length and Date.
+/// Serializes and sends a response. Sets Content-Length (or chunked
+/// coding) and Date; streams body_source when present.
 Status write_response(net::Stream* stream, const HttpResponse& response);
 
 }  // namespace davpse::http

@@ -215,6 +215,110 @@ TEST(WireRequest, PropertyRandomBodiesRoundTrip) {
   }
 }
 
+// -- chunked-coding edge cases (incremental decoder) ---------------------
+
+TEST(WireChunked, ZeroLengthBody) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n0\r\n\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_TRUE(request.ok()) << request.status().to_string();
+  EXPECT_TRUE(request.value().body.empty());
+}
+
+TEST(WireChunked, ExtensionsAfterSemicolonIgnored) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n5;name=value;flag\r\nhello\r\n"
+                          "0;last\r\n\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_TRUE(request.ok()) << request.status().to_string();
+  EXPECT_EQ(request.value().body, "hello");
+}
+
+TEST(WireChunked, TrailerSectionConsumed) {
+  auto pair = net::make_pipe();
+  // Trailers after the terminating chunk must be consumed so the next
+  // keep-alive request parses from a clean boundary.
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n3\r\nabc\r\n0\r\n"
+                          "X-Checksum: 99\r\nX-Other: y\r\n\r\n"
+                          "GET /next HTTP/1.1\r\n\r\n");
+  WireReader reader(stream.get());
+  auto first = reader.read_request();
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_EQ(first.value().body, "abc");
+  auto second = reader.read_request();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(second.value().target, "/next");
+}
+
+TEST(WireChunked, TruncatedMidChunkIsUnavailable) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\nA\r\nhal");  // promises 10 bytes, sends 3
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(WireChunked, TruncatedBeforeTerminatorIsUnavailable) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n3\r\nabc\r\n");  // EOF where 0\r\n\r\n is due
+  WireReader reader(stream.get());
+  auto request = reader.read_request();
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(WireChunked, BodyLimitAbortsMidDecode) {
+  auto pair = net::make_pipe();
+  // Chunked carries no Content-Length, so the limit can only trip
+  // while decoding: the second chunk's size line pushes the running
+  // total past max_body before any of its data is read.
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n40\r\n" + std::string(0x40, 'a') +
+                          "\r\n40\r\n" + std::string(0x40, 'b') +
+                          "\r\n0\r\n\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request(/*max_body=*/100);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), ErrorCode::kTooLarge);
+}
+
+TEST(WireChunked, IncrementalReadsDeliverWholeBody) {
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n");
+  WireReader reader(stream.get());
+  auto head = reader.read_request_head();
+  ASSERT_TRUE(head.ok());
+  auto source = reader.open_body(head.value().headers, /*max_body=*/0);
+  ASSERT_TRUE(source.ok()) << source.status().to_string();
+  EXPECT_FALSE(source.value()->length().has_value());  // chunked: unknown
+  // Tiny reads must cross chunk boundaries transparently.
+  std::string assembled;
+  char tiny[3];
+  for (;;) {
+    auto n = source.value()->read(tiny, sizeof tiny);
+    ASSERT_TRUE(n.ok()) << n.status().to_string();
+    if (n.value() == 0) break;
+    assembled.append(tiny, n.value());
+  }
+  EXPECT_EQ(assembled, "hello world");
+}
+
 TEST(WireRequest, LargeBodyStreamsThroughSmallPipe) {
   auto pair = net::make_pipe(/*capacity=*/8 * 1024);
   std::string body(2 * 1024 * 1024, 'B');

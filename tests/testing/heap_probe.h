@@ -1,0 +1,143 @@
+// Whole-process heap accounting for bounded-memory assertions: global
+// operator new/delete overrides that track live and peak allocated
+// bytes. Include this header in EXACTLY ONE translation unit of a test
+// or bench binary — it defines the replaceable global allocation
+// functions, so a second inclusion in the same binary violates the ODR
+// and fails to link.
+//
+// Layout: every allocation carries a 16-byte header immediately before
+// the pointer handed out — the request size at p-16 and the offset
+// back to the malloc() base at p-8 — so sized and unsized deletes of
+// both plain and over-aligned blocks can be accounted and freed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace davpse::testing::heap_probe {
+
+inline std::atomic<uint64_t> g_live_bytes{0};
+inline std::atomic<uint64_t> g_peak_bytes{0};
+
+inline uint64_t live_bytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+inline uint64_t peak_bytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+/// Restarts the peak watermark from the current live level.
+inline void reset_peak() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+inline void account_alloc(uint64_t size) {
+  uint64_t live = g_live_bytes.fetch_add(size, std::memory_order_relaxed) +
+                  size;
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void account_free(uint64_t size) {
+  g_live_bytes.fetch_sub(size, std::memory_order_relaxed);
+}
+
+constexpr size_t kHeader = 16;
+
+inline void* allocate(size_t size, size_t align) {
+  void* base = nullptr;
+  char* user = nullptr;
+  if (align <= kHeader) {
+    base = std::malloc(size + kHeader);
+    if (base == nullptr) return nullptr;
+    user = static_cast<char*>(base) + kHeader;
+  } else {
+    // Over-aligned: leave room for the header ahead of an aligned
+    // boundary inside the block.
+    if (posix_memalign(&base, align, size + align + kHeader) != 0) {
+      return nullptr;
+    }
+    uintptr_t raw = reinterpret_cast<uintptr_t>(base) + kHeader;
+    user = reinterpret_cast<char*>((raw + align - 1) & ~(align - 1));
+  }
+  uint64_t offset =
+      static_cast<uint64_t>(user - static_cast<char*>(base));
+  uint64_t size64 = size;
+  std::memcpy(user - 16, &size64, 8);
+  std::memcpy(user - 8, &offset, 8);
+  account_alloc(size);
+  return user;
+}
+
+inline void deallocate(void* ptr) {
+  if (ptr == nullptr) return;
+  char* user = static_cast<char*>(ptr);
+  uint64_t size = 0;
+  uint64_t offset = 0;
+  std::memcpy(&size, user - 16, 8);
+  std::memcpy(&offset, user - 8, 8);
+  account_free(size);
+  std::free(user - offset);
+}
+
+}  // namespace davpse::testing::heap_probe
+
+// -- replaceable global allocation functions ----------------------------
+
+void* operator new(size_t size) {
+  void* p = davpse::testing::heap_probe::allocate(size, 16);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t size) { return ::operator new(size); }
+void* operator new(size_t size, std::align_val_t align) {
+  void* p = davpse::testing::heap_probe::allocate(
+      size, static_cast<size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return davpse::testing::heap_probe::allocate(size, 16);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return davpse::testing::heap_probe::allocate(size, 16);
+}
+
+void operator delete(void* ptr) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete[](void* ptr) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete(void* ptr, size_t) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete[](void* ptr, size_t) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete(void* ptr, size_t, std::align_val_t) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete[](void* ptr, size_t, std::align_val_t) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  davpse::testing::heap_probe::deallocate(ptr);
+}
