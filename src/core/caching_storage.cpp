@@ -6,7 +6,8 @@ namespace davpse::ecce {
 
 namespace fs = std::filesystem;
 
-Result<fs::path> CachingDavStorage::refresh(const std::string& path) {
+Result<std::unique_ptr<http::FileBodySource>> CachingDavStorage::refresh(
+    const std::string& path) {
   std::string previous_etag;
   fs::path spill_file;
   {
@@ -24,14 +25,19 @@ Result<fs::path> CachingDavStorage::refresh(const std::string& path) {
     return fetched.status();
   }
   bool revalidate_lost = false;
-  fs::path to_serve;
+  Result<std::unique_ptr<http::FileBodySource>> to_serve =
+      Status(ErrorCode::kInternal, "unset");
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Open the served file *while holding mutex_*: every invalidation
+    // path (erase_entry/invalidate_subtree/clear/replacement) unlinks
+    // under the same mutex, so once open succeeds here the descriptor
+    // pins the content for the drain (POSIX inode semantics).
     if (fetched.value().not_modified) {
       auto it = cache_.find(path);
       if (it != cache_.end()) {
         ++hits_;
-        to_serve = it->second.file;
+        to_serve = http::FileBodySource::open(it->second.file);
       } else {
         // Invalidated between sending the ETag and the 304 landing —
         // the validated copy is gone; fetch unconditionally below.
@@ -46,7 +52,7 @@ Result<fs::path> CachingDavStorage::refresh(const std::string& path) {
       }
       cache_[path] = Entry{std::move(fetched.value().etag), spill_file,
                            cache_sink.bytes_written()};
-      to_serve = spill_file;
+      to_serve = http::FileBodySource::open(spill_file);
     }
   }
   if (revalidate_lost) return refresh(path);
@@ -55,12 +61,7 @@ Result<fs::path> CachingDavStorage::refresh(const std::string& path) {
 
 Status CachingDavStorage::read_object_to(const std::string& path,
                                          http::BodySink* sink) {
-  auto cached = refresh(path);
-  if (!cached.ok()) return cached.status();
-  // Serve from the spill file. The descriptor is opened before any
-  // concurrent invalidation could unlink it, so the content stays
-  // readable for the duration of the drain (POSIX inode semantics).
-  auto source = http::FileBodySource::open(cached.value());
+  auto source = refresh(path);
   if (!source.ok()) return source.status();
   auto drained = http::drain_body(*source.value(), *sink);
   return drained.status();

@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "core/dav_storage.h"
+#include "http/body.h"
 #include "util/fs.h"
 
 namespace davpse::ecce {
@@ -96,8 +98,11 @@ class CachingDavStorage final : public DataStorageInterface {
   void invalidate_subtree(const std::string& path);
   void erase_entry(const std::string& path);
   /// Revalidates (or fetches) `path` into the spill directory and
-  /// returns the cache file to serve from.
-  Result<std::filesystem::path> refresh(const std::string& path);
+  /// returns an *open* source on the cache file. Opening happens under
+  /// mutex_ — before any concurrent invalidation could unlink the file
+  /// — so the descriptor pins the content for the drain.
+  Result<std::unique_ptr<http::FileBodySource>> refresh(
+      const std::string& path);
 
   DavStorage inner_;
   davclient::DavClient* client_;

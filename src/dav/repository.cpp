@@ -138,6 +138,48 @@ Status FsRepository::write_document_from(const std::string& path,
   return drained.status();
 }
 
+Result<fs::path> FsRepository::spool_body(http::BodySource* body) {
+  fs::path dir = root_ / kDavDirName / "spool";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status(ErrorCode::kInternal,
+                  "cannot create spool directory: " + ec.message());
+  }
+  fs::path spool =
+      dir / ("s" + std::to_string(spool_counter_.fetch_add(1)));
+  http::FileBodySink sink(spool);
+  auto drained = http::drain_body(*body, sink);
+  if (!drained.ok()) return drained.status();
+  return spool;
+}
+
+Status FsRepository::write_document_spooled(const std::string& path,
+                                            const fs::path& spool) {
+  auto discard = [&spool](Status status) {
+    std::error_code rm;
+    fs::remove(spool, rm);
+    return status;
+  };
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    return discard(error(ErrorCode::kConflict,
+                         "cannot PUT over a collection: " + path));
+  }
+  if (!fs::is_directory(target.parent_path(), ec)) {
+    return discard(error(ErrorCode::kConflict,
+                         "parent collection does not exist: " +
+                             parent_path(path)));
+  }
+  fs::rename(spool, target, ec);
+  if (ec) {
+    return discard(error(ErrorCode::kInternal,
+                         "rename failed for " + path + ": " + ec.message()));
+  }
+  return Status::ok();
+}
+
 Status FsRepository::make_collection(const std::string& path) {
   fs::path target = fs_path(path);
   std::error_code ec;

@@ -7,6 +7,7 @@
 // needed").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -67,6 +68,20 @@ class FsRepository {
   /// write_document. Peak memory is O(block) regardless of size.
   Status write_document_from(const std::string& path,
                              http::BodySource* body);
+
+  /// Drains `body` into a uniquely named file under the hidden spool
+  /// area (<root>/.DAV/spool) and returns its path. Lets the server
+  /// take a slow network body off the wire *before* acquiring its
+  /// store lock; the spooled file is later promoted (or discarded) in
+  /// a cheap local operation. Thread-safe without external locking.
+  Result<std::filesystem::path> spool_body(http::BodySource* body);
+
+  /// Promotes a spooled body into place as document `path` with the
+  /// same conflict checks as write_document (rename within the root
+  /// filesystem, so it is atomic and O(1)). The spool file is removed
+  /// on failure, so callers never leak it.
+  Status write_document_spooled(const std::string& path,
+                                const std::filesystem::path& spool);
 
   // -- collections ------------------------------------------------------
 
@@ -134,6 +149,7 @@ class FsRepository {
 
   std::filesystem::path root_;
   dbm::Flavor flavor_;
+  std::atomic<uint64_t> spool_counter_{0};
 };
 
 }  // namespace davpse::dav

@@ -342,16 +342,16 @@ HttpResponse DavServer::do_get(const HttpRequest& request,
 
 HttpResponse DavServer::do_put(const HttpRequest& request,
                                const std::string& path) {
-  std::unique_lock<std::shared_mutex> lock(store_mutex_);
-  DAVPSE_DAV_CHECK_LOCK(path, request);
-  bool existed = repository_.exists(path);
-  Status status;
+  // Streaming PUT: the body flows wire → spool file in blocks (peak
+  // memory O(block) no matter how large the upload is) *before* the
+  // store lock is taken — draining the socket inside the exclusive
+  // section would let one slow client stall every other request for
+  // the whole network transfer. Promotion below is a local rename.
+  std::optional<std::filesystem::path> spooled;
   if (request.body_source != nullptr) {
-    // Streaming PUT: the body flows wire → temp file in blocks; peak
-    // memory stays O(block) no matter how large the upload is.
-    status = repository_.write_document_from(path,
-                                             request.body_source.get());
-    if (!status.is_ok()) {
+    auto spool = repository_.spool_body(request.body_source.get());
+    if (!spool.ok()) {
+      const Status& status = spool.status();
       if (status.code() == ErrorCode::kTooLarge) {
         // The *wire-level* body limit tripped mid-decode — that is
         // 413, not the 507 the repository-quota mapping would give.
@@ -364,6 +364,24 @@ HttpResponse DavServer::do_put(const HttpRequest& request,
       }
       return error_response(status);
     }
+    spooled = std::move(spool).value();
+  }
+  std::unique_lock<std::shared_mutex> lock(store_mutex_);
+  Status lock_status = locks_.check_write(path, presented_token(request));
+  if (!lock_status.is_ok()) {
+    if (spooled) {
+      std::error_code ec;
+      std::filesystem::remove(*spooled, ec);
+    }
+    return error_response(lock_status);
+  }
+  bool existed = repository_.exists(path);
+  Status status;
+  if (spooled) {
+    // Conflict checks + rename under the lock; write_document_spooled
+    // removes the spool file itself on failure.
+    status = repository_.write_document_spooled(path, *spooled);
+    if (!status.is_ok()) return error_response(status);
   } else {
     status = repository_.write_document(path, request.body);
     if (!status.is_ok()) return error_response(status);

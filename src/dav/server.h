@@ -42,10 +42,11 @@ class DavServer : public http::Handler {
 
   http::HttpResponse handle(const http::HttpRequest& request) override;
 
-  /// PUT bodies stream straight from the wire into the repository
-  /// (temp file + rename) instead of being buffered; everything else
-  /// (PROPPATCH/LOCK/SEARCH XML bodies) stays eager — those are small
-  /// and get parsed as a whole anyway.
+  /// PUT bodies stream straight from the wire into a repository spool
+  /// file (drained before the store lock is taken, then renamed into
+  /// place) instead of being buffered; everything else (PROPPATCH/
+  /// LOCK/SEARCH XML bodies) stays eager — those are small and get
+  /// parsed as a whole anyway.
   bool wants_body_stream(const http::HttpRequest& head) override {
     return head.method == "PUT";
   }

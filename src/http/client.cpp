@@ -1,6 +1,29 @@
 #include "http/client.h"
 
 namespace davpse::http {
+namespace {
+
+/// Forwards to the caller's sink while counting the bytes delivered,
+/// so the retry logic can tell whether the sink is still untouched.
+class CountingBodySink final : public BodySink {
+ public:
+  CountingBodySink(BodySink* inner, uint64_t* bytes)
+      : inner_(inner), bytes_(bytes) {}
+
+  Status write(std::string_view data) override {
+    DAVPSE_RETURN_IF_ERROR(inner_->write(data));
+    *bytes_ += data.size();
+    return Status::ok();
+  }
+
+  Status finish() override { return inner_->finish(); }
+
+ private:
+  BodySink* inner_;
+  uint64_t* bytes_;
+};
+
+}  // namespace
 
 HttpClient::HttpClient(ClientConfig config)
     : HttpClient(std::move(config), net::Network::instance()) {}
@@ -41,7 +64,8 @@ void HttpClient::account_traffic() {
 
 Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
                                               BodySink* sink,
-                                              bool* reused_connection) {
+                                              bool* reused_connection,
+                                              uint64_t* sink_bytes) {
   *reused_connection = connection_ != nullptr;
   DAVPSE_RETURN_IF_ERROR(ensure_connected());
   DAVPSE_RETURN_IF_ERROR(write_request(connection_.get(), request));
@@ -61,7 +85,8 @@ Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
           response = source.status();
         } else if (status >= 200 && status < 300) {
           // Success body streams to the caller's sink in blocks.
-          auto drained = drain_body(*source.value(), *sink);
+          CountingBodySink counted(sink, sink_bytes);
+          auto drained = drain_body(*source.value(), counted);
           if (!drained.ok()) response = drained.status();
         } else {
           // Error bodies are small diagnostics; buffer them as usual.
@@ -94,17 +119,21 @@ Result<HttpResponse> HttpClient::execute(HttpRequest request,
   }
 
   bool reused = false;
-  auto response = execute_once(request, sink, &reused);
+  uint64_t sink_bytes = 0;
+  auto response = execute_once(request, sink, &reused, &sink_bytes);
   if (!response.ok() && reused &&
       response.status().code() == ErrorCode::kUnavailable) {
     // The cached keep-alive connection died (server idle timeout or
     // request cap); retry once on a fresh one. A partially consumed
-    // streaming body can only be replayed if its source rewinds.
+    // streaming body can only be replayed if its source rewinds, and
+    // the response sink must be untouched — a retry would append the
+    // full body after the partial bytes already delivered.
     bool can_replay =
-        request.body_source == nullptr || request.body_source->rewind();
+        sink_bytes == 0 &&
+        (request.body_source == nullptr || request.body_source->rewind());
     if (can_replay) {
       reset_connection();
-      response = execute_once(request, sink, &reused);
+      response = execute_once(request, sink, &reused, &sink_bytes);
     }
   }
   if (!response.ok()) {

@@ -47,7 +47,8 @@ class HttpClient {
   /// Sends the request (filling Host/Authorization) and reads the
   /// response. Retries once on a fresh connection if a reused
   /// keep-alive connection turns out to be dead (a streaming request
-  /// body is only retried when its source can rewind()).
+  /// body is only retried when its source can rewind(), and never
+  /// after any response bytes have reached the caller's sink).
   Result<HttpResponse> execute(HttpRequest request);
 
   /// Streaming execute: 2xx response bodies are drained into `sink`
@@ -95,9 +96,12 @@ class HttpClient {
   uint64_t requests_sent() const { return requests_sent_; }
 
  private:
+  /// `sink_bytes` accumulates the bytes delivered into `sink`; the
+  /// caller uses it to refuse a retry once the sink has been written.
   Result<HttpResponse> execute_once(const HttpRequest& request,
                                     BodySink* sink,
-                                    bool* reused_connection);
+                                    bool* reused_connection,
+                                    uint64_t* sink_bytes);
   Status ensure_connected();
   void account_traffic();
 

@@ -1,5 +1,6 @@
 #include "http/wire.h"
 
+#include <cstdint>
 #include <cstring>
 #include <ctime>
 #include <functional>
@@ -224,6 +225,9 @@ class WireBodySource final : public BodySource {
         } else {
           return Status(ErrorCode::kMalformed, "bad chunk size");
         }
+        if (chunk_size > (UINT64_MAX >> 4)) {
+          return Status(ErrorCode::kMalformed, "chunk size overflows");
+        }
         chunk_size = chunk_size * 16 + static_cast<uint64_t>(v);
       }
       if (chunk_size == 0) {
@@ -236,7 +240,9 @@ class WireBodySource final : public BodySource {
         done_ = true;
         return static_cast<size_t>(0);
       }
-      if (max_body_ != 0 && consumed_ + chunk_size > max_body_) {
+      // consumed_ never exceeds max_body_ here, so the subtraction
+      // cannot wrap the way `consumed_ + chunk_size` could.
+      if (max_body_ != 0 && chunk_size > max_body_ - consumed_) {
         return Status(ErrorCode::kTooLarge, "chunked body exceeds limit");
       }
       consumed_ += chunk_size;
@@ -431,11 +437,17 @@ Status write_streamed_body(net::Stream* stream, BodySource& source) {
   // while staying far inside the bounded-memory budget.
   std::string buf(4 * kBodyBlockSize, '\0');
   if (auto total = source.length()) {
+    // Each read is clamped to the bytes still owed, so a source that
+    // misbehaves (e.g. a file that grew after length() was sampled)
+    // can never push bytes past the declared Content-Length and
+    // corrupt the peer's framing.
     uint64_t sent = 0;
-    for (;;) {
-      auto got = source.read(buf.data(), buf.size());
+    while (sent < *total) {
+      size_t want =
+          static_cast<size_t>(std::min<uint64_t>(buf.size(), *total - sent));
+      auto got = source.read(buf.data(), want);
       if (!got.ok()) return got.status();
-      if (got.value() == 0) break;
+      if (got.value() == 0) break;  // short source: error below
       DAVPSE_RETURN_IF_ERROR(
           stream->write(std::string_view(buf.data(), got.value())));
       sent += got.value();

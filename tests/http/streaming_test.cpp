@@ -5,11 +5,14 @@
 // after buffering it.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
+#include <thread>
 
 #include "dav/server.h"
 #include "davclient/client.h"
 #include "http/body.h"
+#include "http/client.h"
 #include "http/server.h"
 #include "http/wire.h"
 #include "net/network.h"
@@ -124,6 +127,67 @@ TEST(StreamingGet, ResponseStreamsWithContentLength) {
   EXPECT_EQ(response.value().headers.get("Content-Length"),
             std::to_string(payload.size()));
   EXPECT_EQ(response.value().body, payload);
+}
+
+TEST(StreamingClient, DeadConnectionRetryNeverReusesTouchedSink) {
+  // A reused keep-alive connection that dies mid-response-body must
+  // NOT be retried once bytes have reached the caller's sink: a
+  // replayed full body would land after the partial bytes, silently
+  // corrupting the streamed output.
+  std::string endpoint = testing::unique_endpoint("test-dirty-sink");
+  auto listener = net::Network::instance().listen(endpoint);
+  ASSERT_TRUE(listener.ok());
+  std::thread fake_server([&] {
+    auto conn = listener.value()->accept();
+    ASSERT_TRUE(conn.ok());
+    http::WireReader reader(conn.value().get());
+    // First exchange completes, so the next request reuses the
+    // connection.
+    auto first = reader.read_request();
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(
+        conn.value()
+            ->write("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello")
+            .is_ok());
+    // Second exchange: 2xx head plus a partial body, then the
+    // connection dies.
+    auto second = reader.read_request();
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(
+        conn.value()
+            ->write("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc")
+            .is_ok());
+  });
+  http::ClientConfig config;
+  config.endpoint = endpoint;
+  http::HttpClient client(config);
+  std::string out1;
+  http::StringBodySink sink1(&out1);
+  auto ok = client.get_to("/a", &sink1);
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(out1, "hello");
+  std::string out2;
+  http::StringBodySink sink2(&out2);
+  auto dropped = client.get_to("/b", &sink2);
+  fake_server.join();
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), ErrorCode::kUnavailable);
+  // Exactly the bytes that arrived before the drop — no replay.
+  EXPECT_EQ(out2, "abc");
+}
+
+TEST(StreamingPut, ConflictCleansUpSpoolFile) {
+  // A streamed PUT spools its body off the wire before the store lock;
+  // when the conflict check then fails (missing parent collection) the
+  // spool file must be removed, not leaked.
+  testing::DavStack stack;
+  auto client = stack.client();
+  EXPECT_FALSE(client.put("/nope/doc.bin", std::string(1024, 'x')).is_ok());
+  std::filesystem::path spool = stack.temp.path() / ".DAV" / "spool";
+  std::error_code ec;
+  if (std::filesystem::exists(spool, ec)) {
+    EXPECT_TRUE(std::filesystem::is_empty(spool, ec));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
 #include <thread>
 
 #include "net/pipe.h"
@@ -317,6 +319,87 @@ TEST(WireChunked, IncrementalReadsDeliverWholeBody) {
     assembled.append(tiny, n.value());
   }
   EXPECT_EQ(assembled, "hello world");
+}
+
+TEST(WireChunked, OversizedChunkSizeLineRejected) {
+  // 17+ hex digits would wrap uint64 during accumulation; the decoder
+  // must reject the size line even with no body limit configured.
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n1FFFFFFFFFFFFFFFF\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request(/*max_body=*/0);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), ErrorCode::kMalformed);
+}
+
+TEST(WireChunked, HugeChunkCannotWrapPastBodyLimit) {
+  // 0xFFFFFFFFFFFFFFCE = 2^64 - 50. With 64 bytes already consumed,
+  // `consumed + chunk_size` wraps to 14 — the limit check must not be
+  // fooled into accepting the chunk.
+  auto pair = net::make_pipe();
+  auto stream = stream_of(pair,
+                          "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                          "\r\n40\r\n" + std::string(0x40, 'a') +
+                          "\r\nFFFFFFFFFFFFFFCE\r\n");
+  WireReader reader(stream.get());
+  auto request = reader.read_request(/*max_body=*/100);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), ErrorCode::kTooLarge);
+}
+
+/// A source whose length() disagrees with the bytes it can produce —
+/// e.g. a file that changed size after length() was sampled.
+class MislengthedSource final : public BodySource {
+ public:
+  MislengthedSource(std::string data, uint64_t declared)
+      : data_(std::move(data)), declared_(declared) {}
+
+  Result<size_t> read(char* buf, size_t max) override {
+    size_t n = std::min(max, data_.size() - pos_);
+    std::memcpy(buf, data_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+  std::optional<uint64_t> length() const override { return declared_; }
+
+ private:
+  std::string data_;
+  uint64_t declared_;
+  size_t pos_ = 0;
+};
+
+TEST(WireStreamedBody, SourceLongerThanDeclaredNeverCorruptsFraming) {
+  auto pair = net::make_pipe();
+  HttpRequest sent;
+  sent.method = "PUT";
+  sent.target = "/doc";
+  sent.body_source = std::make_shared<MislengthedSource>("helloEXTRA", 5);
+  ASSERT_TRUE(write_request(pair.a.get(), sent).is_ok());
+  HttpRequest next;
+  next.method = "GET";
+  next.target = "/after";
+  ASSERT_TRUE(write_request(pair.a.get(), next).is_ok());
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_request();
+  ASSERT_TRUE(received.ok()) << received.status().to_string();
+  EXPECT_EQ(received.value().body, "hello");  // clamped at Content-Length
+  auto second = reader.read_request();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(second.value().target, "/after");
+}
+
+TEST(WireStreamedBody, SourceShorterThanDeclaredIsInternalError) {
+  auto pair = net::make_pipe();
+  HttpRequest sent;
+  sent.method = "PUT";
+  sent.target = "/doc";
+  sent.body_source = std::make_shared<MislengthedSource>("abc", 10);
+  Status written = write_request(pair.a.get(), sent);
+  EXPECT_FALSE(written.is_ok());
+  EXPECT_EQ(written.code(), ErrorCode::kInternal);
 }
 
 TEST(WireRequest, LargeBodyStreamsThroughSmallPipe) {
