@@ -16,6 +16,7 @@
 // The client parses responses with the DOM strategy, matching the
 // paper's Xerces-DOM client whose cost dominated columns (c) and (d).
 #include <algorithm>
+#include <cstring>
 
 #include "bench/common.h"
 #include "util/random.h"
@@ -72,18 +73,25 @@ struct PaperRow {
 }  // namespace
 }  // namespace davpse::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace davpse;
   using namespace davpse::bench;
 
-  heading(
-      "Table 1: typical PSE metadata operations (50 docs x 50 x 1 KB "
-      "metadata)");
-  std::printf(
-      "Paper testbed: Sun Enterprise 450, 150 Mbit/s LAN, Apache 1.3.11 + "
-      "mod_dav 1.1 + GDBM, Xerces DOM client.\n"
-      "This run: in-memory transport; 'modeled' adds the 150 Mbit/s link "
-      "cost computed from measured bytes and round trips.\n\n");
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  if (!json) {
+    heading(
+        "Table 1: typical PSE metadata operations (50 docs x 50 x 1 KB "
+        "metadata)");
+    std::printf(
+        "Paper testbed: Sun Enterprise 450, 150 Mbit/s LAN, Apache 1.3.11 + "
+        "mod_dav 1.1 + GDBM, Xerces DOM client.\n"
+        "This run: in-memory transport; 'modeled' adds the 150 Mbit/s link "
+        "cost computed from measured bytes and round trips.\n\n");
+  }
 
   DavStack stack(dbm::Flavor::kGdbm);
   auto client = stack.client(davclient::ParserKind::kDom);
@@ -141,6 +149,29 @@ int main() {
       {"(f) remove hierarchy", 1.782, 0.01},
   };
 
+  // Server-side truth for the whole run — request counts, latency
+  // percentiles, and wire bytes come from the stack's registry, not
+  // from bench-local bookkeeping.
+  auto snap = stack.metrics.snapshot();
+
+  if (json) {
+    std::string metrics_json = snap.to_json();
+    while (!metrics_json.empty() && metrics_json.back() == '\n') {
+      metrics_json.pop_back();
+    }
+    std::printf("{\n  \"table1\": [\n");
+    for (int i = 0; i < 6; ++i) {
+      std::printf(
+          "    {\"label\": \"%s\", \"elapsed_seconds\": %.9g, "
+          "\"cpu_seconds\": %.9g, \"modeled_seconds\": %.9g}%s\n",
+          kPaper[i].label, results[i].wall_seconds, results[i].cpu_seconds,
+          results[i].wall_seconds + results[i].modeled_seconds,
+          i + 1 < 6 ? "," : "");
+    }
+    std::printf("  ],\n  \"metrics\": %s\n}\n", metrics_json.c_str());
+    return 0;
+  }
+
   TablePrinter table({42, 12, 12, 12, 12, 12});
   table.row({"operation", "elapsed", "cpu", "modeled", "paper-elap",
              "paper-cpu"});
@@ -175,5 +206,6 @@ int main() {
           std::max(results[2].wall_seconds, 1e-9),
       100.0 * results[4].cpu_seconds /
           std::max(results[4].wall_seconds, 1e-9));
+  print_registry_report(snap);
   return 0;
 }

@@ -81,6 +81,7 @@ int main() {
   }
 
   // --- HTTP PUT -----------------------------------------------------------
+  obs::RegistrySnapshot http_snap;
   {
     DavStack stack;
     auto client = stack.client();
@@ -117,6 +118,7 @@ int main() {
                               }
                             }),
                     0});
+    http_snap = stack.metrics.snapshot();
   }
 
   TablePrinter table({22, 12, 12, 14, 12});
@@ -144,5 +146,25 @@ int main() {
       "  - transfers are bandwidth-bound: modeled time ~= bytes/bandwidth "
       "(raw stack wall time is a small fraction of modeled)\n",
       ratio, (ratio > 0.85 && ratio < 1.15) ? "yes" : "NO");
+
+  // Wire bytes from the server's registry — the PUTs must account for
+  // every payload byte streamed in, the GET for every byte served out.
+  const unsigned long long put_bytes =
+      http_snap.counter("http.server.bytes_in");
+  const unsigned long long get_bytes =
+      http_snap.counter("http.server.bytes_out");
+  const unsigned long long expected_in =
+      static_cast<unsigned long long>(small_payload.size() +
+                                      large_payload.size());
+  std::printf(
+      "\nRegistry byte counters (HTTP side):\n"
+      "  PUT payload bytes in:  %llu (payloads total %llu) -> %s\n"
+      "  GET payload bytes out: %llu (small transfer %zu)\n"
+      "  DAV PUT requests seen: %llu, p99 latency %.6f s\n",
+      put_bytes, expected_in, put_bytes == expected_in ? "exact" : "MISMATCH",
+      get_bytes, small_payload.size(),
+      static_cast<unsigned long long>(
+          http_snap.counter("dav.server.requests.PUT")),
+      http_snap.histogram("dav.server.latency_seconds.PUT").p99);
   return 0;
 }

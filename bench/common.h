@@ -13,6 +13,7 @@
 #include "davclient/client.h"
 #include "http/server.h"
 #include "net/network_model.h"
+#include "obs/metrics.h"
 #include "oodb/client.h"
 #include "oodb/server.h"
 #include "util/clock.h"
@@ -39,10 +40,12 @@ struct DavStack {
     dav::DavConfig dav_config;
     dav_config.root = temp.path();
     dav_config.flavor = flavor;
+    dav_config.metrics = &metrics;
     dav = std::make_unique<dav::DavServer>(dav_config);
     http::ServerConfig http_config;
     http_config.endpoint = unique_endpoint("bench-dav");
     http_config.daemons = daemons;
+    http_config.metrics = &metrics;
     server = std::make_unique<http::HttpServer>(http_config, dav.get());
     Status status = server->start();
     if (!status.is_ok()) {
@@ -58,10 +61,17 @@ struct DavStack {
     http::ClientConfig config;
     config.endpoint = server->endpoint();
     config.policy = policy;
+    config.connect_label = "bench.client";
+    config.metrics = &metrics;
     return davclient::DavClient(config, parser);
   }
 
   TempDir temp;
+  /// Every layer of the stack (DAV handler, HTTP front end, clients
+  /// made by client()) records into this bench-private registry, so
+  /// the tables below report from the same counters production scrapes
+  /// via /.well-known/stats.
+  obs::Registry metrics;
   std::unique_ptr<dav::DavServer> dav;
   std::unique_ptr<http::HttpServer> server;
 };
@@ -151,8 +161,44 @@ inline std::string seconds_cell(double seconds) {
   return buf;
 }
 
+/// Microsecond-resolution cell for latency percentiles, which sit far
+/// below the %.3f grid of seconds_cell.
+inline std::string latency_cell(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f s", seconds);
+  return buf;
+}
+
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Per-method server-side report straight from a registry snapshot:
+/// request counts and latency percentiles for every DAV method seen,
+/// plus the wire byte counters. The same numbers a production scrape
+/// of /.well-known/stats would show.
+inline void print_registry_report(const obs::RegistrySnapshot& snap) {
+  std::printf("\nServer-side registry snapshot (per DAV method):\n\n");
+  TablePrinter table({12, 10, 12, 12, 12});
+  table.row({"method", "requests", "p50", "p95", "p99"});
+  table.rule();
+  const std::string prefix = "dav.server.requests.";
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::string method = name.substr(prefix.size());
+    auto latency = snap.histogram("dav.server.latency_seconds." + method);
+    table.row({method, std::to_string(value), latency_cell(latency.p50),
+               latency_cell(latency.p95), latency_cell(latency.p99)});
+  }
+  table.rule();
+  std::printf(
+      "bytes over the wire: in=%llu out=%llu  keep-alive reuses=%llu  "
+      "client retries=%llu\n",
+      static_cast<unsigned long long>(snap.counter("http.server.bytes_in")),
+      static_cast<unsigned long long>(snap.counter("http.server.bytes_out")),
+      static_cast<unsigned long long>(
+          snap.counter("http.server.keepalive_reuse")),
+      static_cast<unsigned long long>(snap.counter("bench.client.retries")));
 }
 
 }  // namespace davpse::bench

@@ -18,6 +18,7 @@ Result<std::unique_ptr<http::FileBodySource>> CachingDavStorage::refresh(
   }
   // The fetch drains straight into a spill file; a 304 never touches
   // it (the unfinished sink cleans up its temp file on destruction).
+  if (!previous_etag.empty()) revalidations_metric_->add(1);
   http::FileBodySink cache_sink(spill_file);
   auto fetched = client_->get_if_changed_to(path, previous_etag, &cache_sink);
   if (!fetched.ok()) {
@@ -37,6 +38,7 @@ Result<std::unique_ptr<http::FileBodySource>> CachingDavStorage::refresh(
       auto it = cache_.find(path);
       if (it != cache_.end()) {
         ++hits_;
+        hits_metric_->add(1);
         to_serve = http::FileBodySource::open(it->second.file);
       } else {
         // Invalidated between sending the ETag and the 304 landing —
@@ -45,6 +47,8 @@ Result<std::unique_ptr<http::FileBodySource>> CachingDavStorage::refresh(
       }
     } else {
       ++misses_;
+      misses_metric_->add(1);
+      spilled_bytes_metric_->add(cache_sink.bytes_written());
       auto it = cache_.find(path);
       if (it != cache_.end()) {
         std::error_code ec;
@@ -61,9 +65,8 @@ Result<std::unique_ptr<http::FileBodySource>> CachingDavStorage::refresh(
 
 Status CachingDavStorage::read_object_to(const std::string& path,
                                          http::BodySink* sink) {
-  auto source = refresh(path);
-  if (!source.ok()) return source.status();
-  auto drained = http::drain_body(*source.value(), *sink);
+  DAVPSE_ASSIGN_OR_RETURN(auto source, refresh(path));
+  auto drained = http::drain_body(*source, *sink);
   return drained.status();
 }
 

@@ -23,15 +23,25 @@
 
 #include "core/dav_storage.h"
 #include "http/body.h"
+#include "obs/metrics.h"
 #include "util/fs.h"
 
 namespace davpse::ecce {
 
 class CachingDavStorage final : public DataStorageInterface {
  public:
-  /// Borrows the client, like DavStorage.
-  explicit CachingDavStorage(davclient::DavClient* client)
-      : inner_(client), client_(client), spill_("davpse-cache") {}
+  /// Borrows the client, like DavStorage. `metrics` (nullptr = the
+  /// global registry) receives "ecce.cache.hits" / ".misses" /
+  /// ".revalidations" / ".spilled_bytes".
+  explicit CachingDavStorage(davclient::DavClient* client,
+                             obs::Registry* metrics = nullptr)
+      : inner_(client), client_(client), spill_("davpse-cache") {
+    obs::Registry& registry = obs::registry_or_global(metrics);
+    hits_metric_ = &registry.counter("ecce.cache.hits");
+    misses_metric_ = &registry.counter("ecce.cache.misses");
+    revalidations_metric_ = &registry.counter("ecce.cache.revalidations");
+    spilled_bytes_metric_ = &registry.counter("ecce.cache.spilled_bytes");
+  }
 
   // -- cached path ----------------------------------------------------------
   Result<std::string> read_object(const std::string& path) override;
@@ -112,6 +122,10 @@ class CachingDavStorage final : public DataStorageInterface {
   uint64_t next_file_id_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* revalidations_metric_ = nullptr;
+  obs::Counter* spilled_bytes_metric_ = nullptr;
 };
 
 }  // namespace davpse::ecce

@@ -313,15 +313,15 @@ Result<Calculation> DavCalculationFactory::load_calculation(
       // (documents may have been relocated); fall back to scanning the
       // physical collection for pre-members stores.
       std::vector<std::string> output_paths;
-      auto member_list = storage_->get_metadatum(tpath, kMembersProp);
-      if (member_list.ok()) {
-        for (const Member& member : decode_members(member_list.value())) {
+      DAVPSE_ASSIGN_OR_RETURN(auto member_list,
+                              storage_->find_metadatum(tpath, kMembersProp));
+      if (member_list) {
+        for (const Member& member : decode_members(*member_list)) {
           output_paths.push_back(member.href);
         }
       } else {
-        auto listed = storage_->list(tpath);
-        if (!listed.ok()) return listed.status();
-        for (const auto& member : listed.value()) {
+        DAVPSE_ASSIGN_OR_RETURN(auto listed, storage_->list(tpath));
+        for (const auto& member : listed) {
           if (starts_with(basename_of(member), "prop-")) {
             output_paths.push_back(member);
           }
@@ -418,8 +418,9 @@ Status DavCalculationFactory::attach_output(const std::string& project,
              {kDimensionsProp, dims_to_text(output.dimensions)}}));
   // Record the member in the task's virtual-document index.
   std::vector<Member> members;
-  auto existing = storage_->get_metadatum(tpath, kMembersProp);
-  if (existing.ok()) members = decode_members(existing.value());
+  DAVPSE_ASSIGN_OR_RETURN(auto existing,
+                          storage_->find_metadatum(tpath, kMembersProp));
+  if (existing) members = decode_members(*existing);
   std::erase_if(members,
                 [&](const Member& member) { return member.name == output.name; });
   members.push_back({output.name, path});
@@ -433,9 +434,12 @@ Status DavCalculationFactory::relocate_output(const std::string& project,
                                               const std::string& output_name,
                                               const std::string& new_path) {
   std::string tpath = task_path(project, calculation, task);
-  auto existing = storage_->get_metadatum(tpath, kMembersProp);
-  if (!existing.ok()) return existing.status();
-  std::vector<Member> members = decode_members(existing.value());
+  DAVPSE_ASSIGN_OR_RETURN(auto existing,
+                          storage_->find_metadatum(tpath, kMembersProp));
+  if (!existing) {
+    return error(ErrorCode::kNotFound, "no members index on " + tpath);
+  }
+  std::vector<Member> members = decode_members(*existing);
   Member* entry = nullptr;
   for (Member& member : members) {
     if (member.name == output_name) entry = &member;

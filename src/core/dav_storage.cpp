@@ -26,11 +26,12 @@ Status DavStorage::create_container_path(const std::string& path) {
 }
 
 Result<std::vector<std::string>> DavStorage::list(const std::string& path) {
-  auto result = client_->propfind(
-      path, davclient::Depth::kOne, {xml::dav_name("resourcetype")});
-  if (!result.ok()) return result.status();
+  DAVPSE_ASSIGN_OR_RETURN(
+      auto result,
+      client_->propfind(path, davclient::Depth::kOne,
+                        {xml::dav_name("resourcetype")}));
   std::vector<std::string> out;
-  for (const auto& response : result.value().responses) {
+  for (const auto& response : result.responses) {
     if (response.href == path) continue;  // the container itself
     out.push_back(response.href);
   }
@@ -74,21 +75,21 @@ Result<std::string> DavStorage::get_metadatum(const std::string& path,
 
 Result<std::vector<Metadatum>> DavStorage::get_metadata(
     const std::string& path, const std::vector<xml::QName>& names) {
-  auto result = client_->propfind(path, davclient::Depth::kZero, names);
-  if (!result.ok()) return result.status();
-  if (result.value().responses.empty()) {
+  DAVPSE_ASSIGN_OR_RETURN(
+      auto result, client_->propfind(path, davclient::Depth::kZero, names));
+  if (result.responses.empty()) {
     return Status(ErrorCode::kNotFound, "no PROPFIND response for " + path);
   }
-  return metadata_from(result.value().responses.front());
+  return metadata_from(result.responses.front());
 }
 
 Result<std::vector<std::pair<std::string, std::vector<Metadatum>>>>
 DavStorage::get_children_metadata(const std::string& path,
                                   const std::vector<xml::QName>& names) {
-  auto result = client_->propfind(path, davclient::Depth::kOne, names);
-  if (!result.ok()) return result.status();
+  DAVPSE_ASSIGN_OR_RETURN(
+      auto result, client_->propfind(path, davclient::Depth::kOne, names));
   std::vector<std::pair<std::string, std::vector<Metadatum>>> out;
-  for (const auto& response : result.value().responses) {
+  for (const auto& response : result.responses) {
     if (response.href == path) continue;
     out.emplace_back(response.href, metadata_from(response));
   }

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,6 +69,21 @@ class DataStorageInterface {
                               const std::vector<Metadatum>& metadata) = 0;
   virtual Result<std::string> get_metadatum(const std::string& path,
                                             const xml::QName& name) = 0;
+  /// Optional-returning metadatum lookup: nullopt when the property is
+  /// simply absent, an error Status only for real failures (resource
+  /// missing, protocol error). Use this instead of treating
+  /// get_metadatum's kNotFound as "empty" — that idiom conflates
+  /// "property not set" with "lookup failed". The default adapter maps
+  /// get_metadatum's kNotFound to nullopt.
+  virtual Result<std::optional<std::string>> find_metadatum(
+      const std::string& path, const xml::QName& name) {
+    auto value = get_metadatum(path, name);
+    if (value.ok()) return std::optional<std::string>(std::move(value).value());
+    if (value.status().code() == ErrorCode::kNotFound) {
+      return std::optional<std::string>();
+    }
+    return value.status();
+  }
   /// Selected metadata for one resource; missing names are skipped.
   virtual Result<std::vector<Metadatum>> get_metadata(
       const std::string& path, const std::vector<xml::QName>& names) = 0;

@@ -7,11 +7,31 @@
 
 namespace davpse::dav {
 
+void LockManager::set_metrics(obs::Registry* registry) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (registry == nullptr) {
+    acquired_metric_ = nullptr;
+    contention_metric_ = nullptr;
+    active_metric_ = nullptr;
+    return;
+  }
+  acquired_metric_ = &registry->counter("dav.locks.acquired");
+  contention_metric_ = &registry->counter("dav.locks.contention");
+  active_metric_ = &registry->gauge("dav.locks.active");
+}
+
+void LockManager::publish_active_locked() const {
+  if (active_metric_ != nullptr) {
+    active_metric_->set(static_cast<int64_t>(locks_.size()));
+  }
+}
+
 void LockManager::expire_locked() const {
   double now = wall_time_seconds();
   std::erase_if(locks_, [now](const Lock& lock) {
     return lock.expires_at != 0 && lock.expires_at < now;
   });
+  publish_active_locked();
 }
 
 bool LockManager::covers(const Lock& lock, const std::string& path) const {
@@ -32,6 +52,7 @@ Result<Lock> LockManager::acquire(const std::string& path, LockScope scope,
     if (!conflict_above && !conflict_below) continue;
     if (existing.scope == LockScope::kExclusive ||
         scope == LockScope::kExclusive) {
+      if (contention_metric_ != nullptr) contention_metric_->add(1);
       return Status(ErrorCode::kLocked,
                     "conflicting lock " + existing.token + " on " +
                         existing.path);
@@ -46,6 +67,8 @@ Result<Lock> LockManager::acquire(const std::string& path, LockScope scope,
   lock.expires_at =
       timeout_seconds > 0 ? wall_time_seconds() + timeout_seconds : 0;
   locks_.push_back(lock);
+  if (acquired_metric_ != nullptr) acquired_metric_->add(1);
+  publish_active_locked();
   return lock;
 }
 
@@ -75,6 +98,7 @@ Status LockManager::release(const std::string& path,
     return error(ErrorCode::kNotFound, "no lock " + token + " on " + path);
   }
   locks_.erase(it);
+  publish_active_locked();
   return Status::ok();
 }
 
@@ -99,11 +123,13 @@ Status LockManager::check_write(
       return Status::ok();  // holder presented the right token
     }
     if (lock.scope == LockScope::kExclusive) {
+      if (contention_metric_ != nullptr) contention_metric_->add(1);
       return error(ErrorCode::kLocked,
                    "resource locked by " + lock.token);
     }
     // Shared lock without a token: writes still require *a* token.
     if (!presented_token) {
+      if (contention_metric_ != nullptr) contention_metric_->add(1);
       return error(ErrorCode::kLocked,
                    "resource share-locked; lock token required");
     }
@@ -116,6 +142,7 @@ void LockManager::forget_subtree(const std::string& path) {
   std::erase_if(locks_, [&](const Lock& lock) {
     return path_is_within(lock.path, path);
   });
+  publish_active_locked();
 }
 
 size_t LockManager::active_count() const {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace davpse::dav {
@@ -58,13 +59,22 @@ class LockManager {
 
   size_t active_count() const;
 
+  /// Wires lock metrics into `registry`: "dav.locks.acquired" and
+  /// "dav.locks.contention" counters (conflicting acquires and refused
+  /// writes), "dav.locks.active" gauge. nullptr detaches.
+  void set_metrics(obs::Registry* registry);
+
  private:
   bool covers(const Lock& lock, const std::string& path) const;
   void expire_locked() const;  // drops stale locks; caller holds mutex_
+  void publish_active_locked() const;  // pushes locks_.size() to gauge
 
   mutable std::mutex mutex_;
   mutable std::vector<Lock> locks_;
   uint64_t next_token_ = 1;
+  obs::Counter* acquired_metric_ = nullptr;
+  obs::Counter* contention_metric_ = nullptr;
+  obs::Gauge* active_metric_ = nullptr;
 };
 
 }  // namespace davpse::dav

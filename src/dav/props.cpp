@@ -32,6 +32,7 @@ Result<std::unique_ptr<dbm::Dbm>> PropertyDb::open_or_create() const {
 }
 
 Result<PropertyValue> PropertyDb::get(const xml::QName& name) const {
+  if (reads_metric_ != nullptr) reads_metric_->add(1);
   if (!database_exists()) {
     return Status(ErrorCode::kNotFound,
                   "no properties on resource: " + name.to_string());
@@ -45,6 +46,7 @@ Result<PropertyValue> PropertyDb::get(const xml::QName& name) const {
 
 Result<std::vector<std::pair<xml::QName, PropertyValue>>>
 PropertyDb::get_all() const {
+  if (reads_metric_ != nullptr) reads_metric_->add(1);
   std::vector<std::pair<xml::QName, PropertyValue>> out;
   if (!database_exists()) return out;
   auto db = open_existing();
@@ -58,6 +60,7 @@ PropertyDb::get_all() const {
 }
 
 Result<std::vector<xml::QName>> PropertyDb::names() const {
+  if (reads_metric_ != nullptr) reads_metric_->add(1);
   std::vector<xml::QName> out;
   if (!database_exists()) return out;
   auto db = open_existing();
@@ -71,6 +74,7 @@ Result<std::vector<xml::QName>> PropertyDb::names() const {
 Status PropertyDb::set(
     const std::vector<std::pair<xml::QName, PropertyValue>>& batch) {
   if (batch.empty()) return Status::ok();
+  if (writes_metric_ != nullptr) writes_metric_->add(1);
   auto db = open_or_create();
   if (!db.ok()) return db.status();
   for (const auto& [name, value] : batch) {
@@ -82,6 +86,7 @@ Status PropertyDb::set(
 
 Status PropertyDb::remove(const std::vector<xml::QName>& names) {
   if (names.empty() || !database_exists()) return Status::ok();
+  if (writes_metric_ != nullptr) writes_metric_->add(1);
   auto db = open_existing();
   if (!db.ok()) return db.status();
   for (const auto& name : names) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dbm/dbm.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "xml/qname.h"
 
@@ -41,8 +42,16 @@ inline const xml::QName kVersionCount("urn:davpse:internal",
 /// pattern that dominates the paper's Table 1 server cost).
 class PropertyDb {
  public:
-  PropertyDb(std::filesystem::path db_path, dbm::Flavor flavor)
-      : db_path_(std::move(db_path)), flavor_(flavor) {}
+  /// `reads`/`writes` (optional) count whole read/write operations
+  /// against this resource's DBM — each get/get_all/names is one read,
+  /// each set/remove batch one write — matching the open-query-close
+  /// cost unit the paper's Table 1 attributes to the server.
+  PropertyDb(std::filesystem::path db_path, dbm::Flavor flavor,
+             obs::Counter* reads = nullptr, obs::Counter* writes = nullptr)
+      : db_path_(std::move(db_path)),
+        flavor_(flavor),
+        reads_metric_(reads),
+        writes_metric_(writes) {}
 
   /// Fetches one property. kNotFound if the property (or the whole
   /// database) does not exist.
@@ -80,6 +89,8 @@ class PropertyDb {
 
   std::filesystem::path db_path_;
   dbm::Flavor flavor_;
+  obs::Counter* reads_metric_;
+  obs::Counter* writes_metric_;
 };
 
 }  // namespace davpse::dav

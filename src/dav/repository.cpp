@@ -10,8 +10,14 @@ namespace davpse::dav {
 
 namespace fs = std::filesystem;
 
-FsRepository::FsRepository(fs::path root, dbm::Flavor flavor)
-    : root_(std::move(root)), flavor_(flavor) {}
+FsRepository::FsRepository(fs::path root, dbm::Flavor flavor,
+                           obs::Registry* metrics)
+    : root_(std::move(root)), flavor_(flavor) {
+  if (metrics != nullptr) {
+    prop_reads_metric_ = &metrics->counter("dav.props.db_reads");
+    prop_writes_metric_ = &metrics->counter("dav.props.db_writes");
+  }
+}
 
 fs::path FsRepository::fs_path(const std::string& path) const {
   if (path == "/") return root_;
@@ -306,7 +312,8 @@ Status FsRepository::move(const std::string& from, const std::string& to) {
 }
 
 PropertyDb FsRepository::properties(const std::string& path) const {
-  return PropertyDb(prop_db_path(path), flavor_);
+  return PropertyDb(prop_db_path(path), flavor_, prop_reads_metric_,
+                    prop_writes_metric_);
 }
 
 fs::path FsRepository::versions_dir(const std::string& path) const {

@@ -18,6 +18,7 @@
 #include "dav/props.h"
 #include "dbm/dbm.h"
 #include "http/body.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace davpse::dav {
@@ -33,7 +34,11 @@ struct ResourceInfo {
 class FsRepository {
  public:
   /// `root` must exist and be a directory; it becomes the DAV "/".
-  FsRepository(std::filesystem::path root, dbm::Flavor flavor);
+  /// `metrics` (optional) receives "dav.props.db_reads" /
+  /// "dav.props.db_writes" counts from every PropertyDb handed out by
+  /// properties().
+  FsRepository(std::filesystem::path root, dbm::Flavor flavor,
+               obs::Registry* metrics = nullptr);
 
   // -- inspection -------------------------------------------------------
 
@@ -149,6 +154,8 @@ class FsRepository {
 
   std::filesystem::path root_;
   dbm::Flavor flavor_;
+  obs::Counter* prop_reads_metric_ = nullptr;
+  obs::Counter* prop_writes_metric_ = nullptr;
   std::atomic<uint64_t> spool_counter_{0};
 };
 

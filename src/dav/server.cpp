@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "dav/search.h"
+#include "util/clock.h"
 #include "util/strings.h"
 #include "util/uri.h"
 #include "xml/escape.h"
@@ -220,7 +221,10 @@ void write_lock_xml(xml::XmlWriter* writer, const Lock& lock) {
 
 DavServer::DavServer(DavConfig config)
     : config_(std::move(config)),
-      repository_(config_.root, config_.flavor) {}
+      metrics_(obs::registry_or_global(config_.metrics)),
+      repository_(config_.root, config_.flavor, &metrics_) {
+  locks_.set_metrics(&metrics_);
+}
 
 HttpResponse DavServer::handle(const HttpRequest& request) {
   auto uri = parse_uri(request.target);
@@ -229,6 +233,31 @@ HttpResponse DavServer::handle(const HttpRequest& request) {
   if (!normalized.ok()) return error_response(normalized.status());
   const std::string& path = normalized.value();
 
+  // Stats endpoint: reads the registry but never contributes to it —
+  // scraping must not perturb the DAV method counters it reports.
+  if ((request.method == "GET" || request.method == "HEAD") &&
+      path == "/.well-known/stats") {
+    return do_stats(request.method == "HEAD");
+  }
+
+  obs::Span span("dav." + request.method);
+  double started = wall_time_seconds();
+  HttpResponse response = dispatch(request, path);
+  metrics_.counter("dav.server.requests." + request.method).add(1);
+  metrics_.histogram("dav.server.latency_seconds." + request.method)
+      .observe(wall_time_seconds() - started);
+  return response;
+}
+
+HttpResponse DavServer::do_stats(bool head_only) {
+  HttpResponse response = HttpResponse::make(
+      http::kOk, metrics_.snapshot().to_json(), "application/json");
+  if (head_only) response.body.clear();
+  return response;
+}
+
+HttpResponse DavServer::dispatch(const HttpRequest& request,
+                                 const std::string& path) {
   const std::string& method = request.method;
   if (method == "OPTIONS") return do_options(request);
   if (method == "GET") return do_get(request, path, /*head_only=*/false);

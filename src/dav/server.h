@@ -24,6 +24,8 @@
 #include "dbm/dbm.h"
 #include "http/message.h"
 #include "http/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "xml/dom.h"
 
@@ -34,6 +36,10 @@ struct DavConfig {
   dbm::Flavor flavor = dbm::Flavor::kGdbm;
   uint64_t max_property_bytes = 10ull * 1024 * 1024;
   double default_lock_timeout_seconds = 600;
+  /// Registry receiving "dav.server.*" / "dav.locks.*" / "dav.props.*"
+  /// metrics, and served read-only at GET /.well-known/stats; nullptr
+  /// records into obs::Registry::global().
+  obs::Registry* metrics = nullptr;
 };
 
 class DavServer : public http::Handler {
@@ -61,6 +67,12 @@ class DavServer : public http::Handler {
   DynamicPropertyRegistry& dynamic_properties() { return dynamic_props_; }
 
  private:
+  /// Method dispatch after path normalization; wrapped by handle()'s
+  /// instrumentation.
+  http::HttpResponse dispatch(const http::HttpRequest& request,
+                              const std::string& path);
+  /// GET /.well-known/stats — a JSON dump of the registry snapshot.
+  http::HttpResponse do_stats(bool head_only);
   http::HttpResponse do_options(const http::HttpRequest& request);
   http::HttpResponse do_get(const http::HttpRequest& request,
                             const std::string& path, bool head_only);
@@ -107,6 +119,7 @@ class DavServer : public http::Handler {
                                            const xml::QName& name);
 
   DavConfig config_;
+  obs::Registry& metrics_;
   FsRepository repository_;
   LockManager locks_;
   DynamicPropertyRegistry dynamic_props_;

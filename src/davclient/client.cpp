@@ -59,11 +59,8 @@ Status status_from_http(int http_status, std::string_view operation,
   }
 }
 
-DavClient::DavClient(http::ClientConfig config, ParserKind parser)
-    : http_(std::move(config)), parser_(parser) {}
-
-DavClient::DavClient(http::ClientConfig config, net::Network& network,
-                     ParserKind parser)
+DavClient::DavClient(http::ClientConfig config, ParserKind parser,
+                     net::Network* network)
     : http_(std::move(config), network), parser_(parser) {}
 
 Result<http::HttpResponse> DavClient::dav_request(std::string method,
@@ -179,10 +176,9 @@ Status DavClient::mkcol(const std::string& path) {
 }
 
 Status DavClient::mkcol_recursive(const std::string& path) {
-  auto normalized = normalize_path(path);
-  if (!normalized.ok()) return normalized.status();
+  DAVPSE_ASSIGN_OR_RETURN(auto normalized, normalize_path(path));
   std::string current = "/";
-  for (const auto& segment : path_segments(normalized.value())) {
+  for (const auto& segment : path_segments(normalized)) {
     current = join_path(current, segment);
     Status status = mkcol(current);
     if (!status.is_ok() && status.code() != ErrorCode::kAlreadyExists) {
@@ -293,9 +289,9 @@ Status DavClient::proppatch(const std::string& path,
   auto response = dav_request("PROPPATCH", path, writer.take());
   DAVPSE_RETURN_IF_ERROR(expect_success(response, "PROPPATCH", path));
   // Check per-property status inside the multistatus body.
-  auto parsed = parse_multistatus(response.value().body, parser_);
-  if (!parsed.ok()) return parsed.status();
-  for (const auto& resource : parsed.value().responses) {
+  DAVPSE_ASSIGN_OR_RETURN(auto parsed,
+                          parse_multistatus(response.value().body, parser_));
+  for (const auto& resource : parsed.responses) {
     for (const auto& failure : resource.failed) {
       return status_from_http(failure.status,
                               "PROPPATCH property " +
@@ -332,28 +328,27 @@ Result<std::vector<Multistatus>> DavClient::propfind_many(
     request.body = body;
     requests.push_back(std::move(request));
   }
-  auto responses = http_.execute_pipelined(std::move(requests));
-  if (!responses.ok()) return responses.status();
+  DAVPSE_ASSIGN_OR_RETURN(auto responses,
+                          http_.execute_pipelined(std::move(requests)));
   std::vector<Multistatus> out;
-  out.reserve(responses.value().size());
-  for (size_t i = 0; i < responses.value().size(); ++i) {
-    DAVPSE_RETURN_IF_ERROR(status_from_http(responses.value()[i].status,
+  out.reserve(responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    DAVPSE_RETURN_IF_ERROR(status_from_http(responses[i].status,
                                             "PROPFIND", paths[i]));
-    auto parsed = parse_multistatus(responses.value()[i].body, parser_);
-    if (!parsed.ok()) return parsed.status();
-    out.push_back(std::move(parsed).value());
+    DAVPSE_ASSIGN_OR_RETURN(auto parsed,
+                            parse_multistatus(responses[i].body, parser_));
+    out.push_back(std::move(parsed));
   }
   return out;
 }
 
 Result<std::string> DavClient::get_property(const std::string& path,
                                             const xml::QName& name) {
-  auto result = propfind(path, Depth::kZero, {name});
-  if (!result.ok()) return result.status();
-  if (result.value().responses.empty()) {
+  DAVPSE_ASSIGN_OR_RETURN(auto result, propfind(path, Depth::kZero, {name}));
+  if (result.responses.empty()) {
     return Status(ErrorCode::kNotFound, "no response for " + path);
   }
-  auto value = result.value().responses.front().prop(name);
+  auto value = result.responses.front().prop(name);
   if (!value) {
     return Status(ErrorCode::kNotFound,
                   "property " + name.to_string() + " not set on " + path);
@@ -401,10 +396,10 @@ Result<std::vector<uint32_t>> DavClient::list_versions(
   writer.empty_element(xml::dav_name("version-tree"));
   auto response = dav_request("REPORT", path, writer.take());
   DAVPSE_RETURN_IF_ERROR(expect_success(response, "REPORT", path));
-  auto parsed = parse_multistatus(response.value().body, parser_);
-  if (!parsed.ok()) return parsed.status();
+  DAVPSE_ASSIGN_OR_RETURN(auto parsed,
+                          parse_multistatus(response.value().body, parser_));
   std::vector<uint32_t> versions;
-  for (const auto& resource : parsed.value().responses) {
+  for (const auto& resource : parsed.responses) {
     auto name = resource.prop(xml::dav_name("version-name"));
     if (!name) continue;
     uint32_t n = 0;

@@ -46,10 +46,10 @@ struct LockHandle {
 
 class DavClient {
  public:
+  /// `network` nullptr uses the process-wide net::Network::instance().
   explicit DavClient(http::ClientConfig config,
-                     ParserKind parser = ParserKind::kDom);
-  DavClient(http::ClientConfig config, net::Network& network,
-            ParserKind parser);
+                     ParserKind parser = ParserKind::kDom,
+                     net::Network* network = nullptr);
 
   // -- documents --------------------------------------------------------
 

@@ -4,12 +4,37 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/fs.h"
 
 namespace davpse::dbm {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Per-engine operation counts ("dbm.<engine>.store" / ".fetch" /
+/// ".remove" / ".compact") on the global registry. Resolved once per
+/// flavor; the hot path is an atomic add.
+struct EngineMetrics {
+  obs::Counter& store;
+  obs::Counter& fetch;
+  obs::Counter& remove;
+  obs::Counter& compact;
+};
+
+EngineMetrics& engine_metrics(Flavor flavor) {
+  auto make = [](const char* engine) {
+    auto& registry = obs::Registry::global();
+    std::string prefix = std::string("dbm.") + engine;
+    return EngineMetrics{registry.counter(prefix + ".store"),
+                         registry.counter(prefix + ".fetch"),
+                         registry.counter(prefix + ".remove"),
+                         registry.counter(prefix + ".compact")};
+  };
+  static EngineMetrics sdbm = make("sdbm");
+  static EngineMetrics gdbm = make("gdbm");
+  return flavor == Flavor::kSdbm ? sdbm : gdbm;
+}
 
 constexpr char kMagic[8] = {'D', 'P', 'D', 'B', 'M', '1', 0, 0};
 constexpr size_t kHeaderSize = 64;
@@ -130,6 +155,7 @@ class LogHashFile final : public Dbm {
   }
 
   Status store(std::string_view key, std::string_view value) override {
+    engine_metrics(header_.flavor).store.add(1);
     if (header_.options.max_value_size != 0 &&
         value.size() > header_.options.max_value_size) {
       return error(ErrorCode::kTooLarge,
@@ -146,6 +172,7 @@ class LogHashFile final : public Dbm {
   }
 
   Result<std::string> fetch(std::string_view key) const override {
+    engine_metrics(header_.flavor).fetch.add(1);
     auto it = index_.find(std::string(key));
     if (it == index_.end()) {
       return Status(ErrorCode::kNotFound,
@@ -173,6 +200,7 @@ class LogHashFile final : public Dbm {
   }
 
   Status remove(std::string_view key) override {
+    engine_metrics(header_.flavor).remove.add(1);
     auto it = index_.find(std::string(key));
     if (it == index_.end()) {
       return error(ErrorCode::kNotFound, "no such key: " + std::string(key));
@@ -192,6 +220,7 @@ class LogHashFile final : public Dbm {
   size_t size() const override { return index_.size(); }
 
   Status compact() override {
+    engine_metrics(header_.flavor).compact.add(1);
     flush_writes();
     // Snapshot live pairs, rewrite into a fresh file, swap.
     std::vector<std::pair<std::string, std::string>> live;

@@ -1,5 +1,7 @@
 #include "http/client.h"
 
+#include "util/clock.h"
+
 namespace davpse::http {
 namespace {
 
@@ -25,11 +27,15 @@ class CountingBodySink final : public BodySink {
 
 }  // namespace
 
-HttpClient::HttpClient(ClientConfig config)
-    : HttpClient(std::move(config), net::Network::instance()) {}
-
-HttpClient::HttpClient(ClientConfig config, net::Network& network)
-    : config_(std::move(config)), network_(network) {}
+HttpClient::HttpClient(ClientConfig config, net::Network* network)
+    : config_(std::move(config)),
+      network_(network != nullptr ? *network : net::Network::instance()),
+      metrics_(obs::registry_or_global(config_.metrics)),
+      connects_metric_(metrics_.counter(config_.connect_label + ".connects")),
+      requests_metric_(metrics_.counter(config_.connect_label + ".requests")),
+      retries_metric_(metrics_.counter(config_.connect_label + ".retries")),
+      request_seconds_(
+          metrics_.histogram(config_.connect_label + ".request_seconds")) {}
 
 HttpClient::~HttpClient() = default;
 
@@ -41,6 +47,7 @@ Status HttpClient::ensure_connected() {
   reader_ = std::make_unique<WireReader>(connection_.get());
   accounted_bytes_ = 0;
   ++connections_opened_;
+  connects_metric_.add(1);
   if (model_ != nullptr) model_->add_round_trips(1);  // connection setup
   return Status::ok();
 }
@@ -98,6 +105,7 @@ Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
     }
   }
   ++requests_sent_;
+  requests_metric_.add(1);
   if (model_ != nullptr) model_->add_round_trips(1);
   account_traffic();
   return response;
@@ -118,24 +126,41 @@ Result<HttpResponse> HttpClient::execute(HttpRequest request,
     request.headers.set("Connection", "close");
   }
 
+  // Trace: join the caller's context when one is installed on this
+  // thread, otherwise open a fresh trace for this exchange. The id
+  // travels to the server in X-Trace-Id so both halves of the exchange
+  // record spans under the same trace.
+  std::optional<obs::TraceScope> own_scope;
+  const obs::TraceContext* context = obs::TraceContext::current();
+  if (context == nullptr) own_scope.emplace(obs::generate_trace_id());
+  request.headers.set("X-Trace-Id", context != nullptr
+                                        ? context->trace_id()
+                                        : own_scope->trace_id());
+  obs::Span span(config_.connect_label + "." + request.method);
+  double start = wall_time_seconds();
+
   bool reused = false;
   uint64_t sink_bytes = 0;
   auto response = execute_once(request, sink, &reused, &sink_bytes);
-  if (!response.ok() && reused &&
-      response.status().code() == ErrorCode::kUnavailable) {
+  int replays = 0;
+  while (!response.ok() && reused &&
+         response.status().code() == ErrorCode::kUnavailable &&
+         replays < config_.max_retries) {
     // The cached keep-alive connection died (server idle timeout or
-    // request cap); retry once on a fresh one. A partially consumed
+    // request cap); retry on a fresh one. A partially consumed
     // streaming body can only be replayed if its source rewinds, and
     // the response sink must be untouched — a retry would append the
     // full body after the partial bytes already delivered.
     bool can_replay =
         sink_bytes == 0 &&
         (request.body_source == nullptr || request.body_source->rewind());
-    if (can_replay) {
-      reset_connection();
-      response = execute_once(request, sink, &reused, &sink_bytes);
-    }
+    if (!can_replay) break;
+    ++replays;
+    retries_metric_.add(1);
+    reset_connection();
+    response = execute_once(request, sink, &reused, &sink_bytes);
   }
+  request_seconds_.observe(wall_time_seconds() - start);
   if (!response.ok()) {
     reset_connection();
     return response;
@@ -176,6 +201,7 @@ Result<std::vector<HttpResponse>> HttpClient::execute_pipelined(
         break;
       }
       ++requests_sent_;
+      requests_metric_.add(1);
       bool keep = response.value().keep_alive();
       responses.push_back(std::move(response).value());
       ++next;

@@ -20,6 +20,8 @@
 #include "http/wire.h"
 #include "net/network.h"
 #include "net/network_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace davpse::http {
@@ -33,22 +35,34 @@ struct ClientConfig {
   std::string endpoint;  // server name in the in-memory network
   ConnectionPolicy policy = ConnectionPolicy::kPersistent;
   std::optional<Credentials> credentials;
+  /// Replay budget when a reused keep-alive connection turns out dead:
+  /// how many fresh-connection retries one request may consume. 0
+  /// disables the dead-connection replay entirely.
+  int max_retries = 1;
+  /// Prefix for this client's metric names ("<label>.connects",
+  /// "<label>.requests", "<label>.retries", "<label>.request_seconds"),
+  /// so several clients in one process stay distinguishable.
+  std::string connect_label = "http.client";
+  /// Registry receiving this client's metrics; nullptr records into
+  /// obs::Registry::global().
+  obs::Registry* metrics = nullptr;
 };
 
 class HttpClient {
  public:
-  explicit HttpClient(ClientConfig config);
-  HttpClient(ClientConfig config, net::Network& network);
+  /// `network` nullptr uses the process-wide net::Network::instance().
+  explicit HttpClient(ClientConfig config, net::Network* network = nullptr);
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Sends the request (filling Host/Authorization) and reads the
-  /// response. Retries once on a fresh connection if a reused
-  /// keep-alive connection turns out to be dead (a streaming request
-  /// body is only retried when its source can rewind(), and never
-  /// after any response bytes have reached the caller's sink).
+  /// Sends the request (filling Host/Authorization and X-Trace-Id) and
+  /// reads the response. Retries up to `max_retries` times on a fresh
+  /// connection if a reused keep-alive connection turns out to be dead
+  /// (a streaming request body is only retried when its source can
+  /// rewind(), and never after any response bytes have reached the
+  /// caller's sink).
   Result<HttpResponse> execute(HttpRequest request);
 
   /// Streaming execute: 2xx response bodies are drained into `sink`
@@ -107,6 +121,13 @@ class HttpClient {
 
   ClientConfig config_;
   net::Network& network_;
+  // Metric references resolved once at construction; the hot path only
+  // touches atomics.
+  obs::Registry& metrics_;
+  obs::Counter& connects_metric_;
+  obs::Counter& requests_metric_;
+  obs::Counter& retries_metric_;
+  obs::Histogram& request_seconds_;
   std::unique_ptr<net::Stream> connection_;
   std::unique_ptr<WireReader> reader_;
   uint64_t accounted_bytes_ = 0;

@@ -1,12 +1,47 @@
 #include "http/server.h"
 
+#include <optional>
+
 #include "http/wire.h"
+#include "util/clock.h"
 #include "util/log.h"
 
 namespace davpse::http {
+namespace {
+
+/// Counts bytes as they move through, into a live counter — a streamed
+/// 64 MiB PUT shows up in "http.server.bytes_in" without the server
+/// ever holding the body.
+class MeteredBodySource final : public BodySource {
+ public:
+  MeteredBodySource(std::shared_ptr<BodySource> inner, obs::Counter* bytes)
+      : inner_(std::move(inner)), bytes_(bytes) {}
+
+  Result<size_t> read(char* buf, size_t max) override {
+    auto n = inner_->read(buf, max);
+    if (n.ok()) bytes_->add(n.value());
+    return n;
+  }
+
+  std::optional<uint64_t> length() const override { return inner_->length(); }
+  bool rewind() override { return inner_->rewind(); }
+
+ private:
+  std::shared_ptr<BodySource> inner_;
+  obs::Counter* bytes_;
+};
+
+}  // namespace
 
 HttpServer::HttpServer(ServerConfig config, Handler* handler)
-    : config_(std::move(config)), handler_(handler) {}
+    : config_(std::move(config)),
+      handler_(handler),
+      metrics_(obs::registry_or_global(config_.metrics)),
+      bytes_in_metric_(metrics_.counter("http.server.bytes_in")),
+      bytes_out_metric_(metrics_.counter("http.server.bytes_out")),
+      keepalive_reuse_metric_(
+          metrics_.counter("http.server.keepalive_reuse")),
+      connections_metric_(metrics_.counter("http.server.connections")) {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -64,6 +99,7 @@ void HttpServer::accept_loop() {
 void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
   WireReader reader(stream.get());
   size_t served_here = 0;
+  connections_metric_.add(1);
   while (running_.load()) {
     if (served_here > 0) {
       stream->set_read_timeout(config_.keep_alive_timeout_seconds);
@@ -80,13 +116,20 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
           reader.open_body(request.value().headers, config_.max_body_bytes);
       if (!source.ok()) {
         request = source.status();
-      } else if (handler_ != nullptr &&
-                 handler_->wants_body_stream(request.value())) {
-        request.value().body_source = std::move(source).value();
       } else {
-        StringBodySink sink(&request.value().body, config_.max_body_bytes);
-        auto drained = drain_body(*source.value(), sink);
-        if (!drained.ok()) request = drained.status();
+        // Meter the wire body so bytes_in counts live as the body is
+        // drained — by the server (eager), the handler (streamed), or
+        // the leftover discard below.
+        auto metered = std::make_shared<MeteredBodySource>(
+            std::move(source).value(), &bytes_in_metric_);
+        if (handler_ != nullptr &&
+            handler_->wants_body_stream(request.value())) {
+          request.value().body_source = std::move(metered);
+        } else {
+          StringBodySink sink(&request.value().body, config_.max_body_bytes);
+          auto drained = drain_body(*metered, sink);
+          if (!drained.ok()) request = drained.status();
+        }
       }
     }
     if (!request.ok()) {
@@ -105,6 +148,22 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
       (void)write_response(stream.get(), reply);
       return;
     }
+
+    // Trace: adopt the client's id when it sent one, else open a fresh
+    // trace. The scope and span cover auth + handler + leftover drain;
+    // the span closes before the reply is written so a client that has
+    // seen the response can rely on the server span being recorded.
+    const std::string method = request.value().method;
+    auto client_trace = request.value().headers.get("X-Trace-Id");
+    obs::TraceScope trace_scope(client_trace
+                                    ? std::string(*client_trace)
+                                    : obs::generate_trace_id(),
+                                config_.trace_log);
+    std::optional<obs::Span> span;
+    span.emplace("http.server." + method);
+    double started = wall_time_seconds();
+    metrics_.counter("http.server.requests." + method).add(1);
+    if (served_here > 0) keepalive_reuse_metric_.add(1);
 
     HttpResponse response;
     if (!config_.authenticator.authorize(request.value())) {
@@ -134,6 +193,16 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
 
     ++served_here;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
+    response.headers.set("X-Trace-Id", trace_scope.trace_id());
+    span.reset();  // record the server span before the reply leaves
+    metrics_.histogram("http.server.latency_seconds." + method)
+        .observe(wall_time_seconds() - started);
+    if (response.body_source != nullptr) {
+      response.body_source = std::make_shared<MeteredBodySource>(
+          std::move(response.body_source), &bytes_out_metric_);
+    } else {
+      bytes_out_metric_.add(response.body.size());
+    }
     bool close_after =
         !request.value().keep_alive() || !response.keep_alive() ||
         !body_failure.is_ok() ||

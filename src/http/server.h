@@ -18,6 +18,8 @@
 #include "http/auth.h"
 #include "http/message.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace davpse::http {
@@ -48,6 +50,14 @@ struct ServerConfig {
   double keep_alive_timeout_seconds = 15.0;
   uint64_t max_body_bytes = 0;       // 0 = unlimited
   BasicAuthenticator authenticator;  // empty = auth disabled
+  /// Registry receiving "http.server.*" metrics (per-method request
+  /// counts and latency histograms, body bytes in/out, connection and
+  /// keep-alive reuse counts); nullptr records into
+  /// obs::Registry::global().
+  obs::Registry* metrics = nullptr;
+  /// TraceLog receiving server-side spans; nullptr records into
+  /// obs::TraceLog::global().
+  obs::TraceLog* trace_log = nullptr;
 };
 
 /// Accept loop + fixed pool of daemon threads, each serving whole
@@ -78,6 +88,13 @@ class HttpServer {
 
   ServerConfig config_;
   Handler* handler_;
+  // Fixed-name metrics resolved once; per-method ones are looked up per
+  // request (a shared-lock map hit).
+  obs::Registry& metrics_;
+  obs::Counter& bytes_in_metric_;
+  obs::Counter& bytes_out_metric_;
+  obs::Counter& keepalive_reuse_metric_;
+  obs::Counter& connections_metric_;
   std::unique_ptr<net::Listener> listener_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace davpse::obs {
+namespace {
+
+/// Minimal JSON string escaping; metric names are library-chosen ASCII
+/// but quotes/backslashes are handled defensively.
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::observe(double seconds) {
+  if (seconds < 0) seconds = 0;
+  size_t bucket = kBucketBounds.size();  // overflow by default
+  for (size_t i = 0; i < kBucketBounds.size(); ++i) {
+    if (seconds <= kBucketBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+double Histogram::percentile_of(
+    uint64_t target, const std::array<uint64_t, 25>& buckets) const {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return i < kBucketBounds.size() ? kBucketBounds[i]
+                                      : kBucketBounds.back();
+    }
+  }
+  return kBucketBounds.back();
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  // Relaxed per-bucket loads: a snapshot racing concurrent observes is
+  // approximate by design (counts lag by at most the in-flight ops).
+  std::array<uint64_t, 25> buckets{};
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  Snapshot snap;
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  snap.count = total;
+  snap.sum_seconds =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e9;
+  if (total > 0) {
+    auto rank = [total](double p) {
+      uint64_t r = static_cast<uint64_t>(p * static_cast<double>(total));
+      return std::max<uint64_t>(1, std::min(r + 1, total));
+    };
+    snap.p50 = percentile_of(rank(0.50), buckets);
+    snap.p95 = percentile_of(rank(0.95), buckets);
+    snap.p99 = percentile_of(rank(0.99), buckets);
+  }
+  return snap;
+}
+
+uint64_t RegistrySnapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t RegistrySnapshot::gauge(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+Histogram::Snapshot RegistrySnapshot::histogram(std::string_view name) const {
+  auto it = histograms.find(std::string(name));
+  return it == histograms.end() ? Histogram::Snapshot{} : it->second;
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum_seconds\": " +
+           json_double(h.sum_seconds) + ", \"p50\": " + json_double(h.p50) +
+           ", \"p95\": " + json_double(h.p95) + ", \"p99\": " +
+           json_double(h.p99) + "}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace davpse::obs

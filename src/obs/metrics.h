@@ -1,0 +1,128 @@
+// Lock-cheap metrics registry — the measurement substrate the paper's
+// Tables 1–3 imply but never had: every layer of the Fig. 2 stack
+// (HTTP server/client, DAV server, property store, client cache, DBM
+// engines) records into named counters, gauges, and fixed-bucket
+// latency histograms. Benches and the read-only
+// `GET /.well-known/stats` endpoint report from the same counters, so
+// "bench numbers" and "production metrics" can never drift apart.
+//
+// Concurrency model: metric objects are plain atomics — updates are
+// wait-free and never take a lock. The registry's name→metric map is
+// guarded by a shared_mutex taken shared for lookups; hot paths
+// resolve their metrics once (references are stable for the registry's
+// lifetime) and update lock-free thereafter.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace davpse::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (active connections, live locks, ...).
+class Gauge {
+ public:
+  void set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket upper bounds follow a 1-2-5
+/// ladder from 1 µs to 50 s (plus an overflow bucket); percentile
+/// snapshots report the upper bound of the bucket containing the
+/// target rank — a deliberate, bounded over-estimate.
+class Histogram {
+ public:
+  static constexpr std::array<double, 24> kBucketBounds = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4,
+      5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+      2e-1, 5e-1, 1e0,  2e0,  5e0,  1e1,  2e1,  5e1};
+
+  void observe(double seconds);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_seconds = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  /// Upper bound of the bucket containing rank `target` (1-based).
+  double percentile_of(uint64_t target,
+                       const std::array<uint64_t, 25>& buckets) const;
+
+  std::array<std::atomic<uint64_t>, kBucketBounds.size() + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// Point-in-time copy of every metric in a registry, plus a JSON
+/// serialization (the `/.well-known/stats` response body).
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  /// Counter value, 0 when the name was never registered.
+  uint64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
+  /// Histogram snapshot; an all-zero snapshot when never registered.
+  Histogram::Snapshot histogram(std::string_view name) const;
+
+  std::string to_json() const;
+};
+
+/// Named metrics, registered on first use. References returned by
+/// counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime, so callers cache them and update without locking.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  RegistrySnapshot snapshot() const;
+
+  /// Process-wide default registry. Components take an optional
+  /// `Registry*` and fall back to this when given nullptr.
+  static Registry& global();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// `maybe` if non-null, the global registry otherwise.
+inline Registry& registry_or_global(Registry* maybe) {
+  return maybe != nullptr ? *maybe : Registry::global();
+}
+
+}  // namespace davpse::obs

@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/clock.h"
+
+namespace davpse::obs {
+namespace {
+
+thread_local TraceContext* g_current_context = nullptr;
+
+}  // namespace
+
+void TraceLog::record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+  while (spans_.size() > capacity_) spans_.pop_front();
+}
+
+std::vector<SpanRecord> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::vector<SpanRecord> TraceLog::for_trace(std::string_view trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& span : spans_) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+TraceLog& TraceLog::global() {
+  static TraceLog* instance = new TraceLog();  // leaked: outlives all users
+  return *instance;
+}
+
+std::string generate_trace_id() {
+  // Uniqueness within the process is all the header needs; the wall
+  // clock salt keeps ids distinct across restarts sharing a log.
+  static std::atomic<uint64_t> sequence{0};
+  uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+  uint64_t salt = static_cast<uint64_t>(wall_time_seconds() * 1e6);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t-%012llx-%llu",
+                static_cast<unsigned long long>(salt & 0xffffffffffffull),
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+TraceContext* TraceContext::current() { return g_current_context; }
+
+TraceScope::TraceScope(std::string trace_id, TraceLog* log)
+    : context_(std::move(trace_id),
+               log != nullptr ? log : &TraceLog::global()),
+      previous_(g_current_context) {
+  g_current_context = &context_;
+}
+
+TraceScope::~TraceScope() { g_current_context = previous_; }
+
+Span::Span(std::string name) : context_(TraceContext::current()) {
+  if (context_ == nullptr) return;
+  name_ = std::move(name);
+  start_seconds_ = wall_time_seconds();
+  depth_ = context_->depth_++;
+}
+
+Span::~Span() {
+  if (context_ == nullptr) return;
+  context_->depth_--;
+  SpanRecord record;
+  record.trace_id = context_->trace_id();
+  record.name = std::move(name_);
+  record.start_seconds = start_seconds_;
+  record.duration_seconds = wall_time_seconds() - start_seconds_;
+  record.depth = depth_;
+  context_->log().record(std::move(record));
+}
+
+}  // namespace davpse::obs

@@ -1,0 +1,115 @@
+// Per-request tracing. A TraceContext carries a request id and a span
+// stack for one logical request; it is installed thread-locally by a
+// TraceScope and propagated between HttpClient and HttpServer via the
+// `X-Trace-Id` header, so the client-side and server-side spans of one
+// exchange share a trace id. Finished spans land in a bounded TraceLog
+// (a ring of the most recent spans) that tests and diagnostics read.
+//
+// Lifecycle:
+//   TraceScope scope(generate_trace_id());     // installs the context
+//   { Span span("http.client.GET"); ... }      // timed, recorded on exit
+// A Span constructed with no context installed is inert — tracing is
+// opt-in per thread and costs nothing when off.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace davpse::obs {
+
+/// One finished span: what ran, under which trace, for how long.
+struct SpanRecord {
+  std::string trace_id;
+  std::string name;            // e.g. "http.server.PUT", "dav.PROPFIND"
+  double start_seconds = 0;    // wall clock at span open
+  double duration_seconds = 0;
+  int depth = 0;               // nesting level within the trace
+};
+
+/// Bounded ring of recently finished spans. Thread-safe.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void record(SpanRecord span);
+  std::vector<SpanRecord> snapshot() const;
+  /// Spans belonging to one trace, oldest first.
+  std::vector<SpanRecord> for_trace(std::string_view trace_id) const;
+  void clear();
+
+  /// Process-wide default log; scopes created with a null log record
+  /// here.
+  static TraceLog& global();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> spans_;
+};
+
+/// Process-unique trace id ("t-<hex>-<seq>").
+std::string generate_trace_id();
+
+/// The per-thread request context. Created indirectly via TraceScope.
+class TraceContext {
+ public:
+  /// Context installed on the calling thread; nullptr when none.
+  static TraceContext* current();
+
+  const std::string& trace_id() const { return trace_id_; }
+  TraceLog& log() const { return *log_; }
+  int depth() const { return depth_; }
+
+ private:
+  friend class TraceScope;
+  friend class Span;
+
+  TraceContext(std::string trace_id, TraceLog* log)
+      : trace_id_(std::move(trace_id)), log_(log) {}
+
+  std::string trace_id_;
+  TraceLog* log_;
+  int depth_ = 0;  // open spans
+};
+
+/// RAII: installs a TraceContext as current() for this thread,
+/// restoring the previous one (nested scopes are allowed but unusual).
+/// `log` nullptr records spans into TraceLog::global().
+class TraceScope {
+ public:
+  explicit TraceScope(std::string trace_id, TraceLog* log = nullptr);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  const std::string& trace_id() const { return context_.trace_id(); }
+
+ private:
+  TraceContext context_;
+  TraceContext* previous_;
+};
+
+/// RAII timed span recorded into the current context's TraceLog on
+/// destruction. Inert (zero-cost beyond a TLS read) when no context is
+/// installed.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceContext* context_;
+  std::string name_;
+  double start_seconds_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace davpse::obs

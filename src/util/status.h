@@ -107,3 +107,20 @@ class Result {
     ::davpse::Status davpse_status__ = (expr);        \
     if (!davpse_status__.is_ok()) return davpse_status__; \
   } while (0)
+
+#define DAVPSE_CONCAT_INNER_(a, b) a##b
+#define DAVPSE_CONCAT_(a, b) DAVPSE_CONCAT_INNER_(a, b)
+
+/// Evaluate an expression yielding Result<T>; on error return its
+/// Status, otherwise move the value into `lhs`. `lhs` may declare a new
+/// variable or assign an existing one:
+///   DAVPSE_ASSIGN_OR_RETURN(auto body, client.get(path));
+///   DAVPSE_ASSIGN_OR_RETURN(existing, storage->fetch(key));
+#define DAVPSE_ASSIGN_OR_RETURN(lhs, expr) \
+  DAVPSE_ASSIGN_OR_RETURN_IMPL_(           \
+      DAVPSE_CONCAT_(davpse_result__, __LINE__), lhs, expr)
+
+#define DAVPSE_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                  \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()

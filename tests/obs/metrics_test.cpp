@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace davpse::obs {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndDelta) {
+  Gauge gauge;
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram histogram;
+  auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_seconds, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(HistogramTest, PercentilesReportBucketUpperBounds) {
+  Histogram histogram;
+  // 90 observations in the (5e-4, 1e-3] bucket, 10 in (2e-2, 5e-2].
+  for (int i = 0; i < 90; ++i) histogram.observe(0.0008);
+  for (int i = 0; i < 10; ++i) histogram.observe(0.03);
+  auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.p50, 1e-3);
+  EXPECT_DOUBLE_EQ(snap.p95, 5e-2);
+  EXPECT_DOUBLE_EQ(snap.p99, 5e-2);
+  EXPECT_NEAR(snap.sum_seconds, 90 * 0.0008 + 10 * 0.03, 1e-6);
+}
+
+TEST(HistogramTest, OverflowClampsToLargestBound) {
+  Histogram histogram;
+  histogram.observe(120.0);  // beyond the 50 s ladder
+  auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.p50, Histogram::kBucketBounds.back());
+}
+
+TEST(RegistryTest, ReferencesAreStable) {
+  Registry registry;
+  Counter& first = registry.counter("stable");
+  first.add(5);
+  // Registering other metrics must not move the earlier one.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("other." + std::to_string(i));
+  }
+  Counter& again = registry.counter("stable");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.value(), 5u);
+}
+
+TEST(RegistryTest, SnapshotAccessorsDefaultForUnknownNames) {
+  Registry registry;
+  registry.counter("present").add(3);
+  auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("present"), 3u);
+  EXPECT_EQ(snap.counter("absent"), 0u);
+  EXPECT_EQ(snap.gauge("absent"), 0);
+  EXPECT_EQ(snap.histogram("absent").count, 0u);
+}
+
+TEST(RegistryTest, ToJsonContainsEverySection) {
+  Registry registry;
+  registry.counter("reqs").add(7);
+  registry.gauge("live").set(2);
+  registry.histogram("lat").observe(0.001);
+  std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"reqs\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"live\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1"), std::string::npos);
+}
+
+// The ISSUE's stress requirement: N threads x M ops against one
+// registry must land on exact final counts — no lost updates through
+// the shared-lock lookup path or the atomic update path.
+TEST(RegistryStressTest, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  Registry registry;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      // Cache the shared counter once (the documented hot-path idiom)
+      // but hit the per-thread one through a fresh lookup every time,
+      // so both access patterns are exercised under contention.
+      Counter& shared = registry.counter("stress.shared");
+      const std::string mine = "stress.thread." + std::to_string(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        shared.add(1);
+        registry.counter(mine).add(1);
+        registry.histogram("stress.latency").observe(1e-4);
+        registry.gauge("stress.level").add(1);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("stress.shared"),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counter("stress.thread." + std::to_string(t)),
+              static_cast<uint64_t>(kOpsPerThread));
+  }
+  EXPECT_EQ(snap.histogram("stress.latency").count,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(snap.gauge("stress.level"),
+            static_cast<int64_t>(kThreads) * kOpsPerThread);
+}
+
+// Racing first-time registrations of the same name must converge on a
+// single metric object.
+TEST(RegistryStressTest, ConcurrentRegistrationYieldsOneMetric) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back(
+        [&registry, &seen, t] { seen[t] = &registry.counter("race.same"); });
+  }
+  for (auto& worker : workers) worker.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+}  // namespace
+}  // namespace davpse::obs

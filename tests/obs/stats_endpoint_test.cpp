@@ -1,0 +1,164 @@
+// End-to-end checks for the read-only `GET /.well-known/stats`
+// endpoint: its JSON must agree with obs::Registry::snapshot(), and
+// scraping it must not perturb the DAV counters it reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "http/client.h"
+#include "http/message.h"
+#include "obs/metrics.h"
+#include "testing/env.h"
+
+namespace davpse {
+namespace {
+
+/// First number following `"key": ` in `json`; -1 when absent.
+double json_number(const std::string& json, const std::string& key) {
+  auto pos = json.find("\"" + key + "\"");
+  if (pos == std::string::npos) return -1;
+  pos = json.find(':', pos);
+  if (pos == std::string::npos) return -1;
+  return std::strtod(json.c_str() + pos + 1, nullptr);
+}
+
+/// The `{...}` object serialized for histogram `key`; empty if absent.
+std::string histogram_object(const std::string& json, const std::string& key) {
+  auto pos = json.find("\"" + key + "\": {");
+  if (pos == std::string::npos) return "";
+  auto open = json.find('{', pos);
+  auto close = json.find('}', open);
+  return json.substr(open, close - open + 1);
+}
+
+http::HttpClient raw_client(testing::DavStack& stack, obs::Registry* metrics) {
+  http::ClientConfig config;
+  config.endpoint = stack.server->endpoint();
+  config.connect_label = "test.scraper";
+  config.metrics = metrics;
+  return http::HttpClient(std::move(config));
+}
+
+TEST(StatsEndpointTest, JsonMatchesProgrammaticSnapshot) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  auto dav = stack.client();
+  ASSERT_TRUE(dav.put("/a.txt", "alpha").is_ok());
+  ASSERT_TRUE(dav.put("/b.txt", "beta").is_ok());
+  ASSERT_TRUE(dav.get("/a.txt").ok());
+  ASSERT_TRUE(
+      dav.propfind("/", davclient::Depth::kOne, {xml::dav_name("getetag")})
+          .ok());
+
+  auto scraper = raw_client(stack, &registry);
+  auto response = scraper.get("/.well-known/stats");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().status, http::kOk);
+  auto content_type = response.value().headers.get("Content-Type");
+  ASSERT_TRUE(content_type.has_value());
+  EXPECT_EQ(*content_type, "application/json");
+  const std::string& json = response.value().body;
+
+  // DAV counters are recorded before the stats handler runs and the
+  // endpoint itself bypasses them, so the served JSON and a snapshot
+  // taken now must agree on every dav.* value.
+  auto snap = registry.snapshot();
+  EXPECT_EQ(json_number(json, "dav.server.requests.PUT"),
+            static_cast<double>(snap.counter("dav.server.requests.PUT")));
+  EXPECT_EQ(snap.counter("dav.server.requests.PUT"), 2u);
+  EXPECT_EQ(json_number(json, "dav.server.requests.GET"),
+            static_cast<double>(snap.counter("dav.server.requests.GET")));
+  EXPECT_EQ(json_number(json, "dav.server.requests.PROPFIND"),
+            static_cast<double>(snap.counter("dav.server.requests.PROPFIND")));
+
+  auto put_latency = snap.histogram("dav.server.latency_seconds.PUT");
+  std::string hist = histogram_object(json, "dav.server.latency_seconds.PUT");
+  ASSERT_FALSE(hist.empty());
+  EXPECT_EQ(json_number(hist, "count"), static_cast<double>(put_latency.count));
+  EXPECT_EQ(put_latency.count, 2u);
+  EXPECT_DOUBLE_EQ(json_number(hist, "p50"), put_latency.p50);
+  EXPECT_DOUBLE_EQ(json_number(hist, "p95"), put_latency.p95);
+  EXPECT_DOUBLE_EQ(json_number(hist, "p99"), put_latency.p99);
+}
+
+TEST(StatsEndpointTest, ScrapingDoesNotPerturbDavCounters) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  ASSERT_TRUE(stack.client().put("/doc.txt", "body").is_ok());
+
+  auto scraper = raw_client(stack, &registry);
+  auto first = scraper.get("/.well-known/stats");
+  auto second = scraper.get("/.well-known/stats");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Repeated scrapes leave every dav.* value untouched — no
+  // dav.server.requests.GET appears from the scrapes themselves.
+  EXPECT_EQ(json_number(first.value().body, "dav.server.requests.PUT"), 1);
+  EXPECT_EQ(json_number(second.value().body, "dav.server.requests.PUT"), 1);
+  EXPECT_EQ(json_number(second.value().body, "dav.server.requests.GET"),
+            json_number(first.value().body, "dav.server.requests.GET"));
+  EXPECT_EQ(registry.snapshot().counter("dav.server.requests.GET"), 0u);
+}
+
+TEST(StatsEndpointTest, HeadReturnsHeadersOnly) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  auto scraper = raw_client(stack, &registry);
+  http::HttpRequest request;
+  request.method = "HEAD";
+  request.target = "/.well-known/stats";
+  auto response = scraper.execute(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().status, http::kOk);
+  EXPECT_TRUE(response.value().body.empty());
+}
+
+/// Deterministic in-memory source: `total` bytes of 'x', never holding
+/// more than one wire block resident.
+class PatternSource final : public http::BodySource {
+ public:
+  explicit PatternSource(uint64_t total) : total_(total) {}
+
+  Result<size_t> read(char* buffer, size_t max_bytes) override {
+    uint64_t remaining = total_ - offset_;
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(max_bytes, remaining));
+    std::memset(buffer, 'x', n);
+    offset_ += n;
+    return n;
+  }
+  std::optional<uint64_t> length() const override { return total_; }
+  bool rewind() override {
+    offset_ = 0;
+    return true;
+  }
+
+ private:
+  uint64_t total_;
+  uint64_t offset_ = 0;
+};
+
+// Acceptance check from the ISSUE: a streamed 64 MiB PUT shows up in
+// the server's byte counters.
+TEST(StatsEndpointTest, StreamedPutLandsInByteCounters) {
+  constexpr uint64_t kSize = 64ull * 1024 * 1024;
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  auto dav = stack.client();
+  ASSERT_TRUE(
+      dav.put_from("/big.bin", std::make_shared<PatternSource>(kSize)).is_ok());
+
+  auto snap = registry.snapshot();
+  // bytes_in counts request payload bytes as they stream through the
+  // server; the PUT above is the only request with a body so far.
+  EXPECT_EQ(snap.counter("http.server.bytes_in"), kSize);
+  EXPECT_EQ(json_number(registry.snapshot().to_json(), "http.server.bytes_in"),
+            static_cast<double>(kSize));
+}
+
+}  // namespace
+}  // namespace davpse

@@ -8,6 +8,7 @@
 #include "dav/server.h"
 #include "davclient/client.h"
 #include "http/server.h"
+#include "obs/metrics.h"
 #include "oodb/client.h"
 #include "oodb/server.h"
 #include "util/fs.h"
@@ -23,16 +24,20 @@ inline std::string unique_endpoint(const std::string& prefix) {
 /// A full DAV stack: temp-dir repository, DavServer handler, HttpServer
 /// front end. Ready after construction; stops on destruction.
 struct DavStack {
+  /// `metrics` (optional) wires one registry through the whole stack —
+  /// DAV handler, HTTP front end, and every client made by client().
   explicit DavStack(dbm::Flavor flavor = dbm::Flavor::kGdbm,
-                    size_t daemons = 5)
-      : temp("davstack") {
+                    size_t daemons = 5, obs::Registry* metrics = nullptr)
+      : temp("davstack"), metrics_(metrics) {
     dav::DavConfig dav_config;
     dav_config.root = temp.path();
     dav_config.flavor = flavor;
+    dav_config.metrics = metrics;
     dav = std::make_unique<dav::DavServer>(dav_config);
     http::ServerConfig http_config;
     http_config.endpoint = unique_endpoint("test-dav");
     http_config.daemons = daemons;
+    http_config.metrics = metrics;
     server = std::make_unique<http::HttpServer>(http_config, dav.get());
     Status status = server->start();
     if (!status.is_ok()) {
@@ -47,10 +52,12 @@ struct DavStack {
     http::ClientConfig config;
     config.endpoint = server->endpoint();
     config.policy = policy;
+    config.metrics = metrics_;
     return davclient::DavClient(config, parser);
   }
 
   TempDir temp;
+  obs::Registry* metrics_ = nullptr;
   std::unique_ptr<dav::DavServer> dav;
   std::unique_ptr<http::HttpServer> server;
 };
