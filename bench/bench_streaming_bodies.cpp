@@ -105,6 +105,17 @@ int main() {
     if (!fetched.ok() || fetched.value().size() != size) std::abort();
   });
 
+  std::vector<BenchRow> artifact_rows;
+  for (const Row& row : rows) {
+    artifact_rows.push_back(
+        {row.name,
+         {{"elapsed_seconds", row.timing.wall_seconds},
+          {"cpu_seconds", row.timing.cpu_seconds},
+          {"peak_heap_bytes", static_cast<double>(row.peak)}}});
+  }
+  emit_bench_artifact("streaming_bodies", artifact_rows,
+                      stack.metrics.snapshot());
+
   TablePrinter table({14, 12, 12, 14});
   table.row({"operation", "elapsed", "cpu", "peak heap"});
   table.rule();

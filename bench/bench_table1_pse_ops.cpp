@@ -29,8 +29,11 @@ using davclient::DavClient;
 using davclient::Depth;
 using davclient::PropWrite;
 
-constexpr int kDocuments = 50;
-constexpr int kPropsPerDoc = 50;
+// Paper sizes; DAVPSE_T1_DOCS / DAVPSE_T1_PROPS shrink the corpus for
+// smoke runs (kSelected is the floor for props — columns (b)–(d)
+// always select 5).
+int kDocuments = 50;
+int kPropsPerDoc = 50;
 constexpr int kPropBytes = 1024;
 constexpr int kSelected = 5;
 
@@ -81,11 +84,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
   }
+  kDocuments = static_cast<int>(env_u64("DAVPSE_T1_DOCS", 50));
+  kPropsPerDoc = std::max(
+      static_cast<int>(env_u64("DAVPSE_T1_PROPS", 50)), kSelected);
 
   if (!json) {
     heading(
-        "Table 1: typical PSE metadata operations (50 docs x 50 x 1 KB "
-        "metadata)");
+        "Table 1: typical PSE metadata operations (" +
+        std::to_string(kDocuments) + " docs x " +
+        std::to_string(kPropsPerDoc) + " x 1 KB metadata)");
     std::printf(
         "Paper testbed: Sun Enterprise 450, 150 Mbit/s LAN, Apache 1.3.11 + "
         "mod_dav 1.1 + GDBM, Xerces DOM client.\n"
@@ -118,7 +125,10 @@ int main(int argc, char** argv) {
   // (c) 5 of 50 metadata on 50 objects via one depth=1 PROPFIND.
   results[2] = measure(&model, [&] {
     auto r = client.propfind("/corpus", Depth::kOne, names);
-    if (!r.ok() || r.value().responses.size() != kDocuments + 1) std::abort();
+    if (!r.ok() ||
+        r.value().responses.size() != static_cast<size_t>(kDocuments) + 1) {
+      std::abort();
+    }
   });
 
   // (d) 5 of 50 metadata on 50 objects, one document at a time.
@@ -153,6 +163,19 @@ int main(int argc, char** argv) {
   // percentiles, and wire bytes come from the stack's registry, not
   // from bench-local bookkeeping.
   auto snap = stack.metrics.snapshot();
+
+  std::vector<BenchRow> artifact_rows;
+  for (int i = 0; i < 6; ++i) {
+    artifact_rows.push_back(
+        {kPaper[i].label,
+         {{"elapsed_seconds", results[i].wall_seconds},
+          {"cpu_seconds", results[i].cpu_seconds},
+          {"modeled_seconds",
+           results[i].wall_seconds + results[i].modeled_seconds},
+          {"paper_elapsed_seconds", kPaper[i].paper_elapsed},
+          {"paper_cpu_seconds", kPaper[i].paper_cpu}}});
+  }
+  emit_bench_artifact("table1", artifact_rows, snap);
 
   if (json) {
     std::string metrics_json = snap.to_json();

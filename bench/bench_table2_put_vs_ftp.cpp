@@ -121,6 +121,18 @@ int main() {
     http_snap = stack.metrics.snapshot();
   }
 
+  std::vector<BenchRow> artifact_rows;
+  for (const Row& row : rows) {
+    artifact_rows.push_back(
+        {row.label,
+         {{"wall_seconds", row.measurement.wall_seconds},
+          {"cpu_seconds", row.measurement.cpu_seconds},
+          {"modeled_seconds", row.measurement.wall_seconds +
+                                  row.measurement.modeled_seconds},
+          {"paper_seconds", row.paper_seconds}}});
+  }
+  emit_bench_artifact("table2", artifact_rows, http_snap);
+
   TablePrinter table({22, 12, 12, 14, 12});
   table.row({"transfer", "wall", "cpu", "modeled(150M)", "paper"});
   table.rule();

@@ -217,6 +217,24 @@ int main() {
       [](DavSession&) { return size_t{0}; }, calc.name);
   print_results("Ecce 2.0 (DAV architecture):", v20, /*is_v15=*/false);
 
+  std::vector<BenchRow> artifact_rows;
+  auto artifact_tool_rows = [&](const char* arch,
+                                const std::vector<ToolResult>& results) {
+    for (const ToolResult& r : results) {
+      artifact_rows.push_back(
+          {std::string(arch) + " " + r.name,
+           {{"cold_start_seconds", r.cold_start},
+            {"warm_start_seconds", r.warm_start},
+            {"load_seconds", r.load},
+            {"start_wire_bytes", static_cast<double>(r.start_bytes)},
+            {"load_wire_bytes", static_cast<double>(r.load_bytes)},
+            {"resident_bytes", static_cast<double>(r.resident)}}});
+    }
+  };
+  artifact_tool_rows("ecce1.5", v15);
+  artifact_tool_rows("ecce2.0", v20);
+  emit_bench_artifact("table3", artifact_rows, dav_stack.metrics.snapshot());
+
   // --- shape checks ---------------------------------------------------------
   // Session cost = cold start + load. The cache-forward client front-
   // loads data movement into its start, so comparing loads alone would

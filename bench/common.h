@@ -5,14 +5,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dav/server.h"
 #include "davclient/client.h"
 #include "http/server.h"
 #include "net/network_model.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "oodb/client.h"
 #include "oodb/server.h"
@@ -171,6 +174,55 @@ inline std::string latency_cell(double seconds) {
 
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// One named row of numeric results in a bench artifact.
+struct BenchRow {
+  std::string label;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Machine-readable bench artifact: when DAVPSE_BENCH_JSON names a
+/// directory, writes BENCH_<name>.json there carrying the measured
+/// rows plus the full registry snapshot — CI validates and archives a
+/// bench run without scraping its stdout, and the numbers come from
+/// the same snapshot path production scrapes via /.well-known/stats.
+/// No-op (returns empty) when the variable is unset.
+inline std::string emit_bench_artifact(const std::string& name,
+                                       const std::vector<BenchRow>& rows,
+                                       const obs::RegistrySnapshot& snap) {
+  const char* dir = std::getenv("DAVPSE_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return {};
+  std::string metrics_json = snap.to_json();
+  while (!metrics_json.empty() && metrics_json.back() == '\n') {
+    metrics_json.pop_back();
+  }
+  std::string body = "{\n  \"bench\": \"" + obs::json_escape(name) + "\",\n";
+  body += "  \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    body += i == 0 ? "\n" : ",\n";
+    body += "    {\"label\": \"" + obs::json_escape(rows[i].label) + "\"";
+    for (const auto& [key, value] : rows[i].values) {
+      body += ", \"" + obs::json_escape(key) + "\": " +
+              obs::json_double(value);
+    }
+    body += "}";
+  }
+  body += rows.empty() ? "],\n" : "\n  ],\n";
+  body += "  \"metrics\": " + metrics_json + "\n}\n";
+  std::filesystem::path path =
+      std::filesystem::path(dir) / ("BENCH_" + name + ".json");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write bench artifact %s\n",
+                 path.c_str());
+    return {};
+  }
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  // stderr: some benches (table1 --json) own stdout as machine output.
+  std::fprintf(stderr, "bench artifact: %s\n", path.c_str());
+  return path.string();
 }
 
 /// Per-method server-side report straight from a registry snapshot:

@@ -1,0 +1,78 @@
+# Bench smoke driver (ctest -L bench): runs one table bench at tiny
+# sizes with DAVPSE_BENCH_JSON pointed at a scratch directory, then
+# validates the emitted BENCH_<name>.json artifact — it must parse, be
+# self-labeled, carry at least one row, and embed a registry snapshot.
+#
+# Invoked as:
+#   cmake -D BENCH_EXE=<binary> -D BENCH_NAME=<name> -D OUT_DIR=<dir>
+#         [-D ENV_SETTINGS=K1=V1,K2=V2] -P smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+foreach(required BENCH_EXE BENCH_NAME OUT_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "smoke.cmake: missing -D ${required}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(ENV{DAVPSE_BENCH_JSON} "${OUT_DIR}")
+if(DEFINED ENV_SETTINGS)
+  string(REPLACE "," ";" settings "${ENV_SETTINGS}")
+  foreach(pair IN LISTS settings)
+    string(FIND "${pair}" "=" eq)
+    string(SUBSTRING "${pair}" 0 ${eq} key)
+    math(EXPR after "${eq} + 1")
+    string(SUBSTRING "${pair}" ${after} -1 value)
+    set(ENV{${key}} "${value}")
+  endforeach()
+endif()
+
+execute_process(COMMAND "${BENCH_EXE}"
+                RESULT_VARIABLE bench_rc
+                OUTPUT_VARIABLE bench_out
+                ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "${BENCH_NAME} exited ${bench_rc}\nstdout:\n${bench_out}\n"
+          "stderr:\n${bench_err}")
+endif()
+
+set(artifact "${OUT_DIR}/BENCH_${BENCH_NAME}.json")
+if(NOT EXISTS "${artifact}")
+  message(FATAL_ERROR "${BENCH_NAME} did not emit ${artifact}")
+endif()
+file(READ "${artifact}" json)
+
+# string(JSON) fails the script (FATAL_ERROR) on malformed JSON or a
+# missing key, so each access below is itself a validation.
+string(JSON self_name GET "${json}" bench)
+if(NOT self_name STREQUAL BENCH_NAME)
+  message(FATAL_ERROR "artifact labeled '${self_name}', "
+                      "expected '${BENCH_NAME}'")
+endif()
+
+string(JSON row_count LENGTH "${json}" rows)
+if(row_count LESS 1)
+  message(FATAL_ERROR "artifact has no rows")
+endif()
+foreach(i RANGE 0 ${row_count})
+  if(i EQUAL row_count)
+    break()
+  endif()
+  string(JSON row_label GET "${json}" rows ${i} label)
+  if(row_label STREQUAL "")
+    message(FATAL_ERROR "row ${i} has an empty label")
+  endif()
+endforeach()
+
+string(JSON metrics_type TYPE "${json}" metrics)
+if(NOT metrics_type STREQUAL "OBJECT")
+  message(FATAL_ERROR "metrics is ${metrics_type}, expected OBJECT")
+endif()
+string(JSON counters_type TYPE "${json}" metrics counters)
+if(NOT counters_type STREQUAL "OBJECT")
+  message(FATAL_ERROR "metrics.counters is ${counters_type}")
+endif()
+
+message(STATUS
+        "${BENCH_NAME}: artifact ok (${row_count} rows) at ${artifact}")

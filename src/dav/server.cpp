@@ -222,6 +222,9 @@ void write_lock_xml(xml::XmlWriter* writer, const Lock& lock) {
 DavServer::DavServer(DavConfig config)
     : config_(std::move(config)),
       metrics_(obs::registry_or_global(config_.metrics)),
+      tail_sampler_(config_.tail_sampler != nullptr
+                        ? *config_.tail_sampler
+                        : obs::TailSampler::global()),
       repository_(config_.root, config_.flavor, &metrics_) {
   locks_.set_metrics(&metrics_);
 }
@@ -233,11 +236,25 @@ HttpResponse DavServer::handle(const HttpRequest& request) {
   if (!normalized.ok()) return error_response(normalized.status());
   const std::string& path = normalized.value();
 
-  // Stats endpoint: reads the registry but never contributes to it —
-  // scraping must not perturb the DAV method counters it reports.
-  if ((request.method == "GET" || request.method == "HEAD") &&
-      path == "/.well-known/stats") {
-    return do_stats(request.method == "HEAD");
+  // Observability endpoints: they read the registry / tail sampler but
+  // never contribute to them — scraping must not perturb the DAV
+  // method counters it reports. Known scrape paths answer only GET and
+  // HEAD; other methods get an explicit 405 instead of falling through
+  // to DAV dispatch (a PUT to /.well-known/stats must not create a
+  // resource shadowing the endpoint).
+  if (path == "/.well-known/stats" || path == "/.well-known/metrics" ||
+      path == "/.well-known/traces") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      HttpResponse response = HttpResponse::make(
+          http::kMethodNotAllowed,
+          "observability endpoints are read-only\n");
+      response.headers.set("Allow", "GET, HEAD");
+      return response;
+    }
+    bool head_only = request.method == "HEAD";
+    if (path == "/.well-known/stats") return do_stats(head_only);
+    if (path == "/.well-known/metrics") return do_metrics(head_only);
+    return do_traces(head_only);
   }
 
   obs::Span span("dav." + request.method);
@@ -252,6 +269,23 @@ HttpResponse DavServer::handle(const HttpRequest& request) {
 HttpResponse DavServer::do_stats(bool head_only) {
   HttpResponse response = HttpResponse::make(
       http::kOk, metrics_.snapshot().to_json(), "application/json");
+  if (head_only) response.body.clear();
+  return response;
+}
+
+HttpResponse DavServer::do_metrics(bool head_only) {
+  // Same snapshot path as /.well-known/stats — the two expositions can
+  // never disagree about what the registry held.
+  HttpResponse response = HttpResponse::make(
+      http::kOk, metrics_.snapshot().to_prometheus(),
+      "text/plain; version=0.0.4; charset=utf-8");
+  if (head_only) response.body.clear();
+  return response;
+}
+
+HttpResponse DavServer::do_traces(bool head_only) {
+  HttpResponse response = HttpResponse::make(
+      http::kOk, tail_sampler_.to_json(), "application/json");
   if (head_only) response.body.clear();
   return response;
 }

@@ -25,6 +25,7 @@
 #include "http/message.h"
 #include "http/server.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 #include "obs/trace.h"
 #include "util/status.h"
 #include "xml/dom.h"
@@ -37,9 +38,13 @@ struct DavConfig {
   uint64_t max_property_bytes = 10ull * 1024 * 1024;
   double default_lock_timeout_seconds = 600;
   /// Registry receiving "dav.server.*" / "dav.locks.*" / "dav.props.*"
-  /// metrics, and served read-only at GET /.well-known/stats; nullptr
+  /// metrics, and served read-only at GET /.well-known/stats (JSON
+  /// summary) and GET /.well-known/metrics (Prometheus text); nullptr
   /// records into obs::Registry::global().
   obs::Registry* metrics = nullptr;
+  /// Tail sampler whose retained slow-trace timelines are served at
+  /// GET /.well-known/traces; nullptr serves obs::TailSampler::global().
+  obs::TailSampler* tail_sampler = nullptr;
 };
 
 class DavServer : public http::Handler {
@@ -73,6 +78,12 @@ class DavServer : public http::Handler {
                               const std::string& path);
   /// GET /.well-known/stats — a JSON dump of the registry snapshot.
   http::HttpResponse do_stats(bool head_only);
+  /// GET /.well-known/metrics — Prometheus text exposition of the same
+  /// registry snapshot (full cumulative bucket fidelity).
+  http::HttpResponse do_metrics(bool head_only);
+  /// GET /.well-known/traces — JSON timelines of the tail-sampled slow
+  /// requests (nested span trees).
+  http::HttpResponse do_traces(bool head_only);
   http::HttpResponse do_options(const http::HttpRequest& request);
   http::HttpResponse do_get(const http::HttpRequest& request,
                             const std::string& path, bool head_only);
@@ -120,6 +131,7 @@ class DavServer : public http::Handler {
 
   DavConfig config_;
   obs::Registry& metrics_;
+  obs::TailSampler& tail_sampler_;
   FsRepository repository_;
   LockManager locks_;
   DynamicPropertyRegistry dynamic_props_;

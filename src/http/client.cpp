@@ -75,7 +75,26 @@ Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
                                               uint64_t* sink_bytes) {
   *reused_connection = connection_ != nullptr;
   DAVPSE_RETURN_IF_ERROR(ensure_connected());
-  DAVPSE_RETURN_IF_ERROR(write_request(connection_.get(), request));
+  Status wrote = write_request(connection_.get(), request);
+  if (!wrote.is_ok()) {
+    // A server that rejects mid-upload (413 + close) has already
+    // buffered its answer even though our send failed; read it before
+    // reporting the error, as a socket client would after EPIPE. Only
+    // an error status can arrive this way — anything else (e.g. a dead
+    // keep-alive connection with nothing buffered) degrades to the
+    // original write error, keeping the replay path intact.
+    if (wrote.code() == ErrorCode::kUnavailable) {
+      auto early = reader_->read_response();
+      if (early.ok() && early.value().status >= 400) {
+        ++requests_sent_;
+        requests_metric_.add(1);
+        if (model_ != nullptr) model_->add_round_trips(1);
+        account_traffic();
+        return early;
+      }
+    }
+    return wrote;
+  }
   Result<HttpResponse> response = Status(ErrorCode::kInternal, "unset");
   if (sink == nullptr) {
     response = reader_->read_response();

@@ -5,21 +5,31 @@
 #include "http/wire.h"
 #include "util/clock.h"
 #include "util/log.h"
+#include "util/strings.h"
 
 namespace davpse::http {
 namespace {
 
 /// Counts bytes as they move through, into a live counter — a streamed
 /// 64 MiB PUT shows up in "http.server.bytes_in" without the server
-/// ever holding the body.
+/// ever holding the body. The optional `local` atomic additionally
+/// meters one request's own bytes for its access-log record; it must
+/// outlive the source (serve_connection keeps it on the loop frame,
+/// which outlives the request/response it is wired into).
 class MeteredBodySource final : public BodySource {
  public:
-  MeteredBodySource(std::shared_ptr<BodySource> inner, obs::Counter* bytes)
-      : inner_(std::move(inner)), bytes_(bytes) {}
+  MeteredBodySource(std::shared_ptr<BodySource> inner, obs::Counter* bytes,
+                    std::atomic<uint64_t>* local = nullptr)
+      : inner_(std::move(inner)), bytes_(bytes), local_(local) {}
 
   Result<size_t> read(char* buf, size_t max) override {
     auto n = inner_->read(buf, max);
-    if (n.ok()) bytes_->add(n.value());
+    if (n.ok()) {
+      bytes_->add(n.value());
+      if (local_ != nullptr) {
+        local_->fetch_add(n.value(), std::memory_order_relaxed);
+      }
+    }
     return n;
   }
 
@@ -29,7 +39,15 @@ class MeteredBodySource final : public BodySource {
  private:
   std::shared_ptr<BodySource> inner_;
   obs::Counter* bytes_;
+  std::atomic<uint64_t>* local_;
 };
+
+/// Read-only observability scrape under /.well-known/ — the only
+/// requests ServerConfig::unauthenticated_scrape exempts from auth.
+bool is_scrape_request(const HttpRequest& request) {
+  return (request.method == "GET" || request.method == "HEAD") &&
+         starts_with(request.target, "/.well-known/");
+}
 
 }  // namespace
 
@@ -37,6 +55,9 @@ HttpServer::HttpServer(ServerConfig config, Handler* handler)
     : config_(std::move(config)),
       handler_(handler),
       metrics_(obs::registry_or_global(config_.metrics)),
+      tail_sampler_(config_.tail_sampler != nullptr
+                        ? *config_.tail_sampler
+                        : obs::TailSampler::global()),
       bytes_in_metric_(metrics_.counter("http.server.bytes_in")),
       bytes_out_metric_(metrics_.counter("http.server.bytes_out")),
       keepalive_reuse_metric_(
@@ -54,7 +75,7 @@ Status HttpServer::start(net::Network& network) {
   running_.store(true);
   threads_.emplace_back([this] { accept_loop(); });
   for (size_t i = 0; i < config_.daemons; ++i) {
-    threads_.emplace_back([this] {
+    threads_.emplace_back([this, daemon_id = static_cast<int>(i)] {
       for (;;) {
         std::unique_ptr<net::Stream> stream;
         {
@@ -66,7 +87,7 @@ Status HttpServer::start(net::Network& network) {
           stream = std::move(queue_.front());
           queue_.pop_front();
         }
-        serve_connection(std::move(stream));
+        serve_connection(std::move(stream), daemon_id);
       }
     });
   }
@@ -96,7 +117,8 @@ void HttpServer::accept_loop() {
   }
 }
 
-void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
+void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream,
+                                  int daemon_id) {
   WireReader reader(stream.get());
   size_t served_here = 0;
   connections_metric_.add(1);
@@ -107,6 +129,15 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
     auto head = reader.read_request_head();
     stream->set_read_timeout(0);
     Status body_failure = Status::ok();
+    // Per-request byte meters for the access-log record. These live on
+    // the loop frame: the request/response (and any MeteredBodySource
+    // pointing here) are destroyed before the iteration ends, and
+    // write_response drains streamed bodies synchronously, so both
+    // counts are final when the record is emitted.
+    std::atomic<uint64_t> request_bytes_in{0};
+    std::atomic<uint64_t> request_bytes_out{0};
+    double arrived = unix_time_seconds();
+    double started = wall_time_seconds();
     Result<HttpRequest> request = std::move(head);
     if (request.ok()) {
       // Open the incremental body decoder. The configured body limit
@@ -121,7 +152,7 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
         // drained — by the server (eager), the handler (streamed), or
         // the leftover discard below.
         auto metered = std::make_shared<MeteredBodySource>(
-            std::move(source).value(), &bytes_in_metric_);
+            std::move(source).value(), &bytes_in_metric_, &request_bytes_in);
         if (handler_ != nullptr &&
             handler_->wants_body_stream(request.value())) {
           request.value().body_source = std::move(metered);
@@ -146,6 +177,19 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
           HttpResponse::make(code, status.message() + "\n");
       reply.headers.set("Connection", "close");
       (void)write_response(stream.get(), reply);
+      if (config_.event_log != nullptr) {
+        // Malformed exchange: no parsed request line to report, but the
+        // refusal itself belongs in the access log.
+        obs::AccessRecord record;
+        record.unix_seconds = arrived;
+        record.status = code;
+        record.bytes_in = request_bytes_in.load(std::memory_order_relaxed);
+        record.bytes_out = reply.body.size();
+        record.duration_seconds = wall_time_seconds() - started;
+        record.daemon_id = daemon_id;
+        record.keepalive_reuse = served_here > 0;
+        config_.event_log->log_access(std::move(record));
+      }
       return;
     }
 
@@ -158,15 +202,16 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
     obs::TraceScope trace_scope(client_trace
                                     ? std::string(*client_trace)
                                     : obs::generate_trace_id(),
-                                config_.trace_log);
+                                config_.trace_log, &tail_sampler_);
     std::optional<obs::Span> span;
     span.emplace("http.server." + method);
-    double started = wall_time_seconds();
     metrics_.counter("http.server.requests." + method).add(1);
     if (served_here > 0) keepalive_reuse_metric_.add(1);
 
+    bool skip_auth =
+        config_.unauthenticated_scrape && is_scrape_request(request.value());
     HttpResponse response;
-    if (!config_.authenticator.authorize(request.value())) {
+    if (!skip_auth && !config_.authenticator.authorize(request.value())) {
       response = BasicAuthenticator::challenge();
     } else {
       try {
@@ -199,17 +244,34 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream) {
         .observe(wall_time_seconds() - started);
     if (response.body_source != nullptr) {
       response.body_source = std::make_shared<MeteredBodySource>(
-          std::move(response.body_source), &bytes_out_metric_);
+          std::move(response.body_source), &bytes_out_metric_,
+          &request_bytes_out);
     } else {
       bytes_out_metric_.add(response.body.size());
+      request_bytes_out.store(response.body.size(),
+                              std::memory_order_relaxed);
     }
     bool close_after =
         !request.value().keep_alive() || !response.keep_alive() ||
         !body_failure.is_ok() ||
         served_here >= config_.max_requests_per_connection;
     if (close_after) response.headers.set("Connection", "close");
-    if (!write_response(stream.get(), response).is_ok()) return;
-    if (close_after) return;
+    bool write_ok = write_response(stream.get(), response).is_ok();
+    if (config_.event_log != nullptr) {
+      obs::AccessRecord record;
+      record.unix_seconds = arrived;
+      record.method = method;
+      record.path = request.value().target;
+      record.status = response.status;
+      record.bytes_in = request_bytes_in.load(std::memory_order_relaxed);
+      record.bytes_out = request_bytes_out.load(std::memory_order_relaxed);
+      record.duration_seconds = wall_time_seconds() - started;
+      record.trace_id = trace_scope.trace_id();
+      record.daemon_id = daemon_id;
+      record.keepalive_reuse = served_here > 1;
+      config_.event_log->log_access(std::move(record));
+    }
+    if (!write_ok || close_after) return;
   }
 }
 

@@ -18,7 +18,9 @@
 #include "http/auth.h"
 #include "http/message.h"
 #include "net/network.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/tail.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -58,6 +60,19 @@ struct ServerConfig {
   /// TraceLog receiving server-side spans; nullptr records into
   /// obs::TraceLog::global().
   obs::TraceLog* trace_log = nullptr;
+  /// Tail sampler retaining full span trees for slow requests; nullptr
+  /// samples into obs::TailSampler::global().
+  obs::TailSampler* tail_sampler = nullptr;
+  /// Structured access log: one AccessRecord per completed exchange.
+  /// nullptr disables (there is deliberately no global fallback — an
+  /// access log writes to disk, which must be opted into). The caller
+  /// owns the EventLog and must have start()ed it.
+  obs::EventLog* event_log = nullptr;
+  /// When true *and* authentication is enabled, GET/HEAD requests under
+  /// /.well-known/ (the read-only observability scrapes) bypass the
+  /// credential check. Off by default: exposing metrics to anonymous
+  /// scrapers is an explicit decision.
+  bool unauthenticated_scrape = false;
 };
 
 /// Accept loop + fixed pool of daemon threads, each serving whole
@@ -84,13 +99,16 @@ class HttpServer {
 
  private:
   void accept_loop();
-  void serve_connection(std::unique_ptr<net::Stream> stream);
+  /// `daemon_id` is the serving pool thread's index — it lands in the
+  /// access-log records this connection produces.
+  void serve_connection(std::unique_ptr<net::Stream> stream, int daemon_id);
 
   ServerConfig config_;
   Handler* handler_;
   // Fixed-name metrics resolved once; per-method ones are looked up per
   // request (a shared-lock map hit).
   obs::Registry& metrics_;
+  obs::TailSampler& tail_sampler_;
   obs::Counter& bytes_in_metric_;
   obs::Counter& bytes_out_metric_;
   obs::Counter& keepalive_reuse_metric_;

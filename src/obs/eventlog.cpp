@@ -1,0 +1,206 @@
+#include "obs/eventlog.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace davpse::obs {
+namespace {
+
+/// Epoch timestamps need full sub-second digits; %.9g would round a
+/// 2001-era epoch to whole seconds.
+std::string epoch_json(double unix_seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", unix_seconds);
+  return buf;
+}
+
+}  // namespace
+
+EventLog::EventLog(EventLogConfig config)
+    : config_(std::move(config)),
+      metrics_(registry_or_global(config_.metrics)),
+      accepted_metric_(metrics_.counter("obs.eventlog.accepted")),
+      dropped_metric_(metrics_.counter("obs.eventlog.dropped")),
+      written_metric_(metrics_.counter("obs.eventlog.written")),
+      rotations_metric_(metrics_.counter("obs.eventlog.rotations")) {}
+
+EventLog::~EventLog() { stop(); }
+
+Status EventLog::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return Status::ok();
+  if (config_.path.empty()) {
+    return error(ErrorCode::kInvalidArgument, "event log path is empty");
+  }
+  file_ = std::fopen(config_.path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return error(ErrorCode::kInternal,
+                 "cannot open event log " + config_.path.string());
+  }
+  std::error_code ec;
+  auto existing = std::filesystem::file_size(config_.path, ec);
+  file_bytes_ = ec ? 0 : existing;
+  started_ = true;
+  writer_ = std::thread([this] { writer_loop(); });
+  return Status::ok();
+}
+
+void EventLog::stop() {
+  if (sink_attached_) {
+    set_log_sink(nullptr);
+    sink_attached_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  drain_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool EventLog::enqueue(Event event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    if (queue_.size() >= config_.queue_capacity) {
+      dropped_metric_.add(1);
+      return false;
+    }
+    queue_.push_back(std::move(event));
+  }
+  accepted_metric_.add(1);
+  queue_cv_.notify_one();
+  return true;
+}
+
+bool EventLog::log_access(AccessRecord record) {
+  return enqueue(std::move(record));
+}
+
+bool EventLog::log_line(LogRecord record) { return enqueue(std::move(record)); }
+
+void EventLog::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!started_) return;
+  drain_cv_.wait(lock, [&] {
+    return stopping_ || (queue_.empty() && in_flight_ == 0);
+  });
+}
+
+void EventLog::attach_log_sink() {
+  sink_attached_ = true;
+  set_log_sink([this](LogLevel level, double unix_seconds,
+                      uint64_t thread_id, const std::string& message) {
+    LogRecord record;
+    record.unix_seconds = unix_seconds;
+    record.level = level;
+    record.thread_id = thread_id;
+    record.message = message;
+    log_line(std::move(record));
+  });
+}
+
+std::string EventLog::to_json_line(const AccessRecord& record) {
+  std::string out = "{\"kind\": \"access\"";
+  out += ", \"ts\": " + epoch_json(record.unix_seconds);
+  out += ", \"method\": \"" + json_escape(record.method) + "\"";
+  out += ", \"path\": \"" + json_escape(record.path) + "\"";
+  out += ", \"status\": " + std::to_string(record.status);
+  out += ", \"bytes_in\": " + std::to_string(record.bytes_in);
+  out += ", \"bytes_out\": " + std::to_string(record.bytes_out);
+  out += ", \"duration_seconds\": " + json_double(record.duration_seconds);
+  out += ", \"trace_id\": \"" + json_escape(record.trace_id) + "\"";
+  out += ", \"daemon\": " + std::to_string(record.daemon_id);
+  out += ", \"keepalive_reuse\": ";
+  out += record.keepalive_reuse ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string EventLog::to_json_line(const LogRecord& record) {
+  std::string out = "{\"kind\": \"log\"";
+  out += ", \"ts\": " + epoch_json(record.unix_seconds);
+  out += ", \"level\": \"";
+  out += log_level_name(record.level);
+  out += "\", \"thread\": " + std::to_string(record.thread_id);
+  out += ", \"message\": \"" + json_escape(record.message) + "\"";
+  out += "}";
+  return out;
+}
+
+void EventLog::writer_loop() {
+  for (;;) {
+    std::deque<Event> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and fully drained
+      batch.swap(queue_);
+      in_flight_ = batch.size();
+    }
+    for (const Event& event : batch) {
+      write_line(std::visit(
+          [](const auto& record) { return to_json_line(record); }, event));
+    }
+    if (file_ != nullptr) std::fflush(file_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ = 0;
+      if (queue_.empty()) drain_cv_.notify_all();
+    }
+  }
+}
+
+void EventLog::write_line(const std::string& line) {
+  if (file_ == nullptr) return;  // rotation lost the file; drop quietly
+  if (file_bytes_ > 0 && file_bytes_ + line.size() + 1 > config_.rotate_bytes) {
+    rotate();
+    if (file_ == nullptr) return;
+  }
+  // No DAVPSE_LOG in here: the log sink may feed this queue, and a
+  // write-failure message would loop straight back to this thread.
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    std::fprintf(stderr, "[ERROR] event log write failed: %s\n",
+                 config_.path.c_str());
+  }
+  file_bytes_ += line.size() + 1;
+  written_metric_.add(1);
+}
+
+void EventLog::rotate() {
+  std::fflush(file_);
+  std::fclose(file_);
+  std::error_code ec;
+  if (config_.max_rotated_files == 0) {
+    std::filesystem::remove(config_.path, ec);
+  } else {
+    // Shift file.N-1 -> file.N, ..., file -> file.1; the oldest falls
+    // off the end.
+    auto rotated = [&](size_t n) {
+      return std::filesystem::path(config_.path.string() + "." +
+                                   std::to_string(n));
+    };
+    std::filesystem::remove(rotated(config_.max_rotated_files), ec);
+    for (size_t n = config_.max_rotated_files; n > 1; --n) {
+      std::filesystem::rename(rotated(n - 1), rotated(n), ec);
+    }
+    std::filesystem::rename(config_.path, rotated(1), ec);
+  }
+  file_ = std::fopen(config_.path.c_str(), "wb");
+  if (file_ == nullptr) {
+    // Reopen in place as a last resort; losing rotation beats crashing
+    // the writer.
+    file_ = std::fopen(config_.path.c_str(), "ab");
+  }
+  file_bytes_ = 0;
+  rotations_metric_.add(1);
+}
+
+}  // namespace davpse::obs

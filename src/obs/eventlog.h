@@ -1,0 +1,129 @@
+// Async structured event log — the durable per-request record the
+// paper's Apache deployment got from its access log, rebuilt as a
+// first-class subsystem: request threads enqueue small records into a
+// bounded MPSC queue and a dedicated writer thread serializes them as
+// JSON lines (one object per line) with size-based rotation. Overload
+// never blocks a request thread: when the queue is full the record is
+// dropped and `obs.eventlog.dropped` incremented, so the log degrades
+// under pressure instead of the service.
+//
+// Two record kinds share the queue: AccessRecord (one per completed
+// HTTP exchange, emitted by HttpServer) and LogRecord (DAVPSE_LOG
+// traffic captured via attach_log_sink()). stop()/destruction drains
+// everything already queued before the file is closed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+
+#include "obs/metrics.h"
+#include "util/log.h"
+#include "util/status.h"
+
+namespace davpse::obs {
+
+/// One completed HTTP exchange, as the access log sees it.
+struct AccessRecord {
+  double unix_seconds = 0;      // wall clock at request start
+  std::string method;
+  std::string path;             // request target as received
+  int status = 0;
+  uint64_t bytes_in = 0;        // request payload bytes off the wire
+  uint64_t bytes_out = 0;       // response payload bytes onto the wire
+  double duration_seconds = 0;  // head parsed -> response written
+  std::string trace_id;
+  int daemon_id = -1;           // serving daemon-pool thread
+  bool keepalive_reuse = false;  // request rode an existing connection
+};
+
+/// One DAVPSE_LOG message routed into the queue.
+struct LogRecord {
+  double unix_seconds = 0;
+  LogLevel level = LogLevel::kInfo;
+  uint64_t thread_id = 0;
+  std::string message;
+};
+
+struct EventLogConfig {
+  /// JSON-lines output file. Rotation renames it to "<path>.1" (and
+  /// shifts older rotations up) once it exceeds rotate_bytes.
+  std::filesystem::path path;
+  size_t queue_capacity = 4096;
+  uint64_t rotate_bytes = 64ull * 1024 * 1024;
+  size_t max_rotated_files = 2;  // keep <path>.1 .. <path>.N
+  /// Registry receiving "obs.eventlog.*" (accepted/dropped/written/
+  /// rotations); nullptr records into obs::Registry::global().
+  Registry* metrics = nullptr;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(EventLogConfig config);
+  ~EventLog();  // stop()
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens the output file and starts the writer thread.
+  Status start();
+  /// Drains everything queued, joins the writer, closes the file.
+  /// Idempotent.
+  void stop();
+
+  /// Enqueue; never blocks. False when the record was dropped (queue
+  /// full, or the log is stopped).
+  bool log_access(AccessRecord record);
+  bool log_line(LogRecord record);
+
+  /// Blocks until every record enqueued so far is on disk. Test/
+  /// shutdown aid — request threads never call this.
+  void drain();
+
+  /// Routes util/log messages (post level-filter) into this queue as
+  /// LogRecords; stop() detaches. Only one EventLog should attach.
+  void attach_log_sink();
+
+  uint64_t written() const { return written_metric_.value(); }
+  uint64_t dropped() const { return dropped_metric_.value(); }
+  const std::filesystem::path& path() const { return config_.path; }
+
+  /// Serialized forms (exposed for tests).
+  static std::string to_json_line(const AccessRecord& record);
+  static std::string to_json_line(const LogRecord& record);
+
+ private:
+  using Event = std::variant<AccessRecord, LogRecord>;
+
+  bool enqueue(Event event);
+  void writer_loop();
+  void write_line(const std::string& line);
+  void rotate();
+
+  EventLogConfig config_;
+  Registry& metrics_;
+  Counter& accepted_metric_;
+  Counter& dropped_metric_;
+  Counter& written_metric_;
+  Counter& rotations_metric_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;   // writer wakeup
+  std::condition_variable drain_cv_;   // drain() wakeup
+  std::deque<Event> queue_;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool sink_attached_ = false;
+  uint64_t in_flight_ = 0;  // dequeued but not yet on disk
+
+  std::thread writer_;
+  std::FILE* file_ = nullptr;    // writer thread only (after start)
+  uint64_t file_bytes_ = 0;      // writer thread only
+};
+
+}  // namespace davpse::obs

@@ -1,0 +1,45 @@
+// Shared JSON-emission helpers for the observability layer (registry
+// snapshots, tail-sampled timelines, event-log records). Not a JSON
+// library — just enough escaping/formatting for machine-readable
+// output whose keys are library-chosen ASCII.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace davpse::obs {
+
+/// Minimal JSON string escaping; names are library-chosen ASCII but
+/// quotes/backslashes/control bytes are handled defensively.
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable-enough rendering for metric values.
+inline std::string json_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+}  // namespace davpse::obs

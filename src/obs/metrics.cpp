@@ -3,38 +3,21 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace davpse::obs {
 namespace {
 
-/// Minimal JSON string escaping; metric names are library-chosen ASCII
-/// but quotes/backslashes are handled defensively.
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
+/// Prometheus metric-name charset: [a-zA-Z0-9_:]. Dots and any other
+/// separators collapse to '_'; a leading digit gains a '_' guard.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "davpse_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
   }
   return out;
-}
-
-std::string json_double(double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.9g", value);
-  return buf;
 }
 
 }  // namespace
@@ -75,6 +58,7 @@ Histogram::Snapshot Histogram::snapshot() const {
     buckets[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   Snapshot snap;
+  snap.buckets = buckets;
   uint64_t total = 0;
   for (uint64_t b : buckets) total += b;
   snap.count = total;
@@ -136,6 +120,36 @@ std::string RegistrySnapshot::to_json() const {
     first = false;
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string RegistrySnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBucketBounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += pname + "_bucket{le=\"" +
+             json_double(Histogram::kBucketBounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.buckets[Histogram::kBucketBounds.size()];
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += pname + "_sum " + json_double(h.sum_seconds) + "\n";
+    out += pname + "_count " + std::to_string(h.count) + "\n";
+  }
   return out;
 }
 

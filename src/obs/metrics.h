@@ -65,6 +65,10 @@ class Histogram {
     double p50 = 0;
     double p95 = 0;
     double p99 = 0;
+    /// Per-bucket observation counts (not cumulative); the last entry
+    /// is the overflow bucket. Full fidelity for the Prometheus
+    /// exposition, which emits these as cumulative `le` buckets.
+    std::array<uint64_t, kBucketBounds.size() + 1> buckets{};
   };
   Snapshot snapshot() const;
 
@@ -92,6 +96,14 @@ struct RegistrySnapshot {
   Histogram::Snapshot histogram(std::string_view name) const;
 
   std::string to_json() const;
+
+  /// Prometheus text exposition (format 0.0.4): counters and gauges as
+  /// single samples, histograms with cumulative `le` buckets, `_sum`,
+  /// and `_count` — the full bucket fidelity the JSON summary elides.
+  /// Metric names are prefixed "davpse_" and sanitized to the
+  /// Prometheus charset ('.' and other separators become '_'). The
+  /// `/.well-known/metrics` response body.
+  std::string to_prometheus() const;
 };
 
 /// Named metrics, registered on first use. References returned by

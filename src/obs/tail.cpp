@@ -1,0 +1,156 @@
+#include "obs/tail.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/json.h"
+
+namespace davpse::obs {
+namespace {
+
+bool slower(const TraceTimeline& a, const TraceTimeline& b) {
+  return a.duration_seconds > b.duration_seconds;
+}
+
+/// Emits one span and (recursively) its children, ordered by start.
+void append_span_json(const TraceTimeline& timeline,
+                      const std::unordered_map<uint64_t, std::vector<size_t>>&
+                          children_of,
+                      size_t index, std::string* out) {
+  const SpanRecord& span = timeline.spans[index];
+  *out += "{\"name\": \"" + json_escape(span.name) + "\"";
+  *out += ", \"span_id\": " + std::to_string(span.span_id);
+  *out += ", \"parent_id\": " + std::to_string(span.parent_id);
+  *out += ", \"start_offset_seconds\": " +
+          json_double(span.start_seconds - timeline.start_seconds);
+  *out += ", \"duration_seconds\": " + json_double(span.duration_seconds);
+  *out += ", \"children\": [";
+  auto kids = children_of.find(span.span_id);
+  if (kids != children_of.end()) {
+    bool first = true;
+    for (size_t child : kids->second) {
+      if (!first) *out += ", ";
+      append_span_json(timeline, children_of, child, out);
+      first = false;
+    }
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+void TailSampler::offer(TraceTimeline timeline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (timeline.duration_seconds >= config_.threshold_seconds &&
+      config_.threshold_capacity > 0) {
+    over_threshold_.push_back(timeline);
+    while (over_threshold_.size() > config_.threshold_capacity) {
+      over_threshold_.pop_front();
+    }
+  }
+  if (config_.slowest_capacity == 0) return;
+  if (slowest_.size() < config_.slowest_capacity) {
+    slowest_.push_back(std::move(timeline));
+    std::push_heap(slowest_.begin(), slowest_.end(), slower);
+    return;
+  }
+  // Heap front is the *fastest* retained trace; replace it only when
+  // the newcomer is slower.
+  if (timeline.duration_seconds <= slowest_.front().duration_seconds) return;
+  std::pop_heap(slowest_.begin(), slowest_.end(), slower);
+  slowest_.back() = std::move(timeline);
+  std::push_heap(slowest_.begin(), slowest_.end(), slower);
+}
+
+std::vector<TraceTimeline> TailSampler::retained_locked() const {
+  std::vector<TraceTimeline> out;
+  std::unordered_set<std::string> seen;
+  for (const TraceTimeline& t : slowest_) {
+    if (seen.insert(t.trace_id).second) out.push_back(t);
+  }
+  for (const TraceTimeline& t : over_threshold_) {
+    if (seen.insert(t.trace_id).second) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(), slower);
+  return out;
+}
+
+std::vector<TraceTimeline> TailSampler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_locked();
+}
+
+std::optional<TraceTimeline> TailSampler::find(
+    std::string_view trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceTimeline& t : slowest_) {
+    if (t.trace_id == trace_id) return t;
+  }
+  for (const TraceTimeline& t : over_threshold_) {
+    if (t.trace_id == trace_id) return t;
+  }
+  return std::nullopt;
+}
+
+void TailSampler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slowest_.clear();
+  over_threshold_.clear();
+}
+
+std::string TailSampler::to_json() const {
+  std::vector<TraceTimeline> traces = snapshot();
+  std::string out = "{\"traces\": [";
+  bool first_trace = true;
+  for (const TraceTimeline& timeline : traces) {
+    if (!first_trace) out += ",";
+    first_trace = false;
+    out += "\n  {\"trace_id\": \"" + json_escape(timeline.trace_id) + "\"";
+    out += ", \"start_seconds\": " + json_double(timeline.start_seconds);
+    out += ", \"duration_seconds\": " +
+           json_double(timeline.duration_seconds);
+    out += ", \"span_count\": " + std::to_string(timeline.spans.size());
+    out += ", \"spans\": [";
+
+    // Index spans by parent, children ordered by start time. A span
+    // whose parent was not collected (e.g. the ring rotated a nested
+    // scope away) is treated as a root rather than dropped.
+    std::unordered_map<uint64_t, std::vector<size_t>> children_of;
+    std::unordered_set<uint64_t> present;
+    for (const SpanRecord& span : timeline.spans) present.insert(span.span_id);
+    std::vector<size_t> roots;
+    for (size_t i = 0; i < timeline.spans.size(); ++i) {
+      const SpanRecord& span = timeline.spans[i];
+      if (span.parent_id != 0 && present.count(span.parent_id) > 0) {
+        children_of[span.parent_id].push_back(i);
+      } else {
+        roots.push_back(i);
+      }
+    }
+    auto by_start = [&](size_t a, size_t b) {
+      return timeline.spans[a].start_seconds < timeline.spans[b].start_seconds;
+    };
+    for (auto& [_, kids] : children_of) {
+      std::sort(kids.begin(), kids.end(), by_start);
+    }
+    std::sort(roots.begin(), roots.end(), by_start);
+
+    bool first_span = true;
+    for (size_t root : roots) {
+      if (!first_span) out += ", ";
+      append_span_json(timeline, children_of, root, &out);
+      first_span = false;
+    }
+    out += "]}";
+  }
+  out += traces.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+TailSampler& TailSampler::global() {
+  static TailSampler* instance = new TailSampler();  // leaked: outlives users
+  return *instance;
+}
+
+}  // namespace davpse::obs

@@ -1,0 +1,78 @@
+// Tail sampling: keep the whole story of the requests that matter.
+// The metrics registry answers "how slow is p99" but not "why was
+// *that* request slow" — the TailSampler retains the complete nested
+// span tree (see SpanRecord::parent_id) for the N slowest requests
+// observed so far plus every request over a configurable latency
+// threshold, bounded in both directions so a traffic flood can never
+// grow memory without limit. `GET /.well-known/traces` serves the
+// retained timelines as nested JSON.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace davpse::obs {
+
+/// One retained request: the scope's wall interval plus every span
+/// finished under it (completion order — innermost spans first).
+struct TraceTimeline {
+  std::string trace_id;
+  double start_seconds = 0;     // wall clock at scope open
+  double duration_seconds = 0;  // whole-scope wall duration
+  std::vector<SpanRecord> spans;
+};
+
+/// Bounded two-pool retention. Thread-safe; offer() is O(log N) against
+/// the slowest-heap and O(1) against the threshold pool, so calling it
+/// once per request is cheap even when nothing is retained.
+class TailSampler {
+ public:
+  struct Config {
+    /// How many of the slowest-ever requests to keep (min-heap evicts
+    /// the fastest retained trace when a slower one arrives).
+    size_t slowest_capacity = 32;
+    /// Requests at or above this duration are always retained...
+    double threshold_seconds = 0.5;
+    /// ...up to this many (oldest evicted first).
+    size_t threshold_capacity = 128;
+  };
+
+  TailSampler() : TailSampler(Config{}) {}
+  explicit TailSampler(Config config) : config_(config) {}
+
+  /// Considers one finished request for retention.
+  void offer(TraceTimeline timeline);
+
+  /// Every retained timeline, slowest first, deduplicated by trace id.
+  std::vector<TraceTimeline> snapshot() const;
+  /// Retained timeline for one trace id; nullopt when not retained.
+  std::optional<TraceTimeline> find(std::string_view trace_id) const;
+  void clear();
+
+  /// {"traces": [...]} — each retained timeline with its spans nested
+  /// by parent/child linkage (children ordered by start time). The
+  /// /.well-known/traces response body.
+  std::string to_json() const;
+
+  const Config& config() const { return config_; }
+
+  /// Process-wide default sampler; servers fall back here when
+  /// configured with nullptr.
+  static TailSampler& global();
+
+ private:
+  std::vector<TraceTimeline> retained_locked() const;
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::vector<TraceTimeline> slowest_;      // min-heap by duration
+  std::deque<TraceTimeline> over_threshold_;  // FIFO, bounded
+};
+
+}  // namespace davpse::obs

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/tail.h"
 #include "util/clock.h"
 
 namespace davpse::obs {
@@ -57,31 +58,51 @@ std::string generate_trace_id() {
 
 TraceContext* TraceContext::current() { return g_current_context; }
 
-TraceScope::TraceScope(std::string trace_id, TraceLog* log)
-    : context_(std::move(trace_id),
-               log != nullptr ? log : &TraceLog::global()),
+TraceScope::TraceScope(std::string trace_id, TraceLog* log,
+                       TailSampler* sampler)
+    : sampler_(sampler),
+      start_seconds_(wall_time_seconds()),
+      context_(std::move(trace_id),
+               log != nullptr ? log : &TraceLog::global(),
+               sampler != nullptr ? &collected_ : nullptr),
       previous_(g_current_context) {
   g_current_context = &context_;
 }
 
-TraceScope::~TraceScope() { g_current_context = previous_; }
+TraceScope::~TraceScope() {
+  g_current_context = previous_;
+  if (sampler_ == nullptr) return;
+  TraceTimeline timeline;
+  timeline.trace_id = context_.trace_id();
+  timeline.start_seconds = start_seconds_;
+  timeline.duration_seconds = wall_time_seconds() - start_seconds_;
+  timeline.spans = std::move(collected_);
+  sampler_->offer(std::move(timeline));
+}
 
 Span::Span(std::string name) : context_(TraceContext::current()) {
   if (context_ == nullptr) return;
   name_ = std::move(name);
   start_seconds_ = wall_time_seconds();
   depth_ = context_->depth_++;
+  span_id_ = ++context_->next_span_id_;
+  parent_id_ = context_->open_parent_;
+  context_->open_parent_ = span_id_;
 }
 
 Span::~Span() {
   if (context_ == nullptr) return;
   context_->depth_--;
+  context_->open_parent_ = parent_id_;
   SpanRecord record;
   record.trace_id = context_->trace_id();
   record.name = std::move(name_);
   record.start_seconds = start_seconds_;
   record.duration_seconds = wall_time_seconds() - start_seconds_;
   record.depth = depth_;
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  if (context_->collect_ != nullptr) context_->collect_->push_back(record);
   context_->log().record(std::move(record));
 }
 

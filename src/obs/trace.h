@@ -3,7 +3,11 @@
 // TraceScope and propagated between HttpClient and HttpServer via the
 // `X-Trace-Id` header, so the client-side and server-side spans of one
 // exchange share a trace id. Finished spans land in a bounded TraceLog
-// (a ring of the most recent spans) that tests and diagnostics read.
+// (a ring of the most recent spans) that tests and diagnostics read;
+// a TraceScope constructed with a TailSampler additionally collects
+// the complete span tree and offers it for tail retention (the N
+// slowest requests plus everything over a latency threshold — see
+// obs/tail.h).
 //
 // Lifecycle:
 //   TraceScope scope(generate_trace_id());     // installs the context
@@ -21,13 +25,19 @@
 
 namespace davpse::obs {
 
+class TailSampler;
+
 /// One finished span: what ran, under which trace, for how long.
+/// `span_id` is unique within the trace (1-based, assigned in open
+/// order); `parent_id` links nested spans into a tree (0 = root).
 struct SpanRecord {
   std::string trace_id;
   std::string name;            // e.g. "http.server.PUT", "dav.PROPFIND"
   double start_seconds = 0;    // wall clock at span open
   double duration_seconds = 0;
   int depth = 0;               // nesting level within the trace
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;      // 0 when the span has no parent
 };
 
 /// Bounded ring of recently finished spans. Thread-safe.
@@ -68,20 +78,28 @@ class TraceContext {
   friend class TraceScope;
   friend class Span;
 
-  TraceContext(std::string trace_id, TraceLog* log)
-      : trace_id_(std::move(trace_id)), log_(log) {}
+  TraceContext(std::string trace_id, TraceLog* log,
+               std::vector<SpanRecord>* collect)
+      : trace_id_(std::move(trace_id)), log_(log), collect_(collect) {}
 
   std::string trace_id_;
   TraceLog* log_;
-  int depth_ = 0;  // open spans
+  std::vector<SpanRecord>* collect_;  // scope-owned; nullptr = ring only
+  int depth_ = 0;                     // open spans
+  uint64_t next_span_id_ = 0;
+  uint64_t open_parent_ = 0;          // span_id of the innermost open span
 };
 
 /// RAII: installs a TraceContext as current() for this thread,
 /// restoring the previous one (nested scopes are allowed but unusual).
-/// `log` nullptr records spans into TraceLog::global().
+/// `log` nullptr records spans into TraceLog::global(). When `sampler`
+/// is non-null the scope collects every finished span of the trace and
+/// offers the complete tree (plus the scope's own wall duration) to
+/// the sampler on destruction.
 class TraceScope {
  public:
-  explicit TraceScope(std::string trace_id, TraceLog* log = nullptr);
+  explicit TraceScope(std::string trace_id, TraceLog* log = nullptr,
+                      TailSampler* sampler = nullptr);
   ~TraceScope();
 
   TraceScope(const TraceScope&) = delete;
@@ -90,6 +108,9 @@ class TraceScope {
   const std::string& trace_id() const { return context_.trace_id(); }
 
  private:
+  TailSampler* sampler_;
+  double start_seconds_ = 0;
+  std::vector<SpanRecord> collected_;  // filled only when sampler_ set
   TraceContext context_;
   TraceContext* previous_;
 };
@@ -110,6 +131,8 @@ class Span {
   std::string name_;
   double start_seconds_ = 0;
   int depth_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
 };
 
 }  // namespace davpse::obs

@@ -16,6 +16,8 @@ double clock_seconds(clockid_t id) {
 
 double wall_time_seconds() { return clock_seconds(CLOCK_MONOTONIC); }
 
+double unix_time_seconds() { return clock_seconds(CLOCK_REALTIME); }
+
 double thread_cpu_seconds() { return clock_seconds(CLOCK_THREAD_CPUTIME_ID); }
 
 double process_cpu_seconds() {

@@ -10,6 +10,11 @@ namespace davpse {
 /// Monotonic wall-clock time in seconds.
 double wall_time_seconds();
 
+/// Unix epoch time in seconds (sub-second precision). Monotonic time
+/// is for measuring; this is for stamping records that outlive the
+/// process (access-log lines, log messages).
+double unix_time_seconds();
+
 /// CPU time consumed by the calling *thread*, in seconds. Used to
 /// attribute client-side processing cost the way Table 1 does.
 double thread_cpu_seconds();

@@ -2,22 +2,28 @@
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+
+#include "util/clock.h"
 
 namespace davpse {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // guarded by g_emit_mutex
 
-const char* level_name(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo: return "INFO";
-    case LogLevel::kWarn: return "WARN";
-    case LogLevel::kError: return "ERROR";
-  }
-  return "?";
+/// "2001-08-07 14:03:21.042" (UTC) from epoch seconds.
+void format_timestamp(double unix_seconds, char* buf, size_t size) {
+  std::time_t whole = static_cast<std::time_t>(unix_seconds);
+  int millis = static_cast<int>(
+      (unix_seconds - static_cast<double>(whole)) * 1000.0);
+  if (millis < 0) millis = 0;
+  std::tm tm_utc{};
+  gmtime_r(&whole, &tm_utc);
+  size_t n = std::strftime(buf, size, "%Y-%m-%d %H:%M:%S", &tm_utc);
+  std::snprintf(buf + n, size - n, ".%03d", millis);
 }
 
 }  // namespace
@@ -30,9 +36,42 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-void log_message(LogLevel level, const std::string& message) {
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+uint64_t log_thread_id() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void set_log_sink(LogSink sink) {
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  // The macro already filters, but direct callers go through the same
+  // gate — there is exactly one emission path.
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  double now = unix_time_seconds();
+  uint64_t tid = log_thread_id();
+  char stamp[40];
+  format_timestamp(now, stamp, sizeof stamp);
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] [tid %llu] [%s] %s\n", stamp,
+               static_cast<unsigned long long>(tid), log_level_name(level),
+               message.c_str());
+  if (g_sink) g_sink(level, now, tid, message);
 }
 
 }  // namespace davpse

@@ -1,7 +1,14 @@
-// Tiny leveled logger. Thread-safe (single mutex around emission);
-// defaults to warnings-and-up so benches stay quiet unless asked.
+// Tiny leveled logger. All emission funnels through log_message(): it
+// applies the level filter, formats one line with a wall-clock
+// timestamp and a small per-thread id, writes it to stderr under a
+// mutex, and forwards the raw message to an optional sink (the async
+// event log installs one to capture log traffic as structured
+// records). Defaults to warnings-and-up so benches stay quiet unless
+// asked.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,7 +20,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line ("[WARN] message") to stderr under a mutex.
+/// "DEBUG" / "INFO" / "WARN" / "ERROR".
+const char* log_level_name(LogLevel level);
+
+/// Small dense id for the calling thread (1, 2, ...) — readable in log
+/// lines where the OS thread id would be noise.
+uint64_t log_thread_id();
+
+/// Receives every message that passed the level filter, alongside the
+/// stderr line: (level, unix seconds, thread id, raw message).
+using LogSink = std::function<void(LogLevel, double, uint64_t,
+                                   const std::string&)>;
+
+/// Installs (or, with an empty function, removes) the process-wide
+/// sink. The sink is called under the emission mutex — keep it quick
+/// and never log from inside it.
+void set_log_sink(LogSink sink);
+
+/// The single emission path: level filter, timestamp + thread id
+/// formatting, stderr line, sink forwarding. Thread-safe.
 void log_message(LogLevel level, const std::string& message);
 
 namespace internal {

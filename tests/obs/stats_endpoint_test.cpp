@@ -1,13 +1,19 @@
-// End-to-end checks for the read-only `GET /.well-known/stats`
-// endpoint: its JSON must agree with obs::Registry::snapshot(), and
-// scraping it must not perturb the DAV counters it reports.
+// End-to-end checks for the read-only observability endpoints
+// (`/.well-known/stats`, `/.well-known/metrics`, `/.well-known/traces`):
+// the stats JSON must agree with obs::Registry::snapshot(), the
+// Prometheus text must expose the same snapshot with monotonically
+// non-decreasing cumulative buckets, scraping must not perturb the DAV
+// counters reported, non-GET/HEAD methods get an explicit 405, and the
+// endpoints honor the server's auth configuration.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "http/client.h"
 #include "http/message.h"
@@ -115,6 +121,207 @@ TEST(StatsEndpointTest, HeadReturnsHeadersOnly) {
   ASSERT_TRUE(response.ok()) << response.status().to_string();
   EXPECT_EQ(response.value().status, http::kOk);
   EXPECT_TRUE(response.value().body.empty());
+}
+
+TEST(StatsEndpointTest, NonReadMethodsGetExplicit405) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  auto scraper = raw_client(stack, &registry);
+  for (const char* target :
+       {"/.well-known/stats", "/.well-known/metrics",
+        "/.well-known/traces"}) {
+    for (const char* method : {"PUT", "POST", "DELETE", "PROPFIND"}) {
+      http::HttpRequest request;
+      request.method = method;
+      request.target = target;
+      if (std::strcmp(method, "PUT") == 0) request.body = "data";
+      auto response = scraper.execute(std::move(request));
+      ASSERT_TRUE(response.ok()) << response.status().to_string();
+      EXPECT_EQ(response.value().status, http::kMethodNotAllowed)
+          << method << " " << target;
+      auto allow = response.value().headers.get("Allow");
+      ASSERT_TRUE(allow.has_value()) << method << " " << target;
+      EXPECT_EQ(*allow, "GET, HEAD");
+    }
+  }
+  // In particular, the PUTs above must not have created resources
+  // shadowing the endpoints, nor perturbed the DAV counters.
+  EXPECT_EQ(registry.snapshot().counter("dav.server.requests.PUT"), 0u);
+  auto still_json = scraper.get("/.well-known/stats");
+  ASSERT_TRUE(still_json.ok());
+  EXPECT_EQ(still_json.value().status, http::kOk);
+}
+
+TEST(MetricsEndpointTest, HeadReturnsHeadersOnly) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  auto scraper = raw_client(stack, &registry);
+  for (const char* target :
+       {"/.well-known/metrics", "/.well-known/traces"}) {
+    http::HttpRequest request;
+    request.method = "HEAD";
+    request.target = target;
+    auto response = scraper.execute(std::move(request));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, http::kOk) << target;
+    EXPECT_TRUE(response.value().body.empty()) << target;
+  }
+}
+
+TEST(MetricsEndpointTest, PrometheusTextMatchesSnapshot) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  auto dav = stack.client();
+  ASSERT_TRUE(dav.put("/a.txt", "alpha").is_ok());
+  ASSERT_TRUE(dav.put("/b.txt", "beta").is_ok());
+  ASSERT_TRUE(dav.get("/a.txt").ok());
+
+  auto scraper = raw_client(stack, &registry);
+  auto response = scraper.get("/.well-known/metrics");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().status, http::kOk);
+  auto content_type = response.value().headers.get("Content-Type");
+  ASSERT_TRUE(content_type.has_value());
+  EXPECT_EQ(*content_type, "text/plain; version=0.0.4; charset=utf-8");
+  const std::string& body = response.value().body;
+
+  // Every line parses as Prometheus text: either a "# TYPE" header or
+  // "name[{labels}] value" with a sanitized, davpse_-prefixed name.
+  std::istringstream lines(body);
+  std::string line;
+  size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    ASSERT_EQ(line.rfind("davpse_", 0), 0u) << line;
+    auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    for (char c : name.substr(0, name.find('{'))) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == ':';
+      ASSERT_TRUE(ok) << "bad metric-name char in: " << line;
+    }
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    ASSERT_EQ(*end, '\0') << "unparseable value in: " << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u);
+
+  // The counters agree with a programmatic snapshot (scrapes don't
+  // touch dav.*, so the values are still current).
+  auto snap = registry.snapshot();
+  auto sample_value = [&](const std::string& name) {
+    auto pos = body.find("\n" + name + " ");
+    if (pos == std::string::npos) return -1.0;
+    return std::strtod(body.c_str() + pos + 1 + name.size(), nullptr);
+  };
+  EXPECT_EQ(sample_value("davpse_dav_server_requests_PUT"),
+            static_cast<double>(snap.counter("dav.server.requests.PUT")));
+  EXPECT_EQ(sample_value("davpse_dav_server_requests_GET"),
+            static_cast<double>(snap.counter("dav.server.requests.GET")));
+
+  // Histogram buckets are cumulative and monotonically non-decreasing,
+  // ending in +Inf == _count == the snapshot's count.
+  const std::string bucket_prefix =
+      "davpse_dav_server_latency_seconds_PUT_bucket{le=\"";
+  std::vector<double> cumulative;
+  size_t pos = 0;
+  while ((pos = body.find(bucket_prefix, pos)) != std::string::npos) {
+    auto close = body.find("\"} ", pos);
+    ASSERT_NE(close, std::string::npos);
+    cumulative.push_back(std::strtod(body.c_str() + close + 3, nullptr));
+    pos = close;
+  }
+  ASSERT_EQ(cumulative.size(), obs::Histogram::kBucketBounds.size() + 1);
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]) << "bucket " << i;
+  }
+  auto put_latency = snap.histogram("dav.server.latency_seconds.PUT");
+  EXPECT_EQ(cumulative.back(), static_cast<double>(put_latency.count));
+  EXPECT_EQ(put_latency.count, 2u);
+  EXPECT_EQ(
+      sample_value("davpse_dav_server_latency_seconds_PUT_count"),
+      static_cast<double>(put_latency.count));
+  // Per-bucket snapshot counts sum to the same cumulative sequence.
+  uint64_t running = 0;
+  for (size_t i = 0; i < put_latency.buckets.size(); ++i) {
+    running += put_latency.buckets[i];
+    EXPECT_EQ(cumulative[i], static_cast<double>(running)) << "bucket " << i;
+  }
+}
+
+/// A stack with Basic auth enabled, optionally exempting scrapes.
+struct AuthedStack {
+  explicit AuthedStack(bool unauthenticated_scrape)
+      : temp("authstack") {
+    dav::DavConfig dav_config;
+    dav_config.root = temp.path();
+    dav_config.metrics = &registry;
+    dav = std::make_unique<dav::DavServer>(dav_config);
+    http::ServerConfig http_config;
+    http_config.endpoint = testing::unique_endpoint("test-auth-dav");
+    http_config.metrics = &registry;
+    http_config.authenticator.add_user("ecce", "secret");
+    http_config.unauthenticated_scrape = unauthenticated_scrape;
+    server = std::make_unique<http::HttpServer>(http_config, dav.get());
+    if (!server->start().is_ok()) std::abort();
+  }
+
+  http::HttpClient client(bool with_credentials) {
+    http::ClientConfig config;
+    config.endpoint = server->endpoint();
+    config.metrics = &registry;
+    if (with_credentials) config.credentials = {"ecce", "secret"};
+    return http::HttpClient(std::move(config));
+  }
+
+  TempDir temp;
+  obs::Registry registry;
+  std::unique_ptr<dav::DavServer> dav;
+  std::unique_ptr<http::HttpServer> server;
+};
+
+TEST(ScrapeAuthTest, EndpointsRequireAuthByDefault) {
+  AuthedStack stack(/*unauthenticated_scrape=*/false);
+  auto anonymous = stack.client(/*with_credentials=*/false);
+  for (const char* target :
+       {"/.well-known/stats", "/.well-known/metrics",
+        "/.well-known/traces"}) {
+    auto response = anonymous.get(target);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, http::kUnauthorized) << target;
+  }
+  auto authed = stack.client(/*with_credentials=*/true);
+  auto response = authed.get("/.well-known/stats");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, http::kOk);
+}
+
+TEST(ScrapeAuthTest, ExplicitConfigAllowsReadOnlyUnauthenticatedScrape) {
+  AuthedStack stack(/*unauthenticated_scrape=*/true);
+  auto anonymous = stack.client(/*with_credentials=*/false);
+  // Read-only scrapes pass without credentials...
+  for (const char* target :
+       {"/.well-known/stats", "/.well-known/metrics",
+        "/.well-known/traces"}) {
+    auto response = anonymous.get(target);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, http::kOk) << target;
+  }
+  // ...but nothing else does: DAV traffic still needs credentials, and
+  // a write aimed under /.well-known/ is not exempt.
+  auto put = anonymous.put("/doc.txt", "body");
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put.value().status, http::kUnauthorized);
+  http::HttpRequest sneaky;
+  sneaky.method = "PUT";
+  sneaky.target = "/.well-known/stats";
+  sneaky.body = "overwrite";
+  auto refused = anonymous.execute(std::move(sneaky));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().status, http::kUnauthorized);
 }
 
 /// Deterministic in-memory source: `total` bytes of 'x', never holding

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "http/client.h"
@@ -78,6 +80,91 @@ TEST(SpanTest, RecordsIntoScopedLogWithNestingDepth) {
   EXPECT_EQ(spans[1].name, "outer");
   EXPECT_EQ(spans[1].depth, 0);
   for (const auto& span : spans) EXPECT_GE(span.duration_seconds, 0.0);
+}
+
+TEST(SpanTest, AssignsSpanIdsAndParentLinkage) {
+  TraceLog log;
+  {
+    TraceScope scope("t-tree", &log);
+    Span a("a");
+    {
+      Span b("b");
+      { Span c("c"); }
+    }
+    { Span d("d"); }  // sibling of b, child of a
+  }
+  auto spans = log.for_trace("t-tree");
+  ASSERT_EQ(spans.size(), 4u);
+  // Completion order: c, b, d, a. Ids assigned in open order: a=1,
+  // b=2, c=3, d=4; each span's parent is the innermost open span at
+  // its construction.
+  EXPECT_EQ(spans[0].name, "c");
+  EXPECT_EQ(spans[0].span_id, 3u);
+  EXPECT_EQ(spans[0].parent_id, 2u);
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_EQ(spans[1].span_id, 2u);
+  EXPECT_EQ(spans[1].parent_id, 1u);
+  EXPECT_EQ(spans[2].name, "d");
+  EXPECT_EQ(spans[2].span_id, 4u);
+  EXPECT_EQ(spans[2].parent_id, 1u);
+  EXPECT_EQ(spans[3].name, "a");
+  EXPECT_EQ(spans[3].span_id, 1u);
+  EXPECT_EQ(spans[3].parent_id, 0u);
+}
+
+// Ring eviction across interleaved traces: capacity counts spans, not
+// traces, and the survivors are the most recent regardless of owner.
+TEST(TraceLogTest, RingEvictionInterleavesAcrossTraces) {
+  TraceLog log(4);
+  for (int i = 0; i < 4; ++i) {
+    log.record(SpanRecord{"t-old", "old." + std::to_string(i), 0, 0, 0});
+  }
+  log.record(SpanRecord{"t-new", "new.0", 0, 0, 0});
+  log.record(SpanRecord{"t-new", "new.1", 0, 0, 0});
+  EXPECT_EQ(log.for_trace("t-old").size(), 2u);  // oldest two evicted
+  EXPECT_EQ(log.for_trace("t-new").size(), 2u);
+  EXPECT_EQ(log.snapshot().size(), 4u);
+}
+
+// for_trace must stay ordered (oldest first) and crash-free while
+// other threads are actively recording into the same ring.
+TEST(TraceLogTest, ForTraceOrderedUnderConcurrentWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kSpansEach = 200;
+  TraceLog log(kWriters * kSpansEach);  // nothing needs to be evicted
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!go.load()) {}
+      TraceScope scope("t-writer-" + std::to_string(w), &log);
+      for (int i = 0; i < kSpansEach; ++i) {
+        Span span("seq." + std::to_string(i));
+      }
+    });
+  }
+  go.store(true);
+  // Read concurrently with the writers: results are a consistent
+  // prefix — names strictly in sequence order for each trace.
+  for (int probe = 0; probe < 50; ++probe) {
+    for (int w = 0; w < kWriters; ++w) {
+      auto spans = log.for_trace("t-writer-" + std::to_string(w));
+      for (size_t i = 0; i < spans.size(); ++i) {
+        ASSERT_EQ(spans[i].name, "seq." + std::to_string(i));
+      }
+    }
+  }
+  for (auto& writer : writers) writer.join();
+  for (int w = 0; w < kWriters; ++w) {
+    auto spans = log.for_trace("t-writer-" + std::to_string(w));
+    ASSERT_EQ(spans.size(), static_cast<size_t>(kSpansEach));
+    for (size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_EQ(spans[i].name, "seq." + std::to_string(i));
+      // Sequential top-level spans: fresh id per span, no parent.
+      EXPECT_EQ(spans[i].span_id, i + 1);
+      EXPECT_EQ(spans[i].parent_id, 0u);
+    }
+  }
 }
 
 TEST(SpanTest, InertWithoutInstalledContext) {

@@ -26,18 +26,26 @@ inline std::string unique_endpoint(const std::string& prefix) {
 struct DavStack {
   /// `metrics` (optional) wires one registry through the whole stack —
   /// DAV handler, HTTP front end, and every client made by client().
+  /// `event_log` (optional, already start()ed) receives one access
+  /// record per exchange; `tail` (optional) retains slow-trace
+  /// timelines and backs GET /.well-known/traces.
   explicit DavStack(dbm::Flavor flavor = dbm::Flavor::kGdbm,
-                    size_t daemons = 5, obs::Registry* metrics = nullptr)
+                    size_t daemons = 5, obs::Registry* metrics = nullptr,
+                    obs::EventLog* event_log = nullptr,
+                    obs::TailSampler* tail = nullptr)
       : temp("davstack"), metrics_(metrics) {
     dav::DavConfig dav_config;
     dav_config.root = temp.path();
     dav_config.flavor = flavor;
     dav_config.metrics = metrics;
+    dav_config.tail_sampler = tail;
     dav = std::make_unique<dav::DavServer>(dav_config);
     http::ServerConfig http_config;
     http_config.endpoint = unique_endpoint("test-dav");
     http_config.daemons = daemons;
     http_config.metrics = metrics;
+    http_config.event_log = event_log;
+    http_config.tail_sampler = tail;
     server = std::make_unique<http::HttpServer>(http_config, dav.get());
     Status status = server->start();
     if (!status.is_ok()) {
