@@ -14,6 +14,7 @@
 #include "dav/server.h"
 #include "davclient/client.h"
 #include "http/server.h"
+#include "net/fault.h"
 #include "net/network_model.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -36,6 +37,13 @@ inline uint64_t env_u64(const char* name, uint64_t fallback) {
   return std::strtoull(raw, nullptr, 10);
 }
 
+/// Fractional knob (e.g. DAVPSE_FAULT_RATE=0.01).
+inline double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtod(raw, nullptr);
+}
+
 struct DavStack {
   explicit DavStack(dbm::Flavor flavor = dbm::Flavor::kGdbm,
                     size_t daemons = 5)
@@ -56,6 +64,24 @@ struct DavStack {
                    status.to_string().c_str());
       std::abort();
     }
+    // DAVPSE_FAULT_RATE=0.01 runs the whole bench through a seeded
+    // fault schedule (DAVPSE_FAULT_SEED, default 1): refused connects,
+    // pre-send resets, and read delays at that per-operation rate.
+    // Only faults the retry loop can always recover from are injected —
+    // a mid-response reset on a PUT is a legitimate typed error, which
+    // would abort a bench rather than exercise it. Injected fault
+    // counts land in this stack's registry ("resilience.injected.*").
+    double fault_rate = env_double("DAVPSE_FAULT_RATE", 0);
+    if (fault_rate > 0) {
+      net::FaultConfig fault_config;
+      fault_config.seed = env_u64("DAVPSE_FAULT_SEED", 1);
+      fault_config.connect_failure = fault_rate;
+      fault_config.write_reset = fault_rate;
+      fault_config.read_delay = fault_rate;
+      fault_config.delay_seconds = 0.002;
+      fault_config.metrics = &metrics;
+      fault_net = std::make_unique<net::FaultInjectingNetwork>(fault_config);
+    }
   }
 
   davclient::DavClient client(
@@ -66,10 +92,18 @@ struct DavStack {
     config.policy = policy;
     config.connect_label = "bench.client";
     config.metrics = &metrics;
-    return davclient::DavClient(config, parser);
+    if (fault_net != nullptr) {
+      // Headroom to retry through the injected schedule without
+      // stretching a clean run.
+      config.retry.max_attempts = 6;
+      config.retry.initial_backoff_seconds = 0.001;
+    }
+    return davclient::DavClient(config, parser, fault_net.get());
   }
 
   TempDir temp;
+  /// Non-null when DAVPSE_FAULT_RATE is set; clients connect through it.
+  std::unique_ptr<net::FaultInjectingNetwork> fault_net;
   /// Every layer of the stack (DAV handler, HTTP front end, clients
   /// made by client()) records into this bench-private registry, so
   /// the tables below report from the same counters production scrapes

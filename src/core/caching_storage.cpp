@@ -1,5 +1,8 @@
 #include "core/caching_storage.h"
 
+#include <chrono>
+#include <thread>
+
 #include "util/uri.h"
 
 namespace davpse::ecce {
@@ -63,18 +66,75 @@ Result<std::unique_ptr<http::FileBodySource>> CachingDavStorage::refresh(
   return to_serve;
 }
 
+Result<std::unique_ptr<http::FileBodySource>>
+CachingDavStorage::refresh_with_retry(const std::string& path) {
+  Deadline deadline = retry_.start_deadline();
+  Result<std::unique_ptr<http::FileBodySource>> source =
+      Status(ErrorCode::kInternal, "unset");
+  for (int attempt = 1;; ++attempt) {
+    source = refresh(path);
+    if (source.ok() || !source.status().is_retryable()) return source;
+    if (attempt >= retry_.max_attempts) return source;
+    double unit;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      unit = backoff_rng_.uniform_real(0, 1);
+    }
+    double wait = retry_.backoff_before_attempt(attempt, unit);
+    if (!deadline.allows(wait)) return source;
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
+  }
+}
+
+Result<std::unique_ptr<http::FileBodySource>> CachingDavStorage::open_stale(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(path);
+  if (it == cache_.end()) {
+    return Status(ErrorCode::kUnavailable,
+                  "repository unreachable and no cached copy of " + path);
+  }
+  ++stale_served_;
+  stale_served_metric_->add(1);
+  return http::FileBodySource::open(it->second.file);
+}
+
 Status CachingDavStorage::read_object_to(const std::string& path,
-                                         http::BodySink* sink) {
-  DAVPSE_ASSIGN_OR_RETURN(auto source, refresh(path));
-  auto drained = http::drain_body(*source, *sink);
+                                         http::BodySink* sink,
+                                         Freshness* freshness) {
+  if (freshness != nullptr) *freshness = Freshness::kFresh;
+  auto source = refresh_with_retry(path);
+  if (!source.ok()) {
+    // Only a *retryable* failure (outage) may degrade to the cached
+    // copy — kNotFound proved the object is gone and already erased
+    // the entry above.
+    if (!source.status().is_retryable()) return source.status();
+    auto stale = open_stale(path);
+    if (!stale.ok()) return source.status();  // surface the outage error
+    if (freshness != nullptr) *freshness = Freshness::kStale;
+    source = std::move(stale);
+  }
+  auto drained = http::drain_body(*source.value(), *sink);
   return drained.status();
 }
 
-Result<std::string> CachingDavStorage::read_object(const std::string& path) {
+Status CachingDavStorage::read_object_to(const std::string& path,
+                                         http::BodySink* sink) {
+  return read_object_to(path, sink, nullptr);
+}
+
+Result<std::string> CachingDavStorage::read_object(const std::string& path,
+                                                   Freshness* freshness) {
   std::string body;
   http::StringBodySink sink(&body);
-  DAVPSE_RETURN_IF_ERROR(read_object_to(path, &sink));
+  DAVPSE_RETURN_IF_ERROR(read_object_to(path, &sink, freshness));
   return body;
+}
+
+Result<std::string> CachingDavStorage::read_object(const std::string& path) {
+  return read_object(path, nullptr);
 }
 
 Status CachingDavStorage::write_object(const std::string& path,

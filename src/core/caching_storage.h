@@ -25,6 +25,8 @@
 #include "http/body.h"
 #include "obs/metrics.h"
 #include "util/fs.h"
+#include "util/policy.h"
+#include "util/random.h"
 
 namespace davpse::ecce {
 
@@ -32,21 +34,40 @@ class CachingDavStorage final : public DataStorageInterface {
  public:
   /// Borrows the client, like DavStorage. `metrics` (nullptr = the
   /// global registry) receives "ecce.cache.hits" / ".misses" /
-  /// ".revalidations" / ".spilled_bytes".
+  /// ".revalidations" / ".spilled_bytes" / ".stale_served". `retry`
+  /// governs *cache-level* refresh retries before a read degrades to a
+  /// stale copy; it defaults to none() because the DavClient underneath
+  /// already retries transport failures per its own policy — stacking a
+  /// second loop here multiplies attempts, so opt in deliberately.
   explicit CachingDavStorage(davclient::DavClient* client,
-                             obs::Registry* metrics = nullptr)
-      : inner_(client), client_(client), spill_("davpse-cache") {
+                             obs::Registry* metrics = nullptr,
+                             RetryPolicy retry = RetryPolicy::none())
+      : inner_(client),
+        client_(client),
+        retry_(retry),
+        backoff_rng_(0x5ca1ab1e),
+        spill_("davpse-cache") {
     obs::Registry& registry = obs::registry_or_global(metrics);
     hits_metric_ = &registry.counter("ecce.cache.hits");
     misses_metric_ = &registry.counter("ecce.cache.misses");
     revalidations_metric_ = &registry.counter("ecce.cache.revalidations");
     spilled_bytes_metric_ = &registry.counter("ecce.cache.spilled_bytes");
+    stale_served_metric_ = &registry.counter("ecce.cache.stale_served");
   }
 
   // -- cached path ----------------------------------------------------------
   Result<std::string> read_object(const std::string& path) override;
   Status read_object_to(const std::string& path,
                         http::BodySink* sink) override;
+  /// Degrading reads: when every refresh attempt fails *retryably*
+  /// (repository down or unreachable — never kNotFound, which proves
+  /// the object is gone) and a last-validated copy is cached, the copy
+  /// is served with *freshness = kStale and "ecce.cache.stale_served"
+  /// incremented. The PSE reads through an outage instead of erroring.
+  Result<std::string> read_object(const std::string& path,
+                                  Freshness* freshness) override;
+  Status read_object_to(const std::string& path, http::BodySink* sink,
+                        Freshness* freshness) override;
 
   // -- invalidating forwards -----------------------------------------------
   Status write_object(const std::string& path, std::string data,
@@ -93,6 +114,7 @@ class CachingDavStorage final : public DataStorageInterface {
   // -- cache introspection -----------------------------------------------
   uint64_t hits() const { return hits_; }          // served after a 304
   uint64_t misses() const { return misses_; }      // full body fetched
+  uint64_t stale_served() const { return stale_served_; }  // degraded reads
   size_t cached_documents() const;
   /// Bytes of document content held in the spill directory.
   size_t cached_bytes() const;
@@ -113,19 +135,31 @@ class CachingDavStorage final : public DataStorageInterface {
   /// — so the descriptor pins the content for the drain.
   Result<std::unique_ptr<http::FileBodySource>> refresh(
       const std::string& path);
+  /// refresh() under the cache-level retry policy: further attempts
+  /// only for retryable failures, jittered backoff between them.
+  Result<std::unique_ptr<http::FileBodySource>> refresh_with_retry(
+      const std::string& path);
+  /// Opens the cached copy for a degraded read, or kUnavailable when
+  /// nothing is cached. Open happens under mutex_, like refresh().
+  Result<std::unique_ptr<http::FileBodySource>> open_stale(
+      const std::string& path);
 
   DavStorage inner_;
   davclient::DavClient* client_;
+  RetryPolicy retry_;
+  Rng backoff_rng_;
   TempDir spill_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> cache_;
   uint64_t next_file_id_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t stale_served_ = 0;
   obs::Counter* hits_metric_ = nullptr;
   obs::Counter* misses_metric_ = nullptr;
   obs::Counter* revalidations_metric_ = nullptr;
   obs::Counter* spilled_bytes_metric_ = nullptr;
+  obs::Counter* stale_served_metric_ = nullptr;
 };
 
 }  // namespace davpse::ecce

@@ -23,6 +23,13 @@ namespace davpse::ecce {
 /// at this layer; the protocol binding handles encoding.
 using Metadatum = std::pair<xml::QName, std::string>;
 
+/// How current the content a read served is. kFresh = validated
+/// against the repository within this call. kStale = a last-validated
+/// cached copy served because the repository was unreachable — the PSE
+/// keeps working through an outage, but the caller is told the data
+/// may lag the repository.
+enum class Freshness { kFresh, kStale };
+
 class DataStorageInterface {
  public:
   virtual ~DataStorageInterface() = default;
@@ -38,6 +45,18 @@ class DataStorageInterface {
                               const std::string& content_type) = 0;
   virtual Result<std::string> read_object(const std::string& path) = 0;
 
+  /// Freshness-reporting read. The default adapter always reports
+  /// kFresh — a binding without a cache can only serve what the
+  /// repository returned just now. Degrading bindings
+  /// (CachingDavStorage) override this to serve a stale cached copy on
+  /// repository outage and say so. Pass nullptr when freshness is not
+  /// interesting.
+  virtual Result<std::string> read_object(const std::string& path,
+                                          Freshness* freshness) {
+    if (freshness != nullptr) *freshness = Freshness::kFresh;
+    return read_object(path);
+  }
+
   // Streaming object transfer: the default adapters below buffer via
   // the eager methods, so every binding works out of the box; bindings
   // with a streaming protocol path (DAV) override them to move bodies
@@ -51,6 +70,14 @@ class DataStorageInterface {
     if (!data.ok()) return data.status();
     DAVPSE_RETURN_IF_ERROR(sink->write(data.value()));
     return sink->finish();
+  }
+
+  /// Freshness-reporting streaming read; same contract as the
+  /// freshness-reporting read_object overload.
+  virtual Status read_object_to(const std::string& path, http::BodySink* sink,
+                                Freshness* freshness) {
+    if (freshness != nullptr) *freshness = Freshness::kFresh;
+    return read_object_to(path, sink);
   }
 
   /// Stores the object, reading its content from `data`.

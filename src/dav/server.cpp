@@ -425,6 +425,12 @@ HttpResponse DavServer::do_put(const HttpRequest& request,
         return HttpResponse::make(http::kBadRequest,
                                   "request body truncated\n");
       }
+      if (status.code() == ErrorCode::kTimeout) {
+        // The peer stalled mid-upload past the server's per-request
+        // read deadline.
+        return HttpResponse::make(http::kRequestTimeout,
+                                  "request body timed out\n");
+      }
       return error_response(status);
     }
     spooled = std::move(spool).value();

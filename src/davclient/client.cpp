@@ -55,6 +55,13 @@ Status status_from_http(int http_status, std::string_view operation,
     case http::kNotImplemented:
       return error(ErrorCode::kUnsupported, message);
     case http::kBadRequest: return error(ErrorCode::kInvalidArgument, message);
+    // A 503 means the server shed us before processing (retryable by
+    // any caller; the HTTP client below already retried per policy) —
+    // the same taxonomy bucket as a refused connect, so the cache's
+    // stale-serving degradation triggers on both.
+    case http::kServiceUnavailable:
+      return error(ErrorCode::kUnavailable, message);
+    case http::kRequestTimeout: return error(ErrorCode::kTimeout, message);
     default: return error(ErrorCode::kInternal, message);
   }
 }

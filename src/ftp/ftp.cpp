@@ -1,6 +1,8 @@
 #include "ftp/ftp.h"
 
+#include <chrono>
 #include <fstream>
+#include <thread>
 
 #include "util/fs.h"
 #include "util/log.h"
@@ -214,8 +216,12 @@ void FtpServer::serve_session(std::unique_ptr<net::Stream> control) {
 // ---------------------------------------------------------------------------
 // Client
 
-FtpClient::FtpClient(std::string endpoint, net::Network& network)
-    : endpoint_(std::move(endpoint)), network_(network) {}
+FtpClient::FtpClient(std::string endpoint, net::Network& network,
+                     RetryPolicy retry)
+    : endpoint_(std::move(endpoint)),
+      network_(network),
+      retry_(retry),
+      backoff_rng_(0xf7b0f7b0) {}
 
 FtpClient::FtpClient(std::string endpoint)
     : FtpClient(std::move(endpoint), net::Network::instance()) {}
@@ -236,6 +242,24 @@ Status FtpClient::send_command(const std::string& line) {
 
 Status FtpClient::login(const std::string& user,
                         const std::string& password) {
+  Deadline deadline = retry_.start_deadline();
+  Status status = Status::ok();
+  for (int attempt = 1;; ++attempt) {
+    status = login_once(user, password);
+    if (status.is_ok() || !status.is_retryable()) return status;
+    control_.reset();  // a half-open control channel is useless
+    if (attempt >= retry_.max_attempts) return status;
+    double wait = retry_.backoff_before_attempt(
+        attempt, backoff_rng_.uniform_real(0, 1));
+    if (!deadline.allows(wait)) return status;
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
+  }
+}
+
+Status FtpClient::login_once(const std::string& user,
+                             const std::string& password) {
   auto stream = network_.connect(endpoint_);
   if (!stream.ok()) return stream.status();
   control_ = std::move(stream).value();

@@ -15,6 +15,8 @@
 
 #include "net/network.h"
 #include "net/network_model.h"
+#include "util/policy.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace davpse::ftp {
@@ -53,14 +55,21 @@ class FtpServer {
 
 class FtpClient {
  public:
-  FtpClient(std::string endpoint, net::Network& network);
+  /// `retry` governs login()'s connect attempts (the only FTP step that
+  /// is trivially safe to retry — no server state exists yet). Data
+  /// transfers are left to the caller: a replayed STOR against a
+  /// half-written file is not safe to automate at this layer.
+  FtpClient(std::string endpoint, net::Network& network,
+            RetryPolicy retry = RetryPolicy::none());
   explicit FtpClient(std::string endpoint);
   ~FtpClient();
 
   FtpClient(const FtpClient&) = delete;
   FtpClient& operator=(const FtpClient&) = delete;
 
-  /// Connects, logs in, and switches to binary mode.
+  /// Connects, logs in, and switches to binary mode. Refused or reset
+  /// connects retry per the constructor's RetryPolicy with jittered
+  /// backoff.
   Status login(const std::string& user, const std::string& password);
 
   /// Uploads `data` as `remote_name` (binary STOR).
@@ -78,8 +87,13 @@ class FtpClient {
   Status send_command(const std::string& line);
   Result<std::string> open_data_connection_target();  // via PASV
 
+  /// One login attempt: connect + USER/PASS/TYPE I.
+  Status login_once(const std::string& user, const std::string& password);
+
   std::string endpoint_;
   net::Network& network_;
+  RetryPolicy retry_;
+  Rng backoff_rng_;
   std::unique_ptr<net::Stream> control_;
   std::string control_buffer_;
   net::NetworkModel* model_ = nullptr;

@@ -1,9 +1,28 @@
 #include "http/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
 #include "util/clock.h"
 
 namespace davpse::http {
 namespace {
+
+/// Applies the deprecated ClientConfig::max_retries forwarding alias.
+ClientConfig normalized(ClientConfig config) {
+  if (config.max_retries >= 0) {
+    config.retry.max_attempts = config.max_retries + 1;
+  }
+  return config;
+}
+
+/// Deterministic nonzero jitter seed derived from the metric label, so
+/// two clients with distinct labels draw distinct backoff sequences.
+uint64_t label_seed(const std::string& label) {
+  return std::hash<std::string>{}(label) | 1;
+}
 
 /// Forwards to the caller's sink while counting the bytes delivered,
 /// so the retry logic can tell whether the sink is still untouched.
@@ -28,14 +47,17 @@ class CountingBodySink final : public BodySink {
 }  // namespace
 
 HttpClient::HttpClient(ClientConfig config, net::Network* network)
-    : config_(std::move(config)),
+    : config_(normalized(std::move(config))),
       network_(network != nullptr ? *network : net::Network::instance()),
       metrics_(obs::registry_or_global(config_.metrics)),
       connects_metric_(metrics_.counter(config_.connect_label + ".connects")),
       requests_metric_(metrics_.counter(config_.connect_label + ".requests")),
       retries_metric_(metrics_.counter(config_.connect_label + ".retries")),
       request_seconds_(
-          metrics_.histogram(config_.connect_label + ".request_seconds")) {}
+          metrics_.histogram(config_.connect_label + ".request_seconds")),
+      backoff_seconds_(
+          metrics_.histogram(config_.connect_label + ".backoff_seconds")),
+      backoff_rng_(label_seed(config_.connect_label)) {}
 
 HttpClient::~HttpClient() = default;
 
@@ -72,10 +94,18 @@ void HttpClient::account_traffic() {
 Result<HttpResponse> HttpClient::execute_once(const HttpRequest& request,
                                               BodySink* sink,
                                               bool* reused_connection,
-                                              uint64_t* sink_bytes) {
+                                              uint64_t* sink_bytes,
+                                              uint64_t* sent_bytes,
+                                              double attempt_timeout) {
   *reused_connection = connection_ != nullptr;
+  *sent_bytes = 0;
   DAVPSE_RETURN_IF_ERROR(ensure_connected());
+  // Each attempt owns the connection's read timeout (0 disables), so a
+  // deadline-capped attempt never inherits a stale bound.
+  connection_->set_read_timeout(attempt_timeout);
+  uint64_t wire_before = connection_->bytes_written();
   Status wrote = write_request(connection_.get(), request);
+  *sent_bytes = connection_->bytes_written() - wire_before;
   if (!wrote.is_ok()) {
     // A server that rejects mid-upload (413 + close) has already
     // buffered its answer even though our send failed; read it before
@@ -158,26 +188,61 @@ Result<HttpResponse> HttpClient::execute(HttpRequest request,
   obs::Span span(config_.connect_label + "." + request.method);
   double start = wall_time_seconds();
 
-  bool reused = false;
-  uint64_t sink_bytes = 0;
-  auto response = execute_once(request, sink, &reused, &sink_bytes);
-  int replays = 0;
-  while (!response.ok() && reused &&
-         response.status().code() == ErrorCode::kUnavailable &&
-         replays < config_.max_retries) {
-    // The cached keep-alive connection died (server idle timeout or
-    // request cap); retry on a fresh one. A partially consumed
-    // streaming body can only be replayed if its source rewinds, and
-    // the response sink must be untouched — a retry would append the
-    // full body after the partial bytes already delivered.
-    bool can_replay =
-        sink_bytes == 0 &&
-        (request.body_source == nullptr || request.body_source->rewind());
-    if (!can_replay) break;
-    ++replays;
+  const RetryPolicy& policy = config_.retry;
+  Deadline deadline = policy.start_deadline();
+  Result<HttpResponse> response = Status(ErrorCode::kInternal, "unset");
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    bool reused = false;
+    uint64_t sink_bytes = 0;
+    uint64_t sent_bytes = 0;
+    double attempt_timeout = policy.attempt_timeout_seconds;
+    if (!deadline.is_never()) {
+      // Cap each attempt so the whole call lands inside the budget.
+      double left = deadline.remaining_seconds();
+      if (left > 0) {
+        attempt_timeout =
+            attempt_timeout > 0 ? std::min(attempt_timeout, left) : left;
+      }
+    }
+    response = execute_once(request, sink, &reused, &sink_bytes, &sent_bytes,
+                            attempt_timeout);
+
+    // Transport failures replay only when safe: the request provably
+    // never left (zero wire bytes this attempt — covers refused
+    // connects and dead keep-alive connections, whose buffered writes
+    // fail outright), or the method is replay-safe. A 503 is always
+    // replayable — the server shed the request before acting on it.
+    bool transport_retry =
+        !response.ok() && response.status().is_retryable() &&
+        (sent_bytes == 0 || method_is_replay_safe(request.method));
+    bool shed_retry =
+        response.ok() && response.value().status == kServiceUnavailable;
+    if (!transport_retry && !shed_retry) break;
+    if (attempt >= policy.max_attempts) break;
+    // The response sink must be untouched (a replay would append the
+    // full body after partial bytes already delivered) and a streaming
+    // request body must rewind.
+    if (sink_bytes != 0) break;
+    if (request.body_source != nullptr && !request.body_source->rewind()) {
+      break;
+    }
+    double wait =
+        policy.backoff_before_attempt(attempt, backoff_rng_.uniform_real(0, 1));
+    if (shed_retry) {
+      // Retry-After is a floor under our own backoff, never a ceiling.
+      if (auto after = response.value().headers.get_uint("Retry-After")) {
+        wait = std::max(wait, static_cast<double>(*after));
+      }
+    }
+    if (!deadline.allows(wait)) break;
     retries_metric_.add(1);
+    backoff_seconds_.observe(wait);
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
     reset_connection();
-    response = execute_once(request, sink, &reused, &sink_bytes);
   }
   request_seconds_.observe(wall_time_seconds() - start);
   if (!response.ok()) {

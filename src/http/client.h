@@ -22,6 +22,8 @@
 #include "net/network_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/policy.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace davpse::http {
@@ -35,10 +37,17 @@ struct ClientConfig {
   std::string endpoint;  // server name in the in-memory network
   ConnectionPolicy policy = ConnectionPolicy::kPersistent;
   std::optional<Credentials> credentials;
-  /// Replay budget when a reused keep-alive connection turns out dead:
-  /// how many fresh-connection retries one request may consume. 0
-  /// disables the dead-connection replay entirely.
-  int max_retries = 1;
+  /// The one retry knob: attempt budget, jittered exponential backoff,
+  /// per-attempt response timeout, and overall deadline for every
+  /// request this client executes. Replaces the old bespoke
+  /// dead-keep-alive replay counter; see HttpClient::execute for which
+  /// failures are actually replayed.
+  RetryPolicy retry;
+  /// DEPRECATED — subsumed by `retry`. Kept for one release as a
+  /// forwarding alias: when set (>= 0) it overrides
+  /// retry.max_attempts = max_retries + 1 at construction. New code
+  /// sets `retry` directly.
+  int max_retries = -1;
   /// Prefix for this client's metric names ("<label>.connects",
   /// "<label>.requests", "<label>.retries", "<label>.request_seconds"),
   /// so several clients in one process stay distinguishable.
@@ -58,11 +67,22 @@ class HttpClient {
   HttpClient& operator=(const HttpClient&) = delete;
 
   /// Sends the request (filling Host/Authorization and X-Trace-Id) and
-  /// reads the response. Retries up to `max_retries` times on a fresh
-  /// connection if a reused keep-alive connection turns out to be dead
-  /// (a streaming request body is only retried when its source can
+  /// reads the response, retrying per ClientConfig::retry. A failed
+  /// attempt is replayed on a fresh connection only when doing so
+  /// cannot duplicate work:
+  ///  - transport errors (kUnavailable/kTimeout — see
+  ///    Status::is_retryable) replay when the request provably never
+  ///    left the client (zero bytes written this attempt), whatever
+  ///    the method; once bytes may have reached the server, only
+  ///    replay-safe methods (method_is_replay_safe: GET, HEAD,
+  ///    OPTIONS, PROPFIND, SEARCH, REPORT) retry;
+  ///  - 503 responses retry for any method — the server shed the
+  ///    request before processing — honoring Retry-After as a backoff
+  ///    floor.
+  /// A streaming request body is only replayed when its source can
   /// rewind(), and never after any response bytes have reached the
-  /// caller's sink).
+  /// caller's sink. Backoff sleeps land in the
+  /// "<label>.backoff_seconds" histogram.
   Result<HttpResponse> execute(HttpRequest request);
 
   /// Streaming execute: 2xx response bodies are drained into `sink`
@@ -110,12 +130,17 @@ class HttpClient {
   uint64_t requests_sent() const { return requests_sent_; }
 
  private:
-  /// `sink_bytes` accumulates the bytes delivered into `sink`; the
-  /// caller uses it to refuse a retry once the sink has been written.
+  /// `sink_bytes` accumulates the bytes delivered into `sink` (a retry
+  /// is refused once the sink has been written); `sent_bytes` counts
+  /// wire bytes this attempt pushed toward the server (zero = the
+  /// request provably never left). `attempt_timeout` bounds each read
+  /// of the response (0 = none).
   Result<HttpResponse> execute_once(const HttpRequest& request,
                                     BodySink* sink,
                                     bool* reused_connection,
-                                    uint64_t* sink_bytes);
+                                    uint64_t* sink_bytes,
+                                    uint64_t* sent_bytes,
+                                    double attempt_timeout);
   Status ensure_connected();
   void account_traffic();
 
@@ -128,6 +153,10 @@ class HttpClient {
   obs::Counter& requests_metric_;
   obs::Counter& retries_metric_;
   obs::Histogram& request_seconds_;
+  obs::Histogram& backoff_seconds_;
+  /// Jitter source for backoff sleeps. Seeded from the connect label so
+  /// runs are reproducible without coordination between clients.
+  Rng backoff_rng_;
   std::unique_ptr<net::Stream> connection_;
   std::unique_ptr<WireReader> reader_;
   uint64_t accounted_bytes_ = 0;

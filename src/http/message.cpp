@@ -84,6 +84,11 @@ HttpResponse HttpResponse::multistatus(std::string xml_body) {
               "text/xml; charset=\"utf-8\"");
 }
 
+bool method_is_replay_safe(std::string_view method) {
+  return method == "GET" || method == "HEAD" || method == "OPTIONS" ||
+         method == "PROPFIND" || method == "SEARCH" || method == "REPORT";
+}
+
 std::string_view reason_phrase(int status) {
   switch (status) {
     case 100: return "Continue";
@@ -100,6 +105,7 @@ std::string_view reason_phrase(int status) {
     case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 412: return "Precondition Failed";
     case 413: return "Request Entity Too Large";

@@ -92,6 +92,7 @@ inline constexpr int kUnauthorized = 401;
 inline constexpr int kForbidden = 403;
 inline constexpr int kNotFound = 404;
 inline constexpr int kMethodNotAllowed = 405;
+inline constexpr int kRequestTimeout = 408;
 inline constexpr int kConflict = 409;
 inline constexpr int kPreconditionFailed = 412;
 inline constexpr int kRequestTooLarge = 413;
@@ -100,6 +101,16 @@ inline constexpr int kLocked = 423;
 inline constexpr int kFailedDependency = 424;
 inline constexpr int kInternalError = 500;
 inline constexpr int kNotImplemented = 501;
+inline constexpr int kServiceUnavailable = 503;
 inline constexpr int kInsufficientStorage = 507;
+
+/// Whether a request of this method is safe to replay when it *may*
+/// already have reached the server (response lost mid-read, per-attempt
+/// timeout). Read-only methods qualify. PUT/DELETE — idempotent in
+/// plain HTTP — are deliberately excluded: this repository auto-checks
+/// in a new version on every PUT (DeltaV-lite), so a replayed PUT
+/// records a duplicate version. Requests that provably never left the
+/// client may always be replayed, whatever the method.
+bool method_is_replay_safe(std::string_view method);
 
 }  // namespace davpse::http

@@ -62,7 +62,9 @@ HttpServer::HttpServer(ServerConfig config, Handler* handler)
       bytes_out_metric_(metrics_.counter("http.server.bytes_out")),
       keepalive_reuse_metric_(
           metrics_.counter("http.server.keepalive_reuse")),
-      connections_metric_(metrics_.counter("http.server.connections")) {}
+      connections_metric_(metrics_.counter("http.server.connections")),
+      shed_metric_(metrics_.counter("http.server.shed")),
+      in_flight_gauge_(metrics_.gauge("http.server.in_flight")) {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -87,7 +89,22 @@ Status HttpServer::start(net::Network& network) {
           stream = std::move(queue_.front());
           queue_.pop_front();
         }
-        serve_connection(std::move(stream), daemon_id);
+        in_flight_gauge_.set(static_cast<int64_t>(
+            in_flight_.fetch_add(1, std::memory_order_relaxed) + 1));
+        {
+          std::lock_guard<std::mutex> lock(active_mutex_);
+          active_streams_.insert(stream.get());
+        }
+        serve_connection(stream.get(), daemon_id);
+        {
+          // Deregister before destroying: stop() only ever closes
+          // streams it finds in the set, never a freed one.
+          std::lock_guard<std::mutex> lock(active_mutex_);
+          active_streams_.erase(stream.get());
+        }
+        stream.reset();
+        in_flight_gauge_.set(static_cast<int64_t>(
+            in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1));
       }
     });
   }
@@ -98,6 +115,13 @@ void HttpServer::stop() {
   running_.store(false);
   if (listener_) listener_->shutdown();
   queue_cv_.notify_all();
+  {
+    // Abort in-flight connections: a daemon parked in a keep-alive
+    // idle read would otherwise hold the join below for the full
+    // keep_alive_timeout_seconds window.
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    for (net::Stream* stream : active_streams_) stream->close();
+  }
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
@@ -109,25 +133,56 @@ void HttpServer::accept_loop() {
   while (running_.load()) {
     auto stream = listener_->accept();
     if (!stream.ok()) return;  // listener shut down
+    bool overloaded = false;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      queue_.push_back(std::move(stream).value());
+      size_t waiting = queue_.size();
+      size_t serving = in_flight_.load(std::memory_order_relaxed);
+      overloaded =
+          (config_.max_queue_depth > 0 && waiting >= config_.max_queue_depth) ||
+          (config_.max_in_flight > 0 &&
+           waiting + serving >= config_.max_in_flight);
+      if (!overloaded) queue_.push_back(std::move(stream).value());
+    }
+    if (overloaded) {
+      shed_connection(std::move(stream).value());
+      continue;
     }
     queue_cv_.notify_one();
   }
 }
 
-void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream,
+void HttpServer::shed_connection(std::unique_ptr<net::Stream> stream) {
+  shed_metric_.add(1);
+  HttpResponse reply =
+      HttpResponse::make(kServiceUnavailable, "server overloaded\n");
+  reply.headers.set("Retry-After", std::to_string(config_.retry_after_seconds));
+  reply.headers.set("Connection", "close");
+  (void)write_response(stream.get(), reply);
+  // close() leaves the buffered 503 readable (clean write-side EOF) and
+  // aborts the peer's sends, so a client mid-upload fails fast and its
+  // early-read path finds the 503 waiting.
+  stream->close();
+}
+
+void HttpServer::serve_connection(net::Stream* stream,
                                   int daemon_id) {
-  WireReader reader(stream.get());
+  WireReader reader(stream);
   size_t served_here = 0;
   connections_metric_.add(1);
   while (running_.load()) {
     if (served_here > 0) {
       stream->set_read_timeout(config_.keep_alive_timeout_seconds);
+    } else if (config_.request_read_timeout_seconds > 0) {
+      // A fresh connection that never sends a request line must not pin
+      // this daemon forever.
+      stream->set_read_timeout(config_.request_read_timeout_seconds);
     }
     auto head = reader.read_request_head();
-    stream->set_read_timeout(0);
+    bool head_parsed = head.ok();
+    // Body reads run under the per-request deadline (0 disables); a
+    // peer stalling mid-body yields kTimeout below instead of hanging.
+    stream->set_read_timeout(config_.request_read_timeout_seconds);
     Status body_failure = Status::ok();
     // Per-request byte meters for the access-log record. These live on
     // the loop frame: the request/response (and any MeteredBodySource
@@ -166,17 +221,21 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream,
     if (!request.ok()) {
       const Status& status = request.status();
       if (status.code() == ErrorCode::kUnavailable ||
-          status.code() == ErrorCode::kTimeout) {
-        return;  // peer closed / idle limit — normal end of connection
+          (status.code() == ErrorCode::kTimeout && !head_parsed)) {
+        // Peer closed, keep-alive idle limit, or a connection that
+        // never produced a request line — normal end of connection.
+        return;
       }
       // The body (if any) was not consumed, so the connection framing
-      // is lost — reply and close.
+      // is lost — reply and close. A timeout after the head parsed
+      // means the peer stalled mid-request: tell it so with 408.
       int code = status.code() == ErrorCode::kTooLarge ? kRequestTooLarge
-                                                       : kBadRequest;
+                 : status.code() == ErrorCode::kTimeout ? kRequestTimeout
+                                                        : kBadRequest;
       HttpResponse reply =
           HttpResponse::make(code, status.message() + "\n");
       reply.headers.set("Connection", "close");
-      (void)write_response(stream.get(), reply);
+      (void)write_response(stream, reply);
       if (config_.event_log != nullptr) {
         // Malformed exchange: no parsed request line to report, but the
         // refusal itself belongs in the access log.
@@ -256,7 +315,7 @@ void HttpServer::serve_connection(std::unique_ptr<net::Stream> stream,
         !body_failure.is_ok() ||
         served_here >= config_.max_requests_per_connection;
     if (close_after) response.headers.set("Connection", "close");
-    bool write_ok = write_response(stream.get(), response).is_ok();
+    bool write_ok = write_response(stream, response).is_ok();
     if (config_.event_log != nullptr) {
       obs::AccessRecord record;
       record.unix_seconds = arrived;

@@ -11,6 +11,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +52,26 @@ struct ServerConfig {
   size_t max_requests_per_connection = 100;
   double keep_alive_timeout_seconds = 15.0;
   uint64_t max_body_bytes = 0;       // 0 = unlimited
+  /// Load shedding: when more than this many accepted connections are
+  /// waiting for a free daemon, further arrivals are answered 503 +
+  /// Retry-After without reading the request and closed (0 = never
+  /// shed). Shedding happens on the accept thread, so an overloaded
+  /// pool answers "back off" immediately instead of silently queueing.
+  size_t max_queue_depth = 0;
+  /// Additional ceiling on waiting + in-service connections combined
+  /// (0 = unlimited). With a fixed daemon pool this mostly matters when
+  /// max_queue_depth is unset.
+  size_t max_in_flight = 0;
+  /// Advertised in Retry-After on shed responses (whole seconds; the
+  /// client's retry loop treats it as a backoff floor).
+  int retry_after_seconds = 1;
+  /// Per-request read deadline (0 = none): bounds the wait for the
+  /// first request line on a fresh connection and every body read, so
+  /// a peer that stalls mid-request cannot pin a daemon. A stall after
+  /// the head parsed is answered 408 Request Timeout; a connection
+  /// that never sends a byte is closed silently. Idle keep-alive gaps
+  /// keep using keep_alive_timeout_seconds.
+  double request_read_timeout_seconds = 0;
   BasicAuthenticator authenticator;  // empty = auth disabled
   /// Registry receiving "http.server.*" metrics (per-method request
   /// counts and latency histograms, body bytes in/out, connection and
@@ -99,9 +120,16 @@ class HttpServer {
 
  private:
   void accept_loop();
+  /// Answers 503 + Retry-After on the accept thread without reading the
+  /// request, then closes. The reply stays readable by the peer (clean
+  /// write-side EOF); the peer's own writes fail, which its retry loop
+  /// treats as "shed before processing".
+  void shed_connection(std::unique_ptr<net::Stream> stream);
   /// `daemon_id` is the serving pool thread's index — it lands in the
-  /// access-log records this connection produces.
-  void serve_connection(std::unique_ptr<net::Stream> stream, int daemon_id);
+  /// access-log records this connection produces. The caller keeps
+  /// ownership of the stream: it stays registered in active_streams_
+  /// until after this returns, so stop() can abort a blocked read.
+  void serve_connection(net::Stream* stream, int daemon_id);
 
   ServerConfig config_;
   Handler* handler_;
@@ -113,15 +141,27 @@ class HttpServer {
   obs::Counter& bytes_out_metric_;
   obs::Counter& keepalive_reuse_metric_;
   obs::Counter& connections_metric_;
+  obs::Counter& shed_metric_;
+  obs::Gauge& in_flight_gauge_;
   std::unique_ptr<net::Listener> listener_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
+  /// Connections currently inside serve_connection (not queued).
+  std::atomic<size_t> in_flight_{0};
 
   // Simple work queue: accepted connections waiting for a daemon.
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<std::unique_ptr<net::Stream>> queue_;
+
+  // Streams currently being served. stop() closes them so a daemon
+  // blocked in a keep-alive idle read (up to keep_alive_timeout_seconds)
+  // unblocks immediately instead of holding shutdown for the full
+  // window. Entries are keys only — the owning daemon erases its entry
+  // before destroying the stream.
+  std::mutex active_mutex_;
+  std::set<net::Stream*> active_streams_;
 };
 
 }  // namespace davpse::http

@@ -1,0 +1,125 @@
+#include "net/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace davpse::net {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : connect_failures(obs::registry_or_global(config.metrics)
+                           .counter("resilience.injected.connect_failures")),
+      read_resets(obs::registry_or_global(config.metrics)
+                      .counter("resilience.injected.read_resets")),
+      write_resets(obs::registry_or_global(config.metrics)
+                       .counter("resilience.injected.write_resets")),
+      delays(obs::registry_or_global(config.metrics)
+                 .counter("resilience.injected.delays")),
+      truncations(obs::registry_or_global(config.metrics)
+                      .counter("resilience.injected.truncations")),
+      corruptions(obs::registry_or_global(config.metrics)
+                      .counter("resilience.injected.corruptions")),
+      config_(std::move(config)),
+      connect_rng_(config_.seed) {}
+
+uint64_t FaultInjector::next_stream_seed() {
+  // SplitMix64-style mix keeps per-stream sequences decorrelated while
+  // staying a pure function of (schedule seed, connection ordinal).
+  uint64_t ordinal = next_stream_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t z = config_.seed + 0x9e3779b97f4a7c15ULL * (ordinal + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void FaultInjector::fail_next_connects(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  forced_connect_failures_ = n;
+}
+
+bool FaultInjector::take_connect_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (forced_connect_failures_ > 0) {
+    --forced_connect_failures_;
+    connect_failures.add(1);
+    return true;
+  }
+  if (config_.connect_failure > 0 &&
+      connect_rng_.coin(config_.connect_failure)) {
+    connect_failures.add(1);
+    return true;
+  }
+  return false;
+}
+
+FaultInjectingStream::FaultInjectingStream(std::unique_ptr<Stream> inner,
+                                           FaultInjector* injector,
+                                           uint64_t seed)
+    : inner_(std::move(inner)), injector_(injector), rng_(seed) {}
+
+Result<size_t> FaultInjectingStream::read(char* buf, size_t max) {
+  const FaultConfig& config = injector_->config();
+  if (truncated_) return size_t{0};
+  if (config.read_reset > 0 && rng_.coin(config.read_reset)) {
+    injector_->read_resets.add(1);
+    inner_->close();
+    return Status(ErrorCode::kUnavailable, "injected: connection reset");
+  }
+  if (config.truncate > 0 && rng_.coin(config.truncate)) {
+    injector_->truncations.add(1);
+    truncated_ = true;
+    inner_->close();
+    return size_t{0};  // premature clean EOF
+  }
+  if (config.read_delay > 0 && rng_.coin(config.read_delay)) {
+    injector_->delays.add(1);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.delay_seconds));
+  }
+  return inner_->read(buf, max);
+}
+
+Status FaultInjectingStream::write(std::string_view data) {
+  const FaultConfig& config = injector_->config();
+  if (config.write_reset > 0 && rng_.coin(config.write_reset)) {
+    injector_->write_resets.add(1);
+    inner_->close();
+    return Status(ErrorCode::kUnavailable,
+                  "injected: connection reset before send");
+  }
+  if (config.write_reset_midway > 0 && data.size() > 1 &&
+      rng_.coin(config.write_reset_midway)) {
+    injector_->write_resets.add(1);
+    size_t prefix = 1 + rng_.uniform(0, data.size() - 2);
+    (void)inner_->write(data.substr(0, prefix));
+    inner_->close();
+    return Status(ErrorCode::kUnavailable,
+                  "injected: connection reset mid-send");
+  }
+  if (config.corrupt > 0 && !data.empty() && rng_.coin(config.corrupt)) {
+    injector_->corruptions.add(1);
+    std::string rotted(data);
+    size_t at = rng_.uniform(0, rotted.size() - 1);
+    rotted[at] = static_cast<char>(rotted[at] ^ (1 << rng_.uniform(0, 7)));
+    return inner_->write(rotted);
+  }
+  return inner_->write(data);
+}
+
+FaultInjectingNetwork::FaultInjectingNetwork(FaultConfig config,
+                                             Network* inner)
+    : inner_(inner != nullptr ? inner : &Network::instance()),
+      injector_(std::move(config)) {}
+
+Result<std::unique_ptr<Stream>> FaultInjectingNetwork::connect(
+    const std::string& endpoint) {
+  if (injector_.take_connect_failure()) {
+    return Status(ErrorCode::kUnavailable,
+                  "injected: connection refused at " + endpoint);
+  }
+  auto stream = inner_->connect(endpoint);
+  if (!stream.ok()) return stream.status();
+  return std::unique_ptr<Stream>(std::make_unique<FaultInjectingStream>(
+      std::move(stream).value(), &injector_, injector_.next_stream_seed()));
+}
+
+}  // namespace davpse::net

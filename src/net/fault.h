@@ -1,0 +1,142 @@
+// Deterministic, seedable fault injection for the in-memory transport.
+// The paper claims the open HTTP/DAV stack is *robust* at scientific
+// data sizes, but every bench and test in this repo had only ever run
+// over a perfect network. FaultInjectingNetwork decorates any
+// net::Network so an unchanged client/server stack can be exercised
+// under connection refusals, mid-stream resets, delays, truncation,
+// and body bit-rot — each drawn from an explicitly seeded schedule, so
+// a failing run replays exactly.
+//
+// Faults are injected on the *connecting* (client) side stream; resets
+// propagate to the server end through normal pipe abort semantics, the
+// same way a dropped TCP peer looks to a daemon.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "net/network.h"
+#include "net/stream.h"
+#include "obs/metrics.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace davpse::net {
+
+/// Per-operation fault probabilities. All default to 0 (a transparent
+/// wrapper); the seed makes every draw reproducible.
+struct FaultConfig {
+  uint64_t seed = 1;
+  /// P(connect() fails with kUnavailable before a stream exists).
+  double connect_failure = 0;
+  /// P per read() of a hard connection reset (kUnavailable; the peer
+  /// sees the abort too).
+  double read_reset = 0;
+  /// P per write() of a reset before any byte leaves — the request was
+  /// provably not sent, the one case a non-idempotent replay is safe.
+  double write_reset = 0;
+  /// P per write() of a reset after a partial prefix was delivered —
+  /// the ambiguous case: the peer may or may not have acted on it.
+  double write_reset_midway = 0;
+  /// P per read() of an injected stall of delay_seconds.
+  double read_delay = 0;
+  double delay_seconds = 0.005;
+  /// P per read() of premature clean EOF (looks like a truncated
+  /// message to the framing layer). Sticky: once truncated, the stream
+  /// stays at EOF.
+  double truncate = 0;
+  /// P per write() of one flipped byte in the block (bit-rot).
+  double corrupt = 0;
+  /// Registry receiving "resilience.injected.*" counters; nullptr
+  /// records into obs::Registry::global().
+  obs::Registry* metrics = nullptr;
+};
+
+/// Shared schedule state: the counters and the deterministic seed
+/// hand-out. One injector serves every stream of one
+/// FaultInjectingNetwork; streams draw from private RNGs seeded here so
+/// concurrent connections stay individually deterministic.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Deterministic seed for the next stream (mixes the schedule seed
+  /// with a connection ordinal).
+  uint64_t next_stream_seed();
+
+  /// Forces the next `n` connect() calls to fail regardless of
+  /// probabilities — the deterministic knob table-driven tests use.
+  void fail_next_connects(int n);
+
+  /// Decides (and records) whether this connect() fails.
+  bool take_connect_failure();
+
+  // Counters for the injecting stream to record into.
+  obs::Counter& connect_failures;
+  obs::Counter& read_resets;
+  obs::Counter& write_resets;
+  obs::Counter& delays;
+  obs::Counter& truncations;
+  obs::Counter& corruptions;
+
+ private:
+  FaultConfig config_;
+  std::mutex mutex_;
+  Rng connect_rng_;
+  int forced_connect_failures_ = 0;
+  std::atomic<uint64_t> next_stream_{0};
+};
+
+/// Stream decorator applying one fault schedule. Forwards everything —
+/// including set_read_timeout, traffic, and bytes_written — so the
+/// wrapped stream is indistinguishable from a plain one until a fault
+/// fires.
+class FaultInjectingStream final : public Stream {
+ public:
+  FaultInjectingStream(std::unique_ptr<Stream> inner,
+                       FaultInjector* injector, uint64_t seed);
+
+  Result<size_t> read(char* buf, size_t max) override;
+  Status write(std::string_view data) override;
+  void shutdown_write() override { inner_->shutdown_write(); }
+  void close() override { inner_->close(); }
+  void set_read_timeout(double seconds) override {
+    inner_->set_read_timeout(seconds);
+  }
+  const TrafficCounter* traffic() const override { return inner_->traffic(); }
+  uint64_t bytes_written() const override { return inner_->bytes_written(); }
+
+ private:
+  std::unique_ptr<Stream> inner_;
+  FaultInjector* injector_;
+  Rng rng_;
+  bool truncated_ = false;
+};
+
+/// Network decorator: listen() passes through untouched (servers bind
+/// on the inner network); connect() may refuse, and successful
+/// connections come back wrapped in a FaultInjectingStream.
+class FaultInjectingNetwork final : public Network {
+ public:
+  /// `inner` nullptr decorates the process-wide Network::instance().
+  explicit FaultInjectingNetwork(FaultConfig config,
+                                 Network* inner = nullptr);
+
+  Result<std::unique_ptr<Listener>> listen(
+      const std::string& endpoint) override {
+    return inner_->listen(endpoint);
+  }
+  Result<std::unique_ptr<Stream>> connect(const std::string& endpoint) override;
+  uint64_t total_bytes() const override { return inner_->total_bytes(); }
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  Network* inner_;
+  FaultInjector injector_;
+};
+
+}  // namespace davpse::net

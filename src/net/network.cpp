@@ -58,7 +58,7 @@ Result<std::unique_ptr<Stream>> Network::connect(const std::string& endpoint) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = listeners_.find(endpoint);
     if (it == listeners_.end()) {
-      return Status(ErrorCode::kNotFound,
+      return Status(ErrorCode::kUnavailable,
                     "connection refused: no listener at " + endpoint);
     }
     listener = it->second;

@@ -54,21 +54,30 @@ class Listener {
   bool shut_down_ = false;
 };
 
+/// The rendezvous surface is virtual so transport decorators (the
+/// fault-injecting network in net/fault.h) can stand in anywhere a
+/// Network is accepted — clients and servers are written against this
+/// interface and never know whether their streams are being faulted.
 class Network {
  public:
+  virtual ~Network() = default;
+
   /// Process-wide default network; individual tests may build private
   /// instances for isolation.
   static Network& instance();
 
   /// Claims an endpoint name. kAlreadyExists if something listens there.
-  Result<std::unique_ptr<Listener>> listen(const std::string& endpoint);
+  virtual Result<std::unique_ptr<Listener>> listen(
+      const std::string& endpoint);
 
-  /// Dials an endpoint. kNotFound if nothing is listening.
-  Result<std::unique_ptr<Stream>> connect(const std::string& endpoint);
+  /// Dials an endpoint. kUnavailable (connection refused) if nothing is
+  /// listening — the same retryable taxonomy a downed server produces,
+  /// distinct from a kNotFound *resource* inside a healthy server.
+  virtual Result<std::unique_ptr<Stream>> connect(const std::string& endpoint);
 
   /// Aggregate bytes moved over every connection made through this
   /// network since construction.
-  uint64_t total_bytes() const;
+  virtual uint64_t total_bytes() const;
 
  private:
   friend class Listener;

@@ -107,6 +107,12 @@ class PipeStream final : public Stream {
 
   const TrafficCounter* traffic() const override { return traffic_.get(); }
 
+  uint64_t bytes_written() const override {
+    return out_counter_ != nullptr
+               ? out_counter_->load(std::memory_order_relaxed)
+               : 0;
+  }
+
  private:
   std::shared_ptr<ByteQueue> in_;
   std::shared_ptr<ByteQueue> out_;

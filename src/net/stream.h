@@ -56,6 +56,13 @@ class Stream {
   /// Per-connection traffic counter (never null for pipe streams).
   virtual const TrafficCounter* traffic() const { return nullptr; }
 
+  /// Bytes this end has successfully handed to the transport since the
+  /// connection opened. Retry loops snapshot this around a send to
+  /// prove a failed request never left the client ("provably not
+  /// sent"), which is what makes replaying a non-idempotent request
+  /// safe. Wrapper streams must forward it.
+  virtual uint64_t bytes_written() const { return 0; }
+
   // --- Convenience helpers built on read/write -------------------------
 
   /// Reads exactly `n` bytes; kUnavailable on premature EOF.

@@ -1,0 +1,38 @@
+#include "util/policy.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+
+namespace davpse {
+
+Deadline Deadline::after(double seconds) {
+  Deadline deadline;
+  deadline.at_ = wall_time_seconds() + seconds;
+  return deadline;
+}
+
+double Deadline::remaining_seconds() const {
+  if (is_never()) return std::numeric_limits<double>::infinity();
+  return at_ - wall_time_seconds();
+}
+
+double RetryPolicy::backoff_before_attempt(int completed_attempts,
+                                           double unit) const {
+  if (initial_backoff_seconds <= 0) return 0;
+  double base = initial_backoff_seconds;
+  for (int i = 1; i < completed_attempts; ++i) {
+    base *= backoff_multiplier;
+    if (base >= max_backoff_seconds) break;
+  }
+  base = std::min(base, max_backoff_seconds);
+  double j = std::clamp(jitter, 0.0, 1.0);
+  return base * (1.0 - j * std::clamp(unit, 0.0, 1.0));
+}
+
+Deadline RetryPolicy::start_deadline() const {
+  return overall_deadline_seconds > 0 ? Deadline::after(overall_deadline_seconds)
+                                      : Deadline::never();
+}
+
+}  // namespace davpse

@@ -1,0 +1,91 @@
+// Unified retry/backoff/deadline policy — the one knob set every
+// client in the stack shares. Before this existed, retry behaviour was
+// scattered: HttpClient had a bespoke dead-keep-alive replay counter
+// (ClientConfig::max_retries), timeouts hid inside
+// Stream::set_read_timeout call sites, and the cache had none at all.
+// RetryPolicy and Deadline are plain value types so the same policy
+// can be threaded through HttpClient, DavClient, ftp::Client, and
+// CachingDavStorage without any of them knowing about the others.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace davpse {
+
+/// Absolute point in time an operation must finish by, measured on the
+/// monotonic wall clock. Value type: copy freely, compare remaining().
+class Deadline {
+ public:
+  /// No deadline: remaining() is +infinity, expired() never true.
+  static Deadline never() { return Deadline(); }
+
+  /// Expires `seconds` from now.
+  static Deadline after(double seconds);
+
+  bool is_never() const {
+    return at_ == std::numeric_limits<double>::infinity();
+  }
+
+  /// Seconds until expiry (may be negative once expired; +infinity for
+  /// never()).
+  double remaining_seconds() const;
+
+  bool expired() const { return !is_never() && remaining_seconds() <= 0; }
+
+  /// Whether a wait of `seconds` still fits before expiry.
+  bool allows(double seconds) const {
+    return is_never() || seconds <= remaining_seconds();
+  }
+
+ private:
+  Deadline() = default;
+  double at_ = std::numeric_limits<double>::infinity();
+};
+
+/// How an operation retries: attempt budget, jittered exponential
+/// backoff between attempts, a per-attempt response timeout, and an
+/// overall deadline for the whole call. Which *failures* are worth
+/// retrying is the caller's decision (see Status::is_retryable() and
+/// http::method_is_replay_safe) — the policy only shapes the loop.
+struct RetryPolicy {
+  /// Total tries including the first (1 = never retry). The default of
+  /// 2 preserves the old ClientConfig::max_retries = 1 behaviour.
+  int max_attempts = 2;
+  /// Backoff before the first retry; doubles (see multiplier) up to
+  /// max_backoff_seconds on each further retry.
+  double initial_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  /// Fraction of the computed backoff randomized away: a sleep lands
+  /// uniformly in [b*(1-jitter), b]. 0 = fully deterministic.
+  double jitter = 0.5;
+  /// Per-attempt deadline for reading the response (0 = none). Applied
+  /// as a read timeout on the transport, so a stalled server yields
+  /// kTimeout instead of pinning the caller.
+  double attempt_timeout_seconds = 0;
+  /// Budget for the whole operation across all attempts and backoff
+  /// sleeps (0 = none). Once spent, no further retry is scheduled.
+  double overall_deadline_seconds = 0;
+
+  /// Policy that never retries and never times out.
+  static RetryPolicy none() {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+
+  /// The default-constructed policy, spelled out for call sites.
+  static RetryPolicy standard() { return RetryPolicy(); }
+
+  /// Backoff to sleep after `completed_attempts` tries have failed
+  /// (1-based: the sleep before the first retry passes 1). `unit` is a
+  /// uniform random draw in [0, 1) supplied by the caller so tests can
+  /// pin the jitter.
+  double backoff_before_attempt(int completed_attempts, double unit) const;
+
+  /// Deadline::after(overall_deadline_seconds), or never() when 0.
+  Deadline start_deadline() const;
+};
+
+}  // namespace davpse

@@ -34,6 +34,16 @@ enum class ErrorCode {
 /// Human-readable code name, e.g. "NOT_FOUND".
 std::string_view error_code_name(ErrorCode code);
 
+/// Transient-failure classification shared by every retry loop in the
+/// stack: kUnavailable (peer closed, endpoint down, connection reset)
+/// and kTimeout (deadline elapsed; the work may or may not have
+/// happened) are worth another attempt. Everything else — protocol
+/// errors, missing resources, auth failures — will fail the same way
+/// again, so retrying only adds load.
+constexpr bool is_retryable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+}
+
 /// A success-or-error value. Cheap to copy on success (empty message).
 class Status {
  public:
@@ -44,6 +54,9 @@ class Status {
   static Status ok() { return Status(); }
 
   bool is_ok() const { return code_ == ErrorCode::kOk; }
+  /// See is_retryable(ErrorCode): true for transient transport-level
+  /// failures another attempt might not hit.
+  bool is_retryable() const { return davpse::is_retryable(code_); }
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

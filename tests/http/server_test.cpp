@@ -231,7 +231,7 @@ TEST(HttpClient, ConnectionRefusedSurfacesError) {
   HttpClient client(config);
   auto response = client.get("/x");
   EXPECT_FALSE(response.ok());
-  EXPECT_EQ(response.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(response.status().code(), ErrorCode::kUnavailable);
 }
 
 TEST(HttpClient, NetworkModelAccountsTraffic) {

@@ -14,7 +14,10 @@ TEST(Network, ConnectRefusedWithoutListener) {
   Network network;
   auto stream = network.connect("nobody-home");
   EXPECT_FALSE(stream.ok());
-  EXPECT_EQ(stream.status().code(), ErrorCode::kNotFound);
+  // Refused connect = the endpoint is down, not "the resource does not
+  // exist": kUnavailable, so retry loops and the cache's stale-serving
+  // path treat it as a transient outage.
+  EXPECT_EQ(stream.status().code(), ErrorCode::kUnavailable);
 }
 
 TEST(Network, ListenAcceptConnect) {

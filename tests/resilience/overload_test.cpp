@@ -1,0 +1,187 @@
+// Overload shedding and per-request read deadlines: an HTTP server with
+// a tiny daemon pool must answer "503, back off" immediately instead of
+// queueing without bound, and a peer that stalls mid-request must not
+// pin a daemon.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/client.h"
+#include "http/server.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "testing/env.h"
+
+namespace davpse::http {
+namespace {
+
+class SlowHandler final : public Handler {
+ public:
+  explicit SlowHandler(double seconds) : seconds_(seconds) {}
+  HttpResponse handle(const HttpRequest&) override {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds_));
+    return HttpResponse::make(kOk, "served\n");
+  }
+
+ private:
+  double seconds_;
+};
+
+ClientConfig client_config(const std::string& endpoint,
+                           obs::Registry* metrics) {
+  ClientConfig config;
+  config.endpoint = endpoint;
+  config.metrics = metrics;
+  return config;
+}
+
+TEST(Overload, ShedsWith503AndRetryAfter) {
+  obs::Registry registry;
+  SlowHandler handler(0.1);
+  ServerConfig server_config;
+  server_config.endpoint = testing::unique_endpoint("overload");
+  server_config.daemons = 1;
+  server_config.max_queue_depth = 1;
+  server_config.retry_after_seconds = 2;
+  server_config.metrics = &registry;
+  HttpServer server(server_config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kClients = 6;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      ClientConfig config =
+          client_config(server.endpoint(), &registry);
+      config.retry = RetryPolicy::none();  // observe the raw 503
+      HttpClient client(config);
+      auto response = client.get("/");
+      if (!response.ok()) {
+        ++other;
+        return;
+      }
+      if (response.value().status == kOk) {
+        ++ok_count;
+      } else if (response.value().status == kServiceUnavailable) {
+        // The shed reply must carry the backoff hint.
+        EXPECT_EQ(response.value().headers.get_uint("Retry-After"),
+                  std::optional<uint64_t>(2));
+        ++shed_count;
+      } else {
+        ++other;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(ok_count.load(), 1);
+  EXPECT_GE(shed_count.load(), 1);
+  EXPECT_EQ(registry.counter("http.server.shed").value(),
+            static_cast<uint64_t>(shed_count.load()));
+
+  // The pool itself never jammed: a fresh request still gets served.
+  HttpClient after(client_config(server.endpoint(), &registry));
+  auto response = after.get("/");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, kOk);
+}
+
+TEST(Overload, RetryingClientsRideThroughShedding) {
+  obs::Registry registry;
+  SlowHandler handler(0.02);
+  ServerConfig server_config;
+  server_config.endpoint = testing::unique_endpoint("overload-retry");
+  server_config.daemons = 1;
+  server_config.max_queue_depth = 1;
+  server_config.retry_after_seconds = 0;  // client backoff governs
+  server_config.metrics = &registry;
+  HttpServer server(server_config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kClients = 6;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      ClientConfig config = client_config(server.endpoint(), &registry);
+      config.connect_label = "overload.client" + std::to_string(i);
+      config.retry.max_attempts = 20;
+      config.retry.initial_backoff_seconds = 0.005;
+      config.retry.max_backoff_seconds = 0.05;
+      HttpClient client(config);
+      auto response = client.get("/");
+      if (response.ok() && response.value().status == kOk) ++ok_count;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every client eventually got through by honoring the 503 backoff.
+  EXPECT_EQ(ok_count.load(), kClients);
+}
+
+TEST(ReadDeadline, SilentConnectionNeverPinsADaemon) {
+  obs::Registry registry;
+  SlowHandler handler(0.0);
+  ServerConfig server_config;
+  server_config.endpoint = testing::unique_endpoint("deadline-idle");
+  server_config.daemons = 1;  // a single pinned daemon would jam it all
+  server_config.request_read_timeout_seconds = 0.05;
+  server_config.metrics = &registry;
+  HttpServer server(server_config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Connect and send nothing. The lone daemon must shake this off.
+  auto mute = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(mute.ok());
+
+  HttpClient client(client_config(server.endpoint(), &registry));
+  auto response = client.get("/");
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().status, kOk);
+  mute.value()->close();
+}
+
+TEST(ReadDeadline, StalledBodyGets408AndDaemonRecovers) {
+  obs::Registry registry;
+  SlowHandler handler(0.0);
+  ServerConfig server_config;
+  server_config.endpoint = testing::unique_endpoint("deadline-body");
+  server_config.daemons = 1;
+  server_config.request_read_timeout_seconds = 0.05;
+  server_config.metrics = &registry;
+  HttpServer server(server_config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto stalled = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(stalled.ok());
+  // Complete head, then stop three bytes into a ten-byte body.
+  ASSERT_TRUE(stalled.value()
+                  ->write("PUT /x HTTP/1.1\r\nHost: h\r\n"
+                          "Content-Length: 10\r\n\r\nabc")
+                  .is_ok());
+  std::string reply;
+  char buf[512];
+  for (;;) {
+    auto n = stalled.value()->read(buf, sizeof buf);
+    if (!n.ok() || n.value() == 0) break;
+    reply.append(buf, n.value());
+  }
+  EXPECT_NE(reply.find("HTTP/1.1 408"), std::string::npos) << reply;
+  stalled.value()->close();
+
+  // The daemon is free again for a well-behaved client.
+  HttpClient client(client_config(server.endpoint(), &registry));
+  auto response = client.get("/");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, kOk);
+}
+
+}  // namespace
+}  // namespace davpse::http

@@ -1,0 +1,121 @@
+// Stale-serving degradation: when the repository goes down, the
+// client-side cache keeps answering reads from its last-validated
+// copies — marked stale — instead of erroring. The PSE reads through an
+// outage; only uncached objects fail.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/caching_storage.h"
+#include "davclient/client.h"
+#include "obs/metrics.h"
+#include "testing/env.h"
+#include "util/status.h"
+
+namespace davpse::ecce {
+namespace {
+
+davclient::DavClient quick_client(testing::DavStack& stack,
+                                  obs::Registry* metrics) {
+  http::ClientConfig config;
+  config.endpoint = stack.server->endpoint();
+  config.metrics = metrics;
+  // Keep the outage path fast: one retry with a tiny backoff.
+  config.retry.max_attempts = 2;
+  config.retry.initial_backoff_seconds = 0.001;
+  config.retry.max_backoff_seconds = 0.005;
+  return davclient::DavClient(config);
+}
+
+TEST(StaleServe, OutageServesCachedCopyMarkedStale) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, /*daemons=*/5, &registry);
+  auto client = quick_client(stack, &registry);
+  CachingDavStorage storage(&client, &registry);
+
+  ASSERT_TRUE(
+      storage.write_object("/doc.txt", "cached-content", "text/plain")
+          .is_ok());
+  Freshness freshness = Freshness::kStale;
+  auto fresh_read = storage.read_object("/doc.txt", &freshness);
+  ASSERT_TRUE(fresh_read.ok());
+  EXPECT_EQ(fresh_read.value(), "cached-content");
+  EXPECT_EQ(freshness, Freshness::kFresh);
+  EXPECT_EQ(storage.stale_served(), 0u);
+
+  // Repository outage: every connect is now refused.
+  stack.server->stop();
+
+  auto stale_read = storage.read_object("/doc.txt", &freshness);
+  ASSERT_TRUE(stale_read.ok()) << stale_read.status().to_string();
+  EXPECT_EQ(stale_read.value(), "cached-content");
+  EXPECT_EQ(freshness, Freshness::kStale);
+  EXPECT_EQ(storage.stale_served(), 1u);
+  EXPECT_EQ(registry.counter("ecce.cache.stale_served").value(), 1u);
+
+  // The nullptr-freshness overload degrades the same way.
+  auto plain_read = storage.read_object("/doc.txt");
+  ASSERT_TRUE(plain_read.ok());
+  EXPECT_EQ(plain_read.value(), "cached-content");
+  EXPECT_EQ(storage.stale_served(), 2u);
+}
+
+TEST(StaleServe, UncachedObjectStillFailsDuringOutage) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, /*daemons=*/5, &registry);
+  auto client = quick_client(stack, &registry);
+  CachingDavStorage storage(&client, &registry);
+
+  ASSERT_TRUE(
+      storage.write_object("/cached.txt", "kept", "text/plain").is_ok());
+  ASSERT_TRUE(storage.read_object("/cached.txt").ok());
+  stack.server->stop();
+
+  Freshness freshness = Freshness::kFresh;
+  auto missing = storage.read_object("/never-read.txt", &freshness);
+  ASSERT_FALSE(missing.ok());
+  // The outage error surfaces — retryable, so callers can distinguish
+  // "repository down" from "object does not exist".
+  EXPECT_TRUE(missing.status().is_retryable())
+      << missing.status().to_string();
+  EXPECT_EQ(registry.counter("ecce.cache.stale_served").value(), 0u);
+}
+
+TEST(StaleServe, NotFoundNeverDegradesToStale) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, /*daemons=*/5, &registry);
+  auto client = quick_client(stack, &registry);
+  CachingDavStorage storage(&client, &registry);
+
+  ASSERT_TRUE(
+      storage.write_object("/doc.txt", "original", "text/plain").is_ok());
+  ASSERT_TRUE(storage.read_object("/doc.txt").ok());
+
+  // The object is deleted behind the cache's back: the next read must
+  // report kNotFound, not quietly serve the dead cached copy.
+  ASSERT_TRUE(client.remove("/doc.txt").is_ok());
+  auto gone = storage.read_object("/doc.txt");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(storage.stale_served(), 0u);
+}
+
+TEST(StaleServe, CacheLevelRetryPolicyRecoversTransientOutage) {
+  obs::Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, /*daemons=*/5, &registry);
+  auto client = quick_client(stack, &registry);
+  RetryPolicy cache_retry;
+  cache_retry.max_attempts = 3;
+  cache_retry.initial_backoff_seconds = 0.001;
+  CachingDavStorage storage(&client, &registry, cache_retry);
+
+  ASSERT_TRUE(
+      storage.write_object("/doc.txt", "content", "text/plain").is_ok());
+  Freshness freshness = Freshness::kStale;
+  auto read = storage.read_object("/doc.txt", &freshness);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(freshness, Freshness::kFresh);
+}
+
+}  // namespace
+}  // namespace davpse::ecce

@@ -1,0 +1,87 @@
+#include "util/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace davpse {
+namespace {
+
+TEST(Deadline, NeverNeverExpires) {
+  Deadline deadline = Deadline::never();
+  EXPECT_TRUE(deadline.is_never());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(deadline.allows(1e9));
+}
+
+TEST(Deadline, AfterCountsDown) {
+  Deadline deadline = Deadline::after(1000.0);
+  EXPECT_FALSE(deadline.is_never());
+  EXPECT_FALSE(deadline.expired());
+  double remaining = deadline.remaining_seconds();
+  EXPECT_GT(remaining, 999.0);
+  EXPECT_LE(remaining, 1000.0);
+  EXPECT_TRUE(deadline.allows(10.0));
+  EXPECT_FALSE(deadline.allows(2000.0));
+}
+
+TEST(Deadline, AlreadyExpired) {
+  Deadline deadline = Deadline::after(0);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_FALSE(deadline.allows(0.001));
+}
+
+TEST(RetryPolicy, NoneIsSingleAttempt) {
+  RetryPolicy policy = RetryPolicy::none();
+  EXPECT_EQ(policy.max_attempts, 1);
+  EXPECT_TRUE(policy.start_deadline().is_never());
+}
+
+TEST(RetryPolicy, ExponentialBackoffWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.05;
+  policy.jitter = 0;
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(1, 0.5), 0.01);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(2, 0.5), 0.02);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(3, 0.5), 0.04);
+  // Clamped to the cap from here on.
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(4, 0.5), 0.05);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(10, 0.5), 0.05);
+}
+
+TEST(RetryPolicy, JitterShrinksTowardFloor) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.jitter = 0.5;
+  // unit = 0 keeps the full backoff; unit -> 1 shaves off up to the
+  // jitter fraction, so sleeps land in [b*(1-jitter), b].
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(1, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(1, 1.0), 0.05);
+  double mid = policy.backoff_before_attempt(1, 0.4);
+  EXPECT_GT(mid, 0.05);
+  EXPECT_LT(mid, 0.1);
+}
+
+TEST(RetryPolicy, OverallDeadlineSeedsDeadline) {
+  RetryPolicy policy;
+  policy.overall_deadline_seconds = 500.0;
+  Deadline deadline = policy.start_deadline();
+  EXPECT_FALSE(deadline.is_never());
+  EXPECT_GT(deadline.remaining_seconds(), 499.0);
+}
+
+TEST(Status, RetryableClassification) {
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(ErrorCode::kTimeout));
+  EXPECT_FALSE(is_retryable(ErrorCode::kNotFound));
+  EXPECT_FALSE(is_retryable(ErrorCode::kPermissionDenied));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
+  EXPECT_TRUE(
+      Status(ErrorCode::kUnavailable, "connection refused").is_retryable());
+  EXPECT_FALSE(Status::ok().is_retryable());
+}
+
+}  // namespace
+}  // namespace davpse
