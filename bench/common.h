@@ -3,11 +3,13 @@
 // network time (DESIGN.md), and aligned table printing.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -44,6 +46,17 @@ inline double env_double(const char* name, double fallback) {
   return std::strtod(raw, nullptr);
 }
 
+/// Artificial per-operation slowdown for exercising the perf gate:
+/// DAVPSE_PERF_HANDICAP_US sleeps that many microseconds inside every
+/// measured operation, so `DAVPSE_PERF_HANDICAP_US=5000 ctest -L perf`
+/// demonstrably trips the regression comparison against the checked-in
+/// baseline. Zero (the default) is a no-op on the measured path.
+inline void perf_handicap() {
+  static const uint64_t micros = env_u64("DAVPSE_PERF_HANDICAP_US", 0);
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
 struct DavStack {
   explicit DavStack(dbm::Flavor flavor = dbm::Flavor::kGdbm,
                     size_t daemons = 5)
@@ -52,6 +65,11 @@ struct DavStack {
     dav_config.root = temp.path();
     dav_config.flavor = flavor;
     dav_config.metrics = &metrics;
+    // Ablation knob: force PROPFIND streaming on (0) / off (large)
+    // regardless of response size.
+    dav_config.propfind_stream_threshold = static_cast<size_t>(env_u64(
+        "DAVPSE_PROPFIND_STREAM_THRESHOLD",
+        static_cast<uint64_t>(dav_config.propfind_stream_threshold)));
     dav = std::make_unique<dav::DavServer>(dav_config);
     http::ServerConfig http_config;
     http_config.endpoint = unique_endpoint("bench-dav");

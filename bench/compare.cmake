@@ -1,0 +1,107 @@
+# Perf regression gate: compares a freshly emitted bench artifact
+# against the checked-in baseline under bench/baseline/ and fails when
+# the geometric mean of the per-row throughput ratios (fresh/baseline)
+# drops below TOLERANCE. The geomean keeps one noisy row from tripping
+# the gate while still catching a broad slowdown; TOLERANCE defaults
+# to 0.6 — loose enough for shared-runner jitter, tight enough that an
+# accidental O(n) -> O(n^2) or a reintroduced per-chunk allocation
+# storm fails the build.
+#
+# EXCLUDE is an optional regex of row labels to leave out of the
+# geomean: rows whose throughput is dominated by disk state rather
+# than code (filesystem copy/unlink storms swing 5x with writeback
+# pressure) would turn the gate into a disk-noise detector. Excluded
+# rows are still printed for the record.
+#
+# Standalone:
+#   cmake -D FRESH=<json> -D BASELINE=<json> -D METRIC_KEY=<key>
+#         [-D TOLERANCE=0.6] [-D EXCLUDE=<label-regex>] -P compare.cmake
+# or include()d from smoke.cmake with the same variables set.
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+foreach(required FRESH BASELINE METRIC_KEY)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "compare.cmake: missing -D ${required}=...")
+  endif()
+endforeach()
+if(NOT DEFINED TOLERANCE)
+  if(DEFINED ENV{DAVPSE_PERF_TOLERANCE})
+    set(TOLERANCE "$ENV{DAVPSE_PERF_TOLERANCE}")
+  else()
+    set(TOLERANCE 0.6)
+  endif()
+endif()
+
+foreach(artifact FRESH BASELINE)
+  if(NOT EXISTS "${${artifact}}")
+    message(FATAL_ERROR "compare.cmake: ${artifact} not found: ${${artifact}}")
+  endif()
+endforeach()
+file(READ "${FRESH}" fresh_json)
+file(READ "${BASELINE}" baseline_json)
+
+# Pair rows by label: every baseline row must still exist in the fresh
+# artifact (a silently dropped row would otherwise shrink the gate).
+string(JSON baseline_rows LENGTH "${baseline_json}" rows)
+string(JSON fresh_rows LENGTH "${fresh_json}" rows)
+set(paired "")
+math(EXPR last_baseline "${baseline_rows} - 1")
+math(EXPR last_fresh "${fresh_rows} - 1")
+foreach(i RANGE 0 ${last_baseline})
+  string(JSON label GET "${baseline_json}" rows ${i} label)
+  string(JSON base_value GET "${baseline_json}" rows ${i} ${METRIC_KEY})
+  set(fresh_value "")
+  foreach(j RANGE 0 ${last_fresh})
+    string(JSON fresh_label GET "${fresh_json}" rows ${j} label)
+    if(fresh_label STREQUAL label)
+      string(JSON fresh_value GET "${fresh_json}" rows ${j} ${METRIC_KEY})
+      break()
+    endif()
+  endforeach()
+  if(fresh_value STREQUAL "")
+    message(FATAL_ERROR "baseline row '${label}' missing from ${FRESH}")
+  endif()
+  set(gated 1)
+  if(DEFINED EXCLUDE AND label MATCHES "${EXCLUDE}")
+    set(gated 0)
+  endif()
+  string(APPEND paired "${fresh_value}\t${base_value}\t${gated}\t${label}\n")
+endforeach()
+
+# CMake script arithmetic is integer-only; awk does the float work.
+# One line per row: fresh <TAB> baseline <TAB> gated(0|1) <TAB> label
+# (labels may contain spaces). Exit 0 iff the geomean of gated-row
+# ratios (fresh/baseline) >= tolerance.
+find_program(AWK awk REQUIRED)
+get_filename_component(fresh_dir "${FRESH}" DIRECTORY)
+set(rows_file "${fresh_dir}/compare_rows.tsv")
+file(WRITE "${rows_file}" "${paired}")
+execute_process(
+  COMMAND "${AWK}" -F "\t" -v tol=${TOLERANCE} -v key=${METRIC_KEY} "
+    {
+      ratio = \$1 / \$2
+      tag = \"\"
+      if (\$3 == 1) { sum_log += log(ratio); rows += 1 }
+      else { tag = \"  (not gated)\" }
+      printf \"  %-42s %14.5g %14.5g  x%.3f%s\\n\", \$4, \$1, \$2, ratio, tag
+    }
+    END {
+      if (rows == 0) { print \"no rows to compare\"; exit 2 }
+      geomean = exp(sum_log / rows)
+      printf \"%s geomean x%.3f over %d rows (tolerance x%.2f)\\n\",
+             key, geomean, rows, tol
+      exit (geomean >= tol) ? 0 : 1
+    }"
+  INPUT_FILE "${rows_file}"
+  RESULT_VARIABLE gate_rc
+  OUTPUT_VARIABLE gate_out
+  ERROR_VARIABLE gate_err)
+message(STATUS "perf gate (${METRIC_KEY}, fresh vs baseline):\n${gate_out}")
+if(gate_rc EQUAL 1)
+  message(FATAL_ERROR
+          "perf regression: ${METRIC_KEY} geomean fell below x${TOLERANCE} "
+          "of ${BASELINE}. If the slowdown is intended, refresh the "
+          "baseline (see DESIGN.md, 'Hot paths & perf gate').")
+elseif(NOT gate_rc EQUAL 0)
+  message(FATAL_ERROR "compare.cmake: awk failed (${gate_rc}): ${gate_err}")
+endif()

@@ -1,0 +1,93 @@
+# Self-test for the perf regression gate (ctest -L perf): feeds
+# compare.cmake synthetic fresh/baseline artifact pairs and asserts
+# that it PASSES when throughput holds and FAILS when it collapses —
+# deterministic proof the gate trips, independent of machine speed.
+#
+# Invoked as:
+#   cmake -D COMPARE_SCRIPT=<compare.cmake> -D OUT_DIR=<dir>
+#         -P gate_selftest.cmake
+cmake_minimum_required(VERSION 3.19)
+
+foreach(required COMPARE_SCRIPT OUT_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "gate_selftest.cmake: missing -D ${required}=...")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# Baseline: two rows at 1000 and 2000 ops/s.
+file(WRITE "${OUT_DIR}/baseline.json" [=[
+{"bench": "selftest", "rows": [
+  {"label": "op one", "ops_per_second": 1000.0},
+  {"label": "op two", "ops_per_second": 2000.0}
+]}
+]=])
+# Healthy run: one row a bit slower, one a bit faster — geomean ~0.97,
+# comfortably above the 0.6 tolerance.
+file(WRITE "${OUT_DIR}/fresh_ok.json" [=[
+{"bench": "selftest", "rows": [
+  {"label": "op one", "ops_per_second": 900.0},
+  {"label": "op two", "ops_per_second": 2100.0}
+]}
+]=])
+# Regressed run: both rows at half speed — geomean 0.5, below 0.6.
+file(WRITE "${OUT_DIR}/fresh_slow.json" [=[
+{"bench": "selftest", "rows": [
+  {"label": "op one", "ops_per_second": 500.0},
+  {"label": "op two", "ops_per_second": 1000.0}
+]}
+]=])
+
+# run_gate(<fresh> <expected> [exclude-regex]): expected is PASS or
+# FAIL. TOLERANCE is pinned so an ambient DAVPSE_PERF_TOLERANCE cannot
+# skew the fixture.
+function(run_gate fresh expected)
+  set(exclude_args "")
+  if(ARGC GREATER 2)
+    set(exclude_args "-D EXCLUDE=${ARGV2}")
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}"
+                          -D FRESH=${OUT_DIR}/${fresh}
+                          -D BASELINE=${OUT_DIR}/baseline.json
+                          -D METRIC_KEY=ops_per_second
+                          -D TOLERANCE=0.6
+                          ${exclude_args}
+                          -P "${COMPARE_SCRIPT}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(expected STREQUAL "PASS" AND NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "gate rejected healthy run ${fresh} (rc ${rc}):\n${out}\n${err}")
+  endif()
+  if(expected STREQUAL "FAIL" AND rc EQUAL 0)
+    message(FATAL_ERROR
+            "gate accepted regressed run ${fresh} — the perf gate "
+            "cannot trip:\n${out}")
+  endif()
+  message(STATUS "gate ${expected} on ${fresh}: ok")
+endfunction()
+
+run_gate(fresh_ok.json PASS)
+run_gate(fresh_slow.json FAIL)
+
+# One collapsed row that is EXCLUDEd (e.g. a disk-bound row) must not
+# drag down the gate; the same run without the exclusion must fail.
+file(WRITE "${OUT_DIR}/fresh_mixed.json" [=[
+{"bench": "selftest", "rows": [
+  {"label": "op one", "ops_per_second": 200.0},
+  {"label": "op two", "ops_per_second": 2000.0}
+]}
+]=])
+run_gate(fresh_mixed.json FAIL)
+run_gate(fresh_mixed.json PASS "op one")
+
+# A fresh artifact that silently dropped a baseline row must also fail.
+file(WRITE "${OUT_DIR}/fresh_missing.json" [=[
+{"bench": "selftest", "rows": [
+  {"label": "op one", "ops_per_second": 1000.0}
+]}
+]=])
+run_gate(fresh_missing.json FAIL)
+
+message(STATUS "perf gate self-test passed")

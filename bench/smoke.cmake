@@ -3,9 +3,17 @@
 # validates the emitted BENCH_<name>.json artifact — it must parse, be
 # self-labeled, carry at least one row, and embed a registry snapshot.
 #
+# With -D BASELINE=<json> -D METRIC_KEY=<key> the same driver becomes
+# the perf regression gate (ctest -L perf): after validating the fresh
+# artifact it hands off to compare.cmake, which fails the test when
+# throughput drops below DAVPSE_PERF_TOLERANCE (default 0.6) of the
+# checked-in baseline.
+#
 # Invoked as:
 #   cmake -D BENCH_EXE=<binary> -D BENCH_NAME=<name> -D OUT_DIR=<dir>
-#         [-D ENV_SETTINGS=K1=V1,K2=V2] -P smoke.cmake
+#         [-D ENV_SETTINGS=K1=V1,K2=V2]
+#         [-D BASELINE=<json> -D METRIC_KEY=<key> [-D TOLERANCE=<x>]]
+#         -P smoke.cmake
 cmake_minimum_required(VERSION 3.19)  # string(JSON)
 
 foreach(required BENCH_EXE BENCH_NAME OUT_DIR)
@@ -76,3 +84,11 @@ endif()
 
 message(STATUS
         "${BENCH_NAME}: artifact ok (${row_count} rows) at ${artifact}")
+
+if(DEFINED BASELINE)
+  if(NOT DEFINED METRIC_KEY)
+    message(FATAL_ERROR "smoke.cmake: BASELINE requires -D METRIC_KEY=...")
+  endif()
+  set(FRESH "${artifact}")
+  include("${CMAKE_CURRENT_LIST_DIR}/compare.cmake")
+endif()

@@ -1,9 +1,13 @@
 #include "dav/server.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <mutex>
 
 #include "dav/search.h"
+#include "http/body.h"
 #include "util/clock.h"
 #include "util/strings.h"
 #include "util/uri.h"
@@ -98,13 +102,51 @@ HttpResponse error_response(const Status& status) {
   return HttpResponse::make(status_from(status), status.to_string() + "\n");
 }
 
-std::string http_date(int64_t unix_seconds) {
-  char buf[64];
-  std::time_t t = static_cast<std::time_t>(unix_seconds);
-  std::tm tm_utc{};
-  gmtime_r(&t, &tm_utc);
-  std::strftime(buf, sizeof buf, "%a, %d %b %Y %H:%M:%S GMT", &tm_utc);
-  return buf;
+/// RFC 1123 date, cached per timestamp per thread: a depth-1 PROPFIND
+/// renders getlastmodified for dozens of siblings that typically share
+/// an mtime, and strftime+gmtime_r is the dominant cost of the row.
+const std::string& http_date(int64_t unix_seconds) {
+  thread_local int64_t formatted_for = INT64_MIN;
+  thread_local std::string cached;
+  if (unix_seconds != formatted_for) {
+    char buf[64];
+    std::time_t t = static_cast<std::time_t>(unix_seconds);
+    std::tm tm_utc{};
+    gmtime_r(&t, &tm_utc);
+    std::strftime(buf, sizeof buf, "%a, %d %b %Y %H:%M:%S GMT", &tm_utc);
+    cached = buf;
+    formatted_for = unix_seconds;
+  }
+  return cached;
+}
+
+/// Strong validator from the stat the repository already did:
+/// "mtime-length", formatted into a stack buffer. Single source of
+/// truth for GET validators, DAV:getetag, and If-Match checks.
+std::string etag_of(const ResourceInfo& info) {
+  char buf[48];
+  int len = std::snprintf(
+      buf, sizeof buf, "\"%lld-%llu\"",
+      static_cast<long long>(info.mtime_seconds),
+      static_cast<unsigned long long>(info.content_length));
+  return std::string(buf, static_cast<size_t>(len));
+}
+
+/// RFC 7232 If-Match: true when the header's ETag list covers the
+/// resource's current state. "*" matches any existing resource; a
+/// missing resource fails every form, including "*" — so a client that
+/// read version X can never silently overwrite (or delete) version Y
+/// written by someone else, the lost-update race the paper's
+/// versioning story exists to prevent.
+bool if_match_passes(std::string_view header, const ResourceInfo& info) {
+  if (info.kind == ResourceKind::kMissing) return false;
+  auto presented = trim(header);
+  if (presented == "*") return true;
+  std::string etag = etag_of(info);
+  for (const auto& candidate : split(presented, ',')) {
+    if (trim(candidate) == etag) return true;
+  }
+  return false;
 }
 
 std::string iso_date(int64_t unix_seconds) {
@@ -210,6 +252,79 @@ void write_lock_xml(xml::XmlWriter* writer, const Lock& lock) {
 
 }  // namespace
 
+/// Streams a PROPFIND multistatus document through the incremental XML
+/// writer, one batch of <D:response> elements per refill — peak memory
+/// is O(one batch) regardless of how many resources the listing
+/// covers, where the eager path holds the entire serialized document.
+///
+/// Locking contract: the PROPFIND handler collects the target list
+/// under the store's shared lock, returns, and the HTTP server pumps
+/// this source to the socket afterwards (the streaming-GET precedent).
+/// Each refill re-acquires the shared lock for its batch, so individual
+/// responses are always internally consistent, but a writer may
+/// interleave between batches — multistatus never promised a
+/// whole-response snapshot, and a resource deleted mid-stream simply
+/// reports its properties as missing.
+class MultistatusStreamSource final : public http::BodySource {
+ public:
+  MultistatusStreamSource(DavServer* server, std::vector<std::string> targets,
+                          DavServer::PropfindMode mode,
+                          std::vector<xml::QName> wanted)
+      : server_(server),
+        targets_(std::move(targets)),
+        mode_(mode),
+        wanted_(std::move(wanted)) {
+    writer_.prefer_prefix(xml::kDavNamespace, "D");
+    writer_.declaration();
+    writer_.start_element(kMultistatus);
+  }
+
+  Result<size_t> read(char* buf, size_t max) override {
+    if (offset_ == pending_.size()) {
+      pending_.clear();
+      offset_ = 0;
+      refill();
+    }
+    size_t n = std::min(max, pending_.size() - offset_);
+    std::memcpy(buf, pending_.data() + offset_, n);
+    offset_ += n;
+    return n;
+  }
+
+ private:
+  /// Targets marshaled per shared-lock acquisition: large enough to
+  /// amortize the lock and fill wire-level chunk frames, small enough
+  /// to bound both peak memory and writer starvation.
+  static constexpr size_t kBatchTargets = 16;
+
+  void refill() {
+    while (pending_.size() < http::kBodyBlockSize && !closed_) {
+      std::shared_lock<std::shared_mutex> lock(server_->store_mutex_);
+      size_t batch_end =
+          std::min(next_ + kBatchTargets, targets_.size());
+      for (; next_ < batch_end; ++next_) {
+        server_->emit_propfind_target(&writer_, targets_[next_], mode_,
+                                      wanted_);
+      }
+      if (next_ == targets_.size()) {
+        writer_.end_element();  // </D:multistatus>
+        closed_ = true;
+      }
+      writer_.drain_pending(&pending_);
+    }
+  }
+
+  DavServer* server_;
+  std::vector<std::string> targets_;
+  DavServer::PropfindMode mode_;
+  std::vector<xml::QName> wanted_;
+  xml::XmlWriter writer_;
+  std::string pending_;
+  size_t offset_ = 0;
+  size_t next_ = 0;
+  bool closed_ = false;
+};
+
 // Mutating methods must honor DAV locks: proceed only when the
 // resource is unlocked or the request presents the covering token.
 #define DAVPSE_DAV_CHECK_LOCK(path, request)                      \
@@ -225,7 +340,9 @@ DavServer::DavServer(DavConfig config)
       tail_sampler_(config_.tail_sampler != nullptr
                         ? *config_.tail_sampler
                         : obs::TailSampler::global()),
-      repository_(config_.root, config_.flavor, &metrics_) {
+      repository_(config_.root, config_.flavor, &metrics_),
+      request_metrics_(metrics_, "dav.server.requests.",
+                       "dav.server.latency_seconds.") {
   locks_.set_metrics(&metrics_);
 }
 
@@ -260,9 +377,7 @@ HttpResponse DavServer::handle(const HttpRequest& request) {
   obs::Span span("dav." + request.method);
   double started = wall_time_seconds();
   HttpResponse response = dispatch(request, path);
-  metrics_.counter("dav.server.requests." + request.method).add(1);
-  metrics_.histogram("dav.server.latency_seconds." + request.method)
-      .observe(wall_time_seconds() - started);
+  request_metrics_.record(request.method, wall_time_seconds() - started);
   return response;
 }
 
@@ -338,8 +453,7 @@ HttpResponse DavServer::do_get(const HttpRequest& request,
   }
   // Conditional GET: validators let the layered client cache
   // revalidate documents for the cost of one header exchange.
-  std::string etag = "\"" + std::to_string(info.mtime_seconds) + "-" +
-                     std::to_string(info.content_length) + "\"";
+  std::string etag = etag_of(info);
   if (info.kind == ResourceKind::kDocument) {
     if (auto if_none_match = request.headers.get("If-None-Match")) {
       auto presented = trim(*if_none_match);
@@ -444,6 +558,19 @@ HttpResponse DavServer::do_put(const HttpRequest& request,
     }
     return error_response(lock_status);
   }
+  // If-Match under the exclusive lock: the stat and the overwrite are
+  // atomic, so a stale ETag can never slip through between check and
+  // write.
+  if (auto if_match = request.headers.get("If-Match")) {
+    if (!if_match_passes(*if_match, repository_.stat(path))) {
+      if (spooled) {
+        std::error_code ec;
+        std::filesystem::remove(*spooled, ec);
+      }
+      return HttpResponse::make(http::kPreconditionFailed,
+                                "If-Match precondition failed\n");
+    }
+  }
   bool existed = repository_.exists(path);
   Status status;
   if (spooled) {
@@ -486,6 +613,12 @@ HttpResponse DavServer::do_delete(const HttpRequest& request,
   DAVPSE_DAV_CHECK_LOCK(path, request);
   if (path == "/") {
     return HttpResponse::make(http::kForbidden, "cannot DELETE root\n");
+  }
+  if (auto if_match = request.headers.get("If-Match")) {
+    if (!if_match_passes(*if_match, repository_.stat(path))) {
+      return HttpResponse::make(http::kPreconditionFailed,
+                                "If-Match precondition failed\n");
+    }
   }
   Status status = repository_.remove(path);
   if (!status.is_ok()) return error_response(status);
@@ -569,8 +702,7 @@ HttpResponse DavServer::do_propfind(const HttpRequest& request,
   Depth depth = parse_depth(request, Depth::kInfinity);
 
   // Request body: empty = allprop.
-  enum class Mode { kAllProp, kPropName, kPropList };
-  Mode mode = Mode::kAllProp;
+  PropfindMode mode = PropfindMode::kAllProp;
   std::vector<xml::QName> wanted;
   if (!trim(request.body).empty()) {
     auto doc = xml::parse_document(request.body);
@@ -581,9 +713,9 @@ HttpResponse DavServer::do_propfind(const HttpRequest& request,
                                 "expected DAV:propfind body\n");
     }
     if (root.first_child(kPropname) != nullptr) {
-      mode = Mode::kPropName;
+      mode = PropfindMode::kPropName;
     } else if (const xml::Element* prop = root.first_child(kProp)) {
-      mode = Mode::kPropList;
+      mode = PropfindMode::kPropList;
       for (const auto& child : prop->children()) {
         wanted.push_back(child->name());
       }
@@ -598,60 +730,79 @@ HttpResponse DavServer::do_propfind(const HttpRequest& request,
   std::vector<std::string> targets =
       collect_targets(path, depth != Depth::kZero, depth == Depth::kInfinity);
 
+  // Large listings stream: the response carries a body source that
+  // marshals one batch of <D:response> elements at a time after this
+  // handler returns (and after store_mutex_ is released); see
+  // MultistatusStreamSource for the consistency contract.
+  if (targets.size() > config_.propfind_stream_threshold) {
+    HttpResponse response = HttpResponse::make(http::kMultiStatus);
+    response.headers.set("Content-Type", "text/xml; charset=\"utf-8\"");
+    response.body_source = std::make_unique<MultistatusStreamSource>(
+        this, std::move(targets), mode, std::move(wanted));
+    return response;
+  }
+
   xml::XmlWriter writer;
   writer.prefer_prefix(xml::kDavNamespace, "D");
   writer.declaration();
   writer.start_element(kMultistatus);
   for (const auto& target : targets) {
-    ResourceInfo target_info = repository_.stat(target);
-    PropertyDb db = repository_.properties(target);
-    PropstatGroups groups;
-
-    if (mode == Mode::kPropList) {
-      for (const auto& name : wanted) {
-        std::string inner;
-        if (is_live_property(name)) {
-          if (live_property_value(target, target_info, db, name, &inner)) {
-            groups.found.emplace_back(name, std::move(inner));
-          } else {
-            groups.missing.push_back(name);
-          }
-          continue;
-        }
-        auto dead = db.get(name);
-        if (dead.ok()) {
-          groups.found.emplace_back(name, std::move(dead.value().inner_xml));
-        } else if (auto computed =
-                       dynamic_value(target, target_info, db, name)) {
-          groups.found.emplace_back(name, xml::escape_text(*computed));
-        } else {
-          groups.missing.push_back(name);
-        }
-      }
-    } else {
-      // allprop / propname: all live + all dead.
-      static const xml::QName kAllLive[] = {
-          kResourceType, kGetContentLength, kGetLastModified, kCreationDate,
-          kGetEtag,      kGetContentType,   kDisplayName,     kSupportedLock};
-      for (const auto& name : kAllLive) {
-        std::string inner;
-        if (live_property_value(target, target_info, db, name, &inner)) {
-          groups.found.emplace_back(name, std::move(inner));
-        }
-      }
-      auto all_dead = db.get_all();
-      if (all_dead.ok()) {
-        for (auto& [name, value] : all_dead.value()) {
-          if (name.ns == "urn:davpse:internal") continue;  // bookkeeping
-          groups.found.emplace_back(name, std::move(value.inner_xml));
-        }
-      }
-      groups.names_only = (mode == Mode::kPropName);
-    }
-    write_response_element(&writer, target, groups);
+    emit_propfind_target(&writer, target, mode, wanted);
   }
   writer.end_element();
   return HttpResponse::multistatus(writer.take());
+}
+
+void DavServer::emit_propfind_target(xml::XmlWriter* writer,
+                                     const std::string& target,
+                                     PropfindMode mode,
+                                     const std::vector<xml::QName>& wanted) {
+  ResourceInfo target_info = repository_.stat(target);
+  PropertyDb db = repository_.properties(target);
+  PropstatGroups groups;
+
+  if (mode == PropfindMode::kPropList) {
+    for (const auto& name : wanted) {
+      std::string inner;
+      if (is_live_property(name)) {
+        if (live_property_value(target, target_info, db, name, &inner)) {
+          groups.found.emplace_back(name, std::move(inner));
+        } else {
+          groups.missing.push_back(name);
+        }
+        continue;
+      }
+      auto dead = db.get(name);
+      if (dead.ok()) {
+        groups.found.emplace_back(name, std::move(dead.value().inner_xml));
+      } else if (auto computed =
+                     dynamic_value(target, target_info, db, name)) {
+        groups.found.emplace_back(name, xml::escape_text(*computed));
+      } else {
+        groups.missing.push_back(name);
+      }
+    }
+  } else {
+    // allprop / propname: all live + all dead.
+    static const xml::QName kAllLive[] = {
+        kResourceType, kGetContentLength, kGetLastModified, kCreationDate,
+        kGetEtag,      kGetContentType,   kDisplayName,     kSupportedLock};
+    for (const auto& name : kAllLive) {
+      std::string inner;
+      if (live_property_value(target, target_info, db, name, &inner)) {
+        groups.found.emplace_back(name, std::move(inner));
+      }
+    }
+    auto all_dead = db.get_all();
+    if (all_dead.ok()) {
+      for (auto& [name, value] : all_dead.value()) {
+        if (name.ns == "urn:davpse:internal") continue;  // bookkeeping
+        groups.found.emplace_back(name, std::move(value.inner_xml));
+      }
+    }
+    groups.names_only = (mode == PropfindMode::kPropName);
+  }
+  write_response_element(writer, target, groups);
 }
 
 HttpResponse DavServer::do_proppatch(const HttpRequest& request,
@@ -853,8 +1004,7 @@ bool DavServer::live_property_value(const std::string& path,
     return true;
   }
   if (name == kGetEtag) {
-    *inner = "\"" + std::to_string(info.mtime_seconds) + "-" +
-             std::to_string(info.content_length) + "\"";
+    *inner = etag_of(info);
     return true;
   }
   if (name == kGetContentType) {

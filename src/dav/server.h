@@ -29,6 +29,7 @@
 #include "obs/trace.h"
 #include "util/status.h"
 #include "xml/dom.h"
+#include "xml/writer.h"
 
 namespace davpse::dav {
 
@@ -45,7 +46,17 @@ struct DavConfig {
   /// Tail sampler whose retained slow-trace timelines are served at
   /// GET /.well-known/traces; nullptr serves obs::TailSampler::global().
   obs::TailSampler* tail_sampler = nullptr;
+  /// PROPFIND responses covering more targets than this stream through
+  /// the incremental XML writer as a chunked BodySource instead of
+  /// being built eagerly in memory — depth-1 listings of huge
+  /// collections marshal one <D:response> at a time. Small responses
+  /// stay eager (one Content-Length write, no chunk framing). Set to 0
+  /// to stream everything, SIZE_MAX to always build eagerly; both
+  /// emitters produce byte-identical XML.
+  size_t propfind_stream_threshold = 32;
 };
+
+class MultistatusStreamSource;
 
 class DavServer : public http::Handler {
  public:
@@ -109,6 +120,16 @@ class DavServer : public http::Handler {
   http::HttpResponse do_report(const http::HttpRequest& request,
                                const std::string& path);
 
+  /// What a PROPFIND body asked for (empty body = allprop).
+  enum class PropfindMode { kAllProp, kPropName, kPropList };
+
+  /// Emits one <D:response> for `target` into `writer`, resolving
+  /// live/dead/dynamic properties per `mode`. Shared by the eager and
+  /// streaming multistatus paths so they serialize identically.
+  void emit_propfind_target(xml::XmlWriter* writer, const std::string& target,
+                            PropfindMode mode,
+                            const std::vector<xml::QName>& wanted);
+
   /// True for the live (server-computed) property names.
   static bool is_live_property(const xml::QName& name);
   /// Computes a live property's serialized value; false when the
@@ -129,9 +150,15 @@ class DavServer : public http::Handler {
                                            const PropertyDb& db,
                                            const xml::QName& name);
 
+  friend class MultistatusStreamSource;
+
   DavConfig config_;
   obs::Registry& metrics_;
   obs::TailSampler& tail_sampler_;
+  /// Per-method counter/histogram cache — the request hot path does no
+  /// metric-name concatenation or registry lookups after first sight
+  /// of a method.
+  obs::PerLabelMetrics request_metrics_;
   FsRepository repository_;
   LockManager locks_;
   DynamicPropertyRegistry dynamic_props_;

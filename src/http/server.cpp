@@ -64,7 +64,9 @@ HttpServer::HttpServer(ServerConfig config, Handler* handler)
           metrics_.counter("http.server.keepalive_reuse")),
       connections_metric_(metrics_.counter("http.server.connections")),
       shed_metric_(metrics_.counter("http.server.shed")),
-      in_flight_gauge_(metrics_.gauge("http.server.in_flight")) {}
+      in_flight_gauge_(metrics_.gauge("http.server.in_flight")),
+      request_metrics_(metrics_, "http.server.requests.",
+                       "http.server.latency_seconds.") {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -264,7 +266,6 @@ void HttpServer::serve_connection(net::Stream* stream,
                                 config_.trace_log, &tail_sampler_);
     std::optional<obs::Span> span;
     span.emplace("http.server." + method);
-    metrics_.counter("http.server.requests." + method).add(1);
     if (served_here > 0) keepalive_reuse_metric_.add(1);
 
     bool skip_auth =
@@ -299,8 +300,7 @@ void HttpServer::serve_connection(net::Stream* stream,
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     response.headers.set("X-Trace-Id", trace_scope.trace_id());
     span.reset();  // record the server span before the reply leaves
-    metrics_.histogram("http.server.latency_seconds." + method)
-        .observe(wall_time_seconds() - started);
+    request_metrics_.record(method, wall_time_seconds() - started);
     if (response.body_source != nullptr) {
       response.body_source = std::make_shared<MeteredBodySource>(
           std::move(response.body_source), &bytes_out_metric_,

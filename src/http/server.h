@@ -143,6 +143,10 @@ class HttpServer {
   obs::Counter& connections_metric_;
   obs::Counter& shed_metric_;
   obs::Gauge& in_flight_gauge_;
+  /// Per-method counter/histogram cache — no metric-name concatenation
+  /// or registry lookups on the request hot path after first sight of
+  /// a method.
+  obs::PerLabelMetrics request_metrics_;
   std::unique_ptr<net::Listener> listener_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};

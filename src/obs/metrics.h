@@ -137,4 +137,53 @@ inline Registry& registry_or_global(Registry* maybe) {
   return maybe != nullptr ? *maybe : Registry::global();
 }
 
+/// Request-path cache for the "<prefix><label>" metric families servers
+/// record per method: resolves the requests counter and latency
+/// histogram once per distinct label, so the per-request hot path does
+/// one transparent map lookup instead of two string concatenations plus
+/// two registry lookups. Metric references are stable (Registry
+/// guarantees it), so cached entries never go stale.
+class PerLabelMetrics {
+ public:
+  /// `count_prefix` names the counter family ("dav.server.requests."),
+  /// `latency_prefix` the histogram family; the label (HTTP method) is
+  /// appended on first sight of each label.
+  PerLabelMetrics(Registry& registry, std::string count_prefix,
+                  std::string latency_prefix)
+      : registry_(registry),
+        count_prefix_(std::move(count_prefix)),
+        latency_prefix_(std::move(latency_prefix)) {}
+
+  /// Counts one request and records its latency for `label`.
+  void record(std::string_view label, double latency_seconds) {
+    const Entry& entry = resolve(label);
+    entry.requests->add(1);
+    entry.latency->observe(latency_seconds);
+  }
+
+ private:
+  struct Entry {
+    Counter* requests;
+    Histogram* latency;
+  };
+
+  const Entry& resolve(std::string_view label) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      auto it = entries_.find(label);
+      if (it != entries_.end()) return it->second;
+    }
+    Entry entry{&registry_.counter(count_prefix_ + std::string(label)),
+                &registry_.histogram(latency_prefix_ + std::string(label))};
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return entries_.emplace(std::string(label), entry).first->second;
+  }
+
+  Registry& registry_;
+  const std::string count_prefix_;
+  const std::string latency_prefix_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
 }  // namespace davpse::obs

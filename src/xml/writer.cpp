@@ -112,6 +112,14 @@ void XmlWriter::empty_element(const QName& name) {
   end_element();
 }
 
+void XmlWriter::drain_pending(std::string* sink) {
+  // Attributes append to out_ in place, so draining mid-start-tag
+  // would tear the tag across two drains; hold those bytes back.
+  if (in_start_tag_) return;
+  sink->append(out_);
+  out_.clear();
+}
+
 std::string XmlWriter::take() {
   assert(open_.empty() && "unclosed elements at take()");
   return std::move(out_);

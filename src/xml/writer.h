@@ -49,6 +49,19 @@ class XmlWriter {
   /// Finishes and returns the document. All elements must be closed.
   std::string take();
 
+  /// Streaming drain: moves the bytes serialized so far into `*sink`
+  /// (appending) and clears the internal buffer, WITHOUT requiring the
+  /// document to be complete — open elements stay open and emission
+  /// continues afterwards. Bytes inside an unclosed start tag are held
+  /// back so a drained prefix is always well-formed-so-far; callers
+  /// pumping a multistatus body drain after each closed response
+  /// element, keeping peak memory at one element rather than the whole
+  /// document.
+  void drain_pending(std::string* sink);
+
+  /// Bytes currently drainable (serialized and outside any start tag).
+  size_t pending_bytes() const { return in_start_tag_ ? 0 : out_.size(); }
+
   size_t depth() const { return open_.size(); }
 
  private:

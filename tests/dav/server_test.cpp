@@ -423,5 +423,140 @@ TEST(DavServer, SaxParserProducesSameResults) {
   }
 }
 
+// -- If-Match preconditions (RFC 7232 lost-update protection) ------------
+
+/// Current strong ETag of `path` via DAV:getetag.
+std::string etag_of(DavClient& client, const std::string& path) {
+  auto found =
+      client.propfind(path, Depth::kZero, {xml::dav_name("getetag")});
+  if (!found.ok()) return {};
+  auto value = found.value().responses.front().prop(xml::dav_name("getetag"));
+  return value ? std::string(*value) : std::string{};
+}
+
+http::HttpResponse exchange(DavClient& client, const std::string& method,
+                            const std::string& target,
+                            const std::string& if_match,
+                            const std::string& body = {}) {
+  http::HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.headers.set("If-Match", if_match);
+  request.body = body;
+  auto response = client.http().execute(std::move(request));
+  EXPECT_TRUE(response.ok());
+  return response.ok() ? std::move(response).value() : http::HttpResponse{};
+}
+
+TEST(DavServer, IfMatchStalePutIs412) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc.txt", "original").is_ok());
+  std::string etag = etag_of(client, "/doc.txt");
+  ASSERT_FALSE(etag.empty());
+
+  // Stale validator: the overwrite must be refused and the stored
+  // body untouched — the lost-update case.
+  auto refused =
+      exchange(client, "PUT", "/doc.txt", "\"stale-etag\"", "clobbered");
+  EXPECT_EQ(refused.status, 412);
+  EXPECT_EQ(client.get("/doc.txt").value(), "original");
+
+  // Current validator: the conditional overwrite goes through.
+  auto accepted = exchange(client, "PUT", "/doc.txt", etag, "updated");
+  EXPECT_EQ(accepted.status, 204);
+  EXPECT_EQ(client.get("/doc.txt").value(), "updated");
+}
+
+TEST(DavServer, IfMatchListAndStarForms) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc.txt", "v1").is_ok());
+  std::string etag = etag_of(client, "/doc.txt");
+
+  // ETag list: any member matching passes.
+  auto listed = exchange(client, "PUT", "/doc.txt",
+                         "\"other\", " + etag + ", \"another\"", "v2");
+  EXPECT_EQ(listed.status, 204);
+
+  // "*" matches any existing resource...
+  auto star = exchange(client, "PUT", "/doc.txt", "*", "v3");
+  EXPECT_EQ(star.status, 204);
+
+  // ...but fails on a missing one (RFC 7232: If-Match on a resource
+  // with no current representation must not create it).
+  auto missing = exchange(client, "PUT", "/new.txt", "*", "v1");
+  EXPECT_EQ(missing.status, 412);
+  EXPECT_FALSE(client.exists("/new.txt").value());
+}
+
+TEST(DavServer, IfMatchStaleDeleteIs412) {
+  DavStack stack;
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/doc.txt", "keep me").is_ok());
+  std::string etag = etag_of(client, "/doc.txt");
+
+  auto refused = exchange(client, "DELETE", "/doc.txt", "\"stale-etag\"");
+  EXPECT_EQ(refused.status, 412);
+  EXPECT_TRUE(client.exists("/doc.txt").value());
+
+  auto accepted = exchange(client, "DELETE", "/doc.txt", etag);
+  EXPECT_EQ(accepted.status, 204);
+  EXPECT_FALSE(client.exists("/doc.txt").value());
+}
+
+// -- streaming multistatus (eager/streamed equivalence) ------------------
+
+TEST(DavServer, StreamingMultistatusIsByteIdenticalToEager) {
+  // Same store, two emitters: thresholds force the eager path on one
+  // server and the streaming path on the other; the serialized
+  // multistatus documents must match byte for byte.
+  TempDir temp("streameq");
+  dav::DavConfig config;
+  config.root = temp.path();
+
+  http::HttpRequest request;
+  request.method = "PROPFIND";
+  request.target = "/col";
+  request.headers.set("Depth", "1");  // empty body: allprop
+
+  std::string eager_body;
+  {
+    dav::DavConfig eager_config = config;
+    eager_config.propfind_stream_threshold = SIZE_MAX;  // never stream
+    dav::DavServer server(eager_config);
+    ASSERT_TRUE(server.repository().make_collection("/col").is_ok());
+    const xml::QName meta("urn:test", "meta");
+    for (int i = 0; i < 40; ++i) {
+      std::string path = "/col/doc" + std::to_string(i);
+      ASSERT_TRUE(server.repository()
+                      .write_document(path, "body " + std::to_string(i))
+                      .is_ok());
+      ASSERT_TRUE(server.repository()
+                      .properties(path)
+                      .set({{meta, dav::PropertyValue{
+                                       "value " + std::to_string(i)}}})
+                      .is_ok());
+    }
+    auto response = server.handle(request);
+    EXPECT_EQ(response.status, 207);
+    ASSERT_EQ(response.body_source, nullptr);  // eager: body materialized
+    eager_body = std::move(response.body);
+  }
+
+  dav::DavConfig stream_config = config;
+  stream_config.propfind_stream_threshold = 0;  // always stream
+  dav::DavServer server(stream_config);
+  auto response = server.handle(request);
+  EXPECT_EQ(response.status, 207);
+  ASSERT_NE(response.body_source, nullptr);  // streamed: body is a source
+  std::string streamed_body;
+  http::StringBodySink sink(&streamed_body, /*max_bytes=*/0);
+  ASSERT_TRUE(http::drain_body(*response.body_source, sink).ok());
+
+  EXPECT_FALSE(eager_body.empty());
+  EXPECT_EQ(streamed_body, eager_body);
+}
+
 }  // namespace
 }  // namespace davpse

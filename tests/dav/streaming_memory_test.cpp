@@ -84,6 +84,96 @@ TEST(StreamingMemory, StreamedGetIsBoundedByBlockBudget) {
       << "streamed GET peaked at " << peak_delta << " bytes";
 }
 
+// -- streaming multistatus (PROPFIND) ------------------------------------
+
+/// Direct-handler fixture: a corpus of `docs` children each carrying a
+/// `prop_bytes` dead property, big enough that the serialized depth-1
+/// multistatus far exceeds the streaming budget below.
+std::unique_ptr<dav::DavServer> propfind_corpus(const TempDir& temp,
+                                                size_t threshold, int docs,
+                                                size_t prop_bytes) {
+  dav::DavConfig config;
+  config.root = temp.path();
+  config.propfind_stream_threshold = threshold;
+  auto server = std::make_unique<dav::DavServer>(config);
+  if (!server->repository().make_collection("/col").is_ok()) return nullptr;
+  const xml::QName meta("urn:test", "meta");
+  std::string value(prop_bytes, 'm');
+  for (int i = 0; i < docs; ++i) {
+    std::string path = "/col/doc" + std::to_string(i);
+    if (!server->repository().write_document(path, "x").is_ok()) {
+      return nullptr;
+    }
+    if (!server->repository()
+             .properties(path)
+             .set({{meta, dav::PropertyValue{value}}})
+             .is_ok()) {
+      return nullptr;
+    }
+  }
+  return server;
+}
+
+constexpr int kPropfindDocs = 1200;
+constexpr size_t kPropfindPropBytes = 3 * 1024;
+// The streamed emitter holds one refill batch, not the document: a
+// megabyte is an order of magnitude above its working set and an order
+// of magnitude below the serialized multistatus.
+constexpr uint64_t kMultistatusBudget = 1024 * 1024;
+
+TEST(StreamingMemory, StreamedPropfindIsBoundedByBatchBudget) {
+  TempDir temp("propfind-stream");
+  auto server = propfind_corpus(temp, /*threshold=*/32, kPropfindDocs,
+                                kPropfindPropBytes);
+  ASSERT_NE(server, nullptr);
+  http::HttpRequest request;
+  request.method = "PROPFIND";
+  request.target = "/col";
+  request.headers.set("Depth", "1");  // empty body: allprop
+
+  uint64_t before = probe::live_bytes();
+  probe::reset_peak();
+  auto response = server->handle(request);
+  ASSERT_EQ(response.status, 207);
+  ASSERT_NE(response.body_source, nullptr);
+  http::DigestBodySink sink;
+  ASSERT_TRUE(http::drain_body(*response.body_source, sink).ok());
+  uint64_t peak_delta = probe::peak_bytes() - before;
+
+  // The document really is too big to have been built eagerly within
+  // the budget...
+  EXPECT_GT(sink.bytes_seen(),
+            static_cast<uint64_t>(kPropfindDocs) * kPropfindPropBytes);
+  // ...and the streaming emitter never approached materializing it.
+  EXPECT_LE(peak_delta, kMultistatusBudget)
+      << "streamed PROPFIND peaked at " << peak_delta << " bytes for a "
+      << sink.bytes_seen() << "-byte multistatus";
+}
+
+TEST(StreamingMemory, EagerPropfindMaterializesByContrast) {
+  // Probe sanity check: force the eager path over the same corpus and
+  // the peak must cover the whole serialized document, proving the
+  // instrument would catch a streaming regression.
+  TempDir temp("propfind-eager");
+  auto server = propfind_corpus(temp, /*threshold=*/SIZE_MAX, kPropfindDocs,
+                                kPropfindPropBytes);
+  ASSERT_NE(server, nullptr);
+  http::HttpRequest request;
+  request.method = "PROPFIND";
+  request.target = "/col";
+  request.headers.set("Depth", "1");
+
+  uint64_t before = probe::live_bytes();
+  probe::reset_peak();
+  auto response = server->handle(request);
+  ASSERT_EQ(response.status, 207);
+  ASSERT_EQ(response.body_source, nullptr);
+  uint64_t peak_delta = probe::peak_bytes() - before;
+  EXPECT_GT(response.body.size(),
+            static_cast<size_t>(kPropfindDocs) * kPropfindPropBytes);
+  EXPECT_GE(peak_delta, response.body.size());
+}
+
 TEST(StreamingMemory, EagerGetMaterializesByContrast) {
   // Sanity-check the probe itself: the eager adapter path must show
   // at least the full object size, proving the instrument would catch

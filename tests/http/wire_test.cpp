@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <thread>
@@ -400,6 +401,144 @@ TEST(WireStreamedBody, SourceShorterThanDeclaredIsInternalError) {
   Status written = write_request(pair.a.get(), sent);
   EXPECT_FALSE(written.is_ok());
   EXPECT_EQ(written.code(), ErrorCode::kInternal);
+}
+
+// -- write coalescing (single write per frame) ---------------------------
+
+/// Counts write() calls — the byte-counter assertion behind the
+/// coalescing contract: head+body and [size|payload|CRLF] chunk frames
+/// each leave in exactly one stream write.
+class CountingStream final : public net::Stream {
+ public:
+  explicit CountingStream(net::Stream* inner) : inner_(inner) {}
+
+  Result<size_t> read(char* buf, size_t max) override {
+    return inner_->read(buf, max);
+  }
+  Status write(std::string_view data) override {
+    ++writes;
+    bytes_out += data.size();
+    return inner_->write(data);
+  }
+  void shutdown_write() override { inner_->shutdown_write(); }
+  void close() override { inner_->close(); }
+
+  int writes = 0;
+  uint64_t bytes_out = 0;
+
+ private:
+  net::Stream* inner_;
+};
+
+/// Unknown-length source serving `total` bytes in reads capped at
+/// `per_read` — drives a deterministic chunk count through the
+/// chunked encoder.
+class DribbleSource final : public BodySource {
+ public:
+  DribbleSource(size_t total, size_t per_read)
+      : total_(total), per_read_(per_read) {}
+
+  Result<size_t> read(char* buf, size_t max) override {
+    size_t n = std::min({max, per_read_, total_ - sent_});
+    std::memset(buf, 'x', n);
+    sent_ += n;
+    return n;
+  }
+
+ private:
+  size_t total_;
+  size_t per_read_;
+  size_t sent_ = 0;
+};
+
+TEST(WireCoalescing, SmallEagerResponseIsOneWrite) {
+  auto pair = net::make_pipe();
+  CountingStream counting(pair.a.get());
+  HttpResponse sent = HttpResponse::make(200, "hello", "text/plain");
+  ASSERT_TRUE(write_response(&counting, sent).is_ok());
+  EXPECT_EQ(counting.writes, 1);  // head and body coalesced
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().body, "hello");
+}
+
+TEST(WireCoalescing, ChunkedBodyIsOneWritePerChunkPlusTerminator) {
+  auto pair = net::make_pipe();
+  CountingStream counting(pair.a.get());
+  HttpResponse sent = HttpResponse::make(200);
+  // 8 chunks of 1000 bytes. Per chunk exactly one write (size line +
+  // payload + CRLF in one frame, head riding the first); the
+  // final 0\r\n\r\n terminator is the +1.
+  sent.body_source = std::make_shared<DribbleSource>(8000, 1000);
+  ASSERT_TRUE(write_response(&counting, sent).is_ok());
+  EXPECT_EQ(counting.writes, 8 + 1);
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  ASSERT_TRUE(received.ok()) << received.status().to_string();
+  EXPECT_EQ(received.value().body, std::string(8000, 'x'));
+}
+
+TEST(WireCoalescing, EmptyChunkedBodyIsOneWrite) {
+  auto pair = net::make_pipe();
+  CountingStream counting(pair.a.get());
+  HttpResponse sent = HttpResponse::make(200);
+  sent.body_source = std::make_shared<DribbleSource>(0, 1000);
+  ASSERT_TRUE(write_response(&counting, sent).is_ok());
+  EXPECT_EQ(counting.writes, 1);  // head + terminator in one frame
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(received.value().body.empty());
+}
+
+TEST(WireCoalescing, KnownLengthStreamedBodyCoalescesWithHead) {
+  auto pair = net::make_pipe();
+  CountingStream counting(pair.a.get());
+  HttpRequest sent;
+  sent.method = "PUT";
+  sent.target = "/doc";
+  sent.body_source = std::make_shared<MislengthedSource>("hello", 5);
+  ASSERT_TRUE(write_request(&counting, sent).is_ok());
+  EXPECT_EQ(counting.writes, 1);  // head + Content-Length body, one frame
+  pair.a->shutdown_write();
+  WireReader reader(pair.b.get());
+  auto received = reader.read_request();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value().body, "hello");
+}
+
+/// Clamps every read to one byte, so chunk size lines, payloads,
+/// CRLFs, and the terminator all arrive split across reads.
+class OneByteReadStream final : public net::Stream {
+ public:
+  explicit OneByteReadStream(net::Stream* inner) : inner_(inner) {}
+
+  Result<size_t> read(char* buf, size_t max) override {
+    return inner_->read(buf, std::min<size_t>(max, 1));
+  }
+  Status write(std::string_view data) override { return inner_->write(data); }
+  void shutdown_write() override { inner_->shutdown_write(); }
+  void close() override { inner_->close(); }
+
+ private:
+  net::Stream* inner_;
+};
+
+TEST(WireChunked, OneByteReadGranularityReassemblesSplitHeaders) {
+  auto pair = net::make_pipe();
+  HttpResponse sent = HttpResponse::make(200);
+  sent.body_source = std::make_shared<DribbleSource>(5000, 1000);
+  ASSERT_TRUE(write_response(pair.a.get(), sent).is_ok());
+  pair.a->shutdown_write();
+  OneByteReadStream trickle(pair.b.get());
+  WireReader reader(&trickle);
+  auto received = reader.read_response();
+  ASSERT_TRUE(received.ok()) << received.status().to_string();
+  EXPECT_EQ(received.value().body, std::string(5000, 'x'));
 }
 
 TEST(WireRequest, LargeBodyStreamsThroughSmallPipe) {

@@ -1,0 +1,153 @@
+// Seeded fault matrix for chunk-frame integrity: with the coalesced
+// single-write framing, a mid-frame connection failure (partial write
+// then reset, or truncation) must surface as the retryable
+// kUnavailable on BOTH ends — the writer reports "connection lost", and
+// the reader sees either a clean short body (kUnavailable from the
+// decoder) but NEVER a size-line parse error (kMalformed). Under the
+// old three-write framing, a reset landing between the size line and
+// its payload left the decoder reading payload bytes as the next size
+// line — exactly the misclassification this matrix proves gone.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "http/wire.h"
+#include "net/fault.h"
+#include "net/pipe.h"
+#include "obs/metrics.h"
+
+namespace davpse::http {
+namespace {
+
+/// Unknown-length source: `chunks` reads of `chunk_bytes` then EOF, so
+/// the encoder emits exactly that many chunk frames.
+class PatternSource final : public BodySource {
+ public:
+  PatternSource(int chunks, size_t chunk_bytes)
+      : remaining_(chunks), chunk_bytes_(chunk_bytes) {}
+
+  Result<size_t> read(char* buf, size_t max) override {
+    if (remaining_ == 0) return 0;
+    size_t n = std::min(chunk_bytes_, max);
+    for (size_t i = 0; i < n; ++i) {
+      buf[i] = static_cast<char>('a' + (i % 26));
+    }
+    --remaining_;
+    return n;
+  }
+
+ private:
+  int remaining_;
+  size_t chunk_bytes_;
+};
+
+struct MatrixOutcome {
+  bool writer_ok;
+  ErrorCode writer_code;  // meaningful when !writer_ok
+  bool reader_ok;
+  ErrorCode reader_code;  // meaningful when !reader_ok
+};
+
+/// Streams one chunked response through a fault-injecting wrapper on
+/// the writer side and fully drains the reader. Returns both verdicts.
+MatrixOutcome run_streamed_exchange(net::FaultInjector* injector,
+                                    uint64_t stream_seed) {
+  auto pair = net::make_pipe(16 * 1024);
+  auto faulty = std::make_unique<net::FaultInjectingStream>(
+      std::move(pair.a), injector, stream_seed);
+
+  MatrixOutcome outcome{};
+  std::thread writer([&] {
+    HttpResponse response = HttpResponse::make(200);
+    response.body_source = std::make_shared<PatternSource>(12, 2048);
+    Status written = write_response(faulty.get(), response);
+    outcome.writer_ok = written.is_ok();
+    outcome.writer_code = written.code();
+    faulty->shutdown_write();
+  });
+
+  WireReader reader(pair.b.get());
+  auto received = reader.read_response();
+  outcome.reader_ok = received.ok();
+  outcome.reader_code = received.status().code();
+  writer.join();
+  return outcome;
+}
+
+TEST(ChunkFrameFaults, MidwayResetIsRetryableNeverMalformed) {
+  obs::Registry registry;
+  net::FaultConfig config;
+  config.write_reset_midway = 0.15;
+  config.metrics = &registry;
+  net::FaultInjector injector(config);
+
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    MatrixOutcome outcome = run_streamed_exchange(&injector, seed);
+    if (outcome.writer_ok) {
+      // No fault fired on this seed: the exchange must be clean.
+      EXPECT_TRUE(outcome.reader_ok) << "seed " << seed;
+      continue;
+    }
+    ++failures;
+    // Writer side: mid-frame loss is the retryable kUnavailable,
+    // whatever point inside the frame the reset landed on.
+    EXPECT_EQ(outcome.writer_code, ErrorCode::kUnavailable)
+        << "seed " << seed;
+    // Reader side: a torn frame must read as a dead/truncated
+    // connection, never as a protocol error — kMalformed would make
+    // the client treat a transient network fault as a peer bug.
+    ASSERT_FALSE(outcome.reader_ok) << "seed " << seed;
+    EXPECT_EQ(outcome.reader_code, ErrorCode::kUnavailable)
+        << "seed " << seed;
+  }
+  // The 15% per-write rate over 40 seeds x 13 writes must actually
+  // exercise the failure path many times over.
+  EXPECT_GE(failures, 10) << "fault schedule injected too few resets";
+  EXPECT_EQ(registry.counter("resilience.injected.write_resets").value(),
+            static_cast<uint64_t>(failures));
+}
+
+TEST(ChunkFrameFaults, PreSendResetIsRetryableOnBothEnds) {
+  obs::Registry registry;
+  net::FaultConfig config;
+  config.write_reset = 0.2;
+  config.metrics = &registry;
+  net::FaultInjector injector(config);
+
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    MatrixOutcome outcome = run_streamed_exchange(&injector, seed);
+    if (outcome.writer_ok) {
+      EXPECT_TRUE(outcome.reader_ok) << "seed " << seed;
+      continue;
+    }
+    ++failures;
+    EXPECT_EQ(outcome.writer_code, ErrorCode::kUnavailable)
+        << "seed " << seed;
+    ASSERT_FALSE(outcome.reader_ok) << "seed " << seed;
+    EXPECT_EQ(outcome.reader_code, ErrorCode::kUnavailable)
+        << "seed " << seed;
+  }
+  EXPECT_GE(failures, 8) << "fault schedule injected too few resets";
+}
+
+TEST(ChunkFrameFaults, SameSeedReplaysIdentically) {
+  net::FaultConfig config;
+  config.write_reset_midway = 0.3;
+  // Two injectors from the same schedule seed: outcome per stream seed
+  // must be bit-for-bit reproducible — the property that makes a
+  // failing matrix entry debuggable.
+  net::FaultInjector first(config);
+  net::FaultInjector second(config);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    MatrixOutcome a = run_streamed_exchange(&first, seed);
+    MatrixOutcome b = run_streamed_exchange(&second, seed);
+    EXPECT_EQ(a.writer_ok, b.writer_ok) << "seed " << seed;
+    EXPECT_EQ(a.reader_ok, b.reader_ok) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace davpse::http
