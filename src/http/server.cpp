@@ -1,5 +1,6 @@
 #include "http/server.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "http/wire.h"
@@ -10,11 +11,14 @@
 namespace davpse::http {
 namespace {
 
+/// The listener's fixed poller token; connections get tokens from 1 up.
+constexpr uint64_t kListenerToken = 0;
+
 /// Counts bytes as they move through, into a live counter — a streamed
 /// 64 MiB PUT shows up in "http.server.bytes_in" without the server
 /// ever holding the body. The optional `local` atomic additionally
 /// meters one request's own bytes for its access-log record; it must
-/// outlive the source (serve_connection keeps it on the loop frame,
+/// outlive the source (serve_requests keeps it on the loop frame,
 /// which outlives the request/response it is wired into).
 class MeteredBodySource final : public BodySource {
  public:
@@ -51,6 +55,21 @@ bool is_scrape_request(const HttpRequest& request) {
 
 }  // namespace
 
+/// One connection's state across the park/dispatch cycle. The
+/// WireReader lives here (not on a worker frame) so bytes it buffered
+/// past one request — a pipelined follow-up — survive to the next.
+struct HttpServer::Connection {
+  explicit Connection(std::unique_ptr<net::Stream> s)
+      : stream(std::move(s)), reader(stream.get()) {}
+
+  std::unique_ptr<net::Stream> stream;
+  WireReader reader;
+  size_t served = 0;
+  /// True until a worker first picks this connection up — while set,
+  /// the connection counts against max_queue_depth (pending_first_).
+  bool first_dispatch_pending = true;
+};
+
 HttpServer::HttpServer(ServerConfig config, Handler* handler)
     : config_(std::move(config)),
       handler_(handler),
@@ -64,7 +83,9 @@ HttpServer::HttpServer(ServerConfig config, Handler* handler)
           metrics_.counter("http.server.keepalive_reuse")),
       connections_metric_(metrics_.counter("http.server.connections")),
       shed_metric_(metrics_.counter("http.server.shed")),
+      poller_wakes_metric_(metrics_.counter("http.server.poller_wakes")),
       in_flight_gauge_(metrics_.gauge("http.server.in_flight")),
+      parked_gauge_(metrics_.gauge("http.server.parked")),
       request_metrics_(metrics_, "http.server.requests.",
                        "http.server.latency_seconds.") {}
 
@@ -77,107 +98,278 @@ Status HttpServer::start(net::Network& network) {
   if (!listener.ok()) return listener.status();
   listener_ = std::move(listener).value();
   running_.store(true);
-  threads_.emplace_back([this] { accept_loop(); });
-  for (size_t i = 0; i < config_.daemons; ++i) {
-    threads_.emplace_back([this, daemon_id = static_cast<int>(i)] {
-      for (;;) {
-        std::unique_ptr<net::Stream> stream;
-        {
-          std::unique_lock<std::mutex> lock(queue_mutex_);
-          queue_cv_.wait(lock, [&] {
-            return !running_.load() || !queue_.empty();
-          });
-          if (!running_.load() && queue_.empty()) return;
-          stream = std::move(queue_.front());
-          queue_.pop_front();
-        }
-        in_flight_gauge_.set(static_cast<int64_t>(
-            in_flight_.fetch_add(1, std::memory_order_relaxed) + 1));
-        {
-          std::lock_guard<std::mutex> lock(active_mutex_);
-          active_streams_.insert(stream.get());
-        }
-        serve_connection(stream.get(), daemon_id);
-        {
-          // Deregister before destroying: stop() only ever closes
-          // streams it finds in the set, never a freed one.
-          std::lock_guard<std::mutex> lock(active_mutex_);
-          active_streams_.erase(stream.get());
-        }
-        stream.reset();
-        in_flight_gauge_.set(static_cast<int64_t>(
-            in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1));
-      }
-    });
+  threads_.emplace_back([this] { reactor_loop(); });
+  size_t workers = config_.workers > 0 ? config_.workers : config_.daemons;
+  if (workers == 0) workers = 1;
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back(
+        [this, worker_id = static_cast<int>(i)] { worker_loop(worker_id); });
   }
   return Status::ok();
 }
 
 void HttpServer::stop() {
   running_.store(false);
+  // Every blocked thread has exactly one wake source: the reactor sits
+  // in poller_.wait (wake() below, plus the listener shutdown firing the
+  // accept watcher), workers sit in dispatch_cv_ or in a blocking read
+  // on a stream we close here. Closing the streams makes shutdown O(1)
+  // per connection with no timeout waits — ten thousand parked
+  // keep-alive connections abort as fast as one.
   if (listener_) listener_->shutdown();
-  queue_cv_.notify_all();
+  poller_.wake();
+  dispatch_cv_.notify_all();
   {
-    // Abort in-flight connections: a daemon parked in a keep-alive
-    // idle read would otherwise hold the join below for the full
-    // keep_alive_timeout_seconds window.
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    for (net::Stream* stream : active_streams_) stream->close();
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (auto& [ptr, conn] : conns_) conn->stream->close();
   }
   for (auto& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
   threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    parked_.clear();
+    deadlines_.clear();
+    conns_.clear();
+    pending_first_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    dispatch_.clear();
+  }
+  parked_gauge_.set(0);
+  // in_flight is deliberately NOT force-zeroed: the worker loop
+  // decrements it on every exit path, so a nonzero value after join
+  // is a real accounting bug tests should see.
   listener_.reset();
 }
 
-void HttpServer::accept_loop() {
+void HttpServer::reactor_loop() {
+  listener_->set_accept_watcher(&poller_, kListenerToken);
   while (running_.load()) {
-    auto stream = listener_->accept();
-    if (!stream.ok()) return;  // listener shut down
+    double timeout = -1;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      // Lazily prune deadline entries whose token was unparked (served
+      // or re-parked under a fresh token) before computing the wait.
+      while (!deadlines_.empty() &&
+             parked_.find(deadlines_.begin()->second) == parked_.end()) {
+        deadlines_.erase(deadlines_.begin());
+      }
+      if (!deadlines_.empty()) {
+        timeout =
+            std::max(0.0, deadlines_.begin()->first - wall_time_seconds());
+      }
+    }
+    auto ready = poller_.wait(timeout);
+    poller_wakes_metric_.add(1);
+    if (!running_.load()) break;
+    for (uint64_t token : ready) {
+      if (token == kListenerToken) {
+        drain_accepts();
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        auto it = parked_.find(token);
+        if (it == parked_.end()) continue;  // stale token: already unparked
+        conn = std::move(it->second);
+        parked_.erase(it);
+        parked_gauge_.set(static_cast<int64_t>(parked_.size()));
+      }
+      // Quiet the watcher while a worker owns the connection — further
+      // arrivals are the worker's to read, not readiness events.
+      conn->stream->watch_readable(nullptr, 0);
+      dispatch(std::move(conn));
+    }
+    // Expire parked connections whose deadline passed. Readable tokens
+    // were drained first, so data always beats a same-instant timeout.
+    std::vector<std::shared_ptr<Connection>> expired;
+    {
+      double now = wall_time_seconds();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+        uint64_t token = deadlines_.begin()->second;
+        deadlines_.erase(deadlines_.begin());
+        auto it = parked_.find(token);
+        if (it == parked_.end()) continue;
+        expired.push_back(std::move(it->second));
+        parked_.erase(it);
+      }
+      if (!expired.empty()) {
+        parked_gauge_.set(static_cast<int64_t>(parked_.size()));
+      }
+    }
+    // Same outcome as the old daemon's silent return on an idle or
+    // never-spoke timeout: close without a reply or an access record.
+    for (auto& conn : expired) retire(conn);
+  }
+}
+
+void HttpServer::drain_accepts() {
+  for (;;) {
+    auto accepted = listener_->try_accept();
+    if (!accepted.ok()) return;  // listener shut down
+    std::unique_ptr<net::Stream> stream = std::move(accepted).value();
+    if (stream == nullptr) return;  // drained
     bool overloaded = false;
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      size_t waiting = queue_.size();
-      size_t serving = in_flight_.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      size_t waiting = pending_first_;
+      size_t serving = active_.load(std::memory_order_relaxed);
       overloaded =
           (config_.max_queue_depth > 0 && waiting >= config_.max_queue_depth) ||
           (config_.max_in_flight > 0 &&
            waiting + serving >= config_.max_in_flight);
-      if (!overloaded) queue_.push_back(std::move(stream).value());
     }
     if (overloaded) {
-      shed_connection(std::move(stream).value());
+      shed_connection(std::move(stream));
       continue;
     }
-    queue_cv_.notify_one();
+    connections_metric_.add(1);
+    auto conn = std::make_shared<Connection>(std::move(stream));
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++pending_first_;
+      conns_[conn.get()] = conn;
+    }
+    // A fresh connection that never sends a request line expires while
+    // parked — the old per-daemon first-read timeout, now enforced by
+    // the reactor without a thread pinned underneath it.
+    double deadline = 0;
+    if (config_.request_read_timeout_seconds > 0) {
+      deadline = wall_time_seconds() + config_.request_read_timeout_seconds;
+    }
+    if (!park(conn, deadline, /*enforce_parked_cap=*/false)) retire(conn);
   }
 }
 
 void HttpServer::shed_connection(std::unique_ptr<net::Stream> stream) {
   shed_metric_.add(1);
-  HttpResponse reply =
-      HttpResponse::make(kServiceUnavailable, "server overloaded\n");
-  reply.headers.set("Retry-After", std::to_string(config_.retry_after_seconds));
-  reply.headers.set("Connection", "close");
-  (void)write_response(stream.get(), reply);
+  // Serialized by hand and sent with ONE non-blocking write: this runs
+  // on the reactor thread, and an overload is exactly when a slow or
+  // absent peer is most likely — a blocking write here would let one
+  // non-reading client stall every accept. If even ~100 bytes don't
+  // fit in the pipe, the peer isn't reading; it loses its 503.
+  std::string body = "server overloaded\n";
+  std::string reply = "HTTP/1.1 503 ";
+  reply += reason_phrase(kServiceUnavailable);
+  reply += "\r\nRetry-After: " + std::to_string(config_.retry_after_seconds);
+  reply += "\r\nConnection: close";
+  reply += "\r\nContent-Length: " + std::to_string(body.size());
+  reply += "\r\n\r\n";
+  reply += body;
+  auto wrote = stream->try_write(reply);
+  if (!wrote.ok() && wrote.status().code() == ErrorCode::kUnsupported) {
+    // Stream type without a non-blocking path — keep the old behavior.
+    (void)stream->write(reply);
+  }
   // close() leaves the buffered 503 readable (clean write-side EOF) and
   // aborts the peer's sends, so a client mid-upload fails fast and its
   // early-read path finds the 503 waiting.
   stream->close();
 }
 
-void HttpServer::serve_connection(net::Stream* stream,
-                                  int daemon_id) {
-  WireReader reader(stream);
-  size_t served_here = 0;
-  connections_metric_.add(1);
+bool HttpServer::park(std::shared_ptr<Connection> conn, double deadline,
+                      bool enforce_parked_cap) {
+  uint64_t token;
+  bool wake_reactor;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!running_.load()) return false;
+    if (enforce_parked_cap && config_.max_parked > 0 &&
+        parked_.size() >= config_.max_parked) {
+      return false;
+    }
+    token = next_token_++;
+    parked_.emplace(token, conn);
+    // The reactor only recomputes its wait deadline when woken, so a
+    // park that becomes the new earliest expiry must wake it.
+    wake_reactor =
+        deadline > 0 &&
+        (deadlines_.empty() || deadline < deadlines_.begin()->first);
+    if (deadline > 0) deadlines_.emplace(deadline, token);
+    parked_gauge_.set(static_cast<int64_t>(parked_.size()));
+  }
+  // Register outside state_mutex_: the watch hook takes the pipe's
+  // queue mutex and may fire into the poller (queue → poller order);
+  // state_mutex_ stays out of that chain entirely.
+  if (!conn->stream->watch_readable(&poller_, token)) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    parked_.erase(token);
+    parked_gauge_.set(static_cast<int64_t>(parked_.size()));
+    return false;
+  }
+  if (wake_reactor) poller_.wake();
+  return true;
+}
+
+void HttpServer::dispatch(std::shared_ptr<Connection> conn) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  dispatch_.push_back(std::move(conn));
+  dispatch_cv_.notify_one();
+}
+
+void HttpServer::retire(const std::shared_ptr<Connection>& conn) {
+  conn->stream->close();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (conn->first_dispatch_pending) {
+    conn->first_dispatch_pending = false;
+    --pending_first_;
+  }
+  conns_.erase(conn.get());
+}
+
+void HttpServer::worker_loop(int worker_id) {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mutex_);
+      dispatch_cv_.wait(
+          lock, [&] { return !running_.load() || !dispatch_.empty(); });
+      if (dispatch_.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      conn = std::move(dispatch_.front());
+      dispatch_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (conn->first_dispatch_pending) {
+        conn->first_dispatch_pending = false;
+        --pending_first_;
+      }
+    }
+    in_flight_gauge_.set(static_cast<int64_t>(
+        active_.fetch_add(1, std::memory_order_relaxed) + 1));
+    bool idle = serve_requests(*conn, worker_id);
+    in_flight_gauge_.set(static_cast<int64_t>(
+        active_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    if (idle) {
+      double deadline =
+          wall_time_seconds() + config_.keep_alive_timeout_seconds;
+      if (park(conn, deadline, /*enforce_parked_cap=*/true)) continue;
+      // Parked-connection cap reached (or stopping): close instead.
+    }
+    retire(conn);
+  }
+}
+
+bool HttpServer::serve_requests(Connection& conn, int worker_id) {
+  net::Stream* stream = conn.stream.get();
+  WireReader& reader = conn.reader;
   while (running_.load()) {
-    if (served_here > 0) {
+    if (conn.served > 0) {
+      // A keep-alive peer that already has bytes in flight (that is
+      // why we were dispatched) still gets the idle window to finish
+      // composing its request head.
       stream->set_read_timeout(config_.keep_alive_timeout_seconds);
     } else if (config_.request_read_timeout_seconds > 0) {
-      // A fresh connection that never sends a request line must not pin
-      // this daemon forever.
+      // First request: the reactor's parked deadline covered the wait
+      // for the first byte; this bounds the rest of the head.
       stream->set_read_timeout(config_.request_read_timeout_seconds);
     }
     auto head = reader.read_request_head();
@@ -226,7 +418,7 @@ void HttpServer::serve_connection(net::Stream* stream,
           (status.code() == ErrorCode::kTimeout && !head_parsed)) {
         // Peer closed, keep-alive idle limit, or a connection that
         // never produced a request line — normal end of connection.
-        return;
+        return false;
       }
       // The body (if any) was not consumed, so the connection framing
       // is lost — reply and close. A timeout after the head parsed
@@ -247,11 +439,11 @@ void HttpServer::serve_connection(net::Stream* stream,
         record.bytes_in = request_bytes_in.load(std::memory_order_relaxed);
         record.bytes_out = reply.body.size();
         record.duration_seconds = wall_time_seconds() - started;
-        record.daemon_id = daemon_id;
-        record.keepalive_reuse = served_here > 0;
+        record.daemon_id = worker_id;
+        record.keepalive_reuse = conn.served > 0;
         config_.event_log->log_access(std::move(record));
       }
-      return;
+      return false;
     }
 
     // Trace: adopt the client's id when it sent one, else open a fresh
@@ -266,7 +458,7 @@ void HttpServer::serve_connection(net::Stream* stream,
                                 config_.trace_log, &tail_sampler_);
     std::optional<obs::Span> span;
     span.emplace("http.server." + method);
-    if (served_here > 0) keepalive_reuse_metric_.add(1);
+    if (conn.served > 0) keepalive_reuse_metric_.add(1);
 
     bool skip_auth =
         config_.unauthenticated_scrape && is_scrape_request(request.value());
@@ -296,7 +488,7 @@ void HttpServer::serve_connection(net::Stream* stream,
       }
     }
 
-    ++served_here;
+    ++conn.served;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     response.headers.set("X-Trace-Id", trace_scope.trace_id());
     span.reset();  // record the server span before the reply leaves
@@ -313,7 +505,7 @@ void HttpServer::serve_connection(net::Stream* stream,
     bool close_after =
         !request.value().keep_alive() || !response.keep_alive() ||
         !body_failure.is_ok() ||
-        served_here >= config_.max_requests_per_connection;
+        conn.served >= config_.max_requests_per_connection;
     if (close_after) response.headers.set("Connection", "close");
     bool write_ok = write_response(stream, response).is_ok();
     if (config_.event_log != nullptr) {
@@ -326,12 +518,18 @@ void HttpServer::serve_connection(net::Stream* stream,
       record.bytes_out = request_bytes_out.load(std::memory_order_relaxed);
       record.duration_seconds = wall_time_seconds() - started;
       record.trace_id = trace_scope.trace_id();
-      record.daemon_id = daemon_id;
-      record.keepalive_reuse = served_here > 1;
+      record.daemon_id = worker_id;
+      record.keepalive_reuse = conn.served > 1;
       config_.event_log->log_access(std::move(record));
     }
-    if (!write_ok || close_after) return;
+    if (!write_ok || close_after) return false;
+    // A fully pipelined follow-up may already sit in the reader's
+    // buffer, where stream-level readiness polling can never see it —
+    // serve it inline; park only when the buffer is drained.
+    if (reader.buffered_bytes() > 0) continue;
+    return true;  // keep-alive idle: hand back to the reactor
   }
+  return false;
 }
 
 }  // namespace davpse::http

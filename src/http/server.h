@@ -1,24 +1,49 @@
-// HTTP/1.1 server with an Apache-like daemon pool. The paper's servers
-// ran with "persistent connections with limits of 100 connections per
-// minute, 15 seconds between requests, and a minimum of 5 daemons";
-// ServerConfig defaults mirror that (the per-connection request cap
-// standing in for the per-minute cap, which only makes sense against a
-// real wall clock).
+// HTTP/1.1 server on a readiness-driven reactor core. The paper's
+// servers inherited Apache 1.3's thread-per-connection daemon model
+// ("a minimum of 5 daemons"), which caps in-flight connections at the
+// daemon count: an idle keep-alive peer pins a whole thread for up to
+// the 15 s idle window. Here one reactor thread multiplexes every
+// connection over the virtual network's Poller — idle connections are
+// parked at near-zero cost (a map entry and the pipe buffers) — and
+// parsed requests are dispatched to a small worker pool. The paper's
+// connection policies (100 requests per connection, 15 s keep-alive
+// idle, basic auth) are preserved byte-for-byte; `daemons` lives on as
+// the worker-pool knob so existing configs keep their meaning.
+//
+// Per-connection state machine (each connection owns its WireReader
+// across parks, so pipelined bytes are never lost):
+//
+//   accept ─▶ parked-fresh ──readable──▶ dispatch queue ─▶ worker:
+//                 │ deadline               ▲                 read head/body,
+//                 ▼                        │ readable         handle, write
+//               close                   parked-idle ◀──────── keep-alive
+//                                          │ keep-alive        │ close/cap/
+//                                          ▼ deadline          ▼ error
+//                                        close               close
+//
+// Ownership: the reactor owns parked connections; a dispatch hands the
+// connection to exactly one worker; the worker either parks it back or
+// closes it. stop() closes every registered stream, which unblocks
+// parked and mid-request connections alike through pipe abort
+// semantics — no per-connection timeout wait.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "http/auth.h"
 #include "http/message.h"
 #include "net/network.h"
+#include "net/poller.h"
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/tail.h"
@@ -28,7 +53,7 @@
 namespace davpse::http {
 
 /// Application hook: one call per request. Must be thread-safe — the
-/// daemon pool invokes it concurrently.
+/// worker pool invokes it concurrently.
 class Handler {
  public:
   virtual ~Handler() = default;
@@ -48,35 +73,51 @@ class Handler {
 
 struct ServerConfig {
   std::string endpoint;              // name in the in-memory network
+  /// Worker-pool size (requests in service concurrently). Historical
+  /// name: under the old thread-per-connection model this was the
+  /// daemon count, and it keeps that role as the pool knob — but a
+  /// worker serves *requests*, not connections, so parked keep-alive
+  /// connections no longer occupy one. `workers`, when non-zero,
+  /// overrides it under the honest name.
   size_t daemons = 5;                // paper: "a minimum of 5 daemons"
+  size_t workers = 0;                // 0 = use `daemons`
   size_t max_requests_per_connection = 100;
   double keep_alive_timeout_seconds = 15.0;
   uint64_t max_body_bytes = 0;       // 0 = unlimited
-  /// Load shedding: when more than this many accepted connections are
-  /// waiting for a free daemon, further arrivals are answered 503 +
-  /// Retry-After without reading the request and closed (0 = never
-  /// shed). Shedding happens on the accept thread, so an overloaded
-  /// pool answers "back off" immediately instead of silently queueing.
+  /// Load shedding: when more than this many connections are waiting
+  /// for a worker to pick up their *first* request, further arrivals
+  /// are answered 503 + Retry-After and closed (0 = never shed). The
+  /// 503 is written with a single non-blocking write on the reactor
+  /// thread — a peer that never reads gets the connection dropped
+  /// instead of stalling accepts.
   size_t max_queue_depth = 0;
-  /// Additional ceiling on waiting + in-service connections combined
-  /// (0 = unlimited). With a fixed daemon pool this mostly matters when
-  /// max_queue_depth is unset.
+  /// Additional ceiling on first-request-waiting + worker-active
+  /// connections combined (0 = unlimited). Parked idle keep-alive
+  /// connections are deliberately NOT counted: they are nearly free
+  /// under the reactor, and pricing them like in-service work would
+  /// reintroduce the daemon-count ceiling this core removes.
   size_t max_in_flight = 0;
+  /// Ceiling on idle keep-alive connections parked in the poller
+  /// (0 = unlimited). When full, a connection finishing a request is
+  /// closed instead of parked — bounding per-idle-connection memory
+  /// under a connection flood while requests keep being served.
+  size_t max_parked = 0;
   /// Advertised in Retry-After on shed responses (whole seconds; the
   /// client's retry loop treats it as a backoff floor).
   int retry_after_seconds = 1;
   /// Per-request read deadline (0 = none): bounds the wait for the
   /// first request line on a fresh connection and every body read, so
-  /// a peer that stalls mid-request cannot pin a daemon. A stall after
+  /// a peer that stalls mid-request cannot pin a worker. A stall after
   /// the head parsed is answered 408 Request Timeout; a connection
-  /// that never sends a byte is closed silently. Idle keep-alive gaps
-  /// keep using keep_alive_timeout_seconds.
+  /// that never sends a byte is closed silently (by the reactor, while
+  /// parked — it never cost a worker). Idle keep-alive gaps keep using
+  /// keep_alive_timeout_seconds.
   double request_read_timeout_seconds = 0;
   BasicAuthenticator authenticator;  // empty = auth disabled
   /// Registry receiving "http.server.*" metrics (per-method request
   /// counts and latency histograms, body bytes in/out, connection and
-  /// keep-alive reuse counts); nullptr records into
-  /// obs::Registry::global().
+  /// keep-alive reuse counts, parked/in-flight gauges, poller wakes);
+  /// nullptr records into obs::Registry::global().
   obs::Registry* metrics = nullptr;
   /// TraceLog receiving server-side spans; nullptr records into
   /// obs::TraceLog::global().
@@ -96,9 +137,8 @@ struct ServerConfig {
   bool unauthenticated_scrape = false;
 };
 
-/// Accept loop + fixed pool of daemon threads, each serving whole
-/// keep-alive connections. start() returns once the endpoint is bound;
-/// stop() (or destruction) joins every thread.
+/// Reactor thread + fixed worker pool. start() returns once the
+/// endpoint is bound; stop() (or destruction) joins every thread.
 class HttpServer {
  public:
   HttpServer(ServerConfig config, Handler* handler);
@@ -119,17 +159,35 @@ class HttpServer {
   }
 
  private:
-  void accept_loop();
-  /// Answers 503 + Retry-After on the accept thread without reading the
-  /// request, then closes. The reply stays readable by the peer (clean
-  /// write-side EOF); the peer's own writes fail, which its retry loop
-  /// treats as "shed before processing".
+  /// Per-connection state machine node (defined in server.cpp): the
+  /// stream, its WireReader (owned across parks so buffered pipelined
+  /// bytes survive), and the served-request count.
+  struct Connection;
+
+  /// Reactor thread: drains the poller, admits/sheds accepts, unparks
+  /// readable connections into the dispatch queue, expires deadlines.
+  void reactor_loop();
+  /// Worker threads: serve dispatched requests, then park the
+  /// connection back (keep-alive) or close it.
+  void worker_loop(int worker_id);
+  void drain_accepts();
+  /// Answers 503 + Retry-After with one bounded non-blocking write on
+  /// the reactor thread, then closes. On would-block the reply is
+  /// dropped — a non-reading peer costs nothing but its own 503.
   void shed_connection(std::unique_ptr<net::Stream> stream);
-  /// `daemon_id` is the serving pool thread's index — it lands in the
-  /// access-log records this connection produces. The caller keeps
-  /// ownership of the stream: it stays registered in active_streams_
-  /// until after this returns, so stop() can abort a blocked read.
-  void serve_connection(net::Stream* stream, int daemon_id);
+  /// Parks `conn` in the poller under a fresh token. `deadline` is an
+  /// absolute wall time (<= 0: park without expiry); `enforce_parked_cap`
+  /// applies max_parked (workers re-parking idle connections enforce it;
+  /// fresh accepts are governed by the shed limits instead). Returns
+  /// false — caller must close — when stopping or at the cap.
+  bool park(std::shared_ptr<Connection> conn, double deadline,
+            bool enforce_parked_cap);
+  void dispatch(std::shared_ptr<Connection> conn);
+  /// Closes `conn` and drops it from the registry.
+  void retire(const std::shared_ptr<Connection>& conn);
+  /// Serves requests off `conn` until it must close (false) or goes
+  /// keep-alive idle with nothing buffered (true → caller parks it).
+  bool serve_requests(Connection& conn, int worker_id);
 
   ServerConfig config_;
   Handler* handler_;
@@ -142,30 +200,46 @@ class HttpServer {
   obs::Counter& keepalive_reuse_metric_;
   obs::Counter& connections_metric_;
   obs::Counter& shed_metric_;
+  obs::Counter& poller_wakes_metric_;
+  /// Worker-active connections (in service, not parked/queued). The
+  /// worker increments on pickup and decrements on park/close along
+  /// every path — shed and reactor-expired connections never touch it,
+  /// so it provably returns to zero when the server drains.
   obs::Gauge& in_flight_gauge_;
+  /// Idle connections parked in the poller (fresh + keep-alive).
+  obs::Gauge& parked_gauge_;
   /// Per-method counter/histogram cache — no metric-name concatenation
   /// or registry lookups on the request hot path after first sight of
   /// a method.
   obs::PerLabelMetrics request_metrics_;
+
+  net::Poller poller_;
   std::unique_ptr<net::Listener> listener_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
-  /// Connections currently inside serve_connection (not queued).
-  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> active_{0};
 
-  // Simple work queue: accepted connections waiting for a daemon.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::unique_ptr<net::Stream>> queue_;
+  /// Guards the connection registry, the parked map, deadlines, and
+  /// the first-request admission counter. Never held while calling
+  /// into a stream or the poller's wait.
+  std::mutex state_mutex_;
+  /// Every live connection (parked, queued, or worker-held) — stop()
+  /// closes these streams to unblock everything at once.
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> conns_;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> parked_;
+  /// Absolute wall deadline -> parked token; lazily pruned (an entry
+  /// whose token is no longer parked is skipped).
+  std::multimap<double, uint64_t> deadlines_;
+  uint64_t next_token_ = 1;  // 0 is the listener's token
+  /// Connections accepted whose first request no worker has picked up
+  /// yet — the shed threshold (the reactor-core analogue of the old
+  /// accept queue depth).
+  size_t pending_first_ = 0;
 
-  // Streams currently being served. stop() closes them so a daemon
-  // blocked in a keep-alive idle read (up to keep_alive_timeout_seconds)
-  // unblocks immediately instead of holding shutdown for the full
-  // window. Entries are keys only — the owning daemon erases its entry
-  // before destroying the stream.
-  std::mutex active_mutex_;
-  std::set<net::Stream*> active_streams_;
+  std::mutex dispatch_mutex_;
+  std::condition_variable dispatch_cv_;
+  std::deque<std::shared_ptr<Connection>> dispatch_;
 };
 
 }  // namespace davpse::http

@@ -45,6 +45,13 @@ class WireReader {
   Result<std::unique_ptr<BodySource>> open_body(const HeaderMap& headers,
                                                 uint64_t max_body);
 
+  /// Bytes already pulled off the stream but not yet consumed by the
+  /// framing layer. Non-zero means (part of) the next message sits in
+  /// this reader where stream-level readiness polling cannot see it —
+  /// the reactor must not park such a connection, or a fully pipelined
+  /// request would never wake it.
+  size_t buffered_bytes() const { return buffer_.size() - buffer_pos_; }
+
  private:
   friend class WireBodySource;
 

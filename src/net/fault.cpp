@@ -78,6 +78,54 @@ Result<size_t> FaultInjectingStream::read(char* buf, size_t max) {
   return inner_->read(buf, max);
 }
 
+Result<TryRead> FaultInjectingStream::try_read(char* buf, size_t max) {
+  const FaultConfig& config = injector_->config();
+  if (truncated_) return TryRead{0, false};
+  if (config.read_reset > 0 && rng_.coin(config.read_reset)) {
+    injector_->read_resets.add(1);
+    inner_->close();
+    return Status(ErrorCode::kUnavailable, "injected: connection reset");
+  }
+  if (config.truncate > 0 && rng_.coin(config.truncate)) {
+    injector_->truncations.add(1);
+    truncated_ = true;
+    inner_->close();
+    return TryRead{0, false};  // premature clean EOF
+  }
+  if (config.read_delay > 0 && rng_.coin(config.read_delay)) {
+    injector_->delays.add(1);
+    return TryRead{0, true};  // delay = spurious would-block
+  }
+  return inner_->try_read(buf, max);
+}
+
+Result<size_t> FaultInjectingStream::try_write(std::string_view data) {
+  const FaultConfig& config = injector_->config();
+  if (config.write_reset > 0 && rng_.coin(config.write_reset)) {
+    injector_->write_resets.add(1);
+    inner_->close();
+    return Status(ErrorCode::kUnavailable,
+                  "injected: connection reset before send");
+  }
+  if (config.write_reset_midway > 0 && data.size() > 1 &&
+      rng_.coin(config.write_reset_midway)) {
+    injector_->write_resets.add(1);
+    size_t prefix = 1 + rng_.uniform(0, data.size() - 2);
+    (void)inner_->try_write(data.substr(0, prefix));
+    inner_->close();
+    return Status(ErrorCode::kUnavailable,
+                  "injected: connection reset mid-send");
+  }
+  if (config.corrupt > 0 && !data.empty() && rng_.coin(config.corrupt)) {
+    injector_->corruptions.add(1);
+    std::string rotted(data);
+    size_t at = rng_.uniform(0, rotted.size() - 1);
+    rotted[at] = static_cast<char>(rotted[at] ^ (1 << rng_.uniform(0, 7)));
+    return inner_->try_write(rotted);
+  }
+  return inner_->try_write(data);
+}
+
 Status FaultInjectingStream::write(std::string_view data) {
   const FaultConfig& config = injector_->config();
   if (config.write_reset > 0 && rng_.coin(config.write_reset)) {

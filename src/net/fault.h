@@ -101,6 +101,17 @@ class FaultInjectingStream final : public Stream {
 
   Result<size_t> read(char* buf, size_t max) override;
   Status write(std::string_view data) override;
+  /// Non-blocking paths draw from the same per-stream schedule in the
+  /// same order as their blocking twins, so a seeded run replays
+  /// identically whichever API the caller uses. A drawn read delay is
+  /// reported as would-block instead of sleeping (a reactor must never
+  /// be stalled by an injected delay); resets and truncations surface
+  /// exactly as they do on the blocking path.
+  Result<TryRead> try_read(char* buf, size_t max) override;
+  Result<size_t> try_write(std::string_view data) override;
+  bool watch_readable(ReadinessWatcher* watcher, uint64_t token) override {
+    return inner_->watch_readable(watcher, token);
+  }
   void shutdown_write() override { inner_->shutdown_write(); }
   void close() override { inner_->close(); }
   void set_read_timeout(double seconds) override {

@@ -19,11 +19,36 @@ Result<std::unique_ptr<Stream>> Listener::accept() {
                 "listener shut down: " + endpoint_);
 }
 
+Result<std::unique_ptr<Stream>> Listener::try_accept() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.empty()) {
+    auto stream = std::move(pending_.front());
+    pending_.pop_front();
+    return stream;
+  }
+  if (shut_down_) {
+    return Status(ErrorCode::kUnavailable,
+                  "listener shut down: " + endpoint_);
+  }
+  return std::unique_ptr<Stream>(nullptr);  // would block
+}
+
+void Listener::set_accept_watcher(ReadinessWatcher* watcher,
+                                  uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watcher_ = watcher;
+  watcher_token_ = token;
+  if (watcher_ != nullptr && (!pending_.empty() || shut_down_)) {
+    watcher_->on_ready(watcher_token_);
+  }
+}
+
 void Listener::shutdown() {
   std::lock_guard<std::mutex> lock(mutex_);
   shut_down_ = true;
   pending_.clear();
   pending_cv_.notify_all();
+  if (watcher_ != nullptr) watcher_->on_ready(watcher_token_);
 }
 
 bool Listener::enqueue(std::unique_ptr<Stream> server_end) {
@@ -31,6 +56,7 @@ bool Listener::enqueue(std::unique_ptr<Stream> server_end) {
   if (shut_down_) return false;
   pending_.push_back(std::move(server_end));
   pending_cv_.notify_one();
+  if (watcher_ != nullptr) watcher_->on_ready(watcher_token_);
   return true;
 }
 
@@ -63,7 +89,7 @@ Result<std::unique_ptr<Stream>> Network::connect(const std::string& endpoint) {
     }
     listener = it->second;
   }
-  auto pair = make_pipe();
+  auto pair = pipe_capacity_ > 0 ? make_pipe(pipe_capacity_) : make_pipe();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     traffic_.push_back(pair.traffic);

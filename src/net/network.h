@@ -32,6 +32,18 @@ class Listener {
   /// listener is shut down.
   Result<std::unique_ptr<Stream>> accept();
 
+  /// Non-blocking accept: the next pending connection, nullptr when
+  /// none is waiting (would block), kUnavailable once shut down.
+  Result<std::unique_ptr<Stream>> try_accept();
+
+  /// Watcher fired (with `token`) whenever a connection is enqueued or
+  /// the listener shuts down; fires immediately at registration if
+  /// connections are already pending. nullptr deregisters. The callback
+  /// runs under the listener mutex — enqueue-and-signal only. The
+  /// watcher must outlive the listener or be deregistered first:
+  /// destruction implies shutdown(), which fires it one last time.
+  void set_accept_watcher(ReadinessWatcher* watcher, uint64_t token);
+
   /// Wakes all accept() calls with kUnavailable and refuses new
   /// connections.
   void shutdown();
@@ -52,6 +64,8 @@ class Listener {
   std::condition_variable pending_cv_;
   std::deque<std::unique_ptr<Stream>> pending_;
   bool shut_down_ = false;
+  ReadinessWatcher* watcher_ = nullptr;
+  uint64_t watcher_token_ = 0;
 };
 
 /// The rendezvous surface is virtual so transport decorators (the
@@ -60,6 +74,12 @@ class Listener {
 /// interface and never know whether their streams are being faulted.
 class Network {
  public:
+  Network() = default;
+  /// `pipe_capacity` bounds in-flight bytes per direction on every
+  /// connection made through this network. Tests shrink it to force
+  /// transport backpressure (e.g. a peer that never reads fills its
+  /// inbound queue after `pipe_capacity` bytes).
+  explicit Network(size_t pipe_capacity) : pipe_capacity_(pipe_capacity) {}
   virtual ~Network() = default;
 
   /// Process-wide default network; individual tests may build private
@@ -83,6 +103,7 @@ class Network {
   friend class Listener;
   void unregister(const std::string& endpoint, Listener* listener);
 
+  const size_t pipe_capacity_ = 0;  // 0 = make_pipe default
   mutable std::mutex mutex_;
   std::map<std::string, Listener*> listeners_;
   std::vector<std::shared_ptr<TrafficCounter>> traffic_;

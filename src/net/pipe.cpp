@@ -19,14 +19,69 @@ Status ByteQueue::write(std::string_view data,
     }
     size_t room = capacity_ - buffer_.size();
     size_t chunk = std::min(room, data.size() - written);
+    bool was_empty = buffer_.empty();
     buffer_.append(data.data() + written, chunk);
     written += chunk;
     if (counter != nullptr) {
       counter->fetch_add(chunk, std::memory_order_relaxed);
     }
     readable_.notify_all();
+    if (was_empty && chunk > 0) notify_watcher_locked();
   }
   return Status::ok();
+}
+
+Result<TryRead> ByteQueue::try_read(char* buf, size_t max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TryRead result;
+  if (!buffer_.empty()) {
+    result.bytes = std::min(max, buffer_.size());
+    std::memcpy(buf, buffer_.data(), result.bytes);
+    buffer_.erase(0, result.bytes);
+    writable_.notify_all();
+    return result;
+  }
+  if (aborted_) {
+    return Status(ErrorCode::kUnavailable, "pipe aborted");
+  }
+  result.would_block = !write_closed_;  // closed writer = clean EOF
+  return result;
+}
+
+Result<size_t> ByteQueue::try_write(std::string_view data,
+                                    std::atomic<uint64_t>* counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_ || write_closed_) {
+    return Status(ErrorCode::kUnavailable, "pipe closed during write");
+  }
+  size_t room = capacity_ > buffer_.size() ? capacity_ - buffer_.size() : 0;
+  size_t chunk = std::min(room, data.size());
+  if (chunk > 0) {
+    bool was_empty = buffer_.empty();
+    buffer_.append(data.data(), chunk);
+    if (counter != nullptr) {
+      counter->fetch_add(chunk, std::memory_order_relaxed);
+    }
+    readable_.notify_all();
+    if (was_empty) notify_watcher_locked();
+  }
+  return chunk;
+}
+
+void ByteQueue::set_read_watcher(ReadinessWatcher* watcher, uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watcher_ = watcher;
+  watcher_token_ = token;
+  // Level-triggered at registration: a queue that is already readable
+  // (data, EOF, or abort) fires straight away, so a reactor can park a
+  // connection without racing data that arrived just before.
+  if (watcher_ != nullptr && (!buffer_.empty() || write_closed_ || aborted_)) {
+    watcher_->on_ready(watcher_token_);
+  }
+}
+
+void ByteQueue::notify_watcher_locked() {
+  if (watcher_ != nullptr) watcher_->on_ready(watcher_token_);
 }
 
 Result<size_t> ByteQueue::read(char* buf, size_t max,
@@ -61,6 +116,7 @@ void ByteQueue::close_write() {
   write_closed_ = true;
   readable_.notify_all();
   writable_.notify_all();
+  notify_watcher_locked();  // EOF is a readable event
 }
 
 void ByteQueue::abort() {
@@ -69,6 +125,7 @@ void ByteQueue::abort() {
   buffer_.clear();
   readable_.notify_all();
   writable_.notify_all();
+  notify_watcher_locked();  // abort wakes parked readers too
 }
 
 namespace {
@@ -96,6 +153,19 @@ class PipeStream final : public Stream {
 
   Status write(std::string_view data) override {
     return out_->write(data, out_counter_);
+  }
+
+  Result<TryRead> try_read(char* buf, size_t max) override {
+    return in_->try_read(buf, max);
+  }
+
+  Result<size_t> try_write(std::string_view data) override {
+    return out_->try_write(data, out_counter_);
+  }
+
+  bool watch_readable(ReadinessWatcher* watcher, uint64_t token) override {
+    in_->set_read_watcher(watcher, token);
+    return true;
   }
 
   void shutdown_write() override { out_->close_write(); }

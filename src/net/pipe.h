@@ -28,10 +28,29 @@ class ByteQueue {
   /// `timeout_seconds` > 0 bounds the wait (kTimeout on expiry).
   Result<size_t> read(char* buf, size_t max, double timeout_seconds = 0);
 
+  /// Non-blocking read: whatever is buffered right now (see TryRead).
+  Result<TryRead> try_read(char* buf, size_t max);
+
+  /// Non-blocking write: appends as much of `data` as fits under the
+  /// capacity and returns the count (0 = full, would block).
+  /// kUnavailable if the read side closed.
+  Result<size_t> try_write(std::string_view data,
+                           std::atomic<uint64_t>* counter);
+
+  /// Read-readiness watcher: fired (with `token`) on every transition
+  /// to readable — buffered data appearing, writer EOF, or abort — and
+  /// immediately at registration if already readable. One watcher per
+  /// queue; nullptr deregisters. The callback runs under the queue
+  /// mutex: it must only enqueue-and-signal (see ReadinessWatcher).
+  void set_read_watcher(ReadinessWatcher* watcher, uint64_t token);
+
   void close_write();  // EOF for readers after draining
   void abort();        // hard close: readers get kUnavailable immediately
 
  private:
+  /// Pre: mutex_ held. Fires the watcher if one is registered.
+  void notify_watcher_locked();
+
   const size_t capacity_;
   std::mutex mutex_;
   std::condition_variable readable_;
@@ -39,6 +58,8 @@ class ByteQueue {
   std::string buffer_;
   bool write_closed_ = false;
   bool aborted_ = false;
+  ReadinessWatcher* watcher_ = nullptr;
+  uint64_t watcher_token_ = 0;
 };
 
 struct PipePair {
@@ -47,8 +68,11 @@ struct PipePair {
   std::shared_ptr<TrafficCounter> traffic;
 };
 
+/// Default per-direction buffering for make_pipe.
+inline constexpr size_t kDefaultPipeCapacity = 256 * 1024;
+
 /// Creates a connected pair of streams. Writes to `a` are read from
 /// `b` and vice versa. `capacity` bounds in-flight bytes per direction.
-PipePair make_pipe(size_t capacity = 256 * 1024);
+PipePair make_pipe(size_t capacity = kDefaultPipeCapacity);
 
 }  // namespace davpse::net

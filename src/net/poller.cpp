@@ -1,0 +1,50 @@
+#include "net/poller.h"
+
+#include <chrono>
+
+namespace davpse::net {
+
+void Poller::on_ready(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.insert(token).second) {
+    ready_.push_back(token);
+  }
+  cv_.notify_one();
+}
+
+void Poller::wake() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  woken_ = true;
+  cv_.notify_one();
+}
+
+std::vector<uint64_t> Poller::wait(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!signaled_locked() && timeout_seconds != 0) {
+    if (timeout_seconds < 0) {
+      cv_.wait(lock, [&] { return signaled_locked(); });
+    } else {
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::duration<double>(timeout_seconds));
+      cv_.wait_until(lock, deadline, [&] { return signaled_locked(); });
+    }
+  }
+  ++wakeups_;
+  woken_ = false;
+  return drain_locked();
+}
+
+uint64_t Poller::wakeups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wakeups_;
+}
+
+std::vector<uint64_t> Poller::drain_locked() {
+  std::vector<uint64_t> tokens;
+  tokens.swap(ready_);
+  pending_.clear();
+  return tokens;
+}
+
+}  // namespace davpse::net

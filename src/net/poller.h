@@ -1,0 +1,59 @@
+// Readiness multiplexer for the in-memory transport: the deterministic
+// epoll analogue at the heart of the reactor server core. Streams and
+// listeners registered via their watch hooks (Stream::watch_readable,
+// Listener::set_accept_watcher) post tokens here as they become ready;
+// one reactor thread blocks in wait() and drains the ready set. Unlike
+// epoll there is no fd table — a token is just a caller-chosen uint64
+// the caller maps back to its own connection state — so registration
+// lives with the source and the Poller stays a pure rendezvous.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "net/stream.h"
+
+namespace davpse::net {
+
+/// Thread-safe ready-set with a blocking wait. Tokens are deduplicated
+/// while pending (a source may signal twice — data then abort — before
+/// the reactor gets around to it); arrival order is preserved.
+class Poller final : public ReadinessWatcher {
+ public:
+  /// ReadinessWatcher hook: sources call this (possibly under their own
+  /// lock) to mark `token` ready. Cheap: one mutex, one set insert, one
+  /// condvar signal.
+  void on_ready(uint64_t token) override;
+
+  /// Wakes wait() without marking any token ready — the shutdown path
+  /// (and "a worker re-parked a connection with an earlier deadline"
+  /// path). Sticky: a wake posted while no one is waiting is consumed
+  /// by the next wait() instead of being lost.
+  void wake();
+
+  /// Blocks until at least one token is ready, wake() is called, or
+  /// `timeout_seconds` elapses (negative = wait indefinitely; 0 = poll
+  /// without blocking). Returns the drained ready tokens in arrival
+  /// order — empty on timeout or bare wake.
+  std::vector<uint64_t> wait(double timeout_seconds);
+
+  /// Total times wait() returned (readiness, wake, or timeout) — the
+  /// reactor's "http.server.poller_wakes" counter reads this.
+  uint64_t wakeups() const;
+
+ private:
+  bool signaled_locked() const { return woken_ || !ready_.empty(); }
+  std::vector<uint64_t> drain_locked();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<uint64_t> ready_;          // arrival order
+  std::unordered_set<uint64_t> pending_; // dedup while queued
+  bool woken_ = false;
+  uint64_t wakeups_ = 0;
+};
+
+}  // namespace davpse::net

@@ -28,6 +28,26 @@ struct TrafficCounter {
   }
 };
 
+/// Receives readiness notifications from a stream or listener. The
+/// reactor's Poller implements this; tokens let one watcher serve many
+/// sources. Callbacks may fire from any thread, possibly while the
+/// source's internal lock is held — implementations must only do cheap,
+/// lock-ordered work (enqueue + signal) and must never call back into
+/// the notifying source.
+class ReadinessWatcher {
+ public:
+  virtual ~ReadinessWatcher() = default;
+  virtual void on_ready(uint64_t token) = 0;
+};
+
+/// Outcome of a non-blocking read: `bytes > 0` means data was read;
+/// `bytes == 0 && would_block` means nothing is available yet; and
+/// `bytes == 0 && !would_block` means clean EOF (peer half-closed).
+struct TryRead {
+  size_t bytes = 0;
+  bool would_block = false;
+};
+
 /// Blocking, reliable, ordered byte stream (TCP-like semantics).
 class Stream {
  public:
@@ -52,6 +72,42 @@ class Stream {
   /// A timed-out read returns kTimeout. Used by the HTTP server to
   /// enforce its keep-alive idle limit (15 s in the paper's config).
   virtual void set_read_timeout(double seconds) { (void)seconds; }
+
+  // --- Non-blocking / readiness surface (reactor core) ------------------
+  //
+  // The default implementations return kUnsupported / false so legacy
+  // transports keep working; pipe streams (and decorators that forward,
+  // like the fault injector) implement all three. A server that polls
+  // must check watch_readable()'s return before parking a stream.
+
+  /// Non-blocking read: returns immediately with whatever is available
+  /// (see TryRead). kUnavailable if the connection was aborted.
+  virtual Result<TryRead> try_read(char* buf, size_t max) {
+    (void)buf;
+    (void)max;
+    return Status(ErrorCode::kUnsupported,
+                  "stream does not support try_read");
+  }
+
+  /// Non-blocking write: accepts as many bytes as fit in the transport
+  /// buffer right now and returns the count (0 = would block).
+  /// kUnavailable if the peer closed its read side.
+  virtual Result<size_t> try_write(std::string_view data) {
+    (void)data;
+    return Status(ErrorCode::kUnsupported,
+                  "stream does not support try_write");
+  }
+
+  /// Registers `watcher` to be notified with `token` whenever this
+  /// stream becomes readable (data arrived, peer EOF, or abort). Fires
+  /// immediately if already readable. At most one watcher per stream;
+  /// nullptr deregisters (after it returns, no further callbacks run).
+  /// Returns false if this transport cannot signal readiness.
+  virtual bool watch_readable(ReadinessWatcher* watcher, uint64_t token) {
+    (void)watcher;
+    (void)token;
+    return false;
+  }
 
   /// Per-connection traffic counter (never null for pipe streams).
   virtual const TrafficCounter* traffic() const { return nullptr; }

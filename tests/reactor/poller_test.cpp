@@ -1,0 +1,222 @@
+// Unit coverage for the reactor's readiness layer: the Poller
+// rendezvous, ByteQueue watcher edge/level semantics, the non-blocking
+// try_read/try_write tri-states, and Listener::try_accept.
+#include "net/poller.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/network.h"
+#include "net/pipe.h"
+
+namespace davpse::net {
+namespace {
+
+TEST(Poller, WaitReturnsPostedTokensInArrivalOrder) {
+  Poller poller;
+  poller.on_ready(7);
+  poller.on_ready(3);
+  poller.on_ready(7);  // dedup while pending
+  auto ready = poller.wait(0);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0], 7u);
+  EXPECT_EQ(ready[1], 3u);
+  // Drained: the next poll sees nothing.
+  EXPECT_TRUE(poller.wait(0).empty());
+  // After draining, the same token may be posted again.
+  poller.on_ready(7);
+  ASSERT_EQ(poller.wait(0).size(), 1u);
+}
+
+TEST(Poller, WakeIsStickyAndYieldsEmptySet) {
+  Poller poller;
+  poller.wake();  // posted before anyone waits
+  auto ready = poller.wait(-1);
+  EXPECT_TRUE(ready.empty());
+  // Consumed: a zero-timeout poll no longer sees the wake.
+  EXPECT_TRUE(poller.wait(0).empty());
+}
+
+TEST(Poller, TimedWaitExpiresWithoutTokens) {
+  Poller poller;
+  auto start = std::chrono::steady_clock::now();
+  auto ready = poller.wait(0.02);
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_TRUE(ready.empty());
+  EXPECT_GE(elapsed, 0.015);
+}
+
+TEST(Poller, BlockedWaitWokenByConcurrentPost) {
+  Poller poller;
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    poller.on_ready(42);
+  });
+  auto ready = poller.wait(-1);
+  poster.join();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 42u);
+}
+
+TEST(Watcher, RegistrationFiresImmediatelyWhenAlreadyReadable) {
+  // Level-triggered at registration: data that arrived before the park
+  // must not be lost.
+  Poller poller;
+  auto pipe = make_pipe();
+  ASSERT_TRUE(pipe.a->write("hello").is_ok());
+  EXPECT_TRUE(pipe.b->watch_readable(&poller, 11));
+  auto ready = poller.wait(0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 11u);
+}
+
+TEST(Watcher, FiresOnEmptyToNonEmptyTransitionOnly) {
+  Poller poller;
+  auto pipe = make_pipe();
+  ASSERT_TRUE(pipe.b->watch_readable(&poller, 5));
+  EXPECT_TRUE(poller.wait(0).empty());  // nothing readable yet
+  ASSERT_TRUE(pipe.a->write("x").is_ok());
+  ASSERT_TRUE(pipe.a->write("y").is_ok());  // no transition: no second post
+  auto ready = poller.wait(0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 5u);
+}
+
+TEST(Watcher, EofAndAbortAreReadableEvents) {
+  {
+    Poller poller;
+    auto pipe = make_pipe();
+    ASSERT_TRUE(pipe.b->watch_readable(&poller, 1));
+    pipe.a->shutdown_write();
+    ASSERT_EQ(poller.wait(0).size(), 1u);  // EOF wakes a parked reader
+  }
+  {
+    Poller poller;
+    auto pipe = make_pipe();
+    ASSERT_TRUE(pipe.a->watch_readable(&poller, 2));
+    pipe.a->close();  // aborts a's own inbound queue
+    ASSERT_GE(poller.wait(0).size(), 1u);
+  }
+}
+
+TEST(Watcher, DeregistrationStopsEvents) {
+  Poller poller;
+  auto pipe = make_pipe();
+  ASSERT_TRUE(pipe.b->watch_readable(&poller, 9));
+  ASSERT_TRUE(pipe.b->watch_readable(nullptr, 0));
+  ASSERT_TRUE(pipe.a->write("data").is_ok());
+  EXPECT_TRUE(poller.wait(0).empty());
+}
+
+TEST(TryRead, TriState) {
+  auto pipe = make_pipe();
+  char buf[16];
+  // Empty + open writer: would-block.
+  auto r = pipe.b->try_read(buf, sizeof buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().bytes, 0u);
+  EXPECT_TRUE(r.value().would_block);
+  // Data present: bytes returned without blocking.
+  ASSERT_TRUE(pipe.a->write("abc").is_ok());
+  r = pipe.b->try_read(buf, sizeof buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(buf, r.value().bytes), "abc");
+  // Writer closed + drained: clean EOF (bytes=0, would_block=false).
+  pipe.a->shutdown_write();
+  r = pipe.b->try_read(buf, sizeof buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().bytes, 0u);
+  EXPECT_FALSE(r.value().would_block);
+}
+
+TEST(TryRead, AbortSurfacesUnavailable) {
+  // close() aborts the closer's own inbound queue (the peer sees a
+  // clean write-side EOF), so the hard-abort read error surfaces on
+  // the closed stream itself.
+  auto pipe = make_pipe();
+  pipe.b->close();
+  char buf[4];
+  auto r = pipe.b->try_read(buf, sizeof buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(TryWrite, PartialWriteAtCapacityThenZero) {
+  auto pipe = make_pipe(4);  // tiny pipe: fills after 4 bytes
+  auto wrote = pipe.a->try_write("abcdef");
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(wrote.value(), 4u);  // only what fits
+  wrote = pipe.a->try_write("gh");
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(wrote.value(), 0u);  // full: would block
+  // Draining the reader reopens room.
+  char buf[8];
+  auto r = pipe.b->try_read(buf, sizeof buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().bytes, 4u);
+  wrote = pipe.a->try_write("gh");
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(wrote.value(), 2u);
+}
+
+TEST(TryWrite, ClosedPeerIsUnavailable) {
+  auto pipe = make_pipe();
+  pipe.b->close();
+  auto wrote = pipe.a->try_write("x");
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(TryAccept, DrainsPendingThenWouldBlocks) {
+  Network network;
+  auto listener = network.listen("try-accept");
+  ASSERT_TRUE(listener.ok());
+  // Nothing pending: nullptr, not an error.
+  auto none = listener.value()->try_accept();
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value(), nullptr);
+
+  auto c1 = network.connect("try-accept");
+  auto c2 = network.connect("try-accept");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(listener.value()->try_accept().value(), nullptr);
+  EXPECT_NE(listener.value()->try_accept().value(), nullptr);
+  EXPECT_EQ(listener.value()->try_accept().value(), nullptr);
+
+  listener.value()->shutdown();
+  auto down = listener.value()->try_accept();
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(TryAccept, WatcherFiresOnEnqueueAndShutdown) {
+  Network network;
+  auto listener = network.listen("accept-watch");
+  ASSERT_TRUE(listener.ok());
+  Poller poller;
+  listener.value()->set_accept_watcher(&poller, 0);
+  EXPECT_TRUE(poller.wait(0).empty());
+
+  auto conn = network.connect("accept-watch");
+  ASSERT_TRUE(conn.ok());
+  auto ready = poller.wait(-1);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 0u);
+
+  (void)listener.value()->try_accept();
+  listener.value()->shutdown();  // shutdown is a readiness event too
+  ASSERT_EQ(poller.wait(-1).size(), 1u);
+  // The poller is declared after the listener here, so it dies first:
+  // deregister before ~Listener's shutdown() fires the watcher again.
+  listener.value()->set_accept_watcher(nullptr, 0);
+}
+
+}  // namespace
+}  // namespace davpse::net

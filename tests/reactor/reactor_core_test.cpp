@@ -1,0 +1,364 @@
+// Server-level reactor-core behavior: idle keep-alive connections park
+// without consuming workers, shedding never blocks the reactor on a
+// non-reading peer, the in-flight gauge provably drains, stop() with
+// thousands of parked connections returns promptly, and pipelined
+// bytes buffered past one request are never stranded.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/client.h"
+#include "http/server.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "testing/env.h"
+
+namespace davpse::http {
+namespace {
+
+class EchoHandler final : public Handler {
+ public:
+  HttpResponse handle(const HttpRequest&) override {
+    return HttpResponse::make(kOk, "ok\n");
+  }
+};
+
+class GatedHandler final : public Handler {
+ public:
+  HttpResponse handle(const HttpRequest&) override {
+    entered.fetch_add(1);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return HttpResponse::make(kOk, "ok\n");
+  }
+  std::atomic<int> entered{0};
+  std::atomic<bool> release{false};
+};
+
+bool wait_until(const std::function<bool()>& cond, double timeout = 5.0) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+/// Writes one GET and reads the complete "ok\n"-bodied response,
+/// leaving the connection open (server side goes keep-alive idle).
+void serve_one_get(net::Stream& stream) {
+  ASSERT_TRUE(stream.write("GET / HTTP/1.1\r\nHost: h\r\n\r\n").is_ok());
+  std::string reply;
+  char buf[512];
+  while (reply.find("ok\n") == std::string::npos) {
+    auto n = stream.read(buf, sizeof buf);
+    ASSERT_TRUE(n.ok()) << n.status().to_string();
+    ASSERT_GT(n.value(), 0u) << "connection closed mid-response";
+    reply.append(buf, n.value());
+  }
+  EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos);
+}
+
+TEST(ReactorCore, IdleKeepAliveConnectionsDoNotConsumeWorkers) {
+  // Under the old thread-per-connection model this test cannot pass:
+  // 50 idle keep-alive connections with ONE worker would pin it for
+  // the full 15 s idle window. The reactor parks them all.
+  obs::Registry registry;
+  EchoHandler handler;
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-idle");
+  config.workers = 1;
+  config.metrics = &registry;
+  HttpServer server(config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kIdle = 50;
+  std::vector<std::unique_ptr<net::Stream>> conns;
+  for (int i = 0; i < kIdle; ++i) {
+    auto conn = net::Network::instance().connect(server.endpoint());
+    ASSERT_TRUE(conn.ok());
+    serve_one_get(*conn.value());
+    conns.push_back(std::move(conn).value());
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return registry.snapshot().gauge("http.server.parked") >= kIdle;
+  })) << "idle connections were not parked";
+
+  // The single worker is free: a fresh client is served immediately.
+  ClientConfig client_config;
+  client_config.endpoint = server.endpoint();
+  HttpClient client(client_config);
+  auto response = client.get("/");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, kOk);
+  EXPECT_EQ(registry.snapshot().gauge("http.server.in_flight"), 0);
+
+  // And every parked connection is still live for another request.
+  serve_one_get(*conns[0]);
+  serve_one_get(*conns[kIdle - 1]);
+  for (auto& conn : conns) conn->close();
+}
+
+TEST(ReactorCore, ShedWriteNeverBlocksOnNonReadingPeer) {
+  // Regression: the shed path used to write the 503 with a blocking
+  // Stream::write from the accept path. On a tiny-capacity network a
+  // peer that never reads would wedge that thread — and with it every
+  // subsequent accept. The reactor sends the 503 with one non-blocking
+  // write and drops the rest.
+  net::Network tiny(32);  // 503 reply (~100 B) cannot fully fit
+  obs::Registry registry;
+  GatedHandler handler;
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-shed");
+  config.workers = 1;
+  config.max_queue_depth = 1;
+  config.metrics = &registry;
+  HttpServer server(config, &handler);
+  ASSERT_TRUE(server.start(tiny).is_ok());
+
+  // Occupy the lone worker.
+  auto busy = tiny.connect(server.endpoint());
+  ASSERT_TRUE(busy.ok());
+  ASSERT_TRUE(
+      busy.value()->write("GET / HTTP/1.1\r\nHost: h\r\n\r\n").is_ok());
+  ASSERT_TRUE(wait_until([&] { return handler.entered.load() >= 1; }));
+
+  // Fill the queue-depth slot with a second pending request.
+  auto queued = tiny.connect(server.endpoint());
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(
+      queued.value()->write("GET / HTTP/1.1\r\nHost: h\r\n\r\n").is_ok());
+  ASSERT_TRUE(wait_until([&] {
+    return registry.snapshot().gauge("http.server.parked") == 0 &&
+           registry.counter("http.server.connections").value() >= 2;
+  }));
+
+  // Non-reading peers that must be shed. A blocked reactor would stop
+  // accepting after the first one; all three must be shed promptly.
+  std::vector<std::unique_ptr<net::Stream>> mute;
+  for (int i = 0; i < 3; ++i) {
+    auto conn = tiny.connect(server.endpoint());
+    ASSERT_TRUE(conn.ok());
+    (void)conn.value()->write("G");  // arrives, but the peer never reads
+    mute.push_back(std::move(conn).value());
+  }
+  EXPECT_TRUE(wait_until([&] {
+    return registry.counter("http.server.shed").value() >= 3;
+  })) << "reactor stalled behind a non-reading shed target";
+
+  handler.release.store(true);
+  for (auto& conn : mute) conn->close();
+  busy.value()->close();
+  queued.value()->close();
+
+  // The in-flight gauge drains to zero along every path — served,
+  // shed, and aborted alike.
+  EXPECT_TRUE(wait_until([&] {
+    return registry.snapshot().gauge("http.server.in_flight") == 0;
+  }));
+}
+
+TEST(ReactorCore, StopWithThousandsOfParkedConnectionsReturnsPromptly) {
+  obs::Registry registry;
+  EchoHandler handler;
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-stop");
+  config.workers = 4;
+  config.keep_alive_timeout_seconds = 60;  // stop() must not wait this out
+  config.metrics = &registry;
+  auto server = std::make_unique<HttpServer>(config, &handler);
+  ASSERT_TRUE(server->start().is_ok());
+
+  constexpr int kConns = 2000;
+  std::vector<std::unique_ptr<net::Stream>> conns;
+  conns.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    auto conn = net::Network::instance().connect(server->endpoint());
+    ASSERT_TRUE(conn.ok());
+    serve_one_get(*conn.value());
+    conns.push_back(std::move(conn).value());
+  }
+  ASSERT_TRUE(wait_until([&] {
+    return registry.snapshot().gauge("http.server.parked") >= kConns;
+  }));
+  EXPECT_EQ(server->requests_served(), static_cast<uint64_t>(kConns));
+
+  auto start = std::chrono::steady_clock::now();
+  server->stop();
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  // Poller wakeup + O(1) close per connection: nowhere near the 60 s
+  // keep-alive window, and no per-connection timeout waits.
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_EQ(registry.snapshot().gauge("http.server.parked"), 0);
+  EXPECT_EQ(registry.snapshot().gauge("http.server.in_flight"), 0);
+
+  // Every parked peer was aborted, not leaked: reads now fail or EOF.
+  char buf[8];
+  auto n = conns[0]->read(buf, sizeof buf);
+  EXPECT_TRUE(!n.ok() || n.value() == 0);
+  for (auto& conn : conns) conn->close();
+}
+
+TEST(ReactorCore, StopAbortsMidRequestStreams) {
+  obs::Registry registry;
+  GatedHandler handler;
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-abort");
+  config.workers = 1;
+  config.metrics = &registry;
+  auto server = std::make_unique<HttpServer>(config, &handler);
+  ASSERT_TRUE(server->start().is_ok());
+
+  auto conn = net::Network::instance().connect(server->endpoint());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(
+      conn.value()->write("GET / HTTP/1.1\r\nHost: h\r\n\r\n").is_ok());
+  ASSERT_TRUE(wait_until([&] { return handler.entered.load() == 1; }));
+
+  // Stop while the worker is inside the handler. The handler finishes
+  // (release below), the response write hits an aborted stream, and
+  // stop() joins without waiting on the peer.
+  std::thread stopper([&] { server->stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  handler.release.store(true);
+  stopper.join();
+  EXPECT_EQ(registry.snapshot().gauge("http.server.in_flight"), 0);
+  conn.value()->close();
+}
+
+TEST(ReactorCore, PipelinedRequestsBufferedPastOneParseAreServed) {
+  // Two full requests in one write: the WireReader buffers bytes past
+  // the first head, where stream-level readiness cannot see them. The
+  // worker must serve the follow-up inline instead of parking.
+  obs::Registry registry;
+  EchoHandler handler;
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-pipeline");
+  config.workers = 1;
+  config.metrics = &registry;
+  HttpServer server(config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto conn = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.value()
+                  ->write("GET /a HTTP/1.1\r\nHost: h\r\n\r\n"
+                          "GET /b HTTP/1.1\r\nHost: h\r\n\r\n")
+                  .is_ok());
+  std::string replies;
+  char buf[1024];
+  ASSERT_TRUE(wait_until([&] {
+    auto n = conn.value()->try_read(buf, sizeof buf);
+    if (n.ok() && n.value().bytes > 0) replies.append(buf, n.value().bytes);
+    size_t count = 0;
+    for (size_t at = replies.find("HTTP/1.1 200");
+         at != std::string::npos;
+         at = replies.find("HTTP/1.1 200", at + 1)) {
+      ++count;
+    }
+    return count == 2;
+  })) << replies;
+  EXPECT_EQ(server.requests_served(), 2u);
+  conn.value()->close();
+}
+
+TEST(ReactorCore, MaxParkedCapClosesInsteadOfParking) {
+  obs::Registry registry;
+  EchoHandler handler;
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-cap");
+  config.workers = 2;
+  config.max_parked = 2;
+  config.metrics = &registry;
+  HttpServer server(config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kConns = 5;
+  std::vector<std::unique_ptr<net::Stream>> conns;
+  for (int i = 0; i < kConns; ++i) {
+    auto conn = net::Network::instance().connect(server.endpoint());
+    ASSERT_TRUE(conn.ok());
+    serve_one_get(*conn.value());
+    conns.push_back(std::move(conn).value());
+  }
+  EXPECT_EQ(server.requests_served(), static_cast<uint64_t>(kConns));
+  // Only the cap's worth may stay parked; the rest were closed after
+  // their response (bounded idle-connection memory under a flood).
+  EXPECT_TRUE(wait_until([&] {
+    int closed = 0;
+    for (auto& conn : conns) {
+      char buf[8];
+      auto n = conn->try_read(buf, sizeof buf);
+      if (!n.ok() || (n.value().bytes == 0 && !n.value().would_block)) {
+        ++closed;
+      }
+    }
+    return closed == kConns - 2;
+  }));
+  EXPECT_LE(registry.snapshot().gauge("http.server.parked"), 2);
+  for (auto& conn : conns) conn->close();
+}
+
+TEST(ReactorCore, KeepAliveIdleExpiryClosesParkedConnectionSilently) {
+  obs::Registry registry;
+  EchoHandler handler;
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-expiry");
+  config.workers = 1;
+  config.keep_alive_timeout_seconds = 0.05;
+  config.metrics = &registry;
+  HttpServer server(config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto conn = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(conn.ok());
+  serve_one_get(*conn.value());
+  // The reactor expires the parked connection without a worker and
+  // without writing anything: the next read is EOF/abort, not a reply.
+  char buf[64];
+  ASSERT_TRUE(wait_until([&] {
+    auto n = conn.value()->try_read(buf, sizeof buf);
+    return !n.ok() || (n.value().bytes == 0 && !n.value().would_block);
+  })) << "idle connection was not expired";
+  EXPECT_EQ(registry.snapshot().gauge("http.server.parked"), 0);
+  EXPECT_EQ(registry.snapshot().gauge("http.server.in_flight"), 0);
+  conn.value()->close();
+}
+
+TEST(ReactorCore, FreshConnectionThatNeverSpeaksExpiresWithoutAWorker) {
+  obs::Registry registry;
+  GatedHandler handler;
+  handler.release.store(true);
+  ServerConfig config;
+  config.endpoint = testing::unique_endpoint("reactor-mute");
+  config.workers = 1;
+  config.request_read_timeout_seconds = 0.05;
+  config.metrics = &registry;
+  HttpServer server(config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto mute = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(mute.ok());
+  char buf[8];
+  ASSERT_TRUE(wait_until([&] {
+    auto n = mute.value()->try_read(buf, sizeof buf);
+    return !n.ok() || (n.value().bytes == 0 && !n.value().would_block);
+  })) << "mute connection was not expired";
+  // It was closed by the reactor while parked: no worker ever ran.
+  EXPECT_EQ(handler.entered.load(), 0);
+  EXPECT_EQ(registry.snapshot().gauge("http.server.in_flight"), 0);
+  mute.value()->close();
+}
+
+}  // namespace
+}  // namespace davpse::http

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <thread>
@@ -201,6 +202,132 @@ TEST(FaultInjection, BytesWrittenForwardsThroughWrapper) {
   ASSERT_TRUE(stream.value()->write("12345").is_ok());
   EXPECT_EQ(stream.value()->bytes_written(), 5u);
   stream.value()->close();
+}
+
+// --- non-blocking paths ----------------------------------------------------
+// The reactor server reads readiness and first bytes through
+// try_read/try_write; injected faults must surface there exactly as
+// they do on the blocking twins, or a fault schedule would behave
+// differently depending on which core the server runs.
+
+TEST(FaultInjectionNonBlocking, ReadResetSurfacesUnavailable) {
+  obs::Registry registry;
+  Peer peer([](Stream& stream) { (void)stream.write("hello"); });
+  FaultConfig config;
+  config.read_reset = 1.0;
+  config.metrics = &registry;
+  FaultInjectingNetwork faulty(config, &peer.network);
+  auto stream = faulty.connect("peer");
+  ASSERT_TRUE(stream.ok());
+  char buf[16];
+  auto n = stream.value()->try_read(buf, sizeof buf);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(registry.counter("resilience.injected.read_resets").value(), 1u);
+}
+
+TEST(FaultInjectionNonBlocking, TruncationIsStickyCleanEofNotWouldBlock) {
+  // A torn frame must read as connection loss (clean EOF mid-message),
+  // never as would-block — a reactor treating it as "try again later"
+  // would park the connection forever.
+  Peer peer([](Stream& stream) { (void)stream.write("hello"); });
+  FaultConfig config;
+  config.truncate = 1.0;
+  FaultInjectingNetwork faulty(config, &peer.network);
+  auto stream = faulty.connect("peer");
+  ASSERT_TRUE(stream.ok());
+  char buf[16];
+  for (int i = 0; i < 3; ++i) {
+    auto n = stream.value()->try_read(buf, sizeof buf);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value().bytes, 0u);
+    EXPECT_FALSE(n.value().would_block);  // EOF, forever
+  }
+}
+
+TEST(FaultInjectionNonBlocking, InjectedDelayBecomesWouldBlockNotASleep) {
+  // A drawn read delay must never stall the calling (reactor) thread:
+  // it is reported as a spurious would-block instead.
+  Peer peer([](Stream& stream) { (void)stream.write("hello"); });
+  FaultConfig config;
+  config.read_delay = 1.0;
+  config.delay_seconds = 0.5;
+  FaultInjectingNetwork faulty(config, &peer.network);
+  auto stream = faulty.connect("peer");
+  ASSERT_TRUE(stream.ok());
+  char buf[16];
+  auto start = std::chrono::steady_clock::now();
+  auto n = stream.value()->try_read(buf, sizeof buf);
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().bytes, 0u);
+  EXPECT_TRUE(n.value().would_block);
+  EXPECT_LT(elapsed, 0.1);  // nowhere near the 0.5 s injected delay
+}
+
+TEST(FaultInjectionNonBlocking, WriteResetMidwayDeliversTornPrefix) {
+  std::string received;
+  Peer peer([&received](Stream& stream) {
+    char buf[64];
+    for (;;) {
+      auto n = stream.read(buf, sizeof buf);
+      if (!n.ok() || n.value() == 0) return;
+      received.append(buf, n.value());
+    }
+  });
+  FaultConfig config;
+  config.write_reset_midway = 1.0;
+  FaultInjectingNetwork faulty(config, &peer.network);
+  auto stream = faulty.connect("peer");
+  ASSERT_TRUE(stream.ok());
+  const std::string sent = "frame-that-tears";
+  auto wrote = stream.value()->try_write(sent);
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.status().code(), ErrorCode::kUnavailable);
+  peer.thread.join();
+  // The ambiguous case: a strict prefix arrived, then the line died.
+  EXPECT_LT(received.size(), sent.size());
+}
+
+TEST(FaultInjectionNonBlocking, SeededScheduleReplaysAcrossBothApis) {
+  // The same (seed, connection ordinal) must fire the same fault at
+  // the same operation index whether the caller reads blocking or
+  // non-blocking — otherwise a recorded failing schedule would not
+  // replay under the reactor.
+  // Every fault draw happens per *call*, so both runs must issue the
+  // same call sequence: the peer stages all 64 bytes up front and the
+  // client waits for them, so neither path ever retries on empty.
+  auto fault_index = [](bool use_try_read) {
+    Peer peer([](Stream& stream) {
+      (void)stream.write(std::string(64, 'x'));
+      char ack[1];
+      (void)stream.read(ack, 1);  // hold the connection open
+    });
+    FaultConfig config;
+    config.seed = 7;
+    config.read_reset = 0.2;
+    FaultInjectingNetwork faulty(config, &peer.network);
+    auto stream = faulty.connect("peer");
+    if (!stream.ok()) return -2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    char buf[1];
+    for (int i = 0; i < 64; ++i) {
+      if (use_try_read) {
+        auto n = stream.value()->try_read(buf, 1);
+        if (!n.ok()) return i;
+      } else {
+        auto n = stream.value()->read(buf, 1);
+        if (!n.ok()) return i;
+      }
+    }
+    return -1;
+  };
+  int blocking = fault_index(false);
+  int non_blocking = fault_index(true);
+  ASSERT_GE(blocking, 0);
+  EXPECT_EQ(blocking, non_blocking);
 }
 
 }  // namespace

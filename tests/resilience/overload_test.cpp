@@ -92,6 +92,16 @@ TEST(Overload, ShedsWith503AndRetryAfter) {
   auto response = after.get("/");
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.value().status, kOk);
+
+  // The in-flight gauge must drain to exactly zero once the burst is
+  // over: every path — served, shed, aborted — balances its increment.
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (registry.snapshot().gauge("http.server.in_flight") != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(registry.snapshot().gauge("http.server.in_flight"), 0);
 }
 
 TEST(Overload, RetryingClientsRideThroughShedding) {
