@@ -286,6 +286,19 @@ int main() {
       client_config.endpoint = server.endpoint();
       client_config.metrics = &registry;
       http::HttpClient client(client_config);
+      // Worker-busy baseline so utilization covers the serve window
+      // only, not the connection-parking setup above.
+      auto busy_micros = [&registry] {
+        uint64_t total = 0;
+        auto s = registry.snapshot();
+        for (const auto& [name, value] : s.counters) {
+          if (name.starts_with("http.server.worker_busy_micros.")) {
+            total += value;
+          }
+        }
+        return total;
+      };
+      uint64_t busy_before = busy_micros();
       auto serve = measure(nullptr, [&] {
         for (size_t i = 0; i < requests; ++i) {
           auto response = client.get("/");
@@ -297,6 +310,17 @@ int main() {
 
       auto snap = registry.snapshot();
       auto latency = snap.histogram("http.server.latency_seconds.GET");
+      // Scheduler telemetry for the serve window: where request time
+      // went before a worker picked it up, how stale readiness events
+      // were when drained, and how busy the pool actually was.
+      auto queue_wait = snap.histogram("http.server.queue_wait_seconds");
+      auto poller_wake = snap.histogram("net.poller.wake_seconds");
+      double worker_utilization =
+          serve.wall_seconds > 0
+              ? std::min(1.0, static_cast<double>(busy_micros() -
+                                                  busy_before) /
+                                  (serve.wall_seconds * 1e6 * 8))
+              : 0;
       double attempts =
           static_cast<double>(snap.counter("http.server.connections") +
                               snap.counter("http.server.shed"));
@@ -323,6 +347,10 @@ int main() {
             {"p99_seconds", latency.p99},
             {"bytes_per_idle_connection", per_conn_bytes},
             {"shed_rate", shed_rate},
+            {"queue_wait_p99_seconds", queue_wait.p99},
+            {"queue_wait_p50_seconds", queue_wait.p50},
+            {"poller_wake_p99_seconds", poller_wake.p99},
+            {"worker_utilization", worker_utilization},
             {"poller_wakes",
              static_cast<double>(
                  snap.counter("http.server.poller_wakes"))}}});

@@ -20,6 +20,7 @@
 #include "net/network_model.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "oodb/client.h"
 #include "oodb/server.h"
 #include "util/clock.h"
@@ -70,6 +71,13 @@ struct DavStack {
     dav_config.propfind_stream_threshold = static_cast<size_t>(env_u64(
         "DAVPSE_PROPFIND_STREAM_THRESHOLD",
         static_cast<uint64_t>(dav_config.propfind_stream_threshold)));
+    // The perf gates measure with the flight recorder sampling, as
+    // production would run — a recorder cheap enough to ship must be
+    // cheap enough to bench under.
+    obs::RecorderConfig recorder_config;
+    recorder_config.metrics = &metrics;
+    recorder = std::make_unique<obs::FlightRecorder>(recorder_config);
+    dav_config.recorder = recorder.get();
     dav = std::make_unique<dav::DavServer>(dav_config);
     http::ServerConfig http_config;
     http_config.endpoint = unique_endpoint("bench-dav");
@@ -82,6 +90,7 @@ struct DavStack {
                    status.to_string().c_str());
       std::abort();
     }
+    (void)recorder->start();
     // DAVPSE_FAULT_RATE=0.01 runs the whole bench through a seeded
     // fault schedule (DAVPSE_FAULT_SEED, default 1): refused connects,
     // pre-send resets, and read delays at that per-operation rate.
@@ -127,6 +136,9 @@ struct DavStack {
   /// the tables below report from the same counters production scrapes
   /// via /.well-known/stats.
   obs::Registry metrics;
+  /// Declared before the servers so /.well-known/history stays valid
+  /// until they stop.
+  std::unique_ptr<obs::FlightRecorder> recorder;
   std::unique_ptr<dav::DavServer> dav;
   std::unique_ptr<http::HttpServer> server;
 };

@@ -12,8 +12,13 @@
 # Invoked as:
 #   cmake -D BENCH_EXE=<binary> -D BENCH_NAME=<name> -D OUT_DIR=<dir>
 #         [-D ENV_SETTINGS=K1=V1,K2=V2]
+#         [-D REQUIRE_ROW_KEYS=key1,key2,...]
 #         [-D BASELINE=<json> -D METRIC_KEY=<key> [-D TOLERANCE=<x>]]
 #         -P smoke.cmake
+#
+# REQUIRE_ROW_KEYS asserts every row carries each named numeric field —
+# how the connections smoke pins the scheduler-telemetry contract
+# (queue-wait p99, worker utilization) into the artifact shape.
 cmake_minimum_required(VERSION 3.19)  # string(JSON)
 
 foreach(required BENCH_EXE BENCH_NAME OUT_DIR)
@@ -70,6 +75,22 @@ foreach(i RANGE 0 ${row_count})
   string(JSON row_label GET "${json}" rows ${i} label)
   if(row_label STREQUAL "")
     message(FATAL_ERROR "row ${i} has an empty label")
+  endif()
+  if(DEFINED REQUIRE_ROW_KEYS)
+    string(REPLACE "," ";" required_keys "${REQUIRE_ROW_KEYS}")
+    foreach(key IN LISTS required_keys)
+      string(JSON value ERROR_VARIABLE key_error
+             GET "${json}" rows ${i} ${key})
+      if(NOT key_error STREQUAL "NOTFOUND")
+        message(FATAL_ERROR
+                "row ${i} ('${row_label}') is missing '${key}'")
+      endif()
+      string(JSON value_type TYPE "${json}" rows ${i} ${key})
+      if(NOT value_type STREQUAL "NUMBER")
+        message(FATAL_ERROR
+                "row ${i} '${key}' is ${value_type}, expected NUMBER")
+      endif()
+    endforeach()
   endif()
 endforeach()
 

@@ -340,9 +340,10 @@ DavServer::DavServer(DavConfig config)
       tail_sampler_(config_.tail_sampler != nullptr
                         ? *config_.tail_sampler
                         : obs::TailSampler::global()),
-      repository_(config_.root, config_.flavor, &metrics_),
       request_metrics_(metrics_, "dav.server.requests.",
-                       "dav.server.latency_seconds.") {
+                       "dav.server.latency_seconds.",
+                       /*exemplars=*/true),
+      repository_(config_.root, config_.flavor, &metrics_) {
   locks_.set_metrics(&metrics_);
 }
 
@@ -360,7 +361,8 @@ HttpResponse DavServer::handle(const HttpRequest& request) {
   // to DAV dispatch (a PUT to /.well-known/stats must not create a
   // resource shadowing the endpoint).
   if (path == "/.well-known/stats" || path == "/.well-known/metrics" ||
-      path == "/.well-known/traces") {
+      path == "/.well-known/traces" || path == "/.well-known/history" ||
+      path == "/.well-known/health") {
     if (request.method != "GET" && request.method != "HEAD") {
       HttpResponse response = HttpResponse::make(
           http::kMethodNotAllowed,
@@ -371,6 +373,8 @@ HttpResponse DavServer::handle(const HttpRequest& request) {
     bool head_only = request.method == "HEAD";
     if (path == "/.well-known/stats") return do_stats(head_only);
     if (path == "/.well-known/metrics") return do_metrics(head_only);
+    if (path == "/.well-known/history") return do_history(head_only);
+    if (path == "/.well-known/health") return do_health(head_only);
     return do_traces(head_only);
   }
 
@@ -401,6 +405,37 @@ HttpResponse DavServer::do_metrics(bool head_only) {
 HttpResponse DavServer::do_traces(bool head_only) {
   HttpResponse response = HttpResponse::make(
       http::kOk, tail_sampler_.to_json(), "application/json");
+  if (head_only) response.body.clear();
+  return response;
+}
+
+HttpResponse DavServer::do_history(bool head_only) {
+  if (config_.recorder == nullptr) {
+    return HttpResponse::make(http::kNotFound,
+                              "no flight recorder configured\n");
+  }
+  HttpResponse response = HttpResponse::make(
+      http::kOk, config_.recorder->history_json(), "application/json");
+  if (head_only) response.body.clear();
+  return response;
+}
+
+HttpResponse DavServer::do_health(bool head_only) {
+  if (config_.recorder == nullptr) {
+    return HttpResponse::make(http::kNotFound,
+                              "no flight recorder configured\n");
+  }
+  // Readiness-probe semantics: an overloaded verdict answers 503 so a
+  // dumb HTTP checker (or load balancer) can act on the status line
+  // alone; ok and degraded both answer 200 — degraded is a warning,
+  // not a reason to drain traffic.
+  obs::FlightRecorder::Health health = config_.recorder->health();
+  int status =
+      health.verdict == obs::FlightRecorder::Verdict::kOverloaded
+          ? http::kServiceUnavailable
+          : http::kOk;
+  HttpResponse response = HttpResponse::make(
+      status, config_.recorder->health_json(), "application/json");
   if (head_only) response.body.clear();
   return response;
 }

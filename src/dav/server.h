@@ -25,6 +25,7 @@
 #include "http/message.h"
 #include "http/server.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/tail.h"
 #include "obs/trace.h"
 #include "util/status.h"
@@ -46,6 +47,11 @@ struct DavConfig {
   /// Tail sampler whose retained slow-trace timelines are served at
   /// GET /.well-known/traces; nullptr serves obs::TailSampler::global().
   obs::TailSampler* tail_sampler = nullptr;
+  /// Flight recorder backing GET /.well-known/history (windowed rates)
+  /// and GET /.well-known/health (readiness verdict; overloaded maps
+  /// to 503). Optional — nullptr serves 404 on both paths. The caller
+  /// owns the recorder and its lifetime must cover the server's.
+  obs::FlightRecorder* recorder = nullptr;
   /// PROPFIND responses covering more targets than this stream through
   /// the incremental XML writer as a chunked BodySource instead of
   /// being built eagerly in memory — depth-1 listings of huge
@@ -95,6 +101,13 @@ class DavServer : public http::Handler {
   /// GET /.well-known/traces — JSON timelines of the tail-sampled slow
   /// requests (nested span trees).
   http::HttpResponse do_traces(bool head_only);
+  /// GET /.well-known/history — flight-recorder windowed rates (404
+  /// when no recorder is configured).
+  http::HttpResponse do_history(bool head_only);
+  /// GET /.well-known/health — readiness verdict derived from the
+  /// flight-recorder ring; 200 for ok/degraded, 503 for overloaded,
+  /// 404 when no recorder is configured.
+  http::HttpResponse do_health(bool head_only);
   http::HttpResponse do_options(const http::HttpRequest& request);
   http::HttpResponse do_get(const http::HttpRequest& request,
                             const std::string& path, bool head_only);

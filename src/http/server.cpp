@@ -68,6 +68,11 @@ struct HttpServer::Connection {
   /// True until a worker first picks this connection up — while set,
   /// the connection counts against max_queue_depth (pending_first_).
   bool first_dispatch_pending = true;
+  /// Scheduler telemetry stamps (wall clock): when the connection was
+  /// accepted, last parked, and last pushed onto the dispatch queue.
+  double accepted_at = 0;
+  double parked_at = 0;
+  double enqueued_at = 0;
 };
 
 HttpServer::HttpServer(ServerConfig config, Handler* handler)
@@ -84,10 +89,22 @@ HttpServer::HttpServer(ServerConfig config, Handler* handler)
       connections_metric_(metrics_.counter("http.server.connections")),
       shed_metric_(metrics_.counter("http.server.shed")),
       poller_wakes_metric_(metrics_.counter("http.server.poller_wakes")),
+      stalled_metric_(metrics_.counter("http.server.stalled")),
       in_flight_gauge_(metrics_.gauge("http.server.in_flight")),
       parked_gauge_(metrics_.gauge("http.server.parked")),
+      queue_wait_histogram_(
+          metrics_.histogram("http.server.queue_wait_seconds")),
+      parked_age_histogram_(
+          metrics_.histogram("http.server.parked_age_seconds")),
+      dispatch_depth_gauge_(metrics_.gauge("http.server.dispatch_depth")),
+      workers_gauge_(metrics_.gauge("http.server.workers")),
+      utilization_gauge_(
+          metrics_.gauge("http.server.worker_utilization_ppm")),
       request_metrics_(metrics_, "http.server.requests.",
-                       "http.server.latency_seconds.") {}
+                       "http.server.latency_seconds.",
+                       /*exemplars=*/true) {
+  poller_.set_metrics(&metrics_);
+}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -101,6 +118,8 @@ Status HttpServer::start(net::Network& network) {
   threads_.emplace_back([this] { reactor_loop(); });
   size_t workers = config_.workers > 0 ? config_.workers : config_.daemons;
   if (workers == 0) workers = 1;
+  worker_count_ = workers;
+  workers_gauge_.set(static_cast<int64_t>(workers));
   for (size_t i = 0; i < workers; ++i) {
     threads_.emplace_back(
         [this, worker_id = static_cast<int>(i)] { worker_loop(worker_id); });
@@ -139,6 +158,8 @@ void HttpServer::stop() {
     dispatch_.clear();
   }
   parked_gauge_.set(0);
+  dispatch_depth_gauge_.set(0);
+  utilization_gauge_.set(0);
   // in_flight is deliberately NOT force-zeroed: the worker loop
   // decrements it on every exit path, so a nonzero value after join
   // is a real accounting bug tests should see.
@@ -179,6 +200,7 @@ void HttpServer::reactor_loop() {
         parked_.erase(it);
         parked_gauge_.set(static_cast<int64_t>(parked_.size()));
       }
+      parked_age_histogram_.observe(wall_time_seconds() - conn->parked_at);
       // Quiet the watcher while a worker owns the connection — further
       // arrivals are the worker's to read, not readiness events.
       conn->stream->watch_readable(nullptr, 0);
@@ -203,8 +225,28 @@ void HttpServer::reactor_loop() {
       }
     }
     // Same outcome as the old daemon's silent return on an idle or
-    // never-spoke timeout: close without a reply or an access record.
-    for (auto& conn : expired) retire(conn);
+    // never-spoke timeout: close without a reply. The closure still
+    // gets an access record (status 0 — nothing was answered) so a
+    // fleet of half-open connections is visible in the log, with a
+    // trace id so the record can be grepped for and a close reason
+    // distinguishing "idle keep-alive expired" from "never sent a
+    // byte".
+    for (auto& conn : expired) {
+      double now = wall_time_seconds();
+      parked_age_histogram_.observe(now - conn->parked_at);
+      if (config_.event_log != nullptr) {
+        obs::AccessRecord record;
+        record.unix_seconds = unix_time_seconds();
+        record.status = 0;
+        record.duration_seconds = now - conn->accepted_at;
+        record.trace_id = obs::generate_trace_id();
+        record.daemon_id = -1;  // closed by the reactor, not a worker
+        record.keepalive_reuse = conn->served > 0;
+        record.event = conn->served > 0 ? "idle_expired" : "silent_close";
+        config_.event_log->log_access(std::move(record));
+      }
+      retire(conn);
+    }
   }
 }
 
@@ -230,6 +272,7 @@ void HttpServer::drain_accepts() {
     }
     connections_metric_.add(1);
     auto conn = std::make_shared<Connection>(std::move(stream));
+    conn->accepted_at = wall_time_seconds();
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
       ++pending_first_;
@@ -253,11 +296,13 @@ void HttpServer::shed_connection(std::unique_ptr<net::Stream> stream) {
   // absent peer is most likely — a blocking write here would let one
   // non-reading client stall every accept. If even ~100 bytes don't
   // fit in the pipe, the peer isn't reading; it loses its 503.
+  std::string trace_id = obs::generate_trace_id();
   std::string body = "server overloaded\n";
   std::string reply = "HTTP/1.1 503 ";
   reply += reason_phrase(kServiceUnavailable);
   reply += "\r\nRetry-After: " + std::to_string(config_.retry_after_seconds);
   reply += "\r\nConnection: close";
+  reply += "\r\nX-Trace-Id: " + trace_id;
   reply += "\r\nContent-Length: " + std::to_string(body.size());
   reply += "\r\n\r\n";
   reply += body;
@@ -270,12 +315,26 @@ void HttpServer::shed_connection(std::unique_ptr<net::Stream> stream) {
   // aborts the peer's sends, so a client mid-upload fails fast and its
   // early-read path finds the 503 waiting.
   stream->close();
+  // A shed connection never reaches a worker, but the refusal is an
+  // exchange the peer observed — it gets an access record like any
+  // other, with the trace id stamped on the 503 above.
+  if (config_.event_log != nullptr) {
+    obs::AccessRecord record;
+    record.unix_seconds = unix_time_seconds();
+    record.status = kServiceUnavailable;
+    record.bytes_out = body.size();
+    record.trace_id = std::move(trace_id);
+    record.daemon_id = -1;  // shed by the reactor, not a worker
+    record.event = "shed";
+    config_.event_log->log_access(std::move(record));
+  }
 }
 
 bool HttpServer::park(std::shared_ptr<Connection> conn, double deadline,
                       bool enforce_parked_cap) {
   uint64_t token;
   bool wake_reactor;
+  conn->parked_at = wall_time_seconds();
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (!running_.load()) return false;
@@ -307,8 +366,10 @@ bool HttpServer::park(std::shared_ptr<Connection> conn, double deadline,
 }
 
 void HttpServer::dispatch(std::shared_ptr<Connection> conn) {
+  conn->enqueued_at = wall_time_seconds();
   std::lock_guard<std::mutex> lock(dispatch_mutex_);
   dispatch_.push_back(std::move(conn));
+  dispatch_depth_gauge_.set(static_cast<int64_t>(dispatch_.size()));
   dispatch_cv_.notify_one();
 }
 
@@ -323,6 +384,12 @@ void HttpServer::retire(const std::shared_ptr<Connection>& conn) {
 }
 
 void HttpServer::worker_loop(int worker_id) {
+  // Busy-time counter for *this* worker, resolved once. Microsecond
+  // resolution in a plain counter keeps the hot path to one atomic add
+  // while letting scrapes compute utilization as busy-delta over
+  // wall-delta (the flight recorder's worker_utilization signal).
+  obs::Counter& busy_metric = metrics_.counter(
+      "http.server.worker_busy_micros." + std::to_string(worker_id));
   for (;;) {
     std::shared_ptr<Connection> conn;
     {
@@ -335,7 +402,10 @@ void HttpServer::worker_loop(int worker_id) {
       }
       conn = std::move(dispatch_.front());
       dispatch_.pop_front();
+      dispatch_depth_gauge_.set(static_cast<int64_t>(dispatch_.size()));
     }
+    double picked_up = wall_time_seconds();
+    queue_wait_histogram_.observe(picked_up - conn->enqueued_at);
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
       if (conn->first_dispatch_pending) {
@@ -343,11 +413,17 @@ void HttpServer::worker_loop(int worker_id) {
         --pending_first_;
       }
     }
-    in_flight_gauge_.set(static_cast<int64_t>(
-        active_.fetch_add(1, std::memory_order_relaxed) + 1));
+    size_t now_active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    in_flight_gauge_.set(static_cast<int64_t>(now_active));
+    utilization_gauge_.set(
+        static_cast<int64_t>(now_active * 1'000'000 / worker_count_));
     bool idle = serve_requests(*conn, worker_id);
-    in_flight_gauge_.set(static_cast<int64_t>(
-        active_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    busy_metric.add(
+        static_cast<uint64_t>((wall_time_seconds() - picked_up) * 1e6));
+    now_active = active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    in_flight_gauge_.set(static_cast<int64_t>(now_active));
+    utilization_gauge_.set(
+        static_cast<int64_t>(now_active * 1'000'000 / worker_count_));
     if (idle) {
       double deadline =
           wall_time_seconds() + config_.keep_alive_timeout_seconds;
@@ -388,7 +464,14 @@ bool HttpServer::serve_requests(Connection& conn, int worker_id) {
     double arrived = unix_time_seconds();
     double started = wall_time_seconds();
     Result<HttpRequest> request = std::move(head);
+    // Request-line copy that survives `request` being overwritten with
+    // a body-decode error below — the error-path access record still
+    // names what the peer asked for.
+    std::string head_method;
+    std::string head_target;
     if (request.ok()) {
+      head_method = request.value().method;
+      head_target = request.value().target;
       // Open the incremental body decoder. The configured body limit
       // is enforced *during* decode: an oversized upload aborts with
       // kTooLarge mid-stream instead of after buffering the body.
@@ -422,25 +505,38 @@ bool HttpServer::serve_requests(Connection& conn, int worker_id) {
       }
       // The body (if any) was not consumed, so the connection framing
       // is lost — reply and close. A timeout after the head parsed
-      // means the peer stalled mid-request: tell it so with 408.
+      // means the peer stalled mid-request: tell it so with 408. The
+      // refusal gets a trace id of its own — stamped on the reply and
+      // the access record — so a client report ("my PUT got a 408")
+      // can be joined against the log even though no handler ran.
       int code = status.code() == ErrorCode::kTooLarge ? kRequestTooLarge
                  : status.code() == ErrorCode::kTimeout ? kRequestTimeout
                                                         : kBadRequest;
+      std::string trace_id = obs::generate_trace_id();
       HttpResponse reply =
           HttpResponse::make(code, status.message() + "\n");
       reply.headers.set("Connection", "close");
+      reply.headers.set("X-Trace-Id", trace_id);
       (void)write_response(stream, reply);
       if (config_.event_log != nullptr) {
         // Malformed exchange: no parsed request line to report, but the
         // refusal itself belongs in the access log.
         obs::AccessRecord record;
         record.unix_seconds = arrived;
+        if (head_parsed) {
+          record.method = head_method;
+          record.path = head_target;
+        }
         record.status = code;
         record.bytes_in = request_bytes_in.load(std::memory_order_relaxed);
         record.bytes_out = reply.body.size();
         record.duration_seconds = wall_time_seconds() - started;
+        record.trace_id = std::move(trace_id);
         record.daemon_id = worker_id;
         record.keepalive_reuse = conn.served > 0;
+        record.event = code == kRequestTimeout   ? "read_timeout"
+                       : code == kRequestTooLarge ? "body_too_large"
+                                                  : "bad_request";
         config_.event_log->log_access(std::move(record));
       }
       return false;
@@ -492,7 +588,23 @@ bool HttpServer::serve_requests(Connection& conn, int worker_id) {
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     response.headers.set("X-Trace-Id", trace_scope.trace_id());
     span.reset();  // record the server span before the reply leaves
-    request_metrics_.record(method, wall_time_seconds() - started);
+    double service_seconds = wall_time_seconds() - started;
+    request_metrics_.record(method, service_seconds);
+    // Stall watchdog: a request that blew its budget is flagged and its
+    // full span tree force-retained, so the "why" is waiting at
+    // /.well-known/traces even if the request was not slow enough for
+    // the sampler's normal thresholds.
+    bool stalled = config_.stall_budget_seconds > 0 &&
+                   service_seconds > config_.stall_budget_seconds;
+    if (stalled) {
+      stalled_metric_.add(1);
+      trace_scope.force_retain();
+      DAVPSE_LOG_WARN << "request stalled: " << method << " "
+                      << request.value().target << " took "
+                      << service_seconds << "s (budget "
+                      << config_.stall_budget_seconds << "s) trace="
+                      << trace_scope.trace_id();
+    }
     if (response.body_source != nullptr) {
       response.body_source = std::make_shared<MeteredBodySource>(
           std::move(response.body_source), &bytes_out_metric_,
@@ -520,6 +632,7 @@ bool HttpServer::serve_requests(Connection& conn, int worker_id) {
       record.trace_id = trace_scope.trace_id();
       record.daemon_id = worker_id;
       record.keepalive_reuse = conn.served > 1;
+      if (stalled) record.event = "stalled";
       config_.event_log->log_access(std::move(record));
     }
     if (!write_ok || close_after) return false;

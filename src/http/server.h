@@ -113,6 +113,16 @@ struct ServerConfig {
   /// parked — it never cost a worker). Idle keep-alive gaps keep using
   /// keep_alive_timeout_seconds.
   double request_read_timeout_seconds = 0;
+  /// Stall watchdog (0 = off): a request whose total service time
+  /// exceeds this budget is flagged after completion — the
+  /// "http.server.stalled" counter is bumped, the request's trace is
+  /// force-retained in the tail sampler (inspectable at
+  /// /.well-known/traces regardless of the sampler's thresholds), its
+  /// access record carries event="stalled", and a structured warning
+  /// is logged with the trace id. Detection, not enforcement: the
+  /// response still goes out — read deadlines above bound the only
+  /// waits the server can interrupt.
+  double stall_budget_seconds = 0;
   BasicAuthenticator authenticator;  // empty = auth disabled
   /// Registry receiving "http.server.*" metrics (per-method request
   /// counts and latency histograms, body bytes in/out, connection and
@@ -201,6 +211,9 @@ class HttpServer {
   obs::Counter& connections_metric_;
   obs::Counter& shed_metric_;
   obs::Counter& poller_wakes_metric_;
+  /// Requests that blew the stall budget (see
+  /// ServerConfig::stall_budget_seconds).
+  obs::Counter& stalled_metric_;
   /// Worker-active connections (in service, not parked/queued). The
   /// worker increments on pickup and decrements on park/close along
   /// every path — shed and reactor-expired connections never touch it,
@@ -208,6 +221,19 @@ class HttpServer {
   obs::Gauge& in_flight_gauge_;
   /// Idle connections parked in the poller (fresh + keep-alive).
   obs::Gauge& parked_gauge_;
+  /// Scheduler telemetry. queue_wait: dispatch-enqueue → worker pickup
+  /// (the run-queue delay a request pays before any byte is parsed).
+  /// parked_age: how long a connection sat parked before readiness or
+  /// expiry unparked it. dispatch_depth: current run-queue length.
+  /// workers: pool size (constant after start; lets scrapes derive
+  /// utilization without knowing the config). worker_utilization_ppm:
+  /// active workers as parts-per-million of the pool, updated at every
+  /// pickup/release.
+  obs::Histogram& queue_wait_histogram_;
+  obs::Histogram& parked_age_histogram_;
+  obs::Gauge& dispatch_depth_gauge_;
+  obs::Gauge& workers_gauge_;
+  obs::Gauge& utilization_gauge_;
   /// Per-method counter/histogram cache — no metric-name concatenation
   /// or registry lookups on the request hot path after first sight of
   /// a method.
@@ -216,6 +242,7 @@ class HttpServer {
   net::Poller poller_;
   std::unique_ptr<net::Listener> listener_;
   std::vector<std::thread> threads_;
+  size_t worker_count_ = 1;  // fixed by start(); read by utilization
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<size_t> active_{0};

@@ -2,12 +2,18 @@
 
 #include <chrono>
 
+#include "util/clock.h"
+
 namespace davpse::net {
 
 void Poller::on_ready(uint64_t token) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (pending_.insert(token).second) {
     ready_.push_back(token);
+    // Stamp the arrival so wait() can histogram readiness→drain lag.
+    // Dedup keeps the *first* arrival: the lag that matters is from
+    // when the token could first have been served.
+    if (wake_histogram_ != nullptr) arrival_[token] = wall_time_seconds();
   }
   cv_.notify_one();
 }
@@ -19,6 +25,7 @@ void Poller::wake() {
 }
 
 std::vector<uint64_t> Poller::wait(double timeout_seconds) {
+  double entered = wall_time_seconds();
   std::unique_lock<std::mutex> lock(mutex_);
   if (!signaled_locked() && timeout_seconds != 0) {
     if (timeout_seconds < 0) {
@@ -32,12 +39,30 @@ std::vector<uint64_t> Poller::wait(double timeout_seconds) {
   }
   ++wakeups_;
   woken_ = false;
-  return drain_locked();
+  std::vector<uint64_t> tokens = drain_locked();
+  double now = wall_time_seconds();
+  if (wait_histogram_ != nullptr) wait_histogram_->observe(now - entered);
+  if (wake_histogram_ != nullptr) {
+    for (uint64_t token : tokens) {
+      auto it = arrival_.find(token);
+      if (it == arrival_.end()) continue;
+      wake_histogram_->observe(now - it->second);
+      arrival_.erase(it);
+    }
+  }
+  return tokens;
 }
 
 uint64_t Poller::wakeups() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return wakeups_;
+}
+
+void Poller::set_metrics(obs::Registry* registry) {
+  obs::Registry& resolved = obs::registry_or_global(registry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  wait_histogram_ = &resolved.histogram("net.poller.wait_seconds");
+  wake_histogram_ = &resolved.histogram("net.poller.wake_seconds");
 }
 
 std::vector<uint64_t> Poller::drain_locked() {

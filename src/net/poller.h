@@ -11,10 +11,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "net/stream.h"
+#include "obs/metrics.h"
 
 namespace davpse::net {
 
@@ -44,6 +46,16 @@ class Poller final : public ReadinessWatcher {
   /// reactor's "http.server.poller_wakes" counter reads this.
   uint64_t wakeups() const;
 
+  /// Opt-in latency telemetry into `registry` (nullptr resolves the
+  /// global registry): "net.poller.wait_seconds" histograms how long
+  /// each wait() blocked, "net.poller.wake_seconds" the lag from a
+  /// source's on_ready() to the reactor draining that token (the
+  /// readiness→reactor half of scheduling latency; the dispatch→worker
+  /// half is the server's queue-wait histogram). Call before the
+  /// reactor starts waiting; when enabled, on_ready() additionally
+  /// stamps each newly pending token's arrival time.
+  void set_metrics(obs::Registry* registry);
+
  private:
   bool signaled_locked() const { return woken_ || !ready_.empty(); }
   std::vector<uint64_t> drain_locked();
@@ -54,6 +66,11 @@ class Poller final : public ReadinessWatcher {
   std::unordered_set<uint64_t> pending_; // dedup while queued
   bool woken_ = false;
   uint64_t wakeups_ = 0;
+  /// Telemetry (null = off). Guarded by mutex_ like the ready set;
+  /// arrival_ holds on_ready() stamps for tokens still pending.
+  obs::Histogram* wait_histogram_ = nullptr;
+  obs::Histogram* wake_histogram_ = nullptr;
+  std::unordered_map<uint64_t, double> arrival_;
 };
 
 }  // namespace davpse::net

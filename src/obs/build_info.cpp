@@ -1,0 +1,31 @@
+#include "obs/build_info.h"
+
+#include "util/clock.h"
+
+#ifndef DAVPSE_GIT_DESCRIBE
+#define DAVPSE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DAVPSE_BUILD_TYPE
+#define DAVPSE_BUILD_TYPE "unknown"
+#endif
+
+namespace davpse::obs {
+namespace {
+
+// Captured during static init, before main() spawns anything; "process
+// start" to sub-millisecond accuracy is all uptime reporting needs.
+const double g_start_unix_seconds = unix_time_seconds();
+
+}  // namespace
+
+const char* git_describe() { return DAVPSE_GIT_DESCRIBE; }
+
+const char* build_type() { return DAVPSE_BUILD_TYPE; }
+
+double process_start_unix_seconds() { return g_start_unix_seconds; }
+
+double process_uptime_seconds() {
+  return unix_time_seconds() - g_start_unix_seconds;
+}
+
+}  // namespace davpse::obs

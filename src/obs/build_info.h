@@ -1,0 +1,25 @@
+// Process identity for the observability expositions: which build is
+// answering this scrape, and since when. The git revision and build
+// type are baked in at compile time by src/obs/CMakeLists.txt; the
+// start time is captured once at static-init so every exposition path
+// (stats JSON, Prometheus build_info gauge, flight-recorder health)
+// reports the same epoch.
+#pragma once
+
+namespace davpse::obs {
+
+/// `git describe --always --dirty` at configure time ("unknown" when
+/// the build tree had no git).
+const char* git_describe();
+
+/// CMAKE_BUILD_TYPE of this binary ("RelWithDebInfo", ...).
+const char* build_type();
+
+/// Unix time the process started (first use of this library, captured
+/// during static initialization).
+double process_start_unix_seconds();
+
+/// Seconds since process_start_unix_seconds().
+double process_uptime_seconds();
+
+}  // namespace davpse::obs

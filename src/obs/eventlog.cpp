@@ -119,6 +119,9 @@ std::string EventLog::to_json_line(const AccessRecord& record) {
   out += ", \"daemon\": " + std::to_string(record.daemon_id);
   out += ", \"keepalive_reuse\": ";
   out += record.keepalive_reuse ? "true" : "false";
+  if (!record.event.empty()) {
+    out += ", \"event\": \"" + json_escape(record.event) + "\"";
+  }
   out += "}";
   return out;
 }

@@ -38,8 +38,15 @@ struct AccessRecord {
   uint64_t bytes_out = 0;       // response payload bytes onto the wire
   double duration_seconds = 0;  // head parsed -> response written
   std::string trace_id;
-  int daemon_id = -1;           // serving daemon-pool thread
+  int daemon_id = -1;           // serving worker; -1 = reactor thread
   bool keepalive_reuse = false;  // request rode an existing connection
+  /// Non-normal exchange classifier, empty for ordinary request/
+  /// response pairs: "shed" (503 refused at accept), "read_timeout"
+  /// (408), "body_too_large" (413), "bad_request" (400),
+  /// "silent_close" (parked fresh connection expired without a byte),
+  /// "idle_expired" (keep-alive idle window elapsed), "stalled"
+  /// (completed but blew the stall budget). Serialized only when set.
+  std::string event;
 };
 
 /// One DAVPSE_LOG message routed into the queue.

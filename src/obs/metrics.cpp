@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/build_info.h"
 #include "obs/json.h"
+#include "obs/trace.h"
+#include "util/clock.h"
 
 namespace davpse::obs {
 namespace {
@@ -35,6 +38,35 @@ void Histogram::observe(double seconds) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
                        std::memory_order_relaxed);
+  if (!exemplars_enabled_.load(std::memory_order_acquire)) return;
+  TraceContext* trace = TraceContext::current();
+  if (trace == nullptr) return;
+  double now = unix_time_seconds();
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  Exemplar& slot = (*exemplars_)[bucket];
+  // Keep the slowest observation of the window; a stale exemplar loses
+  // its seat to any fresh observation.
+  bool stale = now - slot.unix_seconds > kExemplarWindowSeconds;
+  if (!slot.trace_id.empty() && !stale && seconds < slot.value_seconds) return;
+  slot.value_seconds = seconds;
+  slot.unix_seconds = now;
+  slot.trace_id = trace->trace_id();
+}
+
+void Histogram::enable_exemplars() {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplars_ == nullptr) {
+    exemplars_ =
+        std::make_unique<std::array<Exemplar, kBucketBounds.size() + 1>>();
+  }
+  exemplars_enabled_.store(true, std::memory_order_release);
+}
+
+std::optional<Exemplar> Histogram::Snapshot::slowest_exemplar() const {
+  for (size_t i = exemplars.size(); i > 0; --i) {
+    if (exemplars[i - 1].has_value()) return exemplars[i - 1];
+  }
+  return std::nullopt;
 }
 
 double Histogram::percentile_of(
@@ -59,6 +91,14 @@ Histogram::Snapshot Histogram::snapshot() const {
   }
   Snapshot snap;
   snap.buckets = buckets;
+  if (exemplars_enabled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    for (size_t i = 0; i < exemplars_->size(); ++i) {
+      if (!(*exemplars_)[i].trace_id.empty()) {
+        snap.exemplars[i] = (*exemplars_)[i];
+      }
+    }
+  }
   uint64_t total = 0;
   for (uint64_t b : buckets) total += b;
   snap.count = total;
@@ -116,15 +156,62 @@ std::string RegistrySnapshot::to_json() const {
            std::to_string(h.count) + ", \"sum_seconds\": " +
            json_double(h.sum_seconds) + ", \"p50\": " + json_double(h.p50) +
            ", \"p95\": " + json_double(h.p95) + ", \"p99\": " +
-           json_double(h.p99) + "}";
+           json_double(h.p99);
+    bool any_exemplar = false;
+    for (const auto& exemplar : h.exemplars) {
+      if (exemplar.has_value()) {
+        any_exemplar = true;
+        break;
+      }
+    }
+    if (any_exemplar) {
+      out += ", \"exemplars\": [";
+      bool first_exemplar = true;
+      for (size_t i = 0; i < h.exemplars.size(); ++i) {
+        if (!h.exemplars[i].has_value()) continue;
+        if (!first_exemplar) out += ", ";
+        first_exemplar = false;
+        std::string le = i < Histogram::kBucketBounds.size()
+                             ? json_double(Histogram::kBucketBounds[i])
+                             : "+Inf";
+        out += "{\"le\": \"" + le + "\", \"trace_id\": \"" +
+               json_escape(h.exemplars[i]->trace_id) +
+               "\", \"value_seconds\": " +
+               json_double(h.exemplars[i]->value_seconds) +
+               ", \"unix_seconds\": " +
+               json_double(h.exemplars[i]->unix_seconds) + "}";
+      }
+      out += "]";
+    }
+    out += "}";
     first = false;
   }
-  out += first ? "}\n}\n" : "\n  }\n}\n";
+  out += first ? "},\n" : "\n  },\n";
+  // Process identity: who is answering this scrape, since when, built
+  // how — the metadata an operator needs before trusting any number
+  // above it.
+  out += "  \"process\": {\"start_unix_seconds\": " +
+         json_double(process_start_unix_seconds()) +
+         ", \"uptime_seconds\": " + json_double(process_uptime_seconds()) +
+         ", \"build_type\": \"" + json_escape(build_type()) +
+         "\", \"git_describe\": \"" + json_escape(git_describe()) + "\"}\n}\n";
   return out;
 }
 
 std::string RegistrySnapshot::to_prometheus() const {
   std::string out;
+  // Who/what/since-when, Prometheus-style: an info gauge carrying the
+  // build identity as labels (value constant 1, joinable onto any other
+  // series) plus the standard process start-time/uptime gauges.
+  out += "# TYPE davpse_build_info gauge\n";
+  out += "davpse_build_info{build_type=\"" + json_escape(build_type()) +
+         "\",git_describe=\"" + json_escape(git_describe()) + "\"} 1\n";
+  out += "# TYPE davpse_process_start_time_seconds gauge\n";
+  out += "davpse_process_start_time_seconds " +
+         json_double(process_start_unix_seconds()) + "\n";
+  out += "# TYPE davpse_process_uptime_seconds gauge\n";
+  out += "davpse_process_uptime_seconds " +
+         json_double(process_uptime_seconds()) + "\n";
   for (const auto& [name, value] : counters) {
     std::string pname = prometheus_name(name);
     out += "# TYPE " + pname + " counter\n";
@@ -138,15 +225,25 @@ std::string RegistrySnapshot::to_prometheus() const {
   for (const auto& [name, h] : histograms) {
     std::string pname = prometheus_name(name);
     out += "# TYPE " + pname + " histogram\n";
+    // OpenMetrics exemplar annotation: "<sample> # {labels} value ts".
+    // Prometheus text parsers that predate exemplars treat the suffix
+    // as a comment; OpenMetrics scrapers link the bucket to its trace.
+    auto exemplar_suffix = [&h](size_t bucket) {
+      if (!h.exemplars[bucket].has_value()) return std::string();
+      const Exemplar& e = *h.exemplars[bucket];
+      return " # {trace_id=\"" + json_escape(e.trace_id) + "\"} " +
+             json_double(e.value_seconds) + " " + json_double(e.unix_seconds);
+    };
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kBucketBounds.size(); ++i) {
       cumulative += h.buckets[i];
       out += pname + "_bucket{le=\"" +
              json_double(Histogram::kBucketBounds[i]) + "\"} " +
-             std::to_string(cumulative) + "\n";
+             std::to_string(cumulative) + exemplar_suffix(i) + "\n";
     }
     cumulative += h.buckets[Histogram::kBucketBounds.size()];
-    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           exemplar_suffix(Histogram::kBucketBounds.size()) + "\n";
     out += pname + "_sum " + json_double(h.sum_seconds) + "\n";
     out += pname + "_count " + std::to_string(h.count) + "\n";
   }

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -46,10 +47,27 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// One captured exemplar: the trace id of the slowest observation a
+/// histogram bucket has seen within the current exemplar window — the
+/// link from "the p99 bucket holds N requests" to "and *this* is one
+/// of them, span tree at /.well-known/traces".
+struct Exemplar {
+  double value_seconds = 0;  // the observation itself
+  double unix_seconds = 0;   // wall clock when it was captured
+  std::string trace_id;
+};
+
 /// Fixed-bucket latency histogram. Bucket upper bounds follow a 1-2-5
 /// ladder from 1 µs to 50 s (plus an overflow bucket); percentile
 /// snapshots report the upper bound of the bucket containing the
 /// target rank — a deliberate, bounded over-estimate.
+///
+/// Exemplars are opt-in (enable_exemplars()): when enabled, observe()
+/// additionally records the trace id of the slowest observation per
+/// bucket within a rolling kExemplarWindowSeconds window, taken from
+/// the calling thread's TraceContext (no context → no exemplar). The
+/// capture path takes a mutex, but only on enabled histograms — the
+/// default observe() stays wait-free.
 class Histogram {
  public:
   static constexpr std::array<double, 24> kBucketBounds = {
@@ -57,7 +75,18 @@ class Histogram {
       5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
       2e-1, 5e-1, 1e0,  2e0,  5e0,  1e1,  2e1,  5e1};
 
+  /// An exemplar older than this is replaced by the next observation
+  /// in its bucket regardless of value, so a one-off spike from hours
+  /// ago cannot shadow what "slow" looks like now.
+  static constexpr double kExemplarWindowSeconds = 60.0;
+
   void observe(double seconds);
+
+  /// Turns on per-bucket exemplar capture (idempotent, thread-safe).
+  void enable_exemplars();
+  bool exemplars_enabled() const {
+    return exemplars_enabled_.load(std::memory_order_acquire);
+  }
 
   struct Snapshot {
     uint64_t count = 0;
@@ -69,6 +98,13 @@ class Histogram {
     /// is the overflow bucket. Full fidelity for the Prometheus
     /// exposition, which emits these as cumulative `le` buckets.
     std::array<uint64_t, kBucketBounds.size() + 1> buckets{};
+    /// Per-bucket exemplars (same indexing); engaged only for buckets
+    /// that captured one on an exemplar-enabled histogram.
+    std::array<std::optional<Exemplar>, kBucketBounds.size() + 1> exemplars{};
+
+    /// Exemplar of the highest non-empty bucket — the closest retained
+    /// trace to "the slowest request this histogram has seen lately".
+    std::optional<Exemplar> slowest_exemplar() const;
   };
   Snapshot snapshot() const;
 
@@ -80,6 +116,11 @@ class Histogram {
   std::array<std::atomic<uint64_t>, kBucketBounds.size() + 1> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_nanos_{0};
+
+  std::atomic<bool> exemplars_enabled_{false};
+  mutable std::mutex exemplar_mutex_;
+  /// Allocated lazily by enable_exemplars(); guarded by exemplar_mutex_.
+  std::unique_ptr<std::array<Exemplar, kBucketBounds.size() + 1>> exemplars_;
 };
 
 /// Point-in-time copy of every metric in a registry, plus a JSON
@@ -147,12 +188,15 @@ class PerLabelMetrics {
  public:
   /// `count_prefix` names the counter family ("dav.server.requests."),
   /// `latency_prefix` the histogram family; the label (HTTP method) is
-  /// appended on first sight of each label.
+  /// appended on first sight of each label. `exemplars` enables
+  /// per-bucket exemplar capture on every latency histogram the family
+  /// creates.
   PerLabelMetrics(Registry& registry, std::string count_prefix,
-                  std::string latency_prefix)
+                  std::string latency_prefix, bool exemplars = false)
       : registry_(registry),
         count_prefix_(std::move(count_prefix)),
-        latency_prefix_(std::move(latency_prefix)) {}
+        latency_prefix_(std::move(latency_prefix)),
+        exemplars_(exemplars) {}
 
   /// Counts one request and records its latency for `label`.
   void record(std::string_view label, double latency_seconds) {
@@ -175,6 +219,7 @@ class PerLabelMetrics {
     }
     Entry entry{&registry_.counter(count_prefix_ + std::string(label)),
                 &registry_.histogram(latency_prefix_ + std::string(label))};
+    if (exemplars_) entry.latency->enable_exemplars();
     std::unique_lock<std::shared_mutex> lock(mutex_);
     return entries_.emplace(std::string(label), entry).first->second;
   }
@@ -182,6 +227,7 @@ class PerLabelMetrics {
   Registry& registry_;
   const std::string count_prefix_;
   const std::string latency_prefix_;
+  const bool exemplars_;
   mutable std::shared_mutex mutex_;
   std::map<std::string, Entry, std::less<>> entries_;
 };

@@ -1,0 +1,343 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/build_info.h"
+#include "obs/json.h"
+#include "util/clock.h"
+
+namespace davpse::obs {
+namespace {
+
+// The windows /.well-known/history reports. Each is clamped to the
+// span the ring actually holds, so a freshly started recorder reports
+// identical (short) windows rather than lying about a 60 s rate.
+constexpr double kWindowSeconds[] = {1.0, 10.0, 60.0};
+constexpr const char* kWindowNames[] = {"1s", "10s", "60s"};
+
+// Scheduler metric names the derived signals are computed from. These
+// are the names HttpServer registers; a registry without them (e.g. a
+// recorder pointed at a non-server registry) derives zeros.
+constexpr std::string_view kShedCounter = "http.server.shed";
+constexpr std::string_view kConnectionsCounter = "http.server.connections";
+constexpr std::string_view kRequestPrefix = "http.server.requests.";
+constexpr std::string_view kBusyPrefix = "http.server.worker_busy_micros.";
+constexpr std::string_view kWorkersGauge = "http.server.workers";
+constexpr std::string_view kDispatchGauge = "http.server.dispatch_depth";
+constexpr std::string_view kInFlightGauge = "http.server.in_flight";
+constexpr std::string_view kParkedGauge = "http.server.parked";
+
+uint64_t delta_of(uint64_t later, uint64_t earlier) {
+  return later >= earlier ? later - earlier : 0;
+}
+
+/// Sum of counter deltas for every counter whose name starts with
+/// `prefix` (summed over the later snapshot's name set — a counter born
+/// mid-window contributes its full value, which is also its delta).
+uint64_t prefix_delta(const RegistrySnapshot& later,
+                      const RegistrySnapshot& earlier,
+                      std::string_view prefix) {
+  uint64_t total = 0;
+  for (auto it = later.counters.lower_bound(std::string(prefix));
+       it != later.counters.end() && it->first.starts_with(prefix); ++it) {
+    total += delta_of(it->second, earlier.counter(it->first));
+  }
+  return total;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(RecorderConfig config)
+    : config_(config),
+      metrics_(registry_or_global(config.metrics)),
+      samples_metric_(metrics_.counter("obs.recorder.samples")) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.interval_seconds <= 0) config_.interval_seconds = 1.0;
+  if (config_.health_window_seconds <= 0) config_.health_window_seconds = 10.0;
+}
+
+FlightRecorder::~FlightRecorder() { stop(); }
+
+Status FlightRecorder::start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (running_) {
+    return error(ErrorCode::kAlreadyExists, "flight recorder already running");
+  }
+  sample_now();  // the ring is never empty once started
+  running_ = true;
+  sampler_ = std::thread([this] { sampler_loop(); });
+  return Status::ok();
+}
+
+void FlightRecorder::stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void FlightRecorder::sampler_loop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (running_) {
+    bool stopped = stop_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.interval_seconds),
+        [this] { return !running_; });
+    if (stopped) break;
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+void FlightRecorder::sample_now() {
+  Sample sample;
+  sample.unix_seconds = unix_time_seconds();
+  sample.wall_seconds = wall_time_seconds();
+  sample.snap = metrics_.snapshot();
+  samples_metric_.add(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > config_.capacity) samples_.pop_front();
+}
+
+size_t FlightRecorder::sample_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+size_t FlightRecorder::base_index_locked(double target_wall) const {
+  // Ring is small (<= capacity, default 128) and wall-ordered; a linear
+  // scan for the closest sample is simpler than bookkeeping an index.
+  size_t best = 0;
+  double best_distance = std::abs(samples_[0].wall_seconds - target_wall);
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    double distance = std::abs(samples_[i].wall_seconds - target_wall);
+    if (distance <= best_distance) {
+      best = i;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+FlightRecorder::WindowStats FlightRecorder::window_stats_locked(
+    size_t base_index) const {
+  const Sample& first = samples_[base_index];
+  const Sample& last = samples_.back();
+  WindowStats w;
+  w.span_seconds = last.wall_seconds - first.wall_seconds;
+
+  w.shed_delta = delta_of(last.snap.counter(kShedCounter),
+                          first.snap.counter(kShedCounter));
+  uint64_t admitted = delta_of(last.snap.counter(kConnectionsCounter),
+                               first.snap.counter(kConnectionsCounter));
+  uint64_t arrivals = admitted + w.shed_delta;
+  w.shed_rate =
+      arrivals > 0 ? static_cast<double>(w.shed_delta) / arrivals : 0.0;
+
+  uint64_t requests = prefix_delta(last.snap, first.snap, kRequestPrefix);
+  w.requests_per_second =
+      w.span_seconds > 0 ? requests / w.span_seconds : 0.0;
+
+  // Utilization = busy worker-time over the window divided by the
+  // capacity (span × worker count). Busy time is the sum of the
+  // per-worker busy counters, which the workers bump in microseconds.
+  int64_t workers = last.snap.gauge(kWorkersGauge);
+  if (workers > 0 && w.span_seconds > 0) {
+    uint64_t busy_micros = prefix_delta(last.snap, first.snap, kBusyPrefix);
+    w.worker_utilization =
+        std::min(1.0, static_cast<double>(busy_micros) /
+                          (w.span_seconds * 1e6 * workers));
+  }
+
+  w.dispatch_depth_min = samples_[base_index].snap.gauge(kDispatchGauge);
+  w.dispatch_depth_max = w.dispatch_depth_min;
+  for (size_t i = base_index + 1; i < samples_.size(); ++i) {
+    int64_t depth = samples_[i].snap.gauge(kDispatchGauge);
+    w.dispatch_depth_min = std::min(w.dispatch_depth_min, depth);
+    w.dispatch_depth_max = std::max(w.dispatch_depth_max, depth);
+  }
+  return w;
+}
+
+std::string FlightRecorder::history_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"now_unix_seconds\": " + json_double(unix_time_seconds());
+  out += ",\n \"interval_seconds\": " + json_double(config_.interval_seconds);
+  out += ",\n \"samples_retained\": " + std::to_string(samples_.size());
+  out += ",\n \"windows\": {";
+  if (samples_.size() >= 2) {
+    const Sample& last = samples_.back();
+    bool first_window = true;
+    for (size_t wi = 0; wi < std::size(kWindowSeconds); ++wi) {
+      size_t base =
+          base_index_locked(last.wall_seconds - kWindowSeconds[wi]);
+      if (base == samples_.size() - 1) base = samples_.size() - 2;
+      const Sample& first = samples_[base];
+      WindowStats w = window_stats_locked(base);
+
+      if (!first_window) out += ",";
+      first_window = false;
+      out += "\n  \"";
+      out += kWindowNames[wi];
+      out += "\": {\"span_seconds\": " + json_double(w.span_seconds);
+
+      out += ",\n   \"counters\": {";
+      bool first_counter = true;
+      for (const auto& [name, value] : last.snap.counters) {
+        uint64_t delta = delta_of(value, first.snap.counter(name));
+        if (!first_counter) out += ", ";
+        first_counter = false;
+        out += "\"" + json_escape(name) +
+               "\": {\"delta\": " + std::to_string(delta) +
+               ", \"per_second\": " +
+               json_double(w.span_seconds > 0 ? delta / w.span_seconds
+                                              : 0.0) +
+               "}";
+      }
+      out += "}";
+
+      out += ",\n   \"gauges\": {";
+      bool first_gauge = true;
+      for (const auto& [name, value] : last.snap.gauges) {
+        int64_t low = value;
+        int64_t high = value;
+        for (size_t i = base; i < samples_.size(); ++i) {
+          int64_t v = samples_[i].snap.gauge(name);
+          low = std::min(low, v);
+          high = std::max(high, v);
+        }
+        if (!first_gauge) out += ", ";
+        first_gauge = false;
+        out += "\"" + json_escape(name) +
+               "\": {\"last\": " + std::to_string(value) +
+               ", \"min\": " + std::to_string(low) +
+               ", \"max\": " + std::to_string(high) + "}";
+      }
+      out += "}";
+
+      out += ",\n   \"derived\": {\"shed_rate\": " + json_double(w.shed_rate);
+      out += ", \"worker_utilization\": " + json_double(w.worker_utilization);
+      out += ", \"requests_per_second\": " + json_double(w.requests_per_second);
+      out += ", \"dispatch_depth_min\": " +
+             std::to_string(w.dispatch_depth_min);
+      out += ", \"dispatch_depth_max\": " +
+             std::to_string(w.dispatch_depth_max);
+      out += "}}";
+    }
+  }
+  out += "\n }\n}\n";
+  return out;
+}
+
+const char* FlightRecorder::verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kDegraded: return "degraded";
+    case Verdict::kOverloaded: return "overloaded";
+  }
+  return "ok";
+}
+
+FlightRecorder::Health FlightRecorder::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health h;
+  h.uptime_seconds = process_uptime_seconds();
+  if (samples_.empty()) return h;
+
+  const Sample& last = samples_.back();
+  h.dispatch_depth = last.snap.gauge(kDispatchGauge);
+  h.in_flight = last.snap.gauge(kInFlightGauge);
+  h.parked = last.snap.gauge(kParkedGauge);
+  // One sample has no window to judge load over — report ok rather
+  // than flapping a readiness probe while warming up.
+  if (samples_.size() < 2) return h;
+
+  size_t base =
+      base_index_locked(last.wall_seconds - config_.health_window_seconds);
+  if (base == samples_.size() - 1) base = samples_.size() - 2;
+  WindowStats w = window_stats_locked(base);
+  h.window_seconds = w.span_seconds;
+  h.shed_rate = w.shed_rate;
+  h.worker_utilization = w.worker_utilization;
+
+  int64_t workers = last.snap.gauge(kWorkersGauge);
+  bool overloaded = false;
+  bool degraded = false;
+
+  if (w.shed_delta > 0 && w.shed_rate >= config_.overloaded_shed_rate) {
+    overloaded = true;
+    h.reasons.push_back("shed rate " + format_fixed(w.shed_rate, 3) +
+                        " at or above " +
+                        format_fixed(config_.overloaded_shed_rate, 3) +
+                        " over " + format_fixed(w.span_seconds, 1) + "s");
+  } else if (w.shed_delta > 0) {
+    degraded = true;
+    h.reasons.push_back(std::to_string(w.shed_delta) +
+                        " connection(s) shed in window");
+  }
+
+  if (w.dispatch_depth_min > 0 && workers > 0 &&
+      h.dispatch_depth >= workers) {
+    overloaded = true;
+    h.reasons.push_back(
+        "dispatch queue never drained (min depth " +
+        std::to_string(w.dispatch_depth_min) + ", now " +
+        std::to_string(h.dispatch_depth) + " vs " +
+        std::to_string(workers) + " workers)");
+  } else if (w.dispatch_depth_min > 0) {
+    degraded = true;
+    h.reasons.push_back("dispatch backlog sustained (min depth " +
+                        std::to_string(w.dispatch_depth_min) + ")");
+  }
+
+  if (w.worker_utilization >= config_.degraded_utilization) {
+    degraded = true;
+    h.reasons.push_back("worker utilization " +
+                        format_fixed(w.worker_utilization, 3) +
+                        " at or above " +
+                        format_fixed(config_.degraded_utilization, 3));
+  }
+
+  h.verdict = overloaded  ? Verdict::kOverloaded
+              : degraded  ? Verdict::kDegraded
+                          : Verdict::kOk;
+  return h;
+}
+
+std::string FlightRecorder::health_json() const {
+  Health h = health();
+  std::string out = "{\"verdict\": \"";
+  out += verdict_name(h.verdict);
+  out += "\",\n \"reasons\": [";
+  bool first = true;
+  for (const std::string& reason : h.reasons) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(reason) + "\"";
+  }
+  out += "],\n \"window_seconds\": " + json_double(h.window_seconds);
+  out += ",\n \"shed_rate\": " + json_double(h.shed_rate);
+  out += ",\n \"worker_utilization\": " + json_double(h.worker_utilization);
+  out += ",\n \"dispatch_depth\": " + std::to_string(h.dispatch_depth);
+  out += ",\n \"in_flight\": " + std::to_string(h.in_flight);
+  out += ",\n \"parked\": " + std::to_string(h.parked);
+  out += ",\n \"uptime_seconds\": " + json_double(h.uptime_seconds);
+  out += ",\n \"samples\": " + std::to_string(sample_count());
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace davpse::obs

@@ -1,0 +1,144 @@
+// Flight recorder: the time dimension the metrics registry lacks. The
+// registry's counters are cumulative since process start — a scrape
+// can answer "how many requests ever" but not "what is the shed rate
+// *right now*". The recorder runs a background sampler that snapshots
+// a Registry into a fixed-size time ring and serves two derived views:
+//
+//   GET /.well-known/history — windowed deltas and per-second rates
+//   (1s / 10s / 60s) for every counter, min/now/max for every gauge,
+//   plus derived scheduler signals (shed rate, worker utilization,
+//   request rate) computed from the reactor telemetry counters.
+//
+//   GET /.well-known/health — a load-derived readiness verdict
+//   (ok / degraded / overloaded) from the shed rate, worker
+//   utilization, and dispatch-queue depth over a sliding window, with
+//   the reasons spelled out. Serving layers map overloaded to 503 so
+//   the endpoint works as a readiness probe.
+//
+// The sampler thread takes one Registry::snapshot() per interval
+// (default 1 s) — the same lock-cheap path a scrape takes — so the
+// recorder's overhead is one scrape per second regardless of traffic.
+// All analysis happens at read time on the ring; the sample path never
+// computes rates.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace davpse::obs {
+
+struct RecorderConfig {
+  /// Seconds between background samples. The default 1 s ring covers
+  /// the 60 s window with 60 samples; tests drive sample_now() by hand
+  /// and can set this large to silence the thread.
+  double interval_seconds = 1.0;
+  /// Ring capacity in samples (oldest evicted first). 128 at 1 s
+  /// covers the 60 s window with headroom for irregular sampling.
+  size_t capacity = 128;
+  /// Registry to sample; nullptr samples Registry::global().
+  Registry* metrics = nullptr;
+
+  // --- health verdict thresholds -----------------------------------
+  /// Window the verdict is computed over (clamped to what the ring
+  /// holds).
+  double health_window_seconds = 10.0;
+  /// Worker utilization at or above this is degraded.
+  double degraded_utilization = 0.85;
+  /// Fraction of arrivals shed at or above this is overloaded; any
+  /// shedding at all is at least degraded.
+  double overloaded_shed_rate = 0.05;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(RecorderConfig config);
+  ~FlightRecorder();  // stop()
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Takes an immediate first sample and starts the sampler thread.
+  Status start();
+  /// Joins the sampler thread. Idempotent; the ring stays readable.
+  void stop();
+
+  /// Takes one sample synchronously (also the test hook — windows can
+  /// be filled without waiting out the interval).
+  void sample_now();
+
+  /// Samples currently retained.
+  size_t sample_count() const;
+
+  /// The /.well-known/history response body: windowed counter deltas
+  /// and rates, gauge envelopes, and derived scheduler signals for the
+  /// 1s/10s/60s windows (each clamped to the span the ring holds).
+  std::string history_json() const;
+
+  enum class Verdict { kOk, kDegraded, kOverloaded };
+  static const char* verdict_name(Verdict verdict);
+
+  /// One health evaluation over the configured window.
+  struct Health {
+    Verdict verdict = Verdict::kOk;
+    std::vector<std::string> reasons;  // why not ok (empty when ok)
+    double window_seconds = 0;         // actual span evaluated
+    double shed_rate = 0;              // shed / (admitted + shed)
+    double worker_utilization = 0;     // busy time / capacity, 0..1
+    int64_t dispatch_depth = 0;        // latest run-queue depth
+    int64_t in_flight = 0;             // latest worker-active gauge
+    int64_t parked = 0;                // latest parked-connection gauge
+    double uptime_seconds = 0;
+  };
+  Health health() const;
+
+  /// The /.well-known/health response body.
+  std::string health_json() const;
+
+  const RecorderConfig& config() const { return config_; }
+
+ private:
+  struct Sample {
+    double unix_seconds = 0;
+    double wall_seconds = 0;
+    RegistrySnapshot snap;
+  };
+
+  /// Derived scheduler signals between two samples.
+  struct WindowStats {
+    double span_seconds = 0;
+    uint64_t shed_delta = 0;
+    double shed_rate = 0;
+    double worker_utilization = 0;
+    double requests_per_second = 0;
+    int64_t dispatch_depth_min = 0;
+    int64_t dispatch_depth_max = 0;
+  };
+
+  void sampler_loop();
+  /// Index of the retained sample closest to `target_wall`; requires a
+  /// non-empty ring (caller holds mutex_).
+  size_t base_index_locked(double target_wall) const;
+  WindowStats window_stats_locked(size_t base_index) const;
+
+  RecorderConfig config_;
+  Registry& metrics_;
+  Counter& samples_metric_;
+
+  mutable std::mutex mutex_;
+  std::deque<Sample> samples_;
+
+  std::mutex thread_mutex_;  // guards running_/cv for start/stop
+  std::condition_variable stop_cv_;
+  std::thread sampler_;
+  bool running_ = false;
+};
+
+}  // namespace davpse::obs

@@ -42,7 +42,8 @@ void append_span_json(const TraceTimeline& timeline,
 
 void TailSampler::offer(TraceTimeline timeline) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (timeline.duration_seconds >= config_.threshold_seconds &&
+  if ((timeline.pinned ||
+       timeline.duration_seconds >= config_.threshold_seconds) &&
       config_.threshold_capacity > 0) {
     over_threshold_.push_back(timeline);
     while (over_threshold_.size() > config_.threshold_capacity) {
@@ -110,6 +111,8 @@ std::string TailSampler::to_json() const {
     out += ", \"start_seconds\": " + json_double(timeline.start_seconds);
     out += ", \"duration_seconds\": " +
            json_double(timeline.duration_seconds);
+    out += ", \"pinned\": ";
+    out += timeline.pinned ? "true" : "false";
     out += ", \"span_count\": " + std::to_string(timeline.spans.size());
     out += ", \"spans\": [";
 

@@ -25,6 +25,9 @@ struct TraceTimeline {
   std::string trace_id;
   double start_seconds = 0;     // wall clock at scope open
   double duration_seconds = 0;  // whole-scope wall duration
+  /// Force-retained (TraceScope::force_retain — e.g. the stall
+  /// watchdog): kept in the threshold pool regardless of duration.
+  bool pinned = false;
   std::vector<SpanRecord> spans;
 };
 

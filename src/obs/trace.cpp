@@ -76,6 +76,7 @@ TraceScope::~TraceScope() {
   timeline.trace_id = context_.trace_id();
   timeline.start_seconds = start_seconds_;
   timeline.duration_seconds = wall_time_seconds() - start_seconds_;
+  timeline.pinned = force_retain_;
   timeline.spans = std::move(collected_);
   sampler_->offer(std::move(timeline));
 }

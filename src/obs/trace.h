@@ -107,8 +107,16 @@ class TraceScope {
 
   const std::string& trace_id() const { return context_.trace_id(); }
 
+  /// Marks this trace for unconditional retention: the timeline offered
+  /// to the sampler on destruction is pinned, so it is kept regardless
+  /// of its duration (the stall watchdog's hook — a request that blew
+  /// its budget must stay inspectable even when the tail pools are
+  /// tuned for slower traffic). No-op without a sampler.
+  void force_retain() { force_retain_ = true; }
+
  private:
   TailSampler* sampler_;
+  bool force_retain_ = false;
   double start_seconds_ = 0;
   std::vector<SpanRecord> collected_;  // filled only when sampler_ set
   TraceContext context_;

@@ -1,0 +1,279 @@
+// Every non-normal exchange leaves an access record: shed 503s,
+// request-read timeouts (408), silently closed never-spoke
+// connections, expired keep-alive idlers, and stall-budget violations
+// all land in the event log with a trace id — the "what happened to my
+// request" question must be answerable for requests that never reached
+// a handler at all.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/server.h"
+#include "net/network.h"
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
+#include "obs/tail.h"
+#include "testing/env.h"
+#include "util/fs.h"
+
+namespace davpse::obs {
+namespace {
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Value of `"key": "<value>"` in a JSON line; empty when absent.
+std::string json_string_field(const std::string& line,
+                              const std::string& key) {
+  auto pos = line.find("\"" + key + "\": \"");
+  if (pos == std::string::npos) return "";
+  pos += key.size() + 5;
+  auto end = line.find('"', pos);
+  return line.substr(pos, end - pos);
+}
+
+bool wait_until(const std::function<bool()>& cond, double timeout = 5.0) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+class EchoHandler final : public http::Handler {
+ public:
+  http::HttpResponse handle(const http::HttpRequest&) override {
+    return http::HttpResponse::make(http::kOk, "ok\n");
+  }
+};
+
+class GatedHandler final : public http::Handler {
+ public:
+  http::HttpResponse handle(const http::HttpRequest&) override {
+    entered.fetch_add(1);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return http::HttpResponse::make(http::kOk, "ok\n");
+  }
+  std::atomic<int> entered{0};
+  std::atomic<bool> release{false};
+};
+
+/// Fixture: an event log on a temp file plus a server config wired to
+/// it. Each test adds its own knobs and handler.
+struct LoggedServer {
+  explicit LoggedServer(const std::string& endpoint_prefix)
+      : temp("accesspaths") {
+    EventLogConfig log_config;
+    log_config.path = temp.path() / "access.jsonl";
+    log_config.metrics = &registry;
+    log = std::make_unique<EventLog>(log_config);
+    if (!log->start().is_ok()) throw std::runtime_error("log start failed");
+    config.endpoint = testing::unique_endpoint(endpoint_prefix);
+    config.metrics = &registry;
+    config.event_log = log.get();
+  }
+
+  /// First log line whose event field matches; empty when none.
+  std::string find_event(const std::string& event) {
+    log->drain();
+    for (const std::string& line : read_lines(log->path())) {
+      if (json_string_field(line, "event") == event) return line;
+    }
+    return "";
+  }
+
+  TempDir temp;
+  Registry registry;
+  std::unique_ptr<EventLog> log;
+  http::ServerConfig config;
+};
+
+/// Reads until EOF (server closed its end) and returns everything.
+std::string read_to_close(net::Stream& stream) {
+  std::string reply;
+  char buf[1024];
+  for (;;) {
+    auto n = stream.read(buf, sizeof buf);
+    if (!n.ok() || n.value() == 0) break;
+    reply.append(buf, n.value());
+  }
+  return reply;
+}
+
+TEST(AccessPathsTest, ShedConnectionIsLoggedWithTraceId) {
+  LoggedServer fx("access-shed");
+  GatedHandler handler;
+  fx.config.workers = 1;
+  fx.config.max_queue_depth = 1;
+  http::HttpServer server(fx.config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Occupy the lone worker, then fill the queue-depth slot.
+  auto busy = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(busy.ok());
+  ASSERT_TRUE(
+      busy.value()->write("GET / HTTP/1.1\r\nHost: h\r\n\r\n").is_ok());
+  ASSERT_TRUE(wait_until([&] { return handler.entered.load() >= 1; }));
+  auto queued = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(queued.ok());
+  ASSERT_TRUE(
+      queued.value()->write("GET / HTTP/1.1\r\nHost: h\r\n\r\n").is_ok());
+  ASSERT_TRUE(wait_until([&] {
+    return fx.registry.counter("http.server.connections").value() >= 2 &&
+           fx.registry.snapshot().gauge("http.server.parked") == 0;
+  }));
+
+  // The next arrival is shed: 503 on the wire WITH a trace id header,
+  // and the same trace id in the access log.
+  auto shed = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(shed.ok());
+  (void)shed.value()->write("G");
+  std::string reply = read_to_close(*shed.value());
+  EXPECT_NE(reply.find("503"), std::string::npos);
+  EXPECT_NE(reply.find("X-Trace-Id: "), std::string::npos);
+
+  std::string line = fx.find_event("shed");
+  ASSERT_FALSE(line.empty()) << "no shed access record";
+  std::string trace_id = json_string_field(line, "trace_id");
+  EXPECT_FALSE(trace_id.empty());
+  EXPECT_NE(reply.find("X-Trace-Id: " + trace_id), std::string::npos)
+      << "503 reply and access record disagree on the trace id";
+  EXPECT_NE(line.find("\"status\": 503"), std::string::npos);
+
+  handler.release.store(true);
+  busy.value()->close();
+  queued.value()->close();
+  shed.value()->close();
+}
+
+TEST(AccessPathsTest, RequestReadTimeoutIsLoggedWithTraceId) {
+  LoggedServer fx("access-408");
+  EchoHandler handler;
+  fx.config.request_read_timeout_seconds = 0.05;
+  http::HttpServer server(fx.config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Head promises a body that never arrives: the worker's body read
+  // times out and answers 408.
+  auto conn = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.value()
+                  ->write("PUT /slow.txt HTTP/1.1\r\nHost: h\r\n"
+                          "Content-Length: 10\r\n\r\n")
+                  .is_ok());
+  std::string reply = read_to_close(*conn.value());
+  EXPECT_NE(reply.find("408"), std::string::npos);
+  EXPECT_NE(reply.find("X-Trace-Id: "), std::string::npos);
+
+  std::string line = fx.find_event("read_timeout");
+  ASSERT_FALSE(line.empty()) << "no read_timeout access record";
+  EXPECT_EQ(json_string_field(line, "method"), "PUT");
+  EXPECT_EQ(json_string_field(line, "path"), "/slow.txt");
+  EXPECT_NE(line.find("\"status\": 408"), std::string::npos);
+  std::string trace_id = json_string_field(line, "trace_id");
+  EXPECT_FALSE(trace_id.empty());
+  EXPECT_NE(reply.find("X-Trace-Id: " + trace_id), std::string::npos);
+  conn.value()->close();
+}
+
+TEST(AccessPathsTest, NeverSpokeConnectionIsLoggedAsSilentClose) {
+  LoggedServer fx("access-mute");
+  EchoHandler handler;
+  fx.config.request_read_timeout_seconds = 0.05;
+  http::HttpServer server(fx.config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Connect and never send a byte: the reactor expires the parked
+  // fresh connection without spending a worker — but the event log
+  // still gets a record (status 0: no request ever existed).
+  auto conn = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(wait_until([&] { return !fx.find_event("silent_close").empty(); }));
+  std::string line = fx.find_event("silent_close");
+  EXPECT_NE(line.find("\"status\": 0"), std::string::npos);
+  EXPECT_NE(line.find("\"daemon\": -1"), std::string::npos);
+  EXPECT_FALSE(json_string_field(line, "trace_id").empty());
+  conn.value()->close();
+}
+
+TEST(AccessPathsTest, ExpiredKeepAliveIdlerIsLogged) {
+  LoggedServer fx("access-idle");
+  EchoHandler handler;
+  fx.config.keep_alive_timeout_seconds = 0.05;
+  http::HttpServer server(fx.config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // One served request, then idle past the keep-alive window.
+  auto conn = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(
+      conn.value()->write("GET / HTTP/1.1\r\nHost: h\r\n\r\n").is_ok());
+  ASSERT_TRUE(wait_until([&] { return !fx.find_event("idle_expired").empty(); }));
+  std::string line = fx.find_event("idle_expired");
+  // The connection had served a request, so the record says so.
+  EXPECT_NE(line.find("\"keepalive_reuse\": true"), std::string::npos);
+  conn.value()->close();
+}
+
+TEST(AccessPathsTest, StalledRequestIsLoggedAndTracePinned) {
+  class SlowHandler final : public http::Handler {
+   public:
+    http::HttpResponse handle(const http::HttpRequest&) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      return http::HttpResponse::make(http::kOk, "late\n");
+    }
+  };
+
+  LoggedServer fx("access-stall");
+  SlowHandler handler;
+  TailSampler tail;
+  fx.config.stall_budget_seconds = 0.001;  // everything stalls
+  fx.config.tail_sampler = &tail;
+  http::HttpServer server(fx.config, &handler);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto conn = net::Network::instance().connect(server.endpoint());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(
+      conn.value()->write("GET /slow HTTP/1.1\r\nHost: h\r\n"
+                          "Connection: close\r\n\r\n")
+          .is_ok());
+  std::string reply = read_to_close(*conn.value());
+  // Detection, not enforcement: the response still completes normally.
+  EXPECT_NE(reply.find("200"), std::string::npos);
+  EXPECT_NE(reply.find("late"), std::string::npos);
+
+  EXPECT_GE(fx.registry.counter("http.server.stalled").value(), 1u);
+  std::string line = fx.find_event("stalled");
+  ASSERT_FALSE(line.empty()) << "no stalled access record";
+  EXPECT_NE(line.find("\"status\": 200"), std::string::npos);
+  std::string trace_id = json_string_field(line, "trace_id");
+  ASSERT_FALSE(trace_id.empty());
+
+  // force_retain pinned the trace in the tail sampler.
+  auto timeline = tail.find(trace_id);
+  ASSERT_TRUE(timeline.has_value()) << "stalled trace not retained";
+  EXPECT_TRUE(timeline->pinned);
+  EXPECT_NE(tail.to_json().find("\"pinned\": true"), std::string::npos);
+  conn.value()->close();
+}
+
+}  // namespace
+}  // namespace davpse::obs

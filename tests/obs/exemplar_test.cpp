@@ -1,0 +1,168 @@
+// Histogram exemplars: opt-in capture of the slowest trace id per
+// bucket, surfaced in the JSON snapshot and as OpenMetrics exemplars
+// in the Prometheus exposition — and, end to end, an exemplar scraped
+// from /.well-known/metrics resolves to a retained span tree at
+// /.well-known/traces.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "http/client.h"
+#include "obs/metrics.h"
+#include "obs/tail.h"
+#include "obs/trace.h"
+#include "testing/env.h"
+
+namespace davpse::obs {
+namespace {
+
+TEST(ExemplarTest, DisabledHistogramCapturesNothing) {
+  Histogram histogram;
+  TraceLog log;
+  TraceScope scope("t-disabled", &log);
+  histogram.observe(0.003);
+  Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_FALSE(snap.slowest_exemplar().has_value());
+}
+
+TEST(ExemplarTest, NoTraceContextMeansNoExemplar) {
+  Histogram histogram;
+  histogram.enable_exemplars();
+  histogram.observe(0.003);  // no TraceScope on this thread
+  EXPECT_FALSE(histogram.snapshot().slowest_exemplar().has_value());
+}
+
+TEST(ExemplarTest, CapturesTraceIdOfObservation) {
+  Histogram histogram;
+  histogram.enable_exemplars();
+  EXPECT_TRUE(histogram.exemplars_enabled());
+  histogram.enable_exemplars();  // idempotent
+  TraceLog log;
+  {
+    TraceScope scope("t-captured", &log);
+    histogram.observe(0.003);
+  }
+  auto exemplar = histogram.snapshot().slowest_exemplar();
+  ASSERT_TRUE(exemplar.has_value());
+  EXPECT_EQ(exemplar->trace_id, "t-captured");
+  EXPECT_DOUBLE_EQ(exemplar->value_seconds, 0.003);
+  EXPECT_GT(exemplar->unix_seconds, 0);
+}
+
+TEST(ExemplarTest, SlowerObservationInSameBucketWins) {
+  Histogram histogram;
+  histogram.enable_exemplars();
+  TraceLog log;
+  // 3 ms and 4 ms land in the same (2, 5] ms bucket; the slower one
+  // must own the exemplar no matter the order it arrives in.
+  {
+    TraceScope scope("t-slower", &log);
+    histogram.observe(0.004);
+  }
+  {
+    TraceScope scope("t-faster", &log);
+    histogram.observe(0.003);
+  }
+  auto exemplar = histogram.snapshot().slowest_exemplar();
+  ASSERT_TRUE(exemplar.has_value());
+  EXPECT_EQ(exemplar->trace_id, "t-slower");
+
+  {
+    TraceScope scope("t-slowest", &log);
+    histogram.observe(0.0045);
+  }
+  exemplar = histogram.snapshot().slowest_exemplar();
+  ASSERT_TRUE(exemplar.has_value());
+  EXPECT_EQ(exemplar->trace_id, "t-slowest");
+}
+
+TEST(ExemplarTest, EachBucketKeepsItsOwnExemplar) {
+  Histogram histogram;
+  histogram.enable_exemplars();
+  TraceLog log;
+  {
+    TraceScope scope("t-fast-bucket", &log);
+    histogram.observe(0.003);
+  }
+  {
+    TraceScope scope("t-slow-bucket", &log);
+    histogram.observe(0.3);
+  }
+  Histogram::Snapshot snap = histogram.snapshot();
+  int captured = 0;
+  for (const auto& exemplar : snap.exemplars) {
+    if (exemplar.has_value()) ++captured;
+  }
+  EXPECT_EQ(captured, 2);
+  // slowest_exemplar() prefers the highest non-empty bucket.
+  ASSERT_TRUE(snap.slowest_exemplar().has_value());
+  EXPECT_EQ(snap.slowest_exemplar()->trace_id, "t-slow-bucket");
+}
+
+TEST(ExemplarTest, JsonAndPrometheusCarryExemplars) {
+  Registry registry;
+  Histogram& histogram = registry.histogram("test.latency_seconds");
+  histogram.enable_exemplars();
+  TraceLog log;
+  {
+    TraceScope scope("t-exposed", &log);
+    histogram.observe(0.003);
+  }
+  RegistrySnapshot snap = registry.snapshot();
+
+  std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("t-exposed"), std::string::npos);
+
+  // OpenMetrics exemplar syntax on the owning cumulative bucket line:
+  //   davpse_..._bucket{le="0.005"} 1 # {trace_id="t-exposed"} 0.003 ...
+  std::string prom = snap.to_prometheus();
+  auto line_at = prom.find("le=\"0.005\"");
+  ASSERT_NE(line_at, std::string::npos);
+  std::string line = prom.substr(line_at, prom.find('\n', line_at) - line_at);
+  EXPECT_NE(line.find("# {trace_id=\"t-exposed\"}"), std::string::npos);
+  // A histogram without exemplars stays plain-Prometheus compatible.
+  registry.histogram("plain.latency_seconds").observe(0.003);
+  prom = registry.snapshot().to_prometheus();
+  auto plain_at = prom.find("davpse_plain_latency_seconds_bucket");
+  ASSERT_NE(plain_at, std::string::npos);
+  std::string plain_line =
+      prom.substr(plain_at, prom.find('\n', plain_at) - plain_at);
+  EXPECT_EQ(plain_line.find('#'), std::string::npos);
+}
+
+TEST(ExemplarTest, ScrapedExemplarResolvesToRetainedTrace) {
+  // End to end: run real requests through the stack, scrape
+  // /.well-known/metrics, pull a trace id out of an exemplar, and find
+  // that trace retained at /.well-known/traces.
+  Registry registry;
+  TailSampler tail;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry, nullptr, &tail);
+  auto client = stack.client();
+  ASSERT_TRUE(client.put("/a.txt", "alpha").is_ok());
+  ASSERT_TRUE(client.get("/a.txt").ok());
+
+  http::ClientConfig config;
+  config.endpoint = stack.server->endpoint();
+  config.connect_label = "test.scraper";
+  http::HttpClient scraper(std::move(config));
+
+  auto metrics = scraper.get("/.well-known/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const std::string& exposition = metrics.value().body;
+  std::smatch match;
+  ASSERT_TRUE(std::regex_search(exposition, match,
+                                std::regex{"# \\{trace_id=\"([^\"]+)\"\\}"}))
+      << exposition;
+  std::string trace_id = match[1];
+
+  auto traces = scraper.get("/.well-known/traces");
+  ASSERT_TRUE(traces.ok());
+  EXPECT_NE(traces.value().body.find(trace_id), std::string::npos)
+      << "exemplar trace " << trace_id << " not retained";
+}
+
+}  // namespace
+}  // namespace davpse::obs

@@ -1,0 +1,234 @@
+// Flight recorder: the sample ring is bounded, windowed deltas and
+// rates derive from hand-driven samples, the health verdict walks
+// ok → degraded → overloaded as shed rate and backlog grow, and the
+// /.well-known/history and /health endpoints serve live data (503 on
+// an overloaded verdict).
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "dav/server.h"
+#include "http/client.h"
+#include "obs/metrics.h"
+#include "testing/env.h"
+#include "util/fs.h"
+
+namespace davpse::obs {
+namespace {
+
+/// First number following `"key": ` in `json`; -1 when absent.
+double json_number(const std::string& json, const std::string& key) {
+  auto pos = json.find("\"" + key + "\"");
+  if (pos == std::string::npos) return -1;
+  pos = json.find(':', pos);
+  if (pos == std::string::npos) return -1;
+  return std::strtod(json.c_str() + pos + 1, nullptr);
+}
+
+TEST(FlightRecorderTest, RingIsBoundedByCapacity) {
+  Registry registry;
+  RecorderConfig config;
+  config.metrics = &registry;
+  config.capacity = 4;
+  FlightRecorder recorder(config);
+  for (int i = 0; i < 10; ++i) recorder.sample_now();
+  EXPECT_EQ(recorder.sample_count(), 4u);
+  EXPECT_EQ(registry.snapshot().counter("obs.recorder.samples"), 10u);
+}
+
+TEST(FlightRecorderTest, WindowedDeltasAndRatesFromHandDrivenSamples) {
+  Registry registry;
+  RecorderConfig config;
+  config.metrics = &registry;
+  FlightRecorder recorder(config);
+
+  Counter& requests = registry.counter("http.server.requests.GET");
+  recorder.sample_now();
+  requests.add(40);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  recorder.sample_now();
+
+  std::string history = recorder.history_json();
+  EXPECT_NE(history.find("\"windows\""), std::string::npos);
+  EXPECT_NE(history.find("\"1s\""), std::string::npos);
+  EXPECT_NE(history.find("\"10s\""), std::string::npos);
+  EXPECT_NE(history.find("\"60s\""), std::string::npos);
+  // Only two samples: every window clamps to the same span and reports
+  // the same delta. The counter moved by exactly 40 between samples.
+  auto at = history.find("http.server.requests.GET");
+  ASSERT_NE(at, std::string::npos);
+  std::string entry = history.substr(at, 120);
+  EXPECT_EQ(json_number(entry, "delta"), 40);
+  EXPECT_GT(json_number(entry, "per_second"), 0);
+  EXPECT_GT(json_number(history, "span_seconds"), 0);
+  // Derived request rate sums the http.server.requests.* family.
+  EXPECT_GT(json_number(history, "requests_per_second"), 0);
+}
+
+TEST(FlightRecorderTest, GaugeEnvelopesTrackMinAndMax) {
+  Registry registry;
+  RecorderConfig config;
+  config.metrics = &registry;
+  FlightRecorder recorder(config);
+
+  Gauge& depth = registry.gauge("http.server.dispatch_depth");
+  depth.set(5);
+  recorder.sample_now();
+  depth.set(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  recorder.sample_now();
+
+  std::string history = recorder.history_json();
+  auto at = history.find("\"http.server.dispatch_depth\"");
+  ASSERT_NE(at, std::string::npos);
+  std::string entry = history.substr(at, 120);
+  EXPECT_EQ(json_number(entry, "last"), 1);
+  EXPECT_EQ(json_number(entry, "min"), 1);
+  EXPECT_EQ(json_number(entry, "max"), 5);
+}
+
+TEST(FlightRecorderTest, HealthWarmsUpOkThenReactsToLoadSignals) {
+  Registry registry;
+  RecorderConfig config;
+  config.metrics = &registry;
+  FlightRecorder recorder(config);
+
+  // No samples at all: ok (a readiness probe must not flap at boot).
+  EXPECT_EQ(recorder.health().verdict, FlightRecorder::Verdict::kOk);
+
+  Counter& connections = registry.counter("http.server.connections");
+  Counter& shed = registry.counter("http.server.shed");
+  registry.gauge("http.server.workers").set(4);
+
+  // Quiet window: ok, no reasons.
+  recorder.sample_now();
+  connections.add(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  recorder.sample_now();
+  FlightRecorder::Health health = recorder.health();
+  EXPECT_EQ(health.verdict, FlightRecorder::Verdict::kOk);
+  EXPECT_TRUE(health.reasons.empty());
+
+  // A trickle of sheds below the overload rate: degraded, with the
+  // shed count spelled out.
+  connections.add(100);
+  shed.add(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  recorder.sample_now();
+  health = recorder.health();
+  EXPECT_EQ(health.verdict, FlightRecorder::Verdict::kDegraded);
+  ASSERT_FALSE(health.reasons.empty());
+  EXPECT_NE(health.reasons[0].find("shed"), std::string::npos);
+
+  // Heavy shedding: overloaded, and health_json carries the verdict.
+  shed.add(200);
+  connections.add(200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  recorder.sample_now();
+  health = recorder.health();
+  EXPECT_EQ(health.verdict, FlightRecorder::Verdict::kOverloaded);
+  EXPECT_GE(health.shed_rate, config.overloaded_shed_rate);
+  std::string json = recorder.health_json();
+  EXPECT_NE(json.find("\"verdict\": \"overloaded\""), std::string::npos);
+  EXPECT_NE(json.find("shed rate"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, UtilizationAboveThresholdDegrades) {
+  Registry registry;
+  RecorderConfig config;
+  config.metrics = &registry;
+  FlightRecorder recorder(config);
+
+  registry.gauge("http.server.workers").set(1);
+  Counter& busy = registry.counter("http.server.worker_busy_micros.0");
+  recorder.sample_now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Claim ten wall-seconds of busy time — utilization clamps to 1.0,
+  // comfortably over the 0.85 default.
+  busy.add(10'000'000);
+  recorder.sample_now();
+  FlightRecorder::Health health = recorder.health();
+  EXPECT_EQ(health.verdict, FlightRecorder::Verdict::kDegraded);
+  EXPECT_GE(health.worker_utilization, config.degraded_utilization);
+  ASSERT_FALSE(health.reasons.empty());
+  EXPECT_NE(health.reasons[0].find("utilization"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, BackgroundSamplerFillsTheRing) {
+  Registry registry;
+  RecorderConfig config;
+  config.metrics = &registry;
+  config.interval_seconds = 0.01;
+  FlightRecorder recorder(config);
+  ASSERT_TRUE(recorder.start().is_ok());
+  EXPECT_FALSE(recorder.start().is_ok());  // already running
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (recorder.sample_count() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(recorder.sample_count(), 3u);
+  recorder.stop();
+  recorder.stop();  // idempotent
+}
+
+TEST(FlightRecorderTest, HistoryAndHealthEndpointsServeLiveData) {
+  Registry registry;
+  testing::DavStack stack(dbm::Flavor::kGdbm, 5, &registry);
+  ASSERT_TRUE(stack.client().put("/doc.txt", "body").is_ok());
+  stack.recorder->sample_now();
+  stack.recorder->sample_now();
+
+  http::ClientConfig config;
+  config.endpoint = stack.server->endpoint();
+  http::HttpClient scraper(std::move(config));
+
+  auto history = scraper.get("/.well-known/history");
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history.value().status, http::kOk);
+  EXPECT_EQ(*history.value().headers.get("Content-Type"),
+            "application/json");
+  EXPECT_NE(history.value().body.find("\"windows\""), std::string::npos);
+  EXPECT_NE(history.value().body.find("http.server.requests.PUT"),
+            std::string::npos);
+
+  auto health = scraper.get("/.well-known/health");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().status, http::kOk);
+  EXPECT_NE(health.value().body.find("\"verdict\": \"ok\""),
+            std::string::npos);
+  EXPECT_GT(json_number(health.value().body, "uptime_seconds"), 0);
+
+  // Read-only like the other scrape endpoints.
+  http::HttpRequest put;
+  put.method = "PUT";
+  put.target = "/.well-known/health";
+  auto refused = scraper.execute(std::move(put));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused.value().status, http::kMethodNotAllowed);
+}
+
+TEST(FlightRecorderTest, EndpointsReturn404WithoutARecorder) {
+  // A DavServer configured without a recorder must refuse, not crash.
+  Registry registry;
+  dav::DavConfig config;
+  TempDir temp("norec");
+  config.root = temp.path();
+  config.metrics = &registry;
+  dav::DavServer server(config);
+  http::HttpRequest request;
+  request.method = "GET";
+  request.target = "/.well-known/history";
+  EXPECT_EQ(server.handle(request).status, http::kNotFound);
+  request.target = "/.well-known/health";
+  EXPECT_EQ(server.handle(request).status, http::kNotFound);
+}
+
+}  // namespace
+}  // namespace davpse::obs

@@ -9,6 +9,7 @@
 #include "davclient/client.h"
 #include "http/server.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "oodb/client.h"
 #include "oodb/server.h"
 #include "util/fs.h"
@@ -34,11 +35,19 @@ struct DavStack {
                     obs::EventLog* event_log = nullptr,
                     obs::TailSampler* tail = nullptr)
       : temp("davstack"), metrics_(metrics) {
+    // Every stack runs a live flight recorder (as production would), so
+    // /.well-known/history and /health serve real windows in any test;
+    // tests needing dense samples call recorder->sample_now().
+    obs::RecorderConfig recorder_config;
+    recorder_config.interval_seconds = 0.25;
+    recorder_config.metrics = metrics;
+    recorder = std::make_unique<obs::FlightRecorder>(recorder_config);
     dav::DavConfig dav_config;
     dav_config.root = temp.path();
     dav_config.flavor = flavor;
     dav_config.metrics = metrics;
     dav_config.tail_sampler = tail;
+    dav_config.recorder = recorder.get();
     dav = std::make_unique<dav::DavServer>(dav_config);
     http::ServerConfig http_config;
     http_config.endpoint = unique_endpoint("test-dav");
@@ -51,6 +60,7 @@ struct DavStack {
     if (!status.is_ok()) {
       throw std::runtime_error("DavStack start failed: " + status.to_string());
     }
+    (void)recorder->start();
   }
 
   /// New client bound to this stack.
@@ -66,6 +76,9 @@ struct DavStack {
 
   TempDir temp;
   obs::Registry* metrics_ = nullptr;
+  /// Declared before the servers: DavServer::do_history reads it, so it
+  /// must be destroyed after them.
+  std::unique_ptr<obs::FlightRecorder> recorder;
   std::unique_ptr<dav::DavServer> dav;
   std::unique_ptr<http::HttpServer> server;
 };
