@@ -26,6 +26,10 @@ int main() {
               haystack, needles);
 
   DavStack stack;
+  std::printf("Property engine: %s (DAVPSE_PROPERTY_ENGINE)\n\n",
+              std::string(dav::property_engine_name(
+                              stack.dav->config().property_engine))
+                  .c_str());
   {
     auto seeder = stack.client();
     Rng rng(555);
@@ -70,6 +74,16 @@ int main() {
     if (hits != needles) std::abort();
   }
   table.rule();
+  auto snap = stack.metrics.snapshot();
+  std::printf(
+      "\nserver-side SEARCH planning: index_queries=%llu "
+      "index_candidates=%llu scanned_targets=%llu\n",
+      static_cast<unsigned long long>(
+          snap.counter("dav.search.index_queries")),
+      static_cast<unsigned long long>(
+          snap.counter("dav.search.index_candidates")),
+      static_cast<unsigned long long>(
+          snap.counter("dav.search.scanned_targets")));
   std::printf(
       "\nThe sweep ships metadata for every resource in scope and "
       "filters on the client; SEARCH evaluates the predicate where the "

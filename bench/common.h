@@ -66,6 +66,16 @@ struct DavStack {
     dav_config.root = temp.path();
     dav_config.flavor = flavor;
     dav_config.metrics = &metrics;
+    // Engine knob: DAVPSE_PROPERTY_ENGINE=consolidated runs any bench
+    // against the WAL-backed store ("dbm" is the default baseline).
+    if (const char* engine = std::getenv("DAVPSE_PROPERTY_ENGINE")) {
+      if (auto parsed = dav::parse_property_engine(engine)) {
+        dav_config.property_engine = *parsed;
+      } else if (*engine != '\0') {
+        std::fprintf(stderr, "unknown DAVPSE_PROPERTY_ENGINE '%s'\n", engine);
+        std::abort();
+      }
+    }
     // Ablation knob: force PROPFIND streaming on (0) / off (large)
     // regardless of response size.
     dav_config.propfind_stream_threshold = static_cast<size_t>(env_u64(

@@ -1,0 +1,78 @@
+// PropertyStore adapter over dbm::ConsolidatedStore: all resources'
+// dead properties live in one WAL-backed sharded store under
+// <root>/.DAV/propstore instead of one DBM file per resource. Property
+// keys reuse PropertyDb's "<ns>\n<local>" encoding, so the two engines
+// disagree only about placement, never about content.
+//
+// This engine maintains the property→resource secondary index, which
+// is what lets DASL SEARCH stop scanning (supports_index() == true).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dav/property_store.h"
+#include "dbm/consolidated.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace davpse::dav {
+
+class ConsolidatedPropertyStore final : public PropertyStore {
+ public:
+  /// Opens (or recovers) the store under <root>/.DAV/propstore.
+  /// `reads`/`writes` mirror the dav.props.db_reads/db_writes counters
+  /// the DBM engine reports, keeping engine comparisons one metric.
+  ConsolidatedPropertyStore(const std::filesystem::path& root,
+                            obs::Counter* reads = nullptr,
+                            obs::Counter* writes = nullptr,
+                            dbm::ConsolidatedOptions options = {});
+
+  Result<PropertyValue> get(const std::string& path,
+                            const xml::QName& name) const override;
+  Result<PropertyList> get_all(const std::string& path) const override;
+  Result<std::vector<xml::QName>> names(
+      const std::string& path) const override;
+  Status set(const std::string& path, const PropertyList& batch) override;
+  Status remove(const std::string& path,
+                const std::vector<xml::QName>& names) override;
+  Status compact(const std::string& path) override;
+
+  Result<std::vector<PropertyList>> get_many(
+      const std::vector<std::string>& paths,
+      const std::vector<xml::QName>& names) const override;
+
+  Status on_removed(const std::string& path, bool recursive) override;
+  Status on_copied(const std::string& from, const std::string& to,
+                   bool recursive) override;
+  Status on_moved(const std::string& from, const std::string& to,
+                  bool recursive) override;
+  Status remove_under(const std::string& path,
+                      const xml::QName& name) override;
+  Status compact_subtree(const std::string& path) override;
+  uint64_t resource_disk_usage(const std::string&) const override {
+    return 0;  // store bytes live under <root>/.DAV, inside the walk
+  }
+
+  bool supports_index() const override { return true; }
+  Result<std::vector<std::string>> resources_with_property(
+      const xml::QName& name, const std::string& scope) const override;
+
+  std::string_view engine_name() const override { return "consolidated"; }
+
+  /// The underlying engine (benches read its WAL/checkpoint stats);
+  /// nullptr when open failed.
+  dbm::ConsolidatedStore* engine() const { return store_.get(); }
+
+ private:
+  Status ready() const;
+
+  std::unique_ptr<dbm::ConsolidatedStore> store_;
+  Status open_status_;
+  obs::Counter* reads_metric_;
+  obs::Counter* writes_metric_;
+};
+
+}  // namespace davpse::dav

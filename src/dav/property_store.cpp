@@ -1,0 +1,99 @@
+#include "dav/property_store.h"
+
+#include <algorithm>
+
+namespace davpse::dav {
+
+std::string_view property_engine_name(PropertyEngine engine) {
+  switch (engine) {
+    case PropertyEngine::kDbmPerResource: return "dbm";
+    case PropertyEngine::kConsolidated: return "consolidated";
+  }
+  return "dbm";
+}
+
+std::optional<PropertyEngine> parse_property_engine(std::string_view name) {
+  if (name == "dbm") return PropertyEngine::kDbmPerResource;
+  if (name == "consolidated") return PropertyEngine::kConsolidated;
+  return std::nullopt;
+}
+
+Result<std::vector<std::string>> PropertyStore::resources_with_property(
+    const xml::QName& name, const std::string&) const {
+  return Status(ErrorCode::kUnsupported,
+                "engine has no property index: " + name.to_string());
+}
+
+ResourceProps ResourceProps::with_snapshot(PropertyStore* store,
+                                           std::string path,
+                                           PropertyList props) {
+  ResourceProps view(store, std::move(path));
+  view.complete_ = true;
+  view.snapshot_ = std::move(props);
+  return view;
+}
+
+ResourceProps ResourceProps::with_partial_snapshot(
+    PropertyStore* store, std::string path, std::vector<xml::QName> requested,
+    PropertyList props) {
+  ResourceProps view(store, std::move(path));
+  view.requested_ = std::move(requested);
+  view.snapshot_ = std::move(props);
+  return view;
+}
+
+bool ResourceProps::snapshot_covers(const xml::QName& name) const {
+  if (!snapshot_.has_value()) return false;
+  if (complete_) return true;
+  return std::find(requested_.begin(), requested_.end(), name) !=
+         requested_.end();
+}
+
+Result<PropertyValue> ResourceProps::get(const xml::QName& name) const {
+  if (snapshot_covers(name)) {
+    for (const auto& [stored, value] : *snapshot_) {
+      if (stored == name) return value;
+    }
+    return Status(ErrorCode::kNotFound,
+                  "no such property: " + name.to_string());
+  }
+  return store_->get(path_, name);
+}
+
+std::optional<PropertyValue> ResourceProps::find(
+    const xml::QName& name) const {
+  auto value = get(name);
+  if (!value.ok()) return std::nullopt;
+  return std::move(value).value();
+}
+
+Result<PropertyList> ResourceProps::get_all() const {
+  if (snapshot_.has_value() && complete_) return *snapshot_;
+  return store_->get_all(path_);
+}
+
+Result<std::vector<xml::QName>> ResourceProps::names() const {
+  if (snapshot_.has_value() && complete_) {
+    std::vector<xml::QName> out;
+    out.reserve(snapshot_->size());
+    for (const auto& [name, value] : *snapshot_) out.push_back(name);
+    return out;
+  }
+  return store_->names(path_);
+}
+
+Status ResourceProps::set(const PropertyList& batch) {
+  snapshot_.reset();
+  complete_ = false;
+  return store_->set(path_, batch);
+}
+
+Status ResourceProps::remove(const std::vector<xml::QName>& names) {
+  snapshot_.reset();
+  complete_ = false;
+  return store_->remove(path_, names);
+}
+
+Status ResourceProps::compact() { return store_->compact(path_); }
+
+}  // namespace davpse::dav

@@ -1,0 +1,185 @@
+// The property-layer seam: an abstract PropertyStore behind which two
+// engines coexist —
+//
+//   kDbmPerResource  the paper's mod_dav layout, one DBM file per
+//                    resource in a hidden .DAV directory (props.h);
+//                    byte-for-byte the store whose §3.2.4 disk numbers
+//                    the benches reproduce.
+//   kConsolidated    a sharded single-file store with a write-ahead
+//                    log, group commit, and a property→resource index
+//                    (dbm/consolidated.h) that survives millions of
+//                    resources.
+//
+// The interface is path-keyed (the per-resource handle the old code
+// passed around becomes ResourceProps, a thin view) and grows the
+// batched get_many() so PROPFIND depth-1 and SEARCH make one engine
+// pass instead of one open/close cycle per resource.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/qname.h"
+
+namespace davpse::dav {
+
+/// A dead property value: the serialized inner XML of the property
+/// element (escaped character data and/or nested elements carrying
+/// their own namespace declarations).
+struct PropertyValue {
+  std::string inner_xml;
+};
+
+/// Server bookkeeping stored as dead properties under a reserved
+/// namespace; hidden from allprop responses.
+namespace internal_props {
+inline const xml::QName kContentType("urn:davpse:internal", "content-type");
+inline const xml::QName kVersionCount("urn:davpse:internal",
+                                      "version-count");
+}  // namespace internal_props
+
+/// (name, value) pairs of one resource.
+using PropertyList = std::vector<std::pair<xml::QName, PropertyValue>>;
+
+/// Name of the hidden bookkeeping directory (property DBMs, version
+/// snapshots, spool files, the consolidated store).
+inline constexpr std::string_view kDavDirName = ".DAV";
+
+/// Which engine backs the property layer (DavConfig::property_engine).
+enum class PropertyEngine {
+  kDbmPerResource,  // paper-faithful baseline
+  kConsolidated,    // WAL-backed sharded store with secondary index
+};
+
+/// "dbm" / "consolidated" — stable names for knobs and artifacts.
+std::string_view property_engine_name(PropertyEngine engine);
+/// Inverse of property_engine_name; nullopt on anything else.
+std::optional<PropertyEngine> parse_property_engine(std::string_view name);
+
+/// Dead-property storage for a whole repository, keyed by normalized
+/// DAV path. Mutations are serialized by the caller per resource (the
+/// server's store lock); reads may run concurrently with each other.
+class PropertyStore {
+ public:
+  virtual ~PropertyStore() = default;
+
+  // -- per-resource access ----------------------------------------------
+
+  /// kNotFound if the property (or the resource's whole set) is absent.
+  virtual Result<PropertyValue> get(const std::string& path,
+                                    const xml::QName& name) const = 0;
+  /// All dead properties of the resource (empty if none).
+  virtual Result<PropertyList> get_all(const std::string& path) const = 0;
+  /// Names only (PROPFIND propname support).
+  virtual Result<std::vector<xml::QName>> names(
+      const std::string& path) const = 0;
+  /// Sets a batch; values were validated by the caller.
+  virtual Status set(const std::string& path, const PropertyList& batch) = 0;
+  /// Removes properties; missing names are not an error (RFC 2518:
+  /// removing a non-existent property is a no-op success).
+  virtual Status remove(const std::string& path,
+                        const std::vector<xml::QName>& names) = 0;
+  /// Engine-level garbage collection for one resource.
+  virtual Status compact(const std::string& path) = 0;
+
+  // -- batched access ---------------------------------------------------
+
+  /// One engine pass over `paths`: returns a list per path (aligned by
+  /// index). Empty `names` means all dead properties of each path
+  /// (allprop); otherwise only the named properties, with absent names
+  /// simply missing from the list. A path with no properties (or whose
+  /// lookup fails) yields an empty list — the same absent-equals-empty
+  /// view single get() callers observe.
+  virtual Result<std::vector<PropertyList>> get_many(
+      const std::vector<std::string>& paths,
+      const std::vector<xml::QName>& names) const = 0;
+
+  // -- namespace lifecycle (driven by FsRepository) ---------------------
+
+  /// The resource (subtree when `recursive`) was deleted.
+  virtual Status on_removed(const std::string& path, bool recursive) = 0;
+  /// The resource (subtree when `recursive`) was copied `from` → `to`.
+  /// For the DBM engine the filesystem tree copy already carried nested
+  /// .DAV directories; this hook covers whatever the engine keeps
+  /// outside the resource tree.
+  virtual Status on_copied(const std::string& from, const std::string& to,
+                           bool recursive) = 0;
+  /// The resource (subtree when `recursive`) was renamed `from` → `to`.
+  virtual Status on_moved(const std::string& from, const std::string& to,
+                          bool recursive) = 0;
+  /// Removes one property from `path` and every resource below it
+  /// (COPY's strip-version-history pass).
+  virtual Status remove_under(const std::string& path,
+                              const xml::QName& name) = 0;
+  /// Garbage-collects every resource at/under `path` (the paper's
+  /// "manual garbage collection utilities").
+  virtual Status compact_subtree(const std::string& path) = 0;
+  /// Bytes of property storage attributable to exactly this resource,
+  /// for the §3.2.4 disk accounting. Zero for engines whose storage is
+  /// consolidated (their bytes already live under the repository root).
+  virtual uint64_t resource_disk_usage(const std::string& path) const = 0;
+
+  // -- secondary index --------------------------------------------------
+
+  /// True when resources_with_property() answers from an index instead
+  /// of kUnsupported — lets SEARCH skip the full scan.
+  virtual bool supports_index() const { return false; }
+  /// Sorted paths at/under `scope` that define property `name`.
+  virtual Result<std::vector<std::string>> resources_with_property(
+      const xml::QName& name, const std::string& scope) const;
+
+  virtual std::string_view engine_name() const = 0;
+};
+
+/// Per-resource view over a PropertyStore — the handle the server and
+/// repository layers pass around (what a PropertyDb instance used to
+/// be). Optionally backed by a prefetched snapshot from get_many():
+///
+///   * a complete snapshot answers get/get_all/names locally (allprop
+///     prefetch);
+///   * a partial snapshot is authoritative only for the names it was
+///     requested with — including their *absence* — and falls through
+///     to the store for everything else.
+///
+/// Mutations write through to the store and drop the snapshot.
+class ResourceProps {
+ public:
+  ResourceProps(PropertyStore* store, std::string path)
+      : store_(store), path_(std::move(path)) {}
+
+  static ResourceProps with_snapshot(PropertyStore* store, std::string path,
+                                     PropertyList props);
+  static ResourceProps with_partial_snapshot(PropertyStore* store,
+                                             std::string path,
+                                             std::vector<xml::QName> requested,
+                                             PropertyList props);
+
+  /// kNotFound when the property is absent.
+  Result<PropertyValue> get(const xml::QName& name) const;
+  /// Optional-returning accessor: nullopt when the property is absent
+  /// or unreadable — the one-line form of the get().ok() ladders.
+  std::optional<PropertyValue> find(const xml::QName& name) const;
+  Result<PropertyList> get_all() const;
+  Result<std::vector<xml::QName>> names() const;
+  Status set(const PropertyList& batch);
+  Status remove(const std::vector<xml::QName>& names);
+  Status compact();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  bool snapshot_covers(const xml::QName& name) const;
+
+  PropertyStore* store_;
+  std::string path_;
+  bool complete_ = false;                // snapshot covers every name
+  std::vector<xml::QName> requested_;    // partial-snapshot coverage
+  std::optional<PropertyList> snapshot_;
+};
+
+}  // namespace davpse::dav

@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "util/fs.h"
+
 namespace davpse::dav {
 
 namespace fs = std::filesystem;
@@ -103,6 +105,192 @@ Status PropertyDb::compact() {
   auto db = open_existing();
   if (!db.ok()) return db.status();
   return db.value()->compact();
+}
+
+// ---------------------------------------------------------------------------
+// DbmPropertyStore
+
+fs::path DbmPropertyStore::fs_path(const std::string& path) const {
+  if (path == "/") return root_;
+  // `path` is normalized by the server layer: absolute, no "..".
+  return root_ / path.substr(1);
+}
+
+fs::path DbmPropertyStore::db_path_for(const std::string& path) const {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (fs::is_directory(target, ec)) {
+    return target / kDavDirName / ".dir.props";
+  }
+  return target.parent_path() / kDavDirName /
+         (target.filename().string() + ".props");
+}
+
+PropertyDb DbmPropertyStore::db_for(const std::string& path) const {
+  return PropertyDb(db_path_for(path), flavor_, reads_metric_,
+                    writes_metric_);
+}
+
+Result<PropertyValue> DbmPropertyStore::get(const std::string& path,
+                                            const xml::QName& name) const {
+  return db_for(path).get(name);
+}
+
+Result<PropertyList> DbmPropertyStore::get_all(
+    const std::string& path) const {
+  return db_for(path).get_all();
+}
+
+Result<std::vector<xml::QName>> DbmPropertyStore::names(
+    const std::string& path) const {
+  return db_for(path).names();
+}
+
+Status DbmPropertyStore::set(const std::string& path,
+                             const PropertyList& batch) {
+  return db_for(path).set(batch);
+}
+
+Status DbmPropertyStore::remove(const std::string& path,
+                                const std::vector<xml::QName>& names) {
+  return db_for(path).remove(names);
+}
+
+Status DbmPropertyStore::compact(const std::string& path) {
+  return db_for(path).compact();
+}
+
+Result<std::vector<PropertyList>> DbmPropertyStore::get_many(
+    const std::vector<std::string>& paths,
+    const std::vector<xml::QName>& names) const {
+  std::vector<PropertyList> out;
+  out.reserve(paths.size());
+  for (const auto& path : paths) {
+    // One open-query-close per resource (the baseline's batching unit;
+    // previously PROPFIND paid one per *property*).
+    fs::path file = db_path_for(path);
+    std::error_code ec;
+    PropertyList list;
+    if (!fs::exists(file, ec)) {
+      out.push_back(std::move(list));
+      continue;
+    }
+    if (reads_metric_ != nullptr) reads_metric_->add(1);
+    auto db = dbm::open_dbm(file);
+    if (!db.ok()) {
+      out.push_back(std::move(list));
+      continue;
+    }
+    if (names.empty()) {
+      for (const auto& key : db.value()->keys()) {
+        auto raw = db.value()->fetch(key);
+        if (!raw.ok()) continue;
+        list.emplace_back(PropertyDb::decode_key(key),
+                          PropertyValue{std::move(raw).value()});
+      }
+    } else {
+      for (const auto& name : names) {
+        auto raw = db.value()->fetch(PropertyDb::encode_key(name));
+        if (!raw.ok()) continue;
+        list.emplace_back(name, PropertyValue{std::move(raw).value()});
+      }
+    }
+    out.push_back(std::move(list));
+  }
+  return out;
+}
+
+Status DbmPropertyStore::on_removed(const std::string& path, bool recursive) {
+  // Collection bookkeeping lived inside the removed tree; a document's
+  // DBM sits in the surviving parent's .DAV and must go explicitly.
+  if (recursive) return Status::ok();
+  std::error_code ec;
+  fs::remove(db_path_for(path), ec);
+  return Status::ok();
+}
+
+Status DbmPropertyStore::on_copied(const std::string& from,
+                                   const std::string& to, bool recursive) {
+  // The recursive filesystem copy already carried nested .DAV
+  // directories (and thus all collection + member properties).
+  if (recursive) return Status::ok();
+  std::error_code ec;
+  fs::path source_props = db_path_for(from);
+  if (!fs::exists(source_props, ec)) return Status::ok();
+  fs::path dest_props = db_path_for(to);
+  fs::create_directories(dest_props.parent_path(), ec);
+  fs::copy_file(source_props, dest_props,
+                fs::copy_options::overwrite_existing, ec);
+  if (ec) {
+    return error(ErrorCode::kInternal, "property copy failed: " + ec.message());
+  }
+  return Status::ok();
+}
+
+Status DbmPropertyStore::on_moved(const std::string& from,
+                                  const std::string& to, bool recursive) {
+  if (recursive) return Status::ok();
+  std::error_code ec;
+  // The source was already renamed, so the *source's* DBM location must
+  // be derived from the destination's resource kind.
+  fs::path target = fs_path(from);
+  fs::path source_props = target.parent_path() / kDavDirName /
+                          (target.filename().string() + ".props");
+  if (!fs::exists(source_props, ec)) return Status::ok();
+  fs::path dest_props = db_path_for(to);
+  fs::create_directories(dest_props.parent_path(), ec);
+  fs::rename(source_props, dest_props, ec);
+  if (ec) {
+    return error(ErrorCode::kInternal, "property move failed: " + ec.message());
+  }
+  return Status::ok();
+}
+
+Status DbmPropertyStore::remove_under(const std::string& path,
+                                      const xml::QName& name) {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (!fs::is_directory(target, ec)) {
+    return db_for(path).remove({name});
+  }
+  for (auto it = fs::recursive_directory_iterator(target, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& file = it->path();
+    if (file.parent_path().filename() != kDavDirName) continue;
+    if (file.extension() != ".props") continue;
+    PropertyDb db(file, flavor_);
+    DAVPSE_RETURN_IF_ERROR(db.remove({name}));
+  }
+  return Status::ok();
+}
+
+Status DbmPropertyStore::compact_subtree(const std::string& path) {
+  fs::path target = fs_path(path);
+  std::error_code ec;
+  if (!fs::is_directory(target, ec)) {
+    return db_for(path).compact();
+  }
+  for (auto it = fs::recursive_directory_iterator(target, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& file = it->path();
+    if (file.parent_path().filename() != kDavDirName) continue;
+    if (file.extension() != ".props") continue;
+    auto db = dbm::open_dbm(file);
+    if (!db.ok()) return db.status();
+    DAVPSE_RETURN_IF_ERROR(db.value()->compact());
+  }
+  return Status::ok();
+}
+
+uint64_t DbmPropertyStore::resource_disk_usage(const std::string& path) const {
+  std::error_code ec;
+  fs::path target = fs_path(path);
+  if (fs::is_directory(target, ec)) return 0;  // inside the tree walk
+  fs::path props = db_path_for(path);
+  if (!fs::exists(props, ec)) return 0;
+  return davpse::disk_usage(props);
 }
 
 }  // namespace davpse::dav

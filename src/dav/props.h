@@ -5,6 +5,10 @@
 // subdirectory next to the resource and are created lazily — a
 // resource with no metadata has no database file, which is what makes
 // the §3.2.4 disk accounting come out the way the paper reports.
+//
+// PropertyDb is the raw per-resource handle; DbmPropertyStore wraps it
+// into the PropertyStore interface as the paper-faithful baseline
+// engine (PropertyEngine::kDbmPerResource).
 #pragma once
 
 #include <filesystem>
@@ -14,27 +18,13 @@
 #include <string>
 #include <vector>
 
+#include "dav/property_store.h"
 #include "dbm/dbm.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 #include "xml/qname.h"
 
 namespace davpse::dav {
-
-/// A dead property value: the serialized inner XML of the property
-/// element (escaped character data and/or nested elements carrying
-/// their own namespace declarations).
-struct PropertyValue {
-  std::string inner_xml;
-};
-
-/// Server bookkeeping stored as dead properties under a reserved
-/// namespace; hidden from allprop responses.
-namespace internal_props {
-inline const xml::QName kContentType("urn:davpse:internal", "content-type");
-inline const xml::QName kVersionCount("urn:davpse:internal",
-                                      "version-count");
-}  // namespace internal_props
 
 /// Property database for one resource. Opens the per-resource DBM on
 /// demand; all mutations go straight through to the file (one open
@@ -88,6 +78,63 @@ class PropertyDb {
   Result<std::unique_ptr<dbm::Dbm>> open_or_create() const;
 
   std::filesystem::path db_path_;
+  dbm::Flavor flavor_;
+  obs::Counter* reads_metric_;
+  obs::Counter* writes_metric_;
+};
+
+/// The DBM-per-resource engine: PropertyStore over PropertyDb files in
+/// hidden .DAV directories. Every path-level operation maps onto the
+/// exact filesystem bookkeeping FsRepository used to do inline, so the
+/// on-disk layout (and the paper's disk-overhead numbers) are
+/// unchanged. No secondary index — SEARCH scans.
+class DbmPropertyStore final : public PropertyStore {
+ public:
+  /// `root` is the repository root ("/" of the DAV namespace).
+  DbmPropertyStore(std::filesystem::path root, dbm::Flavor flavor,
+                   obs::Counter* reads = nullptr,
+                   obs::Counter* writes = nullptr)
+      : root_(std::move(root)),
+        flavor_(flavor),
+        reads_metric_(reads),
+        writes_metric_(writes) {}
+
+  Result<PropertyValue> get(const std::string& path,
+                            const xml::QName& name) const override;
+  Result<PropertyList> get_all(const std::string& path) const override;
+  Result<std::vector<xml::QName>> names(
+      const std::string& path) const override;
+  Status set(const std::string& path, const PropertyList& batch) override;
+  Status remove(const std::string& path,
+                const std::vector<xml::QName>& names) override;
+  Status compact(const std::string& path) override;
+
+  Result<std::vector<PropertyList>> get_many(
+      const std::vector<std::string>& paths,
+      const std::vector<xml::QName>& names) const override;
+
+  Status on_removed(const std::string& path, bool recursive) override;
+  Status on_copied(const std::string& from, const std::string& to,
+                   bool recursive) override;
+  Status on_moved(const std::string& from, const std::string& to,
+                  bool recursive) override;
+  Status remove_under(const std::string& path,
+                      const xml::QName& name) override;
+  Status compact_subtree(const std::string& path) override;
+  uint64_t resource_disk_usage(const std::string& path) const override;
+
+  std::string_view engine_name() const override { return "dbm"; }
+
+  /// The per-resource handle (the old Repository::properties()).
+  PropertyDb db_for(const std::string& path) const;
+  /// Where the resource's DBM file lives (directory resources keep
+  /// theirs inside their own .DAV; documents in the parent's).
+  std::filesystem::path db_path_for(const std::string& path) const;
+
+ private:
+  std::filesystem::path fs_path(const std::string& path) const;
+
+  std::filesystem::path root_;
   dbm::Flavor flavor_;
   obs::Counter* reads_metric_;
   obs::Counter* writes_metric_;

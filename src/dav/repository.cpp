@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "dav/consolidated_props.h"
 #include "util/fs.h"
 #include "util/uri.h"
 
@@ -11,11 +12,21 @@ namespace davpse::dav {
 namespace fs = std::filesystem;
 
 FsRepository::FsRepository(fs::path root, dbm::Flavor flavor,
-                           obs::Registry* metrics)
-    : root_(std::move(root)), flavor_(flavor) {
+                           obs::Registry* metrics, PropertyEngine engine)
+    : root_(std::move(root)), flavor_(flavor), engine_(engine) {
+  obs::Counter* reads = nullptr;
+  obs::Counter* writes = nullptr;
   if (metrics != nullptr) {
-    prop_reads_metric_ = &metrics->counter("dav.props.db_reads");
-    prop_writes_metric_ = &metrics->counter("dav.props.db_writes");
+    reads = &metrics->counter("dav.props.db_reads");
+    writes = &metrics->counter("dav.props.db_writes");
+  }
+  if (engine_ == PropertyEngine::kConsolidated) {
+    dbm::ConsolidatedOptions options;
+    options.metrics = metrics;  // dbm.consolidated.* next to dav.props.*
+    props_ = std::make_unique<ConsolidatedPropertyStore>(root_, reads, writes,
+                                                         options);
+  } else {
+    props_ = std::make_unique<DbmPropertyStore>(root_, flavor_, reads, writes);
   }
 }
 
@@ -23,16 +34,6 @@ fs::path FsRepository::fs_path(const std::string& path) const {
   if (path == "/") return root_;
   // `path` is normalized by the server layer: absolute, no "..".
   return root_ / path.substr(1);
-}
-
-fs::path FsRepository::prop_db_path(const std::string& path) const {
-  fs::path target = fs_path(path);
-  std::error_code ec;
-  if (fs::is_directory(target, ec)) {
-    return target / kDavDirName / ".dir.props";
-  }
-  return target.parent_path() / kDavDirName /
-         (target.filename().string() + ".props");
 }
 
 ResourceInfo FsRepository::stat(const std::string& path) const {
@@ -210,10 +211,8 @@ Status FsRepository::remove(const std::string& path) {
     return error(ErrorCode::kNotFound, "no such resource: " + path);
   }
   bool is_dir = fs::is_directory(target, ec);
-  // Documents carry a property DBM (and any version history) in the
-  // parent's .DAV directory; collection bookkeeping lives inside the
-  // tree being removed.
-  fs::path props = prop_db_path(path);
+  // Document version history lives in the parent's .DAV directory;
+  // collection bookkeeping lives inside the tree being removed.
   fs::path versions = versions_dir(path);
   fs::remove_all(target, ec);
   if (ec) {
@@ -221,10 +220,9 @@ Status FsRepository::remove(const std::string& path) {
                  "remove failed for " + path + ": " + ec.message());
   }
   if (!is_dir) {
-    fs::remove(props, ec);
     fs::remove_all(versions, ec);
   }
-  return Status::ok();
+  return props_->on_removed(path, is_dir);
 }
 
 Status FsRepository::copy(const std::string& from, const std::string& to) {
@@ -242,26 +240,18 @@ Status FsRepository::copy(const std::string& from, const std::string& to) {
                  "destination parent does not exist: " + parent_path(to));
   }
   if (fs::is_directory(source, ec)) {
-    // Recursive copy carries nested .DAV directories (and thus all
-    // collection + member properties) along with the data.
-    return copy_tree(source, dest);
+    // Recursive copy carries nested .DAV directories along with the
+    // data; the engine hook covers whatever the filesystem walk did
+    // not (per-resource DBM files ride the tree copy, the
+    // consolidated store re-keys the subtree in one batch).
+    DAVPSE_RETURN_IF_ERROR(copy_tree(source, dest));
+    return props_->on_copied(from, to, /*recursive=*/true);
   }
   fs::copy_file(source, dest, ec);
   if (ec) {
     return error(ErrorCode::kInternal, "copy failed: " + ec.message());
   }
-  fs::path source_props = prop_db_path(from);
-  if (fs::exists(source_props, ec)) {
-    fs::path dest_props = prop_db_path(to);
-    fs::create_directories(dest_props.parent_path(), ec);
-    fs::copy_file(source_props, dest_props,
-                  fs::copy_options::overwrite_existing, ec);
-    if (ec) {
-      return error(ErrorCode::kInternal,
-                   "property copy failed: " + ec.message());
-    }
-  }
-  return Status::ok();
+  return props_->on_copied(from, to, /*recursive=*/false);
 }
 
 Status FsRepository::move(const std::string& from, const std::string& to) {
@@ -279,21 +269,14 @@ Status FsRepository::move(const std::string& from, const std::string& to) {
                  "destination parent does not exist: " + parent_path(to));
   }
   bool is_dir = fs::is_directory(source, ec);
-  fs::path source_props = is_dir ? fs::path() : prop_db_path(from);
   fs::rename(source, dest, ec);
   if (ec) {
+    // Cross-filesystem fallback: copy + remove, whose engine hooks
+    // carry the properties along.
     DAVPSE_RETURN_IF_ERROR(copy(from, to));
     return remove(from);
   }
-  if (!is_dir && fs::exists(source_props, ec)) {
-    fs::path dest_props = prop_db_path(to);
-    fs::create_directories(dest_props.parent_path(), ec);
-    fs::rename(source_props, dest_props, ec);
-    if (ec) {
-      return error(ErrorCode::kInternal,
-                   "property move failed: " + ec.message());
-    }
-  }
+  DAVPSE_RETURN_IF_ERROR(props_->on_moved(from, to, is_dir));
   if (!is_dir) {
     // Version history follows the document (MOVE preserves identity;
     // COPY deliberately does not duplicate history).
@@ -309,11 +292,6 @@ Status FsRepository::move(const std::string& from, const std::string& to) {
     }
   }
   return Status::ok();
-}
-
-PropertyDb FsRepository::properties(const std::string& path) const {
-  return PropertyDb(prop_db_path(path), flavor_, prop_reads_metric_,
-                    prop_writes_metric_);
 }
 
 fs::path FsRepository::versions_dir(const std::string& path) const {
@@ -392,22 +370,13 @@ Status FsRepository::strip_version_history(const std::string& path) {
         it.disable_recursion_pending();
       }
     }
-    // ...and the version counters in every member's property DB.
-    for (auto it = fs::recursive_directory_iterator(target, ec);
-         !ec && it != fs::recursive_directory_iterator();
-         it.increment(ec)) {
-      if (!it->is_regular_file(ec)) continue;
-      const fs::path& file = it->path();
-      if (file.parent_path().filename() != kDavDirName) continue;
-      if (file.extension() != ".props") continue;
-      PropertyDb db(file, flavor_);
-      DAVPSE_RETURN_IF_ERROR(db.remove({internal_props::kVersionCount}));
-    }
-    return Status::ok();
+  } else {
+    fs::remove_all(versions_dir(path), ec);
   }
-  fs::remove_all(versions_dir(path), ec);
-  PropertyDb db = properties(path);
-  return db.remove({internal_props::kVersionCount});
+  // ...and the version counters from every member's properties (the
+  // consolidated engine resolves the subtree via its secondary index
+  // instead of walking the filesystem).
+  return props_->remove_under(path, internal_props::kVersionCount);
 }
 
 std::vector<uint32_t> FsRepository::list_versions(
@@ -434,34 +403,16 @@ std::vector<uint32_t> FsRepository::list_versions(
 }
 
 uint64_t FsRepository::disk_usage(const std::string& path) const {
-  fs::path target = fs_path(path);
-  uint64_t total = davpse::disk_usage(target);
-  std::error_code ec;
-  if (!fs::is_directory(target, ec)) {
-    fs::path props = prop_db_path(path);
-    if (fs::exists(props, ec)) total += davpse::disk_usage(props);
-  }
-  return total;
+  // Collections already contain their .DAV bookkeeping (including the
+  // consolidated store at the root); document property bytes that
+  // live *outside* the resource's own subtree are added by the
+  // engine.
+  return davpse::disk_usage(fs_path(path)) +
+         props_->resource_disk_usage(path);
 }
 
 Status FsRepository::compact_all(const std::string& path) {
-  fs::path target = fs_path(path);
-  std::error_code ec;
-  if (!fs::is_directory(target, ec)) {
-    PropertyDb db = properties(path);
-    return db.compact();
-  }
-  for (auto it = fs::recursive_directory_iterator(target, ec);
-       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (!it->is_regular_file(ec)) continue;
-    const fs::path& file = it->path();
-    if (file.parent_path().filename() != kDavDirName) continue;
-    if (file.extension() != ".props") continue;
-    auto db = dbm::open_dbm(file);
-    if (!db.ok()) return db.status();
-    DAVPSE_RETURN_IF_ERROR(db.value()->compact());
-  }
-  return Status::ok();
+  return props_->compact_subtree(path);
 }
 
 }  // namespace davpse::dav

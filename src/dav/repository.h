@@ -1,10 +1,11 @@
 // Filesystem-backed resource store, mirroring mod_dav's persistence:
-// documents are plain files, collections are directories, and each
-// resource's dead properties live in a per-resource DBM file under a
-// hidden ".DAV" subdirectory. Users can therefore see and manipulate
-// raw data files directly — the deployment property the paper calls
-// out ("users still have direct access to the raw data files when
-// needed").
+// documents are plain files, collections are directories, and dead
+// properties live behind a pluggable PropertyStore under a hidden
+// ".DAV" subdirectory — either one DBM file per resource (the paper's
+// layout) or a single consolidated WAL-backed store. Users can
+// therefore see and manipulate raw data files directly — the
+// deployment property the paper calls out ("users still have direct
+// access to the raw data files when needed").
 #pragma once
 
 #include <atomic>
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "dav/property_store.h"
 #include "dav/props.h"
 #include "dbm/dbm.h"
 #include "http/body.h"
@@ -35,10 +37,12 @@ class FsRepository {
  public:
   /// `root` must exist and be a directory; it becomes the DAV "/".
   /// `metrics` (optional) receives "dav.props.db_reads" /
-  /// "dav.props.db_writes" counts from every PropertyDb handed out by
-  /// properties().
+  /// "dav.props.db_writes" counts from every property access. `engine`
+  /// selects the dead-property backend: the paper-faithful
+  /// DBM-per-resource layout, or the consolidated WAL-backed store.
   FsRepository(std::filesystem::path root, dbm::Flavor flavor,
-               obs::Registry* metrics = nullptr);
+               obs::Registry* metrics = nullptr,
+               PropertyEngine engine = PropertyEngine::kDbmPerResource);
 
   // -- inspection -------------------------------------------------------
 
@@ -106,8 +110,16 @@ class FsRepository {
   /// Rename; falls back to copy+delete across filesystems.
   Status move(const std::string& from, const std::string& to);
 
-  /// Dead-property database handle for a resource.
-  PropertyDb properties(const std::string& path) const;
+  /// Dead-property handle for a resource, backed by whichever engine
+  /// the repository was constructed with.
+  ResourceProps properties(const std::string& path) const {
+    return ResourceProps(props_.get(), path);
+  }
+
+  /// The engine behind properties() — for batched access (get_many),
+  /// index queries, and engine-specific bench instrumentation.
+  PropertyStore& property_store() const { return *props_; }
+  PropertyEngine property_engine() const { return engine_; }
 
   // -- linear version history (DeltaV-lite; see dav/server.h) ------------
   // Version snapshots live beside the property DBs in the hidden .DAV
@@ -144,18 +156,14 @@ class FsRepository {
   const std::filesystem::path& root() const { return root_; }
   dbm::Flavor flavor() const { return flavor_; }
 
-  /// Name of the hidden bookkeeping directory.
-  static constexpr std::string_view kDavDirName = ".DAV";
-
  private:
   std::filesystem::path fs_path(const std::string& path) const;
-  std::filesystem::path prop_db_path(const std::string& path) const;
   std::filesystem::path versions_dir(const std::string& path) const;
 
   std::filesystem::path root_;
   dbm::Flavor flavor_;
-  obs::Counter* prop_reads_metric_ = nullptr;
-  obs::Counter* prop_writes_metric_ = nullptr;
+  PropertyEngine engine_;
+  std::unique_ptr<PropertyStore> props_;
   std::atomic<uint64_t> spool_counter_{0};
 };
 

@@ -174,6 +174,56 @@ bool compare_values(SearchOp op, const std::string& a, const std::string& b) {
   }
 }
 
+void collect_search_properties(const SearchExpr& expr,
+                               std::vector<xml::QName>* out) {
+  switch (expr.op) {
+    case SearchOp::kAnd:
+    case SearchOp::kOr:
+    case SearchOp::kNot:
+      for (const SearchExpr& child : expr.children) {
+        collect_search_properties(child, out);
+      }
+      return;
+    case SearchOp::kIsCollection:
+      return;
+    default:
+      out->push_back(expr.prop);
+      return;
+  }
+}
+
+std::optional<std::vector<xml::QName>> index_cover(const SearchExpr& expr) {
+  switch (expr.op) {
+    case SearchOp::kAnd:
+      // Any single covered conjunct bounds the whole conjunction (the
+      // and-matches are a subset of that conjunct's matches).
+      for (const SearchExpr& child : expr.children) {
+        if (auto cover = index_cover(child)) return cover;
+      }
+      return std::nullopt;
+    case SearchOp::kOr: {
+      // A disjunction is covered only if every branch is: the union of
+      // the branch covers bounds the union of the branch matches.
+      std::vector<xml::QName> all;
+      for (const SearchExpr& child : expr.children) {
+        auto cover = index_cover(child);
+        if (!cover) return std::nullopt;
+        all.insert(all.end(), cover->begin(), cover->end());
+      }
+      return all;
+    }
+    case SearchOp::kNot:
+    case SearchOp::kIsCollection:
+      // Can match resources that define nothing — no posting list is
+      // a superset of the matches.
+      return std::nullopt;
+    default:
+      // eq/lt/lte/gt/gte/contains/is-defined: false when the property
+      // is undefined, so the property's posting list covers the leaf.
+      return std::vector<xml::QName>{expr.prop};
+  }
+}
+
 bool evaluate_search(const SearchExpr& expr, const PropertyLookup& lookup,
                      bool is_collection) {
   switch (expr.op) {

@@ -77,4 +77,22 @@ bool evaluate_search(const SearchExpr& expr, const PropertyLookup& lookup,
 /// True when `a` op `b` holds; numeric when both parse as doubles.
 bool compare_values(SearchOp op, const std::string& a, const std::string& b);
 
+/// Appends every property name the expression references — lets the
+/// evaluator prefetch exactly the referenced properties instead of
+/// loading each candidate's full property set.
+void collect_search_properties(const SearchExpr& expr,
+                               std::vector<xml::QName>* out);
+
+/// Index planning: a set of property names whose combined
+/// property→resource posting lists are guaranteed to contain every
+/// resource the expression can match — a resource defining none of
+/// them cannot satisfy `expr` (comparison leaves are false on
+/// undefined properties). nullopt when no such set exists (e.g. the
+/// expression contains not/is-collection, which can match resources
+/// with no properties at all). Candidates still need full evaluation,
+/// and the plan is only valid if every returned name resolves as a
+/// *stored* property — live and dynamic properties match without a
+/// stored value, which the caller must check.
+std::optional<std::vector<xml::QName>> index_cover(const SearchExpr& expr);
+
 }  // namespace davpse::dav

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <ctime>
 #include <mutex>
+#include <set>
 
 #include "dav/search.h"
 #include "http/body.h"
@@ -60,11 +61,11 @@ const xml::QName kVersionName = xml::dav_name("version-name");
 const xml::QName kVersionTree = xml::dav_name("version-tree");
 
 /// Parses the internal version counter; 0 when absent/invalid.
-uint32_t version_count_of(const PropertyDb& db) {
-  auto stored = db.get(kVersionCountProp);
-  if (!stored.ok()) return 0;
+uint32_t version_count_of(const ResourceProps& db) {
+  auto stored = db.find(kVersionCountProp);
+  if (!stored) return 0;
   uint32_t n = 0;
-  for (char c : stored.value().inner_xml) {
+  for (char c : stored->inner_xml) {
     if (c < '0' || c > '9') return 0;
     n = n * 10 + static_cast<uint32_t>(c - '0');
   }
@@ -302,9 +303,15 @@ class MultistatusStreamSource final : public http::BodySource {
       std::shared_lock<std::shared_mutex> lock(server_->store_mutex_);
       size_t batch_end =
           std::min(next_ + kBatchTargets, targets_.size());
-      for (; next_ < batch_end; ++next_) {
+      // One engine pass per batch: the prefetched snapshots turn the
+      // per-target property reads below into local lookups.
+      std::vector<std::string> batch(targets_.begin() + next_,
+                                     targets_.begin() + batch_end);
+      std::vector<ResourceProps> props =
+          server_->prefetch_properties(batch, mode_, wanted_);
+      for (size_t i = 0; next_ < batch_end; ++next_, ++i) {
         server_->emit_propfind_target(&writer_, targets_[next_], mode_,
-                                      wanted_);
+                                      wanted_, props[i]);
       }
       if (next_ == targets_.size()) {
         writer_.end_element();  // </D:multistatus>
@@ -343,7 +350,8 @@ DavServer::DavServer(DavConfig config)
       request_metrics_(metrics_, "dav.server.requests.",
                        "dav.server.latency_seconds.",
                        /*exemplars=*/true),
-      repository_(config_.root, config_.flavor, &metrics_) {
+      repository_(config_.root, config_.flavor, &metrics_,
+                  config_.property_engine) {
   locks_.set_metrics(&metrics_);
 }
 
@@ -530,10 +538,10 @@ HttpResponse DavServer::do_get(const HttpRequest& request,
     return response;
   }
   HttpResponse response = HttpResponse::make(http::kOk);
-  auto content_type = repository_.properties(path).get(kContentTypeProp);
+  auto content_type = repository_.properties(path).find(kContentTypeProp);
   response.headers.set("Content-Type",
-                       content_type.ok() ? content_type.value().inner_xml
-                                         : "application/octet-stream");
+                       content_type ? content_type->inner_xml
+                                    : "application/octet-stream");
   response.headers.set("Last-Modified", http_date(info.mtime_seconds));
   response.headers.set("ETag", etag);
   if (!head_only) {
@@ -617,7 +625,7 @@ HttpResponse DavServer::do_put(const HttpRequest& request,
     status = repository_.write_document(path, request.body);
     if (!status.is_ok()) return error_response(status);
   }
-  PropertyDb db = repository_.properties(path);
+  ResourceProps db = repository_.properties(path);
   if (auto content_type = request.headers.get("Content-Type")) {
     Status prop_status = db.set(
         {{kContentTypeProp, PropertyValue{std::string(*content_type)}}});
@@ -781,19 +789,61 @@ HttpResponse DavServer::do_propfind(const HttpRequest& request,
   writer.prefer_prefix(xml::kDavNamespace, "D");
   writer.declaration();
   writer.start_element(kMultistatus);
-  for (const auto& target : targets) {
-    emit_propfind_target(&writer, target, mode, wanted);
+  std::vector<ResourceProps> props = prefetch_properties(targets, mode, wanted);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    emit_propfind_target(&writer, targets[i], mode, wanted, props[i]);
   }
   writer.end_element();
   return HttpResponse::multistatus(writer.take());
 }
 
+std::vector<ResourceProps> DavServer::prefetch_properties(
+    const std::vector<std::string>& targets, PropfindMode mode,
+    const std::vector<xml::QName>& wanted) {
+  PropertyStore& store = repository_.property_store();
+  std::vector<ResourceProps> out;
+  out.reserve(targets.size());
+  std::vector<xml::QName> needed;
+  if (mode == PropfindMode::kPropList) {
+    for (const auto& name : wanted) {
+      if (name == kGetContentType) {
+        needed.push_back(kContentTypeProp);  // stored dependency
+      } else if (name == kVersionName) {
+        needed.push_back(kVersionCountProp);
+      } else if (!is_live_property(name)) {
+        needed.push_back(name);
+      }
+    }
+  }
+  // Empty `needed` in allprop/propname mode means "everything" — a
+  // complete snapshot per target.
+  auto lists = store.get_many(targets, needed);
+  if (!lists.ok() || lists.value().size() != targets.size()) {
+    // Degrade to fall-through handles; every read goes to the store.
+    for (const auto& target : targets) {
+      out.emplace_back(&store, target);
+    }
+    return out;
+  }
+  auto& snapshots = lists.value();
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (mode == PropfindMode::kPropList) {
+      out.push_back(ResourceProps::with_partial_snapshot(
+          &store, targets[i], needed, std::move(snapshots[i])));
+    } else {
+      out.push_back(ResourceProps::with_snapshot(&store, targets[i],
+                                                 std::move(snapshots[i])));
+    }
+  }
+  return out;
+}
+
 void DavServer::emit_propfind_target(xml::XmlWriter* writer,
                                      const std::string& target,
                                      PropfindMode mode,
-                                     const std::vector<xml::QName>& wanted) {
+                                     const std::vector<xml::QName>& wanted,
+                                     const ResourceProps& db) {
   ResourceInfo target_info = repository_.stat(target);
-  PropertyDb db = repository_.properties(target);
   PropstatGroups groups;
 
   if (mode == PropfindMode::kPropList) {
@@ -807,9 +857,8 @@ void DavServer::emit_propfind_target(xml::XmlWriter* writer,
         }
         continue;
       }
-      auto dead = db.get(name);
-      if (dead.ok()) {
-        groups.found.emplace_back(name, std::move(dead.value().inner_xml));
+      if (auto dead = db.find(name)) {
+        groups.found.emplace_back(name, std::move(dead->inner_xml));
       } else if (auto computed =
                      dynamic_value(target, target_info, db, name)) {
         groups.found.emplace_back(name, xml::escape_text(*computed));
@@ -891,7 +940,7 @@ HttpResponse DavServer::do_proppatch(const HttpRequest& request,
     }
   }
 
-  PropertyDb db = repository_.properties(path);
+  ResourceProps db = repository_.properties(path);
   if (failure.is_ok()) {
     std::vector<std::pair<xml::QName, PropertyValue>> sets;
     std::vector<xml::QName> removes;
@@ -1013,7 +1062,7 @@ bool DavServer::is_live_property(const xml::QName& name) {
 
 bool DavServer::live_property_value(const std::string& path,
                                     const ResourceInfo& info,
-                                    const PropertyDb& db,
+                                    const ResourceProps& db,
                                     const xml::QName& name,
                                     std::string* inner) {
   if (name == kResourceType) {
@@ -1044,9 +1093,9 @@ bool DavServer::live_property_value(const std::string& path,
   }
   if (name == kGetContentType) {
     if (info.kind != ResourceKind::kDocument) return false;
-    auto stored = db.get(kContentTypeProp);
-    *inner = xml::escape_text(stored.ok() ? stored.value().inner_xml
-                                          : "application/octet-stream");
+    auto stored = db.find(kContentTypeProp);
+    *inner = xml::escape_text(stored ? stored->inner_xml
+                                     : "application/octet-stream");
     return true;
   }
   if (name == kDisplayName) {
@@ -1083,15 +1132,15 @@ bool DavServer::live_property_value(const std::string& path,
 
 std::optional<std::string> DavServer::dynamic_value(const std::string& path,
                                                     const ResourceInfo& info,
-                                                    const PropertyDb& db,
+                                                    const ResourceProps& db,
                                                     const xml::QName& name) {
   if (!dynamic_props_.has(name)) return std::nullopt;
   DynamicContext context{
       path, info,
       [&db](const xml::QName& dead_name) -> std::optional<std::string> {
-        auto value = db.get(dead_name);
-        if (!value.ok()) return std::nullopt;
-        return xml::unescape_text(value.value().inner_xml);
+        auto value = db.find(dead_name);
+        if (!value) return std::nullopt;
+        return xml::unescape_text(value->inner_xml);
       },
       [this, &path] { return repository_.read_document(path); }};
   return dynamic_props_.compute(name, context);
@@ -1139,15 +1188,103 @@ HttpResponse DavServer::do_search(const HttpRequest& request) {
                               "search scope does not exist\n");
   }
 
+  PropertyStore& store = repository_.property_store();
+
+  // Index planning: when the engine maintains a property→resource
+  // index and the where-clause is bounded by stored-property posting
+  // lists, evaluate only those candidates instead of walking the
+  // whole scope. Live and dynamic properties disqualify the plan —
+  // they match resources with no stored value.
+  std::vector<std::string> targets;
+  bool planned = false;
+  if (search.where && store.supports_index()) {
+    if (auto cover = index_cover(*search.where)) {
+      bool stored_only = true;
+      for (const xml::QName& name : *cover) {
+        if (is_live_property(name) || dynamic_props_.has(name)) {
+          stored_only = false;
+          break;
+        }
+      }
+      if (stored_only) {
+        std::set<std::string> candidates;
+        Status index_status = Status::ok();
+        for (const xml::QName& name : *cover) {
+          auto resources = store.resources_with_property(name, search.scope);
+          if (!resources.ok()) {
+            index_status = resources.status();
+            break;
+          }
+          for (auto& resource : resources.value()) {
+            candidates.insert(std::move(resource));
+          }
+        }
+        if (index_status.is_ok()) {
+          for (const std::string& candidate : candidates) {
+            if (!search.depth_infinity && candidate != search.scope &&
+                parent_path(candidate) != search.scope) {
+              continue;  // depth 1: scope and direct members only
+            }
+            targets.push_back(candidate);
+          }
+          planned = true;
+          metrics_.counter("dav.search.index_queries").add(1);
+          metrics_.counter("dav.search.index_candidates")
+              .add(targets.size());
+        }
+      }
+    }
+  }
+  if (!planned) {
+    targets = collect_targets(search.scope, /*include_children=*/true,
+                              search.depth_infinity);
+    metrics_.counter("dav.search.scanned_targets").add(targets.size());
+  }
+
+  // One engine pass prefetching exactly the referenced properties
+  // (where-clause + select, plus stored dependencies of live ones);
+  // evaluation below then reads local snapshots. Nothing referenced
+  // means nothing to prefetch — plain fall-through handles.
+  std::vector<xml::QName> needed;
+  {
+    std::vector<xml::QName> referenced;
+    if (search.where) collect_search_properties(*search.where, &referenced);
+    referenced.insert(referenced.end(), search.select.begin(),
+                      search.select.end());
+    for (const xml::QName& name : referenced) {
+      if (name == kGetContentType) {
+        needed.push_back(kContentTypeProp);
+      } else if (name == kVersionName) {
+        needed.push_back(kVersionCountProp);
+      } else if (!is_live_property(name)) {
+        needed.push_back(name);
+      }
+    }
+  }
+  std::vector<ResourceProps> props;
+  props.reserve(targets.size());
+  if (!needed.empty()) {
+    auto lists = store.get_many(targets, needed);
+    if (lists.ok() && lists.value().size() == targets.size()) {
+      for (size_t i = 0; i < targets.size(); ++i) {
+        props.push_back(ResourceProps::with_partial_snapshot(
+            &store, targets[i], needed, std::move(lists.value()[i])));
+      }
+    }
+  }
+  if (props.size() != targets.size()) {
+    props.clear();
+    for (const auto& target : targets) props.emplace_back(&store, target);
+  }
+
   xml::XmlWriter writer;
   writer.prefer_prefix(xml::kDavNamespace, "D");
   writer.declaration();
   writer.start_element(kMultistatus);
-  for (const std::string& target :
-       collect_targets(search.scope, /*include_children=*/true,
-                       search.depth_infinity)) {
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const std::string& target = targets[i];
+    const ResourceProps& db = props[i];
     ResourceInfo info = repository_.stat(target);
-    PropertyDb db = repository_.properties(target);
 
     // Raw-text property view for expression evaluation: live values
     // as rendered, dead values unescaped.
@@ -1160,8 +1297,9 @@ HttpResponse DavServer::do_search(const HttpRequest& request) {
         }
         return xml::unescape_text(inner);
       }
-      auto dead = db.get(name);
-      if (dead.ok()) return xml::unescape_text(dead.value().inner_xml);
+      if (auto dead = db.find(name)) {
+        return xml::unescape_text(dead->inner_xml);
+      }
       return dynamic_value(target, info, db, name);
     };
 
@@ -1182,9 +1320,8 @@ HttpResponse DavServer::do_search(const HttpRequest& request) {
         }
         continue;
       }
-      auto dead = db.get(name);
-      if (dead.ok()) {
-        groups.found.emplace_back(name, std::move(dead.value().inner_xml));
+      if (auto dead = db.find(name)) {
+        groups.found.emplace_back(name, std::move(dead->inner_xml));
       } else if (auto computed = dynamic_value(target, info, db, name)) {
         groups.found.emplace_back(name, xml::escape_text(*computed));
       } else {
@@ -1209,7 +1346,7 @@ HttpResponse DavServer::do_version_control(const HttpRequest& request,
     return HttpResponse::make(http::kMethodNotAllowed,
                               "collections cannot be version-controlled\n");
   }
-  PropertyDb db = repository_.properties(path);
+  ResourceProps db = repository_.properties(path);
   if (version_count_of(db) > 0) {
     return HttpResponse::make(http::kOk);  // idempotent
   }
@@ -1237,7 +1374,7 @@ HttpResponse DavServer::do_report(const HttpRequest& request,
   if (info.kind == ResourceKind::kMissing) {
     return HttpResponse::make(http::kNotFound, "no such resource\n");
   }
-  PropertyDb db = repository_.properties(path);
+  ResourceProps db = repository_.properties(path);
   if (version_count_of(db) == 0) {
     return HttpResponse::make(http::kConflict,
                               "resource is not under version control\n");

@@ -37,6 +37,11 @@ namespace davpse::dav {
 struct DavConfig {
   std::filesystem::path root;
   dbm::Flavor flavor = dbm::Flavor::kGdbm;
+  /// Which engine backs dead properties: the paper's DBM-per-resource
+  /// layout (default, byte-for-byte faithful), or the consolidated
+  /// WAL-backed store whose property→resource index lets SEARCH skip
+  /// the full scan. `flavor` only matters for the DBM engine.
+  PropertyEngine property_engine = PropertyEngine::kDbmPerResource;
   uint64_t max_property_bytes = 10ull * 1024 * 1024;
   double default_lock_timeout_seconds = 600;
   /// Registry receiving "dav.server.*" / "dav.locks.*" / "dav.props.*"
@@ -137,11 +142,23 @@ class DavServer : public http::Handler {
   enum class PropfindMode { kAllProp, kPropName, kPropList };
 
   /// Emits one <D:response> for `target` into `writer`, resolving
-  /// live/dead/dynamic properties per `mode`. Shared by the eager and
-  /// streaming multistatus paths so they serialize identically.
+  /// live/dead/dynamic properties per `mode` against the (usually
+  /// prefetched) property view `db`. Shared by the eager and streaming
+  /// multistatus paths so they serialize identically.
   void emit_propfind_target(xml::XmlWriter* writer, const std::string& target,
                             PropfindMode mode,
-                            const std::vector<xml::QName>& wanted);
+                            const std::vector<xml::QName>& wanted,
+                            const ResourceProps& db);
+
+  /// One engine pass (PropertyStore::get_many) building a snapshot-
+  /// backed ResourceProps per target: a complete snapshot for
+  /// allprop/propname, a partial snapshot of the wanted names (plus
+  /// the stored dependencies of wanted live properties) for prop
+  /// lists. Falls back to plain fall-through handles if the batched
+  /// read fails.
+  std::vector<ResourceProps> prefetch_properties(
+      const std::vector<std::string>& targets, PropfindMode mode,
+      const std::vector<xml::QName>& wanted);
 
   /// True for the live (server-computed) property names.
   static bool is_live_property(const xml::QName& name);
@@ -149,7 +166,7 @@ class DavServer : public http::Handler {
   /// property does not apply to this resource (e.g. getcontentlength
   /// on a collection).
   bool live_property_value(const std::string& path,
-                           const ResourceInfo& info, const PropertyDb& db,
+                           const ResourceInfo& info, const ResourceProps& db,
                            const xml::QName& name, std::string* inner);
   /// Resources at/under `path` honoring the depth rules (self always
   /// included; one level for depth-1; full walk for infinity).
@@ -160,7 +177,7 @@ class DavServer : public http::Handler {
   /// nullopt when no provider applies.
   std::optional<std::string> dynamic_value(const std::string& path,
                                            const ResourceInfo& info,
-                                           const PropertyDb& db,
+                                           const ResourceProps& db,
                                            const xml::QName& name);
 
   friend class MultistatusStreamSource;

@@ -1,0 +1,681 @@
+#include "dbm/consolidated.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/fs.h"
+
+namespace davpse::dbm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0xDA7B10C5;  // one WAL batch record
+constexpr uint64_t kShardMagic = 0x4450534844424D31ull;   // "DPSHDBM1"
+constexpr uint64_t kManifestMagic = 0x44504D414E494631ull;  // "DPMANIF1"
+constexpr size_t kRecordHeader = 4 + 8 + 4 + 4;  // magic|seq|len|crc
+
+// -- little-endian framing --------------------------------------------------
+
+void put_u32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void put_u64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+uint32_t get_u32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t get_u64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+/// Bounds-checked sequential reader over a byte buffer.
+struct Reader {
+  const char* p;
+  size_t left;
+
+  bool u8(uint8_t* out) {
+    if (left < 1) return false;
+    *out = static_cast<uint8_t>(*p);
+    ++p;
+    --left;
+    return true;
+  }
+  bool u32(uint32_t* out) {
+    if (left < 4) return false;
+    *out = get_u32(p);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool str(size_t n, std::string* out) {
+    if (left < n) return false;
+    out->assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+uint32_t crc32_of(const char* data, size_t len) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ static_cast<uint8_t>(data[i])) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string encode_ops(const std::vector<ConsolidatedStore::Op>& batch) {
+  std::string out;
+  for (const auto& op : batch) {
+    out.push_back(static_cast<char>(op.kind));
+    put_u32(&out, static_cast<uint32_t>(op.resource.size()));
+    put_u32(&out, static_cast<uint32_t>(op.key.size()));
+    put_u32(&out, static_cast<uint32_t>(op.value.size()));
+    out += op.resource;
+    out += op.key;
+    out += op.value;
+  }
+  return out;
+}
+
+bool decode_ops(const char* data, size_t len,
+                std::vector<ConsolidatedStore::Op>* out) {
+  Reader r{data, len};
+  while (r.left > 0) {
+    uint8_t kind = 0;
+    uint32_t rlen = 0, klen = 0, vlen = 0;
+    ConsolidatedStore::Op op;
+    if (!r.u8(&kind) || !r.u32(&rlen) || !r.u32(&klen) || !r.u32(&vlen) ||
+        !r.str(rlen, &op.resource) || !r.str(klen, &op.key) ||
+        !r.str(vlen, &op.value)) {
+      return false;
+    }
+    if (kind < 1 || kind > 5) return false;
+    op.kind = static_cast<ConsolidatedStore::Op::Kind>(kind);
+    out->push_back(std::move(op));
+  }
+  return true;
+}
+
+void append_record(std::string* out, uint64_t seq, const std::string& payload) {
+  put_u32(out, kRecordMagic);
+  put_u64(out, seq);
+  put_u32(out, static_cast<uint32_t>(payload.size()));
+  put_u32(out, crc32_of(payload.data(), payload.size()));
+  *out += payload;
+}
+
+/// True when `path` is `prefix` or lies below it.
+bool in_subtree(const std::string& path, const std::string& prefix) {
+  if (path == prefix) return true;
+  if (prefix == "/") return path.size() > 1 && path.front() == '/';
+  return path.size() > prefix.size() + 1 &&
+         path.compare(0, prefix.size(), prefix) == 0 &&
+         path[prefix.size()] == '/';
+}
+
+uint64_t entry_bytes(const std::string& r, const std::string& k,
+                     const std::string& v) {
+  return 12 + r.size() + k.size() + v.size();  // 3×u32 framing
+}
+
+}  // namespace
+
+ConsolidatedStore::ConsolidatedStore(fs::path dir,
+                                     const ConsolidatedOptions& options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.shard_count == 0) options_.shard_count = 1;
+  shards_.resize(options_.shard_count);
+  obs::Registry& registry = obs::registry_or_global(options_.metrics);
+  batches_ = &registry.counter("dbm.consolidated.batches");
+  wal_flushes_ = &registry.counter("dbm.consolidated.wal_flushes");
+  wal_bytes_metric_ = &registry.counter("dbm.consolidated.wal_bytes");
+  checkpoints_ = &registry.counter("dbm.consolidated.checkpoints");
+  replayed_records_ = &registry.counter("dbm.consolidated.replayed_records");
+  torn_records_ = &registry.counter("dbm.consolidated.torn_records");
+  fetches_ = &registry.counter("dbm.consolidated.fetch");
+  index_queries_ = &registry.counter("dbm.consolidated.index_queries");
+}
+
+ConsolidatedStore::~ConsolidatedStore() {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (wal_.is_open()) wal_.close();
+}
+
+fs::path ConsolidatedStore::wal_path() const { return dir_ / "wal.log"; }
+fs::path ConsolidatedStore::manifest_path() const { return dir_ / "MANIFEST"; }
+
+fs::path ConsolidatedStore::shard_path(size_t shard,
+                                       uint64_t generation) const {
+  return dir_ / ("shard-" + std::to_string(shard) + ".g" +
+                 std::to_string(generation) + ".kv");
+}
+
+size_t ConsolidatedStore::shard_of(const std::string& resource) const {
+  return std::hash<std::string>{}(resource) % options_.shard_count;
+}
+
+Result<std::unique_ptr<ConsolidatedStore>> ConsolidatedStore::open(
+    const fs::path& dir, const ConsolidatedOptions& options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status(ErrorCode::kInternal,
+                  "cannot create property store directory: " + ec.message());
+  }
+  std::unique_ptr<ConsolidatedStore> store(
+      new ConsolidatedStore(dir, options));
+  uint64_t checkpoint_seq = 0;
+  uint64_t generation = 0;
+  DAVPSE_RETURN_IF_ERROR(store->load_checkpoint(&checkpoint_seq, &generation));
+  store->generation_ = generation;
+  DAVPSE_RETURN_IF_ERROR(store->replay_wal(checkpoint_seq));
+  // Retire images from interrupted or superseded checkpoints.
+  for (auto it = fs::directory_iterator(dir, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    std::string name = it->path().filename().string();
+    if (name.rfind("shard-", 0) != 0) continue;
+    auto gen_at = name.rfind(".g");
+    if (gen_at == std::string::npos) continue;
+    std::string gen_str =
+        name.substr(gen_at + 2, name.size() - gen_at - 2 - 3);  // strip ".kv"
+    if (gen_str != std::to_string(generation)) {
+      std::error_code rm;
+      fs::remove(it->path(), rm);
+    }
+  }
+  return store;
+}
+
+Status ConsolidatedStore::load_checkpoint(uint64_t* checkpoint_seq,
+                                          uint64_t* generation) {
+  *checkpoint_seq = 0;
+  *generation = 0;
+  std::error_code ec;
+  if (!fs::exists(manifest_path(), ec)) return Status::ok();
+  std::string manifest;
+  DAVPSE_RETURN_IF_ERROR(read_file(manifest_path(), &manifest));
+  if (manifest.size() != 24 || get_u64(manifest.data()) != kManifestMagic) {
+    return Status(ErrorCode::kMalformed, "corrupt property-store manifest");
+  }
+  *generation = get_u64(manifest.data() + 8);
+  *checkpoint_seq = get_u64(manifest.data() + 16);
+
+  for (size_t i = 0; i < options_.shard_count; ++i) {
+    fs::path image_path = shard_path(i, *generation);
+    if (!fs::exists(image_path, ec)) continue;  // empty shard
+    std::string image;
+    DAVPSE_RETURN_IF_ERROR(read_file(image_path, &image));
+    if (image.size() < 8 || get_u64(image.data()) != kShardMagic) {
+      return Status(ErrorCode::kMalformed,
+                    "corrupt shard image: " + image_path.string());
+    }
+    Reader r{image.data() + 8, image.size() - 8};
+    while (r.left > 0) {
+      uint32_t rlen = 0, klen = 0, vlen = 0;
+      std::string resource, key, value;
+      if (!r.u32(&rlen) || !r.u32(&klen) || !r.u32(&vlen) ||
+          !r.str(rlen, &resource) || !r.str(klen, &key) ||
+          !r.str(vlen, &value)) {
+        return Status(ErrorCode::kMalformed,
+                      "truncated shard image: " + image_path.string());
+      }
+      state_set(resource, key, value);
+    }
+  }
+  return Status::ok();
+}
+
+Status ConsolidatedStore::replay_wal(uint64_t checkpoint_seq) {
+  std::error_code ec;
+  uint64_t last_seq = checkpoint_seq;
+  std::string buf;
+  size_t good = 0;
+  bool existed = fs::exists(wal_path(), ec);
+  if (existed) {
+    DAVPSE_RETURN_IF_ERROR(read_file(wal_path(), &buf));
+    size_t off = 0;
+    while (off + kRecordHeader <= buf.size()) {
+      const char* rec = buf.data() + off;
+      if (get_u32(rec) != kRecordMagic) break;
+      uint64_t seq = get_u64(rec + 4);
+      uint32_t len = get_u32(rec + 12);
+      uint32_t crc = get_u32(rec + 16);
+      if (off + kRecordHeader + len > buf.size()) break;
+      const char* payload = rec + kRecordHeader;
+      if (crc32_of(payload, len) != crc) break;
+      std::vector<Op> ops;
+      if (!decode_ops(payload, len, &ops)) break;
+      // Records at or below the checkpoint are already inside the shard
+      // images (a crash between MANIFEST publish and WAL truncation
+      // leaves them behind); replaying them would double-apply tree ops.
+      if (seq > checkpoint_seq) {
+        apply_to_state(ops);
+        replayed_records_->add(1);
+      }
+      if (seq > last_seq) last_seq = seq;
+      off += kRecordHeader + len;
+      good = off;
+    }
+    if (good < buf.size()) {
+      // Torn tail from a crash mid-group-commit: drop it so the next
+      // append starts at a clean record boundary.
+      torn_records_->add(1);
+      fs::resize_file(wal_path(), good, ec);
+      if (ec) {
+        return Status(ErrorCode::kInternal,
+                      "cannot truncate torn WAL: " + ec.message());
+      }
+    }
+  }
+  next_seq_ = last_seq + 1;
+  durable_seq_ = last_seq;
+  wal_written_ = good;
+  wal_.open(wal_path(), std::ios::binary | std::ios::app);
+  if (!wal_) {
+    return Status(ErrorCode::kInternal,
+                  "cannot open WAL: " + wal_path().string());
+  }
+  return Status::ok();
+}
+
+Status ConsolidatedStore::write_wal(const std::string& buf) {
+  uint64_t allowed = buf.size();
+  bool injected = false;
+  if (options_.fail_after_wal_bytes > 0 &&
+      wal_written_ + buf.size() > options_.fail_after_wal_bytes) {
+    allowed = options_.fail_after_wal_bytes > wal_written_
+                  ? options_.fail_after_wal_bytes - wal_written_
+                  : 0;
+    injected = true;
+  }
+  if (allowed > 0) {
+    wal_.write(buf.data(), static_cast<std::streamsize>(allowed));
+    wal_.flush();
+    if (!wal_) {
+      return Status(ErrorCode::kInternal, "WAL write failed");
+    }
+    wal_written_ += allowed;
+    wal_bytes_metric_->add(allowed);
+  }
+  if (injected) {
+    return Status(ErrorCode::kUnavailable,
+                  "injected WAL crash after " +
+                      std::to_string(options_.fail_after_wal_bytes) +
+                      " bytes");
+  }
+  wal_flushes_->add(1);
+  return Status::ok();
+}
+
+Status ConsolidatedStore::apply(const std::vector<Op>& batch) {
+  if (batch.empty()) return Status::ok();
+  std::string payload = encode_ops(batch);
+  std::unique_lock<std::mutex> lock(wal_mutex_);
+  if (!wal_status_.is_ok()) return wal_status_;
+  uint64_t seq = next_seq_++;
+  append_record(&pending_, seq, payload);
+  pending_last_seq_ = seq;
+  batches_->add(1);
+  {
+    // Visibility in enqueue (= WAL) order. Readers may observe a batch
+    // before its group flush lands; apply() only reports success once
+    // the record is durable.
+    std::unique_lock<std::shared_mutex> state(state_mutex_);
+    apply_to_state(batch);
+  }
+  // Group commit: the first writer to find no flush in progress drains
+  // the shared pending buffer for everyone; the rest wait on the
+  // condition variable until a leader's flush covers their record.
+  while (durable_seq_ < seq) {
+    if (!wal_status_.is_ok()) return wal_status_;
+    if (!flush_in_progress_) {
+      flush_in_progress_ = true;
+      std::string buf;
+      buf.swap(pending_);
+      uint64_t upto = pending_last_seq_;
+      lock.unlock();
+      Status wrote = write_wal(buf);
+      lock.lock();
+      flush_in_progress_ = false;
+      if (wrote.is_ok()) {
+        durable_seq_ = upto;
+      } else {
+        wal_status_ = wrote;
+      }
+      wal_cv_.notify_all();
+      if (!wrote.is_ok()) return wrote;
+    } else {
+      wal_cv_.wait(lock);
+    }
+  }
+  bool want_checkpoint = wal_written_ >= options_.checkpoint_wal_bytes;
+  lock.unlock();
+  if (want_checkpoint) maybe_checkpoint();
+  return Status::ok();
+}
+
+void ConsolidatedStore::apply_to_state(const std::vector<Op>& batch) {
+  for (const auto& op : batch) {
+    switch (op.kind) {
+      case Op::Kind::kSet:
+        state_set(op.resource, op.key, op.value);
+        break;
+      case Op::Kind::kRemoveKey:
+        state_remove_key(op.resource, op.key);
+        break;
+      case Op::Kind::kRemoveTree:
+        state_remove_tree(op.resource);
+        break;
+      case Op::Kind::kCopyTree:
+      case Op::Kind::kMoveTree: {
+        const std::string& from = op.resource;
+        const std::string& to = op.key;
+        std::vector<std::pair<std::string,
+                              std::map<std::string, std::string>>> moved;
+        for (const std::string& resource : state_subtree(from)) {
+          std::string dest = to + resource.substr(from.size());
+          moved.emplace_back(std::move(dest),
+                             shards_[shard_of(resource)].resources[resource]);
+        }
+        state_remove_tree(to);
+        if (op.kind == Op::Kind::kMoveTree) state_remove_tree(from);
+        for (auto& [dest, props] : moved) {
+          for (auto& [key, value] : props) state_set(dest, key, value);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ConsolidatedStore::state_set(const std::string& resource,
+                                  const std::string& key,
+                                  const std::string& value) {
+  auto& props = shards_[shard_of(resource)].resources[resource];
+  auto [it, inserted] = props.try_emplace(key, value);
+  if (inserted) {
+    if (props.size() == 1) {
+      ++resource_count_;
+      resource_names_.insert(resource);
+    }
+    live_bytes_ += entry_bytes(resource, key, value);
+    index_[key].insert(resource);
+  } else {
+    live_bytes_ += value.size();
+    live_bytes_ -= it->second.size();
+    it->second = value;
+  }
+}
+
+void ConsolidatedStore::state_remove_key(const std::string& resource,
+                                         const std::string& key) {
+  auto& resources = shards_[shard_of(resource)].resources;
+  auto res_it = resources.find(resource);
+  if (res_it == resources.end()) return;
+  auto key_it = res_it->second.find(key);
+  if (key_it == res_it->second.end()) return;
+  live_bytes_ -= entry_bytes(resource, key, key_it->second);
+  res_it->second.erase(key_it);
+  if (res_it->second.empty()) {
+    resources.erase(res_it);
+    --resource_count_;
+    resource_names_.erase(resource);
+  }
+  auto idx_it = index_.find(key);
+  if (idx_it != index_.end()) {
+    idx_it->second.erase(resource);
+    if (idx_it->second.empty()) index_.erase(idx_it);
+  }
+}
+
+std::vector<std::string> ConsolidatedStore::state_subtree(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  auto exact = resource_names_.find(prefix);
+  if (exact != resource_names_.end()) out.push_back(*exact);
+  std::string below = prefix == "/" ? "/" : prefix + "/";
+  for (auto it = resource_names_.lower_bound(below);
+       it != resource_names_.end(); ++it) {
+    if (it->compare(0, below.size(), below) != 0) break;
+    if (*it == prefix) continue;  // root prefix: "/" itself has no slash tail
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void ConsolidatedStore::state_remove_tree(const std::string& prefix) {
+  for (const std::string& resource : state_subtree(prefix)) {
+    // Copy the key list: state_remove_key mutates the map.
+    std::vector<std::string> keys;
+    for (const auto& [key, value] :
+         shards_[shard_of(resource)].resources[resource]) {
+      keys.push_back(key);
+    }
+    for (const std::string& key : keys) state_remove_key(resource, key);
+  }
+}
+
+Result<std::string> ConsolidatedStore::fetch(const std::string& resource,
+                                             const std::string& key) const {
+  fetches_->add(1);
+  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  const auto& resources = shards_[shard_of(resource)].resources;
+  auto res_it = resources.find(resource);
+  if (res_it == resources.end()) {
+    return Status(ErrorCode::kNotFound, "no properties on " + resource);
+  }
+  auto key_it = res_it->second.find(key);
+  if (key_it == res_it->second.end()) {
+    return Status(ErrorCode::kNotFound, "no such key on " + resource);
+  }
+  return key_it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> ConsolidatedStore::fetch_all(
+    const std::string& resource) const {
+  fetches_->add(1);
+  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto& resources = shards_[shard_of(resource)].resources;
+  auto res_it = resources.find(resource);
+  if (res_it == resources.end()) return out;
+  out.assign(res_it->second.begin(), res_it->second.end());
+  return out;
+}
+
+std::vector<std::vector<std::pair<std::string, std::string>>>
+ConsolidatedStore::fetch_many(const std::vector<std::string>& resources,
+                              const std::vector<std::string>& keys) const {
+  fetches_->add(1);
+  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  std::vector<std::vector<std::pair<std::string, std::string>>> out;
+  out.reserve(resources.size());
+  for (const auto& resource : resources) {
+    std::vector<std::pair<std::string, std::string>> list;
+    const auto& shard = shards_[shard_of(resource)].resources;
+    auto res_it = shard.find(resource);
+    if (res_it != shard.end()) {
+      if (keys.empty()) {
+        list.assign(res_it->second.begin(), res_it->second.end());
+      } else {
+        for (const auto& key : keys) {
+          auto key_it = res_it->second.find(key);
+          if (key_it != res_it->second.end()) {
+            list.emplace_back(key_it->first, key_it->second);
+          }
+        }
+      }
+    }
+    out.push_back(std::move(list));
+  }
+  return out;
+}
+
+std::vector<std::string> ConsolidatedStore::resources_with_key(
+    const std::string& key) const {
+  index_queries_->add(1);
+  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return {};
+  std::vector<std::string> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t ConsolidatedStore::resource_count() const {
+  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  return resource_count_;
+}
+
+uint64_t ConsolidatedStore::live_bytes() const {
+  std::shared_lock<std::shared_mutex> state(state_mutex_);
+  return live_bytes_;
+}
+
+uint64_t ConsolidatedStore::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  return wal_written_;
+}
+
+uint64_t ConsolidatedStore::disk_bytes() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  uint64_t total = wal_written_;
+  std::error_code ec;
+  for (size_t i = 0; i < options_.shard_count; ++i) {
+    fs::path image = shard_path(i, generation_);
+    if (fs::exists(image, ec)) total += fs::file_size(image, ec);
+  }
+  std::error_code manifest_ec;
+  if (fs::exists(manifest_path(), manifest_ec)) {
+    total += fs::file_size(manifest_path(), manifest_ec);
+  }
+  return total;
+}
+
+Status ConsolidatedStore::checkpoint() {
+  std::unique_lock<std::mutex> lock(wal_mutex_);
+  wal_cv_.wait(lock, [&] { return !flush_in_progress_; });
+  // A crashed store keeps its WAL untouched so recovery sees the full
+  // history.
+  if (!wal_status_.is_ok()) return wal_status_;
+  // Flush whatever a group leader has not picked up yet (checkpoint is
+  // rare; holding the lock through this write is fine).
+  if (!pending_.empty()) {
+    std::string buf;
+    buf.swap(pending_);
+    uint64_t upto = pending_last_seq_;
+    Status wrote = write_wal(buf);
+    if (!wrote.is_ok()) {
+      wal_status_ = wrote;
+      wal_cv_.notify_all();
+      return wrote;
+    }
+    durable_seq_ = upto;
+    wal_cv_.notify_all();
+  }
+  // Everything < next_seq_ is now durable and applied to state.
+  uint64_t checkpoint_seq = next_seq_ - 1;
+  uint64_t new_generation = generation_ + 1;
+  {
+    std::shared_lock<std::shared_mutex> state(state_mutex_);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      std::string image;
+      put_u64(&image, kShardMagic);
+      // The resource table is hashed; sort the names so equal states
+      // always produce byte-identical images.
+      std::vector<const std::string*> sorted;
+      sorted.reserve(shards_[i].resources.size());
+      for (const auto& [resource, props] : shards_[i].resources) {
+        sorted.push_back(&resource);
+      }
+      std::sort(sorted.begin(), sorted.end(),
+                [](const std::string* a, const std::string* b) {
+                  return *a < *b;
+                });
+      for (const std::string* name : sorted) {
+        const std::string& resource = *name;
+        const auto& props = shards_[i].resources.at(resource);
+        for (const auto& [key, value] : props) {
+          put_u32(&image, static_cast<uint32_t>(resource.size()));
+          put_u32(&image, static_cast<uint32_t>(key.size()));
+          put_u32(&image, static_cast<uint32_t>(value.size()));
+          image += resource;
+          image += key;
+          image += value;
+        }
+      }
+      DAVPSE_RETURN_IF_ERROR(
+          write_file_atomic(shard_path(i, new_generation), image));
+    }
+  }
+  // The manifest rename is the commit point: before it, recovery uses
+  // the old generation + full WAL; after it, the new images + the
+  // (possibly still untruncated) WAL, whose ≤checkpoint_seq records
+  // replay as no-ops because recovery skips them by sequence.
+  std::string manifest;
+  put_u64(&manifest, kManifestMagic);
+  put_u64(&manifest, new_generation);
+  put_u64(&manifest, checkpoint_seq);
+  DAVPSE_RETURN_IF_ERROR(write_file_atomic(manifest_path(), manifest));
+
+  wal_.close();
+  wal_.open(wal_path(), std::ios::binary | std::ios::trunc);
+  if (!wal_) {
+    wal_status_ = Status(ErrorCode::kInternal, "cannot reopen WAL");
+    wal_cv_.notify_all();
+    return wal_status_;
+  }
+  wal_written_ = 0;
+  uint64_t old_generation = generation_;
+  generation_ = new_generation;
+  std::error_code ec;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    fs::remove(shard_path(i, old_generation), ec);
+  }
+  checkpoints_->add(1);
+  return Status::ok();
+}
+
+void ConsolidatedStore::maybe_checkpoint() {
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    if (wal_written_ < options_.checkpoint_wal_bytes) return;
+    // A checkpoint rewrites every shard — O(live bytes). Amortize:
+    // only pay that once the WAL has grown to half the store, so a
+    // bulk load sees constant write amplification (geometric
+    // checkpoint spacing) instead of rewriting an ever-larger store
+    // every fixed 64 MB of WAL.
+    std::shared_lock<std::shared_mutex> state(state_mutex_);
+    if (wal_written_ < live_bytes_ / 2) return;
+  }
+  // Best effort: a failure here leaves the WAL in place, which is
+  // correct (just larger); the sticky status surfaces on the next apply.
+  (void)checkpoint();
+}
+
+}  // namespace davpse::dbm

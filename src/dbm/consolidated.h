@@ -1,0 +1,217 @@
+// Consolidated key/value store for resource metadata: the scalable
+// alternative to the one-DBM-file-per-resource layout. All resources'
+// properties live in one store directory —
+//
+//   <dir>/wal.log            write-ahead log (group-committed batches)
+//   <dir>/shard-NNN.gG.kv    checkpointed shard images, generation G
+//   <dir>/MANIFEST           {generation, checkpoint_seq} commit point
+//
+// Writes append a CRC-framed batch record to the WAL under group
+// commit (concurrent writers share one flush), then become visible in
+// the in-memory shard maps. A checkpoint rewrites the shard images
+// under a fresh generation, atomically publishes them via MANIFEST,
+// and truncates the WAL; recovery loads the manifest's generation and
+// replays WAL records with seq > checkpoint_seq, stopping at the first
+// torn or corrupt record — a half-written group commit is invisible
+// after reopen, never partially applied.
+//
+// A secondary index (property key → sorted resource set) is maintained
+// on every mutation so DASL SEARCH resolves where-clauses without
+// scanning resources.
+//
+// Thread-safe: reads take a shared state lock; writers serialize on
+// the WAL. Callers (the DAV layer) additionally serialize mutations
+// per resource, which keeps WAL order and visibility order identical.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace davpse::dbm {
+
+struct ConsolidatedOptions {
+  /// Number of shard files the checkpoint image is partitioned into
+  /// (resources are assigned by path hash).
+  size_t shard_count = 16;
+  /// WAL size that triggers an automatic checkpoint after a flush.
+  uint64_t checkpoint_wal_bytes = 64ull * 1024 * 1024;
+  /// Deterministic crash injection for recovery tests: after this many
+  /// bytes the WAL "device" stops accepting writes mid-record and the
+  /// store fails permanently (every later apply returns kUnavailable).
+  /// 0 disables.
+  uint64_t fail_after_wal_bytes = 0;
+  /// Registry receiving "dbm.consolidated.*" counters; nullptr records
+  /// into obs::Registry::global().
+  obs::Registry* metrics = nullptr;
+};
+
+class ConsolidatedStore {
+ public:
+  /// One mutation inside an atomic batch.
+  struct Op {
+    enum class Kind : uint8_t {
+      kSet = 1,         // resource, key, value
+      kRemoveKey = 2,   // resource, key
+      kRemoveTree = 3,  // resource (exact match and everything below)
+      kCopyTree = 4,    // resource=from, key=to
+      kMoveTree = 5,    // resource=from, key=to
+    };
+    Kind kind = Kind::kSet;
+    std::string resource;
+    std::string key;
+    std::string value;
+
+    static Op set(std::string resource, std::string key, std::string value) {
+      return {Kind::kSet, std::move(resource), std::move(key),
+              std::move(value)};
+    }
+    static Op remove_key(std::string resource, std::string key) {
+      return {Kind::kRemoveKey, std::move(resource), std::move(key), {}};
+    }
+    static Op remove_tree(std::string resource) {
+      return {Kind::kRemoveTree, std::move(resource), {}, {}};
+    }
+    static Op copy_tree(std::string from, std::string to) {
+      return {Kind::kCopyTree, std::move(from), std::move(to), {}};
+    }
+    static Op move_tree(std::string from, std::string to) {
+      return {Kind::kMoveTree, std::move(from), std::move(to), {}};
+    }
+  };
+
+  /// Opens (creating the directory if needed) and recovers: loads the
+  /// manifest's checkpoint generation, replays the WAL past it, and
+  /// truncates any torn tail.
+  static Result<std::unique_ptr<ConsolidatedStore>> open(
+      const std::filesystem::path& dir, const ConsolidatedOptions& options);
+  static Result<std::unique_ptr<ConsolidatedStore>> open(
+      const std::filesystem::path& dir) {
+    return open(dir, ConsolidatedOptions{});
+  }
+
+  ~ConsolidatedStore();
+
+  /// Applies a batch atomically: WAL-append + group-commit flush, then
+  /// success. On any WAL failure the store is permanently failed (the
+  /// batch may or may not be durable; it is never partially durable).
+  Status apply(const std::vector<Op>& batch);
+
+  /// kNotFound for missing resource or key.
+  Result<std::string> fetch(const std::string& resource,
+                            const std::string& key) const;
+  /// All (key, value) pairs of one resource, key-sorted.
+  std::vector<std::pair<std::string, std::string>> fetch_all(
+      const std::string& resource) const;
+  /// One shared-lock pass over many resources. Empty `keys` = all
+  /// pairs per resource; otherwise only the present requested keys.
+  std::vector<std::vector<std::pair<std::string, std::string>>> fetch_many(
+      const std::vector<std::string>& resources,
+      const std::vector<std::string>& keys) const;
+
+  /// Secondary index: sorted resources that define `key`.
+  std::vector<std::string> resources_with_key(const std::string& key) const;
+
+  /// Rewrites shard images and truncates the WAL. Concurrent-safe.
+  Status checkpoint();
+
+  size_t resource_count() const;
+  /// Bytes of live records (the checkpoint-image size lower bound).
+  uint64_t live_bytes() const;
+  /// Bytes on disk: current shard images + WAL.
+  uint64_t disk_bytes() const;
+  uint64_t wal_bytes() const;
+  size_t shard_count() const { return options_.shard_count; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  explicit ConsolidatedStore(std::filesystem::path dir,
+                             const ConsolidatedOptions& options);
+
+  struct Shard {
+    // resource path → (key → value). The outer map is hashed — point
+    // lookups dominate at millions of resources and a tree walk costs
+    // ~20 string compares there; checkpoint sorts names before
+    // imaging to keep images deterministic. The inner map stays
+    // ordered for sorted fetch_all.
+    std::unordered_map<std::string, std::map<std::string, std::string>>
+        resources;
+  };
+
+  size_t shard_of(const std::string& resource) const;
+  /// Mutates the in-memory state (caller holds state_mutex_ exclusive).
+  void apply_to_state(const std::vector<Op>& batch);
+  void state_set(const std::string& resource, const std::string& key,
+                 const std::string& value);
+  void state_remove_key(const std::string& resource, const std::string& key);
+  void state_remove_tree(const std::string& prefix);
+  /// Resources at/under `prefix` ("/a" covers "/a" and "/a/...").
+  std::vector<std::string> state_subtree(const std::string& prefix) const;
+
+  Status load_checkpoint(uint64_t* checkpoint_seq, uint64_t* generation);
+  Status replay_wal(uint64_t checkpoint_seq);
+  /// Appends `buf` to the WAL and flushes; honors fail_after_wal_bytes.
+  Status write_wal(const std::string& buf);
+  void maybe_checkpoint();
+
+  std::filesystem::path wal_path() const;
+  std::filesystem::path manifest_path() const;
+  std::filesystem::path shard_path(size_t shard, uint64_t generation) const;
+
+  std::filesystem::path dir_;
+  ConsolidatedOptions options_;
+
+  // -- durable state (wal_mutex_) ---------------------------------------
+  mutable std::mutex wal_mutex_;
+  std::condition_variable wal_cv_;
+  std::ofstream wal_;
+  std::string pending_;            // serialized records awaiting flush
+  uint64_t pending_last_seq_ = 0;  // seq of the last record in pending_
+  uint64_t next_seq_ = 1;
+  uint64_t durable_seq_ = 0;
+  bool flush_in_progress_ = false;
+  // Bytes in the WAL file. Atomic because the group-commit leader
+  // advances it in write_wal() with wal_mutex_ released (the stream
+  // itself is exclusive via flush_in_progress_); checkpoint triggers
+  // and size probes read it under the lock concurrently.
+  std::atomic<uint64_t> wal_written_{0};
+  Status wal_status_;         // sticky failure after a WAL error
+  uint64_t generation_ = 0;   // current checkpoint generation
+
+  // -- in-memory state (state_mutex_; wal_mutex_ taken first) -----------
+  mutable std::shared_mutex state_mutex_;
+  std::vector<Shard> shards_;
+  // key → posting list. Hashed on both levels: every property write
+  // touches its posting list, while index queries are one-per-SEARCH
+  // and sort their snapshot on the way out (resources_with_key).
+  std::unordered_map<std::string, std::unordered_set<std::string>> index_;
+  std::set<std::string> resource_names_;  // ordered, for subtree scans
+  uint64_t live_bytes_ = 0;
+  size_t resource_count_ = 0;
+
+  // -- metrics ----------------------------------------------------------
+  obs::Counter* batches_;
+  obs::Counter* wal_flushes_;
+  obs::Counter* wal_bytes_metric_;
+  obs::Counter* checkpoints_;
+  obs::Counter* replayed_records_;
+  obs::Counter* torn_records_;
+  obs::Counter* fetches_;
+  obs::Counter* index_queries_;
+};
+
+}  // namespace davpse::dbm

@@ -1,0 +1,228 @@
+// Engine-parity matrix: every property-visible behavior — PROPPATCH,
+// PROPFIND (named/allprop/propname), COPY/MOVE/DELETE carriage,
+// SEARCH, versioning — must be observably identical whether the
+// DBM-per-resource baseline or the consolidated WAL-backed store is
+// configured. Plus what intentionally differs: only the consolidated
+// engine answers SEARCH from its property→resource index.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dav/property_store.h"
+#include "dav/repository.h"
+#include "davclient/client.h"
+#include "davclient/search.h"
+#include "testing/env.h"
+#include "util/fs.h"
+
+namespace davpse {
+namespace {
+
+using davclient::Depth;
+using davclient::PropWrite;
+using davclient::Where;
+using testing::DavStack;
+
+const xml::QName kFormula("urn:chem", "formula");
+const xml::QName kEnergy("urn:chem", "energy");
+
+class EngineParity : public ::testing::TestWithParam<dav::PropertyEngine> {
+ protected:
+  EngineParity()
+      : stack(dbm::Flavor::kGdbm, 5, &registry, nullptr, nullptr, GetParam()),
+        client(stack.client()) {}
+
+  uint64_t counter(std::string_view name) {
+    return registry.counter(name).value();
+  }
+
+  // Registry outlives the stack (the recorder reads it on shutdown).
+  obs::Registry registry;
+  DavStack stack;
+  davclient::DavClient client;
+};
+
+TEST_P(EngineParity, ProppatchPropfindRoundtrip) {
+  ASSERT_TRUE(client.put("/doc", "body").is_ok());
+  ASSERT_TRUE(client
+                  .proppatch("/doc", {PropWrite::of_text(kFormula, "H2O"),
+                                      PropWrite::of_text(kEnergy, "-76.4")})
+                  .is_ok());
+  EXPECT_EQ(client.get_property("/doc", kFormula).value(), "H2O");
+
+  auto named = client.propfind("/doc", Depth::kZero, {kFormula, kEnergy});
+  ASSERT_TRUE(named.ok());
+  const auto& response = named.value().responses.front();
+  EXPECT_EQ(response.prop(kFormula), "H2O");
+  EXPECT_EQ(response.prop(kEnergy), "-76.4");
+
+  // Overwrite + remove through one PROPPATCH (all-or-nothing).
+  ASSERT_TRUE(client
+                  .proppatch("/doc", {PropWrite::of_text(kFormula, "D2O")},
+                             {kEnergy})
+                  .is_ok());
+  EXPECT_EQ(client.get_property("/doc", kFormula).value(), "D2O");
+  EXPECT_EQ(client.get_property("/doc", kEnergy).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_GT(counter("dav.props.db_writes"), 0u);
+}
+
+TEST_P(EngineParity, Depth1AllpropPropnameParity) {
+  ASSERT_TRUE(client.mkcol("/col").is_ok());
+  for (int i = 0; i < 5; ++i) {
+    std::string path = "/col/d" + std::to_string(i);
+    ASSERT_TRUE(client.put(path, "x").is_ok());
+    ASSERT_TRUE(client
+                    .proppatch(path, {PropWrite::of_text(
+                                         kFormula, "F" + std::to_string(i))})
+                    .is_ok());
+  }
+  auto all = client.propfind_all("/col", Depth::kOne);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().responses.size(), 6u);  // collection + 5 docs
+  for (int i = 0; i < 5; ++i) {
+    const auto* response = all.value().find("/col/d" + std::to_string(i));
+    ASSERT_NE(response, nullptr);
+    EXPECT_EQ(response->prop(kFormula), "F" + std::to_string(i));
+    // Live properties ride along in allprop.
+    EXPECT_EQ(response->prop(xml::dav_name("getcontentlength")), "1");
+  }
+  auto names = client.propfind_names("/col", Depth::kOne);
+  ASSERT_TRUE(names.ok());
+  const auto* d0 = names.value().find("/col/d0");
+  ASSERT_NE(d0, nullptr);
+  EXPECT_TRUE(d0->prop(kFormula).has_value());  // empty-valued in propname
+}
+
+TEST_P(EngineParity, CopyMoveDeleteCarryProperties) {
+  ASSERT_TRUE(client.mkcol("/tree").is_ok());
+  ASSERT_TRUE(client.put("/tree/leaf", "L").is_ok());
+  ASSERT_TRUE(client.set_property("/tree/leaf", kFormula, "CO2").is_ok());
+
+  ASSERT_TRUE(client.copy("/tree", "/copy").is_ok());
+  EXPECT_EQ(client.get_property("/copy/leaf", kFormula).value(), "CO2");
+  EXPECT_EQ(client.get_property("/tree/leaf", kFormula).value(), "CO2");
+
+  // Copies diverge after the fact.
+  ASSERT_TRUE(client.set_property("/copy/leaf", kFormula, "CH4").is_ok());
+  EXPECT_EQ(client.get_property("/tree/leaf", kFormula).value(), "CO2");
+
+  ASSERT_TRUE(client.move("/copy", "/moved").is_ok());
+  EXPECT_EQ(client.get_property("/moved/leaf", kFormula).value(), "CH4");
+  auto gone = client.exists("/copy");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone.value());
+
+  ASSERT_TRUE(client.remove("/moved").is_ok());
+  // Re-creating the same path must not resurrect old properties.
+  ASSERT_TRUE(client.mkcol("/moved").is_ok());
+  ASSERT_TRUE(client.put("/moved/leaf", "new").is_ok());
+  EXPECT_EQ(client.get_property("/moved/leaf", kFormula).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_P(EngineParity, VersioningCountsPersistInTheEngine) {
+  ASSERT_TRUE(client.put("/doc", "v1").is_ok());
+  ASSERT_TRUE(client.version_control("/doc").is_ok());
+  ASSERT_TRUE(client.put("/doc", "v2").is_ok());
+  ASSERT_TRUE(client.put("/doc", "v3").is_ok());
+  auto versions = client.list_versions("/doc");
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions.value().size(), 3u);
+  EXPECT_EQ(client.get_version("/doc", 1).value(), "v1");
+}
+
+TEST_P(EngineParity, SearchResultsIdenticalAcrossEngines) {
+  ASSERT_TRUE(client.mkcol("/lab").is_ok());
+  ASSERT_TRUE(client.put("/lab/water", "w").is_ok());
+  ASSERT_TRUE(client.set_property("/lab/water", kFormula, "H2O").is_ok());
+  ASSERT_TRUE(client.put("/lab/peroxide", "p").is_ok());
+  ASSERT_TRUE(client.set_property("/lab/peroxide", kFormula, "H2O2").is_ok());
+  ASSERT_TRUE(client.put("/lab/plain", "no props").is_ok());
+
+  auto result = client.search("/lab", Depth::kInfinity, {kFormula},
+                              Where::eq(kFormula, "H2O"));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_EQ(result.value().responses.size(), 1u);
+  EXPECT_EQ(result.value().responses.front().href, "/lab/water");
+  EXPECT_EQ(result.value().responses.front().prop(kFormula), "H2O");
+
+  // The engines differ in *how* they answered: the consolidated store
+  // served candidates off its property→resource index without walking
+  // the scope; the DBM baseline scanned.
+  bool indexed = GetParam() == dav::PropertyEngine::kConsolidated;
+  if (indexed) {
+    EXPECT_EQ(counter("dav.search.index_queries"), 1u);
+    EXPECT_EQ(counter("dav.search.index_candidates"), 2u);  // both H2O*
+    EXPECT_EQ(counter("dav.search.scanned_targets"), 0u);
+  } else {
+    EXPECT_EQ(counter("dav.search.index_queries"), 0u);
+    EXPECT_GT(counter("dav.search.scanned_targets"), 0u);
+  }
+}
+
+TEST_P(EngineParity, SearchOnLivePropertyAlwaysScans) {
+  ASSERT_TRUE(client.put("/doc", "0123456789").is_ok());
+  // getcontentlength is computed, not stored: no posting list covers
+  // it, so even the consolidated engine must scan.
+  auto result = client.search(
+      "/", Depth::kInfinity, {xml::dav_name("getcontentlength")},
+      Where::gt(xml::dav_name("getcontentlength"), "5"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().responses.size(), 1u);
+  EXPECT_EQ(counter("dav.search.index_queries"), 0u);
+  EXPECT_GT(counter("dav.search.scanned_targets"), 0u);
+}
+
+TEST_P(EngineParity, NegatedSearchScansEvenWhenIndexed) {
+  ASSERT_TRUE(client.put("/tagged", "t").is_ok());
+  ASSERT_TRUE(client.set_property("/tagged", kFormula, "H2O").is_ok());
+  ASSERT_TRUE(client.put("/untagged", "u").is_ok());
+  // not(is-defined) matches resources with no posting-list entry at
+  // all — the index cannot bound the candidates.
+  auto result = client.search("/", Depth::kInfinity, {},
+                              !Where::is_defined(kFormula));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(counter("dav.search.index_queries"), 0u);
+  EXPECT_GT(counter("dav.search.scanned_targets"), 0u);
+  const auto* untagged = result.value().find("/untagged");
+  EXPECT_NE(untagged, nullptr);
+  EXPECT_EQ(result.value().find("/tagged"), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineParity,
+    ::testing::Values(dav::PropertyEngine::kDbmPerResource,
+                      dav::PropertyEngine::kConsolidated),
+    [](const ::testing::TestParamInfo<dav::PropertyEngine>& info) {
+      return std::string(dav::property_engine_name(info.param));
+    });
+
+// The consolidated engine's durability reaches through the adapter:
+// properties written via FsRepository survive process death (reopen
+// replays the WAL; no flush/close choreography required).
+TEST(ConsolidatedEngineRecovery, PropertiesSurviveReopen) {
+  TempDir temp("engine-recovery");
+  xml::QName name("urn:t", "tag");
+  {
+    dav::FsRepository repo(temp.path(), dbm::Flavor::kGdbm, nullptr,
+                           dav::PropertyEngine::kConsolidated);
+    ASSERT_TRUE(repo.write_document("/doc", "x").is_ok());
+    ASSERT_TRUE(repo.properties("/doc").set({{name, {"v1"}}}).is_ok());
+    ASSERT_TRUE(repo.make_collection("/col").is_ok());
+    ASSERT_TRUE(repo.write_document("/col/leaf", "y").is_ok());
+    ASSERT_TRUE(repo.properties("/col/leaf").set({{name, {"v2"}}}).is_ok());
+    ASSERT_TRUE(repo.move("/col", "/renamed").is_ok());
+    // No clean shutdown: the repository is simply destroyed.
+  }
+  dav::FsRepository reopened(temp.path(), dbm::Flavor::kGdbm, nullptr,
+                             dav::PropertyEngine::kConsolidated);
+  EXPECT_EQ(reopened.properties("/doc").get(name).value().inner_xml, "v1");
+  EXPECT_EQ(reopened.properties("/renamed/leaf").get(name).value().inner_xml,
+            "v2");
+  EXPECT_EQ(reopened.properties("/col/leaf").get(name).status().code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace davpse

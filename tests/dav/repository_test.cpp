@@ -48,7 +48,7 @@ TEST_F(RepoFixture, ListChildrenHidesDavDir) {
   ASSERT_TRUE(repo.write_document("/col/b", "2").is_ok());
   ASSERT_TRUE(repo.write_document("/col/a", "1").is_ok());
   // Attaching metadata creates the hidden .DAV directory.
-  PropertyDb db = repo.properties("/col/a");
+  ResourceProps db = repo.properties("/col/a");
   ASSERT_TRUE(db.set({{xml::QName("urn:t", "p"), {"v"}}}).is_ok());
   auto children = repo.list_children("/col");
   ASSERT_TRUE(children.ok());
@@ -57,11 +57,13 @@ TEST_F(RepoFixture, ListChildrenHidesDavDir) {
 
 TEST_F(RepoFixture, PropertiesPersistAndRemove) {
   ASSERT_TRUE(repo.write_document("/doc", "x").is_ok());
-  PropertyDb db = repo.properties("/doc");
-  EXPECT_FALSE(db.database_exists());
+  ResourceProps db = repo.properties("/doc");
+  // DBM engine: the per-resource database file appears on first set.
+  std::filesystem::path db_file = temp.path() / ".DAV" / "doc.props";
+  EXPECT_FALSE(std::filesystem::exists(db_file));
   xml::QName name("urn:test", "color");
   ASSERT_TRUE(db.set({{name, {"blue"}}}).is_ok());
-  EXPECT_TRUE(db.database_exists());
+  EXPECT_TRUE(std::filesystem::exists(db_file));
   EXPECT_EQ(db.get(name).value().inner_xml, "blue");
   auto all = db.get_all();
   ASSERT_TRUE(all.ok());
@@ -115,14 +117,16 @@ TEST_F(RepoFixture, MoveDocumentCarriesProperties) {
   EXPECT_FALSE(repo.exists("/src"));
   EXPECT_EQ(repo.read_document("/dst").value(), "data");
   EXPECT_EQ(repo.properties("/dst").get(name).value().inner_xml, "v");
-  EXPECT_FALSE(repo.properties("/src").database_exists());
+  EXPECT_EQ(repo.properties("/src").get(name).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_FALSE(std::filesystem::exists(temp.path() / ".DAV" / "src.props"));
 }
 
 TEST_F(RepoFixture, RemoveDocumentDropsItsPropertyDb) {
   ASSERT_TRUE(repo.write_document("/doc", "x").is_ok());
   ASSERT_TRUE(
       repo.properties("/doc").set({{xml::QName("u", "p"), {"v"}}}).is_ok());
-  std::filesystem::path db_file = repo.properties("/doc").db_path();
+  std::filesystem::path db_file = temp.path() / ".DAV" / "doc.props";
   EXPECT_TRUE(std::filesystem::exists(db_file));
   ASSERT_TRUE(repo.remove("/doc").is_ok());
   EXPECT_FALSE(std::filesystem::exists(db_file));
@@ -141,7 +145,7 @@ TEST_F(RepoFixture, DiskUsageCountsDocAndProps) {
 TEST_F(RepoFixture, CompactAllShrinksChurnedPropertyDbs) {
   ASSERT_TRUE(repo.make_collection("/col").is_ok());
   ASSERT_TRUE(repo.write_document("/col/doc", "x").is_ok());
-  PropertyDb db = repo.properties("/col/doc");
+  ResourceProps db = repo.properties("/col/doc");
   xml::QName name("urn:t", "churn");
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(db.set({{name, {std::string(400, 'a' + i % 26)}}}).is_ok());
@@ -158,7 +162,7 @@ TEST_F(RepoFixture, SdbmFlavorRepositoryEnforcesValueCap) {
   TempDir temp2("repotest-sdbm");
   FsRepository sdbm_repo(temp2.path(), dbm::Flavor::kSdbm);
   ASSERT_TRUE(sdbm_repo.write_document("/doc", "x").is_ok());
-  PropertyDb db = sdbm_repo.properties("/doc");
+  ResourceProps db = sdbm_repo.properties("/doc");
   EXPECT_TRUE(db.set({{xml::QName("u", "ok"),
                        {std::string(1024, 'v')}}}).is_ok());
   Status status =

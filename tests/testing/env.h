@@ -33,7 +33,9 @@ struct DavStack {
   explicit DavStack(dbm::Flavor flavor = dbm::Flavor::kGdbm,
                     size_t daemons = 5, obs::Registry* metrics = nullptr,
                     obs::EventLog* event_log = nullptr,
-                    obs::TailSampler* tail = nullptr)
+                    obs::TailSampler* tail = nullptr,
+                    dav::PropertyEngine engine =
+                        dav::PropertyEngine::kDbmPerResource)
       : temp("davstack"), metrics_(metrics) {
     // Every stack runs a live flight recorder (as production would), so
     // /.well-known/history and /health serve real windows in any test;
@@ -45,6 +47,7 @@ struct DavStack {
     dav::DavConfig dav_config;
     dav_config.root = temp.path();
     dav_config.flavor = flavor;
+    dav_config.property_engine = engine;
     dav_config.metrics = metrics;
     dav_config.tail_sampler = tail;
     dav_config.recorder = recorder.get();
